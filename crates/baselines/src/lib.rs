@@ -1,0 +1,26 @@
+//! # pebblyn-baselines — analytic bounds from prior work
+//!
+//! The paper compares its MVM tiling schedules against **IOOpt**
+//! (Olivry et al., PLDI'20/'21), a polyhedral tool that derives parametric
+//! I/O lower and upper bounds for affine loop nests.  IOOpt itself is not
+//! reproducible here (and §5.2 explains it cannot handle recursive dataflows
+//! like the DWT, nor weighted/mixed-precision schedules), so this crate
+//! implements the *model* of IOOpt's behaviour that the paper uses for its
+//! comparison, including the paper's Double-Accumulator adaptations:
+//!
+//! * **Lower bound** — every matrix entry, vector entry and output touched
+//!   once; for the DA configuration the output term is doubled (the paper
+//!   doubles each accumulator output's weight in the bound).
+//! * **Upper bound** — IOOpt's tiling with its fixed fast-memory split:
+//!   roughly half the memory to outputs, half to inputs.  The vector is
+//!   re-read once per output tile pass, and each of the `m` outputs is both
+//!   read and written.  For DA, all non-input/output movements are
+//!   double-weighted and the budget is grown by an extra accumulator
+//!   allocation, matching §5.2's description.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ioopt;
+
+pub use ioopt::IoOptMvmModel;

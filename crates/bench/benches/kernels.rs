@@ -1,0 +1,54 @@
+//! Raw kernel throughput: the arithmetic the schedules orchestrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pebblyn::kernels::mvm as mvm_kernel;
+use pebblyn::kernels::signal::SignalConfig;
+use pebblyn::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    for n in [256usize, 4096] {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        let d = DwtGraph::max_level(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("haar_dwt", n), &signal, |b, s| {
+            b.iter(|| black_box(haar::haar_dwt(s, d)));
+        });
+    }
+
+    let a = mvm_kernel::Matrix::new(
+        96,
+        120,
+        (0..96 * 120).map(|i| (i % 23) as f64 / 23.0).collect(),
+    );
+    let x: Vec<f64> = (0..120).map(|i| (i as f64 * 0.03).sin()).collect();
+    group.bench_function("mvm_ref_96x120", |b| {
+        b.iter(|| black_box(mvm_kernel::mvm_ref(&a, &x)));
+    });
+    group.bench_function("fixed_dot_120", |b| {
+        let row: Vec<f64> = (0..120).map(|i| (i % 7) as f64 / 7.0 - 0.5).collect();
+        b.iter(|| black_box(fixed::fixed_dot(&row, &x)));
+    });
+
+    let cfg = SignalConfig {
+        samples: 4096,
+        ..Default::default()
+    };
+    group.bench_function("signal_gen_4096", |b| {
+        b.iter(|| black_box(signal::generate_channel(&cfg)));
+    });
+
+    group.bench_function("graph_build_dwt256", |b| {
+        b.iter(|| black_box(DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap()));
+    });
+    group.bench_function("graph_build_mvm96x120", |b| {
+        b.iter(|| black_box(MvmGraph::new(96, 120, WeightScheme::Equal(16)).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

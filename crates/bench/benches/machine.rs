@@ -1,0 +1,46 @@
+//! Memory-machine execution throughput: schedules with real arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pebblyn::kernels::mvm as mvm_kernel;
+use pebblyn::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    // One DWT window at the Table 1 budget.
+    let dwt = DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap();
+    let sched = dwt_opt::schedule(&dwt, 160).unwrap();
+    let ops = haar::op_table(&dwt);
+    let signal: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+    let env = haar::inputs_for(&dwt, &signal);
+    let machine = Machine::new(dwt.cdag(), &ops, 160);
+    group.throughput(criterion::Throughput::Elements(sched.len() as u64));
+    group.bench_with_input(BenchmarkId::new("dwt256_window", sched.len()), &(), |b, _| {
+        b.iter(|| black_box(machine.run(&sched, &env).unwrap()));
+    });
+
+    // One MVM decode at the Table 1 budget.
+    let mvm = MvmGraph::new(96, 120, WeightScheme::Equal(16)).unwrap();
+    let budget = mvm_tiling::min_memory(&mvm);
+    let sched = mvm_tiling::schedule(&mvm, budget).unwrap();
+    let ops = mvm_kernel::op_table(&mvm);
+    let a = mvm_kernel::Matrix::new(
+        96,
+        120,
+        (0..96 * 120).map(|i| (i % 17) as f64 / 17.0).collect(),
+    );
+    let x: Vec<f64> = (0..120).map(|i| (i as f64 * 0.05).cos()).collect();
+    let env = mvm_kernel::inputs_for(&mvm, &a, &x);
+    let machine = Machine::new(mvm.cdag(), &ops, budget);
+    group.throughput(criterion::Throughput::Elements(sched.len() as u64));
+    group.bench_with_input(BenchmarkId::new("mvm_decode", sched.len()), &(), |b, _| {
+        b.iter(|| black_box(machine.run(&sched, &env).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

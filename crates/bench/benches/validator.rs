@@ -1,0 +1,40 @@
+//! Validator throughput: replaying long schedules move-by-move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pebblyn::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_validator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validate_schedule");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    // DWT optimal schedule (~8k moves at n = 256).
+    let dwt = DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap();
+    let sched = dwt_opt::schedule(&dwt, 160).unwrap();
+    group.throughput(criterion::Throughput::Elements(sched.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("dwt256_optimal", sched.len()),
+        &sched,
+        |b, s| {
+            b.iter(|| black_box(validate_schedule(dwt.cdag(), 160, s)));
+        },
+    );
+
+    // MVM tiling schedule (~80k moves).
+    let mvm = MvmGraph::new(96, 120, WeightScheme::Equal(16)).unwrap();
+    let budget = mvm_tiling::min_memory(&mvm);
+    let sched = mvm_tiling::schedule(&mvm, budget).unwrap();
+    group.throughput(criterion::Throughput::Elements(sched.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("mvm96x120_tiling", sched.len()),
+        &sched,
+        |b, s| {
+            b.iter(|| black_box(validate_schedule(mvm.cdag(), budget, s)));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_validator);
+criterion_main!(benches);

@@ -1,0 +1,250 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. MVM tile width — spilling accumulators between column chunks
+//!    (width < n) only ever adds I/O, which is why §4.3's best tiles are
+//!    full-width,
+//! 2. vector residency vs tile height — the §4.3 trade-off that flips
+//!    between the Equal and Double-Accumulator configurations,
+//! 3. boustrophedon traversal — the §5.1 baseline's alternating layer
+//!    direction vs fixed ascending order,
+//! 4. spill-everything vs optimal — how much of the naive topological
+//!    schedule's traffic the DP eliminates.
+//!
+//! ```sh
+//! cargo run --release -p pebblyn-bench --bin ablation
+//! ```
+
+use pebblyn::prelude::*;
+use pebblyn_bench::Table;
+
+fn tile_width_ablation() {
+    let mvm = MvmGraph::new(96, 120, WeightScheme::Equal(16)).unwrap();
+    let g = mvm.cdag();
+    let mut t = Table::new(
+        "Ablation tile width",
+        &["tile_width", "cost_bits", "peak_bits", "overhead_pct"],
+    );
+    let full = TilingConfig::new(32, 0, 120);
+    let full_cost = mvm_tiling::config_cost(&mvm, &full) as f64;
+    for width in [1usize, 2, 5, 10, 30, 60, 120] {
+        let cfg = TilingConfig {
+            tile_width: width,
+            ..full
+        };
+        let cost = mvm_tiling::config_cost(&mvm, &cfg);
+        let sched = mvm_tiling::schedule_with_config(&mvm, &cfg);
+        let peak = mvm_tiling::config_peak(&mvm, &cfg);
+        let stats = validate_schedule(g, peak, &sched).expect("valid");
+        assert_eq!(stats.cost, cost);
+        t.row(vec![
+            width.to_string(),
+            cost.to_string(),
+            peak.to_string(),
+            format!("{:+.1}", 100.0 * (cost as f64 - full_cost) / full_cost),
+        ]);
+    }
+    t.emit();
+}
+
+fn residency_ablation() {
+    let mut t = Table::new(
+        "Ablation residency vs height",
+        &["scheme", "config", "budget_bits", "cost_bits"],
+    );
+    for scheme in WeightScheme::paper_configs() {
+        let mvm = MvmGraph::new(96, 120, scheme).unwrap();
+        // Compare the two pure strategies at each one's minimum budget.
+        let tall = TilingConfig::new(96, 0, 120);
+        let resident = TilingConfig::new(1, 120, 120);
+        for (name, cfg) in [("tall tile (h=96)", tall), ("resident vector", resident)] {
+            let budget = mvm_tiling::config_peak(&mvm, &cfg);
+            let cost = mvm_tiling::config_cost(&mvm, &cfg);
+            t.row(vec![
+                scheme.label().to_string(),
+                name.to_string(),
+                budget.to_string(),
+                cost.to_string(),
+            ]);
+        }
+    }
+    t.emit();
+    println!("(both reach the LB; the winner is whichever needs the smaller budget — Equal: tall, DA: resident)");
+}
+
+fn boustrophedon_ablation() {
+    let dwt = DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap();
+    let g = dwt.cdag();
+    let mut t = Table::new(
+        "Ablation boustrophedon",
+        &["budget_bits", "alternating_bits", "fixed_bits", "saving_pct"],
+    );
+    let minb = pebblyn::core::min_feasible_budget(g);
+    for words in [4u64, 8, 16, 32, 64, 128, 256, 512] {
+        let b = (words * 16).max(minb);
+        let alt = layer_by_layer::cost(&dwt, b, LayerByLayerOptions { boustrophedon: true });
+        let fix = layer_by_layer::cost(&dwt, b, LayerByLayerOptions { boustrophedon: false });
+        if let (Some(a), Some(f)) = (alt, fix) {
+            t.row(vec![
+                b.to_string(),
+                a.to_string(),
+                f.to_string(),
+                format!("{:.1}", 100.0 * (f as f64 - a as f64) / f as f64),
+            ]);
+        }
+    }
+    t.emit();
+}
+
+fn naive_vs_optimal() {
+    let mut t = Table::new(
+        "Ablation naive vs optimal",
+        &["workload", "naive_bits", "optimal_bits", "ratio"],
+    );
+    for scheme in WeightScheme::paper_configs() {
+        let dwt = DwtGraph::new(256, 8, scheme).unwrap();
+        let g = dwt.cdag();
+        let b = g.total_weight();
+        let nv = naive::cost(g);
+        let opt = dwt_opt::min_cost(&dwt, b).unwrap();
+        t.row(vec![
+            format!("DWT(256,8) {}", scheme.label()),
+            nv.to_string(),
+            opt.to_string(),
+            format!("{:.2}x", nv as f64 / opt as f64),
+        ]);
+    }
+    t.emit();
+}
+
+fn energy_asymmetry_ablation() {
+    // Embedded-Flash regime: stores cost 10x loads. On trees the optimal
+    // *structure* is price-invariant (see the energy certification tests);
+    // the ablation quantifies how the spill term scales.
+    let dwt = DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap();
+    let g = dwt.cdag();
+    let costs = IoCosts { load: 1, store: 10 };
+    let mut t = Table::new(
+        "Ablation energy asymmetry",
+        &["budget_bits", "bits_moved", "energy_cost_1_10", "spill_bits"],
+    );
+    for words in [4u64, 6, 8, 10, 16, 64] {
+        let b = words * 16;
+        if let (Some(unit), Some(scaled)) = (
+            dwt_opt::min_cost(&dwt, b),
+            dwt_opt::min_cost_with_costs(&dwt, b, costs),
+        ) {
+            let lb = algorithmic_lower_bound(g);
+            t.row(vec![
+                b.to_string(),
+                unit.to_string(),
+                scaled.to_string(),
+                ((unit - lb) / 2).to_string(),
+            ]);
+        }
+    }
+    t.emit();
+}
+
+fn eviction_policy_ablation() {
+    // Belady (furthest-next-use) vs FIFO eviction on an FFT butterfly —
+    // the irregular-CDAG extension of Section 4.
+    let g = pebblyn::graphs::testgraphs::fft_butterfly(5, WeightScheme::Equal(16)).unwrap();
+    let layered = pebblyn::graphs::layered::LayeredCdag::from_cdag(g.clone());
+    let lb = algorithmic_lower_bound(&g);
+    let mut t = Table::new(
+        "Ablation eviction policy fft32",
+        &["budget_bits", "belady_bits", "fifo_bits", "lower_bound"],
+    );
+    let minb = pebblyn::core::min_feasible_budget(&g);
+    let mut b = minb;
+    while b <= g.total_weight() {
+        let belady = greedy_belady::cost(&g, b);
+        let fifo = layer_by_layer::cost(&layered, b, LayerByLayerOptions::default());
+        if let (Some(bl), Some(ff)) = (belady, fifo) {
+            t.row(vec![
+                b.to_string(),
+                bl.to_string(),
+                ff.to_string(),
+                lb.to_string(),
+            ]);
+        }
+        b += 16 * 16;
+    }
+    t.emit();
+}
+
+fn streaming_strategy_ablation() {
+    // Window-resident vs partial-interleaved residency for FIR filters and
+    // banded MVM across both weight configurations.
+    use pebblyn::graphs::banded::BandedMvmGraph;
+    use pebblyn::schedulers::banded_stream;
+    use pebblyn::schedulers::conv_stream::Strategy;
+    let mut t = Table::new(
+        "Ablation streaming residency",
+        &["workload", "scheme", "window_bits", "interleaved_bits"],
+    );
+    for scheme in WeightScheme::paper_configs() {
+        let conv = ConvGraph::new(64, 8, scheme).unwrap();
+        t.row(vec![
+            "Conv(64,8)".into(),
+            scheme.label().into(),
+            conv_stream::strategy_peak(&conv, Strategy::WindowResident).to_string(),
+            conv_stream::strategy_peak(&conv, Strategy::PartialInterleaved).to_string(),
+        ]);
+        let band = BandedMvmGraph::new(64, 8, scheme).unwrap();
+        t.row(vec![
+            "Banded(64,8)".into(),
+            scheme.label().into(),
+            banded_stream::strategy_peak(&band, Strategy::WindowResident).to_string(),
+            banded_stream::strategy_peak(&band, Strategy::PartialInterleaved).to_string(),
+        ]);
+    }
+    t.emit();
+}
+
+fn granularity_ablation() {
+    // Fine (paper) vs coarse butterfly granularity: same transform, same
+    // lower bound, different minimum memory — quantifying §3.1.1's choice.
+    use pebblyn::graphs::dwt_coarse::CoarseDwtGraph;
+    let mut t = Table::new(
+        "Ablation operation granularity",
+        &["n", "fine_optimal_bits", "coarse_best_bits", "ratio"],
+    );
+    for n in [32usize, 64, 128, 256] {
+        let d = DwtGraph::max_level(n).unwrap();
+        let scheme = WeightScheme::Equal(16);
+        let fine = DwtGraph::new(n, d, scheme).unwrap();
+        let coarse = CoarseDwtGraph::new(n, d, scheme).unwrap();
+        let lb = algorithmic_lower_bound(fine.cdag());
+        let fine_min = min_memory(
+            |b| dwt_opt::min_cost(&fine, b),
+            lb,
+            MinMemoryOptions::for_graph(fine.cdag()).monotone(true),
+        )
+        .unwrap();
+        let coarse_min = min_memory(
+            |b| greedy_belady::cost(coarse.cdag(), b),
+            lb,
+            MinMemoryOptions::for_graph(coarse.cdag()),
+        )
+        .unwrap();
+        t.row(vec![
+            n.to_string(),
+            fine_min.to_string(),
+            coarse_min.to_string(),
+            format!("{:.1}x", coarse_min as f64 / fine_min as f64),
+        ]);
+    }
+    t.emit();
+}
+
+fn main() {
+    tile_width_ablation();
+    residency_ablation();
+    boustrophedon_ablation();
+    naive_vs_optimal();
+    energy_asymmetry_ablation();
+    eviction_policy_ablation();
+    streaming_strategy_ablation();
+    granularity_ablation();
+}

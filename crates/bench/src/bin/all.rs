@@ -1,0 +1,19 @@
+//! Run every experiment in order: Table 1, Figures 5–8, ablations.
+//!
+//! ```sh
+//! cargo run --release -p pebblyn-bench --bin all
+//! ```
+
+fn main() {
+    let bins = ["table1", "fig5", "fig6", "fig7", "fig8", "ablation"];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n================ {bin} ================");
+        let status = std::process::Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments complete; CSVs in results/");
+}

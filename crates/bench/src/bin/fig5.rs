@@ -1,0 +1,100 @@
+//! Figure 5: bits transferred between fast and slow memory as a function
+//! of fast memory size, for all four workload/weighting panels.
+//!
+//! ```sh
+//! cargo run --release -p pebblyn-bench --bin fig5 [-- --panel a|b|c|d]
+//! ```
+
+use pebblyn::prelude::*;
+use pebblyn_bench::{log_budgets, parallel_map, Table};
+
+fn dwt_panel(panel: &str, scheme: WeightScheme) {
+    let dwt = DwtGraph::new(256, 8, scheme).unwrap();
+    let g = dwt.cdag();
+    let lb = algorithmic_lower_bound(g);
+    let minb = pebblyn::core::min_feasible_budget(g) / 16;
+    // Sweep to past the point where layer-by-layer flattens (~1k words).
+    let budgets = log_budgets(minb, 1200, 28, 16);
+
+    let rows = parallel_map(budgets, |&b| {
+        let opt = dwt_opt::min_cost(&dwt, b);
+        let lbl = layer_by_layer::cost(&dwt, b, LayerByLayerOptions::default());
+        (b, opt, lbl)
+    });
+
+    let mut t = Table::new(
+        format!("Fig 5{panel} {} DWT(256,8)", scheme.label()),
+        &[
+            "fast_memory_bits",
+            "algorithmic_lb_bits",
+            "layer_by_layer_bits",
+            "optimum_bits",
+        ],
+    );
+    for (b, opt, lbl) in rows {
+        t.row(vec![
+            b.to_string(),
+            lb.to_string(),
+            lbl.map_or_else(|| "inf".into(), |c| c.to_string()),
+            opt.map_or_else(|| "inf".into(), |c| c.to_string()),
+        ]);
+    }
+    t.emit();
+}
+
+fn mvm_panel(panel: &str, scheme: WeightScheme) {
+    let mvm = MvmGraph::new(96, 120, scheme).unwrap();
+    let model = IoOptMvmModel::for_graph(&mvm);
+    let budgets = log_budgets(4, 1200, 28, 16);
+
+    let rows = parallel_map(budgets, |&b| {
+        (
+            b,
+            model.lower_bound(b),
+            model.upper_bound(b),
+            mvm_tiling::min_cost(&mvm, b),
+        )
+    });
+
+    let mut t = Table::new(
+        format!("Fig 5{panel} {} MVM(96,120)", scheme.label()),
+        &[
+            "fast_memory_bits",
+            "ioopt_lb_bits",
+            "ioopt_ub_bits",
+            "tiling_bits",
+        ],
+    );
+    for (b, lb, ub, tiling) in rows {
+        t.row(vec![
+            b.to_string(),
+            lb.to_string(),
+            ub.map_or_else(|| "inf".into(), |c| c.to_string()),
+            tiling.map_or_else(|| "inf".into(), |c| c.to_string()),
+        ]);
+    }
+    t.emit();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    if matches!(panel, "a" | "all") {
+        dwt_panel("a", WeightScheme::Equal(16));
+    }
+    if matches!(panel, "b" | "all") {
+        dwt_panel("b", WeightScheme::DoubleAccumulator(16));
+    }
+    if matches!(panel, "c" | "all") {
+        mvm_panel("c", WeightScheme::Equal(16));
+    }
+    if matches!(panel, "d" | "all") {
+        mvm_panel("d", WeightScheme::DoubleAccumulator(16));
+    }
+}

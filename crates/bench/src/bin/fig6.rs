@@ -1,0 +1,86 @@
+//! Figure 6: minimum fast memory size (Definition 2.6) as a function of
+//! the workload size parameter `n`.
+//!
+//! Panels a/b sweep `DWT(n, d*)` for even `n ≤ 256` with `d*` the maximum
+//! admissible level; panels c/d sweep `MVM(96, n)` for `n ≤ 120`.
+//!
+//! ```sh
+//! cargo run --release -p pebblyn-bench --bin fig6 [-- --panel a|b|c|d]
+//! ```
+
+use pebblyn::prelude::*;
+use pebblyn_bench::{parallel_map, Table};
+
+fn dwt_panel(panel: &str, scheme: WeightScheme) {
+    let ns: Vec<usize> = (2..=256).step_by(2).collect();
+    let rows = parallel_map(ns, |&n| {
+        let d = DwtGraph::max_level(n).expect("even n");
+        let dwt = DwtGraph::new(n, d, scheme).unwrap();
+        let g = dwt.cdag();
+        let lb = algorithmic_lower_bound(g);
+        let opt = min_memory(
+            |b| dwt_opt::min_cost(&dwt, b),
+            lb,
+            MinMemoryOptions::for_graph(g).monotone(true),
+        )
+        .expect("optimum reaches LB");
+        let lbl = min_memory(
+            |b| layer_by_layer::cost(&dwt, b, LayerByLayerOptions::default()),
+            lb,
+            MinMemoryOptions::for_graph(g),
+        )
+        .expect("baseline reaches LB");
+        (n, d, lbl, opt)
+    });
+
+    let mut t = Table::new(
+        format!("Fig 6{panel} {} DWT(n,dstar)", scheme.label()),
+        &["n", "d_star", "layer_by_layer_bits", "optimum_bits"],
+    );
+    for (n, d, lbl, opt) in rows {
+        t.row(vec![
+            n.to_string(),
+            d.to_string(),
+            lbl.to_string(),
+            opt.to_string(),
+        ]);
+    }
+    t.emit();
+}
+
+fn mvm_panel(panel: &str, scheme: WeightScheme) {
+    let mut t = Table::new(
+        format!("Fig 6{panel} {} MVM(96,n)", scheme.label()),
+        &["n", "ioopt_ub_bits", "tiling_bits"],
+    );
+    for n in 1..=120usize {
+        let mvm = MvmGraph::new(96, n, scheme).unwrap();
+        let ioopt = IoOptMvmModel::for_graph(&mvm).min_memory();
+        let tiling = mvm_tiling::min_memory(&mvm);
+        t.row(vec![n.to_string(), ioopt.to_string(), tiling.to_string()]);
+    }
+    t.emit();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    if matches!(panel, "a" | "all") {
+        dwt_panel("a", WeightScheme::Equal(16));
+    }
+    if matches!(panel, "b" | "all") {
+        dwt_panel("b", WeightScheme::DoubleAccumulator(16));
+    }
+    if matches!(panel, "c" | "all") {
+        mvm_panel("c", WeightScheme::Equal(16));
+    }
+    if matches!(panel, "d" | "all") {
+        mvm_panel("d", WeightScheme::DoubleAccumulator(16));
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 7: circuit-level metrics (area, leakage, read/write power,
+//! read/write throughput) for the power-of-two memory capacities of
+//! Table 1, via the SRAM macro model.
+//!
+//! ```sh
+//! cargo run --release -p pebblyn-bench --bin fig7
+//! ```
+
+use pebblyn::prelude::*;
+use pebblyn::synth::sram::reduction_pct;
+use pebblyn_bench::{table1_rows, Table};
+
+fn main() {
+    let process = Process::default();
+    let mut t = Table::new(
+        "Fig 7 synthesized memories",
+        &[
+            "workload",
+            "approach",
+            "pow2_bits",
+            "area_l2",
+            "leakage_mw",
+            "read_power_mw",
+            "write_power_mw",
+            "read_gbps",
+            "write_gbps",
+        ],
+    );
+    let mut reductions = Table::new(
+        "Fig 7 reductions",
+        &[
+            "workload",
+            "area_pct",
+            "leakage_pct",
+            "read_power_pct",
+            "write_power_pct",
+            "read_perf_pct",
+        ],
+    );
+
+    let mut area_sum = 0.0;
+    let mut leak_sum = 0.0;
+    let rows = table1_rows();
+    for (label, _scheme, ours_bits, baseline_bits) in &rows {
+        let is_dwt = label.starts_with("DWT");
+        let (ours_name, base_name) = if is_dwt {
+            ("Optimum", "Layer-by-Layer")
+        } else {
+            ("Tiling", "IOOpt UB")
+        };
+        let ours = SramConfig::words16(round_pow2(*ours_bits)).synthesize(&process);
+        let base = SramConfig::words16(round_pow2(*baseline_bits)).synthesize(&process);
+        for (name, m) in [(ours_name, &ours), (base_name, &base)] {
+            t.row(vec![
+                label.clone(),
+                name.to_string(),
+                m.capacity_bits.to_string(),
+                format!("{:.0}", m.area_l2),
+                format!("{:.2}", m.leakage_mw),
+                format!("{:.2}", m.read_power_mw),
+                format!("{:.2}", m.write_power_mw),
+                format!("{:.1}", m.read_gbps),
+                format!("{:.1}", m.write_gbps),
+            ]);
+        }
+        let area_red = reduction_pct(base.area_l2, ours.area_l2);
+        let leak_red = reduction_pct(base.leakage_mw, ours.leakage_mw);
+        area_sum += area_red;
+        leak_sum += leak_red;
+        reductions.row(vec![
+            label.clone(),
+            format!("{:.1}", area_red),
+            format!("{:.1}", leak_red),
+            format!("{:.1}", reduction_pct(base.read_power_mw, ours.read_power_mw)),
+            format!(
+                "{:.1}",
+                reduction_pct(base.write_power_mw, ours.write_power_mw)
+            ),
+            format!("{:.1}", reduction_pct(base.read_gbps, ours.read_gbps)),
+        ]);
+    }
+    t.emit();
+    reductions.emit();
+    println!(
+        "\naverage area reduction {:.0}% (paper: 63%), average leakage reduction {:.0}% (paper: 43%)",
+        area_sum / rows.len() as f64,
+        leak_sum / rows.len() as f64
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 8: physical floorplan comparison between the power-of-two
+//! memories of the competing approaches.
+//!
+//! ```sh
+//! cargo run --release -p pebblyn-bench --bin fig8
+//! ```
+
+use pebblyn::prelude::*;
+use pebblyn_bench::{table1_rows, Table};
+
+fn main() {
+    let process = Process::default();
+    let mut t = Table::new(
+        "Fig 8 floorplans",
+        &[
+            "workload",
+            "ours_bits",
+            "ours_w_l",
+            "ours_h_l",
+            "base_bits",
+            "base_w_l",
+            "base_h_l",
+            "area_ratio",
+        ],
+    );
+    for (label, _scheme, ours_bits, baseline_bits) in table1_rows() {
+        let is_dwt = label.starts_with("DWT");
+        let names = if is_dwt {
+            ("Optimum", "Layer-by-Layer")
+        } else {
+            ("Tiling", "IOOpt")
+        };
+        let ours = SramConfig::words16(round_pow2(ours_bits)).synthesize(&process);
+        let base = SramConfig::words16(round_pow2(baseline_bits)).synthesize(&process);
+        let fo = Floorplan::of(&ours);
+        let fb = Floorplan::of(&base);
+        println!("\n=== {label}: {} vs {} ===", names.0, names.1);
+        print!("{}", fo.render_comparison(&fb, names));
+        t.row(vec![
+            label,
+            ours.capacity_bits.to_string(),
+            format!("{:.0}", fo.width_l),
+            format!("{:.0}", fo.height_l),
+            base.capacity_bits.to_string(),
+            format!("{:.0}", fb.width_l),
+            format!("{:.0}", fb.height_l),
+            format!("{:.1}x", fb.area_l2() / fo.area_l2()),
+        ]);
+    }
+    t.emit();
+}

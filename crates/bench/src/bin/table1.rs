@@ -1,0 +1,46 @@
+//! Table 1: minimum fast memory size comparison across workloads, weight
+//! configurations and scheduling approaches.
+//!
+//! ```sh
+//! cargo run --release -p pebblyn-bench --bin table1
+//! ```
+
+use pebblyn::prelude::*;
+use pebblyn_bench::{table1_rows, Table};
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1 minimum fast memory",
+        &[
+            "workload",
+            "node_weights",
+            "approach",
+            "min_words",
+            "word_bits",
+            "min_capacity_bits",
+            "pow2_capacity_bits",
+        ],
+    );
+    for (label, scheme, ours_bits, baseline_bits) in table1_rows() {
+        let (workload, weights) = label.split_once(' ').unwrap();
+        let is_dwt = workload.starts_with("DWT");
+        let (ours_name, base_name) = if is_dwt {
+            ("Optimum*", "Layer-by-Layer")
+        } else {
+            ("Tiling*", "IOOpt UB")
+        };
+        for (approach, bits) in [(ours_name, ours_bits), (base_name, baseline_bits)] {
+            t.row(vec![
+                workload.to_string(),
+                weights.to_string(),
+                approach.to_string(),
+                (bits / scheme.word_bits()).to_string(),
+                scheme.word_bits().to_string(),
+                bits.to_string(),
+                round_pow2(bits).to_string(),
+            ]);
+        }
+    }
+    t.emit();
+    println!("\n(* = this paper's approaches; words are 16-bit as in the paper)");
+}

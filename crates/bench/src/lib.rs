@@ -1,0 +1,241 @@
+//! # pebblyn-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§5):
+//!
+//! | Binary | Regenerates |
+//! |--------|-------------|
+//! | `fig5` | Fig. 5a–d: bits transferred vs fast memory size |
+//! | `fig6` | Fig. 6a–d: minimum fast memory size vs workload size |
+//! | `table1` | Table 1: minimum fast memory comparison |
+//! | `fig7` | Fig. 7a–f: synthesized area / power / throughput |
+//! | `fig8` | Fig. 8a–d: floorplan comparisons |
+//! | `ablation` | §4.3 / §5.1 design-choice ablations |
+//! | `all` | everything above, in order |
+//!
+//! Each binary prints the series the paper plots and writes a CSV under
+//! `results/`.  This library holds the shared plumbing: table printing, CSV
+//! output, budget sweeps, and a small crossbeam-based parallel map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pebblyn::prelude::*;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Experiment IDs accepted by `--panel` style flags.
+pub const PAPER_WORKLOADS: &str = "DWT(256,8) and MVM(96,120), Equal and Double Accumulator";
+
+/// Directory where CSVs land (`results/` next to the workspace root).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("PEBBLYN_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// A printable/serialisable experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (used for the CSV file name, lowercased).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Print aligned to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n## {}", self.title);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+
+    /// Write as CSV under `results/`, returning the path.
+    pub fn write_csv(&self) -> PathBuf {
+        let name = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect::<String>();
+        let path = results_dir().join(format!("{name}.csv"));
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        writeln!(f, "{}", self.header.join(",")).expect("write header");
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).expect("write row");
+        }
+        path
+    }
+
+    /// Print and write CSV.
+    pub fn emit(&self) {
+        self.print();
+        let path = self.write_csv();
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Log-spaced budgets on the word lattice from `lo_words` to `hi_words`
+/// (inclusive, deduplicated, in bits).
+pub fn log_budgets(lo_words: u64, hi_words: u64, points: usize, word: u64) -> Vec<Weight> {
+    assert!(lo_words >= 1 && hi_words >= lo_words && points >= 2);
+    let lo = lo_words as f64;
+    let hi = hi_words as f64;
+    let mut out: Vec<Weight> = (0..points)
+        .map(|i| {
+            let t = i as f64 / (points - 1) as f64;
+            let w = lo * (hi / lo).powf(t);
+            (w.round() as u64).clamp(lo_words, hi_words) * word
+        })
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Parallel map over items with a scoped crossbeam worker pool (the
+/// sanctioned alternative to rayon for the sweep-heavy figures).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(|_| {
+                let tx = tx;
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    tx.send((i, f(&items[i]))).expect("collector alive");
+                }
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    })
+    .expect("worker pool")
+}
+
+/// The four Table 1 workload/scheduler comparisons, shared by several
+/// binaries: (label, scheme, our min-memory bits, baseline min-memory bits).
+pub fn table1_rows() -> Vec<(String, WeightScheme, Weight, Weight)> {
+    let mut rows = Vec::new();
+    for scheme in WeightScheme::paper_configs() {
+        let dwt = DwtGraph::new(256, 8, scheme).unwrap();
+        let g = dwt.cdag();
+        let lb = algorithmic_lower_bound(g);
+        let ours = min_memory(
+            |b| dwt_opt::min_cost(&dwt, b),
+            lb,
+            MinMemoryOptions::for_graph(g).monotone(true),
+        )
+        .expect("optimum reaches LB");
+        let baseline = min_memory(
+            |b| layer_by_layer::cost(&dwt, b, LayerByLayerOptions::default()),
+            lb,
+            MinMemoryOptions::for_graph(g),
+        )
+        .expect("layer-by-layer reaches LB");
+        rows.push((format!("DWT(256,8) {}", scheme.label()), scheme, ours, baseline));
+    }
+    for scheme in WeightScheme::paper_configs() {
+        let mvm = MvmGraph::new(96, 120, scheme).unwrap();
+        let ours = mvm_tiling::min_memory(&mvm);
+        let baseline = IoOptMvmModel::for_graph(&mvm).min_memory();
+        rows.push((format!("MVM(96,120) {}", scheme.label()), scheme, ours, baseline));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_budgets_are_monotone_and_bounded() {
+        let b = log_budgets(3, 1024, 20, 16);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*b.first().unwrap(), 48);
+        assert_eq!(*b.last().unwrap(), 1024 * 16);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let r = parallel_map((0..100).collect(), |&x| x * 2);
+        assert_eq!(r, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = Table::new("Test Table", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let path = t.write_csv();
+        let s = std::fs::read_to_string(path).unwrap();
+        assert_eq!(s, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn table1_rows_match_paper() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].2, 160); // Equal DWT optimum
+        assert_eq!(rows[1].2, 288); // DA DWT optimum
+        assert_eq!(rows[2].2, 99 * 16); // Equal MVM tiling
+        assert_eq!(rows[3].2, 126 * 16); // DA MVM tiling
+        assert_eq!(rows[2].3, 193 * 16); // Equal IOOpt UB
+        assert_eq!(rows[3].3, 289 * 16); // DA IOOpt UB
+    }
+}

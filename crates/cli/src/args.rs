@@ -1,0 +1,317 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use pebblyn::prelude::*;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+pebblyn — Weighted Red-Blue Pebble Game toolkit
+
+USAGE:
+  pebblyn <COMMAND> [OPTIONS]
+
+COMMANDS:
+  schedule     generate and validate a schedule for a workload
+  min-memory   compute the minimum fast memory size (Definition 2.6)
+  sweep        print cost vs fast-memory-size series for a workload
+  synth        synthesize an SRAM macro for a capacity
+  trace        render a schedule's fast-memory occupancy over time
+  dot          print the workload CDAG in Graphviz DOT format
+
+WORKLOAD OPTIONS (schedule, min-memory, sweep, dot):
+  --workload dwt|mvm|conv|dwt2d
+                           (required)
+  --n <N>                  DWT/Conv inputs, or 2-D image side [default 256 / 16]
+  --d <D>                  DWT levels [default max for n]
+  --k <K>                  Conv filter taps [default 8]
+  --levels <L>             2-D DWT levels [default 2]
+  --m <M> --cols <N>       MVM rows/columns [default 96x120]
+  --weights equal|da       weight configuration [default equal]
+  --word <BITS>            word size in bits [default 16]
+  --scheduler opt|lbl|naive|tiling|stream|belady
+                           scheduler [default: per-workload]
+
+OTHER OPTIONS:
+  --budget <BITS|Nw>       fast memory budget, bits or words (e.g. 99w)
+  --points <K>             sweep points [default 20]
+  --bits <BITS>            synth capacity in bits
+  --emit                   print the full move sequence (schedule)
+  --optimize               run the peephole passes before reporting
+  --out <FILE>             write the schedule in the M1..M4 text format
+";
+
+/// Which workload graph to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// `DWT(n, d)`.
+    Dwt { n: usize, d: usize },
+    /// `MVM(m, n)`.
+    Mvm { m: usize, n: usize },
+    /// `Conv(n, k)`.
+    Conv { n: usize, k: usize },
+    /// Separable 2-D DWT over an `n × n` image.
+    Dwt2d { n: usize, levels: usize },
+}
+
+/// Which scheduler to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    Optimal,
+    LayerByLayer,
+    Naive,
+    Tiling,
+    Stream,
+    Belady,
+}
+
+/// A parsed command.
+#[derive(Debug, Clone)]
+pub enum Command {
+    Schedule {
+        workload: Workload,
+        scheme: WeightScheme,
+        scheduler: Scheduler,
+        budget: Weight,
+        emit: bool,
+        optimize: bool,
+        out: Option<String>,
+    },
+    MinMemory {
+        workload: Workload,
+        scheme: WeightScheme,
+        scheduler: Scheduler,
+    },
+    Sweep {
+        workload: Workload,
+        scheme: WeightScheme,
+        scheduler: Scheduler,
+        points: usize,
+    },
+    Synth {
+        bits: u64,
+        word: u64,
+    },
+    Dot {
+        workload: Workload,
+        scheme: WeightScheme,
+    },
+    Trace {
+        workload: Workload,
+        scheme: WeightScheme,
+        scheduler: Scheduler,
+        budget: Weight,
+    },
+}
+
+struct Opts<'a> {
+    argv: &'a [String],
+}
+
+impl<'a> Opts<'a> {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.argv
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.argv.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.argv.iter().any(|a| a == key)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("invalid {key}: {s}")),
+        }
+    }
+}
+
+/// Parse `argv` into a [`Command`].
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let cmd = argv.first().ok_or("missing command")?.as_str();
+    let opts = Opts { argv: &argv[1..] };
+
+    let word: u64 = opts.parse_num("--word", 16)?;
+    if word == 0 {
+        return Err("--word must be positive".into());
+    }
+    let scheme = match opts.get("--weights").unwrap_or("equal") {
+        "equal" => WeightScheme::Equal(word),
+        "da" | "double-accumulator" => WeightScheme::DoubleAccumulator(word),
+        other => return Err(format!("unknown --weights {other} (equal|da)")),
+    };
+
+    let workload = || -> Result<Workload, String> {
+        match opts.get("--workload").ok_or("missing --workload")? {
+            "dwt" => {
+                let n: usize = opts.parse_num("--n", 256)?;
+                let d = match opts.get("--d") {
+                    Some(s) => s.parse().map_err(|_| format!("invalid --d: {s}"))?,
+                    None => DwtGraph::max_level(n)
+                        .ok_or(format!("no admissible level for n = {n}"))?,
+                };
+                Ok(Workload::Dwt { n, d })
+            }
+            "mvm" => Ok(Workload::Mvm {
+                m: opts.parse_num("--m", 96)?,
+                n: opts.parse_num("--cols", 120)?,
+            }),
+            "conv" => Ok(Workload::Conv {
+                n: opts.parse_num("--n", 256)?,
+                k: opts.parse_num("--k", 8)?,
+            }),
+            "dwt2d" => Ok(Workload::Dwt2d {
+                n: opts.parse_num("--n", 16)?,
+                levels: opts.parse_num("--levels", 2)?,
+            }),
+            other => Err(format!("unknown --workload {other} (dwt|mvm|conv|dwt2d)")),
+        }
+    };
+
+    let scheduler = |w: &Workload| -> Result<Scheduler, String> {
+        let default = match w {
+            Workload::Dwt { .. } => "opt",
+            Workload::Mvm { .. } => "tiling",
+            Workload::Conv { .. } => "stream",
+            Workload::Dwt2d { .. } => "belady",
+        };
+        match opts.get("--scheduler").unwrap_or(default) {
+            "opt" | "optimal" => Ok(Scheduler::Optimal),
+            "lbl" | "layer-by-layer" => Ok(Scheduler::LayerByLayer),
+            "naive" => Ok(Scheduler::Naive),
+            "tiling" => Ok(Scheduler::Tiling),
+            "stream" => Ok(Scheduler::Stream),
+            "belady" => Ok(Scheduler::Belady),
+            other => Err(format!("unknown --scheduler {other}")),
+        }
+    };
+
+    let budget = || -> Result<Weight, String> {
+        let s = opts.get("--budget").ok_or("missing --budget")?;
+        if let Some(words) = s.strip_suffix('w') {
+            words
+                .parse::<Weight>()
+                .map(|w| w * word)
+                .map_err(|_| format!("invalid --budget: {s}"))
+        } else {
+            s.parse().map_err(|_| format!("invalid --budget: {s}"))
+        }
+    };
+
+    match cmd {
+        "schedule" => {
+            let w = workload()?;
+            Ok(Command::Schedule {
+                workload: w,
+                scheme,
+                scheduler: scheduler(&w)?,
+                budget: budget()?,
+                emit: opts.flag("--emit"),
+                optimize: opts.flag("--optimize"),
+                out: opts.get("--out").map(String::from),
+            })
+        }
+        "min-memory" => {
+            let w = workload()?;
+            Ok(Command::MinMemory {
+                workload: w,
+                scheme,
+                scheduler: scheduler(&w)?,
+            })
+        }
+        "sweep" => {
+            let w = workload()?;
+            Ok(Command::Sweep {
+                workload: w,
+                scheme,
+                scheduler: scheduler(&w)?,
+                points: opts.parse_num("--points", 20)?,
+            })
+        }
+        "synth" => Ok(Command::Synth {
+            bits: opts
+                .get("--bits")
+                .ok_or("missing --bits")?
+                .parse()
+                .map_err(|_| "invalid --bits".to_string())?,
+            word,
+        }),
+        "dot" => Ok(Command::Dot {
+            workload: workload()?,
+            scheme,
+        }),
+        "trace" => {
+            let w = workload()?;
+            Ok(Command::Trace {
+                workload: w,
+                scheme,
+                scheduler: scheduler(&w)?,
+                budget: budget()?,
+            })
+        }
+        "-h" | "--help" | "help" => Err("help requested".into()),
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_schedule_with_word_budget() {
+        let c = parse(&argv(
+            "schedule --workload dwt --n 256 --d 8 --weights equal --budget 10w",
+        ))
+        .unwrap();
+        match c {
+            Command::Schedule {
+                workload: Workload::Dwt { n: 256, d: 8 },
+                budget: 160,
+                scheduler: Scheduler::Optimal,
+                emit: false,
+                optimize: false,
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_d_is_max_level() {
+        let c = parse(&argv("dot --workload dwt --n 96")).unwrap();
+        match c {
+            Command::Dot {
+                workload: Workload::Dwt { n: 96, d: 5 },
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mvm_defaults() {
+        let c = parse(&argv("min-memory --workload mvm --weights da")).unwrap();
+        match c {
+            Command::MinMemory {
+                workload: Workload::Mvm { m: 96, n: 120 },
+                scheduler: Scheduler::Tiling,
+                scheme: WeightScheme::DoubleAccumulator(16),
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_bits() {
+        assert!(parse(&argv("schedule --workload dwt --budget nope")).is_err());
+        assert!(parse(&argv("schedule --workload fft --budget 10w")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+}

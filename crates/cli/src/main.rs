@@ -1,0 +1,29 @@
+//! `pebblyn` — command-line driver for the WRBPG toolkit.
+//!
+//! ```text
+//! pebblyn schedule  --workload dwt --n 256 --d 8 --weights equal --budget 10w
+//! pebblyn min-memory --workload mvm --m 96 --cols 120 --weights da
+//! pebblyn sweep     --workload dwt --n 256 --d 8 --points 20
+//! pebblyn synth     --bits 2048
+//! pebblyn dot       --workload dwt --n 8 --d 3
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => {
+            if let Err(e) = commands::run(cmd) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end CLI tests driving the real binary.
+
+use std::process::Command;
+
+fn pebblyn(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pebblyn"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn schedule_dwt_reports_table1_row() {
+    let (ok, stdout, _) = pebblyn(&[
+        "schedule", "--workload", "dwt", "--n", "256", "--d", "8", "--budget", "10w",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("cost:        8192 bits (lower bound 8192)"));
+    assert!(stdout.contains("peak red:    160 bits"));
+}
+
+#[test]
+fn schedule_conv_stream() {
+    let (ok, stdout, _) = pebblyn(&[
+        "schedule", "--workload", "conv", "--n", "64", "--k", "8", "--budget", "12w",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("sliding-window streaming"));
+    assert!(stdout.contains("lower bound"));
+}
+
+#[test]
+fn min_memory_matches_paper() {
+    let (ok, stdout, _) = pebblyn(&["min-memory", "--workload", "mvm", "--weights", "da"]);
+    assert!(ok);
+    assert!(stdout.contains("126 words"), "{stdout}");
+    assert!(stdout.contains("2048 bits"));
+}
+
+#[test]
+fn sweep_emits_csv() {
+    let (ok, stdout, _) = pebblyn(&[
+        "sweep", "--workload", "dwt", "--n", "16", "--d", "4", "--points", "5",
+    ]);
+    assert!(ok);
+    assert!(stdout.starts_with("budget_bits,cost_bits"));
+    assert_eq!(stdout.lines().count(), 6);
+}
+
+#[test]
+fn schedule_out_round_trips() {
+    let dir = std::env::temp_dir().join(format!("pebblyn-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sched.txt");
+    let (ok, _, _) = pebblyn(&[
+        "schedule", "--workload", "dwt", "--n", "8", "--d", "3", "--budget", "200",
+        "--out", path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let parsed = pebblyn::core::io::from_text(&text).unwrap();
+    assert!(parsed.len() > 10);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn optimize_flag_runs_peephole() {
+    let (ok, stdout, _) = pebblyn(&[
+        "schedule", "--workload", "dwt", "--n", "8", "--d", "3", "--budget", "200",
+        "--optimize",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("peephole:"));
+}
+
+#[test]
+fn dot_output_is_graphviz() {
+    let (ok, stdout, _) = pebblyn(&["dot", "--workload", "conv", "--n", "6", "--k", "3"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("->"));
+}
+
+#[test]
+fn infeasible_budget_is_a_clean_error() {
+    let (ok, _, stderr) = pebblyn(&[
+        "schedule", "--workload", "dwt", "--n", "8", "--d", "3", "--budget", "1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("minimum feasible"));
+}
+
+#[test]
+fn unknown_args_show_usage() {
+    let (ok, _, stderr) = pebblyn(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn trace_renders_sparkline() {
+    let (ok, stdout, _) = pebblyn(&[
+        "trace", "--workload", "dwt", "--n", "16", "--d", "4", "--budget", "7w",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("peak 96 bits"));
+    assert!(stdout.contains('█'));
+}
+
+#[test]
+fn dwt2d_belady_schedules() {
+    let (ok, stdout, _) = pebblyn(&[
+        "schedule", "--workload", "dwt2d", "--n", "8", "--levels", "2", "--budget", "50w",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Belady-eviction greedy"));
+    assert!(stdout.contains("lower bound"));
+}
+
+#[test]
+fn synth_prints_macro() {
+    let (ok, stdout, _) = pebblyn(&["synth", "--bits", "256"]);
+    assert!(ok);
+    assert!(stdout.contains("area:"));
+    assert!(stdout.contains("leakage:"));
+}

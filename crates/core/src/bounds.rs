@@ -1,0 +1,84 @@
+//! Model-level bounds: schedule existence (Prop. 2.3) and the algorithmic
+//! lower bound (Prop. 2.4).
+
+use crate::graph::{Cdag, Weight};
+
+/// The algorithmic lower bound of Proposition 2.4:
+///
+/// `Σ_{v ∈ A(G)} w_v + Σ_{v ∈ Z(G)} w_v ≤ Cost(S_G)` for every valid
+/// schedule — every input must be loaded at least once and every output
+/// stored at least once.
+pub fn algorithmic_lower_bound(graph: &Cdag) -> Weight {
+    graph
+        .nodes()
+        .filter(|&v| graph.is_source(v) || graph.is_sink(v))
+        .map(|v| graph.weight(v))
+        .sum()
+}
+
+/// The smallest budget for which *any* valid WRBPG schedule exists
+/// (Proposition 2.3): `max_{v ∉ A(G)} ( w_v + Σ_{p ∈ H(v)} w_p )`.
+///
+/// Computing a node requires the node and all its parents to be
+/// simultaneously red, so this is both necessary and (with eager spilling)
+/// sufficient.
+pub fn min_feasible_budget(graph: &Cdag) -> Weight {
+    graph
+        .nodes()
+        .filter(|&v| !graph.is_source(v))
+        .map(|v| graph.weight(v) + graph.preds(v).iter().map(|&p| graph.weight(p)).sum::<Weight>())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Schedule existence (Proposition 2.3): a valid schedule exists for budget
+/// `b` iff `w_v + Σ_{p ∈ H(v)} w_p ≤ b` for all non-source nodes `v`.
+pub fn schedule_exists(graph: &Cdag, budget: Weight) -> bool {
+    budget >= min_feasible_budget(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CdagBuilder;
+
+    /// A two-level chain: x(16) -> m(32) -> y(16)
+    fn chain() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let x = b.node(16, "x");
+        let m = b.node(32, "m");
+        let y = b.node(16, "y");
+        b.edge(x, m);
+        b.edge(m, y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lower_bound_sums_sources_and_sinks() {
+        let g = chain();
+        // sources: x(16); sinks: y(16); interior m excluded.
+        assert_eq!(algorithmic_lower_bound(&g), 32);
+    }
+
+    #[test]
+    fn min_feasible_is_max_parent_closure() {
+        let g = chain();
+        // m needs 16+32 = 48; y needs 32+16 = 48.
+        assert_eq!(min_feasible_budget(&g), 48);
+        assert!(schedule_exists(&g, 48));
+        assert!(!schedule_exists(&g, 47));
+    }
+
+    #[test]
+    fn wide_join_dominates() {
+        let mut b = CdagBuilder::new();
+        let inputs: Vec<_> = (0..4).map(|i| b.node(16, format!("x{i}"))).collect();
+        let s = b.node(32, "sum");
+        for &x in &inputs {
+            b.edge(x, s);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(min_feasible_budget(&g), 4 * 16 + 32);
+        assert_eq!(algorithmic_lower_bound(&g), 4 * 16 + 32);
+    }
+}

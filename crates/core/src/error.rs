@@ -1,0 +1,154 @@
+//! Error types for graph construction and schedule validation.
+
+use crate::graph::{NodeId, Weight};
+use crate::moves::Move;
+use std::fmt;
+
+/// Errors raised when building a [`crate::Cdag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// A node has weight zero (weights must be strictly positive).
+    ZeroWeight(NodeId),
+    /// An edge references a node out of range, or is a self-loop.
+    BadEdge(NodeId, NodeId),
+    /// The same directed edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The edge set contains a directed cycle.
+    Cycle,
+    /// A node is isolated, making it both a source and a sink, which the
+    /// model forbids (`A(G) ∩ Z(G) = ∅`).
+    SourceIsSink(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::ZeroWeight(v) => write!(f, "node {v} has zero weight"),
+            GraphError::BadEdge(a, b) => write!(f, "invalid edge {a} -> {b}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::SourceIsSink(v) => {
+                write!(f, "node {v} is isolated (both source and sink)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Errors raised when replaying a schedule against the game rules
+/// (see [`crate::validate::validate_schedule`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidityError {
+    /// M1 applied to a node without a blue pebble.
+    LoadWithoutBlue {
+        /// Index of the offending move in the schedule.
+        step: usize,
+        /// The offending move.
+        mv: Move,
+    },
+    /// M2 applied to a node without a red pebble.
+    StoreWithoutRed {
+        /// Index of the offending move in the schedule.
+        step: usize,
+        /// The offending move.
+        mv: Move,
+    },
+    /// M3 applied to a source node (inputs are never computed).
+    ComputeSource {
+        /// Index of the offending move in the schedule.
+        step: usize,
+        /// The offending move.
+        mv: Move,
+    },
+    /// M3 applied while some predecessor lacks a red pebble.
+    ComputeWithoutOperands {
+        /// Index of the offending move in the schedule.
+        step: usize,
+        /// The offending move.
+        mv: Move,
+        /// The predecessor that is missing a red pebble.
+        missing: NodeId,
+    },
+    /// M4 applied to a node without a red pebble.
+    DeleteWithoutRed {
+        /// Index of the offending move in the schedule.
+        step: usize,
+        /// The offending move.
+        mv: Move,
+    },
+    /// The weighted red-pebble constraint `Σ w_v ≤ B` was violated.
+    BudgetExceeded {
+        /// Index of the offending move in the schedule.
+        step: usize,
+        /// The offending move.
+        mv: Move,
+        /// Total red weight after the move.
+        used: Weight,
+        /// The budget `B`.
+        budget: Weight,
+    },
+    /// The schedule finished but some sink lacks a blue pebble.
+    StoppingConditionUnmet {
+        /// A sink node without a blue pebble at the end of the schedule.
+        sink: NodeId,
+    },
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidityError::LoadWithoutBlue { step, mv } => {
+                write!(f, "step {step}: {mv} requires a blue pebble")
+            }
+            ValidityError::StoreWithoutRed { step, mv } => {
+                write!(f, "step {step}: {mv} requires a red pebble")
+            }
+            ValidityError::ComputeSource { step, mv } => {
+                write!(f, "step {step}: {mv} targets a source node")
+            }
+            ValidityError::ComputeWithoutOperands { step, mv, missing } => {
+                write!(f, "step {step}: {mv} but predecessor {missing} is not red")
+            }
+            ValidityError::DeleteWithoutRed { step, mv } => {
+                write!(f, "step {step}: {mv} requires a red pebble")
+            }
+            ValidityError::BudgetExceeded {
+                step,
+                mv,
+                used,
+                budget,
+            } => write!(
+                f,
+                "step {step}: {mv} exceeds weighted budget ({used} > {budget})"
+            ),
+            ValidityError::StoppingConditionUnmet { sink } => {
+                write!(f, "sink {sink} has no blue pebble at end of schedule")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ValidityError::BudgetExceeded {
+            step: 3,
+            mv: Move::Load(NodeId(1)),
+            used: 48,
+            budget: 32,
+        };
+        let s = e.to_string();
+        assert!(s.contains("step 3"));
+        assert!(s.contains("48 > 32"));
+        assert!(GraphError::Cycle.to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Text serialization for schedules.
+//!
+//! Schedules are the artifact a designer ships to a memory controller or a
+//! code generator, so they need a stable interchange format.  The format is
+//! one move per line, `<MOVE> <node-index>`, with `#` comments and blank
+//! lines ignored:
+//!
+//! ```text
+//! # DWT(4,1) under 64 bits
+//! M1 0
+//! M1 1
+//! M3 4
+//! M2 4
+//! M4 4
+//! ```
+
+use crate::graph::NodeId;
+use crate::moves::Move;
+use crate::schedule::Schedule;
+use std::fmt;
+
+/// Parse errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Render a schedule in the line format (with no comments).
+pub fn to_text(schedule: &Schedule) -> String {
+    let mut s = String::with_capacity(schedule.len() * 8);
+    for mv in schedule.iter() {
+        s.push_str(mv.paper_name());
+        s.push(' ');
+        s.push_str(&mv.node().0.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse the line format back into a schedule.
+pub fn from_text(text: &str) -> Result<Schedule, ParseError> {
+    let mut moves = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split_whitespace();
+        let op = parts.next().expect("non-empty line has a token");
+        let node = parts
+            .next()
+            .ok_or_else(|| ParseError {
+                line,
+                message: format!("missing node index after {op}"),
+            })?
+            .parse::<u32>()
+            .map_err(|e| ParseError {
+                line,
+                message: format!("invalid node index: {e}"),
+            })?;
+        if parts.next().is_some() {
+            return Err(ParseError {
+                line,
+                message: "trailing tokens".into(),
+            });
+        }
+        let v = NodeId(node);
+        let mv = match op {
+            "M1" => Move::Load(v),
+            "M2" => Move::Store(v),
+            "M3" => Move::Compute(v),
+            "M4" => Move::Delete(v),
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unknown move {other} (expected M1..M4)"),
+                })
+            }
+        };
+        moves.push(mv);
+    }
+    Ok(Schedule::from_moves(moves))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(1)),
+            Move::Compute(NodeId(2)),
+            Move::Store(NodeId(2)),
+            Move::Delete(NodeId(0)),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        let text = to_text(&s);
+        assert_eq!(from_text(&text).unwrap(), s);
+        assert_eq!(text.lines().count(), s.len());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\nM1 0  # inline\n  M3 2\n";
+        let s = from_text(text).unwrap();
+        assert_eq!(
+            s.moves(),
+            &[Move::Load(NodeId(0)), Move::Compute(NodeId(2))]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(from_text("M1 0\nM9 1").unwrap_err().line, 2);
+        assert_eq!(from_text("M1").unwrap_err().line, 1);
+        assert_eq!(from_text("M1 x").unwrap_err().line, 1);
+        assert_eq!(from_text("M1 0 extra").unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_schedule() {
+        assert!(from_text("").unwrap().is_empty());
+        assert!(from_text("# only comments\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Node labels and pebble-state snapshots.
+
+use crate::graph::{Cdag, NodeId, Weight};
+use crate::moves::Move;
+use std::fmt;
+
+/// The label `λ_v` of a node in a snapshot: which pebbles it carries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Label {
+    /// No pebble.
+    #[default]
+    None,
+    /// Red pebble only (resident in fast memory).
+    Red,
+    /// Blue pebble only (resident in slow memory).
+    Blue,
+    /// Both pebbles.
+    Both,
+}
+
+impl Label {
+    /// `true` if the node carries a red pebble (`Red` or `Both`).
+    #[inline]
+    pub fn has_red(self) -> bool {
+        matches!(self, Label::Red | Label::Both)
+    }
+
+    /// `true` if the node carries a blue pebble (`Blue` or `Both`).
+    #[inline]
+    pub fn has_blue(self) -> bool {
+        matches!(self, Label::Blue | Label::Both)
+    }
+
+    /// Add a red pebble.
+    #[inline]
+    pub fn with_red(self) -> Label {
+        match self {
+            Label::None | Label::Red => Label::Red,
+            Label::Blue | Label::Both => Label::Both,
+        }
+    }
+
+    /// Add a blue pebble.
+    #[inline]
+    pub fn with_blue(self) -> Label {
+        match self {
+            Label::None | Label::Blue => Label::Blue,
+            Label::Red | Label::Both => Label::Both,
+        }
+    }
+
+    /// Remove the red pebble (blue, if present, remains).
+    #[inline]
+    pub fn without_red(self) -> Label {
+        match self {
+            Label::None | Label::Red => Label::None,
+            Label::Blue | Label::Both => Label::Blue,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Label::None => "none",
+            Label::Red => "red",
+            Label::Blue => "blue",
+            Label::Both => "both",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A full game snapshot: one [`Label`] per node plus the cached total weight
+/// of red pebbles.
+///
+/// `PebbleState::initial` encodes the starting condition `C_0` (all sources
+/// blue, everything else unpebbled).  [`PebbleState::apply`] performs a move
+/// *without* checking the game rules — rule checking lives in
+/// [`crate::validate`]; this type is the shared mechanics.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PebbleState {
+    labels: Vec<Label>,
+    red_weight: Weight,
+}
+
+impl PebbleState {
+    /// The starting condition `C_0`: every source node carries a blue pebble.
+    pub fn initial(graph: &Cdag) -> Self {
+        let labels = graph
+            .nodes()
+            .map(|v| {
+                if graph.is_source(v) {
+                    Label::Blue
+                } else {
+                    Label::None
+                }
+            })
+            .collect();
+        PebbleState {
+            labels,
+            red_weight: 0,
+        }
+    }
+
+    /// The label of node `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v.index()]
+    }
+
+    /// All labels, indexed by node.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Total weight of red pebbles, i.e. `Σ_{v ∈ R(C)} w_v`.
+    #[inline]
+    pub fn red_weight(&self) -> Weight {
+        self.red_weight
+    }
+
+    /// Nodes currently carrying a red pebble (`R(C)`).
+    pub fn red_nodes(&self) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.has_red())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Nodes currently carrying a blue pebble (`B(C)`).
+    pub fn blue_nodes(&self) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.has_blue())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Apply a move's label transition, updating the cached red weight.
+    ///
+    /// Does **not** check the game rules; see [`crate::validate`].
+    pub fn apply(&mut self, graph: &Cdag, mv: Move) {
+        let v = mv.node();
+        let old = self.labels[v.index()];
+        let new = match mv {
+            Move::Load(_) | Move::Compute(_) => old.with_red(),
+            Move::Store(_) => old.with_blue(),
+            Move::Delete(_) => old.without_red(),
+        };
+        if new.has_red() && !old.has_red() {
+            self.red_weight += graph.weight(v);
+        } else if !new.has_red() && old.has_red() {
+            self.red_weight -= graph.weight(v);
+        }
+        self.labels[v.index()] = new;
+    }
+
+    /// `true` when the stopping condition holds: every sink has a blue pebble.
+    pub fn stopping_condition(&self, graph: &Cdag) -> bool {
+        graph
+            .nodes()
+            .filter(|&v| graph.is_sink(v))
+            .all(|v| self.label(v).has_blue())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CdagBuilder;
+
+    fn pair() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let x = b.node(16, "x");
+        let y = b.node(32, "y");
+        b.edge(x, y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn label_transitions_follow_figure_1() {
+        // Figure 1 of the paper: transitions between none/red/blue/both.
+        assert_eq!(Label::None.with_red(), Label::Red); // (M3 on none)
+        assert_eq!(Label::Blue.with_red(), Label::Both); // (M1)
+        assert_eq!(Label::Red.with_blue(), Label::Both); // (M2)
+        assert_eq!(Label::Both.without_red(), Label::Blue); // (M4)
+        assert_eq!(Label::Red.without_red(), Label::None); // (M4)
+        assert!(Label::Both.has_red() && Label::Both.has_blue());
+        assert!(!Label::None.has_red() && !Label::None.has_blue());
+    }
+
+    #[test]
+    fn initial_state_blues_sources_only() {
+        let g = pair();
+        let s = PebbleState::initial(&g);
+        assert_eq!(s.label(NodeId(0)), Label::Blue);
+        assert_eq!(s.label(NodeId(1)), Label::None);
+        assert_eq!(s.red_weight(), 0);
+        assert!(!s.stopping_condition(&g));
+    }
+
+    #[test]
+    fn apply_tracks_red_weight() {
+        let g = pair();
+        let mut s = PebbleState::initial(&g);
+        s.apply(&g, Move::Load(NodeId(0)));
+        assert_eq!(s.red_weight(), 16);
+        s.apply(&g, Move::Compute(NodeId(1)));
+        assert_eq!(s.red_weight(), 48);
+        s.apply(&g, Move::Store(NodeId(1)));
+        assert_eq!(s.red_weight(), 48); // store does not free fast memory
+        s.apply(&g, Move::Delete(NodeId(1)));
+        assert_eq!(s.red_weight(), 16);
+        assert!(s.stopping_condition(&g));
+        assert_eq!(s.red_nodes(), vec![NodeId(0)]);
+        assert_eq!(s.blue_nodes(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn double_load_does_not_double_count() {
+        let g = pair();
+        let mut s = PebbleState::initial(&g);
+        s.apply(&g, Move::Load(NodeId(0)));
+        s.apply(&g, Move::Load(NodeId(0)));
+        assert_eq!(s.red_weight(), 16);
+    }
+}

@@ -1,0 +1,62 @@
+//! # pebblyn-core — the Weighted Red-Blue Pebble Game (WRBPG)
+//!
+//! This crate implements the model of *Dataflow-Specific Algorithms for
+//! Resource-Constrained Scheduling and Memory Design* (SPAA 2025), §2.
+//!
+//! The WRBPG is played on a node-weighted computational DAG (CDAG)
+//! `G = (V, E, w, B)`.  A **red** pebble on a node means its value is resident
+//! in bounded fast memory; a **blue** pebble means it is resident in unbounded
+//! slow memory.  The four moves are
+//!
+//! * [`Move::Load`] (*M1*) — copy to fast memory: add a red pebble to a node
+//!   that holds a blue pebble,
+//! * [`Move::Store`] (*M2*) — copy to slow memory: add a blue pebble to a node
+//!   that holds a red pebble,
+//! * [`Move::Compute`] (*M3*) — perform an operation: if every predecessor of
+//!   a non-source node holds a red pebble, add a red pebble to the node,
+//! * [`Move::Delete`] (*M4*) — delete a red pebble (blue pebbles are never
+//!   deleted).
+//!
+//! Unlike the classic game, red pebbles are constrained by **total weight**:
+//! at every point of a schedule, `Σ_{v red} w_v ≤ B` (Definition 2.1).  The
+//! cost of a schedule is the weighted sum of all M1/M2 moves (Definition 2.2)
+//! — exactly the number of bits moved between the two memories when `w_v` is
+//! the size of node `v`'s result.
+//!
+//! The crate provides:
+//!
+//! * [`Cdag`] / [`CdagBuilder`] — the weighted graph representation,
+//! * [`Move`], [`Schedule`] — schedules as first-class values,
+//! * [`validate`] — an independent replayer that checks every game rule and
+//!   the weighted budget at every step, and reports exact statistics,
+//! * [`bounds`] — the algorithmic lower bound (Prop. 2.4), the schedule
+//!   existence criterion (Prop. 2.3) and the minimum feasible budget.
+//!
+//! Weights are represented as `u64` *bit counts*.  The paper permits positive
+//! reals of polynomial precision; every experiment in the paper uses integral
+//! word sizes (16-bit inputs, 32-bit accumulators), and integral weights keep
+//! dynamic-programming memo keys exact and the budget lattice finite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod label;
+pub mod moves;
+pub mod schedule;
+pub mod trace;
+pub mod transform;
+pub mod validate;
+
+pub use bounds::{algorithmic_lower_bound, min_feasible_budget, schedule_exists};
+pub use error::{GraphError, ValidityError};
+pub use graph::{Cdag, CdagBuilder, NodeId, Weight};
+pub use label::{Label, PebbleState};
+pub use moves::Move;
+pub use schedule::Schedule;
+pub use trace::{occupancy_trace, render_sparkline, summarize, OccupancySummary};
+pub use transform::{peephole, PeepholeStats};
+pub use validate::{validate_schedule, ScheduleStats};

@@ -1,0 +1,84 @@
+//! The four moves of the (weighted) red-blue pebble game.
+
+use crate::graph::NodeId;
+use std::fmt;
+
+/// A single move of the game, applied to one node.
+///
+/// The paper names these *M1–M4*; this crate uses descriptive names:
+///
+/// | Paper | Variant | Meaning |
+/// |-------|---------|---------|
+/// | M1 | [`Move::Load`]    | copy to fast memory (blue → add red) |
+/// | M2 | [`Move::Store`]   | copy to slow memory (red → add blue) |
+/// | M3 | [`Move::Compute`] | perform the node's operation (preds red → add red) |
+/// | M4 | [`Move::Delete`]  | delete a red pebble |
+///
+/// Only `Load` and `Store` carry weighted cost (Definition 2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// *M1* — copy the node's value from slow to fast memory.
+    Load(NodeId),
+    /// *M2* — copy the node's value from fast to slow memory.
+    Store(NodeId),
+    /// *M3* — compute the node into fast memory.
+    Compute(NodeId),
+    /// *M4* — evict the node's value from fast memory.
+    Delete(NodeId),
+}
+
+impl Move {
+    /// The node this move targets.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        match self {
+            Move::Load(v) | Move::Store(v) | Move::Compute(v) | Move::Delete(v) => v,
+        }
+    }
+
+    /// `true` for the two moves that transfer data (M1/M2) and therefore
+    /// contribute weighted cost.
+    #[inline]
+    pub fn is_io(self) -> bool {
+        matches!(self, Move::Load(_) | Move::Store(_))
+    }
+
+    /// The paper's name for the move ("M1".."M4").
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Move::Load(_) => "M1",
+            Move::Store(_) => "M2",
+            Move::Compute(_) => "M3",
+            Move::Delete(_) => "M4",
+        }
+    }
+}
+
+impl fmt::Debug for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.paper_name(), self.node())
+    }
+}
+
+impl fmt::Display for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = NodeId(7);
+        assert_eq!(Move::Load(v).node(), v);
+        assert!(Move::Load(v).is_io());
+        assert!(Move::Store(v).is_io());
+        assert!(!Move::Compute(v).is_io());
+        assert!(!Move::Delete(v).is_io());
+        assert_eq!(Move::Compute(v).paper_name(), "M3");
+        assert_eq!(format!("{}", Move::Delete(v)), "M4(n7)");
+    }
+}

@@ -1,0 +1,222 @@
+//! Schedules: sequences of game moves, with weighted cost accounting.
+
+use crate::graph::{Cdag, Weight};
+use crate::moves::Move;
+use std::fmt;
+
+/// A WRBPG schedule `S_G = (σ_1, …, σ_t)`.
+///
+/// A `Schedule` is just an ordered list of [`Move`]s; whether it is *valid*
+/// for a given graph and budget is decided by
+/// [`crate::validate::validate_schedule`].  Costs computed here follow
+/// Definition 2.2: the weighted sum of all M1 (input) and M2 (output) moves.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    moves: Vec<Move>,
+}
+
+impl Schedule {
+    /// The empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a schedule from a move list.
+    pub fn from_moves(moves: Vec<Move>) -> Self {
+        Schedule { moves }
+    }
+
+    /// The underlying move sequence.
+    #[inline]
+    pub fn moves(&self) -> &[Move] {
+        &self.moves
+    }
+
+    /// Number of moves.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// `true` when the schedule contains no moves.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Append one move.
+    #[inline]
+    pub fn push(&mut self, mv: Move) {
+        self.moves.push(mv);
+    }
+
+    /// Append all moves of `other` (schedule concatenation, written `++` in
+    /// the paper's Algorithm 1).
+    pub fn extend(&mut self, other: &Schedule) {
+        self.moves.extend_from_slice(&other.moves);
+    }
+
+    /// Iterate over the moves.
+    pub fn iter(&self) -> impl Iterator<Item = Move> + '_ {
+        self.moves.iter().copied()
+    }
+
+    /// Weighted schedule cost (Definition 2.2):
+    /// `Σ_{M1(v)} w_v + Σ_{M2(v)} w_v`.
+    pub fn cost(&self, graph: &Cdag) -> Weight {
+        self.moves
+            .iter()
+            .filter(|m| m.is_io())
+            .map(|m| graph.weight(m.node()))
+            .sum()
+    }
+
+    /// Weighted input cost: `Σ_{M1(v) ∈ I} w_v`.
+    pub fn input_cost(&self, graph: &Cdag) -> Weight {
+        self.moves
+            .iter()
+            .filter(|m| matches!(m, Move::Load(_)))
+            .map(|m| graph.weight(m.node()))
+            .sum()
+    }
+
+    /// Weighted output cost: `Σ_{M2(v) ∈ O} w_v`.
+    pub fn output_cost(&self, graph: &Cdag) -> Weight {
+        self.moves
+            .iter()
+            .filter(|m| matches!(m, Move::Store(_)))
+            .map(|m| graph.weight(m.node()))
+            .sum()
+    }
+
+    /// Asymmetric I/O cost: `load_scale·Σ w(M1) + store_scale·Σ w(M2)`.
+    ///
+    /// With `(1, 1)` this is [`Schedule::cost`]; other scales model
+    /// asymmetric transfer energy (e.g. non-volatile memory writes costing
+    /// an order of magnitude more than reads).
+    pub fn scaled_io_cost(&self, graph: &Cdag, load_scale: Weight, store_scale: Weight) -> Weight {
+        load_scale * self.input_cost(graph) + store_scale * self.output_cost(graph)
+    }
+
+    /// Rewrite every move's target node — e.g. to relocate a schedule into
+    /// a disjoint-union graph (`map_nodes(|v| NodeId(v.0 + offset))`).
+    pub fn map_nodes(&self, f: impl Fn(crate::graph::NodeId) -> crate::graph::NodeId) -> Schedule {
+        self.moves
+            .iter()
+            .map(|mv| match *mv {
+                Move::Load(v) => Move::Load(f(v)),
+                Move::Store(v) => Move::Store(f(v)),
+                Move::Compute(v) => Move::Compute(f(v)),
+                Move::Delete(v) => Move::Delete(f(v)),
+            })
+            .collect()
+    }
+
+    /// Count of moves of each kind `(M1, M2, M3, M4)`.
+    pub fn move_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for m in &self.moves {
+            match m {
+                Move::Load(_) => c.0 += 1,
+                Move::Store(_) => c.1 += 1,
+                Move::Compute(_) => c.2 += 1,
+                Move::Delete(_) => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+impl fmt::Debug for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (m1, m2, m3, m4) = self.move_counts();
+        write!(
+            f,
+            "Schedule({} moves: {m1} loads, {m2} stores, {m3} computes, {m4} deletes)",
+            self.len()
+        )
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, m) in self.moves.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Move> for Schedule {
+    fn from_iter<T: IntoIterator<Item = Move>>(iter: T) -> Self {
+        Schedule {
+            moves: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Move> for Schedule {
+    fn extend<T: IntoIterator<Item = Move>>(&mut self, iter: T) {
+        self.moves.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CdagBuilder, NodeId};
+
+    fn pair() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let x = b.node(16, "x");
+        let y = b.node(32, "y");
+        b.edge(x, y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cost_counts_only_io_moves() {
+        let g = pair();
+        let s = Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Compute(NodeId(1)),
+            Move::Store(NodeId(1)),
+            Move::Delete(NodeId(0)),
+            Move::Delete(NodeId(1)),
+        ]);
+        assert_eq!(s.cost(&g), 16 + 32);
+        assert_eq!(s.input_cost(&g), 16);
+        assert_eq!(s.output_cost(&g), 32);
+        assert_eq!(s.move_counts(), (1, 1, 1, 2));
+    }
+
+    #[test]
+    fn repeated_io_is_charged_each_time() {
+        let g = pair();
+        let s = Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Delete(NodeId(0)),
+            Move::Load(NodeId(0)),
+        ]);
+        assert_eq!(s.cost(&g), 32);
+    }
+
+    #[test]
+    fn concat_matches_paper_plus_plus() {
+        let g = pair();
+        let mut a = Schedule::from_moves(vec![Move::Load(NodeId(0))]);
+        let b = Schedule::from_moves(vec![Move::Compute(NodeId(1)), Move::Store(NodeId(1))]);
+        a.extend(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.cost(&g), 48);
+    }
+
+    #[test]
+    fn display_formats_moves() {
+        let s = Schedule::from_moves(vec![Move::Load(NodeId(0)), Move::Store(NodeId(1))]);
+        assert_eq!(s.to_string(), "M1(n0), M2(n1)");
+    }
+}

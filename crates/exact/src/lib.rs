@@ -1,0 +1,445 @@
+//! # pebblyn-exact — exhaustive optimal WRBPG solver
+//!
+//! Computing optimal red-blue pebbling schedules for arbitrary CDAGs is
+//! PSPACE-complete, but for *small* graphs the full game-state space fits in
+//! memory.  This crate runs uniform-cost search (Dijkstra) over complete
+//! game snapshots, yielding the provably minimum weighted schedule cost — and
+//! on request the schedule itself.
+//!
+//! Its purpose in this workspace is **certification**: property tests assert
+//! that the dataflow-specific dynamic programs of `pebblyn-schedulers`
+//! (Algorithm 1, Eq. 6, Eq. 8) match this solver exactly on every small
+//! instance, which is the strongest practical evidence that the DPs implement
+//! the paper's optimality lemmas correctly.
+//!
+//! States encode each node's label in 2 bits, packed into a `u128`, so graphs
+//! are limited to 64 nodes (far beyond what the search can exhaust anyway).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pebblyn_core::{Cdag, Label, Move, NodeId, Schedule, Weight};
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Error: the search exceeded its state budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchLimitExceeded {
+    /// The configured maximum number of expanded states.
+    pub max_states: usize,
+}
+
+impl std::fmt::Display for SearchLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exact search exceeded {} states", self.max_states)
+    }
+}
+
+impl std::error::Error for SearchLimitExceeded {}
+
+/// Packed game snapshot: 2 bits per node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct State(u128);
+
+const NONE: u128 = 0b00;
+const RED: u128 = 0b01;
+const BLUE: u128 = 0b10;
+const BOTH: u128 = 0b11;
+
+impl State {
+    fn label(self, v: usize) -> u128 {
+        (self.0 >> (2 * v)) & 0b11
+    }
+    fn with_label(self, v: usize, l: u128) -> State {
+        State((self.0 & !(0b11u128 << (2 * v))) | (l << (2 * v)))
+    }
+    fn has_red(self, v: usize) -> bool {
+        self.label(v) & RED != 0
+    }
+    fn has_blue(self, v: usize) -> bool {
+        self.label(v) & BLUE != 0
+    }
+}
+
+/// Exhaustive solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactSolver {
+    /// Maximum number of distinct states to settle before giving up.
+    pub max_states: usize,
+    /// Cost per bit of an M1 (load) move.
+    pub load_scale: Weight,
+    /// Cost per bit of an M2 (store) move.
+    pub store_scale: Weight,
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        ExactSolver {
+            max_states: 5_000_000,
+            load_scale: 1,
+            store_scale: 1,
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct QueueItem {
+    cost: Weight,
+    state: State,
+}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by cost.
+        other
+            .cost
+            .cmp(&self.cost)
+            .then_with(|| other.state.0.cmp(&self.state.0))
+    }
+}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl ExactSolver {
+    /// Create a solver with an explicit state cap.
+    pub fn with_max_states(max_states: usize) -> Self {
+        ExactSolver {
+            max_states,
+            ..Default::default()
+        }
+    }
+
+    /// Use asymmetric per-bit I/O costs (loads × `load`, stores × `store`).
+    pub fn with_io_scales(mut self, load: Weight, store: Weight) -> Self {
+        self.load_scale = load;
+        self.store_scale = store;
+        self
+    }
+
+    /// Minimum weighted schedule cost for `graph` under `budget`, or
+    /// `Ok(None)` when no valid schedule exists.
+    pub fn min_cost(
+        &self,
+        graph: &Cdag,
+        budget: Weight,
+    ) -> Result<Option<Weight>, SearchLimitExceeded> {
+        self.search(graph, budget, false)
+            .map(|r| r.map(|(c, _)| c))
+    }
+
+    /// A provably optimal schedule, or `Ok(None)` when no valid schedule
+    /// exists.
+    pub fn optimal_schedule(
+        &self,
+        graph: &Cdag,
+        budget: Weight,
+    ) -> Result<Option<(Weight, Schedule)>, SearchLimitExceeded> {
+        self.search(graph, budget, true).map(|r| {
+            r.map(|(c, s)| (c, s.expect("schedule reconstruction was requested")))
+        })
+    }
+
+    fn search(
+        &self,
+        graph: &Cdag,
+        budget: Weight,
+        reconstruct: bool,
+    ) -> Result<Option<(Weight, Option<Schedule>)>, SearchLimitExceeded> {
+        assert!(
+            graph.len() <= 64,
+            "exact solver supports at most 64 nodes (got {})",
+            graph.len()
+        );
+        let n = graph.len();
+        let sinks: Vec<usize> = graph.sinks().iter().map(|v| v.index()).collect();
+
+        let mut start = State(0);
+        for v in graph.sources() {
+            start = start.with_label(v.index(), BLUE);
+        }
+
+        // dist: settled/backing costs; parent: for reconstruction.
+        let mut dist: HashMap<State, Weight> = HashMap::new();
+        let mut parent: HashMap<State, (State, Move)> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(start, 0);
+        heap.push(QueueItem {
+            cost: 0,
+            state: start,
+        });
+        let mut expanded = 0usize;
+
+        while let Some(QueueItem { cost, state }) = heap.pop() {
+            if dist.get(&state).copied() != Some(cost) {
+                continue; // stale entry
+            }
+            if sinks.iter().all(|&s| state.has_blue(s)) {
+                let schedule = reconstruct.then(|| {
+                    let mut moves = Vec::new();
+                    let mut cur = state;
+                    while let Some(&(prev, mv)) = parent.get(&cur) {
+                        moves.push(mv);
+                        cur = prev;
+                    }
+                    moves.reverse();
+                    Schedule::from_moves(moves)
+                });
+                return Ok(Some((cost, schedule)));
+            }
+            expanded += 1;
+            if expanded > self.max_states {
+                return Err(SearchLimitExceeded {
+                    max_states: self.max_states,
+                });
+            }
+
+            let red_weight: Weight = (0..n)
+                .filter(|&v| state.has_red(v))
+                .map(|v| graph.weight(NodeId(v as u32)))
+                .sum();
+
+            let push = |next: State,
+                            extra: Weight,
+                            mv: Move,
+                            dist: &mut HashMap<State, Weight>,
+                            parent: &mut HashMap<State, (State, Move)>,
+                            heap: &mut BinaryHeap<QueueItem>| {
+                let nc = cost + extra;
+                match dist.entry(next) {
+                    Entry::Occupied(mut e) => {
+                        if nc < *e.get() {
+                            e.insert(nc);
+                            if reconstruct {
+                                parent.insert(next, (state, mv));
+                            }
+                            heap.push(QueueItem {
+                                cost: nc,
+                                state: next,
+                            });
+                        }
+                    }
+                    Entry::Vacant(e) => {
+                        e.insert(nc);
+                        if reconstruct {
+                            parent.insert(next, (state, mv));
+                        }
+                        heap.push(QueueItem {
+                            cost: nc,
+                            state: next,
+                        });
+                    }
+                }
+            };
+
+            for v in 0..n {
+                let id = NodeId(v as u32);
+                let w = graph.weight(id);
+                let l = state.label(v);
+
+                // M1: load — only useful when it changes the label.
+                if l == BLUE && red_weight + w <= budget {
+                    push(
+                        state.with_label(v, BOTH),
+                        self.load_scale * w,
+                        Move::Load(id),
+                        &mut dist,
+                        &mut parent,
+                        &mut heap,
+                    );
+                }
+                // M2: store — only useful when the node is red-only.
+                if l == RED {
+                    push(
+                        state.with_label(v, BOTH),
+                        self.store_scale * w,
+                        Move::Store(id),
+                        &mut dist,
+                        &mut parent,
+                        &mut heap,
+                    );
+                }
+                // M3: compute — non-source, all preds red, not already red.
+                if !state.has_red(v)
+                    && !graph.is_source(id)
+                    && graph.preds(id).iter().all(|p| state.has_red(p.index()))
+                    && red_weight + w <= budget
+                {
+                    push(
+                        state.with_label(v, l | RED),
+                        0,
+                        Move::Compute(id),
+                        &mut dist,
+                        &mut parent,
+                        &mut heap,
+                    );
+                }
+                // M4: delete.
+                if state.has_red(v) {
+                    push(
+                        state.with_label(v, l & !RED),
+                        0,
+                        Move::Delete(id),
+                        &mut dist,
+                        &mut parent,
+                        &mut heap,
+                    );
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Convenience wrapper: minimum cost with the default state cap.
+pub fn exact_min_cost(graph: &Cdag, budget: Weight) -> Option<Weight> {
+    ExactSolver::default()
+        .min_cost(graph, budget)
+        .expect("exact search exceeded state cap; use ExactSolver for control")
+}
+
+/// Convenience wrapper: an optimal schedule with the default state cap.
+pub fn exact_optimal_schedule(graph: &Cdag, budget: Weight) -> Option<(Weight, Schedule)> {
+    ExactSolver::default()
+        .optimal_schedule(graph, budget)
+        .expect("exact search exceeded state cap; use ExactSolver for control")
+}
+
+/// Decode a packed state label for debugging.
+#[allow(dead_code)]
+fn decode(l: u128) -> Label {
+    match l {
+        NONE => Label::None,
+        RED => Label::Red,
+        BLUE => Label::Blue,
+        BOTH => Label::Both,
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::{validate_schedule, CdagBuilder};
+
+    /// x, y -> s
+    fn add_graph() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let x = b.node(16, "x");
+        let y = b.node(16, "y");
+        let s = b.node(32, "s");
+        b.edge(x, s);
+        b.edge(y, s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_add_is_lower_bound_tight() {
+        let g = add_graph();
+        // Tight budget: exactly the parent closure.
+        let (cost, sched) = exact_optimal_schedule(&g, 64).unwrap();
+        assert_eq!(cost, 16 + 16 + 32);
+        let stats = validate_schedule(&g, 64, &sched).unwrap();
+        assert_eq!(stats.cost, cost);
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let g = add_graph();
+        assert_eq!(exact_min_cost(&g, 63), None);
+    }
+
+    #[test]
+    fn chain_cost_is_ends_only() {
+        // x -> a -> b : inputs loaded once, output stored once, interior free.
+        let mut bld = CdagBuilder::new();
+        let x = bld.node(16, "x");
+        let a = bld.node(16, "a");
+        let b2 = bld.node(16, "b");
+        bld.edge(x, a);
+        bld.edge(a, b2);
+        let g = bld.build().unwrap();
+        assert_eq!(exact_min_cost(&g, 32), Some(32));
+    }
+
+    #[test]
+    fn tight_budget_forces_spills() {
+        // Full binary tree with 4 leaves, uniform weight 1.
+        // With 3 red pebbles a binary tree of depth 2 pebbles with no spill:
+        // cost = 4 loads + 1 store = 5.
+        let mut b = CdagBuilder::new();
+        let l: Vec<_> = (0..4).map(|i| b.node(1, format!("l{i}"))).collect();
+        let i0 = b.node(1, "i0");
+        let i1 = b.node(1, "i1");
+        let r = b.node(1, "r");
+        b.edge(l[0], i0);
+        b.edge(l[1], i0);
+        b.edge(l[2], i1);
+        b.edge(l[3], i1);
+        b.edge(i0, r);
+        b.edge(i1, r);
+        let g = b.build().unwrap();
+        assert_eq!(exact_min_cost(&g, 4), Some(5));
+        // Budget 3 = minimum feasible: i0 must be spilled and reloaded.
+        assert_eq!(exact_min_cost(&g, 3), Some(7));
+        assert_eq!(exact_min_cost(&g, 2), None);
+    }
+
+    #[test]
+    fn reuse_is_found() {
+        // diamond: b feeds both c and d; optimal keeps b red.
+        let mut bld = CdagBuilder::new();
+        let a = bld.node(1, "a");
+        let b = bld.node(1, "b");
+        let c = bld.node(1, "c");
+        let d = bld.node(1, "d");
+        let e = bld.node(1, "e");
+        bld.edge(a, c);
+        bld.edge(b, c);
+        bld.edge(b, d);
+        bld.edge(c, e);
+        bld.edge(d, e);
+        let g = bld.build().unwrap();
+        // Budget 3: load a, b; compute c; delete a; compute d (b,c,d red
+        // exceeds 3? b,c red + d = 3 ok after deleting a); compute e needs
+        // c,d red + e = 3. Cost = 2 loads + 1 store = 3.
+        assert_eq!(exact_min_cost(&g, 3), Some(3));
+    }
+
+    #[test]
+    fn schedule_reconstruction_is_valid() {
+        let g = add_graph();
+        let (cost, sched) = exact_optimal_schedule(&g, 100).unwrap();
+        let stats = validate_schedule(&g, 100, &sched).unwrap();
+        assert_eq!(stats.cost, cost);
+    }
+
+    #[test]
+    fn state_cap_is_enforced() {
+        let g = add_graph();
+        let solver = ExactSolver::with_max_states(1);
+        assert!(solver.min_cost(&g, 64).is_err());
+    }
+
+    #[test]
+    fn weighted_asymmetry_changes_strategy() {
+        // Two children share a heavy parent: with a tight budget the solver
+        // must discover the cheaper spill order.
+        let mut bld = CdagBuilder::new();
+        let h = bld.node(10, "heavy");
+        let l = bld.node(1, "light");
+        let c1 = bld.node(1, "c1");
+        let c2 = bld.node(1, "c2");
+        bld.edge(h, c1);
+        bld.edge(l, c1);
+        bld.edge(h, c2);
+        bld.edge(c1, c2);
+        let g = bld.build().unwrap();
+        // Budget 12: h + l + c1 = 12 ok; then c2 needs h + c1 + c2 = 12 ok
+        // (delete l). Cost = 10 + 1 (loads) + 1 (store c2)... c1 is interior.
+        assert_eq!(exact_min_cost(&g, 12), Some(12));
+    }
+}

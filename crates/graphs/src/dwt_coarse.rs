@@ -1,0 +1,224 @@
+//! Coarse-grained DWT graphs — the operation-granularity axis the paper
+//! leaves open.
+//!
+//! §3.1.1 notes that "coarser or finer operation granularities are possible
+//! and functionally equivalent.  We opt for finer granularities given our
+//! extreme resource constraints."  This module builds the *coarse*
+//! alternative so the claim can be quantified: one **butterfly** node per
+//! (average, coefficient) pair, holding both results (twice the compute
+//! weight), plus one extraction sink per coefficient (the data that must
+//! reach slow memory) and one for the final average.
+//!
+//! Comparing the fine graph's optimal schedules against the coarse graph's
+//! (see the `granularity` ablation) shows why the paper chooses fine
+//! granularity: a butterfly pins `2·w` of fast memory even when only its
+//! average half is still needed, inflating the minimum memory.
+
+use crate::weights::WeightScheme;
+use crate::ParamError;
+use pebblyn_core::{Cdag, CdagBuilder, NodeId};
+
+/// A coarse-grained `DWT(n, d)` graph.
+#[derive(Debug, Clone)]
+pub struct CoarseDwtGraph {
+    cdag: Cdag,
+    n: usize,
+    d: usize,
+    scheme: WeightScheme,
+    /// `butterflies[k-1][t-1]` = butterfly `t` of level `k`.
+    butterflies: Vec<Vec<NodeId>>,
+    /// Coefficient-extraction sinks, same indexing as `butterflies`.
+    coeff_outs: Vec<Vec<NodeId>>,
+    /// Final-average extraction sinks, one per level-`d` butterfly.
+    avg_outs: Vec<NodeId>,
+    layers: Vec<Vec<NodeId>>,
+}
+
+impl CoarseDwtGraph {
+    /// Build the coarse `DWT(n, d)`; same parameter constraints as the
+    /// fine-grained [`crate::DwtGraph`].
+    pub fn new(n: usize, d: usize, scheme: WeightScheme) -> Result<Self, ParamError> {
+        if d < 1 {
+            return Err(ParamError(format!("coarse DWT level d={d} must be >= 1")));
+        }
+        if d >= usize::BITS as usize || n == 0 || !n.is_multiple_of(1usize << d) {
+            return Err(ParamError(format!(
+                "coarse DWT inputs n={n} must be a positive multiple of 2^{d}"
+            )));
+        }
+        let w_in = scheme.input_weight();
+        let w_c = scheme.compute_weight();
+        let mut b = CdagBuilder::new();
+        let inputs: Vec<NodeId> = (1..=n)
+            .map(|j| b.node(w_in, format!("x{j}")))
+            .collect();
+
+        let mut butterflies: Vec<Vec<NodeId>> = Vec::with_capacity(d);
+        let mut coeff_outs: Vec<Vec<NodeId>> = Vec::with_capacity(d);
+        let mut layers: Vec<Vec<NodeId>> = vec![inputs.clone()];
+        let mut prev: Vec<NodeId> = inputs;
+        for k in 1..=d {
+            let count = prev.len() / 2;
+            let mut level = Vec::with_capacity(count);
+            let mut outs = Vec::with_capacity(count);
+            for t in 0..count {
+                // The butterfly holds the (average, coefficient) pair.
+                let bf = b.node(2 * w_c, format!("bf{k}_{}", t + 1));
+                b.edge(prev[2 * t], bf);
+                b.edge(prev[2 * t + 1], bf);
+                // The coefficient half must reach slow memory.
+                let co = b.node(w_c, format!("c{k}_{}", t + 1));
+                b.edge(bf, co);
+                level.push(bf);
+                outs.push(co);
+            }
+            // Layer k holds level-k butterflies plus the previous level's
+            // coefficient extractions (whose parents are in layer k − 1).
+            let mut layer = level.clone();
+            if k >= 2 {
+                layer.extend(coeff_outs[k - 2].iter().copied());
+            }
+            layers.push(layer);
+            butterflies.push(level.clone());
+            coeff_outs.push(outs);
+            prev = level;
+        }
+        // The deepest averages are outputs too; the last layer also takes
+        // the deepest coefficients.
+        let avg_outs: Vec<NodeId> = prev
+            .iter()
+            .enumerate()
+            .map(|(t, &bf)| {
+                let ao = b.node(w_c, format!("a{d}_{}", t + 1));
+                b.edge(bf, ao);
+                ao
+            })
+            .collect();
+        layers.push(
+            coeff_outs[d - 1]
+                .iter()
+                .copied()
+                .chain(avg_outs.iter().copied())
+                .collect(),
+        );
+
+        let cdag = b
+            .build()
+            .map_err(|e| ParamError(format!("internal coarse DWT error: {e}")))?;
+        Ok(CoarseDwtGraph {
+            cdag,
+            n,
+            d,
+            scheme,
+            butterflies,
+            coeff_outs,
+            avg_outs,
+            layers,
+        })
+    }
+
+    /// The underlying CDAG.
+    #[inline]
+    pub fn cdag(&self) -> &Cdag {
+        &self.cdag
+    }
+
+    /// Input count.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Level count.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The weight scheme.
+    #[inline]
+    pub fn scheme(&self) -> WeightScheme {
+        self.scheme
+    }
+
+    /// Butterfly `t` of level `k` (both 1-based).
+    pub fn butterfly(&self, k: usize, t: usize) -> NodeId {
+        self.butterflies[k - 1][t - 1]
+    }
+
+    /// Coefficient output `t` of level `k` (both 1-based).
+    pub fn coeff_out(&self, k: usize, t: usize) -> NodeId {
+        self.coeff_outs[k - 1][t - 1]
+    }
+
+    /// Final-average outputs.
+    pub fn avg_outs(&self) -> &[NodeId] {
+        &self.avg_outs
+    }
+}
+
+impl crate::layered::Layered for CoarseDwtGraph {
+    fn cdag(&self) -> &Cdag {
+        CoarseDwtGraph::cdag(self)
+    }
+    fn layers(&self) -> &[Vec<NodeId>] {
+        &self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layered::check_layering;
+
+    #[test]
+    fn structure_of_coarse_8_3() {
+        let g = CoarseDwtGraph::new(8, 3, WeightScheme::Equal(16)).unwrap();
+        let c = g.cdag();
+        // 8 inputs + butterflies 4+2+1 + coeff outs 4+2+1 + 1 avg out.
+        assert_eq!(c.len(), 8 + 7 + 7 + 1);
+        // Butterflies weigh two words.
+        assert_eq!(c.weight(g.butterfly(1, 1)), 32);
+        assert_eq!(c.weight(g.coeff_out(2, 1)), 16);
+        // Sinks: all coefficient outs + the final average out.
+        assert_eq!(c.sinks().len(), 8);
+        // Level-2 butterfly 1 consumes level-1 butterflies 1 and 2.
+        assert_eq!(
+            c.preds(g.butterfly(2, 1)),
+            &[g.butterfly(1, 1), g.butterfly(1, 2)]
+        );
+        assert!(check_layering(&g));
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(CoarseDwtGraph::new(6, 2, WeightScheme::Equal(16)).is_err());
+        assert!(CoarseDwtGraph::new(8, 0, WeightScheme::Equal(16)).is_err());
+    }
+
+    #[test]
+    fn lower_bound_matches_fine_grained() {
+        // Same inputs, same output data => same algorithmic lower bound.
+        for scheme in WeightScheme::paper_configs() {
+            let fine = crate::DwtGraph::new(16, 4, scheme).unwrap();
+            let coarse = CoarseDwtGraph::new(16, 4, scheme).unwrap();
+            assert_eq!(
+                pebblyn_core::algorithmic_lower_bound(fine.cdag()),
+                pebblyn_core::algorithmic_lower_bound(coarse.cdag()),
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_needs_more_feasible_budget() {
+        // Computing a butterfly requires the pair plus both parent pairs:
+        // strictly more than the fine graph's worst-case operand set.
+        let scheme = WeightScheme::Equal(16);
+        let fine = crate::DwtGraph::new(16, 4, scheme).unwrap();
+        let coarse = CoarseDwtGraph::new(16, 4, scheme).unwrap();
+        assert!(
+            pebblyn_core::min_feasible_budget(coarse.cdag())
+                > pebblyn_core::min_feasible_budget(fine.cdag())
+        );
+    }
+}

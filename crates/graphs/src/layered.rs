@@ -1,0 +1,127 @@
+//! Layered views of CDAGs, consumed by the layer-by-layer baseline
+//! scheduler (§5.1).
+
+use crate::dwt::DwtGraph;
+use crate::mvm::MvmGraph;
+use pebblyn_core::{Cdag, NodeId};
+
+/// A CDAG together with a partition of its nodes into ordered layers
+/// `S_1 … S_L`, where `S_1` holds the inputs and every node's predecessors
+/// live in strictly earlier layers.
+pub trait Layered {
+    /// The underlying CDAG.
+    fn cdag(&self) -> &Cdag;
+    /// The layers in evaluation order, inputs first.
+    fn layers(&self) -> &[Vec<NodeId>];
+}
+
+impl Layered for DwtGraph {
+    fn cdag(&self) -> &Cdag {
+        DwtGraph::cdag(self)
+    }
+    fn layers(&self) -> &[Vec<NodeId>] {
+        DwtGraph::layers(self)
+    }
+}
+
+impl Layered for MvmGraph {
+    fn cdag(&self) -> &Cdag {
+        MvmGraph::cdag(self)
+    }
+    fn layers(&self) -> &[Vec<NodeId>] {
+        MvmGraph::layers(self)
+    }
+}
+
+/// A free-standing layered graph computed from any CDAG by longest-path
+/// layering (each node's layer is 1 + the max layer of its predecessors).
+#[derive(Debug, Clone)]
+pub struct LayeredCdag {
+    cdag: Cdag,
+    layers: Vec<Vec<NodeId>>,
+}
+
+impl LayeredCdag {
+    /// Layer an arbitrary CDAG by longest path from the sources.
+    pub fn from_cdag(cdag: Cdag) -> Self {
+        let mut level = vec![0usize; cdag.len()];
+        for &v in cdag.topo_order() {
+            level[v.index()] = cdag
+                .preds(v)
+                .iter()
+                .map(|&p| level[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let depth = level.iter().copied().max().unwrap_or(0);
+        let mut layers = vec![Vec::new(); depth + 1];
+        for v in cdag.nodes() {
+            layers[level[v.index()]].push(v);
+        }
+        LayeredCdag { cdag, layers }
+    }
+}
+
+impl Layered for LayeredCdag {
+    fn cdag(&self) -> &Cdag {
+        &self.cdag
+    }
+    fn layers(&self) -> &[Vec<NodeId>] {
+        &self.layers
+    }
+}
+
+/// Check the `Layered` contract: inputs in `S_1`, predecessors strictly
+/// earlier, every node in exactly one layer.  Used in tests and debug
+/// assertions.
+pub fn check_layering<L: Layered>(g: &L) -> bool {
+    let cdag = g.cdag();
+    let mut layer_of = vec![usize::MAX; cdag.len()];
+    for (li, layer) in g.layers().iter().enumerate() {
+        for &v in layer {
+            if layer_of[v.index()] != usize::MAX {
+                return false;
+            }
+            layer_of[v.index()] = li;
+        }
+    }
+    if layer_of.contains(&usize::MAX) {
+        return false;
+    }
+    cdag.nodes().all(|v| {
+        cdag.preds(v)
+            .iter()
+            .all(|&p| layer_of[p.index()] < layer_of[v.index()])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::WeightScheme;
+
+    #[test]
+    fn dwt_and_mvm_layerings_are_valid() {
+        let dwt = DwtGraph::new(16, 3, WeightScheme::Equal(16)).unwrap();
+        assert!(check_layering(&dwt));
+        let mvm = MvmGraph::new(4, 5, WeightScheme::DoubleAccumulator(16)).unwrap();
+        assert!(check_layering(&mvm));
+    }
+
+    #[test]
+    fn longest_path_layering_matches_dwt() {
+        let dwt = DwtGraph::new(8, 3, WeightScheme::Equal(16)).unwrap();
+        let layered = LayeredCdag::from_cdag(dwt.cdag().clone());
+        assert!(check_layering(&layered));
+        // The DWT's own layering puts coefficients of S_2 in layer 2, and so
+        // does longest-path layering (their only parents are inputs).
+        assert_eq!(layered.layers().len(), dwt.layers().len());
+        for (a, b) in layered.layers().iter().zip(dwt.layers()) {
+            let mut a = a.clone();
+            let mut b = b.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+}

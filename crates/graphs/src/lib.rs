@@ -1,0 +1,67 @@
+//! # pebblyn-graphs — dataflow graph constructions for the WRBPG
+//!
+//! Parameterized builders for every CDAG family used in the paper:
+//!
+//! * [`dwt`] — the Discrete Wavelet Transform graphs `DWT(n, d)` of
+//!   Definition 3.1, including the pruning of Lemma 3.2,
+//! * [`mvm`] — the Matrix-Vector Multiplication graphs `MVM(m, n)` of
+//!   Definition 4.1,
+//! * [`tree`] — k-ary tree graphs (Definition 3.6): full trees, chains,
+//!   caterpillars and random trees,
+//! * [`testgraphs`] — auxiliary shapes (diamonds, random DAGs, FFT
+//!   butterflies) used for validation and extensions,
+//! * [`weights`] — the node-weight configurations of §5.1 (*Equal* and
+//!   *Double Accumulator*).
+//!
+//! Each principal family returns a wrapper struct ([`DwtGraph`],
+//! [`MvmGraph`]) that owns the [`Cdag`](pebblyn_core::Cdag) and exposes the
+//! structural metadata schedulers need: layer membership, node coordinates,
+//! and sibling relations.
+//!
+//! ```
+//! use pebblyn_graphs::{DwtGraph, WeightScheme};
+//!
+//! // The paper's headline workload: 256 samples, 8 levels, 16-bit words.
+//! let dwt = DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap();
+//! assert_eq!(dwt.cdag().len(), 766);
+//! assert_eq!(dwt.tree_roots().len(), 1);       // Lemma 3.2 pruning: one tree
+//! assert!(dwt.satisfies_pruning_condition());  // coefficients <= averages
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod banded;
+pub mod conv;
+pub mod dwt;
+pub mod dwt2d;
+pub mod dwt_coarse;
+pub mod layered;
+pub mod mvm;
+pub mod testgraphs;
+pub mod tree;
+pub mod weights;
+
+pub use banded::BandedMvmGraph;
+pub use conv::ConvGraph;
+pub use dwt::DwtGraph;
+pub use dwt2d::Dwt2dGraph;
+pub use dwt_coarse::CoarseDwtGraph;
+pub use layered::Layered;
+pub use mvm::MvmGraph;
+pub use weights::WeightScheme;
+
+use std::fmt;
+
+/// Error raised when graph-family parameters are invalid
+/// (e.g. `DWT(n, d)` with `n` not a multiple of `2^d`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(pub String);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid graph parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}

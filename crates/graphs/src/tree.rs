@@ -1,0 +1,241 @@
+//! k-ary tree graphs — Definition 3.6.
+//!
+//! A k-ary tree graph is a rooted in-tree: a unique sink `r`, every other
+//! node has a directed path to `r`, and in-degrees are bounded by `k`.
+//! These are the graphs for which the paper's Eq. (6) dynamic program
+//! produces exact optimal schedules (Lemma 3.7 / Theorem 3.8).
+
+use crate::weights::WeightScheme;
+use crate::ParamError;
+use pebblyn_core::{Cdag, CdagBuilder, NodeId, Weight};
+use rand::Rng;
+
+/// A complete k-ary in-tree of the given depth: `k^depth` leaf inputs, every
+/// internal node has exactly `k` children feeding it.
+///
+/// `depth ≥ 1`, `k ≥ 1`.  The root is the single sink.
+pub fn full_kary(k: usize, depth: usize, scheme: WeightScheme) -> Result<Cdag, ParamError> {
+    if k < 1 || depth < 1 {
+        return Err(ParamError(format!(
+            "full k-ary tree needs k >= 1 and depth >= 1 (got k={k}, depth={depth})"
+        )));
+    }
+    let leaves = k
+        .checked_pow(depth as u32)
+        .ok_or_else(|| ParamError(format!("k^depth overflows (k={k}, depth={depth})")))?;
+    let mut b = CdagBuilder::new();
+    // Build level by level, leaves first.
+    let mut prev: Vec<NodeId> = (0..leaves)
+        .map(|i| b.node(scheme.input_weight(), format!("leaf{i}")))
+        .collect();
+    for lvl in 1..=depth {
+        let width = prev.len() / k;
+        let mut cur = Vec::with_capacity(width);
+        for i in 0..width {
+            let v = b.node(scheme.compute_weight(), format!("t{lvl}_{i}"));
+            for j in 0..k {
+                b.edge(prev[i * k + j], v);
+            }
+            cur.push(v);
+        }
+        prev = cur;
+    }
+    debug_assert_eq!(prev.len(), 1);
+    Ok(b.build().expect("full k-ary tree is structurally valid"))
+}
+
+/// A chain (path) graph: the degenerate `k = 1` tree.
+/// `x -> t1 -> t2 -> … -> t_{len-1}` with `len ≥ 2` nodes total.
+pub fn chain(len: usize, scheme: WeightScheme) -> Result<Cdag, ParamError> {
+    if len < 2 {
+        return Err(ParamError(format!("chain needs >= 2 nodes (got {len})")));
+    }
+    let mut b = CdagBuilder::new();
+    let mut prev = b.node(scheme.input_weight(), "x");
+    for i in 1..len {
+        let v = b.node(scheme.compute_weight(), format!("t{i}"));
+        b.edge(prev, v);
+        prev = v;
+    }
+    Ok(b.build().expect("chain is structurally valid"))
+}
+
+/// A left-deep caterpillar: the accumulation pattern of MVM rows.
+/// `acc_1 = f(in_1, in_2)`, `acc_t = f(acc_{t-1}, in_{t+1})`.
+///
+/// `leaves ≥ 2` is the number of inputs.
+pub fn caterpillar(leaves: usize, scheme: WeightScheme) -> Result<Cdag, ParamError> {
+    if leaves < 2 {
+        return Err(ParamError(format!(
+            "caterpillar needs >= 2 leaves (got {leaves})"
+        )));
+    }
+    let mut b = CdagBuilder::new();
+    let ins: Vec<NodeId> = (0..leaves)
+        .map(|i| b.node(scheme.input_weight(), format!("in{i}")))
+        .collect();
+    let mut acc = b.node(scheme.compute_weight(), "acc1");
+    b.edge(ins[0], acc);
+    b.edge(ins[1], acc);
+    for (t, &leaf) in ins.iter().enumerate().skip(2) {
+        let next = b.node(scheme.compute_weight(), format!("acc{}", t));
+        b.edge(acc, next);
+        b.edge(leaf, next);
+        acc = next;
+    }
+    Ok(b.build().expect("caterpillar is structurally valid"))
+}
+
+/// A uniformly random in-tree with `internal` internal nodes, each with a
+/// random in-degree in `1..=k_max`; leaves are created on demand.
+///
+/// Used by property tests: the result is always a valid k-ary tree graph
+/// (single sink, bounded in-degree).
+pub fn random_tree<R: Rng>(
+    internal: usize,
+    k_max: usize,
+    scheme: WeightScheme,
+    rng: &mut R,
+) -> Result<Cdag, ParamError> {
+    if internal < 1 || k_max < 1 {
+        return Err(ParamError(format!(
+            "random tree needs internal >= 1 and k_max >= 1 (got {internal}, {k_max})"
+        )));
+    }
+    let mut b = CdagBuilder::new();
+    // Grow from the root downward: maintain a frontier of nodes that still
+    // need children; each either becomes internal (recurse) or a leaf.
+    // We cap internal-node count and then close every remaining slot with a
+    // leaf input.
+    let root = b.node(scheme.compute_weight(), "root");
+    let mut open = vec![root];
+    let mut remaining = internal - 1;
+    while let Some(v) = open.pop() {
+        let deg = rng.gen_range(1..=k_max);
+        for _ in 0..deg {
+            if remaining > 0 && rng.gen_bool(0.6) {
+                let child = b.node(scheme.compute_weight(), format!("t{}", b.len()));
+                b.edge(child, v);
+                open.push(child);
+                remaining -= 1;
+            } else {
+                let leaf = b.node(scheme.input_weight(), format!("leaf{}", b.len()));
+                b.edge(leaf, v);
+            }
+        }
+    }
+    Ok(b.build().expect("random tree is structurally valid"))
+}
+
+/// A random weighted in-tree where every node (including leaves) gets an
+/// independent random weight in `w_range` — exercises genuinely weighted
+/// schedules rather than the two-level Equal/DA schemes.
+pub fn random_weighted_tree<R: Rng>(
+    internal: usize,
+    k_max: usize,
+    w_range: std::ops::RangeInclusive<Weight>,
+    rng: &mut R,
+) -> Result<Cdag, ParamError> {
+    let base = random_tree(
+        internal,
+        k_max,
+        WeightScheme::Equal(1),
+        rng,
+    )?;
+    let mut b = CdagBuilder::with_capacity(base.len());
+    for v in base.nodes() {
+        b.node(rng.gen_range(w_range.clone()), base.name(v).to_string());
+    }
+    for v in base.nodes() {
+        for &p in base.preds(v) {
+            b.edge(p, v);
+        }
+    }
+    Ok(b.build().expect("reweighted tree is structurally valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn full_binary_tree_shape() {
+        let t = full_kary(2, 3, WeightScheme::Equal(16)).unwrap();
+        assert_eq!(t.len(), 8 + 4 + 2 + 1);
+        assert!(t.is_in_tree());
+        assert_eq!(t.max_in_degree(), 2);
+        assert_eq!(t.sources().len(), 8);
+        assert_eq!(t.sinks().len(), 1);
+    }
+
+    #[test]
+    fn full_ternary_tree_shape() {
+        let t = full_kary(3, 2, WeightScheme::DoubleAccumulator(8)).unwrap();
+        assert_eq!(t.len(), 9 + 3 + 1);
+        assert!(t.is_in_tree());
+        assert_eq!(t.max_in_degree(), 3);
+        for v in t.nodes() {
+            let w = if t.is_source(v) { 8 } else { 16 };
+            assert_eq!(t.weight(v), w);
+        }
+    }
+
+    #[test]
+    fn unary_tree_is_chain() {
+        let t = full_kary(1, 4, WeightScheme::Equal(1)).unwrap();
+        assert_eq!(t.len(), 5);
+        assert!(t.is_in_tree());
+        assert_eq!(t.max_in_degree(), 1);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let c = chain(5, WeightScheme::Equal(16)).unwrap();
+        assert_eq!(c.len(), 5);
+        assert!(c.is_in_tree());
+        assert_eq!(c.sources().len(), 1);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let c = caterpillar(5, WeightScheme::Equal(16)).unwrap();
+        // 5 leaves + 4 accumulators.
+        assert_eq!(c.len(), 9);
+        assert!(c.is_in_tree());
+        assert_eq!(c.max_in_degree(), 2);
+        assert_eq!(c.sources().len(), 5);
+    }
+
+    #[test]
+    fn random_trees_are_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..50 {
+            let t = random_tree(6, 3, WeightScheme::Equal(4), &mut rng).unwrap();
+            assert!(t.is_in_tree(), "random tree must be an in-tree");
+            assert!(t.max_in_degree() <= 3);
+            assert_eq!(t.sinks().len(), 1);
+        }
+    }
+
+    #[test]
+    fn random_weighted_trees_have_weights_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..20 {
+            let t = random_weighted_tree(5, 2, 1..=10, &mut rng).unwrap();
+            assert!(t.is_in_tree());
+            for v in t.nodes() {
+                assert!((1..=10).contains(&t.weight(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(full_kary(0, 2, WeightScheme::Equal(1)).is_err());
+        assert!(full_kary(2, 0, WeightScheme::Equal(1)).is_err());
+        assert!(chain(1, WeightScheme::Equal(1)).is_err());
+        assert!(caterpillar(1, WeightScheme::Equal(1)).is_err());
+    }
+}

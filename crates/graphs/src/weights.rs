@@ -1,0 +1,123 @@
+//! Node-weight configurations (§5.1 of the paper).
+
+use pebblyn_core::Weight;
+use std::fmt;
+
+/// How node weights are assigned when constructing a workload graph.
+///
+/// In the paper's cost model a node's weight is the number of bits its
+/// result occupies, so weights encode numerical precision:
+///
+/// * [`WeightScheme::Equal`] — every node has the same word size; the WRBPG
+///   then coincides with the classic (unweighted) red-blue pebble game with
+///   `R = B / word` red pebbles.
+/// * [`WeightScheme::DoubleAccumulator`] — non-input nodes (partial or
+///   accumulated results) carry **twice** the input word size, the common
+///   mixed-precision configuration where accumulations need extra headroom
+///   (e.g. 16-bit samples, 32-bit accumulators).
+/// * [`WeightScheme::Custom`] — arbitrary input/compute weights for
+///   ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeightScheme {
+    /// All nodes weigh one `word` of the given bit width.
+    Equal(Weight),
+    /// Inputs weigh `word`; every computed node weighs `2 * word`.
+    DoubleAccumulator(Weight),
+    /// Explicit input/compute weights.
+    Custom {
+        /// Weight of source (input) nodes, in bits.
+        input: Weight,
+        /// Weight of computed (non-source) nodes, in bits.
+        compute: Weight,
+    },
+}
+
+impl WeightScheme {
+    /// Weight (bits) assigned to source nodes.
+    #[inline]
+    pub fn input_weight(self) -> Weight {
+        match self {
+            WeightScheme::Equal(w) | WeightScheme::DoubleAccumulator(w) => w,
+            WeightScheme::Custom { input, .. } => input,
+        }
+    }
+
+    /// Weight (bits) assigned to computed nodes.
+    #[inline]
+    pub fn compute_weight(self) -> Weight {
+        match self {
+            WeightScheme::Equal(w) => w,
+            WeightScheme::DoubleAccumulator(w) => 2 * w,
+            WeightScheme::Custom { compute, .. } => compute,
+        }
+    }
+
+    /// The memory *word size* in bits used when converting budgets to words
+    /// (Table 1 reports sizes in 16-bit words).
+    #[inline]
+    pub fn word_bits(self) -> Weight {
+        self.input_weight()
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightScheme::Equal(_) => "Equal",
+            WeightScheme::DoubleAccumulator(_) => "DA",
+            WeightScheme::Custom { .. } => "Custom",
+        }
+    }
+
+    /// The two configurations evaluated in §5 at the standard 16-bit BCI
+    /// sample width.
+    pub fn paper_configs() -> [WeightScheme; 2] {
+        [
+            WeightScheme::Equal(16),
+            WeightScheme::DoubleAccumulator(16),
+        ]
+    }
+}
+
+impl fmt::Display for WeightScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightScheme::Equal(w) => write!(f, "Equal({w}b)"),
+            WeightScheme::DoubleAccumulator(w) => write!(f, "DoubleAccumulator({w}b)"),
+            WeightScheme::Custom { input, compute } => {
+                write!(f, "Custom(in={input}b, comp={compute}b)")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_gives_uniform_weights() {
+        let s = WeightScheme::Equal(16);
+        assert_eq!(s.input_weight(), 16);
+        assert_eq!(s.compute_weight(), 16);
+        assert_eq!(s.label(), "Equal");
+    }
+
+    #[test]
+    fn double_accumulator_doubles_computes() {
+        let s = WeightScheme::DoubleAccumulator(16);
+        assert_eq!(s.input_weight(), 16);
+        assert_eq!(s.compute_weight(), 32);
+        assert_eq!(s.word_bits(), 16);
+    }
+
+    #[test]
+    fn custom_is_explicit() {
+        let s = WeightScheme::Custom {
+            input: 8,
+            compute: 24,
+        };
+        assert_eq!(s.input_weight(), 8);
+        assert_eq!(s.compute_weight(), 24);
+        assert_eq!(format!("{s}"), "Custom(in=8b, comp=24b)");
+    }
+}

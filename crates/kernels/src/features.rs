@@ -1,0 +1,116 @@
+//! Detection features computed on DWT output — the downstream consumers
+//! that motivate the paper's kernels (seizure detection, movement intent).
+
+use crate::haar::HaarLevel;
+
+/// Line length: `Σ |x[i+1] − x[i]|`, the classic low-cost seizure feature.
+pub fn line_length(signal: &[f64]) -> f64 {
+    signal.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+}
+
+/// Energy of one wavelet band (sum of squared coefficients).
+pub fn band_energy(coefficients: &[f64]) -> f64 {
+    coefficients.iter().map(|c| c * c).sum()
+}
+
+/// Per-level wavelet energies of a Haar decomposition, level 1 first.
+pub fn wavelet_energies(levels: &[HaarLevel]) -> Vec<f64> {
+    levels.iter().map(|l| band_energy(&l.coefficients)).collect()
+}
+
+/// A simple threshold detector over per-window feature values: fires when
+/// the feature exceeds `threshold_factor` times the running median of the
+/// previous windows (bootstrap: the first window never fires).
+#[derive(Debug, Clone)]
+pub struct ThresholdDetector {
+    history: Vec<f64>,
+    threshold_factor: f64,
+}
+
+impl ThresholdDetector {
+    /// Create a detector that fires at `threshold_factor` × running median.
+    pub fn new(threshold_factor: f64) -> Self {
+        assert!(threshold_factor > 0.0);
+        ThresholdDetector {
+            history: Vec::new(),
+            threshold_factor,
+        }
+    }
+
+    /// Feed one window's feature value; returns `true` when it fires.
+    pub fn step(&mut self, feature: f64) -> bool {
+        let fired = match self.median() {
+            Some(med) if med > 0.0 => feature > self.threshold_factor * med,
+            _ => false,
+        };
+        self.history.push(feature);
+        fired
+    }
+
+    fn median(&self) -> Option<f64> {
+        if self.history.is_empty() {
+            return None;
+        }
+        let mut sorted = self.history.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("features are finite"));
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar::haar_dwt;
+    use crate::signal::{generate_channel, SeizureEvent, SignalConfig};
+
+    #[test]
+    fn line_length_basics() {
+        assert_eq!(line_length(&[0.0, 1.0, -1.0]), 3.0);
+        assert_eq!(line_length(&[5.0]), 0.0);
+        assert_eq!(line_length(&[]), 0.0);
+    }
+
+    #[test]
+    fn band_energy_basics() {
+        assert_eq!(band_energy(&[3.0, 4.0]), 25.0);
+        assert_eq!(band_energy(&[]), 0.0);
+    }
+
+    #[test]
+    fn detector_fires_on_outlier() {
+        let mut d = ThresholdDetector::new(3.0);
+        assert!(!d.step(1.0)); // bootstrap
+        assert!(!d.step(1.2));
+        assert!(!d.step(0.9));
+        assert!(d.step(10.0));
+        assert!(!d.step(1.0));
+    }
+
+    #[test]
+    fn seizure_energy_visible_in_wavelet_bands() {
+        // End-to-end: generate an ictal window and a background window, DWT
+        // both, and check that low-frequency band energy separates them.
+        let quiet = SignalConfig {
+            samples: 256,
+            seed: 5,
+            ..Default::default()
+        };
+        let ictal = SignalConfig {
+            events: vec![SeizureEvent {
+                start: 0,
+                len: 256,
+                amplitude: 10.0,
+                freq_hz: 5.0,
+            }],
+            ..quiet.clone()
+        };
+        let eq = wavelet_energies(&haar_dwt(&generate_channel(&quiet), 8));
+        let ei = wavelet_energies(&haar_dwt(&generate_channel(&ictal), 8));
+        let deep_quiet: f64 = eq[4..].iter().sum();
+        let deep_ictal: f64 = ei[4..].iter().sum();
+        assert!(
+            deep_ictal > 5.0 * deep_quiet,
+            "ictal deep-band energy {deep_ictal} vs quiet {deep_quiet}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Q-format fixed-point helpers — the concrete mixed-precision story behind
+//! the *Double Accumulator* weight configuration.
+//!
+//! BCI sensor front-ends emit 16-bit samples; accumulating sums of products
+//! of 16-bit values without overflow needs ~32-bit headroom, which is why
+//! the paper assigns computed nodes twice the input weight.  These helpers
+//! quantise `f64` signals to Q1.15, perform products/accumulations in i32,
+//! and expose the bit widths the weight schemes encode.
+
+/// Bits of a Q1.15 sample — the input node weight in the paper's configs.
+pub const SAMPLE_BITS: u32 = 16;
+
+/// Bits of an accumulator — the computed node weight in the DA config.
+pub const ACCUMULATOR_BITS: u32 = 32;
+
+const Q15_ONE: f64 = 32768.0;
+
+/// Quantise to Q1.15 with saturation (range `[-1, 1)`).
+pub fn to_q15(x: f64) -> i16 {
+    let scaled = (x * Q15_ONE).round();
+    scaled.clamp(i16::MIN as f64, i16::MAX as f64) as i16
+}
+
+/// Dequantise from Q1.15.
+pub fn from_q15(q: i16) -> f64 {
+    q as f64 / Q15_ONE
+}
+
+/// Product of two Q1.15 values, renormalised back to a Q17.15 i32
+/// (shifted right by 15, as a fixed-point multiplier does).
+pub fn q15_mul(a: i16, b: i16) -> i32 {
+    (a as i32 * b as i32) >> 15
+}
+
+/// Accumulate Q17.15 products in i32 with saturation.  The 17 integer bits
+/// give headroom for ~2^16 full-scale terms — the reason a 32-bit
+/// accumulator suffices for the paper's 120-column MVM.
+pub fn q15_acc(acc: i32, p: i32) -> i32 {
+    acc.saturating_add(p)
+}
+
+/// Dequantise a Q17.15 accumulator.
+pub fn from_q15_acc(q: i32) -> f64 {
+    q as f64 / Q15_ONE
+}
+
+/// Fixed-point dot product: quantise inputs, multiply-accumulate in i32,
+/// dequantise — the arithmetic an implanted MVM unit actually performs.
+pub fn fixed_dot(a: &[f64], x: &[f64]) -> f64 {
+    assert_eq!(a.len(), x.len());
+    let acc = a
+        .iter()
+        .zip(x)
+        .fold(0i32, |acc, (&ai, &xi)| {
+            q15_acc(acc, q15_mul(to_q15(ai), to_q15(xi)))
+        });
+    from_q15_acc(acc)
+}
+
+/// Worst-case quantisation error of one Q1.15 sample.
+pub fn q15_epsilon() -> f64 {
+    0.5 / Q15_ONE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_within_epsilon() {
+        for &x in &[0.0, 0.5, -0.25, 0.99, -1.0, 0.123456] {
+            assert!((from_q15(to_q15(x)) - x).abs() <= q15_epsilon());
+        }
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        assert_eq!(to_q15(1.5), i16::MAX);
+        assert_eq!(to_q15(-1.5), i16::MIN);
+        assert_eq!(q15_acc(i32::MAX, 1), i32::MAX);
+    }
+
+    #[test]
+    fn fixed_dot_tracks_float_dot() {
+        let a = vec![0.5, -0.25, 0.125, 0.75];
+        let x = vec![0.3, 0.6, -0.9, 0.1];
+        let float: f64 = a.iter().zip(&x).map(|(p, q)| p * q).sum();
+        let fixed = fixed_dot(&a, &x);
+        // 4 products, each with ~2 input quantisations: loose bound.
+        assert!((float - fixed).abs() < 8.0 * q15_epsilon());
+    }
+
+    #[test]
+    fn accumulator_headroom_justifies_double_weight() {
+        // Summing many full-scale products overflows 16 bits but not 32:
+        // the structural reason for the DA weight configuration.
+        let n = 120; // the paper's MVM column count
+        let product = q15_mul(to_q15(0.9), to_q15(0.9));
+        let mut acc = 0i32;
+        for _ in 0..n {
+            acc = q15_acc(acc, product);
+        }
+        assert!(acc > i16::MAX as i32, "sum needs more than 16 bits");
+        assert!(acc < i32::MAX, "32 bits suffice");
+        assert_eq!(SAMPLE_BITS * 2, ACCUMULATOR_BITS);
+    }
+}

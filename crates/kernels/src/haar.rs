@@ -1,0 +1,171 @@
+//! Reference Haar wavelet transform and the op-table for `DWT(n, d)` graphs.
+
+use pebblyn_graphs::DwtGraph;
+use pebblyn_machine::{Op, OpTable};
+
+/// `1/√2` — the Haar normalisation factor.
+pub const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// One level of a Haar decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaarLevel {
+    /// The scaling function (averages) at this level.
+    pub averages: Vec<f64>,
+    /// The wavelet function (coefficients) at this level.
+    pub coefficients: Vec<f64>,
+}
+
+/// Compute the `d`-level Haar DWT of `signal` directly (schedule-free).
+///
+/// `signal.len()` must be a positive multiple of `2^d`.  Level `k` (1-based)
+/// of the result has `signal.len() / 2^k` averages and as many coefficients;
+/// averages of level `k` are the input to level `k + 1`.
+pub fn haar_dwt(signal: &[f64], d: usize) -> Vec<HaarLevel> {
+    assert!(d >= 1, "at least one level");
+    assert!(
+        !signal.is_empty() && signal.len().is_multiple_of(1 << d),
+        "signal length {} must be a positive multiple of 2^{d}",
+        signal.len()
+    );
+    let mut levels = Vec::with_capacity(d);
+    let mut current: Vec<f64> = signal.to_vec();
+    for _ in 0..d {
+        let mut averages = Vec::with_capacity(current.len() / 2);
+        let mut coefficients = Vec::with_capacity(current.len() / 2);
+        for pair in current.chunks_exact(2) {
+            averages.push((pair[0] + pair[1]) * INV_SQRT2);
+            coefficients.push((pair[0] - pair[1]) * INV_SQRT2);
+        }
+        current = averages.clone();
+        levels.push(HaarLevel {
+            averages,
+            coefficients,
+        });
+    }
+    levels
+}
+
+/// Inverse of [`haar_dwt`]: reconstruct the signal from the deepest
+/// averages plus every level's coefficients.
+pub fn haar_idwt(levels: &[HaarLevel]) -> Vec<f64> {
+    let mut current = levels
+        .last()
+        .expect("at least one level")
+        .averages
+        .clone();
+    for level in levels.iter().rev() {
+        let mut up = Vec::with_capacity(current.len() * 2);
+        for (a, c) in current.iter().zip(&level.coefficients) {
+            up.push((a + c) * INV_SQRT2);
+            up.push((a - c) * INV_SQRT2);
+        }
+        current = up;
+    }
+    current
+}
+
+/// Bind each node of a `DWT(n, d)` graph to its Haar arithmetic:
+/// averages are `(p1 + p2)/√2`, coefficients `(p1 − p2)/√2`.
+pub fn op_table(dwt: &DwtGraph) -> OpTable {
+    let g = dwt.cdag();
+    let ops = g
+        .nodes()
+        .map(|v| {
+            if g.is_source(v) {
+                Op::Input
+            } else if dwt.is_average(v) {
+                Op::LinCom(vec![INV_SQRT2, INV_SQRT2])
+            } else {
+                Op::LinCom(vec![INV_SQRT2, -INV_SQRT2])
+            }
+        })
+        .collect();
+    OpTable::new(g, ops).expect("DWT op table is well-formed")
+}
+
+/// Build the machine input environment for a DWT graph from a signal.
+pub fn inputs_for(dwt: &DwtGraph, signal: &[f64]) -> Vec<f64> {
+    assert_eq!(signal.len(), dwt.n(), "one sample per input node");
+    let mut env = vec![0.0; dwt.cdag().len()];
+    for (j, &s) in signal.iter().enumerate() {
+        env[dwt.node(1, j + 1).index()] = s;
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_graphs::WeightScheme;
+    use pebblyn_machine::eval_reference;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn single_level_haar() {
+        let levels = haar_dwt(&[4.0, 2.0, 1.0, 3.0], 1);
+        assert_eq!(levels.len(), 1);
+        assert!(close(levels[0].averages[0], 6.0 * INV_SQRT2));
+        assert!(close(levels[0].coefficients[0], 2.0 * INV_SQRT2));
+        assert!(close(levels[0].averages[1], 4.0 * INV_SQRT2));
+        assert!(close(levels[0].coefficients[1], -2.0 * INV_SQRT2));
+    }
+
+    #[test]
+    fn multi_level_recursion() {
+        let signal: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let levels = haar_dwt(&signal, 3);
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].averages.len(), 4);
+        assert_eq!(levels[1].averages.len(), 2);
+        assert_eq!(levels[2].averages.len(), 1);
+        // The deepest average is the scaled signal mean:
+        // each level multiplies the sum by 1/√2 while halving the count.
+        let sum: f64 = signal.iter().sum();
+        assert!(close(levels[2].averages[0], sum * INV_SQRT2.powi(3)));
+    }
+
+    #[test]
+    fn idwt_inverts_dwt() {
+        let signal = vec![3.5, -1.0, 0.25, 7.0, 2.0, 2.0, -4.5, 0.0];
+        let levels = haar_dwt(&signal, 3);
+        let back = haar_idwt(&levels);
+        for (a, b) in signal.iter().zip(&back) {
+            assert!(close(*a, *b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 2^2")]
+    fn rejects_bad_length() {
+        haar_dwt(&[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn graph_semantics_match_reference() {
+        // Evaluate the DWT graph via the op-table and compare every level
+        // against the direct transform.
+        let dwt = DwtGraph::new(8, 3, WeightScheme::Equal(16)).unwrap();
+        let signal = vec![1.0, 4.0, -2.0, 0.5, 3.0, 3.0, -1.0, 2.0];
+        let env = inputs_for(&dwt, &signal);
+        let vals = eval_reference(dwt.cdag(), &op_table(&dwt), &env);
+        let levels = haar_dwt(&signal, 3);
+        for (k, level) in levels.iter().enumerate() {
+            // Level k (0-based) lives in graph layer k + 2.
+            let layer = k + 2;
+            for (t, (&a, &c)) in level
+                .averages
+                .iter()
+                .zip(&level.coefficients)
+                .enumerate()
+            {
+                let av = vals[dwt.node(layer, 2 * t + 1).index()];
+                let cv = vals[dwt.node(layer, 2 * t + 2).index()];
+                assert!(close(av, a), "avg level {k} idx {t}: {av} vs {a}");
+                assert!(close(cv, c), "coef level {k} idx {t}: {cv} vs {c}");
+            }
+        }
+    }
+}

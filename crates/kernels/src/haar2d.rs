@@ -1,0 +1,182 @@
+//! Reference separable 2-D Haar transform and the op-table for
+//! [`Dwt2dGraph`](pebblyn_graphs::dwt2d::Dwt2dGraph).
+
+use crate::haar::INV_SQRT2;
+use pebblyn_graphs::dwt2d::Dwt2dGraph;
+use pebblyn_machine::{Op, OpTable};
+
+/// One level of a 2-D decomposition: the four subband matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subbands {
+    /// Average/average (input to the next level).
+    pub ll: Vec<Vec<f64>>,
+    /// Average/detail.
+    pub lh: Vec<Vec<f64>>,
+    /// Detail/average.
+    pub hl: Vec<Vec<f64>>,
+    /// Detail/detail.
+    pub hh: Vec<Vec<f64>>,
+}
+
+/// Direct (schedule-free) separable 2-D Haar DWT: `levels` recursions of a
+/// row pass followed by a column pass on the LL quadrant.
+///
+/// `image` must be square with side a positive multiple of `2^levels`.
+pub fn haar_dwt2d(image: &[Vec<f64>], levels: usize) -> Vec<Subbands> {
+    let n = image.len();
+    assert!(levels >= 1);
+    assert!(n > 0 && image.iter().all(|row| row.len() == n), "square image");
+    assert_eq!(n % (1 << levels), 0, "side must divide by 2^levels");
+
+    let mut out = Vec::with_capacity(levels);
+    let mut grid: Vec<Vec<f64>> = image.to_vec();
+    for _ in 0..levels {
+        let m = grid.len();
+        let half = m / 2;
+        // Row pass.
+        let mut row_l = vec![vec![0.0; half]; m];
+        let mut row_h = vec![vec![0.0; half]; m];
+        for r in 0..m {
+            for t in 0..half {
+                row_l[r][t] = (grid[r][2 * t] + grid[r][2 * t + 1]) * INV_SQRT2;
+                row_h[r][t] = (grid[r][2 * t] - grid[r][2 * t + 1]) * INV_SQRT2;
+            }
+        }
+        // Column pass.
+        let col = |src: &Vec<Vec<f64>>| {
+            let mut avg = vec![vec![0.0; half]; half];
+            let mut det = vec![vec![0.0; half]; half];
+            for t in 0..half {
+                for c in 0..half {
+                    avg[t][c] = (src[2 * t][c] + src[2 * t + 1][c]) * INV_SQRT2;
+                    det[t][c] = (src[2 * t][c] - src[2 * t + 1][c]) * INV_SQRT2;
+                }
+            }
+            (avg, det)
+        };
+        let (ll, lh) = col(&row_l);
+        let (hl, hh) = col(&row_h);
+        grid = ll.clone();
+        out.push(Subbands { ll, lh, hl, hh });
+    }
+    out
+}
+
+/// Bind each node of a 2-D DWT graph to its arithmetic.  Node names encode
+/// the role: averages sum, details difference, both scaled by `1/√2`.
+pub fn op_table(g: &Dwt2dGraph) -> OpTable {
+    let cdag = g.cdag();
+    let ops = cdag
+        .nodes()
+        .map(|v| {
+            if cdag.is_source(v) {
+                Op::Input
+            } else {
+                let name = cdag.name(v);
+                // Row detail nodes are `rH…`, column details `c?d…`.
+                let is_detail = name.starts_with("rH")
+                    || (name.starts_with('c') && name.as_bytes().get(2) == Some(&b'd'));
+                if is_detail {
+                    Op::LinCom(vec![INV_SQRT2, -INV_SQRT2])
+                } else {
+                    Op::LinCom(vec![INV_SQRT2, INV_SQRT2])
+                }
+            }
+        })
+        .collect();
+    OpTable::new(cdag, ops).expect("2-D DWT op table is well-formed")
+}
+
+/// Build the machine input environment from an image.
+pub fn inputs_for(g: &Dwt2dGraph, image: &[Vec<f64>]) -> Vec<f64> {
+    assert_eq!(image.len(), g.n());
+    let mut env = vec![0.0; g.cdag().len()];
+    for (r, row) in image.iter().enumerate() {
+        assert_eq!(row.len(), g.n());
+        for (c, &px) in row.iter().enumerate() {
+            env[g.pixel(r, c).index()] = px;
+        }
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_graphs::WeightScheme;
+    use pebblyn_machine::eval_reference;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    fn test_image(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|r| (0..n).map(|c| ((r * 31 + c * 7) % 13) as f64 - 6.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn constant_image_concentrates_in_ll() {
+        let image = vec![vec![2.0; 4]; 4];
+        let bands = haar_dwt2d(&image, 1);
+        // One 2-D Haar level scales a constant by (√2·√2)/2... each pass
+        // multiplies pairs: (2+2)/√2 = 2√2, then (2√2+2√2)/√2 = 4.
+        for row in &bands[0].ll {
+            for &v in row {
+                assert!(close(v, 4.0));
+            }
+        }
+        for q in [&bands[0].lh, &bands[0].hl, &bands[0].hh] {
+            for row in q.iter() {
+                for &v in row {
+                    assert!(close(v, 0.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        // The Haar transform is orthonormal: total energy is invariant.
+        let image = test_image(8);
+        let bands = haar_dwt2d(&image, 3);
+        let image_energy: f64 = image.iter().flatten().map(|v| v * v).sum();
+        let mut band_energy: f64 = bands
+            .iter()
+            .flat_map(|b| [&b.lh, &b.hl, &b.hh])
+            .flat_map(|q| q.iter().flatten())
+            .map(|v| v * v)
+            .sum();
+        band_energy += bands
+            .last()
+            .unwrap()
+            .ll
+            .iter()
+            .flatten()
+            .map(|v| v * v)
+            .sum::<f64>();
+        assert!(close(image_energy, band_energy));
+    }
+
+    #[test]
+    fn graph_semantics_match_reference() {
+        let g = Dwt2dGraph::new(8, 2, WeightScheme::Equal(16)).unwrap();
+        let image = test_image(8);
+        let env = inputs_for(&g, &image);
+        let vals = eval_reference(g.cdag(), &op_table(&g), &env);
+        let bands = haar_dwt2d(&image, 2);
+        for (lvl, band) in bands.iter().enumerate() {
+            let q = g.level(lvl + 1);
+            let half = band.ll.len();
+            for t in 0..half {
+                for c in 0..half {
+                    assert!(close(vals[q.ll[t][c].index()], band.ll[t][c]));
+                    assert!(close(vals[q.lh[t][c].index()], band.lh[t][c]));
+                    assert!(close(vals[q.hl[t][c].index()], band.hl[t][c]));
+                    assert!(close(vals[q.hh[t][c].index()], band.hh[t][c]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # pebblyn-kernels — the numbers behind the graphs
+//!
+//! The WRBPG models *where* values live; this crate supplies the values:
+//!
+//! * [`haar`] — reference multi-level Haar DWT (averages + coefficients)
+//!   and the [`OpTable`](pebblyn_machine::OpTable) binding a
+//!   [`DwtGraph`](pebblyn_graphs::DwtGraph)'s nodes to the transform's
+//!   arithmetic, so schedules can be executed and checked end to end,
+//! * [`mvm`] — reference matrix-vector product and the op-table for
+//!   [`MvmGraph`](pebblyn_graphs::MvmGraph),
+//! * [`signal`] — synthetic neural recordings (1/f-flavoured background,
+//!   oscillatory bursts, seizure-like high-amplitude events) standing in
+//!   for the implanted-BCI electrode data the paper's workloads process,
+//! * [`features`] — the simple detection features BCI pipelines compute on
+//!   DWT output (wavelet-band energy, line length),
+//! * [`fixed`] — Q-format fixed-point helpers that make the *Double
+//!   Accumulator* weight configuration concrete (16-bit samples, 32-bit
+//!   accumulators).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod fixed;
+pub mod haar;
+pub mod haar2d;
+pub mod mvm;
+pub mod signal;
+pub mod wavelet2;

@@ -1,0 +1,132 @@
+//! Reference matrix-vector multiplication and the op-table for
+//! `MVM(m, n)` graphs.
+
+use pebblyn_graphs::MvmGraph;
+use pebblyn_machine::{Op, OpTable};
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `data[r * cols + c]`.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Build from row-major data.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data size");
+        Matrix { rows, cols, data }
+    }
+
+    /// Element `a_{r,c}` (0-based).
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+}
+
+/// Direct `y = A·x` (schedule-free reference).
+pub fn mvm_ref(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), a.cols, "vector length matches columns");
+    (0..a.rows)
+        .map(|r| (0..a.cols).map(|c| a.at(r, c) * x[c]).sum())
+        .collect()
+}
+
+/// Bind each node of an `MVM(m, n)` graph to its arithmetic: products are
+/// `x_c · a_{r,c}`, accumulations are sums.
+pub fn op_table(mvm: &MvmGraph) -> OpTable {
+    let g = mvm.cdag();
+    let ops = g
+        .nodes()
+        .map(|v| {
+            if g.is_source(v) {
+                Op::Input
+            } else if g.in_degree(v) == 2 && !g.is_source(g.preds(v)[0]) {
+                // Accumulator: sums its two operands.
+                Op::LinCom(vec![1.0, 1.0])
+            } else if g.preds(v).iter().all(|&p| g.is_source(p)) {
+                Op::Prod
+            } else {
+                Op::LinCom(vec![1.0, 1.0])
+            }
+        })
+        .collect();
+    OpTable::new(g, ops).expect("MVM op table is well-formed")
+}
+
+/// Build the machine input environment from a matrix and vector.
+pub fn inputs_for(mvm: &MvmGraph, a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.rows, mvm.m());
+    assert_eq!(a.cols, mvm.n());
+    assert_eq!(x.len(), mvm.n());
+    let mut env = vec![0.0; mvm.cdag().len()];
+    for c in 1..=mvm.n() {
+        env[mvm.vector(c).index()] = x[c - 1];
+        for r in 1..=mvm.m() {
+            env[mvm.matrix(r, c).index()] = a.at(r - 1, c - 1);
+        }
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_graphs::WeightScheme;
+    use pebblyn_machine::eval_reference;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn reference_product() {
+        let a = Matrix::new(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = mvm_ref(&a, &[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn graph_semantics_match_reference() {
+        let mvm = MvmGraph::new(3, 4, WeightScheme::DoubleAccumulator(16)).unwrap();
+        let a = Matrix::new(
+            3,
+            4,
+            vec![
+                0.5, -1.0, 2.0, 0.0, //
+                1.5, 1.5, -0.5, 3.0, //
+                -2.0, 0.25, 1.0, 1.0,
+            ],
+        );
+        let x = vec![2.0, -1.0, 0.5, 4.0];
+        let env = inputs_for(&mvm, &a, &x);
+        let vals = eval_reference(mvm.cdag(), &op_table(&mvm), &env);
+        let expected = mvm_ref(&a, &x);
+        for (r, &y) in expected.iter().enumerate() {
+            let got = vals[mvm.output(r + 1).index()];
+            assert!(close(got, y), "row {r}: {got} vs {y}");
+        }
+    }
+
+    #[test]
+    fn single_column_graph_semantics() {
+        let mvm = MvmGraph::new(2, 1, WeightScheme::Equal(16)).unwrap();
+        let a = Matrix::new(2, 1, vec![3.0, -2.0]);
+        let x = vec![5.0];
+        let env = inputs_for(&mvm, &a, &x);
+        let vals = eval_reference(mvm.cdag(), &op_table(&mvm), &env);
+        assert!(close(vals[mvm.output(1).index()], 15.0));
+        assert!(close(vals[mvm.output(2).index()], -10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major data size")]
+    fn matrix_size_checked() {
+        Matrix::new(2, 2, vec![1.0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Arbitrary size-two wavelets on the DWT dataflow.
+//!
+//! Definition 3.1's dataflow "is applicable to any wavelet of size two and
+//! any normalization factor": the graph shape is fixed, only the low- and
+//! high-pass filter taps change.  This module parameterises the transform
+//! over those taps, covering the orthonormal Haar (`1/√2`), the
+//! integer-friendly unnormalised Haar (sum/difference), lazy-wavelet
+//! splits, and any other two-tap pair — all executing on the *same* WRBPG
+//! schedules, since schedules depend only on the graph and weights.
+
+use pebblyn_graphs::DwtGraph;
+use pebblyn_machine::{Op, OpTable};
+
+/// A two-tap wavelet: low-pass taps produce the "average" stream that
+/// recursion consumes, high-pass taps produce the output coefficients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wavelet2 {
+    /// Low-pass filter `[h0, h1]`.
+    pub lo: [f64; 2],
+    /// High-pass filter `[g0, g1]`.
+    pub hi: [f64; 2],
+}
+
+impl Wavelet2 {
+    /// The orthonormal Haar wavelet (`1/√2` normalisation) — the paper's
+    /// example filters.
+    pub fn haar() -> Self {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Wavelet2 {
+            lo: [s, s],
+            hi: [s, -s],
+        }
+    }
+
+    /// Unnormalised Haar: plain sum and difference.  Integer-exact, the
+    /// usual choice in fixed-point implants (the `1/2` renormalisation is
+    /// folded into downstream thresholds).
+    pub fn unnormalized_haar() -> Self {
+        Wavelet2 {
+            lo: [1.0, 1.0],
+            hi: [1.0, -1.0],
+        }
+    }
+
+    /// Haar with normalisation factor 2 (averages are true means).
+    pub fn mean_haar() -> Self {
+        Wavelet2 {
+            lo: [0.5, 0.5],
+            hi: [0.5, -0.5],
+        }
+    }
+
+    /// `true` when the analysis filters are orthonormal (energy
+    /// preserving): rows of the 2×2 filter matrix orthonormal.
+    pub fn is_orthonormal(&self) -> bool {
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-12;
+        let [h0, h1] = self.lo;
+        let [g0, g1] = self.hi;
+        close(h0 * h0 + h1 * h1, 1.0)
+            && close(g0 * g0 + g1 * g1, 1.0)
+            && close(h0 * g0 + h1 * g1, 0.0)
+    }
+
+    /// One analysis level: pairs of `input` → (averages, coefficients).
+    pub fn analyze(&self, input: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        assert!(input.len() >= 2 && input.len() % 2 == 0);
+        let mut avg = Vec::with_capacity(input.len() / 2);
+        let mut coeff = Vec::with_capacity(input.len() / 2);
+        for pair in input.chunks_exact(2) {
+            avg.push(self.lo[0] * pair[0] + self.lo[1] * pair[1]);
+            coeff.push(self.hi[0] * pair[0] + self.hi[1] * pair[1]);
+        }
+        (avg, coeff)
+    }
+
+    /// Full `d`-level transform: level-k averages feed level k+1.
+    pub fn analyze_levels(&self, signal: &[f64], d: usize) -> Vec<crate::haar::HaarLevel> {
+        assert!(d >= 1 && signal.len() % (1 << d) == 0 && !signal.is_empty());
+        let mut out = Vec::with_capacity(d);
+        let mut current = signal.to_vec();
+        for _ in 0..d {
+            let (avg, coeff) = self.analyze(&current);
+            current = avg.clone();
+            out.push(crate::haar::HaarLevel {
+                averages: avg,
+                coefficients: coeff,
+            });
+        }
+        out
+    }
+
+    /// Bind a DWT graph's nodes to this wavelet's arithmetic.
+    pub fn op_table(&self, dwt: &DwtGraph) -> OpTable {
+        let g = dwt.cdag();
+        let ops = g
+            .nodes()
+            .map(|v| {
+                if g.is_source(v) {
+                    Op::Input
+                } else if dwt.is_average(v) {
+                    Op::LinCom(self.lo.to_vec())
+                } else {
+                    Op::LinCom(self.hi.to_vec())
+                }
+            })
+            .collect();
+        OpTable::new(g, ops).expect("wavelet op table is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar;
+    use pebblyn_core::validate_schedule;
+    use pebblyn_graphs::WeightScheme;
+    use pebblyn_machine::{eval_reference, Machine};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn haar_instance_matches_haar_module() {
+        let w = Wavelet2::haar();
+        assert!(w.is_orthonormal());
+        let signal = vec![3.0, -1.0, 2.0, 6.0, 0.5, 0.5, -2.0, 4.0];
+        let via_wavelet = w.analyze_levels(&signal, 3);
+        let via_haar = haar::haar_dwt(&signal, 3);
+        for (a, b) in via_wavelet.iter().zip(&via_haar) {
+            for (x, y) in a.averages.iter().zip(&b.averages) {
+                assert!(close(*x, *y));
+            }
+            for (x, y) in a.coefficients.iter().zip(&b.coefficients) {
+                assert!(close(*x, *y));
+            }
+        }
+    }
+
+    #[test]
+    fn unnormalized_haar_is_integer_exact() {
+        let w = Wavelet2::unnormalized_haar();
+        assert!(!w.is_orthonormal());
+        let (avg, coeff) = w.analyze(&[7.0, 3.0, -2.0, 5.0]);
+        assert_eq!(avg, vec![10.0, 3.0]);
+        assert_eq!(coeff, vec![4.0, -7.0]);
+    }
+
+    #[test]
+    fn mean_haar_averages_are_means() {
+        let w = Wavelet2::mean_haar();
+        let (avg, _) = w.analyze(&[2.0, 4.0]);
+        assert_eq!(avg, vec![3.0]);
+    }
+
+    /// The same optimal WRBPG schedule drives any two-tap wavelet — only
+    /// the op table changes.
+    #[test]
+    fn one_schedule_serves_every_wavelet() {
+        let dwt = DwtGraph::new(8, 3, WeightScheme::Equal(16)).unwrap();
+        let g = dwt.cdag();
+        let budget = 5 * 16;
+        let schedule = pebblyn_schedulers::dwt_opt::schedule(&dwt, budget).unwrap();
+        validate_schedule(g, budget, &schedule).unwrap();
+        let signal = vec![1.0, 5.0, -3.0, 2.0, 2.0, 2.0, 8.0, -1.0];
+        let env = haar::inputs_for(&dwt, &signal);
+        for w in [
+            Wavelet2::haar(),
+            Wavelet2::unnormalized_haar(),
+            Wavelet2::mean_haar(),
+            Wavelet2 {
+                lo: [0.8, 0.6],
+                hi: [0.6, -0.8],
+            },
+        ] {
+            let ops = w.op_table(&dwt);
+            let report = Machine::new(g, &ops, budget)
+                .run(&schedule, &env)
+                .expect("wavelet executes on the shared schedule");
+            let reference = eval_reference(g, &ops, &env);
+            let root = dwt.tree_roots()[0];
+            assert!(close(report.outputs[&root], reference[root.index()]));
+            // Spot-check a coefficient against the direct transform.
+            let levels = w.analyze_levels(&signal, 3);
+            let c_node = dwt.node(2, 2);
+            assert!(close(report.outputs[&c_node], levels[0].coefficients[0]));
+        }
+    }
+
+    #[test]
+    fn rotation_wavelet_is_orthonormal() {
+        // Any rotation matrix rows form an orthonormal 2-tap pair.
+        let (s, c) = (0.6, 0.8);
+        let w = Wavelet2 {
+            lo: [c, s],
+            hi: [s, -c],
+        };
+        assert!(w.is_orthonormal());
+        // Energy preservation on one level.
+        let input = [1.5, -2.5, 4.0, 0.25];
+        let (avg, coeff) = w.analyze(&input);
+        let before: f64 = input.iter().map(|x| x * x).sum();
+        let after: f64 = avg.iter().chain(&coeff).map(|x| x * x).sum();
+        assert!(close(before, after));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests over the numeric kernels.
+
+use pebblyn_kernels::wavelet2::Wavelet2;
+use pebblyn_kernels::{fixed, haar};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The inverse Haar transform reconstructs any signal exactly (up to
+    /// floating-point noise) at every admissible depth.
+    #[test]
+    fn haar_round_trips(signal in proptest::collection::vec(-100.0f64..100.0, 16)) {
+        for d in 1..=4usize {
+            let levels = haar::haar_dwt(&signal, d);
+            let back = haar::haar_idwt(&levels);
+            for (a, b) in signal.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-9, "d={d}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Orthonormal Haar preserves energy at every level.
+    #[test]
+    fn haar_preserves_energy(signal in proptest::collection::vec(-10.0f64..10.0, 32)) {
+        let levels = haar::haar_dwt(&signal, 5);
+        let mut e: f64 = levels.iter().map(|l| l.coefficients.iter().map(|c| c * c).sum::<f64>()).sum();
+        e += levels.last().unwrap().averages.iter().map(|a| a * a).sum::<f64>();
+        let input_e: f64 = signal.iter().map(|s| s * s).sum();
+        prop_assert!((e - input_e).abs() < 1e-6 * input_e.max(1.0));
+    }
+
+    /// Any two-tap wavelet built from a rotation is orthonormal and its
+    /// analysis matches a hand-rolled matrix product.
+    #[test]
+    fn rotation_wavelets_are_orthonormal(theta in 0.0f64..std::f64::consts::TAU, x0 in -5.0f64..5.0, x1 in -5.0f64..5.0) {
+        let (s, c) = theta.sin_cos();
+        let w = Wavelet2 { lo: [c, s], hi: [s, -c] };
+        prop_assert!(w.is_orthonormal());
+        let (avg, coeff) = w.analyze(&[x0, x1]);
+        prop_assert!((avg[0] - (c * x0 + s * x1)).abs() < 1e-12);
+        prop_assert!((coeff[0] - (s * x0 - c * x1)).abs() < 1e-12);
+    }
+
+    /// Q1.15 round trips stay within one quantisation step, and the fixed
+    /// dot product tracks the float dot product within the accumulated
+    /// quantisation bound.
+    #[test]
+    fn fixed_point_error_bounds(values in proptest::collection::vec(-0.999f64..0.999, 1..64)) {
+        for &v in &values {
+            prop_assert!((fixed::from_q15(fixed::to_q15(v)) - v).abs() <= fixed::q15_epsilon());
+        }
+        let ones = vec![0.5; values.len()];
+        let float: f64 = values.iter().map(|v| v * 0.5).sum();
+        let fixed_result = fixed::fixed_dot(&values, &ones);
+        // Each term suffers <= ~3 quantisation steps (two inputs + product
+        // truncation); the sum accumulates linearly.
+        let bound = 3.0 * values.len() as f64 * fixed::q15_epsilon();
+        prop_assert!((float - fixed_result).abs() <= bound, "{float} vs {fixed_result}");
+    }
+}

@@ -1,0 +1,351 @@
+//! The executable two-level memory machine.
+
+use crate::energy::{EnergyModel, EnergyReport};
+use crate::ops::OpTable;
+use pebblyn_core::{Cdag, Move, NodeId, Schedule, Weight};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while executing a schedule on the machine.
+///
+/// The machine performs the same rule checks as
+/// [`pebblyn_core::validate_schedule`] but phrased operationally (a value
+/// must exist in a memory before it can be copied or used).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// M1 on a node whose value is not in slow memory.
+    MissingInSlow(usize, NodeId),
+    /// M2/M4 on a node whose value is not in fast memory.
+    MissingInFast(usize, NodeId),
+    /// M3 on a node with an operand missing from fast memory.
+    OperandNotResident(usize, NodeId, NodeId),
+    /// M3 on a source node.
+    ComputeSource(usize, NodeId),
+    /// Fast memory capacity (the weighted budget) exceeded.
+    FastMemoryOverflow {
+        /// Move index.
+        step: usize,
+        /// Bits in use after the move.
+        used: Weight,
+        /// Capacity in bits.
+        capacity: Weight,
+    },
+    /// Schedule ended with an output missing from slow memory.
+    OutputNotStored(NodeId),
+    /// An output value disagrees with the reference evaluation.
+    WrongOutput {
+        /// The output node.
+        node: NodeId,
+        /// Value the machine produced.
+        got: f64,
+        /// Value reference evaluation produced.
+        expected: f64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MissingInSlow(s, v) => write!(f, "step {s}: {v} not in slow memory"),
+            ExecError::MissingInFast(s, v) => write!(f, "step {s}: {v} not in fast memory"),
+            ExecError::OperandNotResident(s, v, p) => {
+                write!(f, "step {s}: computing {v} but operand {p} not resident")
+            }
+            ExecError::ComputeSource(s, v) => write!(f, "step {s}: cannot compute source {v}"),
+            ExecError::FastMemoryOverflow {
+                step,
+                used,
+                capacity,
+            } => write!(f, "step {step}: fast memory overflow ({used} > {capacity} bits)"),
+            ExecError::OutputNotStored(v) => write!(f, "output {v} never stored to slow memory"),
+            ExecError::WrongOutput {
+                node,
+                got,
+                expected,
+            } => write!(f, "output {node} = {got}, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execution summary: what the machine measured while running a schedule.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Weighted I/O cost actually incurred (must equal the schedule's
+    /// declared cost).
+    pub io_bits: Weight,
+    /// Peak fast-memory occupancy in bits.
+    pub peak_fast_bits: Weight,
+    /// Energy breakdown.
+    pub energy: EnergyReport,
+    /// Final value of every sink node, keyed by node.
+    pub outputs: HashMap<NodeId, f64>,
+}
+
+/// A two-level memory machine executing WRBPG schedules with real values.
+#[derive(Debug, Clone)]
+pub struct Machine<'a> {
+    graph: &'a Cdag,
+    ops: &'a OpTable,
+    capacity: Weight,
+    energy_model: EnergyModel,
+}
+
+impl<'a> Machine<'a> {
+    /// Create a machine with `capacity` bits of fast memory.
+    pub fn new(graph: &'a Cdag, ops: &'a OpTable, capacity: Weight) -> Self {
+        Machine {
+            graph,
+            ops,
+            capacity,
+            energy_model: EnergyModel::default(),
+        }
+    }
+
+    /// Replace the default energy model.
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// Execute `schedule` with the given input environment
+    /// (`inputs[v.index()]` for each source `v`; other slots ignored).
+    ///
+    /// Verifies, operationally: game rules, weighted capacity at every step,
+    /// the stopping condition, and — against a schedule-free reference
+    /// evaluation — that every output holds the correct value.
+    pub fn run(&self, schedule: &Schedule, inputs: &[f64]) -> Result<ExecReport, ExecError> {
+        let g = self.graph;
+        assert_eq!(inputs.len(), g.len(), "one input slot per node");
+
+        let reference = crate::ops::eval_reference(g, self.ops, inputs);
+
+        // Slow memory starts holding all inputs (the starting condition).
+        let mut slow: HashMap<NodeId, f64> = g
+            .sources()
+            .into_iter()
+            .map(|v| (v, inputs[v.index()]))
+            .collect();
+        let mut fast: HashMap<NodeId, f64> = HashMap::new();
+        let mut used: Weight = 0;
+        let mut peak: Weight = 0;
+        let mut loaded_bits: Weight = 0;
+        let mut stored_bits: Weight = 0;
+        let mut computes = 0usize;
+
+        for (step, mv) in schedule.iter().enumerate() {
+            let v = mv.node();
+            let w = g.weight(v);
+            match mv {
+                Move::Load(_) => {
+                    let val = *slow
+                        .get(&v)
+                        .ok_or(ExecError::MissingInSlow(step, v))?;
+                    if fast.insert(v, val).is_none() {
+                        used += w;
+                    }
+                    loaded_bits += w;
+                }
+                Move::Store(_) => {
+                    let val = *fast
+                        .get(&v)
+                        .ok_or(ExecError::MissingInFast(step, v))?;
+                    slow.insert(v, val);
+                    stored_bits += w;
+                }
+                Move::Compute(_) => {
+                    if g.is_source(v) {
+                        return Err(ExecError::ComputeSource(step, v));
+                    }
+                    let mut operands = Vec::with_capacity(g.in_degree(v));
+                    for &p in g.preds(v) {
+                        operands.push(
+                            *fast
+                                .get(&p)
+                                .ok_or(ExecError::OperandNotResident(step, v, p))?,
+                        );
+                    }
+                    let val = self.ops.eval(v, &operands);
+                    if fast.insert(v, val).is_none() {
+                        used += w;
+                    }
+                    computes += 1;
+                }
+                Move::Delete(_) => {
+                    if fast.remove(&v).is_none() {
+                        return Err(ExecError::MissingInFast(step, v));
+                    }
+                    used -= w;
+                }
+            }
+            if used > self.capacity {
+                return Err(ExecError::FastMemoryOverflow {
+                    step,
+                    used,
+                    capacity: self.capacity,
+                });
+            }
+            peak = peak.max(used);
+        }
+
+        // Stopping condition + functional correctness of every output.
+        let mut outputs = HashMap::new();
+        for v in self.graph.sinks() {
+            let got = *slow.get(&v).ok_or(ExecError::OutputNotStored(v))?;
+            let expected = reference[v.index()];
+            if !approx_eq(got, expected) {
+                return Err(ExecError::WrongOutput {
+                    node: v,
+                    got,
+                    expected,
+                });
+            }
+            outputs.insert(v, got);
+        }
+
+        Ok(ExecReport {
+            io_bits: loaded_bits + stored_bits,
+            peak_fast_bits: peak,
+            energy: EnergyReport::from_profile(
+                &self.energy_model,
+                loaded_bits,
+                stored_bits,
+                computes,
+            ),
+            outputs,
+        })
+    }
+}
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+    use pebblyn_core::CdagBuilder;
+
+    /// x, y -> s = x + y
+    fn add_setup() -> (Cdag, OpTable) {
+        let mut b = CdagBuilder::new();
+        let x = b.node(16, "x");
+        let y = b.node(16, "y");
+        let s = b.node(32, "s");
+        b.edge(x, s);
+        b.edge(y, s);
+        let g = b.build().unwrap();
+        let t = OpTable::new(
+            &g,
+            vec![Op::Input, Op::Input, Op::LinCom(vec![1.0, 1.0])],
+        )
+        .unwrap();
+        (g, t)
+    }
+
+    fn add_schedule() -> Schedule {
+        Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(1)),
+            Move::Compute(NodeId(2)),
+            Move::Store(NodeId(2)),
+            Move::Delete(NodeId(0)),
+            Move::Delete(NodeId(1)),
+            Move::Delete(NodeId(2)),
+        ])
+    }
+
+    #[test]
+    fn executes_and_checks_output_values() {
+        let (g, t) = add_setup();
+        let m = Machine::new(&g, &t, 64);
+        let report = m.run(&add_schedule(), &[2.0, 3.0, 0.0]).unwrap();
+        assert_eq!(report.io_bits, 64);
+        assert_eq!(report.peak_fast_bits, 64);
+        assert_eq!(report.outputs[&NodeId(2)], 5.0);
+        assert_eq!(report.energy.loaded_bits, 32);
+        assert_eq!(report.energy.stored_bits, 32);
+        assert_eq!(report.energy.computes, 1);
+    }
+
+    #[test]
+    fn capacity_overflow_detected() {
+        let (g, t) = add_setup();
+        let m = Machine::new(&g, &t, 63);
+        let err = m.run(&add_schedule(), &[2.0, 3.0, 0.0]).unwrap_err();
+        assert!(matches!(err, ExecError::FastMemoryOverflow { .. }));
+    }
+
+    #[test]
+    fn missing_operand_detected() {
+        let (g, t) = add_setup();
+        let m = Machine::new(&g, &t, 100);
+        let s = Schedule::from_moves(vec![Move::Load(NodeId(0)), Move::Compute(NodeId(2))]);
+        assert!(matches!(
+            m.run(&s, &[1.0, 1.0, 0.0]).unwrap_err(),
+            ExecError::OperandNotResident(_, NodeId(2), NodeId(1))
+        ));
+    }
+
+    #[test]
+    fn unstored_output_detected() {
+        let (g, t) = add_setup();
+        let m = Machine::new(&g, &t, 100);
+        let s = Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(1)),
+            Move::Compute(NodeId(2)),
+        ]);
+        assert!(matches!(
+            m.run(&s, &[1.0, 1.0, 0.0]).unwrap_err(),
+            ExecError::OutputNotStored(NodeId(2))
+        ));
+    }
+
+    #[test]
+    fn load_requires_slow_residency() {
+        let (g, t) = add_setup();
+        let m = Machine::new(&g, &t, 100);
+        let s = Schedule::from_moves(vec![Move::Load(NodeId(2))]);
+        assert!(matches!(
+            m.run(&s, &[1.0, 1.0, 0.0]).unwrap_err(),
+            ExecError::MissingInSlow(0, NodeId(2))
+        ));
+    }
+
+    #[test]
+    fn spill_and_reload_preserves_value() {
+        let (g, t) = add_setup();
+        let m = Machine::new(&g, &t, 64);
+        let s = Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Store(NodeId(0)), // redundant but legal
+            Move::Delete(NodeId(0)),
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(1)),
+            Move::Compute(NodeId(2)),
+            Move::Store(NodeId(2)),
+        ]);
+        let report = m.run(&s, &[7.0, -2.0, 0.0]).unwrap();
+        assert_eq!(report.outputs[&NodeId(2)], 5.0);
+        assert_eq!(report.io_bits, 16 + 16 + 16 + 16 + 32);
+    }
+
+    #[test]
+    fn double_load_does_not_leak_capacity() {
+        let (g, t) = add_setup();
+        let m = Machine::new(&g, &t, 64);
+        let s = Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(1)),
+            Move::Compute(NodeId(2)),
+            Move::Store(NodeId(2)),
+        ]);
+        let report = m.run(&s, &[1.0, 1.0, 0.0]).unwrap();
+        assert_eq!(report.peak_fast_bits, 64);
+    }
+}

@@ -1,0 +1,82 @@
+//! # pebblyn — Weighted Red-Blue Pebble Games for resource-constrained
+//! scheduling and memory design
+//!
+//! A complete implementation of *Dataflow-Specific Algorithms for
+//! Resource-Constrained Scheduling and Memory Design* (SPAA 2025): the
+//! Weighted Red-Blue Pebble Game (WRBPG), provably optimal schedulers for
+//! tree-structured dataflows (DWT, k-ary trees), memory-state scheduling
+//! and MVM tiling, baselines, an executable two-level memory machine, and a
+//! calibrated SRAM synthesis model that turns minimum memory sizes into
+//! area/power/throughput numbers.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use pebblyn::prelude::*;
+//!
+//! // A Haar DWT over 16 samples, 2 levels, 16-bit samples everywhere.
+//! let dwt = DwtGraph::new(16, 2, WeightScheme::Equal(16)).unwrap();
+//!
+//! // The best any schedule can do: every input read + every output
+//! // written exactly once.
+//! let lb = algorithmic_lower_bound(dwt.cdag());
+//!
+//! // An optimal schedule under a 7-word (112-bit) fast memory.
+//! let schedule = dwt_opt::schedule(&dwt, 112).unwrap();
+//! let stats = validate_schedule(dwt.cdag(), 112, &schedule).unwrap();
+//! assert_eq!(stats.cost, dwt_opt::min_cost(&dwt, 112).unwrap());
+//! assert!(stats.cost >= lb);
+//! ```
+//!
+//! The workspace crates are re-exported under their short names:
+//!
+//! * [`core`] — the game model (graphs, moves, schedules, validation,
+//!   bounds),
+//! * [`graphs`] — DWT / MVM / k-ary tree constructions,
+//! * [`schedulers`] — the paper's algorithms plus baselines,
+//! * [`exact`] — exhaustive optimal search for certification,
+//! * [`baselines`] — IOOpt-style analytic bounds,
+//! * [`machine`] — executable two-level memory machine with energy
+//!   accounting,
+//! * [`kernels`] — Haar/MVM arithmetic, synthetic neural signals, BCI
+//!   features, fixed point,
+//! * [`synth`] — the SRAM macro model behind the circuit-level results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pebblyn_baselines as baselines;
+pub use pebblyn_core as core;
+pub use pebblyn_exact as exact;
+pub use pebblyn_graphs as graphs;
+pub use pebblyn_kernels as kernels;
+pub use pebblyn_machine as machine;
+pub use pebblyn_schedulers as schedulers;
+pub use pebblyn_synth as synth;
+
+/// Everything most programs need, in one import.
+pub mod prelude {
+    pub use pebblyn_baselines::IoOptMvmModel;
+    pub use pebblyn_core::{
+        algorithmic_lower_bound, min_feasible_budget, peephole, schedule_exists,
+        validate_schedule, Cdag, CdagBuilder, Label, Move, NodeId, PebbleState, PeepholeStats,
+        Schedule, ScheduleStats, Weight,
+    };
+    pub use pebblyn_exact::{exact_min_cost, exact_optimal_schedule, ExactSolver};
+    pub use pebblyn_graphs::{
+        banded, conv, dwt, dwt2d, dwt_coarse, mvm, tree, BandedMvmGraph, CoarseDwtGraph,
+        ConvGraph, Dwt2dGraph, DwtGraph, Layered, MvmGraph, WeightScheme,
+    };
+    pub use pebblyn_kernels::{features, fixed, haar, haar2d, mvm as mvm_kernel, signal};
+    pub use pebblyn_machine::{EnergyModel, Machine, Op, OpTable};
+    pub use pebblyn_schedulers::dwt_opt::IoCosts;
+    pub use pebblyn_schedulers::{
+        banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, memstate,
+        min_memory, mvm_tiling, naive, parallel, MinMemoryOptions,
+    };
+    pub use pebblyn_schedulers::parallel::ParallelPlan;
+    pub use pebblyn_schedulers::layer_by_layer::LayerByLayerOptions;
+    pub use pebblyn_schedulers::memstate::MemoryStates;
+    pub use pebblyn_schedulers::mvm_tiling::TilingConfig;
+    pub use pebblyn_synth::{round_pow2, Floorplan, NvmParams, Process, SramConfig, SramMacro};
+}

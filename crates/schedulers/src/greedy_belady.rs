@@ -1,0 +1,348 @@
+//! Reuse-aware greedy scheduling for arbitrary CDAGs.
+//!
+//! §4 closes by noting the data-reuse approach "extends … to less regular
+//! CDAGs as well".  This module is that extension as a practical
+//! scheduler: nodes are computed in a topological order, and when fast
+//! memory fills up the victim is chosen by **Belady's rule** — evict the
+//! resident value whose *next use* (in the planned compute order) lies
+//! furthest in the future, breaking ties toward values that are already
+//! clean (have a blue copy) and therefore evict for free.
+//!
+//! Unlike the FIFO layer-by-layer baseline this is reuse-aware, and unlike
+//! the tree DPs it handles any DAG (FFT butterflies, random DAGs, diamond
+//! reuse patterns).  It is a heuristic: for a *fixed* compute order,
+//! furthest-next-use is the classic offline caching policy; the compute
+//! order itself is not optimized.
+
+use pebblyn_core::{Cdag, Move, NodeId, Schedule, Weight};
+use std::collections::BinaryHeap;
+
+/// Schedule the whole graph under `budget` computing nodes in `order`
+/// (which must be a topological order of the non-source nodes), or `None`
+/// when the budget cannot hold some node's operand set.
+pub fn schedule_with_order(graph: &Cdag, budget: Weight, order: &[NodeId]) -> Option<Schedule> {
+    // use_positions[v] = positions in `order` where v is consumed, ascending.
+    let mut use_positions: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
+    for (pos, &v) in order.iter().enumerate() {
+        for &p in graph.preds(v) {
+            use_positions[p.index()].push(pos);
+        }
+    }
+
+    let mut st = State {
+        graph,
+        budget,
+        moves: Vec::new(),
+        red: vec![false; graph.len()],
+        blue: graph.nodes().map(|v| graph.is_source(v)).collect(),
+        pinned: vec![false; graph.len()],
+        next_use_cursor: vec![0; graph.len()],
+        use_positions,
+        used: 0,
+        victims: BinaryHeap::new(),
+    };
+
+    for (pos, &v) in order.iter().enumerate() {
+        debug_assert!(!graph.is_source(v), "order lists computed nodes only");
+        if !st.compute(pos, v) {
+            return None;
+        }
+    }
+    // Stopping condition: every sink needs a blue copy.
+    for v in graph.sinks() {
+        if !st.blue[v.index()] {
+            st.moves.push(Move::Store(v));
+            st.blue[v.index()] = true;
+        }
+    }
+    Some(Schedule::from_moves(st.moves))
+}
+
+/// Schedule with the graph's default topological order.
+pub fn schedule(graph: &Cdag, budget: Weight) -> Option<Schedule> {
+    let order: Vec<NodeId> = graph
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|&v| !graph.is_source(v))
+        .collect();
+    schedule_with_order(graph, budget, &order)
+}
+
+/// The schedule's cost, or `None` when infeasible.
+pub fn cost(graph: &Cdag, budget: Weight) -> Option<Weight> {
+    schedule(graph, budget).map(|s| s.cost(graph))
+}
+
+struct State<'a> {
+    graph: &'a Cdag,
+    budget: Weight,
+    moves: Vec<Move>,
+    red: Vec<bool>,
+    blue: Vec<bool>,
+    pinned: Vec<bool>,
+    /// Index into `use_positions[v]` of the first use not yet executed.
+    next_use_cursor: Vec<usize>,
+    use_positions: Vec<Vec<usize>>,
+    used: Weight,
+    /// Max-heap of (next_use, node) candidates; entries may be stale and
+    /// are re-validated on pop (lazy deletion).
+    victims: BinaryHeap<(usize, NodeId)>,
+}
+
+impl<'a> State<'a> {
+    /// The next position at which `v` is consumed, from `now` onward;
+    /// `usize::MAX` when it is never used again.
+    fn next_use(&mut self, v: NodeId, now: usize) -> usize {
+        let uses = &self.use_positions[v.index()];
+        let cur = &mut self.next_use_cursor[v.index()];
+        while *cur < uses.len() && uses[*cur] < now {
+            *cur += 1;
+        }
+        uses.get(*cur).copied().unwrap_or(usize::MAX)
+    }
+
+    fn insert_resident(&mut self, v: NodeId, now: usize) {
+        self.red[v.index()] = true;
+        self.used += self.graph.weight(v);
+        let nu = self.next_use(v, now);
+        self.victims.push((nu, v));
+    }
+
+    fn make_room(&mut self, extra: Weight, now: usize) -> bool {
+        while self.used + extra > self.budget {
+            // Pop until we find a live, unpinned resident entry whose key
+            // is current (lazy revalidation).  Pinned entries are parked
+            // and re-inserted so they stay evictable later.
+            let mut parked: Vec<(usize, NodeId)> = Vec::new();
+            let victim = loop {
+                let Some((key, v)) = self.victims.pop() else {
+                    self.victims.extend(parked);
+                    return false;
+                };
+                if !self.red[v.index()] {
+                    continue; // stale entry for an already-evicted node
+                }
+                if self.pinned[v.index()] {
+                    parked.push((key, v));
+                    continue;
+                }
+                let fresh = self.next_use(v, now);
+                if fresh != key {
+                    self.victims.push((fresh, v));
+                    continue;
+                }
+                break v;
+            };
+            self.victims.extend(parked);
+            let i = victim.index();
+            let dirty = !self.blue[i];
+            let needed_again = self.next_use(victim, now) != usize::MAX
+                || (self.graph.is_sink(victim) && !self.blue[i]);
+            if dirty && needed_again {
+                self.moves.push(Move::Store(victim));
+                self.blue[i] = true;
+            }
+            self.moves.push(Move::Delete(victim));
+            self.red[i] = false;
+            self.used -= self.graph.weight(victim);
+        }
+        true
+    }
+
+    fn make_red(&mut self, v: NodeId, now: usize) -> bool {
+        if self.red[v.index()] {
+            return true;
+        }
+        debug_assert!(self.blue[v.index()], "{v} must have been stored");
+        if !self.make_room(self.graph.weight(v), now) {
+            return false;
+        }
+        self.moves.push(Move::Load(v));
+        self.insert_resident(v, now);
+        true
+    }
+
+    fn compute(&mut self, now: usize, v: NodeId) -> bool {
+        for &p in self.graph.preds(v) {
+            self.pinned[p.index()] = true;
+        }
+        let ok = self
+            .graph
+            .preds(v)
+            .to_vec()
+            .into_iter()
+            .all(|p| self.make_red(p, now))
+            && self.make_room(self.graph.weight(v), now);
+        for &p in self.graph.preds(v) {
+            self.pinned[p.index()] = false;
+        }
+        if !ok {
+            return false;
+        }
+        self.moves.push(Move::Compute(v));
+        self.insert_resident(v, now + 1);
+        // Re-key the parents: their just-consumed use is gone, so their
+        // next-use keys grew.  Keys only ever grow, and a max-heap surfaces
+        // large keys, so grown keys must be pushed eagerly (the lazy
+        // revalidation on pop can only *shrink* stale entries' priority).
+        for &p in self.graph.preds(v) {
+            if self.red[p.index()] {
+                let nu = self.next_use(p, now + 1);
+                self.victims.push((nu, p));
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{layer_by_layer, naive};
+    use pebblyn_core::{algorithmic_lower_bound, min_feasible_budget, validate_schedule};
+    use pebblyn_graphs::layered::LayeredCdag;
+    use pebblyn_graphs::testgraphs::{diamond, fft_butterfly, random_layered_dag};
+    use pebblyn_graphs::{DwtGraph, Layered, WeightScheme};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn valid_on_diamond_at_min_feasible() {
+        let g = diamond(WeightScheme::Equal(4));
+        let b = min_feasible_budget(&g);
+        let s = schedule(&g, b).unwrap();
+        let stats = validate_schedule(&g, b, &s).unwrap();
+        assert!(stats.cost >= algorithmic_lower_bound(&g));
+        assert!(schedule(&g, b - 1).is_none());
+    }
+
+    #[test]
+    fn reaches_lower_bound_with_ample_memory() {
+        for g in [
+            diamond(WeightScheme::DoubleAccumulator(4)),
+            fft_butterfly(3, WeightScheme::Equal(4)).unwrap(),
+        ] {
+            let b = g.total_weight();
+            let s = schedule(&g, b).unwrap();
+            let stats = validate_schedule(&g, b, &s).unwrap();
+            assert_eq!(stats.cost, algorithmic_lower_bound(&g));
+        }
+    }
+
+    /// Boustrophedon compute order over the layers, matching the
+    /// layer-by-layer baseline's traversal.
+    fn boustrophedon_order(layered: &LayeredCdag) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        for (li, layer) in Layered::layers(layered).iter().enumerate().skip(1) {
+            if li % 2 == 0 {
+                order.extend(layer.iter().rev().copied());
+            } else {
+                order.extend(layer.iter().copied());
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn beats_fifo_layer_by_layer_on_fft_at_equal_order() {
+        // Belady is the optimal eviction policy *for a fixed compute
+        // order*; compare both policies under the same (boustrophedon)
+        // order across an FFT budget sweep.
+        let g = fft_butterfly(4, WeightScheme::Equal(16)).unwrap();
+        let layered = LayeredCdag::from_cdag(g.clone());
+        let order = boustrophedon_order(&layered);
+        let minb = min_feasible_budget(&g);
+        let mut belady_total: u64 = 0;
+        let mut fifo_total: u64 = 0;
+        let mut b = minb;
+        while b <= g.total_weight() {
+            let bl = schedule_with_order(&g, b, &order).map(|s| {
+                validate_schedule(&g, b, &s).expect("valid").cost
+            });
+            let ff = layer_by_layer::cost(&layered, b, Default::default());
+            if let (Some(bl), Some(ff)) = (bl, ff) {
+                belady_total += bl;
+                fifo_total += ff;
+            }
+            b += 8 * 16;
+        }
+        assert!(
+            belady_total <= fifo_total,
+            "belady {belady_total} vs fifo {fifo_total}"
+        );
+    }
+
+    /// A hub value consumed by every subsequent compute: FIFO keeps
+    /// evicting it (it is always the oldest), Belady pins it (its next use
+    /// is always the nearest).
+    #[test]
+    fn hub_reuse_pattern() {
+        let mut b = pebblyn_core::CdagBuilder::new();
+        let hub = b.node(16, "hub");
+        let consumers = 6;
+        for i in 0..consumers {
+            let x = b.node(16, format!("x{i}"));
+            let c = b.node(16, format!("c{i}"));
+            b.edge(hub, c);
+            b.edge(x, c);
+        }
+        let g = b.build().unwrap();
+        // Room for hub + one private input + one result + one slack word.
+        let budget = 4 * 16;
+        let s = schedule(&g, budget).unwrap();
+        let stats = validate_schedule(&g, budget, &s).unwrap();
+        // Optimal: hub once + 6 private inputs + 6 outputs = 13 words.
+        assert_eq!(
+            stats.cost,
+            13 * 16,
+            "belady must keep the hub resident (schedule: {s})"
+        );
+    }
+
+    #[test]
+    fn never_worse_than_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for _ in 0..20 {
+            let g = random_layered_dag(4, 4, 1..=6, &mut rng).unwrap();
+            let b = min_feasible_budget(&g);
+            let s = schedule(&g, b).expect("feasible at min budget");
+            let stats = validate_schedule(&g, b, &s).unwrap();
+            assert!(stats.cost <= naive::cost(&g));
+        }
+    }
+
+    #[test]
+    fn random_dags_validate_across_budgets() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for _ in 0..15 {
+            let g = random_layered_dag(3, 5, 1..=9, &mut rng).unwrap();
+            let minb = min_feasible_budget(&g);
+            let step = g.weight_gcd().max(1);
+            let mut prev_unseen = true;
+            for k in 0..10 {
+                let b = minb + k * step * 3;
+                if let Some(s) = schedule(&g, b) {
+                    validate_schedule(&g, b, &s)
+                        .unwrap_or_else(|e| panic!("invalid at b={b}: {e}"));
+                    prev_unseen = false;
+                }
+            }
+            assert!(!prev_unseen, "never scheduled anything");
+        }
+    }
+
+    #[test]
+    fn works_on_dwt_graphs_too() {
+        // Sanity: the generic scheduler handles the paper's graphs, just
+        // not optimally.
+        let dwt = DwtGraph::new(16, 4, WeightScheme::Equal(16)).unwrap();
+        let g = dwt.cdag();
+        let b = min_feasible_budget(g) + 64;
+        let s = schedule(g, b).unwrap();
+        let stats = validate_schedule(g, b, &s).unwrap();
+        let opt = crate::dwt_opt::min_cost(&dwt, b).unwrap();
+        assert!(stats.cost >= opt);
+        let _ = Layered::layers(&dwt);
+    }
+}

@@ -1,0 +1,422 @@
+//! Optimal WRBPG schedules for k-ary tree graphs — Eq. (6), Lemma 3.7 and
+//! Theorem 3.8.
+//!
+//! For each `(node, budget)` state the paper minimises over every parent
+//! *ordering* `σ ∈ Perm(H(v))` and every *keep mask* `δ ∈ {0,1}^k` (keep the
+//! parent red while later parents are computed, or spill it for `2·w`):
+//!
+//! ```text
+//! P_t(v, b) = min_{σ, δ}  Σ_i P_t(σ(i), b − Σ_{j<i} δ_j·w_σ(j))
+//!                        + 2·Σ_i (1 − δ_i)·w_σ(i)
+//! ```
+//!
+//! Enumerating `k!·2^k` choices is what the paper's Theorem 3.8 accounts
+//! for; this implementation instead runs an exact Held–Karp-style subset DP
+//! (state = processed parent set × total kept weight) which explores the
+//! same decision space in `O(3^k)`-ish work per node without changing the
+//! optimum.  [`min_cost_bruteforce`] keeps the literal `σ, δ` enumeration
+//! for cross-checking.
+
+use crate::dwt_opt::IoCosts;
+use crate::stack::with_large_stack;
+use pebblyn_core::{Cdag, Move, NodeId, Schedule, Weight};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A memoised plan for computing one subtree root with a given budget.
+#[derive(Debug)]
+enum Plan {
+    Leaf {
+        v: NodeId,
+        cost: Weight,
+    },
+    Node {
+        v: NodeId,
+        /// Parents in computation order, each with its plan and keep flag.
+        order: Vec<(NodeId, Rc<Plan>, bool)>,
+        cost: Weight,
+    },
+}
+
+impl Plan {
+    fn cost(&self) -> Weight {
+        match self {
+            Plan::Leaf { cost, .. } | Plan::Node { cost, .. } => *cost,
+        }
+    }
+
+    /// Emit moves.  Post-condition: exactly the subtree root is red.
+    fn emit(&self, out: &mut Vec<Move>) {
+        match self {
+            Plan::Leaf { v, .. } => out.push(Move::Load(*v)),
+            Plan::Node { v, order, .. } => {
+                for (p, plan, keep) in order {
+                    plan.emit(out);
+                    if !keep {
+                        out.push(Move::Store(*p));
+                        out.push(Move::Delete(*p));
+                    }
+                }
+                // Reload the spilled parents (in computation order).
+                for (p, _, keep) in order {
+                    if !keep {
+                        out.push(Move::Load(*p));
+                    }
+                }
+                out.push(Move::Compute(*v));
+                for (p, _, _) in order {
+                    out.push(Move::Delete(*p));
+                }
+            }
+        }
+    }
+}
+
+struct Dp<'a> {
+    graph: &'a Cdag,
+    costs: IoCosts,
+    memo: HashMap<(NodeId, Weight), Option<Rc<Plan>>>,
+}
+
+impl<'a> Dp<'a> {
+    fn pebble(&mut self, v: NodeId, b: Weight) -> Option<Rc<Plan>> {
+        if let Some(hit) = self.memo.get(&(v, b)) {
+            return hit.clone();
+        }
+        let plan = self.compute(v, b);
+        self.memo.insert((v, b), plan.clone());
+        plan
+    }
+
+    fn compute(&mut self, v: NodeId, b: Weight) -> Option<Rc<Plan>> {
+        let g = self.graph;
+        let preds = g.preds(v).to_vec();
+        if preds.is_empty() {
+            let w = g.weight(v);
+            if w > b {
+                return None;
+            }
+            return Some(Rc::new(Plan::Leaf {
+                v,
+                cost: self.costs.load * w,
+            }));
+        }
+        let k = preds.len();
+        assert!(
+            k <= 20,
+            "k-ary DP supports in-degree <= 20 (got {k}); the paper targets k = O(log log n)"
+        );
+        let wsum: Weight = preds.iter().map(|&p| g.weight(p)).sum();
+        // Feasibility: v and all parents simultaneously red at M3(v).
+        if g.weight(v).checked_add(wsum).is_none_or(|s| s > b) {
+            return None;
+        }
+
+        // Held–Karp over (processed subset, kept weight): kept weight is the
+        // only channel through which earlier keep decisions affect later
+        // parents' budgets, so it is a sufficient statistic for δ.
+        type Key = (u32, Weight); // (subset mask, kept weight)
+        #[derive(Clone)]
+        struct Partial {
+            cost: Weight,
+            /// (parent index, plan, keep) appended in order.
+            order: Vec<(usize, Rc<Plan>, bool)>,
+        }
+        let mut frontier: HashMap<Key, Partial> = HashMap::new();
+        frontier.insert(
+            (0, 0),
+            Partial {
+                cost: 0,
+                order: Vec::new(),
+            },
+        );
+        let full = (1u32 << k) - 1;
+        for _ in 0..k {
+            let mut next: HashMap<Key, Partial> = HashMap::new();
+            for ((mask, kept), partial) in &frontier {
+                for (i, &p) in preds.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        continue;
+                    }
+                    if *kept >= b {
+                        continue;
+                    }
+                    let sub_budget = b - kept;
+                    let Some(plan) = self.pebble(p, sub_budget) else {
+                        continue;
+                    };
+                    let wp = g.weight(p);
+                    for keep in [true, false] {
+                        let extra = if keep {
+                            0
+                        } else {
+                            (self.costs.load + self.costs.store) * wp
+                        };
+                        let nkept = if keep { kept + wp } else { *kept };
+                        let ncost = partial.cost + plan.cost() + extra;
+                        let key = (mask | (1 << i), nkept);
+                        let better = next.get(&key).is_none_or(|e| ncost < e.cost);
+                        if better {
+                            let mut order = partial.order.clone();
+                            order.push((i, plan.clone(), keep));
+                            next.insert(key, Partial { cost: ncost, order });
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        let best = frontier
+            .iter()
+            .filter(|((mask, _), _)| *mask == full)
+            .min_by_key(|(_, partial)| partial.cost)?;
+        let order = best
+            .1
+            .order
+            .iter()
+            .map(|(i, plan, keep)| (preds[*i], plan.clone(), *keep))
+            .collect();
+        Some(Rc::new(Plan::Node {
+            v,
+            order,
+            cost: best.1.cost,
+        }))
+    }
+}
+
+fn tree_root(tree: &Cdag) -> NodeId {
+    assert!(
+        tree.is_in_tree(),
+        "k-ary scheduler requires an in-tree (single sink, out-degree <= 1)"
+    );
+    tree.sinks()[0]
+}
+
+/// Minimum weighted schedule cost for a k-ary tree graph under `budget`
+/// (Lemma 3.7: `w_r + P_t(r, B)`), or `None` when no valid schedule exists.
+pub fn min_cost(tree: &Cdag, budget: Weight) -> Option<Weight> {
+    min_cost_with_costs(tree, budget, IoCosts::default())
+}
+
+/// As [`min_cost`] under asymmetric per-bit I/O prices (see
+/// [`crate::dwt_opt::IoCosts`]).
+pub fn min_cost_with_costs(tree: &Cdag, budget: Weight, costs: IoCosts) -> Option<Weight> {
+    let root = tree_root(tree);
+    with_large_stack(|| {
+        let mut dp = Dp {
+            graph: tree,
+            costs,
+            memo: HashMap::new(),
+        };
+        dp.pebble(root, budget)
+            .map(|plan| plan.cost() + costs.store * tree.weight(root))
+    })
+}
+
+/// Generate an optimal schedule for a k-ary tree graph under `budget`.
+pub fn schedule(tree: &Cdag, budget: Weight) -> Option<Schedule> {
+    schedule_with_costs(tree, budget, IoCosts::default())
+}
+
+/// As [`schedule`] under asymmetric per-bit I/O prices.
+pub fn schedule_with_costs(tree: &Cdag, budget: Weight, costs: IoCosts) -> Option<Schedule> {
+    let root = tree_root(tree);
+    with_large_stack(|| {
+        let mut dp = Dp {
+            graph: tree,
+            costs,
+            memo: HashMap::new(),
+        };
+        let plan = dp.pebble(root, budget)?;
+        let mut moves = Vec::new();
+        plan.emit(&mut moves);
+        moves.push(Move::Store(root));
+        moves.push(Move::Delete(root));
+        Some(Schedule::from_moves(moves))
+    })
+}
+
+/// Literal implementation of Eq. (6): enumerate every parent permutation and
+/// keep mask.  Exponential in `k`; used to cross-check the subset DP.
+pub fn min_cost_bruteforce(tree: &Cdag, budget: Weight) -> Option<Weight> {
+    let root = tree_root(tree);
+    fn pt(
+        g: &Cdag,
+        v: NodeId,
+        b: Weight,
+        memo: &mut HashMap<(NodeId, Weight), Option<Weight>>,
+    ) -> Option<Weight> {
+        if let Some(&hit) = memo.get(&(v, b)) {
+            return hit;
+        }
+        let preds = g.preds(v).to_vec();
+        let result = (|| {
+            if preds.is_empty() {
+                return (g.weight(v) <= b).then(|| g.weight(v));
+            }
+            let wsum: Weight = preds.iter().map(|&p| g.weight(p)).sum();
+            if g.weight(v) + wsum > b {
+                return None;
+            }
+            let k = preds.len();
+            let mut best: Option<Weight> = None;
+            let mut perm: Vec<usize> = (0..k).collect();
+            permute(&mut perm, 0, &mut |sigma| {
+                for delta in 0..(1u32 << k) {
+                    let mut cost: Weight = 0;
+                    let mut kept: Weight = 0;
+                    let mut ok = true;
+                    for (i, &pi) in sigma.iter().enumerate() {
+                        let p = preds[pi];
+                        if kept > b {
+                            ok = false;
+                            break;
+                        }
+                        match pt(g, p, b - kept, memo) {
+                            Some(c) => cost += c,
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if delta & (1 << i) != 0 {
+                            kept += g.weight(p);
+                        } else {
+                            cost += 2 * g.weight(p);
+                        }
+                    }
+                    if ok && best.is_none_or(|bst| cost < bst) {
+                        best = Some(cost);
+                    }
+                }
+            });
+            best
+        })();
+        memo.insert((v, b), result);
+        result
+    }
+
+    fn permute(v: &mut Vec<usize>, i: usize, f: &mut impl FnMut(&[usize])) {
+        if i == v.len() {
+            f(v);
+            return;
+        }
+        for j in i..v.len() {
+            v.swap(i, j);
+            permute(v, i + 1, f);
+            v.swap(i, j);
+        }
+    }
+
+    with_large_stack(|| {
+        let mut memo = HashMap::new();
+        pt(tree, root, budget, &mut memo).map(|c| c + tree.weight(root))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::{algorithmic_lower_bound, min_feasible_budget, validate_schedule};
+    use pebblyn_graphs::tree::{caterpillar, chain, full_kary, random_weighted_tree};
+    use pebblyn_graphs::WeightScheme;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_all_budgets(tree: &Cdag) {
+        let lb = algorithmic_lower_bound(tree);
+        let minb = min_feasible_budget(tree);
+        let maxb = tree.total_weight();
+        let step = tree.weight_gcd().max(1);
+        let mut prev = None;
+        let mut b = minb;
+        while b <= maxb {
+            let c = min_cost(tree, b);
+            let s = schedule(tree, b);
+            assert_eq!(c.is_some(), s.is_some());
+            if let (Some(c), Some(s)) = (c, s) {
+                let stats = validate_schedule(tree, b, &s)
+                    .unwrap_or_else(|e| panic!("invalid at b={b}: {e}"));
+                assert_eq!(stats.cost, c);
+                assert!(c >= lb);
+                assert_eq!(
+                    min_cost_bruteforce(tree, b),
+                    Some(c),
+                    "subset DP must match the literal Eq. (6) enumeration at b={b}"
+                );
+                if let Some(p) = prev {
+                    assert!(c <= p);
+                }
+                prev = Some(c);
+            }
+            b += step;
+        }
+        assert_eq!(min_cost(tree, maxb), Some(lb));
+    }
+
+    #[test]
+    fn binary_tree_all_budgets() {
+        let t = full_kary(2, 3, WeightScheme::Equal(2)).unwrap();
+        check_all_budgets(&t);
+    }
+
+    #[test]
+    fn ternary_tree_all_budgets() {
+        let t = full_kary(3, 2, WeightScheme::DoubleAccumulator(2)).unwrap();
+        check_all_budgets(&t);
+    }
+
+    #[test]
+    fn chain_all_budgets() {
+        let t = chain(6, WeightScheme::Equal(3)).unwrap();
+        check_all_budgets(&t);
+    }
+
+    #[test]
+    fn caterpillar_all_budgets() {
+        let t = caterpillar(5, WeightScheme::DoubleAccumulator(2)).unwrap();
+        check_all_budgets(&t);
+    }
+
+    #[test]
+    fn random_weighted_trees_match_bruteforce() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..15 {
+            let t = random_weighted_tree(4, 3, 1..=5, &mut rng).unwrap();
+            let minb = min_feasible_budget(&t);
+            for b in [minb, minb + 2, minb + 5, t.total_weight()] {
+                assert_eq!(min_cost(&t, b), min_cost_bruteforce(&t, b));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_cost_is_endpoints_at_min_budget() {
+        // A chain never needs spills: cost = input + output at every
+        // feasible budget.
+        let t = chain(10, WeightScheme::Equal(4)).unwrap();
+        let minb = min_feasible_budget(&t);
+        assert_eq!(min_cost(&t, minb), Some(8));
+    }
+
+    #[test]
+    fn rejects_non_trees() {
+        let g = pebblyn_graphs::testgraphs::diamond(WeightScheme::Equal(1));
+        let result = std::panic::catch_unwind(|| min_cost(&g, 100));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let t = chain(20_000, WeightScheme::Equal(1)).unwrap();
+        assert_eq!(min_cost(&t, 2), Some(2));
+    }
+
+    #[test]
+    fn unary_internal_nodes_handled() {
+        // k-ary trees permit in-degree 1 internal nodes (k covers max).
+        let t = full_kary(1, 5, WeightScheme::Equal(7)).unwrap();
+        check_all_budgets(&t);
+    }
+}

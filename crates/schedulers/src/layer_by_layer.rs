@@ -1,0 +1,300 @@
+//! The layer-by-layer scheduling baseline — §5.1.
+//!
+//! Nodes are scheduled layer by layer (`S_2` through `S_{d+1}`), within each
+//! layer in index order, alternating direction every layer (boustrophedon)
+//! so recently computed values are the first operands of the next layer.
+//! When fast memory fills up, red-pebbled nodes are reclaimed in FIFO order
+//! of placement:
+//!
+//! * a node with children still to compute is *spilled* (store + delete —
+//!   the expensive case the paper's optimal schedules avoid),
+//! * a node whose children are all computed is deleted — after a store if
+//!   it is an output that has not been saved yet,
+//! * clean nodes (inputs, or already stored) are deleted without a store.
+//!
+//! Reclamation is lazy — values stay resident until pressure forces them
+//! out — which is why this heuristic needs far more fast memory than the
+//! optimal schedule to reach the algorithmic lower bound (Fig. 5a/5b,
+//! Table 1).
+
+use pebblyn_core::{Cdag, Move, NodeId, Schedule, Weight};
+use pebblyn_graphs::Layered;
+use std::collections::VecDeque;
+
+/// Traversal options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerByLayerOptions {
+    /// Alternate traversal direction every layer (the paper's I/O-reducing
+    /// optimization).  `false` always ascends — used by the ablation bench.
+    pub boustrophedon: bool,
+}
+
+impl Default for LayerByLayerOptions {
+    fn default() -> Self {
+        LayerByLayerOptions {
+            boustrophedon: true,
+        }
+    }
+}
+
+struct State<'a> {
+    graph: &'a Cdag,
+    budget: Weight,
+    moves: Vec<Move>,
+    red: Vec<bool>,
+    /// Has a blue copy (inputs start true; set by stores).
+    blue: Vec<bool>,
+    /// Children not yet computed.
+    remaining: Vec<usize>,
+    /// Red nodes in placement order.
+    fifo: VecDeque<NodeId>,
+    pinned: Vec<bool>,
+    used: Weight,
+}
+
+impl<'a> State<'a> {
+    fn new(graph: &'a Cdag, budget: Weight) -> Self {
+        State {
+            graph,
+            budget,
+            moves: Vec::new(),
+            red: vec![false; graph.len()],
+            blue: graph.nodes().map(|v| graph.is_source(v)).collect(),
+            remaining: graph.nodes().map(|v| graph.out_degree(v)).collect(),
+            fifo: VecDeque::new(),
+            pinned: vec![false; graph.len()],
+            used: 0,
+        }
+    }
+
+    /// Reclaim fast memory until `extra` more bits fit.  Returns `false`
+    /// when every resident node is pinned and the request cannot be met.
+    fn make_room(&mut self, extra: Weight) -> bool {
+        while self.used + extra > self.budget {
+            let Some(pos) = self
+                .fifo
+                .iter()
+                .position(|&v| !self.pinned[v.index()])
+            else {
+                return false;
+            };
+            let v = self.fifo.remove(pos).expect("position is in range");
+            let i = v.index();
+            let must_save =
+                !self.blue[i] && (self.remaining[i] > 0 || self.graph.is_sink(v));
+            if must_save {
+                self.moves.push(Move::Store(v));
+                self.blue[i] = true;
+            }
+            self.moves.push(Move::Delete(v));
+            self.red[i] = false;
+            self.used -= self.graph.weight(v);
+        }
+        true
+    }
+
+    fn make_red(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        if self.red[i] {
+            return true;
+        }
+        debug_assert!(
+            self.blue[i],
+            "layer order guarantees {v} was computed and saved before reuse"
+        );
+        let w = self.graph.weight(v);
+        if !self.make_room(w) {
+            return false;
+        }
+        self.moves.push(Move::Load(v));
+        self.red[i] = true;
+        self.used += w;
+        self.fifo.push_back(v);
+        true
+    }
+
+    fn compute(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        debug_assert!(!self.red[i], "layer traversal computes each node once");
+        // Pin the operands (and bring them in) so reclamation cannot evict
+        // them mid-computation.
+        for &p in self.graph.preds(v) {
+            self.pinned[p.index()] = true;
+        }
+        let ok = self
+            .graph
+            .preds(v)
+            .to_vec()
+            .into_iter()
+            .all(|p| self.make_red(p))
+            && self.make_room(self.graph.weight(v));
+        for &p in self.graph.preds(v) {
+            self.pinned[p.index()] = false;
+        }
+        if !ok {
+            return false;
+        }
+        self.moves.push(Move::Compute(v));
+        self.red[i] = true;
+        self.used += self.graph.weight(v);
+        self.fifo.push_back(v);
+        for &p in self.graph.preds(v) {
+            self.remaining[p.index()] -= 1;
+        }
+        true
+    }
+
+    fn finish(mut self) -> Schedule {
+        // Stopping condition: store any output still lacking a blue copy.
+        for v in self.graph.sinks() {
+            if !self.blue[v.index()] {
+                debug_assert!(self.red[v.index()]);
+                self.moves.push(Move::Store(v));
+                self.blue[v.index()] = true;
+            }
+        }
+        Schedule::from_moves(self.moves)
+    }
+}
+
+/// Generate the layer-by-layer schedule, or `None` when the budget is too
+/// small for some node's operand set.
+pub fn schedule<L: Layered>(
+    layered: &L,
+    budget: Weight,
+    options: LayerByLayerOptions,
+) -> Option<Schedule> {
+    let graph = layered.cdag();
+    let mut st = State::new(graph, budget);
+    for (li, layer) in layered.layers().iter().enumerate().skip(1) {
+        let descending = options.boustrophedon && li % 2 == 0;
+        let order: Vec<NodeId> = if descending {
+            layer.iter().rev().copied().collect()
+        } else {
+            layer.clone()
+        };
+        for v in order {
+            if !st.compute(v) {
+                return None;
+            }
+        }
+    }
+    Some(st.finish())
+}
+
+/// Cost of the layer-by-layer schedule at `budget` (replayed), or `None`
+/// when infeasible.
+pub fn cost<L: Layered>(
+    layered: &L,
+    budget: Weight,
+    options: LayerByLayerOptions,
+) -> Option<Weight> {
+    schedule(layered, budget, options).map(|s| s.cost(layered.cdag()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::{
+        algorithmic_lower_bound, min_feasible_budget, validate_schedule,
+    };
+    use pebblyn_graphs::{DwtGraph, MvmGraph, WeightScheme};
+
+    fn check_sweep<L: Layered>(layered: &L) {
+        let g = layered.cdag();
+        let lb = algorithmic_lower_bound(g);
+        let minb = min_feasible_budget(g);
+        let maxb = g.total_weight();
+        let step = g.weight_gcd().max(1);
+        let mut b = minb;
+        while b <= maxb {
+            if let Some(s) = schedule(layered, b, LayerByLayerOptions::default()) {
+                let stats = validate_schedule(g, b, &s)
+                    .unwrap_or_else(|e| panic!("invalid at b={b}: {e}"));
+                assert!(stats.cost >= lb);
+            }
+            b += step;
+        }
+        // Ample budget: no spills, exactly the lower bound.
+        let s = schedule(layered, maxb, LayerByLayerOptions::default()).unwrap();
+        let stats = validate_schedule(g, maxb, &s).unwrap();
+        assert_eq!(stats.cost, lb);
+    }
+
+    #[test]
+    fn dwt_sweep_equal() {
+        let dwt = DwtGraph::new(16, 4, WeightScheme::Equal(16)).unwrap();
+        check_sweep(&dwt);
+    }
+
+    #[test]
+    fn dwt_sweep_double_accumulator() {
+        let dwt = DwtGraph::new(16, 2, WeightScheme::DoubleAccumulator(16)).unwrap();
+        check_sweep(&dwt);
+    }
+
+    #[test]
+    fn mvm_sweep() {
+        let mvm = MvmGraph::new(4, 5, WeightScheme::Equal(8)).unwrap();
+        check_sweep(&mvm);
+    }
+
+    #[test]
+    fn feasible_at_min_feasible_budget() {
+        let dwt = DwtGraph::new(8, 3, WeightScheme::Equal(16)).unwrap();
+        let minb = min_feasible_budget(dwt.cdag());
+        let s = schedule(&dwt, minb, LayerByLayerOptions::default()).unwrap();
+        validate_schedule(dwt.cdag(), minb, &s).unwrap();
+        assert!(schedule(&dwt, minb - 1, LayerByLayerOptions::default()).is_none());
+    }
+
+    #[test]
+    fn boustrophedon_helps_on_dwt() {
+        // The alternating traversal should never be more expensive at the
+        // budgets where the fixed traversal spills.
+        let dwt = DwtGraph::new(32, 5, WeightScheme::Equal(16)).unwrap();
+        let g = dwt.cdag();
+        let minb = min_feasible_budget(g);
+        let mut alternating_total = 0u64;
+        let mut fixed_total = 0u64;
+        let mut b = minb;
+        while b <= minb + 32 * 16 {
+            let alt = cost(&dwt, b, LayerByLayerOptions { boustrophedon: true });
+            let fix = cost(&dwt, b, LayerByLayerOptions { boustrophedon: false });
+            if let (Some(a), Some(f)) = (alt, fix) {
+                alternating_total += a;
+                fixed_total += f;
+            }
+            b += 16;
+        }
+        assert!(
+            alternating_total <= fixed_total,
+            "boustrophedon ({alternating_total}) should beat fixed ({fixed_total}) overall"
+        );
+    }
+
+    #[test]
+    fn needs_much_more_memory_than_optimal_for_lb() {
+        // The qualitative Table 1 result: layer-by-layer reaches the lower
+        // bound only with a much larger budget than the optimum scheduler.
+        let dwt = DwtGraph::new(64, 6, WeightScheme::Equal(16)).unwrap();
+        let g = dwt.cdag();
+        let lb = algorithmic_lower_bound(g);
+        let opt_min = crate::min_memory::min_memory(
+            |b| crate::dwt_opt::min_cost(&dwt, b),
+            lb,
+            crate::min_memory::MinMemoryOptions::for_graph(g).monotone(true),
+        )
+        .unwrap();
+        let lbl_min = crate::min_memory::min_memory(
+            |b| cost(&dwt, b, LayerByLayerOptions::default()),
+            lb,
+            crate::min_memory::MinMemoryOptions::for_graph(g).monotone(false),
+        )
+        .unwrap();
+        assert!(
+            lbl_min >= 4 * opt_min,
+            "expected LbL ({lbl_min}) to need >= 4x the optimum ({opt_min})"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimum fast memory size search — Definition 2.6.
+//!
+//! Given a scheduler's cost function `cost(b)` and a target (normally the
+//! algorithmic lower bound of Proposition 2.4), find the smallest budget on
+//! the weight lattice at which the scheduler's cost equals the target.
+//!
+//! For optimal schedulers `cost(b)` is non-increasing in `b`, so the search
+//! can bisect; heuristics (layer-by-layer) are not guaranteed monotone, so
+//! the default scans linearly.
+
+use pebblyn_core::{min_feasible_budget, Cdag, Weight};
+
+/// Search options: budget range, lattice step, and monotonicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinMemoryOptions {
+    /// Smallest budget to consider (inclusive).
+    pub lo: Weight,
+    /// Largest budget to consider (inclusive).
+    pub hi: Weight,
+    /// Budget lattice step — normally the gcd of the node weights; only
+    /// multiples of the step above `lo` are probed.
+    pub step: Weight,
+    /// Whether `cost(b)` is non-increasing in `b` (enables bisection).
+    pub monotone: bool,
+}
+
+impl MinMemoryOptions {
+    /// Sensible options for a graph: from the minimum feasible budget to the
+    /// total weight, stepping by the weight gcd, assuming non-monotone.
+    pub fn for_graph(graph: &Cdag) -> Self {
+        MinMemoryOptions {
+            lo: min_feasible_budget(graph),
+            hi: graph.total_weight(),
+            step: graph.weight_gcd().max(1),
+            monotone: false,
+        }
+    }
+
+    /// Builder-style monotonicity flag.
+    pub fn monotone(mut self, yes: bool) -> Self {
+        self.monotone = yes;
+        self
+    }
+
+    /// Builder-style range override.
+    pub fn range(mut self, lo: Weight, hi: Weight) -> Self {
+        self.lo = lo;
+        self.hi = hi;
+        self
+    }
+}
+
+/// The smallest budget `b ∈ {lo, lo+step, …} ∩ [lo, hi]` with
+/// `cost_at(b) == Some(target)`, or `None` if no probed budget reaches the
+/// target.
+///
+/// `cost_at(b) = None` means "no valid schedule at this budget".
+pub fn min_memory<F>(mut cost_at: F, target: Weight, opts: MinMemoryOptions) -> Option<Weight>
+where
+    F: FnMut(Weight) -> Option<Weight>,
+{
+    if opts.lo > opts.hi || opts.step == 0 {
+        return None;
+    }
+    let steps = (opts.hi - opts.lo) / opts.step;
+    let budget = |k: Weight| opts.lo + k * opts.step;
+    let hits = |cost_at: &mut F, k: Weight| cost_at(budget(k)) == Some(target);
+
+    if opts.monotone {
+        if !hits(&mut cost_at, steps) {
+            return None;
+        }
+        // Bisect for the smallest k with cost == target; monotone cost means
+        // the hit-set is an up-closed interval of k.
+        let (mut lo_k, mut hi_k) = (0, steps);
+        while lo_k < hi_k {
+            let mid = lo_k + (hi_k - lo_k) / 2;
+            if hits(&mut cost_at, mid) {
+                hi_k = mid;
+            } else {
+                lo_k = mid + 1;
+            }
+        }
+        Some(budget(lo_k))
+    } else {
+        (0..=steps).find(|&k| hits(&mut cost_at, k)).map(budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(lo: Weight, hi: Weight, step: Weight, monotone: bool) -> MinMemoryOptions {
+        MinMemoryOptions {
+            lo,
+            hi,
+            step,
+            monotone,
+        }
+    }
+
+    #[test]
+    fn linear_and_bisect_agree_on_monotone_costs() {
+        // cost(b) = max(100, 200 - b), target 100 first reached at b = 100.
+        let cost = |b: Weight| Some(100u64.max(200 - b.min(200)));
+        let linear = min_memory(cost, 100, opts(0, 300, 7, false));
+        let bisect = min_memory(cost, 100, opts(0, 300, 7, true));
+        assert_eq!(linear, bisect);
+        assert_eq!(linear, Some(105)); // first lattice point >= 100
+    }
+
+    #[test]
+    fn respects_infeasibility() {
+        let cost = |b: Weight| (b >= 50).then_some(if b >= 80 { 10 } else { 20 });
+        assert_eq!(min_memory(cost, 10, opts(0, 100, 10, false)), Some(80));
+        assert_eq!(min_memory(cost, 10, opts(0, 100, 10, true)), Some(80));
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let cost = |_b: Weight| Some(42);
+        assert_eq!(min_memory(cost, 10, opts(0, 100, 1, false)), None);
+        assert_eq!(min_memory(cost, 10, opts(0, 100, 1, true)), None);
+    }
+
+    #[test]
+    fn empty_range_returns_none() {
+        let cost = |_b: Weight| Some(10);
+        assert_eq!(min_memory(cost, 10, opts(10, 5, 1, false)), None);
+        assert_eq!(min_memory(cost, 10, opts(0, 10, 0, false)), None);
+    }
+
+    #[test]
+    fn nonmonotone_scan_finds_first_hit() {
+        // A cost that dips to the target and comes back up — bisection
+        // would be wrong here, linear scan is required.
+        let cost = |b: Weight| Some(if b == 30 || b >= 70 { 5 } else { 9 });
+        assert_eq!(min_memory(cost, 5, opts(0, 100, 10, false)), Some(30));
+    }
+}

@@ -1,0 +1,377 @@
+//! Dataflow-specific tiling for Matrix-Vector Multiplication — §4.3.
+//!
+//! The scheduler holds a *tile* of `tile_height` output rows in fast memory
+//! and streams the matrix column by column.  Two residency resources trade
+//! off against each other:
+//!
+//! * **accumulators** — one live partial sum per tile row; a taller tile
+//!   means the vector is re-read fewer times (`⌈m / h⌉` passes), and
+//! * **vector entries** — a `resident_vector` prefix of `x` pinned in fast
+//!   memory is read once instead of once per pass.
+//!
+//! With arbitrary node weights the relative cost of an accumulator versus a
+//! vector word decides which resource wins: in the *Equal* configuration
+//! `MVM(96, 120)` favours a full-height tile (99 words), while *Double
+//! Accumulator* favours a fully resident vector (126 words) — Table 1.
+//!
+//! [`best_config`] searches the whole `(height, residency)` family under a
+//! budget; `tile_width < n` (spilling accumulators between column chunks)
+//! is supported for the ablation study and is never chosen by the search
+//! because it adds I/O without lowering peak occupancy.
+
+use pebblyn_core::{Move, Schedule, Weight};
+use pebblyn_graphs::MvmGraph;
+
+/// One point of the tiling family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingConfig {
+    /// Number of output rows processed concurrently (`1..=m`).
+    pub tile_height: usize,
+    /// Number of leading vector entries pinned in fast memory (`0..=n`).
+    pub resident_vector: usize,
+    /// Columns accumulated before spilling the tile's partial sums
+    /// (`1..=n`; `n` means never spill — the default).
+    pub tile_width: usize,
+}
+
+impl TilingConfig {
+    /// The default configuration family member: full width, given height
+    /// and residency.
+    pub fn new(tile_height: usize, resident_vector: usize, n: usize) -> Self {
+        TilingConfig {
+            tile_height,
+            resident_vector,
+            tile_width: n,
+        }
+    }
+}
+
+/// Analytic weighted I/O cost of a config (equals the emitted schedule's
+/// replayed cost; asserted in tests).
+pub fn config_cost(mvm: &MvmGraph, cfg: &TilingConfig) -> Weight {
+    let (m, n) = (mvm.m() as Weight, mvm.n() as Weight);
+    let w_in = mvm.scheme().input_weight();
+    let w_c = mvm.scheme().compute_weight();
+    let h = cfg.tile_height as Weight;
+    let vr = cfg.resident_vector as Weight;
+    let passes = m.div_ceil(h);
+    let chunks = n.div_ceil(cfg.tile_width as Weight);
+    let matrix = m * n * w_in;
+    let vector = (vr + passes * (n - vr)) * w_in;
+    let outputs = m * w_c;
+    let acc_spills = m * (chunks - 1) * 2 * w_c;
+    matrix + vector + outputs + acc_spills
+}
+
+/// Analytic peak fast-memory occupancy of a config in bits (equals the
+/// emitted schedule's replayed peak; asserted in tests).
+pub fn config_peak(mvm: &MvmGraph, cfg: &TilingConfig) -> Weight {
+    let n = mvm.n();
+    let w_in = mvm.scheme().input_weight();
+    let w_c = mvm.scheme().compute_weight();
+    let h = cfg.tile_height as Weight;
+    let vr = cfg.resident_vector as Weight;
+    let transient_x = if cfg.resident_vector < n { w_in } else { 0 };
+    if n == 1 {
+        // No accumulators: x + a + p.
+        return vr * w_in + transient_x + w_in + w_c;
+    }
+    // Column c >= 2, any row: (h−1) waiting accumulators + the row's current
+    // accumulator, plus max(product + matrix entry, product + new
+    // accumulator) transient.
+    vr * w_in + transient_x + (h + 1) * w_c + w_in.max(w_c)
+}
+
+/// The largest resident-vector prefix that fits beside a height-`h` tile
+/// under `budget`, or `None` when even `resident_vector = 0` does not fit.
+fn max_residency(mvm: &MvmGraph, h: usize, budget: Weight) -> Option<usize> {
+    let n = mvm.n();
+    let w_in = mvm.scheme().input_weight();
+    // Full residency drops the transient vector slot; try it first.
+    let full = TilingConfig::new(h, n, n);
+    if config_peak(mvm, &full) <= budget {
+        return Some(n);
+    }
+    let zero = TilingConfig::new(h, 0, n);
+    let fixed = config_peak(mvm, &zero);
+    if fixed > budget {
+        return None;
+    }
+    Some((((budget - fixed) / w_in) as usize).min(n - 1))
+}
+
+/// Search the `(tile_height, resident_vector)` family for the cheapest
+/// config that fits under `budget`.
+pub fn best_config(mvm: &MvmGraph, budget: Weight) -> Option<TilingConfig> {
+    let mut best: Option<(Weight, TilingConfig)> = None;
+    for h in 1..=mvm.m() {
+        let Some(vr) = max_residency(mvm, h, budget) else {
+            // Peak grows with h; taller tiles cannot fit either...
+            // unless full residency flips the transient term, so keep
+            // scanning (cheap) rather than break.
+            continue;
+        };
+        let cfg = TilingConfig::new(h, vr, mvm.n());
+        let cost = config_cost(mvm, &cfg);
+        if best.is_none_or(|(c, _)| cost < c) {
+            best = Some((cost, cfg));
+        }
+    }
+    best.map(|(_, cfg)| cfg)
+}
+
+/// Minimum weighted schedule cost the tiling family achieves under
+/// `budget`, or `None` when no config fits.
+pub fn min_cost(mvm: &MvmGraph, budget: Weight) -> Option<Weight> {
+    best_config(mvm, budget).map(|cfg| config_cost(mvm, &cfg))
+}
+
+/// Generate the best tiling schedule under `budget`.
+pub fn schedule(mvm: &MvmGraph, budget: Weight) -> Option<Schedule> {
+    best_config(mvm, budget).map(|cfg| schedule_with_config(mvm, &cfg))
+}
+
+/// The smallest budget at which the tiling family reaches the algorithmic
+/// lower bound (Definition 2.6) — the closed form behind Table 1's MVM
+/// rows.
+///
+/// The cost hits the lower bound exactly when the vector is read once:
+/// either the whole vector is resident (`resident_vector = n`, minimised at
+/// `tile_height = 1`) or there is a single pass (`tile_height = m`,
+/// minimised at `resident_vector = 0`).
+pub fn min_memory(mvm: &MvmGraph) -> Weight {
+    let n = mvm.n();
+    let vector_resident = config_peak(mvm, &TilingConfig::new(1, n, n));
+    let full_height = config_peak(mvm, &TilingConfig::new(mvm.m(), 0, n));
+    vector_resident.min(full_height)
+}
+
+/// Emit the concrete move sequence for a configuration.
+///
+/// The caller is responsible for checking [`config_peak`] against the
+/// intended budget; the emitted schedule's replayed peak equals it exactly.
+pub fn schedule_with_config(mvm: &MvmGraph, cfg: &TilingConfig) -> Schedule {
+    let (m, n) = (mvm.m(), mvm.n());
+    assert!((1..=m).contains(&cfg.tile_height), "tile height in 1..=m");
+    assert!(cfg.resident_vector <= n, "resident vector in 0..=n");
+    assert!((1..=n).contains(&cfg.tile_width), "tile width in 1..=n");
+    let mut mv = Vec::new();
+
+    // Pin the resident vector prefix for the whole schedule.
+    for c in 1..=cfg.resident_vector {
+        mv.push(Move::Load(mvm.vector(c)));
+    }
+
+    let mut row0 = 1;
+    while row0 <= m {
+        let rows = row0..=(row0 + cfg.tile_height - 1).min(m);
+        let mut col0 = 1;
+        while col0 <= n {
+            let cols = col0..=(col0 + cfg.tile_width - 1).min(n);
+            // Reload spilled accumulators at an interior chunk boundary.
+            if col0 > 1 {
+                for r in rows.clone() {
+                    mv.push(Move::Load(acc_node(mvm, r, col0 - 1)));
+                }
+            }
+            for c in cols.clone() {
+                if c > cfg.resident_vector {
+                    mv.push(Move::Load(mvm.vector(c)));
+                }
+                for r in rows.clone() {
+                    mv.push(Move::Load(mvm.matrix(r, c)));
+                    mv.push(Move::Compute(mvm.product(r, c)));
+                    mv.push(Move::Delete(mvm.matrix(r, c)));
+                    if c > 1 {
+                        mv.push(Move::Compute(mvm.partial(r, c)));
+                        mv.push(Move::Delete(mvm.product(r, c)));
+                        mv.push(Move::Delete(acc_node(mvm, r, c - 1)));
+                    }
+                    if c == n {
+                        let out = mvm.output(r);
+                        mv.push(Move::Store(out));
+                        mv.push(Move::Delete(out));
+                    }
+                }
+                if c > cfg.resident_vector {
+                    mv.push(Move::Delete(mvm.vector(c)));
+                }
+            }
+            // Spill live accumulators at an interior chunk boundary.
+            if *cols.end() < n {
+                for r in rows.clone() {
+                    let acc = acc_node(mvm, r, *cols.end());
+                    mv.push(Move::Store(acc));
+                    mv.push(Move::Delete(acc));
+                }
+            }
+            col0 = *cols.end() + 1;
+        }
+        row0 = *rows.end() + 1;
+    }
+
+    for c in 1..=cfg.resident_vector {
+        mv.push(Move::Delete(mvm.vector(c)));
+    }
+    Schedule::from_moves(mv)
+}
+
+/// The node holding row `r`'s running sum after column `c`:
+/// the column-1 product for `c = 1`, else `partial(r, c)`.
+fn acc_node(mvm: &MvmGraph, r: usize, c: usize) -> pebblyn_core::NodeId {
+    if c == 1 {
+        mvm.product(r, 1)
+    } else {
+        mvm.partial(r, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::{algorithmic_lower_bound, validate_schedule};
+    use pebblyn_graphs::WeightScheme;
+
+    fn check_config(mvm: &MvmGraph, cfg: TilingConfig) {
+        let s = schedule_with_config(mvm, &cfg);
+        let peak = config_peak(mvm, &cfg);
+        let stats = validate_schedule(mvm.cdag(), peak, &s)
+            .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        assert_eq!(
+            stats.cost,
+            config_cost(mvm, &cfg),
+            "analytic cost mismatch for {cfg:?}"
+        );
+        assert_eq!(
+            stats.peak_red_weight, peak,
+            "analytic peak mismatch for {cfg:?}"
+        );
+    }
+
+    #[test]
+    fn all_heights_and_residencies_validate() {
+        for scheme in WeightScheme::paper_configs() {
+            let mvm = MvmGraph::new(5, 4, scheme).unwrap();
+            for h in 1..=5 {
+                for vr in 0..=4 {
+                    check_config(&mvm, TilingConfig::new(h, vr, 4));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_tiles_validate_and_cost_more() {
+        let mvm = MvmGraph::new(4, 6, WeightScheme::Equal(8)).unwrap();
+        let wide = TilingConfig::new(2, 0, 6);
+        for w in 1..6 {
+            let cfg = TilingConfig {
+                tile_width: w,
+                ..wide
+            };
+            check_config(&mvm, cfg);
+            assert!(
+                config_cost(&mvm, &cfg) > config_cost(&mvm, &wide),
+                "spilling accumulators must cost extra (width {w})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_column_mvm() {
+        let mvm = MvmGraph::new(4, 1, WeightScheme::DoubleAccumulator(16)).unwrap();
+        for h in 1..=4 {
+            for vr in 0..=1 {
+                check_config(&mvm, TilingConfig::new(h, vr, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_tiles_validate() {
+        // m not divisible by tile height.
+        let mvm = MvmGraph::new(7, 3, WeightScheme::Equal(4)).unwrap();
+        for h in [2, 3, 4, 5, 6] {
+            check_config(&mvm, TilingConfig::new(h, 1, 3));
+        }
+    }
+
+    #[test]
+    fn best_config_reaches_lower_bound_with_ample_budget() {
+        for scheme in WeightScheme::paper_configs() {
+            let mvm = MvmGraph::new(6, 5, scheme).unwrap();
+            let lb = algorithmic_lower_bound(mvm.cdag());
+            let b = mvm.cdag().total_weight();
+            assert_eq!(min_cost(&mvm, b), Some(lb));
+            let s = schedule(&mvm, b).unwrap();
+            let stats = validate_schedule(mvm.cdag(), b, &s).unwrap();
+            assert_eq!(stats.cost, lb);
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_budget() {
+        let mvm = MvmGraph::new(6, 5, WeightScheme::DoubleAccumulator(16)).unwrap();
+        let mut prev: Option<Weight> = None;
+        let mut b = 0;
+        while b <= mvm.cdag().total_weight() {
+            if let Some(c) = min_cost(&mvm, b) {
+                let s = schedule(&mvm, b).unwrap();
+                let stats = validate_schedule(mvm.cdag(), b, &s).unwrap();
+                assert_eq!(stats.cost, c);
+                if let Some(p) = prev {
+                    assert!(c <= p, "tiling cost increased with budget at b={b}");
+                }
+                prev = Some(c);
+            }
+            b += 16;
+        }
+        assert!(prev.is_some(), "tiling never became feasible");
+    }
+
+    #[test]
+    fn min_memory_matches_paper_table_1() {
+        // Equal MVM(96,120): 99 words of 16 bits.
+        let mvm = MvmGraph::new(96, 120, WeightScheme::Equal(16)).unwrap();
+        assert_eq!(min_memory(&mvm), 99 * 16);
+        // DA MVM(96,120): 126 words.
+        let mvm = MvmGraph::new(96, 120, WeightScheme::DoubleAccumulator(16)).unwrap();
+        assert_eq!(min_memory(&mvm), 126 * 16);
+    }
+
+    #[test]
+    fn min_memory_is_tight() {
+        for scheme in WeightScheme::paper_configs() {
+            let mvm = MvmGraph::new(8, 6, scheme).unwrap();
+            let lb = algorithmic_lower_bound(mvm.cdag());
+            let b = min_memory(&mvm);
+            assert_eq!(min_cost(&mvm, b), Some(lb));
+            assert_ne!(
+                min_cost(&mvm, b - mvm.cdag().weight_gcd()),
+                Some(lb),
+                "min_memory must be the smallest lattice budget reaching LB"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_prefers_tall_tiles_da_prefers_resident_vector() {
+        let eq = MvmGraph::new(96, 120, WeightScheme::Equal(16)).unwrap();
+        let cfg = best_config(&eq, 99 * 16).unwrap();
+        assert_eq!(cfg.tile_height, 96);
+        assert_eq!(cfg.resident_vector, 0);
+
+        let da = MvmGraph::new(96, 120, WeightScheme::DoubleAccumulator(16)).unwrap();
+        let cfg = best_config(&da, 126 * 16).unwrap();
+        assert_eq!(cfg.resident_vector, 120);
+        assert_eq!(cfg.tile_height, 1);
+    }
+
+    #[test]
+    fn below_family_minimum_returns_none() {
+        let mvm = MvmGraph::new(4, 3, WeightScheme::Equal(16)).unwrap();
+        let least = config_peak(&mvm, &TilingConfig::new(1, 0, 3));
+        assert!(min_cost(&mvm, least).is_some());
+        assert!(min_cost(&mvm, least - 1).is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Certify the dataflow-specific dynamic programs against the exhaustive
+//! optimal solver on small instances.
+//!
+//! These tests are the practical counterpart of the paper's optimality
+//! proofs (Theorem 3.5 for DWT, Lemma 3.7 for k-ary trees): on every small
+//! graph and every budget on the weight lattice, the DP's cost must equal
+//! the global optimum found by uniform-cost search over complete game
+//! states.
+
+use pebblyn_core::{min_feasible_budget, Cdag, Weight};
+use pebblyn_exact::ExactSolver;
+use pebblyn_graphs::tree::{caterpillar, chain, full_kary, random_weighted_tree};
+use pebblyn_graphs::{DwtGraph, WeightScheme};
+use pebblyn_schedulers::{dwt_opt, kary};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn budgets(g: &Cdag) -> Vec<Weight> {
+    let minb = min_feasible_budget(g);
+    let maxb = g.total_weight();
+    let step = g.weight_gcd().max(1);
+    let mut out = vec![minb.saturating_sub(step), minb];
+    let mut b = minb + step;
+    while b <= maxb {
+        out.push(b);
+        b += step;
+    }
+    out
+}
+
+fn certify_dwt(dwt: &DwtGraph) {
+    let solver = ExactSolver::with_max_states(30_000_000);
+    for b in budgets(dwt.cdag()) {
+        let exact = solver
+            .min_cost(dwt.cdag(), b)
+            .expect("exact search within state cap");
+        let dp = dwt_opt::min_cost(dwt, b);
+        assert_eq!(
+            dp, exact,
+            "DWT({}, {}) {} at budget {b}: DP {dp:?} vs exact {exact:?}",
+            dwt.n(),
+            dwt.d(),
+            dwt.scheme()
+        );
+    }
+}
+
+fn certify_tree(tree: &Cdag, label: &str) {
+    let solver = ExactSolver::with_max_states(30_000_000);
+    for b in budgets(tree) {
+        let exact = solver.min_cost(tree, b).expect("exact search within cap");
+        let dp = kary::min_cost(tree, b);
+        assert_eq!(dp, exact, "{label} at budget {b}");
+    }
+}
+
+#[test]
+fn dwt_4_1_equal_is_optimal() {
+    certify_dwt(&DwtGraph::new(4, 1, WeightScheme::Equal(2)).unwrap());
+}
+
+#[test]
+fn dwt_4_1_double_accumulator_is_optimal() {
+    certify_dwt(&DwtGraph::new(4, 1, WeightScheme::DoubleAccumulator(2)).unwrap());
+}
+
+#[test]
+fn dwt_4_2_equal_is_optimal() {
+    certify_dwt(&DwtGraph::new(4, 2, WeightScheme::Equal(2)).unwrap());
+}
+
+#[test]
+fn dwt_4_2_double_accumulator_is_optimal() {
+    certify_dwt(&DwtGraph::new(4, 2, WeightScheme::DoubleAccumulator(2)).unwrap());
+}
+
+#[test]
+fn dwt_4_2_custom_weights_is_optimal() {
+    // Coefficients equal to averages is required by Lemma 3.2; exercise an
+    // asymmetric input/compute split.
+    certify_dwt(&DwtGraph::new(4, 2, WeightScheme::Custom { input: 3, compute: 5 }).unwrap());
+}
+
+#[test]
+fn binary_tree_depth_2_is_optimal() {
+    certify_tree(
+        &full_kary(2, 2, WeightScheme::Equal(2)).unwrap(),
+        "full binary depth 2",
+    );
+    certify_tree(
+        &full_kary(2, 2, WeightScheme::DoubleAccumulator(1)).unwrap(),
+        "full binary depth 2 (DA)",
+    );
+}
+
+#[test]
+fn ternary_tree_depth_1_is_optimal() {
+    certify_tree(
+        &full_kary(3, 1, WeightScheme::Equal(3)).unwrap(),
+        "ternary depth 1",
+    );
+}
+
+#[test]
+fn quaternary_tree_depth_1_is_optimal() {
+    certify_tree(
+        &full_kary(4, 1, WeightScheme::Custom { input: 2, compute: 3 }).unwrap(),
+        "4-ary depth 1",
+    );
+}
+
+#[test]
+fn caterpillars_are_optimal() {
+    certify_tree(
+        &caterpillar(4, WeightScheme::Equal(2)).unwrap(),
+        "caterpillar 4",
+    );
+    certify_tree(
+        &caterpillar(4, WeightScheme::DoubleAccumulator(2)).unwrap(),
+        "caterpillar 4 (DA)",
+    );
+}
+
+#[test]
+fn chains_are_optimal() {
+    certify_tree(&chain(6, WeightScheme::Equal(2)).unwrap(), "chain 6");
+    certify_tree(
+        &chain(5, WeightScheme::Custom { input: 4, compute: 2 }).unwrap(),
+        "chain 5 custom",
+    );
+}
+
+#[test]
+fn random_weighted_trees_are_optimal() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let mut certified = 0;
+    while certified < 8 {
+        let t = random_weighted_tree(3, 3, 1..=4, &mut rng).unwrap();
+        if t.len() > 9 {
+            continue; // keep the exact search cheap
+        }
+        certify_tree(&t, &format!("random tree #{certified}"));
+        certified += 1;
+    }
+}

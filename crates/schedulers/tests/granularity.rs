@@ -1,0 +1,98 @@
+//! Operation-granularity comparison — quantifying §3.1.1's "we opt for
+//! finer granularities given our extreme resource constraints".
+//!
+//! The fine-grained DWT graph computes averages and coefficients as
+//! separate nodes; the coarse-grained variant fuses each pair into one
+//! butterfly holding both results.  Both compute the same transform and
+//! share the same algorithmic lower bound, but the butterfly pins twice
+//! the weight in fast memory whenever only its average half is live — so
+//! fine granularity reaches the lower bound with strictly less memory.
+
+use pebblyn_core::{algorithmic_lower_bound, min_feasible_budget, validate_schedule, Weight};
+use pebblyn_exact::ExactSolver;
+use pebblyn_graphs::dwt_coarse::CoarseDwtGraph;
+use pebblyn_graphs::{DwtGraph, WeightScheme};
+use pebblyn_schedulers::{dwt_opt, greedy_belady, layer_by_layer, min_memory, MinMemoryOptions};
+
+/// Exact minimum memory of the coarse DWT(4,2) exceeds the fine one.
+#[test]
+fn fine_beats_coarse_exactly_on_small_instance() {
+    let scheme = WeightScheme::Equal(2);
+    let fine = DwtGraph::new(4, 2, scheme).unwrap();
+    let coarse = CoarseDwtGraph::new(4, 2, scheme).unwrap();
+    let lb = algorithmic_lower_bound(fine.cdag());
+    assert_eq!(lb, algorithmic_lower_bound(coarse.cdag()));
+
+    let solver = ExactSolver::with_max_states(30_000_000);
+    let find_min = |g: &pebblyn_core::Cdag| -> Weight {
+        let mut b = min_feasible_budget(g);
+        loop {
+            if solver.min_cost(g, b).unwrap() == Some(lb) {
+                return b;
+            }
+            b += 2;
+        }
+    };
+    let fine_min = find_min(fine.cdag());
+    let coarse_min = find_min(coarse.cdag());
+    assert!(
+        fine_min < coarse_min,
+        "fine granularity min memory {fine_min} must beat coarse {coarse_min}"
+    );
+}
+
+/// At scale, the fine-grained optimum needs a fraction of what any
+/// scheduler can achieve on the coarse graph.
+#[test]
+fn fine_beats_coarse_at_scale() {
+    let scheme = WeightScheme::Equal(16);
+    let fine = DwtGraph::new(64, 6, scheme).unwrap();
+    let coarse = CoarseDwtGraph::new(64, 6, scheme).unwrap();
+    let lb = algorithmic_lower_bound(fine.cdag());
+
+    let fine_min = min_memory(
+        |b| dwt_opt::min_cost(&fine, b),
+        lb,
+        MinMemoryOptions::for_graph(fine.cdag()).monotone(true),
+    )
+    .unwrap();
+    // Best-effort coarse schedulers: Belady and layer-by-layer.
+    let coarse_belady = min_memory(
+        |b| greedy_belady::cost(coarse.cdag(), b),
+        lb,
+        MinMemoryOptions::for_graph(coarse.cdag()),
+    );
+    let coarse_lbl = min_memory(
+        |b| layer_by_layer::cost(&coarse, b, Default::default()),
+        lb,
+        MinMemoryOptions::for_graph(coarse.cdag()),
+    );
+    let coarse_best = [coarse_belady, coarse_lbl]
+        .into_iter()
+        .flatten()
+        .min()
+        .expect("some coarse scheduler reaches the LB");
+    assert!(
+        2 * fine_min <= coarse_best,
+        "fine {fine_min} bits should be at most half of coarse {coarse_best} bits"
+    );
+}
+
+/// The coarse graph is still schedulable and correct — the comparison is
+/// about memory, not feasibility.
+#[test]
+fn coarse_schedules_validate() {
+    let scheme = WeightScheme::DoubleAccumulator(16);
+    let coarse = CoarseDwtGraph::new(16, 4, scheme).unwrap();
+    let g = coarse.cdag();
+    let minb = min_feasible_budget(g);
+    for b in [minb, minb + 64, g.total_weight()] {
+        if let Some(s) = greedy_belady::schedule(g, b) {
+            let stats = validate_schedule(g, b, &s).unwrap();
+            assert!(stats.cost >= algorithmic_lower_bound(g));
+        }
+        if let Some(s) = layer_by_layer::schedule(&coarse, b, Default::default()) {
+            validate_schedule(g, b, &s).unwrap();
+        }
+    }
+}

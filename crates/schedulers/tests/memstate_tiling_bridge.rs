@@ -1,0 +1,127 @@
+//! The §4.3 connection: the tiling scheduler's per-tile costs are exactly
+//! what the Eq. (8) memory-state DP predicts when fed the tile's
+//! initial/reuse states.
+//!
+//! The paper derives the MVM tiling *from* `P_m` — "for each tile, our
+//! algorithm uses the k-ary tree procedure (for k = 2) with initial/reuse
+//! memory states".  These tests close that loop in code: extract one output
+//! row's accumulation tree from the MVM graph, describe the tile context as
+//! memory states, and check `P_m` against the tiling's analytic cost.
+
+use pebblyn_core::{Cdag, NodeId, Weight};
+use pebblyn_graphs::{MvmGraph, WeightScheme};
+use pebblyn_schedulers::memstate::{self, MemoryStates};
+use pebblyn_schedulers::mvm_tiling::{self, TilingConfig};
+
+/// The subgraph feeding one output row: its accumulation caterpillar with
+/// products, matrix entries and the vector.  This set is closed (vector
+/// nodes' other consumers are excluded, so we must drop cross-row edges) —
+/// instead of an induced subgraph we rebuild the row tree explicitly.
+fn row_tree(m: usize, n: usize, scheme: WeightScheme) -> (Cdag, Vec<NodeId>, NodeId) {
+    let _ = m;
+    let mut b = pebblyn_core::CdagBuilder::new();
+    let mut vector = Vec::with_capacity(n);
+    let mut prev: Option<NodeId> = None;
+    let mut prods = Vec::with_capacity(n);
+    for c in 0..n {
+        let x = b.node(scheme.input_weight(), format!("x{c}"));
+        vector.push(x);
+        let a = b.node(scheme.input_weight(), format!("a{c}"));
+        let p = b.node(scheme.compute_weight(), format!("p{c}"));
+        b.edge(x, p);
+        b.edge(a, p);
+        prods.push(p);
+        prev = Some(match prev {
+            None => p,
+            Some(acc) => {
+                let s = b.node(scheme.compute_weight(), format!("s{c}"));
+                b.edge(acc, s);
+                b.edge(p, s);
+                s
+            }
+        });
+    }
+    let root = prev.unwrap();
+    (b.build().unwrap(), vector, root)
+}
+
+/// With the whole vector initially resident and reused, computing a row
+/// costs exactly the matrix loads — the tiling's vector-resident marginal
+/// cost.
+#[test]
+fn resident_vector_row_cost() {
+    for scheme in WeightScheme::paper_configs() {
+        let n = 6;
+        let (tree, vector, root) = row_tree(96, n, scheme);
+        let states = MemoryStates::new(vector.clone(), vector.clone());
+        let budget = tree.total_weight();
+        let pm = memstate::min_cost_for(&tree, root, budget, &states).unwrap();
+        assert_eq!(
+            pm,
+            n as Weight * scheme.input_weight(),
+            "row cost = matrix loads only ({scheme})"
+        );
+    }
+}
+
+/// With nothing resident, the row costs vector + matrix loads — the
+/// tall-tile (first row of a fresh pass) marginal cost.
+#[test]
+fn cold_row_cost() {
+    for scheme in WeightScheme::paper_configs() {
+        let n = 5;
+        let (tree, _vector, root) = row_tree(96, n, scheme);
+        let budget = tree.total_weight();
+        let pm = memstate::min_cost_for(&tree, root, budget, &MemoryStates::none()).unwrap();
+        assert_eq!(pm, 2 * n as Weight * scheme.input_weight());
+    }
+}
+
+/// The memory-state budget accounting matches the tiling peak formula: a
+/// resident vector plus the working set must fit, and one lattice step
+/// below that `P_m` reports infeasible.
+#[test]
+fn budget_accounting_matches_tiling_peak() {
+    let scheme = WeightScheme::DoubleAccumulator(16);
+    let n = 6;
+    let (tree, vector, root) = row_tree(96, n, scheme);
+    let states = MemoryStates::new(vector.clone(), vector.clone());
+    // The corresponding tiling config: one row, fully resident vector.
+    let mvm = MvmGraph::new(96, n, scheme).unwrap();
+    let peak = mvm_tiling::config_peak(&mvm, &TilingConfig::new(1, n, n));
+    assert!(
+        memstate::min_cost_for(&tree, root, peak, &states).is_some(),
+        "P_m feasible at the tiling peak"
+    );
+    // P_m's occupancy check (R ∪ H ∪ v) is necessarily looser than the
+    // step-exact peak, but far below it everything must fail.
+    let floor = vector.len() as Weight * scheme.input_weight();
+    assert!(
+        memstate::min_cost_for(&tree, root, floor, &states).is_none(),
+        "holding only the vector cannot compute anything"
+    );
+}
+
+/// Whole-tile accounting: summing `P_m` row costs over a tile of height h
+/// with the vector resident reproduces `config_cost` minus the vector and
+/// output terms.
+#[test]
+fn tile_cost_decomposes_into_pm_rows() {
+    let scheme = WeightScheme::Equal(16);
+    let (m, n) = (8usize, 5usize);
+    let mvm = MvmGraph::new(m, n, scheme).unwrap();
+    let cfg = TilingConfig::new(m, n, n); // one tile, resident vector
+    let total = mvm_tiling::config_cost(&mvm, &cfg);
+
+    let (tree, vector, root) = row_tree(m, n, scheme);
+    let states = MemoryStates::new(vector.clone(), vector.clone());
+    let per_row = memstate::min_cost_for(&tree, root, tree.total_weight(), &states).unwrap();
+
+    let vector_loads = n as Weight * scheme.input_weight();
+    let output_stores = m as Weight * scheme.compute_weight();
+    assert_eq!(
+        total,
+        vector_loads + m as Weight * per_row + output_stores,
+        "tile cost = vector once + P_m per row + outputs once"
+    );
+}

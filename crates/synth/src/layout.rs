@@ -1,0 +1,109 @@
+//! Floorplan geometry and ASCII rendering — the Figure 8 comparison.
+
+use crate::sram::SramMacro;
+
+/// Physical floorplan of a synthesised macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Macro width in λ (bitcell columns plus column periphery).
+    pub width_l: f64,
+    /// Macro height in λ (derived so `width × height` equals the macro
+    /// area).
+    pub height_l: f64,
+    /// The macro this floorplan belongs to.
+    pub capacity_bits: u64,
+}
+
+impl Floorplan {
+    /// Derive a floorplan from a synthesised macro: width follows the
+    /// column pitch, height absorbs the rest of the area.
+    pub fn of(m: &SramMacro) -> Self {
+        const CELL_PITCH_L: f64 = 1.6;
+        const EDGE_L: f64 = 30.0;
+        let width_l = m.cols as f64 * CELL_PITCH_L + EDGE_L;
+        let height_l = m.area_l2 / width_l;
+        Floorplan {
+            width_l,
+            height_l,
+            capacity_bits: m.capacity_bits,
+        }
+    }
+
+    /// Area in λ² (consistent with the macro's reported area).
+    pub fn area_l2(&self) -> f64 {
+        self.width_l * self.height_l
+    }
+
+    /// Render this floorplan next to another as ASCII boxes whose drawn
+    /// areas are proportional to silicon area — a terminal stand-in for the
+    /// paper's Figure 8 layout plots.
+    pub fn render_comparison(&self, other: &Floorplan, labels: (&str, &str)) -> String {
+        let scale = 14.0 / other.width_l.max(self.width_l);
+        let draw = |fp: &Floorplan| -> (usize, usize) {
+            let w = (fp.width_l * scale).round().max(2.0) as usize;
+            let h = (fp.height_l * scale / 2.2).round().max(1.0) as usize;
+            (w, h)
+        };
+        let (w1, h1) = draw(self);
+        let (w2, h2) = draw(other);
+        let mut out = String::new();
+        let box_lines = |w: usize, h: usize| -> Vec<String> {
+            let mut lines = vec![format!("+{}+", "-".repeat(w))];
+            for _ in 0..h {
+                lines.push(format!("|{}|", " ".repeat(w)));
+            }
+            lines.push(format!("+{}+", "-".repeat(w)));
+            lines
+        };
+        let b1 = box_lines(w1, h1);
+        let b2 = box_lines(w2, h2);
+        let rows = b1.len().max(b2.len());
+        let pad1 = w1 + 2;
+        for i in 0..rows {
+            let l = b1.get(i).map(String::as_str).unwrap_or("");
+            let r = b2.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!("{l:<pad1$}   {r}\n"));
+        }
+        out.push_str(&format!(
+            "{:<pad1$}   {}\n",
+            format!("{} ({} b)", labels.0, self.capacity_bits),
+            format!("{} ({} b)", labels.1, other.capacity_bits),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram::{Process, SramConfig};
+
+    fn plan(bits: u64) -> Floorplan {
+        Floorplan::of(&SramConfig::words16(bits).synthesize(&Process::default()))
+    }
+
+    #[test]
+    fn area_is_consistent_with_macro() {
+        let m = SramConfig::words16(2048).synthesize(&Process::default());
+        let fp = Floorplan::of(&m);
+        assert!((fp.area_l2() - m.area_l2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bigger_memory_bigger_floorplan() {
+        let small = plan(256);
+        let large = plan(8192);
+        assert!(large.area_l2() > 4.0 * small.area_l2());
+        assert!(large.width_l >= small.width_l);
+    }
+
+    #[test]
+    fn render_contains_both_boxes_and_labels() {
+        let a = plan(256);
+        let b = plan(8192);
+        let s = a.render_comparison(&b, ("Optimum", "Layer-by-Layer"));
+        assert!(s.contains("Optimum (256 b)"));
+        assert!(s.contains("Layer-by-Layer (8192 b)"));
+        assert!(s.matches('+').count() >= 8, "two boxes drawn");
+    }
+}

@@ -1,0 +1,32 @@
+//! # pebblyn-synth — a parametric SRAM macro model
+//!
+//! The paper closes the loop from schedules to silicon: the minimum fast
+//! memory sizes of Table 1 are synthesised with AMC (an open-source
+//! asynchronous memory compiler) on TSMC 65 nm, yielding the area, power and
+//! throughput comparisons of Figures 7 and 8.  That flow needs a proprietary
+//! PDK; this crate replaces it with a calibrated analytic macro model:
+//!
+//! * capacities are rounded to powers of two (standard design practice, and
+//!   the paper's final Table 1 column),
+//! * the array is organised into a near-square `rows × cols` mat with
+//!   column multiplexing,
+//! * area is bitcell array + row/column periphery + fixed control overhead
+//!   (in λ², the layout-scaling unit of Fig. 7a),
+//! * leakage scales with bits plus periphery; read/write power with the
+//!   switched word- and bit-line capacitance per access,
+//! * throughput is word size over an RC-flavoured access time, nearly flat
+//!   across sizes — the property Fig. 7e/7f highlights.
+//!
+//! The constants are calibrated so the *magnitudes and ratios* land in the
+//! range of the paper's Fig. 7 (λ²-area up to ~40 000, leakage up to
+//! ~24 mW, read/write power up to ~40 mW, ~45 GB/s); EXPERIMENTS.md records
+//! measured-vs-paper numbers for every configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod sram;
+
+pub use layout::Floorplan;
+pub use sram::{round_pow2, NvmParams, Process, SramConfig, SramMacro};

@@ -1,0 +1,328 @@
+//! The SRAM macro model proper.
+
+/// Round a capacity in bits up to the next power of two — the paper's
+/// "Power-of-Two Capacity" column in Table 1.
+pub fn round_pow2(bits: u64) -> u64 {
+    bits.max(1).next_power_of_two()
+}
+
+/// Process / compiler calibration constants (TSMC 65 nm flavour, matched to
+/// the magnitudes of the paper's AMC results).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Process {
+    /// Bitcell area, λ² per bit.
+    pub cell_area_l2: f64,
+    /// Row periphery (wordline driver / decoder slice), λ² per row.
+    pub row_area_l2: f64,
+    /// Column periphery (sense amp, write driver, mux slice), λ² per column.
+    pub col_area_l2: f64,
+    /// Fixed control overhead, λ².
+    pub fixed_area_l2: f64,
+    /// Leakage, mW per bit.
+    pub leak_mw_per_bit: f64,
+    /// Leakage, mW per peripheral row/column slice.
+    pub leak_mw_per_slice: f64,
+    /// Fixed leakage, mW.
+    pub leak_mw_fixed: f64,
+    /// Dynamic read power per switched line (row or column), mW.
+    pub read_mw_per_line: f64,
+    /// Fixed read I/O power, mW.
+    pub read_mw_fixed: f64,
+    /// Write power multiplier over read (full bitline swings).
+    pub write_factor: f64,
+    /// Access time intercept, ps.
+    pub t0_ps: f64,
+    /// Access time slope, ps per (row + column).
+    pub t_slope_ps: f64,
+}
+
+impl Default for Process {
+    fn default() -> Self {
+        Process {
+            cell_area_l2: 2.0,
+            row_area_l2: 24.0,
+            col_area_l2: 24.0,
+            fixed_area_l2: 3000.0,
+            leak_mw_per_bit: 0.00122,
+            leak_mw_per_slice: 0.008,
+            leak_mw_fixed: 1.5,
+            read_mw_per_line: 0.14,
+            read_mw_fixed: 4.0,
+            write_factor: 1.12,
+            t0_ps: 40.8,
+            t_slope_ps: 0.0266,
+        }
+    }
+}
+
+/// A memory to synthesise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramConfig {
+    /// Capacity in bits (rounded internally to a power of two).
+    pub capacity_bits: u64,
+    /// Word size in bits (the access granularity).
+    pub word_bits: u64,
+}
+
+impl SramConfig {
+    /// Standard 16-bit-word configuration used throughout the paper.
+    pub fn words16(capacity_bits: u64) -> Self {
+        SramConfig {
+            capacity_bits,
+            word_bits: 16,
+        }
+    }
+}
+
+/// Synthesis result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramMacro {
+    /// Power-of-two capacity actually implemented, bits.
+    pub capacity_bits: u64,
+    /// Word size, bits.
+    pub word_bits: u64,
+    /// Array rows.
+    pub rows: u64,
+    /// Array columns (word bits × column mux).
+    pub cols: u64,
+    /// Column multiplexing factor.
+    pub mux: u64,
+    /// Total macro area, λ².
+    pub area_l2: f64,
+    /// Leakage (static) power, mW.
+    pub leakage_mw: f64,
+    /// Read power at full utilisation, mW.
+    pub read_power_mw: f64,
+    /// Write power at full utilisation, mW.
+    pub write_power_mw: f64,
+    /// Access time, ps.
+    pub access_ps: f64,
+    /// Peak read throughput, GB/s.
+    pub read_gbps: f64,
+    /// Peak write throughput, GB/s.
+    pub write_gbps: f64,
+}
+
+impl SramConfig {
+    /// Choose the array organisation: columns are `word_bits × mux` with the
+    /// power-of-two mux that makes the mat closest to square (short lines ⇒
+    /// fast and low-power).
+    pub fn organize(&self) -> (u64, u64, u64) {
+        let bits = round_pow2(self.capacity_bits.max(self.word_bits));
+        let mut best = (u64::MAX, 0, 0, 0); // (imbalance, rows, cols, mux)
+        let mut mux = 1u64;
+        while self.word_bits * mux <= bits {
+            let cols = self.word_bits * mux;
+            let rows = bits / cols;
+            if rows >= 1 {
+                let imbalance = rows.abs_diff(cols);
+                if imbalance < best.0 {
+                    best = (imbalance, rows, cols, mux);
+                }
+            }
+            mux *= 2;
+        }
+        (best.1, best.2, best.3)
+    }
+
+    /// Run the macro model.
+    pub fn synthesize(&self, p: &Process) -> SramMacro {
+        let bits = round_pow2(self.capacity_bits.max(self.word_bits));
+        let (rows, cols, mux) = self.organize();
+        let area_l2 = bits as f64 * p.cell_area_l2
+            + rows as f64 * p.row_area_l2
+            + cols as f64 * p.col_area_l2
+            + p.fixed_area_l2;
+        let leakage_mw = bits as f64 * p.leak_mw_per_bit
+            + (rows + cols) as f64 * p.leak_mw_per_slice
+            + p.leak_mw_fixed;
+        let lines = (rows + cols) as f64;
+        let read_power_mw = lines * p.read_mw_per_line + p.read_mw_fixed;
+        let write_power_mw = read_power_mw * p.write_factor;
+        let access_ps = p.t0_ps + p.t_slope_ps * lines;
+        let bytes_per_access = self.word_bits as f64 / 8.0;
+        let gbps = bytes_per_access / access_ps; // bytes / ps == GB/s * 1e3... see below
+        // bytes per picosecond = 10^12 bytes/s = 10^3 GB/s.
+        let read_gbps = gbps * 1000.0;
+        let write_gbps = read_gbps / p.write_factor;
+        SramMacro {
+            capacity_bits: bits,
+            word_bits: self.word_bits,
+            rows,
+            cols,
+            mux,
+            area_l2,
+            leakage_mw,
+            read_power_mw,
+            write_power_mw,
+            access_ps,
+            read_gbps,
+            write_gbps,
+        }
+    }
+}
+
+impl SramMacro {
+    /// Capacity in `word_bits`-sized words.
+    pub fn words(&self) -> u64 {
+        self.capacity_bits / self.word_bits
+    }
+
+    /// Energy of one read access in picojoules (power × access time).
+    pub fn read_energy_pj(&self) -> f64 {
+        // mW × ps = 10⁻³ J/s × 10⁻¹² s = 10⁻¹⁵ J = 10⁻³ pJ.
+        self.read_power_mw * self.access_ps * 1e-3
+    }
+
+    /// Energy of one write access in picojoules.
+    pub fn write_energy_pj(&self) -> f64 {
+        self.write_power_mw * self.access_ps * 1e-3
+    }
+
+    /// Per-bit transfer energies between this SRAM and a slow memory:
+    /// `(load_pj_per_bit, store_pj_per_bit)` where a load (M1) reads the
+    /// slow memory and writes the SRAM, and a store (M2) the reverse.
+    ///
+    /// Feed these into [`pebblyn-machine`'s `EnergyModel`] to price a
+    /// schedule with the synthesized macro's own numbers.
+    pub fn transfer_energy_per_bit(&self, nvm: &NvmParams) -> (f64, f64) {
+        let bits = self.word_bits as f64;
+        let load = nvm.read_pj_per_bit + self.write_energy_pj() / bits;
+        let store = self.read_energy_pj() / bits + nvm.write_pj_per_bit;
+        (load, store)
+    }
+}
+
+/// Slow (non-volatile) memory energy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmParams {
+    /// Read energy, pJ per bit.
+    pub read_pj_per_bit: f64,
+    /// Write energy, pJ per bit (typically ~10x the read energy).
+    pub write_pj_per_bit: f64,
+}
+
+impl Default for NvmParams {
+    /// Embedded-Flash flavour: ~1 pJ/bit reads, ~10 pJ/bit writes.
+    fn default() -> Self {
+        NvmParams {
+            read_pj_per_bit: 1.0,
+            write_pj_per_bit: 10.0,
+        }
+    }
+}
+
+/// Percentage reduction going from `from` to `to` (positive = smaller).
+pub fn reduction_pct(from: f64, to: f64) -> f64 {
+    if from == 0.0 {
+        0.0
+    } else {
+        100.0 * (from - to) / from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(bits: u64) -> SramMacro {
+        SramConfig::words16(bits).synthesize(&Process::default())
+    }
+
+    #[test]
+    fn pow2_rounding() {
+        assert_eq!(round_pow2(160), 256);
+        assert_eq!(round_pow2(256), 256);
+        assert_eq!(round_pow2(257), 512);
+        assert_eq!(round_pow2(1), 1);
+        assert_eq!(round_pow2(0), 1);
+    }
+
+    #[test]
+    fn organisation_is_near_square_and_exact() {
+        for bits in [256u64, 512, 1024, 2048, 4096, 8192, 16384] {
+            let m = synth(bits);
+            assert_eq!(m.rows * m.cols, bits, "capacity preserved");
+            assert_eq!(m.cols, 16 * m.mux);
+            // Near-square: aspect ratio within 2x.
+            let aspect = m.rows.max(m.cols) / m.rows.min(m.cols);
+            assert!(aspect <= 2, "{bits}: {}x{}", m.rows, m.cols);
+        }
+    }
+
+    #[test]
+    fn metrics_are_monotone_in_capacity() {
+        let sizes = [256u64, 512, 1024, 2048, 4096, 8192, 16384];
+        let macros: Vec<_> = sizes.iter().map(|&b| synth(b)).collect();
+        for w in macros.windows(2) {
+            assert!(w[1].area_l2 > w[0].area_l2);
+            assert!(w[1].leakage_mw > w[0].leakage_mw);
+            assert!(w[1].read_power_mw >= w[0].read_power_mw);
+            assert!(w[1].access_ps >= w[0].access_ps);
+            assert!(w[1].read_gbps <= w[0].read_gbps);
+        }
+    }
+
+    #[test]
+    fn calibration_magnitudes_match_figure_7() {
+        // Largest memory in the paper's comparison: 16384 bits.
+        let big = synth(16384);
+        assert!((30_000.0..50_000.0).contains(&big.area_l2), "{}", big.area_l2);
+        assert!((18.0..30.0).contains(&big.leakage_mw), "{}", big.leakage_mw);
+        assert!(
+            (30.0..48.0).contains(&big.read_power_mw),
+            "{}",
+            big.read_power_mw
+        );
+        // Throughput nearly flat: within ~20% across the whole range.
+        let small = synth(256);
+        assert!(small.read_gbps / big.read_gbps < 1.25);
+        assert!((35.0..60.0).contains(&big.read_gbps), "{}", big.read_gbps);
+    }
+
+    #[test]
+    fn area_reductions_match_paper_shape() {
+        // DWT Equal: 256 vs 8192 bits — paper reports 85.7% area reduction.
+        let r = reduction_pct(synth(8192).area_l2, synth(256).area_l2);
+        assert!((70.0..95.0).contains(&r), "DWT Equal area reduction {r}");
+        // DWT DA: 512 vs 16384 — paper 89.5%.
+        let r = reduction_pct(synth(16384).area_l2, synth(512).area_l2);
+        assert!((75.0..95.0).contains(&r), "DWT DA area reduction {r}");
+        // MVM Equal: 2048 vs 4096 — paper 24.3%.
+        let r = reduction_pct(synth(4096).area_l2, synth(2048).area_l2);
+        assert!((15.0..45.0).contains(&r), "MVM Equal area reduction {r}");
+        // MVM DA: 2048 vs 8192 — paper 52.6%.
+        let r = reduction_pct(synth(8192).area_l2, synth(2048).area_l2);
+        assert!((40.0..70.0).contains(&r), "MVM DA area reduction {r}");
+    }
+
+    #[test]
+    fn write_costs_more_than_read() {
+        let m = synth(2048);
+        assert!(m.write_power_mw > m.read_power_mw);
+        assert!(m.write_gbps < m.read_gbps);
+    }
+
+    #[test]
+    fn words_accessor() {
+        assert_eq!(synth(2048).words(), 128);
+    }
+
+    #[test]
+    fn transfer_energy_bridges_to_schedule_pricing() {
+        let m = synth(2048);
+        let (load, store) = m.transfer_energy_per_bit(&NvmParams::default());
+        // NVM write asymmetry dominates: stores cost several times loads.
+        assert!(store > 2.0 * load, "load {load}, store {store}");
+        // SRAM access adds a sub-pJ/bit contribution on top of the NVM.
+        assert!(load > 1.0 && load < 2.0, "{load}");
+        assert!(m.read_energy_pj() > 0.0 && m.write_energy_pj() > m.read_energy_pj());
+    }
+
+    #[test]
+    fn tiny_capacity_clamps_to_word() {
+        let m = SramConfig::words16(8).synthesize(&Process::default());
+        assert_eq!(m.capacity_bits, 16);
+        assert_eq!(m.rows, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Memory design flow: from a workload description to a synthesised SRAM.
+//!
+//! This is the paper's §5.3 pipeline as a tool: pick a workload and weight
+//! configuration, compute the minimum fast memory size for the optimal /
+//! tiling scheduler and for the baseline, round to powers of two, run both
+//! through the SRAM macro model, and report the area/power savings that the
+//! better schedule buys at the circuit level.
+//!
+//! ```sh
+//! cargo run --example memory_design
+//! ```
+
+use pebblyn::prelude::*;
+use pebblyn::synth::sram::reduction_pct;
+
+struct DesignRow {
+    workload: String,
+    scheme: &'static str,
+    ours_bits: Weight,
+    baseline_bits: Weight,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+
+    // DWT(256, 8): optimum vs layer-by-layer (Table 1 rows 1-4).
+    for scheme in WeightScheme::paper_configs() {
+        let dwt = DwtGraph::new(256, 8, scheme).unwrap();
+        let g = dwt.cdag();
+        let lb = algorithmic_lower_bound(g);
+        let ours = min_memory(
+            |b| dwt_opt::min_cost(&dwt, b),
+            lb,
+            MinMemoryOptions::for_graph(g).monotone(true),
+        )
+        .expect("optimum reaches the bound");
+        let baseline = min_memory(
+            |b| layer_by_layer::cost(&dwt, b, LayerByLayerOptions::default()),
+            lb,
+            MinMemoryOptions::for_graph(g),
+        )
+        .expect("baseline reaches the bound eventually");
+        rows.push(DesignRow {
+            workload: "DWT(256, 8)".into(),
+            scheme: scheme.label(),
+            ours_bits: ours,
+            baseline_bits: baseline,
+        });
+    }
+
+    // MVM(96, 120): tiling vs the IOOpt upper-bound model (rows 5-8).
+    for scheme in WeightScheme::paper_configs() {
+        let mvm = MvmGraph::new(96, 120, scheme).unwrap();
+        let ioopt = IoOptMvmModel::for_graph(&mvm);
+        rows.push(DesignRow {
+            workload: "MVM(96, 120)".into(),
+            scheme: scheme.label(),
+            ours_bits: mvm_tiling::min_memory(&mvm),
+            baseline_bits: ioopt.min_memory(),
+        });
+    }
+
+    // Synthesise every design and print the comparison.
+    let process = Process::default();
+    println!(
+        "{:<14} {:<6} {:>10} {:>10} {:>11} {:>11} {:>9} {:>9}",
+        "workload", "wts", "ours", "baseline", "area ours", "area base", "Δarea", "Δleak"
+    );
+    for row in &rows {
+        let ours = SramConfig::words16(round_pow2(row.ours_bits)).synthesize(&process);
+        let base = SramConfig::words16(round_pow2(row.baseline_bits)).synthesize(&process);
+        println!(
+            "{:<14} {:<6} {:>8} b {:>8} b {:>9.0}λ² {:>9.0}λ² {:>8.1}% {:>8.1}%",
+            row.workload,
+            row.scheme,
+            row.ours_bits,
+            row.baseline_bits,
+            ours.area_l2,
+            base.area_l2,
+            reduction_pct(base.area_l2, ours.area_l2),
+            reduction_pct(base.leakage_mw, ours.leakage_mw),
+        );
+    }
+
+    // Figure-8-style floorplan comparison for the headline DWT row.
+    let ours = SramConfig::words16(round_pow2(rows[0].ours_bits)).synthesize(&process);
+    let base = SramConfig::words16(round_pow2(rows[0].baseline_bits)).synthesize(&process);
+    println!(
+        "\nfloorplans, Equal DWT(256, 8) — drawn areas proportional to silicon:\n{}",
+        Floorplan::of(&ours).render_comparison(&Floorplan::of(&base), ("Optimum", "Layer-by-Layer"))
+    );
+
+    println!(
+        "throughput stays flat: {:.0} GB/s (ours) vs {:.0} GB/s (baseline) peak read",
+        ours.read_gbps, base.read_gbps
+    );
+
+    // Close the loop: price one DWT frame's data movement with the
+    // synthesized macro's own access energies plus embedded-Flash costs.
+    let dwt = DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap();
+    let schedule = dwt_opt::schedule(&dwt, 160).unwrap();
+    let (load_pj, store_pj) = ours.transfer_energy_per_bit(&NvmParams::default());
+    let model = EnergyModel {
+        load_pj_per_bit: load_pj,
+        store_pj_per_bit: store_pj,
+        compute_pj_per_op: 0.5,
+    };
+    let ops = pebblyn::kernels::haar::op_table(&dwt);
+    let env = pebblyn::kernels::haar::inputs_for(&dwt, &vec![0.25; 256]);
+    let report = Machine::new(dwt.cdag(), &ops, 160)
+        .with_energy_model(model)
+        .run(&schedule, &env)
+        .unwrap();
+    println!(
+        "
+energy per DWT frame on the synthesized 256-bit SRAM: {:.1} nJ          ({:.2} pJ/bit loads, {:.2} pJ/bit stores)",
+        report.energy.total_pj() / 1000.0,
+        load_pj,
+        store_pj
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a weighted DWT graph, generate an optimal schedule,
+//! validate it, and execute it on the two-level memory machine.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use pebblyn::prelude::*;
+
+fn main() {
+    // An 8-sample, 3-level Haar DWT with 16-bit samples and 32-bit
+    // accumulators (the paper's Double-Accumulator configuration).
+    let dwt = DwtGraph::new(8, 3, WeightScheme::DoubleAccumulator(16)).unwrap();
+    let g = dwt.cdag();
+    println!(
+        "DWT(8, 3): {} nodes, {} edges, total weight {} bits",
+        g.len(),
+        g.edge_count(),
+        g.total_weight()
+    );
+
+    // The two fundamental quantities of the model.
+    let lb = algorithmic_lower_bound(g);
+    let minb = min_feasible_budget(g);
+    println!("algorithmic lower bound: {lb} bits of I/O");
+    println!("minimum feasible budget: {minb} bits of fast memory");
+
+    // Sweep budgets: cost falls as fast memory grows, until it pins to the
+    // lower bound.
+    println!("\n{:>12} {:>14} {:>14}", "budget", "optimal I/O", "naive I/O");
+    let naive_cost = naive::cost(g);
+    let mut b = minb;
+    while b <= g.total_weight() {
+        if let Some(c) = dwt_opt::min_cost(&dwt, b) {
+            println!("{b:>10} b {c:>12} b {naive_cost:>12} b");
+        }
+        b += 48;
+    }
+
+    // Generate the optimal schedule at a tight budget and replay it through
+    // the independent validator.
+    let budget = 288; // 18 words of 16 bits — Table 1's DA DWT row
+    let schedule = dwt_opt::schedule(&dwt, budget).expect("schedule exists");
+    let stats = validate_schedule(g, budget, &schedule).expect("schedule is valid");
+    println!(
+        "\nat {budget} bits: {} moves, cost {} bits (lower bound {lb}), peak {} bits",
+        stats.moves, stats.cost, stats.peak_red_weight
+    );
+
+    // Execute it with real numbers: the machine checks every output value
+    // against a schedule-free reference evaluation.
+    let signal = vec![4.0, 2.0, 6.0, 8.0, -1.0, 1.0, 3.0, 5.0];
+    let ops = haar::op_table(&dwt);
+    let env = haar::inputs_for(&dwt, &signal);
+    let machine = Machine::new(g, &ops, budget);
+    let report = machine.run(&schedule, &env).expect("execution succeeds");
+    println!(
+        "machine: {} bits moved, {:.1} pJ ({:.0}% spent on data movement)",
+        report.io_bits,
+        report.energy.total_pj(),
+        100.0 * report.energy.movement_fraction()
+    );
+
+    // The deepest average equals the scaled signal mean — read it off the
+    // machine's slow memory.
+    let root = dwt.tree_roots()[0];
+    println!(
+        "DWT root (scaled signal mean): {:.4}",
+        report.outputs[&root]
+    );
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration: schedules from every generator executed on the
+//! two-level memory machine with real kernel arithmetic.
+
+use pebblyn::kernels::mvm as mvm_kernel;
+use pebblyn::kernels::signal::SignalConfig;
+use pebblyn::prelude::*;
+
+#[test]
+fn optimal_dwt_schedule_computes_the_transform() {
+    let dwt = DwtGraph::new(32, 5, WeightScheme::Equal(16)).unwrap();
+    let g = dwt.cdag();
+    let budget = 7 * 16 + 48; // comfortably above the optimum's needs
+    let schedule = dwt_opt::schedule(&dwt, budget).unwrap();
+
+    let signal = signal::generate_channel(&SignalConfig {
+        samples: 32,
+        seed: 3,
+        ..Default::default()
+    });
+    let ops = haar::op_table(&dwt);
+    let env = haar::inputs_for(&dwt, &signal);
+    let report = Machine::new(g, &ops, budget)
+        .run(&schedule, &env)
+        .expect("optimal schedule executes");
+
+    // Every output value matches the direct Haar transform.
+    let levels = haar::haar_dwt(&signal, 5);
+    for (k, level) in levels.iter().enumerate() {
+        let layer = k + 2;
+        for (t, &c) in level.coefficients.iter().enumerate() {
+            let node = dwt.node(layer, 2 * t + 2);
+            assert!((report.outputs[&node] - c).abs() < 1e-9);
+        }
+    }
+    let root = dwt.tree_roots()[0];
+    assert!((report.outputs[&root] - levels[4].averages[0]).abs() < 1e-9);
+}
+
+#[test]
+fn tiling_mvm_schedule_computes_the_product() {
+    for scheme in WeightScheme::paper_configs() {
+        let mvm = MvmGraph::new(9, 7, scheme).unwrap();
+        let g = mvm.cdag();
+        let budget = mvm_tiling::min_memory(&mvm);
+        let schedule = mvm_tiling::schedule(&mvm, budget).unwrap();
+
+        let a = mvm_kernel::Matrix::new(
+            9,
+            7,
+            (0..63).map(|i| ((i * 37) % 19) as f64 / 19.0 - 0.5).collect(),
+        );
+        let x: Vec<f64> = (0..7).map(|i| (i as f64 - 3.0) / 4.0).collect();
+        let ops = mvm_kernel::op_table(&mvm);
+        let env = mvm_kernel::inputs_for(&mvm, &a, &x);
+        let report = Machine::new(g, &ops, budget)
+            .run(&schedule, &env)
+            .expect("tiling schedule executes");
+
+        let expected = mvm_kernel::mvm_ref(&a, &x);
+        for r in 1..=9 {
+            assert!(
+                (report.outputs[&mvm.output(r)] - expected[r - 1]).abs() < 1e-9,
+                "row {r} ({scheme})"
+            );
+        }
+        // Machine-measured I/O equals the validator's cost.
+        let stats = validate_schedule(g, budget, &schedule).unwrap();
+        assert_eq!(report.io_bits, stats.cost);
+        assert_eq!(report.peak_fast_bits, stats.peak_red_weight);
+    }
+}
+
+#[test]
+fn layer_by_layer_schedule_computes_the_transform_under_pressure() {
+    let dwt = DwtGraph::new(16, 4, WeightScheme::DoubleAccumulator(16)).unwrap();
+    let g = dwt.cdag();
+    // A budget tight enough to force spills.
+    let budget = min_feasible_budget(g) + 32;
+    let schedule = layer_by_layer::schedule(&dwt, budget, LayerByLayerOptions::default()).unwrap();
+
+    let signal: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+    let ops = haar::op_table(&dwt);
+    let env = haar::inputs_for(&dwt, &signal);
+    let report = Machine::new(g, &ops, budget)
+        .run(&schedule, &env)
+        .expect("baseline schedule executes");
+
+    let levels = haar::haar_dwt(&signal, 4);
+    let root = dwt.tree_roots()[0];
+    assert!((report.outputs[&root] - levels[3].averages[0]).abs() < 1e-9);
+}
+
+#[test]
+fn naive_schedule_executes_any_graph() {
+    let mvm = MvmGraph::new(4, 3, WeightScheme::Equal(8)).unwrap();
+    let g = mvm.cdag();
+    let budget = min_feasible_budget(g);
+    let schedule = naive::schedule(g, budget).unwrap();
+
+    let a = mvm_kernel::Matrix::new(4, 3, (0..12).map(|i| i as f64).collect());
+    let x = vec![1.0, -1.0, 2.0];
+    let ops = mvm_kernel::op_table(&mvm);
+    let env = mvm_kernel::inputs_for(&mvm, &a, &x);
+    let report = Machine::new(g, &ops, budget)
+        .run(&schedule, &env)
+        .expect("naive schedule executes at the minimum feasible budget");
+    let expected = mvm_kernel::mvm_ref(&a, &x);
+    for r in 1..=4 {
+        assert!((report.outputs[&mvm.output(r)] - expected[r - 1]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn exact_schedules_execute_too() {
+    let dwt = DwtGraph::new(4, 2, WeightScheme::Equal(4)).unwrap();
+    let g = dwt.cdag();
+    let budget = min_feasible_budget(g);
+    let (cost, schedule) = exact_optimal_schedule(g, budget).unwrap();
+
+    let signal = vec![1.0, 2.0, 3.0, 4.0];
+    let ops = haar::op_table(&dwt);
+    let env = haar::inputs_for(&dwt, &signal);
+    let report = Machine::new(g, &ops, budget)
+        .run(&schedule, &env)
+        .expect("exact schedule executes");
+    assert_eq!(report.io_bits, cost);
+}
+
+#[test]
+fn energy_model_separates_schedulers() {
+    // The optimal schedule must never spend more transfer energy than the
+    // naive one on the same workload.
+    let dwt = DwtGraph::new(64, 6, WeightScheme::Equal(16)).unwrap();
+    let g = dwt.cdag();
+    let budget = g.total_weight();
+    let signal = vec![0.5; 64];
+    let ops = haar::op_table(&dwt);
+    let env = haar::inputs_for(&dwt, &signal);
+    let machine = Machine::new(g, &ops, budget);
+
+    let opt = machine
+        .run(&dwt_opt::schedule(&dwt, budget).unwrap(), &env)
+        .unwrap();
+    let nv = machine.run(&naive::schedule(g, budget).unwrap(), &env).unwrap();
+    assert!(opt.energy.total_pj() < nv.energy.total_pj());
+    assert!(opt.io_bits < nv.io_bits);
+}

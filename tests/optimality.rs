@@ -1,0 +1,150 @@
+//! Cross-scheduler optimality relations: the orderings the paper's theory
+//! guarantees, checked across whole budget sweeps.
+
+use pebblyn::prelude::*;
+
+fn budget_sweep(g: &Cdag) -> Vec<Weight> {
+    let minb = min_feasible_budget(g);
+    let maxb = g.total_weight();
+    let step = g.weight_gcd().max(1);
+    let mut out = Vec::new();
+    let mut b = minb;
+    while b <= maxb {
+        out.push(b);
+        b += step;
+    }
+    out
+}
+
+/// Theorem 3.5: the DWT DP dominates every other generator at every budget.
+#[test]
+fn dwt_optimum_dominates_baselines() {
+    for scheme in WeightScheme::paper_configs() {
+        let dwt = DwtGraph::new(16, 4, scheme).unwrap();
+        let g = dwt.cdag();
+        let naive_cost = naive::cost(g);
+        for b in budget_sweep(g) {
+            let opt = dwt_opt::min_cost(&dwt, b).expect("feasible");
+            if let Some(lbl) = layer_by_layer::cost(&dwt, b, LayerByLayerOptions::default()) {
+                assert!(opt <= lbl, "opt {opt} > layer-by-layer {lbl} at b={b}");
+            }
+            assert!(opt <= naive_cost);
+            assert!(opt >= algorithmic_lower_bound(g));
+        }
+    }
+}
+
+/// Lemma 3.4: the full DWT cost decomposes into the pruned-tree optimum
+/// plus one store per pruned coefficient.
+#[test]
+fn pruning_decomposition_holds() {
+    for scheme in WeightScheme::paper_configs() {
+        // n = 2^d gives a single tree so the pruned graph is k-ary-schedulable.
+        let dwt = DwtGraph::new(16, 4, scheme).unwrap();
+        let g = dwt.cdag();
+        let (pruned, _) = dwt.prune();
+        let coeff_weight: Weight = dwt
+            .pruned_nodes()
+            .iter()
+            .map(|&v| g.weight(v))
+            .sum();
+        for b in budget_sweep(g) {
+            let full = dwt_opt::min_cost(&dwt, b);
+            let tree = kary::min_cost(&pruned, b);
+            assert_eq!(
+                full,
+                tree.map(|c| c + coeff_weight),
+                "Lemma 3.4 decomposition at b={b} ({scheme})"
+            );
+        }
+    }
+}
+
+/// The k-ary DP and the DWT DP agree on DWT graphs pruned to trees, and
+/// both respect budget monotonicity.
+#[test]
+fn monotone_cost_in_budget() {
+    let dwt = DwtGraph::new(32, 5, WeightScheme::DoubleAccumulator(16)).unwrap();
+    let mut prev: Option<Weight> = None;
+    for b in budget_sweep(dwt.cdag()) {
+        let c = dwt_opt::min_cost(&dwt, b).unwrap();
+        if let Some(p) = prev {
+            assert!(c <= p);
+        }
+        prev = Some(c);
+    }
+}
+
+/// §4.3 + §5.2: tiling dominates the IOOpt upper-bound model at every
+/// budget where both are defined (the two reasons are the flexible split
+/// and write-once outputs).
+#[test]
+fn tiling_dominates_ioopt_ub() {
+    for scheme in WeightScheme::paper_configs() {
+        let mvm = MvmGraph::new(12, 10, scheme).unwrap();
+        let model = IoOptMvmModel::for_graph(&mvm);
+        let mut b = 16;
+        while b <= mvm.cdag().total_weight() {
+            if let (Some(tiling), Some(ub)) = (mvm_tiling::min_cost(&mvm, b), model.upper_bound(b))
+            {
+                assert!(
+                    tiling <= ub,
+                    "tiling {tiling} > IOOpt UB {ub} at b={b} ({scheme})"
+                );
+            }
+            b += 16;
+        }
+    }
+}
+
+/// The tiling schedule is certified optimal (not merely good) at the
+/// budgets the paper's Table 1 uses, via the exact solver on a small MVM.
+#[test]
+fn tiling_is_exactly_optimal_at_its_min_memory_small() {
+    let mvm = MvmGraph::new(3, 2, WeightScheme::Equal(2)).unwrap();
+    let g = mvm.cdag();
+    let b = mvm_tiling::min_memory(&mvm);
+    let tiling = mvm_tiling::min_cost(&mvm, b).unwrap();
+    let exact = exact_min_cost(g, b).unwrap();
+    assert_eq!(tiling, exact, "tiling matches the global optimum");
+    assert_eq!(exact, algorithmic_lower_bound(g));
+}
+
+/// Below the minimum fast memory size, even the exact optimum cannot reach
+/// the algorithmic lower bound — Definition 2.6 is about the problem, not
+/// the scheduler.
+#[test]
+fn min_memory_is_fundamental_on_small_dwt() {
+    let dwt = DwtGraph::new(4, 2, WeightScheme::Equal(2)).unwrap();
+    let g = dwt.cdag();
+    let lb = algorithmic_lower_bound(g);
+    let opt_min = min_memory(
+        |b| dwt_opt::min_cost(&dwt, b),
+        lb,
+        MinMemoryOptions::for_graph(g).monotone(true),
+    )
+    .unwrap();
+    // The DP's minimum memory matches the exhaustive solver's.
+    let exact_min = min_memory(
+        |b| exact_min_cost(g, b),
+        lb,
+        MinMemoryOptions::for_graph(g),
+    )
+    .unwrap();
+    assert_eq!(opt_min, exact_min);
+}
+
+/// Weighted vs unweighted: in the Equal configuration the WRBPG reduces to
+/// the classic red-blue pebble game — scaling all weights and the budget by
+/// the word size scales costs linearly.
+#[test]
+fn equal_weights_scale_linearly() {
+    let d1 = DwtGraph::new(16, 4, WeightScheme::Equal(1)).unwrap();
+    let d16 = DwtGraph::new(16, 4, WeightScheme::Equal(16)).unwrap();
+    for b in budget_sweep(d1.cdag()) {
+        assert_eq!(
+            dwt_opt::min_cost(&d1, b).map(|c| c * 16),
+            dwt_opt::min_cost(&d16, b * 16)
+        );
+    }
+}

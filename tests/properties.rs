@@ -1,0 +1,183 @@
+//! Property-based tests over randomly generated workloads: the invariants
+//! every scheduler must uphold regardless of shape, weights, or budget.
+
+use pebblyn::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_scheme() -> impl Strategy<Value = WeightScheme> {
+    prop_oneof![
+        (1u64..=32).prop_map(WeightScheme::Equal),
+        (1u64..=16).prop_map(WeightScheme::DoubleAccumulator),
+        (1u64..=16, 1u64..=32).prop_map(|(i, c)| WeightScheme::Custom { input: i, compute: c }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The k-ary DP emits valid schedules whose replayed cost equals the
+    /// DP's claim, sits at or above the lower bound, and is monotone in
+    /// budget — on arbitrary random weighted trees.
+    #[test]
+    fn kary_invariants(seed in 0u64..5000, internal in 1usize..7, kmax in 1usize..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = tree::random_weighted_tree(internal, kmax, 1..=9, &mut rng).unwrap();
+        let lb = algorithmic_lower_bound(&t);
+        let minb = min_feasible_budget(&t);
+        let mut prev: Option<Weight> = None;
+        let mut b = minb;
+        let step = t.weight_gcd().max(1);
+        while b <= t.total_weight() {
+            let cost = kary::min_cost(&t, b);
+            let sched = kary::schedule(&t, b);
+            prop_assert_eq!(cost.is_some(), sched.is_some());
+            if let (Some(c), Some(s)) = (cost, sched) {
+                let stats = validate_schedule(&t, b, &s).expect("valid schedule");
+                prop_assert_eq!(stats.cost, c);
+                prop_assert!(c >= lb);
+                prop_assert!(stats.peak_red_weight <= b);
+                if let Some(p) = prev {
+                    prop_assert!(c <= p);
+                }
+                prev = Some(c);
+            }
+            b += step;
+        }
+        // Ample budget reaches the lower bound on trees.
+        prop_assert_eq!(kary::min_cost(&t, t.total_weight()), Some(lb));
+    }
+
+    /// DWT invariants across random (n, d, scheme) combinations, including
+    /// equality between cost-only and schedule-emitting paths.
+    #[test]
+    fn dwt_invariants(k in 1usize..5, d in 1usize..5, scheme in arb_scheme()) {
+        let n = k << d;
+        let dwt = DwtGraph::new(n, d, scheme).unwrap();
+        let g = dwt.cdag();
+        let lb = algorithmic_lower_bound(g);
+        let minb = min_feasible_budget(g);
+        for b in [minb, minb + g.weight_gcd(), g.total_weight() / 2, g.total_weight()] {
+            if b < minb { continue; }
+            let cost = dwt_opt::min_cost(&dwt, b);
+            if let Some(c) = cost {
+                let s = dwt_opt::schedule(&dwt, b).expect("schedule when cost exists");
+                let stats = validate_schedule(g, b, &s).expect("valid");
+                prop_assert_eq!(stats.cost, c);
+                prop_assert!(c >= lb);
+            }
+        }
+        prop_assert_eq!(dwt_opt::min_cost(&dwt, g.total_weight()), Some(lb));
+    }
+
+    /// The naive existence-witness schedule is valid exactly when
+    /// Proposition 2.3 says a schedule exists.
+    #[test]
+    fn naive_matches_existence(seed in 0u64..5000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = pebblyn::graphs::testgraphs::random_layered_dag(3, 4, 1..=8, &mut rng).unwrap();
+        let minb = min_feasible_budget(&g);
+        prop_assert!(schedule_exists(&g, minb));
+        prop_assert!(!schedule_exists(&g, minb - 1));
+        let s = naive::schedule(&g, minb).expect("witness at min feasible");
+        let stats = validate_schedule(&g, minb, &s).expect("valid witness");
+        prop_assert_eq!(stats.cost, naive::cost(&g));
+        prop_assert!(naive::schedule(&g, minb - 1).is_none());
+    }
+
+    /// Layer-by-layer emits valid schedules whenever it emits at all, on
+    /// random DWT shapes and budgets.
+    #[test]
+    fn layer_by_layer_validity(k in 1usize..4, d in 1usize..5, extra in 0u64..64) {
+        let n = k << d;
+        let dwt = DwtGraph::new(n, d, WeightScheme::Equal(4)).unwrap();
+        let g = dwt.cdag();
+        let b = min_feasible_budget(g) + extra * g.weight_gcd();
+        if let Some(s) = layer_by_layer::schedule(&dwt, b, LayerByLayerOptions::default()) {
+            let stats = validate_schedule(g, b, &s).expect("valid");
+            prop_assert!(stats.cost >= algorithmic_lower_bound(g));
+        }
+    }
+
+    /// MVM tiling: every config in range produces a schedule whose
+    /// validator-measured peak and cost equal the analytic formulas.
+    #[test]
+    fn tiling_formulas_exact(m in 2usize..7, n in 1usize..7, scheme in arb_scheme()) {
+        let mvm = MvmGraph::new(m, n, scheme).unwrap();
+        for h in 1..=m {
+            for vr in [0, n / 2, n] {
+                let cfg = TilingConfig::new(h, vr, n);
+                let s = mvm_tiling::schedule_with_config(&mvm, &cfg);
+                let peak = mvm_tiling::config_peak(&mvm, &cfg);
+                let stats = validate_schedule(mvm.cdag(), peak, &s).expect("valid at peak");
+                prop_assert_eq!(stats.peak_red_weight, peak);
+                prop_assert_eq!(stats.cost, mvm_tiling::config_cost(&mvm, &cfg));
+            }
+        }
+    }
+
+    /// The machine and the validator agree on every measurable of a
+    /// schedule (cost, peak) for random DWT workloads.
+    #[test]
+    fn machine_and_validator_agree(seed in 0u64..1000, d in 1usize..5) {
+        let n = 1usize << d;
+        let dwt = DwtGraph::new(n, d, WeightScheme::Equal(16)).unwrap();
+        let g = dwt.cdag();
+        let b = min_feasible_budget(g) + 32;
+        let s = dwt_opt::schedule(&dwt, b).expect("feasible");
+        let stats = validate_schedule(g, b, &s).expect("valid");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let signal: Vec<f64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect();
+        let ops = haar::op_table(&dwt);
+        let env = haar::inputs_for(&dwt, &signal);
+        let report = Machine::new(g, &ops, b).run(&s, &env).expect("executes");
+        prop_assert_eq!(report.io_bits, stats.cost);
+        prop_assert_eq!(report.peak_fast_bits, stats.peak_red_weight);
+    }
+
+    /// The memory-state planner (Eq. 8 with emission) always matches the
+    /// cost-only DP and replays to the same cost under the context
+    /// semantics — on random binary trees with random initial/reuse sets.
+    #[test]
+    fn memstate_planner_matches_cost_dp(seed in 0u64..3000, internal in 1usize..6) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Binary trees only (the planner covers k = 2).
+        let t = tree::random_weighted_tree(internal, 2, 1..=6, &mut rng).unwrap();
+        prop_assume!(t.max_in_degree() <= 2);
+        // Random states: each leaf flips into I and/or R with p = 1/3.
+        let leaves = t.sources();
+        let mut initial = Vec::new();
+        let mut reuse = Vec::new();
+        for &l in &leaves {
+            if rand::Rng::gen_bool(&mut rng, 1.0 / 3.0) { initial.push(l); }
+            if rand::Rng::gen_bool(&mut rng, 1.0 / 3.0) { reuse.push(l); }
+        }
+        let states = MemoryStates::new(initial, reuse);
+        let minb = min_feasible_budget(&t);
+        for b in [minb, minb + 3, minb + 9, t.total_weight() + 8] {
+            let cost = memstate::min_cost(&t, b, &states);
+            let ctx = memstate::plan(&t, b, &states);
+            prop_assert_eq!(cost, ctx.as_ref().map(|c| c.cost), "budget {}", b);
+            if let Some(ctx) = ctx {
+                let replayed = memstate::validate_in_context(&t, b, &states, &ctx)
+                    .map_err(|e| TestCaseError::fail(format!("b={b}: {e}")))?;
+                prop_assert_eq!(replayed, ctx.cost);
+            }
+        }
+    }
+
+    /// Exact solver sanity on random tiny trees: never beaten by, and never
+    /// beats, the k-ary DP (i.e. they agree).
+    #[test]
+    fn exact_agrees_with_kary_on_tiny_trees(seed in 0u64..300) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = tree::random_weighted_tree(2, 2, 1..=3, &mut rng).unwrap();
+        prop_assume!(t.len() <= 7);
+        let minb = min_feasible_budget(&t);
+        for b in [minb, minb + 1, minb + 3, t.total_weight()] {
+            prop_assert_eq!(kary::min_cost(&t, b), exact_min_cost(&t, b));
+        }
+    }
+}
