@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     for n in [256usize, 4096] {
         let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();

@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_machine(c: &mut Criterion) {
     let mut group = c.benchmark_group("machine_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     // One DWT window at the Table 1 budget.
     let dwt = DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap();
@@ -18,9 +20,13 @@ fn bench_machine(c: &mut Criterion) {
     let env = haar::inputs_for(&dwt, &signal);
     let machine = Machine::new(dwt.cdag(), &ops, 160);
     group.throughput(criterion::Throughput::Elements(sched.len() as u64));
-    group.bench_with_input(BenchmarkId::new("dwt256_window", sched.len()), &(), |b, _| {
-        b.iter(|| black_box(machine.run(&sched, &env).unwrap()));
-    });
+    group.bench_with_input(
+        BenchmarkId::new("dwt256_window", sched.len()),
+        &(),
+        |b, _| {
+            b.iter(|| black_box(machine.run(&sched, &env).unwrap()));
+        },
+    );
 
     // One MVM decode at the Table 1 budget.
     let mvm = MvmGraph::new(96, 120, WeightScheme::Equal(16)).unwrap();

@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_dwt_opt(c: &mut Criterion) {
     let mut group = c.benchmark_group("dwt_opt");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [64usize, 128, 256] {
         let d = DwtGraph::max_level(n).unwrap();
         let dwt = DwtGraph::new(n, d, WeightScheme::Equal(16)).unwrap();
@@ -36,7 +38,9 @@ fn bench_dwt_opt(c: &mut Criterion) {
 
 fn bench_kary(c: &mut Criterion) {
     let mut group = c.benchmark_group("kary");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [2usize, 3, 4] {
         let depth = match k {
             2 => 7,
@@ -58,7 +62,9 @@ fn bench_kary(c: &mut Criterion) {
 
 fn bench_mvm_tiling(c: &mut Criterion) {
     let mut group = c.benchmark_group("mvm_tiling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let mvm = MvmGraph::new(96, 120, WeightScheme::Equal(16)).unwrap();
     group.bench_function("best_config_search", |b| {
         b.iter(|| black_box(mvm_tiling::best_config(&mvm, black_box(99 * 16))));
@@ -72,7 +78,9 @@ fn bench_mvm_tiling(c: &mut Criterion) {
 
 fn bench_layer_by_layer(c: &mut Criterion) {
     let mut group = c.benchmark_group("layer_by_layer");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let dwt = DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap();
     for words in [16u64, 128] {
         group.bench_with_input(BenchmarkId::new("dwt256", words), &words, |b, &w| {
@@ -90,7 +98,9 @@ fn bench_layer_by_layer(c: &mut Criterion) {
 
 fn bench_min_memory_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("min_memory");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let dwt = DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap();
     let lb = algorithmic_lower_bound(dwt.cdag());
     group.bench_function("dwt256_bisect", |b| {
@@ -107,7 +117,9 @@ fn bench_min_memory_search(c: &mut Criterion) {
 
 fn bench_extensions(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     // Streaming FIR scheduler at BCI scale.
     let conv = ConvGraph::new(1024, 32, WeightScheme::Equal(16)).unwrap();
@@ -117,8 +129,8 @@ fn bench_extensions(c: &mut Criterion) {
     });
 
     // Banded MVM streaming.
-    let band = pebblyn::graphs::banded::BandedMvmGraph::new(512, 16, WeightScheme::Equal(16))
-        .unwrap();
+    let band =
+        pebblyn::graphs::banded::BandedMvmGraph::new(512, 16, WeightScheme::Equal(16)).unwrap();
     group.bench_function("banded_stream_512x16", |b| {
         let budget = pebblyn::schedulers::banded_stream::min_memory(&band);
         b.iter(|| {

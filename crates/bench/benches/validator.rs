@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench_validator(c: &mut Criterion) {
     let mut group = c.benchmark_group("validate_schedule");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     // DWT optimal schedule (~8k moves at n = 256).
     let dwt = DwtGraph::new(256, 8, WeightScheme::Equal(16)).unwrap();

@@ -76,13 +76,30 @@ fn boustrophedon_ablation() {
     let g = dwt.cdag();
     let mut t = Table::new(
         "Ablation boustrophedon",
-        &["budget_bits", "alternating_bits", "fixed_bits", "saving_pct"],
+        &[
+            "budget_bits",
+            "alternating_bits",
+            "fixed_bits",
+            "saving_pct",
+        ],
     );
     let minb = pebblyn::core::min_feasible_budget(g);
     for words in [4u64, 8, 16, 32, 64, 128, 256, 512] {
         let b = (words * 16).max(minb);
-        let alt = layer_by_layer::cost(&dwt, b, LayerByLayerOptions { boustrophedon: true });
-        let fix = layer_by_layer::cost(&dwt, b, LayerByLayerOptions { boustrophedon: false });
+        let alt = layer_by_layer::cost(
+            &dwt,
+            b,
+            LayerByLayerOptions {
+                boustrophedon: true,
+            },
+        );
+        let fix = layer_by_layer::cost(
+            &dwt,
+            b,
+            LayerByLayerOptions {
+                boustrophedon: false,
+            },
+        );
         if let (Some(a), Some(f)) = (alt, fix) {
             t.row(vec![
                 b.to_string(),
@@ -125,7 +142,12 @@ fn energy_asymmetry_ablation() {
     let costs = IoCosts { load: 1, store: 10 };
     let mut t = Table::new(
         "Ablation energy asymmetry",
-        &["budget_bits", "bits_moved", "energy_cost_1_10", "spill_bits"],
+        &[
+            "budget_bits",
+            "bits_moved",
+            "energy_cost_1_10",
+            "spill_bits",
+        ],
     );
     for words in [4u64, 6, 8, 10, 16, 64] {
         let b = words * 16;

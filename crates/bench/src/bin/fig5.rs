@@ -1,29 +1,42 @@
 //! Figure 5: bits transferred between fast and slow memory as a function
 //! of fast memory size, for all four workload/weighting panels.
 //!
+//! Each panel is a declarative [`SweepPlan`] run by the engine (parallel,
+//! memoized); this binary only declares the plans and pivots the rows into
+//! the paper's column layout.  Structured engine output (with lower-bound
+//! gaps) lands next to the per-panel CSVs as `fig5_sweep.json`.
+//!
 //! ```sh
 //! cargo run --release -p pebblyn-bench --bin fig5 [-- --panel a|b|c|d]
 //! ```
 
 use pebblyn::prelude::*;
-use pebblyn_bench::{log_budgets, parallel_map, Table};
+use pebblyn_bench::{fmt_bits, results_dir, Table};
 
-fn dwt_panel(panel: &str, scheme: WeightScheme) {
-    let dwt = DwtGraph::new(256, 8, scheme).unwrap();
-    let g = dwt.cdag();
-    let lb = algorithmic_lower_bound(g);
-    let minb = pebblyn::core::min_feasible_budget(g) / 16;
+fn dwt_panel(panel: &str, scheme: WeightScheme) -> SweepResult {
+    let g = AnyGraph::build(Workload::Dwt { n: 256, d: 8 }, scheme).unwrap();
+    let lb = algorithmic_lower_bound(g.cdag());
+    let minb = min_feasible_budget(g.cdag()) / 16;
     // Sweep to past the point where layer-by-layer flattens (~1k words).
-    let budgets = log_budgets(minb, 1200, 28, 16);
-
-    let rows = parallel_map(budgets, |&b| {
-        let opt = dwt_opt::min_cost(&dwt, b);
-        let lbl = layer_by_layer::cost(&dwt, b, LayerByLayerOptions::default());
-        (b, opt, lbl)
-    });
-
-    let mut t = Table::new(
+    let plan = SweepPlan::new(
         format!("Fig 5{panel} {} DWT(256,8)", scheme.label()),
+        BudgetSpec::LogWords {
+            lo_words: minb,
+            hi_words: 1200,
+            points: 28,
+            word: 16,
+        },
+    )
+    .workload(g.clone())
+    .series(Series::scheduler(&api::DwtOpt))
+    .series(Series::scheduler(&api::LayerByLayer));
+    let res = plan.run_with(Memo::global());
+
+    let name = g.name();
+    let opt = res.series_costs(&name, "dwt-opt");
+    let lbl = res.series_costs(&name, "layer-by-layer");
+    let mut t = Table::new(
+        res.title.clone(),
         &[
             "fast_memory_bits",
             "algorithmic_lb_bits",
@@ -31,33 +44,41 @@ fn dwt_panel(panel: &str, scheme: WeightScheme) {
             "optimum_bits",
         ],
     );
-    for (b, opt, lbl) in rows {
+    for ((b, opt), (_, lbl)) in opt.into_iter().zip(lbl) {
         t.row(vec![
             b.to_string(),
             lb.to_string(),
-            lbl.map_or_else(|| "inf".into(), |c| c.to_string()),
-            opt.map_or_else(|| "inf".into(), |c| c.to_string()),
+            fmt_bits(lbl),
+            fmt_bits(opt),
         ]);
     }
     t.emit();
+    res
 }
 
-fn mvm_panel(panel: &str, scheme: WeightScheme) {
-    let mvm = MvmGraph::new(96, 120, scheme).unwrap();
-    let model = IoOptMvmModel::for_graph(&mvm);
-    let budgets = log_budgets(4, 1200, 28, 16);
-
-    let rows = parallel_map(budgets, |&b| {
-        (
-            b,
-            model.lower_bound(b),
-            model.upper_bound(b),
-            mvm_tiling::min_cost(&mvm, b),
-        )
-    });
-
-    let mut t = Table::new(
+fn mvm_panel(panel: &str, scheme: WeightScheme) -> SweepResult {
+    let g = AnyGraph::build(Workload::Mvm { m: 96, n: 120 }, scheme).unwrap();
+    let plan = SweepPlan::new(
         format!("Fig 5{panel} {} MVM(96,120)", scheme.label()),
+        BudgetSpec::LogWords {
+            lo_words: 4,
+            hi_words: 1200,
+            points: 28,
+            word: 16,
+        },
+    )
+    .workload(g.clone())
+    .series(Series::ioopt_lb())
+    .series(Series::ioopt_ub())
+    .series(Series::scheduler(&api::MvmTiling));
+    let res = plan.run_with(Memo::global());
+
+    let name = g.name();
+    let lb = res.series_costs(&name, "ioopt-lb");
+    let ub = res.series_costs(&name, "ioopt-ub");
+    let tiling = res.series_costs(&name, "mvm-tiling");
+    let mut t = Table::new(
+        res.title.clone(),
         &[
             "fast_memory_bits",
             "ioopt_lb_bits",
@@ -65,15 +86,16 @@ fn mvm_panel(panel: &str, scheme: WeightScheme) {
             "tiling_bits",
         ],
     );
-    for (b, lb, ub, tiling) in rows {
+    for (((b, lb), (_, ub)), (_, tiling)) in lb.into_iter().zip(ub).zip(tiling) {
         t.row(vec![
             b.to_string(),
-            lb.to_string(),
-            ub.map_or_else(|| "inf".into(), |c| c.to_string()),
-            tiling.map_or_else(|| "inf".into(), |c| c.to_string()),
+            fmt_bits(lb),
+            fmt_bits(ub),
+            fmt_bits(tiling),
         ]);
     }
     t.emit();
+    res
 }
 
 fn main() {
@@ -85,16 +107,41 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all");
 
+    let started = std::time::Instant::now();
+    let mut results: Vec<SweepResult> = Vec::new();
     if matches!(panel, "a" | "all") {
-        dwt_panel("a", WeightScheme::Equal(16));
+        results.push(dwt_panel("a", WeightScheme::Equal(16)));
     }
     if matches!(panel, "b" | "all") {
-        dwt_panel("b", WeightScheme::DoubleAccumulator(16));
+        results.push(dwt_panel("b", WeightScheme::DoubleAccumulator(16)));
     }
     if matches!(panel, "c" | "all") {
-        mvm_panel("c", WeightScheme::Equal(16));
+        results.push(mvm_panel("c", WeightScheme::Equal(16)));
     }
     if matches!(panel, "d" | "all") {
-        mvm_panel("d", WeightScheme::DoubleAccumulator(16));
+        results.push(mvm_panel("d", WeightScheme::DoubleAccumulator(16)));
     }
+
+    let json = format!(
+        "[{}]",
+        results
+            .iter()
+            .map(SweepResult::to_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let path = results_dir().join("fig5_sweep.json");
+    std::fs::write(&path, json).expect("write sweep json");
+    println!("[json] {}", path.display());
+
+    let memo = Memo::global();
+    let point_ns: u64 = results.iter().map(SweepResult::total_wall_ns).sum();
+    println!(
+        "engine: {} points in {:.2}s wall ({:.2}s point time; memo {} hits / {} misses)",
+        results.iter().map(|r| r.rows.len()).sum::<usize>(),
+        started.elapsed().as_secs_f64(),
+        point_ns as f64 / 1e9,
+        memo.hits(),
+        memo.misses(),
+    );
 }

@@ -2,42 +2,37 @@
 //! the workload size parameter `n`.
 //!
 //! Panels a/b sweep `DWT(n, d*)` for even `n ≤ 256` with `d*` the maximum
-//! admissible level; panels c/d sweep `MVM(96, n)` for `n ≤ 120`.
+//! admissible level; panels c/d sweep `MVM(96, n)` for `n ≤ 120`.  Each
+//! panel is a declarative [`MinMemoryPlan`] run by the engine: the DWT
+//! minima come from the shared memoized bisection, the MVM minima from the
+//! closed-form `Direct` entries.
 //!
 //! ```sh
 //! cargo run --release -p pebblyn-bench --bin fig6 [-- --panel a|b|c|d]
 //! ```
 
 use pebblyn::prelude::*;
-use pebblyn_bench::{parallel_map, Table};
+use pebblyn_bench::Table;
 
 fn dwt_panel(panel: &str, scheme: WeightScheme) {
     let ns: Vec<usize> = (2..=256).step_by(2).collect();
-    let rows = parallel_map(ns, |&n| {
+    let mut plan = MinMemoryPlan::new(format!("Fig 6{panel} {} DWT(n,dstar)", scheme.label()))
+        .to_lower_bound(Series::scheduler(&api::DwtOpt))
+        .to_lower_bound(Series::scheduler(&api::LayerByLayer));
+    for &n in &ns {
         let d = DwtGraph::max_level(n).expect("even n");
-        let dwt = DwtGraph::new(n, d, scheme).unwrap();
-        let g = dwt.cdag();
-        let lb = algorithmic_lower_bound(g);
-        let opt = min_memory(
-            |b| dwt_opt::min_cost(&dwt, b),
-            lb,
-            MinMemoryOptions::for_graph(g).monotone(true),
-        )
-        .expect("optimum reaches LB");
-        let lbl = min_memory(
-            |b| layer_by_layer::cost(&dwt, b, LayerByLayerOptions::default()),
-            lb,
-            MinMemoryOptions::for_graph(g),
-        )
-        .expect("baseline reaches LB");
-        (n, d, lbl, opt)
-    });
+        plan = plan.workload(AnyGraph::build(Workload::Dwt { n, d }, scheme).unwrap());
+    }
+    let res = plan.run_with(Memo::global());
 
     let mut t = Table::new(
-        format!("Fig 6{panel} {} DWT(n,dstar)", scheme.label()),
+        res.title.clone(),
         &["n", "d_star", "layer_by_layer_bits", "optimum_bits"],
     );
-    for (n, d, lbl, opt) in rows {
+    for (i, &n) in ns.iter().enumerate() {
+        let d = DwtGraph::max_level(n).expect("even n");
+        let opt = res.rows[2 * i].min_bits.expect("optimum reaches LB");
+        let lbl = res.rows[2 * i + 1].min_bits.expect("baseline reaches LB");
         t.row(vec![
             n.to_string(),
             d.to_string(),
@@ -49,14 +44,24 @@ fn dwt_panel(panel: &str, scheme: WeightScheme) {
 }
 
 fn mvm_panel(panel: &str, scheme: WeightScheme) {
-    let mut t = Table::new(
-        format!("Fig 6{panel} {} MVM(96,n)", scheme.label()),
-        &["n", "ioopt_ub_bits", "tiling_bits"],
-    );
+    let mut plan = MinMemoryPlan::new(format!("Fig 6{panel} {} MVM(96,n)", scheme.label()))
+        .direct("ioopt-ub", |g| match g {
+            AnyGraph::Mvm(m) => Some(IoOptMvmModel::for_graph(m).min_memory()),
+            _ => None,
+        })
+        .direct("mvm-tiling", |g| match g {
+            AnyGraph::Mvm(m) => Some(mvm_tiling::min_memory(m)),
+            _ => None,
+        });
     for n in 1..=120usize {
-        let mvm = MvmGraph::new(96, n, scheme).unwrap();
-        let ioopt = IoOptMvmModel::for_graph(&mvm).min_memory();
-        let tiling = mvm_tiling::min_memory(&mvm);
+        plan = plan.workload(AnyGraph::build(Workload::Mvm { m: 96, n }, scheme).unwrap());
+    }
+    let res = plan.run_with(Memo::global());
+
+    let mut t = Table::new(res.title.clone(), &["n", "ioopt_ub_bits", "tiling_bits"]);
+    for (i, n) in (1..=120usize).enumerate() {
+        let ioopt = res.rows[2 * i].min_bits.expect("IOOpt closed form");
+        let tiling = res.rows[2 * i + 1].min_bits.expect("tiling family minimum");
         t.row(vec![n.to_string(), ioopt.to_string(), tiling.to_string()]);
     }
     t.emit();

@@ -71,7 +71,10 @@ fn main() {
             label.clone(),
             format!("{:.1}", area_red),
             format!("{:.1}", leak_red),
-            format!("{:.1}", reduction_pct(base.read_power_mw, ours.read_power_mw)),
+            format!(
+                "{:.1}",
+                reduction_pct(base.read_power_mw, ours.read_power_mw)
+            ),
             format!(
                 "{:.1}",
                 reduction_pct(base.write_power_mw, ours.write_power_mw)

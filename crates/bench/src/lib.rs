@@ -13,8 +13,10 @@
 //! | `all` | everything above, in order |
 //!
 //! Each binary prints the series the paper plots and writes a CSV under
-//! `results/`.  This library holds the shared plumbing: table printing, CSV
-//! output, budget sweeps, and a small crossbeam-based parallel map.
+//! `results/`.  The sweeps themselves are declarative
+//! [`SweepPlan`]/[`MinMemoryPlan`]s executed by `pebblyn-engine` (parallel,
+//! memoized via [`Memo::global`]); this library holds the presentation
+//! plumbing — table printing, CSV output — plus the shared Table 1 rows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -80,7 +82,10 @@ impl Table {
                 .join("  ")
         };
         println!("{}", fmt_row(&self.header));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             println!("{}", fmt_row(row));
         }
@@ -112,90 +117,81 @@ impl Table {
 }
 
 /// Log-spaced budgets on the word lattice from `lo_words` to `hi_words`
-/// (inclusive, deduplicated, in bits).
+/// (inclusive, deduplicated, in bits).  Delegates to the engine's grid so
+/// plans and ad-hoc sweeps agree on the lattice.
 pub fn log_budgets(lo_words: u64, hi_words: u64, points: usize, word: u64) -> Vec<Weight> {
-    assert!(lo_words >= 1 && hi_words >= lo_words && points >= 2);
-    let lo = lo_words as f64;
-    let hi = hi_words as f64;
-    let mut out: Vec<Weight> = (0..points)
-        .map(|i| {
-            let t = i as f64 / (points - 1) as f64;
-            let w = lo * (hi / lo).powf(t);
-            (w.round() as u64).clamp(lo_words, hi_words) * word
-        })
-        .collect();
-    out.dedup();
-    out
+    pebblyn::engine::log_budgets(lo_words, hi_words, points, word)
 }
 
-/// Parallel map over items with a scoped crossbeam worker pool (the
-/// sanctioned alternative to rayon for the sweep-heavy figures).
+/// Format an optional cost the way the paper's tables do: `inf` when the
+/// scheduler is infeasible at the budget.
+pub fn fmt_bits(v: Option<Weight>) -> String {
+    v.map_or_else(|| "inf".into(), |c| c.to_string())
+}
+
+/// Parallel map over items, delegating to the sweep engine's worker pool
+/// (order-preserving; thread count honors `RAYON_NUM_THREADS`).
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            scope.spawn(|_| {
-                let tx = tx;
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    tx.send((i, f(&items[i]))).expect("collector alive");
-                }
-            });
-        }
-        drop(tx);
-        let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-        for (i, r) in rx {
-            results[i] = Some(r);
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
-    })
-    .expect("worker pool")
+    pebblyn::engine::par::par_map(&items, f)
 }
 
 /// The four Table 1 workload/scheduler comparisons, shared by several
 /// binaries: (label, scheme, our min-memory bits, baseline min-memory bits).
+///
+/// One [`MinMemoryPlan`] per workload family, run through the process-wide
+/// memo so Figure 5's budget sweeps and this table share DP evaluations.
 pub fn table1_rows() -> Vec<(String, WeightScheme, Weight, Weight)> {
     let mut rows = Vec::new();
+
+    let mut dwt_plan = MinMemoryPlan::new("Table 1 DWT")
+        .to_lower_bound(Series::scheduler(&api::DwtOpt))
+        .to_lower_bound(Series::scheduler(&api::LayerByLayer));
     for scheme in WeightScheme::paper_configs() {
-        let dwt = DwtGraph::new(256, 8, scheme).unwrap();
-        let g = dwt.cdag();
-        let lb = algorithmic_lower_bound(g);
-        let ours = min_memory(
-            |b| dwt_opt::min_cost(&dwt, b),
-            lb,
-            MinMemoryOptions::for_graph(g).monotone(true),
-        )
-        .expect("optimum reaches LB");
-        let baseline = min_memory(
-            |b| layer_by_layer::cost(&dwt, b, LayerByLayerOptions::default()),
-            lb,
-            MinMemoryOptions::for_graph(g),
-        )
-        .expect("layer-by-layer reaches LB");
-        rows.push((format!("DWT(256,8) {}", scheme.label()), scheme, ours, baseline));
+        let g = AnyGraph::build(Workload::Dwt { n: 256, d: 8 }, scheme).unwrap();
+        dwt_plan = dwt_plan.workload(g);
     }
+    let dwt = dwt_plan.run_with(Memo::global());
+    for (i, scheme) in WeightScheme::paper_configs().into_iter().enumerate() {
+        let ours = dwt.rows[2 * i].min_bits.expect("optimum reaches LB");
+        let baseline = dwt.rows[2 * i + 1]
+            .min_bits
+            .expect("layer-by-layer reaches LB");
+        rows.push((
+            format!("DWT(256,8) {}", scheme.label()),
+            scheme,
+            ours,
+            baseline,
+        ));
+    }
+
+    let mut mvm_plan = MinMemoryPlan::new("Table 1 MVM")
+        .direct("mvm-tiling", |g| match g {
+            AnyGraph::Mvm(m) => Some(mvm_tiling::min_memory(m)),
+            _ => None,
+        })
+        .direct("ioopt-ub", |g| match g {
+            AnyGraph::Mvm(m) => Some(IoOptMvmModel::for_graph(m).min_memory()),
+            _ => None,
+        });
     for scheme in WeightScheme::paper_configs() {
-        let mvm = MvmGraph::new(96, 120, scheme).unwrap();
-        let ours = mvm_tiling::min_memory(&mvm);
-        let baseline = IoOptMvmModel::for_graph(&mvm).min_memory();
-        rows.push((format!("MVM(96,120) {}", scheme.label()), scheme, ours, baseline));
+        let g = AnyGraph::build(Workload::Mvm { m: 96, n: 120 }, scheme).unwrap();
+        mvm_plan = mvm_plan.workload(g);
+    }
+    let mvm = mvm_plan.run_with(Memo::global());
+    for (i, scheme) in WeightScheme::paper_configs().into_iter().enumerate() {
+        let ours = mvm.rows[2 * i].min_bits.expect("tiling family minimum");
+        let baseline = mvm.rows[2 * i + 1].min_bits.expect("IOOpt UB minimum");
+        rows.push((
+            format!("MVM(96,120) {}", scheme.label()),
+            scheme,
+            ours,
+            baseline,
+        ));
     }
     rows
 }

@@ -1,5 +1,10 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
+//!
+//! Workload parameters parse straight into the shared
+//! [`Workload`] record from `pebblyn-graphs`; every parse failure is a
+//! [`CliError::Usage`] (exit code 2, usage text printed).
 
+use crate::error::CliError;
 use pebblyn::prelude::*;
 
 /// CLI usage text.
@@ -18,16 +23,18 @@ COMMANDS:
   dot          print the workload CDAG in Graphviz DOT format
 
 WORKLOAD OPTIONS (schedule, min-memory, sweep, dot):
-  --workload dwt|mvm|conv|dwt2d
+  --workload dwt|mvm|conv|dwt2d|banded
                            (required)
-  --n <N>                  DWT/Conv inputs, or 2-D image side [default 256 / 16]
+  --n <N>                  DWT/Conv inputs, 2-D image side, or banded
+                           dimension [default 256 / 16 / 64]
   --d <D>                  DWT levels [default max for n]
   --k <K>                  Conv filter taps [default 8]
   --levels <L>             2-D DWT levels [default 2]
   --m <M> --cols <N>       MVM rows/columns [default 96x120]
+  --bandwidth <B>          banded MVM half-bandwidth [default 4]
   --weights equal|da       weight configuration [default equal]
   --word <BITS>            word size in bits [default 16]
-  --scheduler opt|lbl|naive|tiling|stream|belady
+  --scheduler opt|lbl|naive|tiling|stream|banded|belady
                            scheduler [default: per-workload]
 
 OTHER OPTIONS:
@@ -39,33 +46,30 @@ OTHER OPTIONS:
   --out <FILE>             write the schedule in the M1..M4 text format
 ";
 
-/// Which workload graph to build.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Workload {
-    /// `DWT(n, d)`.
-    Dwt { n: usize, d: usize },
-    /// `MVM(m, n)`.
-    Mvm { m: usize, n: usize },
-    /// `Conv(n, k)`.
-    Conv { n: usize, k: usize },
-    /// Separable 2-D DWT over an `n × n` image.
-    Dwt2d { n: usize, levels: usize },
-}
-
 /// Which scheduler to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheduler {
+    /// The DWT-optimal dynamic program (Algorithm 1).
     Optimal,
+    /// The layer-by-layer baseline.
     LayerByLayer,
+    /// The trivial topological-order schedule.
     Naive,
+    /// The MVM tiling (§4.3).
     Tiling,
+    /// Sliding-window streaming for convolution.
     Stream,
+    /// Streaming for banded MVM.
+    BandedStream,
+    /// Greedy with Belady eviction.
     Belady,
 }
 
 /// A parsed command.
 #[derive(Debug, Clone)]
+#[allow(missing_docs)]
 pub enum Command {
+    /// Generate, validate and report one schedule.
     Schedule {
         workload: Workload,
         scheme: WeightScheme,
@@ -75,25 +79,27 @@ pub enum Command {
         optimize: bool,
         out: Option<String>,
     },
+    /// Compute the minimum fast memory size (Definition 2.6).
     MinMemory {
         workload: Workload,
         scheme: WeightScheme,
         scheduler: Scheduler,
     },
+    /// Print a cost vs budget series as CSV.
     Sweep {
         workload: Workload,
         scheme: WeightScheme,
         scheduler: Scheduler,
         points: usize,
     },
-    Synth {
-        bits: u64,
-        word: u64,
-    },
+    /// Synthesize an SRAM macro.
+    Synth { bits: u64, word: u64 },
+    /// Print the CDAG in Graphviz DOT format.
     Dot {
         workload: Workload,
         scheme: WeightScheme,
     },
+    /// Render the occupancy trace of a schedule.
     Trace {
         workload: Workload,
         scheme: WeightScheme,
@@ -119,37 +125,49 @@ impl<'a> Opts<'a> {
         self.argv.iter().any(|a| a == key)
     }
 
-    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(s) => s.parse().map_err(|_| format!("invalid {key}: {s}")),
+            Some(s) => s
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid {key}: {s}"))),
         }
     }
 }
 
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
 /// Parse `argv` into a [`Command`].
-pub fn parse(argv: &[String]) -> Result<Command, String> {
-    let cmd = argv.first().ok_or("missing command")?.as_str();
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let cmd = argv
+        .first()
+        .ok_or_else(|| usage("missing command"))?
+        .as_str();
     let opts = Opts { argv: &argv[1..] };
 
     let word: u64 = opts.parse_num("--word", 16)?;
     if word == 0 {
-        return Err("--word must be positive".into());
+        return Err(usage("--word must be positive"));
     }
     let scheme = match opts.get("--weights").unwrap_or("equal") {
         "equal" => WeightScheme::Equal(word),
         "da" | "double-accumulator" => WeightScheme::DoubleAccumulator(word),
-        other => return Err(format!("unknown --weights {other} (equal|da)")),
+        other => return Err(usage(format!("unknown --weights {other} (equal|da)"))),
     };
 
-    let workload = || -> Result<Workload, String> {
-        match opts.get("--workload").ok_or("missing --workload")? {
+    let workload = || -> Result<Workload, CliError> {
+        match opts
+            .get("--workload")
+            .ok_or_else(|| usage("missing --workload"))?
+        {
             "dwt" => {
                 let n: usize = opts.parse_num("--n", 256)?;
                 let d = match opts.get("--d") {
-                    Some(s) => s.parse().map_err(|_| format!("invalid --d: {s}"))?,
+                    Some(s) => s.parse().map_err(|_| usage(format!("invalid --d: {s}")))?,
                     None => DwtGraph::max_level(n)
-                        .ok_or(format!("no admissible level for n = {n}"))?,
+                        .ok_or_else(|| usage(format!("no admissible level for n = {n}")))?,
                 };
                 Ok(Workload::Dwt { n, d })
             }
@@ -165,16 +183,23 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 n: opts.parse_num("--n", 16)?,
                 levels: opts.parse_num("--levels", 2)?,
             }),
-            other => Err(format!("unknown --workload {other} (dwt|mvm|conv|dwt2d)")),
+            "banded" => Ok(Workload::Banded {
+                n: opts.parse_num("--n", 64)?,
+                bandwidth: opts.parse_num("--bandwidth", 4)?,
+            }),
+            other => Err(usage(format!(
+                "unknown --workload {other} (dwt|mvm|conv|dwt2d|banded)"
+            ))),
         }
     };
 
-    let scheduler = |w: &Workload| -> Result<Scheduler, String> {
+    let scheduler = |w: &Workload| -> Result<Scheduler, CliError> {
         let default = match w {
             Workload::Dwt { .. } => "opt",
             Workload::Mvm { .. } => "tiling",
             Workload::Conv { .. } => "stream",
             Workload::Dwt2d { .. } => "belady",
+            Workload::Banded { .. } => "banded",
         };
         match opts.get("--scheduler").unwrap_or(default) {
             "opt" | "optimal" => Ok(Scheduler::Optimal),
@@ -182,20 +207,24 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "naive" => Ok(Scheduler::Naive),
             "tiling" => Ok(Scheduler::Tiling),
             "stream" => Ok(Scheduler::Stream),
+            "banded" | "banded-stream" => Ok(Scheduler::BandedStream),
             "belady" => Ok(Scheduler::Belady),
-            other => Err(format!("unknown --scheduler {other}")),
+            other => Err(usage(format!("unknown --scheduler {other}"))),
         }
     };
 
-    let budget = || -> Result<Weight, String> {
-        let s = opts.get("--budget").ok_or("missing --budget")?;
+    let budget = || -> Result<Weight, CliError> {
+        let s = opts
+            .get("--budget")
+            .ok_or_else(|| usage("missing --budget"))?;
         if let Some(words) = s.strip_suffix('w') {
             words
                 .parse::<Weight>()
                 .map(|w| w * word)
-                .map_err(|_| format!("invalid --budget: {s}"))
+                .map_err(|_| usage(format!("invalid --budget: {s}")))
         } else {
-            s.parse().map_err(|_| format!("invalid --budget: {s}"))
+            s.parse()
+                .map_err(|_| usage(format!("invalid --budget: {s}")))
         }
     };
 
@@ -232,9 +261,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "synth" => Ok(Command::Synth {
             bits: opts
                 .get("--bits")
-                .ok_or("missing --bits")?
+                .ok_or_else(|| usage("missing --bits"))?
                 .parse()
-                .map_err(|_| "invalid --bits".to_string())?,
+                .map_err(|_| usage("invalid --bits"))?,
             word,
         }),
         "dot" => Ok(Command::Dot {
@@ -250,8 +279,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 budget: budget()?,
             })
         }
-        "-h" | "--help" | "help" => Err("help requested".into()),
-        other => Err(format!("unknown command: {other}")),
+        "-h" | "--help" | "help" => Err(usage("help requested")),
+        other => Err(usage(format!("unknown command: {other}"))),
     }
 }
 
@@ -308,10 +337,42 @@ mod tests {
     }
 
     #[test]
+    fn banded_defaults_to_streaming() {
+        let c = parse(&argv(
+            "schedule --workload banded --n 32 --bandwidth 3 --budget 40w",
+        ))
+        .unwrap();
+        match c {
+            Command::Schedule {
+                workload:
+                    Workload::Banded {
+                        n: 32,
+                        bandwidth: 3,
+                    },
+                scheduler: Scheduler::BandedStream,
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_unknown_bits() {
         assert!(parse(&argv("schedule --workload dwt --budget nope")).is_err());
         assert!(parse(&argv("schedule --workload fft --budget 10w")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_failures_are_usage_errors() {
+        for bad in [
+            "frobnicate",
+            "help",
+            "schedule --workload dwt --budget nope",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad}");
+        }
     }
 }

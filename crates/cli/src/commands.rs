@@ -1,123 +1,59 @@
 //! Command implementations.
+//!
+//! Every command builds the shared workload-erased
+//! [`AnyGraph`] and dispatches scheduling through the unified
+//! [`Scheduler`] trait (`pebblyn-schedulers::api`); the `sweep` and
+//! `min-memory` commands are thin declarations over the
+//! `pebblyn-engine` plans, sharing its process-wide memo.
 
-use crate::args::{Command, Scheduler, Workload};
+use crate::args::{Command, Scheduler as SchedulerArg};
+use crate::error::CliError;
 use pebblyn::prelude::*;
-use pebblyn::graphs::dwt2d::Dwt2dGraph;
 
-/// Either workload graph, unified behind the operations the CLI needs.
-enum Graph {
-    Dwt(DwtGraph),
-    Mvm(MvmGraph),
-    Conv(ConvGraph),
-    Dwt2d(Dwt2dGraph),
-}
-
-impl Graph {
-    fn build(w: Workload, scheme: WeightScheme) -> Result<Self, String> {
-        match w {
-            Workload::Dwt { n, d } => DwtGraph::new(n, d, scheme)
-                .map(Graph::Dwt)
-                .map_err(|e| e.to_string()),
-            Workload::Mvm { m, n } => MvmGraph::new(m, n, scheme)
-                .map(Graph::Mvm)
-                .map_err(|e| e.to_string()),
-            Workload::Conv { n, k } => ConvGraph::new(n, k, scheme)
-                .map(Graph::Conv)
-                .map_err(|e| e.to_string()),
-            Workload::Dwt2d { n, levels } => Dwt2dGraph::new(n, levels, scheme)
-                .map(Graph::Dwt2d)
-                .map_err(|e| e.to_string()),
-        }
-    }
-
-    fn cdag(&self) -> &Cdag {
-        match self {
-            Graph::Dwt(d) => d.cdag(),
-            Graph::Mvm(m) => m.cdag(),
-            Graph::Conv(c) => c.cdag(),
-            Graph::Dwt2d(g) => g.cdag(),
-        }
-    }
-
-    fn name(&self) -> String {
-        match self {
-            Graph::Dwt(d) => format!("DWT({}, {})", d.n(), d.d()),
-            Graph::Mvm(m) => format!("MVM({}, {})", m.m(), m.n()),
-            Graph::Conv(c) => format!("Conv({}, {})", c.n(), c.k()),
-            Graph::Dwt2d(g) => format!("DWT2D({0}x{0}, {1} levels)", g.n(), g.levels()),
-        }
-    }
-
-    fn schedule(&self, s: Scheduler, budget: Weight) -> Result<Option<Schedule>, String> {
-        match (self, s) {
-            (Graph::Dwt(d), Scheduler::Optimal) => Ok(dwt_opt::schedule(d, budget)),
-            (Graph::Dwt(d), Scheduler::LayerByLayer) => Ok(layer_by_layer::schedule(
-                d,
-                budget,
-                LayerByLayerOptions::default(),
-            )),
-            (Graph::Mvm(m), Scheduler::Tiling) => Ok(mvm_tiling::schedule(m, budget)),
-            (Graph::Mvm(m), Scheduler::LayerByLayer) => Ok(layer_by_layer::schedule(
-                m,
-                budget,
-                LayerByLayerOptions::default(),
-            )),
-            (Graph::Conv(c), Scheduler::Stream) => Ok(conv_stream::schedule(c, budget)),
-            (Graph::Conv(c), Scheduler::LayerByLayer) => Ok(layer_by_layer::schedule(
-                c,
-                budget,
-                LayerByLayerOptions::default(),
-            )),
-            (Graph::Dwt2d(g), Scheduler::LayerByLayer) => Ok(layer_by_layer::schedule(
-                g,
-                budget,
-                LayerByLayerOptions::default(),
-            )),
-            (g, Scheduler::Belady) => Ok(greedy_belady::schedule(g.cdag(), budget)),
-            (g, Scheduler::Naive) => Ok(naive::schedule(g.cdag(), budget)),
-            (_, Scheduler::Optimal) => {
-                Err("the optimal DP is DWT-specific; pick the workload's scheduler".into())
-            }
-            (_, Scheduler::Tiling) => {
-                Err("tiling is MVM-specific; pick the workload's scheduler".into())
-            }
-            (_, Scheduler::Stream) => {
-                Err("streaming is Conv-specific; pick the workload's scheduler".into())
-            }
-        }
-    }
-
-    fn cost(&self, s: Scheduler, budget: Weight) -> Result<Option<Weight>, String> {
-        match (self, s) {
-            (Graph::Dwt(d), Scheduler::Optimal) => Ok(dwt_opt::min_cost(d, budget)),
-            (Graph::Mvm(m), Scheduler::Tiling) => Ok(mvm_tiling::min_cost(m, budget)),
-            (Graph::Conv(c), Scheduler::Stream) => {
-                Ok((budget >= conv_stream::min_memory(c)).then(|| conv_stream::cost(c)))
-            }
-            _ => Ok(self
-                .schedule(s, budget)?
-                .map(|sch| sch.cost(self.cdag()))),
-        }
-    }
-
-    fn monotone(&self, s: Scheduler) -> bool {
-        matches!(s, Scheduler::Optimal | Scheduler::Tiling | Scheduler::Stream)
-    }
-}
-
-fn scheduler_name(s: Scheduler) -> &'static str {
+/// The trait object a `--scheduler` flag names.
+fn resolve(s: SchedulerArg) -> &'static dyn Scheduler {
     match s {
-        Scheduler::Optimal => "optimal DP (Algorithm 1)",
-        Scheduler::LayerByLayer => "layer-by-layer baseline",
-        Scheduler::Naive => "naive topological",
-        Scheduler::Tiling => "tiling (Section 4.3)",
-        Scheduler::Stream => "sliding-window streaming",
-        Scheduler::Belady => "Belady-eviction greedy",
+        SchedulerArg::Optimal => &api::DwtOpt,
+        SchedulerArg::LayerByLayer => &api::LayerByLayer,
+        SchedulerArg::Naive => &api::Naive,
+        SchedulerArg::Tiling => &api::MvmTiling,
+        SchedulerArg::Stream => &api::ConvStream,
+        SchedulerArg::BandedStream => &api::BandedStream,
+        SchedulerArg::Belady => &api::GreedyBelady,
+    }
+}
+
+/// Resolve and check applicability, with the workload-specific hint.
+fn ensure_supported(g: &AnyGraph, s: SchedulerArg) -> Result<&'static dyn Scheduler, CliError> {
+    let sched = resolve(s);
+    if sched.supports(g) {
+        return Ok(sched);
+    }
+    Err(CliError::Unsupported(match s {
+        SchedulerArg::Optimal => "the optimal DP is DWT-specific; pick the workload's scheduler",
+        SchedulerArg::Tiling => "tiling is MVM-specific; pick the workload's scheduler",
+        SchedulerArg::Stream => "streaming is Conv-specific; pick the workload's scheduler",
+        SchedulerArg::BandedStream => {
+            "banded streaming is BandedMVM-specific; pick the workload's scheduler"
+        }
+        _ => "scheduler does not support this workload",
+    }))
+}
+
+fn scheduler_name(s: SchedulerArg) -> &'static str {
+    match s {
+        SchedulerArg::Optimal => "optimal DP (Algorithm 1)",
+        SchedulerArg::LayerByLayer => "layer-by-layer baseline",
+        SchedulerArg::Naive => "naive topological",
+        SchedulerArg::Tiling => "tiling (Section 4.3)",
+        SchedulerArg::Stream => "sliding-window streaming",
+        SchedulerArg::BandedStream => "banded streaming",
+        SchedulerArg::Belady => "Belady-eviction greedy",
     }
 }
 
 /// Execute a parsed command.
-pub fn run(cmd: Command) -> Result<(), String> {
+pub fn run(cmd: Command) -> Result<(), CliError> {
     match cmd {
         Command::Schedule {
             workload,
@@ -128,23 +64,23 @@ pub fn run(cmd: Command) -> Result<(), String> {
             optimize,
             out,
         } => {
-            let g = Graph::build(workload, scheme)?;
+            let g = AnyGraph::build(workload, scheme)?;
+            let sched = ensure_supported(&g, scheduler)?;
             let cdag = g.cdag();
             println!("{} under {scheme}, budget {budget} bits", g.name());
-            let Some(mut schedule) = g.schedule(scheduler, budget)? else {
-                return Err(format!(
-                    "no {} schedule exists at {budget} bits (minimum feasible: {})",
-                    scheduler_name(scheduler),
-                    min_feasible_budget(cdag)
-                ));
+            let Some(mut schedule) = sched.schedule(&g, budget) else {
+                return Err(CliError::Infeasible {
+                    scheduler: scheduler_name(scheduler),
+                    budget,
+                    min_feasible: Some(min_feasible_budget(cdag)),
+                });
             };
             if optimize {
                 let (optimized, pstats) = peephole(cdag, &schedule);
                 println!("peephole:    removed {} moves", pstats.removed());
                 schedule = optimized;
             }
-            let stats = validate_schedule(cdag, budget, &schedule)
-                .map_err(|e| format!("generated schedule failed validation: {e}"))?;
+            let stats = validate_schedule(cdag, budget, &schedule)?;
             println!("scheduler:   {}", scheduler_name(scheduler));
             println!("moves:       {}", stats.moves);
             println!(
@@ -157,8 +93,12 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 println!("\n{schedule}");
             }
             if let Some(path) = out {
-                std::fs::write(&path, pebblyn::core::io::to_text(&schedule))
-                    .map_err(|e| format!("writing {path}: {e}"))?;
+                std::fs::write(&path, pebblyn::core::io::to_text(&schedule)).map_err(|source| {
+                    CliError::Io {
+                        path: path.clone(),
+                        source,
+                    }
+                })?;
                 println!("schedule written to {path}");
             }
             Ok(())
@@ -168,14 +108,17 @@ pub fn run(cmd: Command) -> Result<(), String> {
             scheme,
             scheduler,
         } => {
-            let g = Graph::build(workload, scheme)?;
-            let cdag = g.cdag();
-            let lb = algorithmic_lower_bound(cdag);
-            let opts = MinMemoryOptions::for_graph(cdag).monotone(g.monotone(scheduler));
-            let bits = min_memory(|b| g.cost(scheduler, b).ok().flatten(), lb, opts)
-                .ok_or("scheduler never reaches the algorithmic lower bound")?;
+            let g = AnyGraph::build(workload, scheme)?;
+            let name = g.name();
+            let res = MinMemoryPlan::new("cli min-memory")
+                .to_lower_bound(Series::scheduler(resolve(scheduler)))
+                .workload(g)
+                .run_with(Memo::global());
+            let bits = res.rows[0].min_bits.ok_or(CliError::Target(
+                "scheduler never reaches the algorithmic lower bound",
+            ))?;
             let word = scheme.word_bits();
-            println!("{} under {scheme}, {}", g.name(), scheduler_name(scheduler));
+            println!("{name} under {scheme}, {}", scheduler_name(scheduler));
             println!("minimum fast memory: {} words = {bits} bits", bits / word);
             println!("power-of-two:        {} bits", round_pow2(bits));
             Ok(())
@@ -186,18 +129,23 @@ pub fn run(cmd: Command) -> Result<(), String> {
             scheduler,
             points,
         } => {
-            let g = Graph::build(workload, scheme)?;
-            let cdag = g.cdag();
-            let lo = min_feasible_budget(cdag);
-            let hi = cdag.total_weight();
+            let g = AnyGraph::build(workload, scheme)?;
+            let sched = ensure_supported(&g, scheduler)?;
+            let res = SweepPlan::new(
+                "cli sweep",
+                BudgetSpec::LogLattice {
+                    points,
+                    word: scheme.word_bits(),
+                },
+            )
+            .workload(g)
+            .series(Series::scheduler(sched))
+            .run_with(Memo::global());
             println!("budget_bits,cost_bits");
-            for i in 0..points.max(2) {
-                let t = i as f64 / (points.max(2) - 1) as f64;
-                let b = (lo as f64 * (hi as f64 / lo as f64).powf(t)) as Weight;
-                let b = b / scheme.word_bits() * scheme.word_bits();
-                match g.cost(scheduler, b)? {
-                    Some(c) => println!("{b},{c}"),
-                    None => println!("{b},inf"),
+            for row in &res.rows {
+                match row.cost {
+                    Some(c) => println!("{},{c}", row.budget),
+                    None => println!("{},inf", row.budget),
                 }
             }
             Ok(())
@@ -208,8 +156,15 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 word_bits: word,
             }
             .synthesize(&Process::default());
-            println!("capacity:    {} bits ({} words)", m.capacity_bits, m.words());
-            println!("array:       {} rows x {} cols (mux {})", m.rows, m.cols, m.mux);
+            println!(
+                "capacity:    {} bits ({} words)",
+                m.capacity_bits,
+                m.words()
+            );
+            println!(
+                "array:       {} rows x {} cols (mux {})",
+                m.rows, m.cols, m.mux
+            );
             println!("area:        {:.0} λ²", m.area_l2);
             println!("leakage:     {:.2} mW", m.leakage_mw);
             println!("read power:  {:.2} mW", m.read_power_mw);
@@ -219,7 +174,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Dot { workload, scheme } => {
-            let g = Graph::build(workload, scheme)?;
+            let g = AnyGraph::build(workload, scheme)?;
             print!("{}", g.cdag().to_dot());
             Ok(())
         }
@@ -229,21 +184,25 @@ pub fn run(cmd: Command) -> Result<(), String> {
             scheduler,
             budget,
         } => {
-            use pebblyn::core::{occupancy_trace, render_sparkline, summarize};
-            let g = Graph::build(workload, scheme)?;
+            use pebblyn::core::render_sparkline;
+            let g = AnyGraph::build(workload, scheme)?;
+            let sched = ensure_supported(&g, scheduler)?;
             let cdag = g.cdag();
-            let Some(schedule) = g.schedule(scheduler, budget)? else {
-                return Err(format!(
-                    "no {} schedule at {budget} bits",
-                    scheduler_name(scheduler)
-                ));
+            let Some(schedule) = sched.schedule(&g, budget) else {
+                return Err(CliError::Infeasible {
+                    scheduler: scheduler_name(scheduler),
+                    budget,
+                    min_feasible: None,
+                });
             };
-            validate_schedule(cdag, budget, &schedule)
-                .map_err(|e| format!("generated schedule failed validation: {e}"))?;
+            validate_schedule(cdag, budget, &schedule)?;
             let trace = occupancy_trace(cdag, &schedule);
             let s = summarize(&trace);
             println!("{} under {scheme}, {}", g.name(), scheduler_name(scheduler));
-            println!("occupancy over {} moves (budget {budget} bits):", trace.len());
+            println!(
+                "occupancy over {} moves (budget {budget} bits):",
+                trace.len()
+            );
             println!("  {}", render_sparkline(&trace, 72));
             println!(
                 "peak {} bits | mean {:.0} bits | {:.0}% of moves within 90% of peak",

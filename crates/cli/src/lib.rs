@@ -1,1 +1,12 @@
-pub fn stub() {}
+//! Library surface of the `pebblyn` CLI — argument parsing, typed errors
+//! and command implementations, exposed so integration tests can exercise
+//! parsing and exit-code mapping without spawning the binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use error::CliError;

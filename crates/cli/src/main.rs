@@ -8,22 +8,17 @@
 //! pebblyn dot       --workload dwt --n 8 --d 3
 //! ```
 
-mod args;
-mod commands;
+use pebblyn_cli::{args, commands, CliError};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match args::parse(&argv) {
-        Ok(cmd) => {
-            if let Err(e) = commands::run(cmd) {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        }
-        Err(e) => {
+    if let Err(e) = args::parse(&argv).and_then(commands::run) {
+        if matches!(e, CliError::Usage(_)) {
             eprintln!("error: {e}\n");
             eprintln!("{}", args::USAGE);
-            std::process::exit(2);
+        } else {
+            eprintln!("error: {e}");
         }
+        std::process::exit(e.exit_code());
     }
 }

@@ -17,7 +17,15 @@ fn pebblyn(args: &[&str]) -> (bool, String, String) {
 #[test]
 fn schedule_dwt_reports_table1_row() {
     let (ok, stdout, _) = pebblyn(&[
-        "schedule", "--workload", "dwt", "--n", "256", "--d", "8", "--budget", "10w",
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "256",
+        "--d",
+        "8",
+        "--budget",
+        "10w",
     ]);
     assert!(ok);
     assert!(stdout.contains("cost:        8192 bits (lower bound 8192)"));
@@ -27,7 +35,15 @@ fn schedule_dwt_reports_table1_row() {
 #[test]
 fn schedule_conv_stream() {
     let (ok, stdout, _) = pebblyn(&[
-        "schedule", "--workload", "conv", "--n", "64", "--k", "8", "--budget", "12w",
+        "schedule",
+        "--workload",
+        "conv",
+        "--n",
+        "64",
+        "--k",
+        "8",
+        "--budget",
+        "12w",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("sliding-window streaming"));
@@ -45,7 +61,15 @@ fn min_memory_matches_paper() {
 #[test]
 fn sweep_emits_csv() {
     let (ok, stdout, _) = pebblyn(&[
-        "sweep", "--workload", "dwt", "--n", "16", "--d", "4", "--points", "5",
+        "sweep",
+        "--workload",
+        "dwt",
+        "--n",
+        "16",
+        "--d",
+        "4",
+        "--points",
+        "5",
     ]);
     assert!(ok);
     assert!(stdout.starts_with("budget_bits,cost_bits"));
@@ -58,8 +82,17 @@ fn schedule_out_round_trips() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("sched.txt");
     let (ok, _, _) = pebblyn(&[
-        "schedule", "--workload", "dwt", "--n", "8", "--d", "3", "--budget", "200",
-        "--out", path.to_str().unwrap(),
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "200",
+        "--out",
+        path.to_str().unwrap(),
     ]);
     assert!(ok);
     let text = std::fs::read_to_string(&path).unwrap();
@@ -71,7 +104,15 @@ fn schedule_out_round_trips() {
 #[test]
 fn optimize_flag_runs_peephole() {
     let (ok, stdout, _) = pebblyn(&[
-        "schedule", "--workload", "dwt", "--n", "8", "--d", "3", "--budget", "200",
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "200",
         "--optimize",
     ]);
     assert!(ok);
@@ -89,7 +130,15 @@ fn dot_output_is_graphviz() {
 #[test]
 fn infeasible_budget_is_a_clean_error() {
     let (ok, _, stderr) = pebblyn(&[
-        "schedule", "--workload", "dwt", "--n", "8", "--d", "3", "--budget", "1",
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "1",
     ]);
     assert!(!ok);
     assert!(stderr.contains("minimum feasible"));
@@ -105,7 +154,15 @@ fn unknown_args_show_usage() {
 #[test]
 fn trace_renders_sparkline() {
     let (ok, stdout, _) = pebblyn(&[
-        "trace", "--workload", "dwt", "--n", "16", "--d", "4", "--budget", "7w",
+        "trace",
+        "--workload",
+        "dwt",
+        "--n",
+        "16",
+        "--d",
+        "4",
+        "--budget",
+        "7w",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("peak 96 bits"));
@@ -115,11 +172,77 @@ fn trace_renders_sparkline() {
 #[test]
 fn dwt2d_belady_schedules() {
     let (ok, stdout, _) = pebblyn(&[
-        "schedule", "--workload", "dwt2d", "--n", "8", "--levels", "2", "--budget", "50w",
+        "schedule",
+        "--workload",
+        "dwt2d",
+        "--n",
+        "8",
+        "--levels",
+        "2",
+        "--budget",
+        "50w",
     ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("Belady-eviction greedy"));
     assert!(stdout.contains("lower bound"));
+}
+
+#[test]
+fn banded_workload_streams() {
+    let (ok, stdout, _) = pebblyn(&[
+        "schedule",
+        "--workload",
+        "banded",
+        "--n",
+        "24",
+        "--bandwidth",
+        "3",
+        "--budget",
+        "40w",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("banded streaming"));
+    assert!(stdout.contains("lower bound"));
+}
+
+#[test]
+fn exit_codes_distinguish_usage_from_runtime_errors() {
+    let usage = Command::new(env!("CARGO_BIN_EXE_pebblyn"))
+        .arg("frobnicate")
+        .output()
+        .expect("binary runs");
+    assert_eq!(usage.status.code(), Some(2));
+
+    let runtime = Command::new(env!("CARGO_BIN_EXE_pebblyn"))
+        .args([
+            "schedule",
+            "--workload",
+            "dwt",
+            "--n",
+            "8",
+            "--d",
+            "3",
+            "--budget",
+            "1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(runtime.status.code(), Some(1));
+}
+
+#[test]
+fn mismatched_scheduler_is_rejected() {
+    let (ok, _, stderr) = pebblyn(&[
+        "schedule",
+        "--workload",
+        "mvm",
+        "--scheduler",
+        "opt",
+        "--budget",
+        "100w",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("DWT-specific"), "{stderr}");
 }
 
 #[test]

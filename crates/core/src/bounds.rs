@@ -26,7 +26,14 @@ pub fn min_feasible_budget(graph: &Cdag) -> Weight {
     graph
         .nodes()
         .filter(|&v| !graph.is_source(v))
-        .map(|v| graph.weight(v) + graph.preds(v).iter().map(|&p| graph.weight(p)).sum::<Weight>())
+        .map(|v| {
+            graph.weight(v)
+                + graph
+                    .preds(v)
+                    .iter()
+                    .map(|&p| graph.weight(p))
+                    .sum::<Weight>()
+        })
         .max()
         .unwrap_or(0)
 }

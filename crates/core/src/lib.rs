@@ -57,6 +57,8 @@ pub use graph::{Cdag, CdagBuilder, NodeId, Weight};
 pub use label::{Label, PebbleState};
 pub use moves::Move;
 pub use schedule::Schedule;
-pub use trace::{occupancy_trace, render_sparkline, summarize, OccupancySummary};
+pub use trace::{
+    occupancy_summary, occupancy_trace, render_sparkline, summarize, OccupancySummary,
+};
 pub use transform::{peephole, PeepholeStats};
 pub use validate::{validate_schedule, ScheduleStats};

@@ -38,6 +38,12 @@ pub struct OccupancySummary {
     pub time_at_peak: f64,
 }
 
+/// Replay a schedule and summarise its occupancy in one call — the
+/// per-point statistics hook used by the sweep engine.
+pub fn occupancy_summary(graph: &Cdag, schedule: &Schedule) -> OccupancySummary {
+    summarize(&occupancy_trace(graph, schedule))
+}
+
 /// Summarise a trace (empty traces yield zeros).
 pub fn summarize(trace: &[Weight]) -> OccupancySummary {
     if trace.is_empty() {
@@ -49,10 +55,7 @@ pub fn summarize(trace: &[Weight]) -> OccupancySummary {
     }
     let peak = trace.iter().copied().max().unwrap_or(0);
     let mean = trace.iter().sum::<Weight>() as f64 / trace.len() as f64;
-    let hot = trace
-        .iter()
-        .filter(|&&w| 10 * w >= 9 * peak)
-        .count() as f64;
+    let hot = trace.iter().filter(|&&w| 10 * w >= 9 * peak).count() as f64;
     OccupancySummary {
         peak,
         mean,
@@ -111,10 +114,7 @@ mod tests {
     #[test]
     fn trace_matches_hand_computation() {
         let (g, sched) = setup();
-        assert_eq!(
-            occupancy_trace(&g, &sched),
-            vec![16, 32, 64, 64, 48, 32, 0]
-        );
+        assert_eq!(occupancy_trace(&g, &sched), vec![16, 32, 64, 64, 48, 32, 0]);
     }
 
     #[test]

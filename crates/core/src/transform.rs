@@ -142,7 +142,11 @@ fn drop_delete_load_pairs(moves: Vec<Move>, stats: &mut PeepholeStats) -> Vec<Mo
 
 /// Remove the maximal suffix of `M4` moves: once no further move follows,
 /// evictions free memory nobody uses.
-fn drop_trailing_deletes(_graph: &Cdag, mut moves: Vec<Move>, stats: &mut PeepholeStats) -> Vec<Move> {
+fn drop_trailing_deletes(
+    _graph: &Cdag,
+    mut moves: Vec<Move>,
+    stats: &mut PeepholeStats,
+) -> Vec<Move> {
     while matches!(moves.last(), Some(Move::Delete(_))) {
         moves.pop();
         stats.trailing_deletes += 1;

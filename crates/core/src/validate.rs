@@ -75,10 +75,7 @@ pub fn validate_schedule(
                 if graph.is_source(v) {
                     return Err(ValidityError::ComputeSource { step, mv });
                 }
-                if let Some(&missing) = graph
-                    .preds(v)
-                    .iter()
-                    .find(|&&p| !state.label(p).has_red())
+                if let Some(&missing) = graph.preds(v).iter().find(|&&p| !state.label(p).has_red())
                 {
                     return Err(ValidityError::ComputeWithoutOperands { step, mv, missing });
                 }
@@ -102,11 +99,7 @@ pub fn validate_schedule(
         stats.peak_red_weight = stats.peak_red_weight.max(state.red_weight());
     }
 
-    if let Some(&sink) = graph
-        .sinks()
-        .iter()
-        .find(|&&v| !state.label(v).has_blue())
-    {
+    if let Some(&sink) = graph.sinks().iter().find(|&&v| !state.label(v).has_blue()) {
         return Err(ValidityError::StoppingConditionUnmet { sink });
     }
 

@@ -1,0 +1,141 @@
+//! Shared memo table for sweep evaluations.
+//!
+//! Different plans probe the same dynamic programs at the same points:
+//! Figure 5 sweeps `dwt_opt::min_cost(DWT(256,8), b)` over a budget grid,
+//! Table 1 bisects the same cost function down to the lower bound, and the
+//! CLI re-runs both shapes interactively.  [`Memo`] caches every
+//! `(graph, series, budget) → cost` evaluation so those probes are paid
+//! once per process, across threads and across plans (share one table via
+//! [`Memo::global`]).
+
+use pebblyn_core::Weight;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A concurrent `(graph key, series name, budget) → cost` cache.
+///
+/// Values are the full `Option<Weight>` a cost function returns, so
+/// "infeasible at this budget" is cached too.  Two threads racing on the
+/// same uncached point may both compute it — cost functions are pure, so
+/// the duplicate work is harmless and the table stays lock-light.
+#[derive(Debug, Default)]
+pub struct Memo {
+    map: Mutex<HashMap<(String, String, Weight), Option<Weight>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Memo {
+    /// An empty table.
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    /// The process-wide table shared by the bench binaries and the CLI.
+    pub fn global() -> &'static Memo {
+        static GLOBAL: OnceLock<Memo> = OnceLock::new();
+        GLOBAL.get_or_init(Memo::new)
+    }
+
+    /// The cached cost of `(key, series, budget)`, computing and caching it
+    /// via `compute` on a miss.
+    pub fn cost_or(
+        &self,
+        key: &str,
+        series: &str,
+        budget: Weight,
+        compute: impl FnOnce() -> Option<Weight>,
+    ) -> Option<Weight> {
+        {
+            let map = self.map.lock().expect("memo poisoned");
+            if let Some(&cached) = map.get(&(key.to_string(), series.to_string(), budget)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return cached;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        self.map
+            .lock()
+            .expect("memo poisoned")
+            .insert((key.to_string(), series.to_string(), budget), value);
+        value
+    }
+
+    /// Number of lookups served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached points.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo poisoned").len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_some_and_none() {
+        let memo = Memo::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = memo.cost_or("g", "s", 10, || {
+                calls += 1;
+                Some(42)
+            });
+            assert_eq!(v, Some(42));
+        }
+        assert_eq!(calls, 1);
+        let mut none_calls = 0;
+        for _ in 0..3 {
+            let v = memo.cost_or("g", "s", 5, || {
+                none_calls += 1;
+                None
+            });
+            assert_eq!(v, None);
+        }
+        assert_eq!(none_calls, 1, "infeasibility is cached too");
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.hits(), 4);
+    }
+
+    #[test]
+    fn keys_do_not_collide() {
+        let memo = Memo::new();
+        assert_eq!(memo.cost_or("g1", "s", 1, || Some(1)), Some(1));
+        assert_eq!(memo.cost_or("g2", "s", 1, || Some(2)), Some(2));
+        assert_eq!(memo.cost_or("g1", "t", 1, || Some(3)), Some(3));
+        assert_eq!(memo.cost_or("g1", "s", 2, || Some(4)), Some(4));
+        assert_eq!(memo.cost_or("g1", "s", 1, || unreachable!()), Some(1));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let memo = Memo::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for b in 0..64u64 {
+                        assert_eq!(memo.cost_or("g", "s", b, || Some(b * 2)), Some(b * 2));
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 64);
+    }
+}

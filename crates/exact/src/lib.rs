@@ -127,8 +127,7 @@ impl ExactSolver {
         graph: &Cdag,
         budget: Weight,
     ) -> Result<Option<Weight>, SearchLimitExceeded> {
-        self.search(graph, budget, false)
-            .map(|r| r.map(|(c, _)| c))
+        self.search(graph, budget, false).map(|r| r.map(|(c, _)| c))
     }
 
     /// A provably optimal schedule, or `Ok(None)` when no valid schedule
@@ -138,9 +137,8 @@ impl ExactSolver {
         graph: &Cdag,
         budget: Weight,
     ) -> Result<Option<(Weight, Schedule)>, SearchLimitExceeded> {
-        self.search(graph, budget, true).map(|r| {
-            r.map(|(c, s)| (c, s.expect("schedule reconstruction was requested")))
-        })
+        self.search(graph, budget, true)
+            .map(|r| r.map(|(c, s)| (c, s.expect("schedule reconstruction was requested"))))
     }
 
     fn search(
@@ -203,11 +201,11 @@ impl ExactSolver {
                 .sum();
 
             let push = |next: State,
-                            extra: Weight,
-                            mv: Move,
-                            dist: &mut HashMap<State, Weight>,
-                            parent: &mut HashMap<State, (State, Move)>,
-                            heap: &mut BinaryHeap<QueueItem>| {
+                        extra: Weight,
+                        mv: Move,
+                        dist: &mut HashMap<State, Weight>,
+                        parent: &mut HashMap<State, (State, Move)>,
+                        heap: &mut BinaryHeap<QueueItem>| {
                 let nc = cost + extra;
                 match dist.entry(next) {
                     Entry::Occupied(mut e) => {

@@ -78,12 +78,7 @@ impl BandedMvmGraph {
         let cdag = builder
             .build()
             .map_err(|e| ParamError(format!("internal banded MVM construction error: {e}")))?;
-        Ok(BandedMvmGraph {
-            cdag,
-            n,
-            b,
-            scheme,
-        })
+        Ok(BandedMvmGraph { cdag, n, b, scheme })
     }
 
     /// The underlying CDAG.
@@ -200,23 +195,14 @@ mod tests {
         assert_eq!(c.sources().len(), 14);
         assert_eq!(c.sinks().len(), 3);
         // Row 2 reads x_2, x_3, x_4.
-        assert_eq!(
-            c.preds(g.product(2, 0)),
-            &[g.vector(2), g.band(2, 0)]
-        );
-        assert_eq!(
-            c.preds(g.product(2, 2)),
-            &[g.vector(4), g.band(2, 2)]
-        );
+        assert_eq!(c.preds(g.product(2, 0)), &[g.vector(2), g.band(2, 0)]);
+        assert_eq!(c.preds(g.product(2, 2)), &[g.vector(4), g.band(2, 2)]);
         // x_3 feeds three rows (window overlap).
         assert_eq!(c.out_degree(g.vector(3)), 3);
         // Band entries feed exactly one product.
         assert_eq!(c.out_degree(g.band(1, 1)), 1);
         // The output accumulates the whole row.
-        assert_eq!(
-            c.preds(g.output(2)),
-            &[g.partial(2, 1), g.product(2, 2)]
-        );
+        assert_eq!(c.preds(g.output(2)), &[g.partial(2, 1), g.product(2, 2)]);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub struct Dwt2dGraph {
     cdag: Cdag,
     n: usize,
     levels: usize,
+    scheme: WeightScheme,
     /// Pixel grid: `pixels[r][c]`.
     pixels: Vec<Vec<NodeId>>,
     /// Per level: the four quadrants after the column pass
@@ -62,15 +63,10 @@ impl Dwt2dGraph {
         let w_c = scheme.compute_weight();
         let mut b = CdagBuilder::new();
         let pixels: Vec<Vec<NodeId>> = (0..n)
-            .map(|r| {
-                (0..n)
-                    .map(|c| b.node(w_in, format!("px{r}_{c}")))
-                    .collect()
-            })
+            .map(|r| (0..n).map(|c| b.node(w_in, format!("px{r}_{c}"))).collect())
             .collect();
 
-        let mut layers: Vec<Vec<NodeId>> =
-            vec![pixels.iter().flatten().copied().collect()];
+        let mut layers: Vec<Vec<NodeId>> = vec![pixels.iter().flatten().copied().collect()];
         let mut quadrants = Vec::with_capacity(levels);
         let mut grid = pixels.clone(); // current LL input, m x m
         for lvl in 1..=levels {
@@ -97,7 +93,9 @@ impl Dwt2dGraph {
             }
             layers.push(row_layer);
             // Column pass over both halves.
-            let mut col = |src: &Vec<Vec<NodeId>>, tag: &str| -> (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>, Vec<NodeId>) {
+            let mut col = |src: &Vec<Vec<NodeId>>,
+                           tag: &str|
+             -> (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>, Vec<NodeId>) {
                 let mut avg = vec![vec![NodeId(0); half]; half];
                 let mut det = vec![vec![NodeId(0); half]; half];
                 let mut layer = Vec::with_capacity(2 * half * half);
@@ -137,10 +135,17 @@ impl Dwt2dGraph {
             cdag,
             n,
             levels,
+            scheme,
             pixels,
             quadrants,
             layers,
         })
+    }
+
+    /// The weight configuration the graph was built with.
+    #[inline]
+    pub fn scheme(&self) -> WeightScheme {
+        self.scheme
     }
 
     /// The underlying CDAG.

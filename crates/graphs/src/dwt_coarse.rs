@@ -49,9 +49,7 @@ impl CoarseDwtGraph {
         let w_in = scheme.input_weight();
         let w_c = scheme.compute_weight();
         let mut b = CdagBuilder::new();
-        let inputs: Vec<NodeId> = (1..=n)
-            .map(|j| b.node(w_in, format!("x{j}")))
-            .collect();
+        let inputs: Vec<NodeId> = (1..=n).map(|j| b.node(w_in, format!("x{j}"))).collect();
 
         let mut butterflies: Vec<Vec<NodeId>> = Vec::with_capacity(d);
         let mut coeff_outs: Vec<Vec<NodeId>> = Vec::with_capacity(d);

@@ -41,23 +41,30 @@ pub struct LayeredCdag {
     layers: Vec<Vec<NodeId>>,
 }
 
+/// Longest-path layering of an arbitrary CDAG (each node's layer is 1 +
+/// the max layer of its predecessors; sources in layer 0).
+pub fn layering(cdag: &Cdag) -> Vec<Vec<NodeId>> {
+    let mut level = vec![0usize; cdag.len()];
+    for &v in cdag.topo_order() {
+        level[v.index()] = cdag
+            .preds(v)
+            .iter()
+            .map(|&p| level[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    let depth = level.iter().copied().max().unwrap_or(0);
+    let mut layers = vec![Vec::new(); depth + 1];
+    for v in cdag.nodes() {
+        layers[level[v.index()]].push(v);
+    }
+    layers
+}
+
 impl LayeredCdag {
     /// Layer an arbitrary CDAG by longest path from the sources.
     pub fn from_cdag(cdag: Cdag) -> Self {
-        let mut level = vec![0usize; cdag.len()];
-        for &v in cdag.topo_order() {
-            level[v.index()] = cdag
-                .preds(v)
-                .iter()
-                .map(|&p| level[p.index()] + 1)
-                .max()
-                .unwrap_or(0);
-        }
-        let depth = level.iter().copied().max().unwrap_or(0);
-        let mut layers = vec![Vec::new(); depth + 1];
-        for v in cdag.nodes() {
-            layers[level[v.index()]].push(v);
-        }
+        let layers = layering(&cdag);
         LayeredCdag { cdag, layers }
     }
 }

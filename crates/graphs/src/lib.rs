@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod any;
 pub mod banded;
 pub mod conv;
 pub mod dwt;
@@ -42,6 +43,7 @@ pub mod testgraphs;
 pub mod tree;
 pub mod weights;
 
+pub use any::{AnyGraph, Workload};
 pub use banded::BandedMvmGraph;
 pub use conv::ConvGraph;
 pub use dwt::DwtGraph;

@@ -79,7 +79,11 @@ impl MvmGraph {
         // S_3 row r sums the column-1 and column-2 products.
         for t in 2..=n {
             for r in 1..=m {
-                let prev = if t == 2 { product(r, 1) } else { partial(r, t - 1) };
+                let prev = if t == 2 {
+                    product(r, 1)
+                } else {
+                    partial(r, t - 1)
+                };
                 b.edge(prev, partial(r, t));
                 b.edge(product(r, t), partial(r, t));
             }
@@ -90,10 +94,16 @@ impl MvmGraph {
             .map_err(|e| ParamError(format!("internal MVM construction error: {e}")))?;
 
         let mut layers = Vec::with_capacity(n + 1);
-        layers.push((1..=n).flat_map(|c| {
-            std::iter::once(vector(c)).chain((1..=m).map(move |r| matrix(r, c)))
-        }).collect());
-        layers.push((1..=n).flat_map(|c| (1..=m).map(move |r| product(r, c))).collect());
+        layers.push(
+            (1..=n)
+                .flat_map(|c| std::iter::once(vector(c)).chain((1..=m).map(move |r| matrix(r, c))))
+                .collect(),
+        );
+        layers.push(
+            (1..=n)
+                .flat_map(|c| (1..=m).map(move |r| product(r, c)))
+                .collect(),
+        );
         for t in 2..=n {
             layers.push((1..=m).map(|r| partial(r, t)).collect());
         }
@@ -252,7 +262,10 @@ mod tests {
         let g = equal16(4, 1);
         let c = g.cdag();
         assert_eq!(c.len(), 5 + 4);
-        assert_eq!(g.outputs(), (1..=4).map(|r| g.product(r, 1)).collect::<Vec<_>>());
+        assert_eq!(
+            g.outputs(),
+            (1..=4).map(|r| g.product(r, 1)).collect::<Vec<_>>()
+        );
         assert_eq!(c.sinks().len(), 4);
     }
 

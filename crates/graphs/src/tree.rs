@@ -136,12 +136,7 @@ pub fn random_weighted_tree<R: Rng>(
     w_range: std::ops::RangeInclusive<Weight>,
     rng: &mut R,
 ) -> Result<Cdag, ParamError> {
-    let base = random_tree(
-        internal,
-        k_max,
-        WeightScheme::Equal(1),
-        rng,
-    )?;
+    let base = random_tree(internal, k_max, WeightScheme::Equal(1), rng)?;
     let mut b = CdagBuilder::with_capacity(base.len());
     for v in base.nodes() {
         b.node(rng.gen_range(w_range.clone()), base.name(v).to_string());

@@ -71,10 +71,7 @@ impl WeightScheme {
     /// The two configurations evaluated in §5 at the standard 16-bit BCI
     /// sample width.
     pub fn paper_configs() -> [WeightScheme; 2] {
-        [
-            WeightScheme::Equal(16),
-            WeightScheme::DoubleAccumulator(16),
-        ]
+        [WeightScheme::Equal(16), WeightScheme::DoubleAccumulator(16)]
     }
 }
 

@@ -15,7 +15,10 @@ pub fn band_energy(coefficients: &[f64]) -> f64 {
 
 /// Per-level wavelet energies of a Haar decomposition, level 1 first.
 pub fn wavelet_energies(levels: &[HaarLevel]) -> Vec<f64> {
-    levels.iter().map(|l| band_energy(&l.coefficients)).collect()
+    levels
+        .iter()
+        .map(|l| band_energy(&l.coefficients))
+        .collect()
 }
 
 /// A simple threshold detector over per-window feature values: fires when

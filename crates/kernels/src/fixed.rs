@@ -48,12 +48,9 @@ pub fn from_q15_acc(q: i32) -> f64 {
 /// dequantise — the arithmetic an implanted MVM unit actually performs.
 pub fn fixed_dot(a: &[f64], x: &[f64]) -> f64 {
     assert_eq!(a.len(), x.len());
-    let acc = a
-        .iter()
-        .zip(x)
-        .fold(0i32, |acc, (&ai, &xi)| {
-            q15_acc(acc, q15_mul(to_q15(ai), to_q15(xi)))
-        });
+    let acc = a.iter().zip(x).fold(0i32, |acc, (&ai, &xi)| {
+        q15_acc(acc, q15_mul(to_q15(ai), to_q15(xi)))
+    });
     from_q15_acc(acc)
 }
 

@@ -48,11 +48,7 @@ pub fn haar_dwt(signal: &[f64], d: usize) -> Vec<HaarLevel> {
 /// Inverse of [`haar_dwt`]: reconstruct the signal from the deepest
 /// averages plus every level's coefficients.
 pub fn haar_idwt(levels: &[HaarLevel]) -> Vec<f64> {
-    let mut current = levels
-        .last()
-        .expect("at least one level")
-        .averages
-        .clone();
+    let mut current = levels.last().expect("at least one level").averages.clone();
     for level in levels.iter().rev() {
         let mut up = Vec::with_capacity(current.len() * 2);
         for (a, c) in current.iter().zip(&level.coefficients) {
@@ -155,12 +151,7 @@ mod tests {
         for (k, level) in levels.iter().enumerate() {
             // Level k (0-based) lives in graph layer k + 2.
             let layer = k + 2;
-            for (t, (&a, &c)) in level
-                .averages
-                .iter()
-                .zip(&level.coefficients)
-                .enumerate()
-            {
+            for (t, (&a, &c)) in level.averages.iter().zip(&level.coefficients).enumerate() {
                 let av = vals[dwt.node(layer, 2 * t + 1).index()];
                 let cv = vals[dwt.node(layer, 2 * t + 2).index()];
                 assert!(close(av, a), "avg level {k} idx {t}: {av} vs {a}");

@@ -25,7 +25,10 @@ pub struct Subbands {
 pub fn haar_dwt2d(image: &[Vec<f64>], levels: usize) -> Vec<Subbands> {
     let n = image.len();
     assert!(levels >= 1);
-    assert!(n > 0 && image.iter().all(|row| row.len() == n), "square image");
+    assert!(
+        n > 0 && image.iter().all(|row| row.len() == n),
+        "square image"
+    );
     assert_eq!(n % (1 << levels), 0, "side must divide by 2^levels");
 
     let mut out = Vec::with_capacity(levels);
@@ -112,7 +115,11 @@ mod tests {
 
     fn test_image(n: usize) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|r| (0..n).map(|c| ((r * 31 + c * 7) % 13) as f64 - 6.0).collect())
+            .map(|r| {
+                (0..n)
+                    .map(|c| ((r * 31 + c * 7) % 13) as f64 - 6.0)
+                    .collect()
+            })
             .collect()
     }
 

@@ -78,7 +78,7 @@ pub fn generate_multichannel(cfg: &SignalConfig, channels: usize) -> Vec<Vec<f64
                 .map(|k| {
                     let f = 1.0
                         * (100.0f64 / 1.0).powf(k as f64 / cfg.oscillators.max(2) as f64)
-                        * rng.gen_range(0.8..1.25);
+                        * rng.gen_range(0.8f64..1.25);
                     let amp = 1.0 / f.max(1.0);
                     let phase = rng.gen_range(0.0..std::f64::consts::TAU);
                     (f, amp, phase)
@@ -97,8 +97,7 @@ pub fn generate_multichannel(cfg: &SignalConfig, channels: usize) -> Vec<Vec<f64
                         if i >= ev.start && i < ev.start + ev.len {
                             // Hann-windowed ictal rhythm.
                             let u = (i - ev.start) as f64 / ev.len as f64;
-                            let window =
-                                0.5 * (1.0 - (std::f64::consts::TAU * u).cos());
+                            let window = 0.5 * (1.0 - (std::f64::consts::TAU * u).cos());
                             s += ev.amplitude
                                 * rms
                                 * window

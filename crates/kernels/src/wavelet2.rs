@@ -63,7 +63,7 @@ impl Wavelet2 {
 
     /// One analysis level: pairs of `input` → (averages, coefficients).
     pub fn analyze(&self, input: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        assert!(input.len() >= 2 && input.len() % 2 == 0);
+        assert!(input.len() >= 2 && input.len().is_multiple_of(2));
         let mut avg = Vec::with_capacity(input.len() / 2);
         let mut coeff = Vec::with_capacity(input.len() / 2);
         for pair in input.chunks_exact(2) {
@@ -75,7 +75,7 @@ impl Wavelet2 {
 
     /// Full `d`-level transform: level-k averages feed level k+1.
     pub fn analyze_levels(&self, signal: &[f64], d: usize) -> Vec<crate::haar::HaarLevel> {
-        assert!(d >= 1 && signal.len() % (1 << d) == 0 && !signal.is_empty());
+        assert!(d >= 1 && signal.len().is_multiple_of(1 << d) && !signal.is_empty());
         let mut out = Vec::with_capacity(d);
         let mut current = signal.to_vec();
         for _ in 0..d {

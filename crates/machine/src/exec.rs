@@ -56,7 +56,10 @@ impl fmt::Display for ExecError {
                 step,
                 used,
                 capacity,
-            } => write!(f, "step {step}: fast memory overflow ({used} > {capacity} bits)"),
+            } => write!(
+                f,
+                "step {step}: fast memory overflow ({used} > {capacity} bits)"
+            ),
             ExecError::OutputNotStored(v) => write!(f, "output {v} never stored to slow memory"),
             ExecError::WrongOutput {
                 node,
@@ -139,18 +142,14 @@ impl<'a> Machine<'a> {
             let w = g.weight(v);
             match mv {
                 Move::Load(_) => {
-                    let val = *slow
-                        .get(&v)
-                        .ok_or(ExecError::MissingInSlow(step, v))?;
+                    let val = *slow.get(&v).ok_or(ExecError::MissingInSlow(step, v))?;
                     if fast.insert(v, val).is_none() {
                         used += w;
                     }
                     loaded_bits += w;
                 }
                 Move::Store(_) => {
-                    let val = *fast
-                        .get(&v)
-                        .ok_or(ExecError::MissingInFast(step, v))?;
+                    let val = *fast.get(&v).ok_or(ExecError::MissingInFast(step, v))?;
                     slow.insert(v, val);
                     stored_bits += w;
                 }
@@ -238,11 +237,7 @@ mod tests {
         b.edge(x, s);
         b.edge(y, s);
         let g = b.build().unwrap();
-        let t = OpTable::new(
-            &g,
-            vec![Op::Input, Op::Input, Op::LinCom(vec![1.0, 1.0])],
-        )
-        .unwrap();
+        let t = OpTable::new(&g, vec![Op::Input, Op::Input, Op::LinCom(vec![1.0, 1.0])]).unwrap();
         (g, t)
     }
 

@@ -79,11 +79,7 @@ impl OpTable {
     pub fn eval(&self, v: NodeId, operands: &[f64]) -> f64 {
         match &self.ops[v.index()] {
             Op::Input => panic!("eval called on input node {v}"),
-            Op::LinCom(coeffs) => coeffs
-                .iter()
-                .zip(operands)
-                .map(|(c, x)| c * x)
-                .sum(),
+            Op::LinCom(coeffs) => coeffs.iter().zip(operands).map(|(c, x)| c * x).sum(),
             Op::Prod => operands.iter().product(),
         }
     }
@@ -124,11 +120,7 @@ mod tests {
     #[test]
     fn lincom_and_prod_evaluate() {
         let g = add_graph();
-        let t = OpTable::new(
-            &g,
-            vec![Op::Input, Op::Input, Op::LinCom(vec![1.0, -1.0])],
-        )
-        .unwrap();
+        let t = OpTable::new(&g, vec![Op::Input, Op::Input, Op::LinCom(vec![1.0, -1.0])]).unwrap();
         let vals = eval_reference(&g, &t, &[5.0, 3.0, 0.0]);
         assert_eq!(vals[2], 2.0);
 

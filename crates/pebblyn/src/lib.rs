@@ -36,6 +36,8 @@
 //! * [`schedulers`] — the paper's algorithms plus baselines,
 //! * [`exact`] — exhaustive optimal search for certification,
 //! * [`baselines`] — IOOpt-style analytic bounds,
+//! * [`engine`] — the parallel sweep engine (`workloads × budgets ×
+//!   schedulers` plans with memoized evaluation),
 //! * [`machine`] — executable two-level memory machine with energy
 //!   accounting,
 //! * [`kernels`] — Haar/MVM arithmetic, synthetic neural signals, BCI
@@ -47,6 +49,7 @@
 
 pub use pebblyn_baselines as baselines;
 pub use pebblyn_core as core;
+pub use pebblyn_engine as engine;
 pub use pebblyn_exact as exact;
 pub use pebblyn_graphs as graphs;
 pub use pebblyn_kernels as kernels;
@@ -58,25 +61,29 @@ pub use pebblyn_synth as synth;
 pub mod prelude {
     pub use pebblyn_baselines::IoOptMvmModel;
     pub use pebblyn_core::{
-        algorithmic_lower_bound, min_feasible_budget, peephole, schedule_exists,
-        validate_schedule, Cdag, CdagBuilder, Label, Move, NodeId, PebbleState, PeepholeStats,
-        Schedule, ScheduleStats, Weight,
+        algorithmic_lower_bound, min_feasible_budget, peephole, schedule_exists, validate_schedule,
+        Cdag, CdagBuilder, Label, Move, NodeId, PebbleState, PeepholeStats, Schedule,
+        ScheduleStats, Weight,
+    };
+    pub use pebblyn_core::{occupancy_summary, occupancy_trace, summarize, OccupancySummary};
+    pub use pebblyn_engine::{
+        BudgetSpec, Memo, MinMemoryPlan, MinMemoryResult, Series, SweepPlan, SweepResult,
     };
     pub use pebblyn_exact::{exact_min_cost, exact_optimal_schedule, ExactSolver};
     pub use pebblyn_graphs::{
-        banded, conv, dwt, dwt2d, dwt_coarse, mvm, tree, BandedMvmGraph, CoarseDwtGraph,
-        ConvGraph, Dwt2dGraph, DwtGraph, Layered, MvmGraph, WeightScheme,
+        banded, conv, dwt, dwt2d, dwt_coarse, mvm, tree, AnyGraph, BandedMvmGraph, CoarseDwtGraph,
+        ConvGraph, Dwt2dGraph, DwtGraph, Layered, MvmGraph, WeightScheme, Workload,
     };
     pub use pebblyn_kernels::{features, fixed, haar, haar2d, mvm as mvm_kernel, signal};
     pub use pebblyn_machine::{EnergyModel, Machine, Op, OpTable};
     pub use pebblyn_schedulers::dwt_opt::IoCosts;
-    pub use pebblyn_schedulers::{
-        banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, memstate,
-        min_memory, mvm_tiling, naive, parallel, MinMemoryOptions,
-    };
-    pub use pebblyn_schedulers::parallel::ParallelPlan;
     pub use pebblyn_schedulers::layer_by_layer::LayerByLayerOptions;
     pub use pebblyn_schedulers::memstate::MemoryStates;
     pub use pebblyn_schedulers::mvm_tiling::TilingConfig;
+    pub use pebblyn_schedulers::parallel::ParallelPlan;
+    pub use pebblyn_schedulers::{
+        api, banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, memstate,
+        min_memory, mvm_tiling, naive, parallel, registry, MinMemoryOptions, Scheduler,
+    };
     pub use pebblyn_synth::{round_pow2, Floorplan, NvmParams, Process, SramConfig, SramMacro};
 }

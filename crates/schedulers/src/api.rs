@@ -1,0 +1,374 @@
+//! The unified [`Scheduler`] trait — every algorithm in this crate behind
+//! one object-safe interface.
+//!
+//! The free functions in the sibling modules remain the primary,
+//! fully-typed API (they accept the concrete graph types and expose
+//! algorithm-specific knobs like [`crate::dwt_opt::IoCosts`]).  This module
+//! adapts them to a single dynamic surface so the CLI, the sweep engine and
+//! the benches can hold a `&dyn Scheduler` and iterate over
+//! [`registry`] without a per-call match on (workload, algorithm).
+//!
+//! Typed schedulers (the DWT DP, the MVM tiling, the streaming families)
+//! need structural metadata a bare [`Cdag`](pebblyn_core::Cdag) does not
+//! carry, so the trait takes
+//! [`AnyGraph`](pebblyn_graphs::AnyGraph) — the workload-erased graph from
+//! `pebblyn-graphs` — and advertises applicability through
+//! [`Scheduler::supports`].  Graph-generic algorithms (layer-by-layer,
+//! Belady, naive, k-ary on in-trees) support every variant, including
+//! [`AnyGraph::Custom`] wrappers around arbitrary CDAGs.
+
+use crate::{
+    banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, mvm_tiling, naive,
+};
+use pebblyn_core::{validate_schedule, Schedule, Weight};
+use pebblyn_graphs::AnyGraph;
+
+/// One scheduling algorithm, workload-erased.
+///
+/// Implementations are zero-sized unit structs; dispatch over them with
+/// `&dyn Scheduler` (they are all `Send + Sync`, so sweeps may share them
+/// across threads).  Calling [`schedule`](Scheduler::schedule) or
+/// [`min_cost`](Scheduler::min_cost) on an unsupported graph returns
+/// `None`; check [`supports`](Scheduler::supports) first to distinguish
+/// "not applicable" from "budget too small".
+pub trait Scheduler: Send + Sync {
+    /// Stable machine-readable name (registry key, sweep-row label).
+    fn name(&self) -> &str;
+
+    /// Whether this algorithm applies to `g` at all.
+    fn supports(&self, g: &AnyGraph) -> bool;
+
+    /// A concrete schedule within `budget`, or `None` when the graph is
+    /// unsupported or the budget too small.
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule>;
+
+    /// The scheduler's cost at `budget`.
+    ///
+    /// The default generates the schedule and replays it through
+    /// [`validate_schedule`]; DP-based schedulers override this with their
+    /// direct cost recurrences (no move materialization).
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+        let s = self.schedule(g, budget)?;
+        validate_schedule(g.cdag(), budget, &s)
+            .ok()
+            .map(|st| st.cost)
+    }
+
+    /// Whether `min_cost` is non-increasing in the budget, which lets
+    /// minimum-memory searches bisect instead of scanning linearly
+    /// (see [`crate::min_memory`]).
+    fn monotone(&self) -> bool {
+        false
+    }
+}
+
+/// Algorithm 1 — the provably optimal DWT dynamic program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DwtOpt;
+
+impl Scheduler for DwtOpt {
+    fn name(&self) -> &str {
+        "dwt-opt"
+    }
+    fn supports(&self, g: &AnyGraph) -> bool {
+        matches!(g, AnyGraph::Dwt(d) if d.satisfies_pruning_condition())
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        match g {
+            AnyGraph::Dwt(d) if d.satisfies_pruning_condition() => dwt_opt::schedule(d, budget),
+            _ => None,
+        }
+    }
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+        match g {
+            AnyGraph::Dwt(d) if d.satisfies_pruning_condition() => dwt_opt::min_cost(d, budget),
+            _ => None,
+        }
+    }
+    fn monotone(&self) -> bool {
+        true
+    }
+}
+
+/// Theorem 3.8 — the optimal k-ary (in-tree) dynamic program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kary;
+
+impl Scheduler for Kary {
+    fn name(&self) -> &str {
+        "kary"
+    }
+    fn supports(&self, g: &AnyGraph) -> bool {
+        g.cdag().is_in_tree()
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        let cdag = g.cdag();
+        cdag.is_in_tree()
+            .then(|| kary::schedule(cdag, budget))
+            .flatten()
+    }
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+        let cdag = g.cdag();
+        cdag.is_in_tree()
+            .then(|| kary::min_cost(cdag, budget))
+            .flatten()
+    }
+    fn monotone(&self) -> bool {
+        true
+    }
+}
+
+/// §4.3 — the MVM tiling with accumulator/vector residency search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MvmTiling;
+
+impl Scheduler for MvmTiling {
+    fn name(&self) -> &str {
+        "mvm-tiling"
+    }
+    fn supports(&self, g: &AnyGraph) -> bool {
+        matches!(g, AnyGraph::Mvm(_))
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        match g {
+            AnyGraph::Mvm(m) => mvm_tiling::schedule(m, budget),
+            _ => None,
+        }
+    }
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+        match g {
+            AnyGraph::Mvm(m) => mvm_tiling::min_cost(m, budget),
+            _ => None,
+        }
+    }
+    fn monotone(&self) -> bool {
+        true
+    }
+}
+
+/// §4 — sliding-window streaming for FIR convolution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvStream;
+
+impl Scheduler for ConvStream {
+    fn name(&self) -> &str {
+        "conv-stream"
+    }
+    fn supports(&self, g: &AnyGraph) -> bool {
+        matches!(g, AnyGraph::Conv(_))
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        match g {
+            AnyGraph::Conv(c) => conv_stream::schedule(c, budget),
+            _ => None,
+        }
+    }
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+        match g {
+            AnyGraph::Conv(c) => conv_stream::min_cost(c, budget),
+            _ => None,
+        }
+    }
+    fn monotone(&self) -> bool {
+        true
+    }
+}
+
+/// §4.3 specialised to banded matrices — streaming banded MVM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BandedStream;
+
+impl Scheduler for BandedStream {
+    fn name(&self) -> &str {
+        "banded-stream"
+    }
+    fn supports(&self, g: &AnyGraph) -> bool {
+        matches!(g, AnyGraph::Banded { .. })
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        match g {
+            AnyGraph::Banded { graph, .. } => banded_stream::schedule(graph, budget),
+            _ => None,
+        }
+    }
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+        match g {
+            AnyGraph::Banded { graph, .. } => banded_stream::min_cost(graph, budget),
+            _ => None,
+        }
+    }
+    fn monotone(&self) -> bool {
+        true
+    }
+}
+
+/// §5.1 — the layer-by-layer heuristic baseline (boustrophedon + FIFO).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayerByLayer;
+
+impl Scheduler for LayerByLayer {
+    fn name(&self) -> &str {
+        "layer-by-layer"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        layer_by_layer::schedule(g, budget, layer_by_layer::LayerByLayerOptions::default())
+    }
+}
+
+/// Greedy scheduler with Belady (furthest-next-use) eviction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyBelady;
+
+impl Scheduler for GreedyBelady {
+    fn name(&self) -> &str {
+        "greedy-belady"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        greedy_belady::schedule(g.cdag(), budget)
+    }
+}
+
+/// Proposition 2.3 — the trivial topological-order schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naive;
+
+impl Scheduler for Naive {
+    fn name(&self) -> &str {
+        "naive"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        naive::schedule(g.cdag(), budget)
+    }
+}
+
+/// Every scheduler in the crate, as trait objects.
+pub static REGISTRY: &[&dyn Scheduler] = &[
+    &DwtOpt,
+    &Kary,
+    &MvmTiling,
+    &ConvStream,
+    &BandedStream,
+    &LayerByLayer,
+    &GreedyBelady,
+    &Naive,
+];
+
+/// All registered schedulers (registration order is stable — sweep output
+/// depends on it).
+pub fn registry() -> &'static [&'static dyn Scheduler] {
+    REGISTRY
+}
+
+/// Look a scheduler up by its [`Scheduler::name`].
+pub fn by_name(name: &str) -> Option<&'static dyn Scheduler> {
+    REGISTRY.iter().copied().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::min_feasible_budget;
+    use pebblyn_graphs::{testgraphs, WeightScheme, Workload};
+
+    fn instances() -> Vec<AnyGraph> {
+        let scheme = WeightScheme::Equal(4);
+        let mut out: Vec<AnyGraph> = [
+            Workload::Dwt { n: 16, d: 4 },
+            Workload::Mvm { m: 4, n: 5 },
+            Workload::Conv { n: 12, k: 3 },
+            Workload::Dwt2d { n: 8, levels: 2 },
+            Workload::Banded {
+                n: 12,
+                bandwidth: 2,
+            },
+        ]
+        .into_iter()
+        .map(|w| AnyGraph::build(w, scheme).unwrap())
+        .collect();
+        out.push(AnyGraph::custom(
+            "diamond",
+            testgraphs::diamond(WeightScheme::Equal(8)),
+        ));
+        out
+    }
+
+    /// Every registered scheduler, on every graph it supports, produces a
+    /// schedule that validates at a generous budget, and the trait-level
+    /// `min_cost` agrees with the replayed cost.
+    #[test]
+    fn registry_schedules_validate_everywhere() {
+        for g in instances() {
+            let budget = 4 * g.cdag().total_weight();
+            for s in registry() {
+                if !s.supports(&g) {
+                    assert!(
+                        s.schedule(&g, budget).is_none(),
+                        "{} must refuse unsupported {}",
+                        s.name(),
+                        g.name()
+                    );
+                    continue;
+                }
+                let sched = s.schedule(&g, budget).unwrap_or_else(|| {
+                    panic!("{} infeasible on {} at ample budget", s.name(), g.name())
+                });
+                let stats = validate_schedule(g.cdag(), budget, &sched)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", s.name(), g.name()));
+                let cost = s
+                    .min_cost(&g, budget)
+                    .unwrap_or_else(|| panic!("{} min_cost on {}", s.name(), g.name()));
+                assert!(
+                    cost <= stats.cost,
+                    "{} on {}: min_cost {cost} exceeds replay {}",
+                    s.name(),
+                    g.name(),
+                    stats.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn below_feasibility_every_scheduler_declines() {
+        for g in instances() {
+            let too_small = min_feasible_budget(g.cdag()) - 1;
+            for s in registry() {
+                assert!(s.schedule(&g, too_small).is_none(), "{}", s.name());
+                assert!(s.min_cost(&g, too_small).is_none(), "{}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for s in registry() {
+            let found = by_name(s.name()).expect("every name resolves");
+            assert_eq!(found.name(), s.name());
+        }
+        let mut names: Vec<_> = registry().iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry().len());
+        assert!(by_name("no-such-scheduler").is_none());
+    }
+
+    #[test]
+    fn typed_specialists_match_the_trait_surface() {
+        let g = AnyGraph::build(Workload::Dwt { n: 32, d: 5 }, WeightScheme::Equal(16)).unwrap();
+        let AnyGraph::Dwt(ref d) = g else {
+            unreachable!()
+        };
+        let budget = 24 * 16;
+        assert_eq!(DwtOpt.min_cost(&g, budget), dwt_opt::min_cost(d, budget));
+        assert!(DwtOpt.monotone());
+    }
+}

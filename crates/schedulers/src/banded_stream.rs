@@ -51,8 +51,14 @@ pub fn strategy_peak(g: &BandedMvmGraph, strategy: Strategy) -> Weight {
 
 /// The streaming family's minimum fast memory size (Definition 2.6).
 pub fn min_memory(g: &BandedMvmGraph) -> Weight {
-    strategy_peak(g, Strategy::WindowResident)
-        .min(strategy_peak(g, Strategy::PartialInterleaved))
+    strategy_peak(g, Strategy::WindowResident).min(strategy_peak(g, Strategy::PartialInterleaved))
+}
+
+/// Budgeted cost, on the same shape as every other scheduler's
+/// `min_cost(g, budget)`: the streaming cost when some strategy fits in
+/// `budget`, `None` otherwise.
+pub fn min_cost(g: &BandedMvmGraph, budget: Weight) -> Option<Weight> {
+    (budget >= min_memory(g)).then(|| cost(g))
 }
 
 /// The cheapest-footprint streaming schedule fitting `budget`, or `None`.
@@ -174,7 +180,14 @@ mod tests {
 
     #[test]
     fn custom_weights() {
-        check(10, 3, WeightScheme::Custom { input: 5, compute: 9 });
+        check(
+            10,
+            3,
+            WeightScheme::Custom {
+                input: 5,
+                compute: 9,
+            },
+        );
     }
 
     #[test]

@@ -68,6 +68,15 @@ pub fn min_memory(conv: &ConvGraph) -> Weight {
         .min(strategy_peak(conv, Strategy::PartialInterleaved))
 }
 
+/// Budgeted cost, on the same shape as every other scheduler's
+/// `min_cost(g, budget)`: the streaming cost when some strategy fits in
+/// `budget`, `None` otherwise.  (Streaming cost is budget-independent —
+/// always the algorithmic lower bound — so this only gates on
+/// [`min_memory`].)
+pub fn min_cost(conv: &ConvGraph, budget: Weight) -> Option<Weight> {
+    (budget >= min_memory(conv)).then(|| cost(conv))
+}
+
 /// Generate the cheapest-footprint streaming schedule fitting `budget`,
 /// or `None` when neither strategy fits.
 pub fn schedule(conv: &ConvGraph, budget: Weight) -> Option<Schedule> {
@@ -171,8 +180,22 @@ mod tests {
 
     #[test]
     fn custom_weights() {
-        check(10, 3, WeightScheme::Custom { input: 5, compute: 9 });
-        check(10, 4, WeightScheme::Custom { input: 9, compute: 2 });
+        check(
+            10,
+            3,
+            WeightScheme::Custom {
+                input: 5,
+                compute: 9,
+            },
+        );
+        check(
+            10,
+            4,
+            WeightScheme::Custom {
+                input: 9,
+                compute: 2,
+            },
+        );
     }
 
     #[test]

@@ -170,13 +170,16 @@ impl<'a> Dp<'a> {
         // (cost, first plan, second plan, (first, second) parents, spill?)
         type Candidate = (Weight, Rc<Plan>, Rc<Plan>, (NodeId, NodeId), bool);
         let mut best: Option<Candidate> = None;
-        let consider =
-            |cost: Weight, first: Rc<Plan>, second: Rc<Plan>, par: (NodeId, NodeId), spill: bool,
-             best: &mut Option<Candidate>| {
-                if best.as_ref().is_none_or(|(c, ..)| cost < *c) {
-                    *best = Some((cost, first, second, par, spill));
-                }
-            };
+        let consider = |cost: Weight,
+                        first: Rc<Plan>,
+                        second: Rc<Plan>,
+                        par: (NodeId, NodeId),
+                        spill: bool,
+                        best: &mut Option<Candidate>| {
+            if best.as_ref().is_none_or(|(c, ..)| cost < *c) {
+                *best = Some((cost, first, second, par, spill));
+            }
+        };
 
         // Strategy (3): blue p1 — compute p1, spill it, compute p2 at full
         // budget, reload p1.  Extra cost: one store plus one load of w_p1.

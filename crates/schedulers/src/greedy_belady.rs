@@ -257,9 +257,8 @@ mod tests {
         let mut fifo_total: u64 = 0;
         let mut b = minb;
         while b <= g.total_weight() {
-            let bl = schedule_with_order(&g, b, &order).map(|s| {
-                validate_schedule(&g, b, &s).expect("valid").cost
-            });
+            let bl = schedule_with_order(&g, b, &order)
+                .map(|s| validate_schedule(&g, b, &s).expect("valid").cost);
             let ff = layer_by_layer::cost(&layered, b, Default::default());
             if let (Some(bl), Some(ff)) = (bl, ff) {
                 belady_total += bl;

@@ -71,17 +71,12 @@ impl<'a> State<'a> {
     /// when every resident node is pinned and the request cannot be met.
     fn make_room(&mut self, extra: Weight) -> bool {
         while self.used + extra > self.budget {
-            let Some(pos) = self
-                .fifo
-                .iter()
-                .position(|&v| !self.pinned[v.index()])
-            else {
+            let Some(pos) = self.fifo.iter().position(|&v| !self.pinned[v.index()]) else {
                 return false;
             };
             let v = self.fifo.remove(pos).expect("position is in range");
             let i = v.index();
-            let must_save =
-                !self.blue[i] && (self.remaining[i] > 0 || self.graph.is_sink(v));
+            let must_save = !self.blue[i] && (self.remaining[i] > 0 || self.graph.is_sink(v));
             if must_save {
                 self.moves.push(Move::Store(v));
                 self.blue[i] = true;
@@ -195,9 +190,7 @@ pub fn cost<L: Layered>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pebblyn_core::{
-        algorithmic_lower_bound, min_feasible_budget, validate_schedule,
-    };
+    use pebblyn_core::{algorithmic_lower_bound, min_feasible_budget, validate_schedule};
     use pebblyn_graphs::{DwtGraph, MvmGraph, WeightScheme};
 
     fn check_sweep<L: Layered>(layered: &L) {
@@ -209,8 +202,8 @@ mod tests {
         let mut b = minb;
         while b <= maxb {
             if let Some(s) = schedule(layered, b, LayerByLayerOptions::default()) {
-                let stats = validate_schedule(g, b, &s)
-                    .unwrap_or_else(|e| panic!("invalid at b={b}: {e}"));
+                let stats =
+                    validate_schedule(g, b, &s).unwrap_or_else(|e| panic!("invalid at b={b}: {e}"));
                 assert!(stats.cost >= lb);
             }
             b += step;
@@ -259,8 +252,20 @@ mod tests {
         let mut fixed_total = 0u64;
         let mut b = minb;
         while b <= minb + 32 * 16 {
-            let alt = cost(&dwt, b, LayerByLayerOptions { boustrophedon: true });
-            let fix = cost(&dwt, b, LayerByLayerOptions { boustrophedon: false });
+            let alt = cost(
+                &dwt,
+                b,
+                LayerByLayerOptions {
+                    boustrophedon: true,
+                },
+            );
+            let fix = cost(
+                &dwt,
+                b,
+                LayerByLayerOptions {
+                    boustrophedon: false,
+                },
+            );
             if let (Some(a), Some(f)) = (alt, fix) {
                 alternating_total += a;
                 fixed_total += f;

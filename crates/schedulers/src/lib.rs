@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod banded_stream;
 pub mod conv_stream;
 pub mod dwt_opt;
@@ -48,4 +49,5 @@ pub mod naive;
 pub mod parallel;
 pub mod stack;
 
+pub use api::{registry, Scheduler};
 pub use min_memory::{min_memory, MinMemoryOptions};

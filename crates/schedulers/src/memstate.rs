@@ -173,17 +173,11 @@ impl<'a> Dp<'a> {
         };
 
         // p1 first, spilled (blue): 2·w_p1 round trip.
-        consider(
-            self.two_phase(p1, p2, b, i2, r1, 2 * w1),
-            &mut best,
-        );
+        consider(self.two_phase(p1, p2, b, i2, r1, 2 * w1), &mut best);
         // p1 first, kept red.
         consider(self.two_phase(p1, p2, b, i2, r1p, 0), &mut best);
         // p2 first, spilled.
-        consider(
-            self.two_phase(p2, p1, b, i1, r2, 2 * w2),
-            &mut best,
-        );
+        consider(self.two_phase(p2, p1, b, i1, r2, 2 * w2), &mut best);
         // p2 first, kept red.
         consider(self.two_phase(p2, p1, b, i1, r2p, 0), &mut best);
         best
@@ -201,10 +195,7 @@ impl<'a> Dp<'a> {
         let k = preds.len();
         assert!(k <= 20, "k-ary memory-state DP supports in-degree <= 20");
         let t = self.tree;
-        let total_initial: Weight = preds
-            .iter()
-            .map(|&p| self.proj.i_weight[p.index()])
-            .sum();
+        let total_initial: Weight = preds.iter().map(|&p| self.proj.i_weight[p.index()]).sum();
 
         // frontier: (mask, held weight) -> best cost.
         let mut frontier: HashMap<(u32, Weight), Weight> = HashMap::new();
@@ -223,8 +214,7 @@ impl<'a> Dp<'a> {
                     let pi = p.index();
                     // Other unprocessed parents' initial nodes stay
                     // resident while p's subtree is computed.
-                    let other_initial =
-                        total_initial - done_initial - self.proj.i_weight[pi];
+                    let other_initial = total_initial - done_initial - self.proj.i_weight[pi];
                     let Some(sub_budget) = b.checked_sub(other_initial + held) else {
                         continue;
                     };
@@ -705,7 +695,15 @@ mod tests {
         for tree in [
             full_kary(3, 2, WeightScheme::Equal(3)).unwrap(),
             full_kary(4, 1, WeightScheme::DoubleAccumulator(2)).unwrap(),
-            full_kary(3, 2, WeightScheme::Custom { input: 2, compute: 5 }).unwrap(),
+            full_kary(
+                3,
+                2,
+                WeightScheme::Custom {
+                    input: 2,
+                    compute: 5,
+                },
+            )
+            .unwrap(),
         ] {
             let root = tree.sinks()[0];
             let minb = min_feasible_budget(&tree);
@@ -878,23 +876,14 @@ mod tests {
         assert_eq!(min_cost(&tree, 64, &states), Some(16));
         // Sanity: the corresponding real schedule (x already red is emulated
         // by loading it first, outside the measured window).
-        let sched = Schedule::from_moves(vec![
-            Move::Load(x),
-            Move::Load(a),
-            Move::Compute(p),
-        ]);
+        let sched = Schedule::from_moves(vec![Move::Load(x), Move::Load(a), Move::Compute(p)]);
         let stats = pebblyn_core::validate_schedule(
             &{
                 // p is a sink; bypass stopping condition by storing it.
                 tree.clone()
             },
             64,
-            &Schedule::from_moves(
-                sched
-                    .iter()
-                    .chain([Move::Store(p)])
-                    .collect::<Vec<_>>(),
-            ),
+            &Schedule::from_moves(sched.iter().chain([Move::Store(p)]).collect::<Vec<_>>()),
         )
         .unwrap();
         assert_eq!(stats.cost - 16 /* x load */ - 32 /* p store */, 16);

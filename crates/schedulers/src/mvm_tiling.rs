@@ -235,8 +235,8 @@ mod tests {
     fn check_config(mvm: &MvmGraph, cfg: TilingConfig) {
         let s = schedule_with_config(mvm, &cfg);
         let peak = config_peak(mvm, &cfg);
-        let stats = validate_schedule(mvm.cdag(), peak, &s)
-            .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+        let stats =
+            validate_schedule(mvm.cdag(), peak, &s).unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
         assert_eq!(
             stats.cost,
             config_cost(mvm, &cfg),

@@ -86,10 +86,7 @@ where
     for (c, nodes) in components.iter().enumerate() {
         let (sub, to_orig) = graph.induced_subgraph(nodes);
         let sub_sched = component_scheduler(&sub)?;
-        let remapped: Schedule = sub_sched
-            .iter()
-            .map(|mv| remap(mv, &to_orig))
-            .collect();
+        let remapped: Schedule = sub_sched.iter().map(|mv| remap(mv, &to_orig)).collect();
         let cost = remapped.cost(graph);
         scheduled.push((c, cost, remapped));
     }
@@ -163,8 +160,7 @@ mod tests {
         let g = dwt.cdag();
         assert_eq!(g.weakly_connected_components().len(), 8);
         let budget = 8 * 16;
-        let plan =
-            schedule_components(g, 3, |sub| naive::schedule(sub, budget)).unwrap();
+        let plan = schedule_components(g, 3, |sub| naive::schedule(sub, budget)).unwrap();
         assert_eq!(plan.assignment.len(), 8);
         let seq = plan.sequential();
         validate_schedule(g, budget, &seq).unwrap();

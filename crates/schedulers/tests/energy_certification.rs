@@ -12,8 +12,7 @@ use pebblyn_schedulers::kary;
 
 fn certify(dwt: &DwtGraph, costs: IoCosts) {
     let g = dwt.cdag();
-    let solver = ExactSolver::with_max_states(30_000_000)
-        .with_io_scales(costs.load, costs.store);
+    let solver = ExactSolver::with_max_states(30_000_000).with_io_scales(costs.load, costs.store);
     let minb = min_feasible_budget(g);
     let step = g.weight_gcd().max(1);
     let mut b = minb;
@@ -21,7 +20,8 @@ fn certify(dwt: &DwtGraph, costs: IoCosts) {
         let exact = solver.min_cost(g, b).expect("within state cap");
         let dp = dwt_opt::min_cost_with_costs(dwt, b, costs);
         assert_eq!(
-            dp, exact,
+            dp,
+            exact,
             "scaled DP vs exact at b={b}, costs={costs:?}, {}",
             dwt.scheme()
         );
@@ -62,8 +62,8 @@ fn kary_scaled_is_optimal() {
         full_kary(3, 1, WeightScheme::DoubleAccumulator(1)).unwrap(),
         caterpillar(4, WeightScheme::Equal(2)).unwrap(),
     ] {
-        let solver = ExactSolver::with_max_states(30_000_000)
-            .with_io_scales(costs.load, costs.store);
+        let solver =
+            ExactSolver::with_max_states(30_000_000).with_io_scales(costs.load, costs.store);
         let minb = min_feasible_budget(&tree);
         let step = tree.weight_gcd().max(1);
         let mut b = minb;
@@ -150,9 +150,7 @@ fn scaled_min_memory_unchanged() {
         if unit_min.is_none() && dwt_opt::min_cost(&dwt, b) == Some(unit_lb) {
             unit_min = Some(b);
         }
-        if scaled_min.is_none()
-            && dwt_opt::min_cost_with_costs(&dwt, b, costs) == Some(scaled_lb)
-        {
+        if scaled_min.is_none() && dwt_opt::min_cost_with_costs(&dwt, b, costs) == Some(scaled_lb) {
             scaled_min = Some(b);
         }
         b += 4;

@@ -36,7 +36,8 @@ fn certify_dwt(dwt: &DwtGraph) {
             .expect("exact search within state cap");
         let dp = dwt_opt::min_cost(dwt, b);
         assert_eq!(
-            dp, exact,
+            dp,
+            exact,
             "DWT({}, {}) {} at budget {b}: DP {dp:?} vs exact {exact:?}",
             dwt.n(),
             dwt.d(),
@@ -78,7 +79,17 @@ fn dwt_4_2_double_accumulator_is_optimal() {
 fn dwt_4_2_custom_weights_is_optimal() {
     // Coefficients equal to averages is required by Lemma 3.2; exercise an
     // asymmetric input/compute split.
-    certify_dwt(&DwtGraph::new(4, 2, WeightScheme::Custom { input: 3, compute: 5 }).unwrap());
+    certify_dwt(
+        &DwtGraph::new(
+            4,
+            2,
+            WeightScheme::Custom {
+                input: 3,
+                compute: 5,
+            },
+        )
+        .unwrap(),
+    );
 }
 
 #[test]
@@ -104,7 +115,15 @@ fn ternary_tree_depth_1_is_optimal() {
 #[test]
 fn quaternary_tree_depth_1_is_optimal() {
     certify_tree(
-        &full_kary(4, 1, WeightScheme::Custom { input: 2, compute: 3 }).unwrap(),
+        &full_kary(
+            4,
+            1,
+            WeightScheme::Custom {
+                input: 2,
+                compute: 3,
+            },
+        )
+        .unwrap(),
         "4-ary depth 1",
     );
 }
@@ -125,7 +144,14 @@ fn caterpillars_are_optimal() {
 fn chains_are_optimal() {
     certify_tree(&chain(6, WeightScheme::Equal(2)).unwrap(), "chain 6");
     certify_tree(
-        &chain(5, WeightScheme::Custom { input: 4, compute: 2 }).unwrap(),
+        &chain(
+            5,
+            WeightScheme::Custom {
+                input: 4,
+                compute: 2,
+            },
+        )
+        .unwrap(),
         "chain 5 custom",
     );
 }

@@ -64,11 +64,9 @@ impl Floorplan {
             let r = b2.get(i).map(String::as_str).unwrap_or("");
             out.push_str(&format!("{l:<pad1$}   {r}\n"));
         }
-        out.push_str(&format!(
-            "{:<pad1$}   {}\n",
-            format!("{} ({} b)", labels.0, self.capacity_bits),
-            format!("{} ({} b)", labels.1, other.capacity_bits),
-        ));
+        let left = format!("{} ({} b)", labels.0, self.capacity_bits);
+        let right = format!("{} ({} b)", labels.1, other.capacity_bits);
+        out.push_str(&format!("{left:<pad1$}   {right}\n"));
         out
     }
 }

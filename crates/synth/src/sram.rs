@@ -142,7 +142,7 @@ impl SramConfig {
         let access_ps = p.t0_ps + p.t_slope_ps * lines;
         let bytes_per_access = self.word_bits as f64 / 8.0;
         let gbps = bytes_per_access / access_ps; // bytes / ps == GB/s * 1e3... see below
-        // bytes per picosecond = 10^12 bytes/s = 10^3 GB/s.
+                                                 // bytes per picosecond = 10^12 bytes/s = 10^3 GB/s.
         let read_gbps = gbps * 1000.0;
         let write_gbps = read_gbps / p.write_factor;
         SramMacro {
@@ -267,7 +267,11 @@ mod tests {
     fn calibration_magnitudes_match_figure_7() {
         // Largest memory in the paper's comparison: 16384 bits.
         let big = synth(16384);
-        assert!((30_000.0..50_000.0).contains(&big.area_l2), "{}", big.area_l2);
+        assert!(
+            (30_000.0..50_000.0).contains(&big.area_l2),
+            "{}",
+            big.area_l2
+        );
         assert!((18.0..30.0).contains(&big.leakage_mw), "{}", big.leakage_mw);
         assert!(
             (30.0..48.0).contains(&big.read_power_mw),

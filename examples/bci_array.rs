@@ -40,7 +40,10 @@ fn main() {
     // Relocate the per-channel schedule to each channel's id range and
     // pack channels onto compute sites round-robin (all costs equal, so
     // LPT degenerates to round-robin).
-    println!("\n{:>6} {:>16} {:>10} {:>22}", "sites", "makespan (bits)", "speedup", "per-site SRAM");
+    println!(
+        "\n{:>6} {:>16} {:>10} {:>22}",
+        "sites", "makespan (bits)", "speedup", "per-site SRAM"
+    );
     for sites in [1usize, 2, 4, 8] {
         let mut per_site: Vec<Schedule> = vec![Schedule::new(); sites];
         for (c, &off) in offsets.iter().enumerate() {

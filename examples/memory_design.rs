@@ -87,7 +87,8 @@ fn main() {
     let base = SramConfig::words16(round_pow2(rows[0].baseline_bits)).synthesize(&process);
     println!(
         "\nfloorplans, Equal DWT(256, 8) — drawn areas proportional to silicon:\n{}",
-        Floorplan::of(&ours).render_comparison(&Floorplan::of(&base), ("Optimum", "Layer-by-Layer"))
+        Floorplan::of(&ours)
+            .render_comparison(&Floorplan::of(&base), ("Optimum", "Layer-by-Layer"))
     );
 
     println!(

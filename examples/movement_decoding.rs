@@ -93,10 +93,7 @@ fn main() {
 
     // The fixed-point view: why accumulators weigh twice the inputs.
     let float_y0: f64 = (0..N).map(|c| a.at(0, c) * features[c]).sum();
-    let fixed_y0 = fixed::fixed_dot(
-        &(0..N).map(|c| a.at(0, c)).collect::<Vec<_>>(),
-        &features,
-    );
+    let fixed_y0 = fixed::fixed_dot(&(0..N).map(|c| a.at(0, c)).collect::<Vec<_>>(), &features);
     println!(
         "\nfixed-point check (16-bit samples, 32-bit accumulator): float {float_y0:+.6} vs Q15 {fixed_y0:+.6}"
     );

@@ -27,7 +27,10 @@ fn main() {
 
     // Sweep budgets: cost falls as fast memory grows, until it pins to the
     // lower bound.
-    println!("\n{:>12} {:>14} {:>14}", "budget", "optimal I/O", "naive I/O");
+    println!(
+        "\n{:>12} {:>14} {:>14}",
+        "budget", "optimal I/O", "naive I/O"
+    );
     let naive_cost = naive::cost(g);
     let mut b = minb;
     while b <= g.total_weight() {

@@ -13,8 +13,8 @@
 //! cargo run --example seizure_detection
 //! ```
 
-use pebblyn::prelude::*;
 use pebblyn::kernels::signal::{SeizureEvent, SignalConfig};
+use pebblyn::prelude::*;
 
 const WINDOW: usize = 256;
 const LEVELS: usize = 8;

@@ -57,8 +57,7 @@ fn layer_by_layer_handles_2d_graphs() {
     let g = Dwt2dGraph::new(8, 2, WeightScheme::DoubleAccumulator(16)).unwrap();
     let cdag = g.cdag();
     let budget = min_feasible_budget(cdag) + 128;
-    let schedule =
-        layer_by_layer::schedule(&g, budget, LayerByLayerOptions::default()).unwrap();
+    let schedule = layer_by_layer::schedule(&g, budget, LayerByLayerOptions::default()).unwrap();
     let stats = validate_schedule(cdag, budget, &schedule).unwrap();
     assert!(stats.cost >= algorithmic_lower_bound(cdag));
 }

@@ -47,7 +47,9 @@ fn tiling_mvm_schedule_computes_the_product() {
         let a = mvm_kernel::Matrix::new(
             9,
             7,
-            (0..63).map(|i| ((i * 37) % 19) as f64 / 19.0 - 0.5).collect(),
+            (0..63)
+                .map(|i| ((i * 37) % 19) as f64 / 19.0 - 0.5)
+                .collect(),
         );
         let x: Vec<f64> = (0..7).map(|i| (i as f64 - 3.0) / 4.0).collect();
         let ops = mvm_kernel::op_table(&mvm);
@@ -141,7 +143,9 @@ fn energy_model_separates_schedulers() {
     let opt = machine
         .run(&dwt_opt::schedule(&dwt, budget).unwrap(), &env)
         .unwrap();
-    let nv = machine.run(&naive::schedule(g, budget).unwrap(), &env).unwrap();
+    let nv = machine
+        .run(&naive::schedule(g, budget).unwrap(), &env)
+        .unwrap();
     assert!(opt.energy.total_pj() < nv.energy.total_pj());
     assert!(opt.io_bits < nv.io_bits);
 }

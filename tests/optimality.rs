@@ -43,11 +43,7 @@ fn pruning_decomposition_holds() {
         let dwt = DwtGraph::new(16, 4, scheme).unwrap();
         let g = dwt.cdag();
         let (pruned, _) = dwt.prune();
-        let coeff_weight: Weight = dwt
-            .pruned_nodes()
-            .iter()
-            .map(|&v| g.weight(v))
-            .sum();
+        let coeff_weight: Weight = dwt.pruned_nodes().iter().map(|&v| g.weight(v)).sum();
         for b in budget_sweep(g) {
             let full = dwt_opt::min_cost(&dwt, b);
             let tree = kary::min_cost(&pruned, b);
@@ -125,12 +121,8 @@ fn min_memory_is_fundamental_on_small_dwt() {
     )
     .unwrap();
     // The DP's minimum memory matches the exhaustive solver's.
-    let exact_min = min_memory(
-        |b| exact_min_cost(g, b),
-        lb,
-        MinMemoryOptions::for_graph(g),
-    )
-    .unwrap();
+    let exact_min =
+        min_memory(|b| exact_min_cost(g, b), lb, MinMemoryOptions::for_graph(g)).unwrap();
     assert_eq!(opt_min, exact_min);
 }
 

@@ -115,10 +115,7 @@ fn figure5_lower_bound_anchors() {
 
     // DA variants double only the computed sinks.
     let dwt_da = DwtGraph::new(256, 8, WeightScheme::DoubleAccumulator(16)).unwrap();
-    assert_eq!(
-        algorithmic_lower_bound(dwt_da.cdag()),
-        256 * 16 + 256 * 32
-    );
+    assert_eq!(algorithmic_lower_bound(dwt_da.cdag()), 256 * 16 + 256 * 32);
 }
 
 /// Figure 7's qualitative claims on the synthesised memories.

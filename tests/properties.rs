@@ -10,7 +10,10 @@ fn arb_scheme() -> impl Strategy<Value = WeightScheme> {
     prop_oneof![
         (1u64..=32).prop_map(WeightScheme::Equal),
         (1u64..=16).prop_map(WeightScheme::DoubleAccumulator),
-        (1u64..=16, 1u64..=32).prop_map(|(i, c)| WeightScheme::Custom { input: i, compute: c }),
+        (1u64..=16, 1u64..=32).prop_map(|(i, c)| WeightScheme::Custom {
+            input: i,
+            compute: c
+        }),
     ]
 }
 

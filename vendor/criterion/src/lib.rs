@@ -1,0 +1,222 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset pebblyn's benches use — `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` /
+//! `measurement_time` / `throughput`, `bench_function` /
+//! `bench_with_input`, and `Bencher::iter` — measured with plain
+//! `std::time::Instant`.  No statistics, plots, or baselines: each
+//! benchmark reports its mean wall time per iteration to stdout, which is
+//! enough to compare hot paths in an offline container.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Throughput annotation (accepted, reported per element/byte).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into one id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations to average over (also bounded by `measurement_time`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Record throughput (accepted for API compatibility; printed only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            budget: self.measurement_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&id.id);
+        self
+    }
+
+    /// Benchmark a closure against one input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            budget: self.measurement_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&id.id);
+        self
+    }
+
+    /// End the group (printing already happened incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing harness passed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+    budget: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, averaging up to `sample_size` runs within the
+    /// measurement budget (always at least one run).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            hint::black_box(routine());
+            total += t0.elapsed();
+            iters += 1;
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<40} (no measurement)");
+        } else if self.mean_ns >= 1e6 {
+            println!(
+                "{id:<40} {:>12.3} ms/iter ({} iters)",
+                self.mean_ns / 1e6,
+                self.iters
+            );
+        } else {
+            println!(
+                "{id:<40} {:>12.0} ns/iter ({} iters)",
+                self.mean_ns, self.iters
+            );
+        }
+    }
+}
+
+/// Bundle bench target functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point calling each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                black_box(x * x)
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert*` / `prop_assume`
+//! macros, [`strategy::Strategy`] with `prop_map`, range and tuple
+//! strategies, [`collection::vec`], [`prop_oneof!`], and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its case number and message;
+//!   inputs are reproducible because the RNG seed is derived from the test
+//!   name and case index.
+//! * **No persistence files**, no forked execution, no timeouts.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What a property body evaluates to internally (`Ok` = case passed).
+pub type TestCaseResult = Result<(), String>;
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `cases` times with freshly drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut __pt_rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);)+
+                let __pt_result: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(msg) = __pt_result {
+                    panic!(
+                        "property {} failed at case {case}/{}: {msg}",
+                        stringify!($name),
+                        cfg.cases,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq failed: {:?} != {:?} ({} vs {})",
+                l, r, stringify!($left), stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_ne failed: both {:?} ({} vs {})",
+                l,
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+/// Skip the current case (counts as a pass) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_work(
+            x in 1u64..=16,
+            v in crate::collection::vec(0usize..10, 0..4),
+            f in -1.0f64..1.0,
+        ) {
+            prop_assert!((1..=16).contains(&x));
+            prop_assert!(v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_map_work(y in prop_oneof![
+            (1u64..=4).prop_map(|v| v * 10),
+            (5u64..=8).prop_map(|v| v * 100),
+        ]) {
+            prop_assert!((10..=40).contains(&y) || (500..=800).contains(&y), "y={y}");
+        }
+    }
+
+    proptest! {
+        fn always_fails(x in 0u8..1) {
+            prop_assert!(x > 200);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_assert failed")]
+    fn failures_panic() {
+        always_fails();
+    }
+}
