@@ -1,0 +1,60 @@
+//! Exhaustive-solver throughput: uniform-cost search over full game states.
+//!
+//! The exact solver certifies the dataflow DPs, so its speed bounds how
+//! large the certified instances can grow.  These workloads mirror the
+//! certification suites, sized one notch above them so the search does
+//! real spill exploration without blowing the state cap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pebblyn::exact::ExactSolver;
+use pebblyn::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solver");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+
+    let solver = ExactSolver::with_max_states(30_000_000);
+
+    // Small DWT at the minimum feasible budget: the certification suite's
+    // bread and butter (forces spill exploration).
+    let dwt = DwtGraph::new(8, 2, WeightScheme::Equal(4)).unwrap();
+    let minb = min_feasible_budget(dwt.cdag());
+    group.bench_with_input(
+        BenchmarkId::new("dwt8x2_min_cost", minb),
+        &minb,
+        |b, &bud| {
+            b.iter(|| black_box(solver.min_cost(dwt.cdag(), bud).unwrap()));
+        },
+    );
+
+    // Full binary tree of depth 3 (15 nodes), budget one step above minimum.
+    let tree = pebblyn::graphs::tree::full_kary(2, 3, WeightScheme::Equal(2)).unwrap();
+    let budget = min_feasible_budget(&tree) + 2;
+    group.bench_with_input(
+        BenchmarkId::new("kary2x3_min_cost", budget),
+        &budget,
+        |b, &bud| {
+            b.iter(|| black_box(solver.min_cost(&tree, bud).unwrap()));
+        },
+    );
+
+    // FFT butterfly (irregular reuse) with schedule reconstruction.
+    let fft = pebblyn::graphs::testgraphs::fft_butterfly(2, WeightScheme::Equal(2)).unwrap();
+    let budget = min_feasible_budget(&fft) + 4;
+    group.bench_with_input(
+        BenchmarkId::new("fft4_optimal_schedule", budget),
+        &budget,
+        |b, &bud| {
+            b.iter(|| black_box(solver.optimal_schedule(&fft, bud).unwrap()));
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -40,13 +40,27 @@ pub type Weight = u64;
 /// (in-degree 0) are the graph's inputs `A(G)`; sink nodes (out-degree 0) are
 /// its outputs `Z(G)`.  Construction (via [`CdagBuilder`]) guarantees
 /// acyclicity, positive weights, and `A(G) ∩ Z(G) = ∅`.
+///
+/// Adjacency is stored in CSR (compressed sparse row) form: one flat
+/// `NodeId` array per direction plus an `n + 1` offset array, so
+/// [`preds`](Cdag::preds)/[`succs`](Cdag::succs) are O(1) slice views with
+/// no per-node allocation and traversals walk contiguous memory.  Per-node
+/// neighbor order equals edge insertion order, exactly as the previous
+/// `Vec<Vec<NodeId>>` layout produced.  Sources, sinks, and the edge count
+/// are precomputed at build time.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Cdag {
     weights: Vec<Weight>,
-    preds: Vec<Vec<NodeId>>,
-    succs: Vec<Vec<NodeId>>,
     names: Vec<String>,
     topo: Vec<NodeId>,
+    /// CSR offsets into `pred_adj`; `preds(v) = pred_adj[pred_off[v]..pred_off[v+1]]`.
+    pred_off: Vec<u32>,
+    pred_adj: Vec<NodeId>,
+    /// CSR offsets into `succ_adj`; `succs(v) = succ_adj[succ_off[v]..succ_off[v+1]]`.
+    succ_off: Vec<u32>,
+    succ_adj: Vec<NodeId>,
+    sources: Vec<NodeId>,
+    sinks: Vec<NodeId>,
 }
 
 impl fmt::Debug for Cdag {
@@ -71,9 +85,10 @@ impl Cdag {
         self.weights.is_empty()
     }
 
-    /// Total number of directed edges.
+    /// Total number of directed edges (cached at construction).
+    #[inline]
     pub fn edge_count(&self) -> usize {
-        self.preds.iter().map(Vec::len).sum()
+        self.pred_adj.len()
     }
 
     /// Iterator over all node ids in index order.
@@ -90,25 +105,25 @@ impl Cdag {
     /// Immediate predecessors `H(v)` (operands of `v`).
     #[inline]
     pub fn preds(&self, v: NodeId) -> &[NodeId] {
-        &self.preds[v.index()]
+        &self.pred_adj[self.pred_off[v.index()] as usize..self.pred_off[v.index() + 1] as usize]
     }
 
     /// Immediate successors (consumers of `v`).
     #[inline]
     pub fn succs(&self, v: NodeId) -> &[NodeId] {
-        &self.succs[v.index()]
+        &self.succ_adj[self.succ_off[v.index()] as usize..self.succ_off[v.index() + 1] as usize]
     }
 
     /// In-degree of `v`.
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.preds[v.index()].len()
+        (self.pred_off[v.index() + 1] - self.pred_off[v.index()]) as usize
     }
 
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.succs[v.index()].len()
+        (self.succ_off[v.index() + 1] - self.succ_off[v.index()]) as usize
     }
 
     /// `true` iff `v` is a source (input) node, i.e. `v ∈ A(G)`.
@@ -123,14 +138,16 @@ impl Cdag {
         self.out_degree(v) == 0
     }
 
-    /// All source nodes `A(G)` in index order.
-    pub fn sources(&self) -> Vec<NodeId> {
-        self.nodes().filter(|&v| self.is_source(v)).collect()
+    /// All source nodes `A(G)` in index order (cached at construction).
+    #[inline]
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
     }
 
-    /// All sink nodes `Z(G)` in index order.
-    pub fn sinks(&self) -> Vec<NodeId> {
-        self.nodes().filter(|&v| self.is_sink(v)).collect()
+    /// All sink nodes `Z(G)` in index order (cached at construction).
+    #[inline]
+    pub fn sinks(&self) -> &[NodeId] {
+        &self.sinks
     }
 
     /// A topological ordering of the nodes (computed at construction).
@@ -403,15 +420,15 @@ impl CdagBuilder {
     ///   and output, violating the model's `A(G) ∩ Z(G) = ∅` assumption.
     pub fn build(self) -> Result<Cdag, GraphError> {
         let n = self.weights.len();
+        let m = self.edges.len();
         if n == 0 {
             return Err(GraphError::Empty);
         }
         if let Some(v) = self.weights.iter().position(|&w| w == 0) {
             return Err(GraphError::ZeroWeight(NodeId(v as u32)));
         }
-        let mut preds = vec![Vec::new(); n];
-        let mut succs = vec![Vec::new(); n];
-        let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
+        assert!(m <= u32::MAX as usize, "edge count exceeds u32 CSR offsets");
+        let mut seen = std::collections::HashSet::with_capacity(m);
         for &(a, b) in &self.edges {
             if a.index() >= n || b.index() >= n || a == b {
                 return Err(GraphError::BadEdge(a, b));
@@ -419,12 +436,35 @@ impl CdagBuilder {
             if !seen.insert((a, b)) {
                 return Err(GraphError::DuplicateEdge(a, b));
             }
-            preds[b.index()].push(a);
-            succs[a.index()].push(b);
+        }
+
+        // CSR construction via stable counting sort: count per-node degrees,
+        // prefix-sum into offsets, then scatter edges in insertion order so
+        // each node's neighbor slice keeps the order edges were added in.
+        let mut pred_off = vec![0u32; n + 1];
+        let mut succ_off = vec![0u32; n + 1];
+        for &(a, b) in &self.edges {
+            pred_off[b.index() + 1] += 1;
+            succ_off[a.index() + 1] += 1;
+        }
+        for v in 0..n {
+            pred_off[v + 1] += pred_off[v];
+            succ_off[v + 1] += succ_off[v];
+        }
+        let mut pred_adj = vec![NodeId(0); m];
+        let mut succ_adj = vec![NodeId(0); m];
+        let mut pred_cur: Vec<u32> = pred_off[..n].to_vec();
+        let mut succ_cur: Vec<u32> = succ_off[..n].to_vec();
+        for &(a, b) in &self.edges {
+            pred_adj[pred_cur[b.index()] as usize] = a;
+            pred_cur[b.index()] += 1;
+            succ_adj[succ_cur[a.index()] as usize] = b;
+            succ_cur[a.index()] += 1;
         }
 
         // Kahn's algorithm: topological sort + cycle detection.
-        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let succs = |v: usize| &succ_adj[succ_off[v] as usize..succ_off[v + 1] as usize];
+        let mut indeg: Vec<u32> = (0..n).map(|v| pred_off[v + 1] - pred_off[v]).collect();
         let mut queue: std::collections::VecDeque<NodeId> = (0..n as u32)
             .map(NodeId)
             .filter(|v| indeg[v.index()] == 0)
@@ -432,7 +472,7 @@ impl CdagBuilder {
         let mut topo = Vec::with_capacity(n);
         while let Some(v) = queue.pop_front() {
             topo.push(v);
-            for &u in &succs[v.index()] {
+            for &u in succs(v.index()) {
                 indeg[u.index()] -= 1;
                 if indeg[u.index()] == 0 {
                     queue.push_back(u);
@@ -443,18 +483,32 @@ impl CdagBuilder {
             return Err(GraphError::Cycle);
         }
 
+        let mut sources = Vec::new();
+        let mut sinks = Vec::new();
         for v in 0..n {
-            if preds[v].is_empty() && succs[v].is_empty() {
+            let is_source = pred_off[v] == pred_off[v + 1];
+            let is_sink = succ_off[v] == succ_off[v + 1];
+            if is_source && is_sink {
                 return Err(GraphError::SourceIsSink(NodeId(v as u32)));
+            }
+            if is_source {
+                sources.push(NodeId(v as u32));
+            }
+            if is_sink {
+                sinks.push(NodeId(v as u32));
             }
         }
 
         Ok(Cdag {
             weights: self.weights,
-            preds,
-            succs,
             names: self.names,
             topo,
+            pred_off,
+            pred_adj,
+            succ_off,
+            succ_adj,
+            sources,
+            sinks,
         })
     }
 }

@@ -17,6 +17,7 @@
 use crate::graph::NodeId;
 use crate::moves::Move;
 use crate::schedule::Schedule;
+use crate::stream::MoveStream;
 use std::fmt;
 
 /// Parse errors with line information.
@@ -48,9 +49,10 @@ pub fn to_text(schedule: &Schedule) -> String {
     s
 }
 
-/// Parse the line format back into a schedule.
+/// Parse the line format back into a schedule (streamed straight into the
+/// schedule's tag/node columns — no intermediate `Vec<Move>`).
 pub fn from_text(text: &str) -> Result<Schedule, ParseError> {
-    let mut moves = Vec::new();
+    let mut moves = MoveStream::new();
     for (i, raw) in text.lines().enumerate() {
         let line = i + 1;
         let content = raw.split('#').next().unwrap_or("").trim();
@@ -91,7 +93,7 @@ pub fn from_text(text: &str) -> Result<Schedule, ParseError> {
         };
         moves.push(mv);
     }
-    Ok(Schedule::from_moves(moves))
+    Ok(Schedule::from_stream(moves))
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use crate::graph::{Cdag, NodeId, Weight};
 use crate::moves::Move;
+use crate::redset::RedSet;
 use std::fmt;
 
 /// The label `λ_v` of a node in a snapshot: which pebbles it carries.
@@ -71,8 +72,14 @@ impl fmt::Display for Label {
     }
 }
 
-/// A full game snapshot: one [`Label`] per node plus the cached total weight
-/// of red pebbles.
+/// A full game snapshot: the red and blue pebble sets plus the cached total
+/// weight of red pebbles.
+///
+/// Internally two [`RedSet`] bitsets (one per pebble color), so membership
+/// tests are O(1) bit probes, the red weight is maintained incrementally,
+/// and snapshot hashing/equality cost O(words) instead of O(nodes).
+/// [`PebbleState::label`] reconstructs the per-node [`Label`] view on
+/// demand.
 ///
 /// `PebbleState::initial` encodes the starting condition `C_0` (all sources
 /// blue, everything else unpebbled).  [`PebbleState::apply`] performs a move
@@ -80,65 +87,60 @@ impl fmt::Display for Label {
 /// [`crate::validate`]; this type is the shared mechanics.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct PebbleState {
-    labels: Vec<Label>,
-    red_weight: Weight,
+    red: RedSet,
+    blue: RedSet,
 }
 
 impl PebbleState {
     /// The starting condition `C_0`: every source node carries a blue pebble.
     pub fn initial(graph: &Cdag) -> Self {
-        let labels = graph
-            .nodes()
-            .map(|v| {
-                if graph.is_source(v) {
-                    Label::Blue
-                } else {
-                    Label::None
-                }
-            })
-            .collect();
+        let mut blue = RedSet::new(graph.len());
+        for &v in graph.sources() {
+            blue.insert(v, graph.weight(v));
+        }
         PebbleState {
-            labels,
-            red_weight: 0,
+            red: RedSet::new(graph.len()),
+            blue,
         }
     }
 
     /// The label of node `v`.
     #[inline]
     pub fn label(&self, v: NodeId) -> Label {
-        self.labels[v.index()]
-    }
-
-    /// All labels, indexed by node.
-    #[inline]
-    pub fn labels(&self) -> &[Label] {
-        &self.labels
+        match (self.red.contains(v), self.blue.contains(v)) {
+            (false, false) => Label::None,
+            (true, false) => Label::Red,
+            (false, true) => Label::Blue,
+            (true, true) => Label::Both,
+        }
     }
 
     /// Total weight of red pebbles, i.e. `Σ_{v ∈ R(C)} w_v`.
     #[inline]
     pub fn red_weight(&self) -> Weight {
-        self.red_weight
+        self.red.weight()
+    }
+
+    /// The red pebble set `R(C)` as a bitset.
+    #[inline]
+    pub fn red(&self) -> &RedSet {
+        &self.red
+    }
+
+    /// The blue pebble set `B(C)` as a bitset.
+    #[inline]
+    pub fn blue(&self) -> &RedSet {
+        &self.blue
     }
 
     /// Nodes currently carrying a red pebble (`R(C)`).
     pub fn red_nodes(&self) -> Vec<NodeId> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.has_red())
-            .map(|(i, _)| NodeId(i as u32))
-            .collect()
+        self.red.iter().collect()
     }
 
     /// Nodes currently carrying a blue pebble (`B(C)`).
     pub fn blue_nodes(&self) -> Vec<NodeId> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.has_blue())
-            .map(|(i, _)| NodeId(i as u32))
-            .collect()
+        self.blue.iter().collect()
     }
 
     /// Apply a move's label transition, updating the cached red weight.
@@ -146,26 +148,23 @@ impl PebbleState {
     /// Does **not** check the game rules; see [`crate::validate`].
     pub fn apply(&mut self, graph: &Cdag, mv: Move) {
         let v = mv.node();
-        let old = self.labels[v.index()];
-        let new = match mv {
-            Move::Load(_) | Move::Compute(_) => old.with_red(),
-            Move::Store(_) => old.with_blue(),
-            Move::Delete(_) => old.without_red(),
-        };
-        if new.has_red() && !old.has_red() {
-            self.red_weight += graph.weight(v);
-        } else if !new.has_red() && old.has_red() {
-            self.red_weight -= graph.weight(v);
+        let w = graph.weight(v);
+        match mv {
+            Move::Load(_) | Move::Compute(_) => {
+                self.red.insert(v, w);
+            }
+            Move::Store(_) => {
+                self.blue.insert(v, w);
+            }
+            Move::Delete(_) => {
+                self.red.remove(v, w);
+            }
         }
-        self.labels[v.index()] = new;
     }
 
     /// `true` when the stopping condition holds: every sink has a blue pebble.
     pub fn stopping_condition(&self, graph: &Cdag) -> bool {
-        graph
-            .nodes()
-            .filter(|&v| graph.is_sink(v))
-            .all(|v| self.label(v).has_blue())
+        graph.sinks().iter().all(|&v| self.blue.contains(v))
     }
 }
 

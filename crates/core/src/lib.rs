@@ -42,23 +42,29 @@
 
 pub mod bounds;
 pub mod error;
+pub mod fasthash;
 pub mod graph;
 pub mod io;
 pub mod label;
 pub mod moves;
+pub mod redset;
 pub mod schedule;
+pub mod stream;
 pub mod trace;
 pub mod transform;
 pub mod validate;
 
 pub use bounds::{algorithmic_lower_bound, min_feasible_budget, schedule_exists};
 pub use error::{GraphError, ValidityError};
+pub use fasthash::{pack_key, FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use graph::{Cdag, CdagBuilder, NodeId, Weight};
 pub use label::{Label, PebbleState};
 pub use moves::Move;
+pub use redset::RedSet;
 pub use schedule::Schedule;
+pub use stream::MoveStream;
 pub use trace::{
     occupancy_summary, occupancy_trace, render_sparkline, summarize, OccupancySummary,
 };
 pub use transform::{peephole, PeepholeStats};
-pub use validate::{validate_schedule, ScheduleStats};
+pub use validate::{validate_moves, validate_schedule, ScheduleStats};

@@ -2,17 +2,19 @@
 
 use crate::graph::{Cdag, Weight};
 use crate::moves::Move;
+use crate::stream::{MoveStream, MoveTag};
 use std::fmt;
 
 /// A WRBPG schedule `S_G = (σ_1, …, σ_t)`.
 ///
-/// A `Schedule` is just an ordered list of [`Move`]s; whether it is *valid*
-/// for a given graph and budget is decided by
+/// A `Schedule` is an ordered list of [`Move`]s, stored internally as a
+/// struct-of-arrays [`MoveStream`] (parallel tag/node columns); whether it
+/// is *valid* for a given graph and budget is decided by
 /// [`crate::validate::validate_schedule`].  Costs computed here follow
 /// Definition 2.2: the weighted sum of all M1 (input) and M2 (output) moves.
 #[derive(Clone, Default, PartialEq, Eq)]
 pub struct Schedule {
-    moves: Vec<Move>,
+    stream: MoveStream,
 }
 
 impl Schedule {
@@ -23,69 +25,88 @@ impl Schedule {
 
     /// Build a schedule from a move list.
     pub fn from_moves(moves: Vec<Move>) -> Self {
-        Schedule { moves }
+        Schedule {
+            stream: moves.into_iter().collect(),
+        }
     }
 
-    /// The underlying move sequence.
+    /// Build a schedule from an existing move stream.
+    pub fn from_stream(stream: MoveStream) -> Self {
+        Schedule { stream }
+    }
+
+    /// The underlying struct-of-arrays move storage.
     #[inline]
-    pub fn moves(&self) -> &[Move] {
-        &self.moves
+    pub fn stream(&self) -> &MoveStream {
+        &self.stream
+    }
+
+    /// The move sequence, materialized as a `Vec`.
+    ///
+    /// Prefer [`Schedule::iter`] (or [`Schedule::stream`]) on hot paths;
+    /// this allocates.
+    pub fn moves(&self) -> Vec<Move> {
+        self.stream.iter().collect()
     }
 
     /// Number of moves.
     #[inline]
     pub fn len(&self) -> usize {
-        self.moves.len()
+        self.stream.len()
     }
 
     /// `true` when the schedule contains no moves.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.moves.is_empty()
+        self.stream.is_empty()
     }
 
     /// Append one move.
     #[inline]
     pub fn push(&mut self, mv: Move) {
-        self.moves.push(mv);
+        self.stream.push(mv);
     }
 
     /// Append all moves of `other` (schedule concatenation, written `++` in
     /// the paper's Algorithm 1).
     pub fn extend(&mut self, other: &Schedule) {
-        self.moves.extend_from_slice(&other.moves);
+        self.stream.extend_from(&other.stream);
     }
 
     /// Iterate over the moves.
-    pub fn iter(&self) -> impl Iterator<Item = Move> + '_ {
-        self.moves.iter().copied()
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Move> + '_ {
+        self.stream.iter()
     }
 
     /// Weighted schedule cost (Definition 2.2):
     /// `Σ_{M1(v)} w_v + Σ_{M2(v)} w_v`.
     pub fn cost(&self, graph: &Cdag) -> Weight {
-        self.moves
+        self.stream
+            .tags()
             .iter()
-            .filter(|m| m.is_io())
-            .map(|m| graph.weight(m.node()))
+            .zip(self.stream.nodes())
+            .filter(|(t, _)| t.is_io())
+            .map(|(_, &v)| graph.weight(v))
             .sum()
     }
 
     /// Weighted input cost: `Σ_{M1(v) ∈ I} w_v`.
     pub fn input_cost(&self, graph: &Cdag) -> Weight {
-        self.moves
-            .iter()
-            .filter(|m| matches!(m, Move::Load(_)))
-            .map(|m| graph.weight(m.node()))
-            .sum()
+        self.tag_cost(graph, MoveTag::Load)
     }
 
     /// Weighted output cost: `Σ_{M2(v) ∈ O} w_v`.
     pub fn output_cost(&self, graph: &Cdag) -> Weight {
-        self.moves
+        self.tag_cost(graph, MoveTag::Store)
+    }
+
+    fn tag_cost(&self, graph: &Cdag, tag: MoveTag) -> Weight {
+        self.stream
+            .tags()
             .iter()
-            .filter(|m| matches!(m, Move::Store(_)))
-            .map(|m| graph.weight(m.node()))
+            .zip(self.stream.nodes())
+            .filter(|&(&t, _)| t == tag)
+            .map(|(_, &v)| graph.weight(v))
             .sum()
     }
 
@@ -101,26 +122,23 @@ impl Schedule {
     /// Rewrite every move's target node — e.g. to relocate a schedule into
     /// a disjoint-union graph (`map_nodes(|v| NodeId(v.0 + offset))`).
     pub fn map_nodes(&self, f: impl Fn(crate::graph::NodeId) -> crate::graph::NodeId) -> Schedule {
-        self.moves
+        self.stream
+            .tags()
             .iter()
-            .map(|mv| match *mv {
-                Move::Load(v) => Move::Load(f(v)),
-                Move::Store(v) => Move::Store(f(v)),
-                Move::Compute(v) => Move::Compute(f(v)),
-                Move::Delete(v) => Move::Delete(f(v)),
-            })
+            .zip(self.stream.nodes())
+            .map(|(&t, &v)| t.with_node(f(v)))
             .collect()
     }
 
     /// Count of moves of each kind `(M1, M2, M3, M4)`.
     pub fn move_counts(&self) -> (usize, usize, usize, usize) {
         let mut c = (0, 0, 0, 0);
-        for m in &self.moves {
-            match m {
-                Move::Load(_) => c.0 += 1,
-                Move::Store(_) => c.1 += 1,
-                Move::Compute(_) => c.2 += 1,
-                Move::Delete(_) => c.3 += 1,
+        for t in self.stream.tags() {
+            match t {
+                MoveTag::Load => c.0 += 1,
+                MoveTag::Store => c.1 += 1,
+                MoveTag::Compute => c.2 += 1,
+                MoveTag::Delete => c.3 += 1,
             }
         }
         c
@@ -140,7 +158,7 @@ impl fmt::Debug for Schedule {
 
 impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, m) in self.moves.iter().enumerate() {
+        for (i, m) in self.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
@@ -153,14 +171,14 @@ impl fmt::Display for Schedule {
 impl FromIterator<Move> for Schedule {
     fn from_iter<T: IntoIterator<Item = Move>>(iter: T) -> Self {
         Schedule {
-            moves: iter.into_iter().collect(),
+            stream: iter.into_iter().collect(),
         }
     }
 }
 
 impl Extend<Move> for Schedule {
     fn extend<T: IntoIterator<Item = Move>>(&mut self, iter: T) {
-        self.moves.extend(iter);
+        self.stream.extend(iter);
     }
 }
 
@@ -218,5 +236,17 @@ mod tests {
     fn display_formats_moves() {
         let s = Schedule::from_moves(vec![Move::Load(NodeId(0)), Move::Store(NodeId(1))]);
         assert_eq!(s.to_string(), "M1(n0), M2(n1)");
+    }
+
+    #[test]
+    fn stream_round_trips() {
+        let moves = vec![
+            Move::Load(NodeId(0)),
+            Move::Compute(NodeId(1)),
+            Move::Store(NodeId(1)),
+        ];
+        let s = Schedule::from_moves(moves.clone());
+        assert_eq!(s.moves(), moves);
+        assert_eq!(Schedule::from_stream(s.stream().clone()), s);
     }
 }

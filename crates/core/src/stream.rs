@@ -1,0 +1,234 @@
+//! Struct-of-arrays storage for move sequences.
+//!
+//! A [`crate::Schedule`] is logically a list of [`Move`]s, but storing it as
+//! `Vec<Move>` interleaves the 1-byte discriminant with the 4-byte node id
+//! (8 bytes per move after padding) and forces every consumer to branch on
+//! the enum.  [`MoveStream`] splits the sequence into two parallel arrays —
+//! one of [`MoveTag`]s, one of [`NodeId`]s — so scans that only care about
+//! one aspect (cost accounting reads tags, replay reads both) stream
+//! through dense, homogeneous memory.  Iteration still yields the familiar
+//! `Move` enum, reassembled on the fly at zero cost.
+
+use crate::graph::NodeId;
+use crate::moves::Move;
+
+/// The kind of a move, detached from its target node.
+///
+/// Discriminants match the paper's M1–M4 numbering (0-based).
+#[repr(u8)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MoveTag {
+    /// *M1* — copy from slow to fast memory.
+    Load = 0,
+    /// *M2* — copy from fast to slow memory.
+    Store = 1,
+    /// *M3* — compute into fast memory.
+    Compute = 2,
+    /// *M4* — evict from fast memory.
+    Delete = 3,
+}
+
+impl MoveTag {
+    /// Reassemble a [`Move`] from this tag and a target node.
+    #[inline]
+    pub fn with_node(self, v: NodeId) -> Move {
+        match self {
+            MoveTag::Load => Move::Load(v),
+            MoveTag::Store => Move::Store(v),
+            MoveTag::Compute => Move::Compute(v),
+            MoveTag::Delete => Move::Delete(v),
+        }
+    }
+
+    /// `true` for the two cost-bearing transfer moves (M1/M2).
+    #[inline]
+    pub fn is_io(self) -> bool {
+        matches!(self, MoveTag::Load | MoveTag::Store)
+    }
+}
+
+impl From<Move> for MoveTag {
+    #[inline]
+    fn from(mv: Move) -> Self {
+        match mv {
+            Move::Load(_) => MoveTag::Load,
+            Move::Store(_) => MoveTag::Store,
+            Move::Compute(_) => MoveTag::Compute,
+            Move::Delete(_) => MoveTag::Delete,
+        }
+    }
+}
+
+/// A move sequence in struct-of-arrays form: parallel tag and node arrays.
+///
+/// Invariant: `tags.len() == nodes.len()`; entry `i` of both arrays
+/// describes the `i`-th move.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct MoveStream {
+    tags: Vec<MoveTag>,
+    nodes: Vec<NodeId>,
+}
+
+impl MoveStream {
+    /// The empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty stream with room for `n` moves.
+    pub fn with_capacity(n: usize) -> Self {
+        MoveStream {
+            tags: Vec::with_capacity(n),
+            nodes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of moves.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// `true` when the stream contains no moves.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Append one move.
+    #[inline]
+    pub fn push(&mut self, mv: Move) {
+        self.tags.push(mv.into());
+        self.nodes.push(mv.node());
+    }
+
+    /// The `i`-th move, reassembled from the parallel arrays.
+    #[inline]
+    pub fn get(&self, i: usize) -> Move {
+        self.tags[i].with_node(self.nodes[i])
+    }
+
+    /// The tag column.
+    #[inline]
+    pub fn tags(&self) -> &[MoveTag] {
+        &self.tags
+    }
+
+    /// The node column.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Append all moves of `other`.
+    pub fn extend_from(&mut self, other: &MoveStream) {
+        self.tags.extend_from_slice(&other.tags);
+        self.nodes.extend_from_slice(&other.nodes);
+    }
+
+    /// Remove all moves, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.tags.clear();
+        self.nodes.clear();
+    }
+
+    /// Drop the moves at and after index `at`.
+    pub fn truncate(&mut self, at: usize) {
+        self.tags.truncate(at);
+        self.nodes.truncate(at);
+    }
+
+    /// The last move, if any.
+    #[inline]
+    pub fn last(&self) -> Option<Move> {
+        self.tags
+            .last()
+            .map(|&t| t.with_node(*self.nodes.last().unwrap()))
+    }
+
+    /// Remove and return the last move, if any.
+    pub fn pop(&mut self) -> Option<Move> {
+        let t = self.tags.pop()?;
+        Some(t.with_node(self.nodes.pop().unwrap()))
+    }
+
+    /// Iterate over the moves, yielding the [`Move`] enum.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Move> + '_ {
+        self.tags
+            .iter()
+            .zip(&self.nodes)
+            .map(|(&t, &v)| t.with_node(v))
+    }
+}
+
+impl FromIterator<Move> for MoveStream {
+    fn from_iter<T: IntoIterator<Item = Move>>(iter: T) -> Self {
+        let it = iter.into_iter();
+        let mut s = MoveStream::with_capacity(it.size_hint().0);
+        for mv in it {
+            s.push(mv);
+        }
+        s
+    }
+}
+
+impl Extend<Move> for MoveStream {
+    fn extend<T: IntoIterator<Item = Move>>(&mut self, iter: T) {
+        for mv in iter {
+            self.push(mv);
+        }
+    }
+}
+
+impl std::fmt::Debug for MoveStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MoveStream")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Move> {
+        vec![
+            Move::Load(NodeId(0)),
+            Move::Compute(NodeId(2)),
+            Move::Store(NodeId(2)),
+            Move::Delete(NodeId(0)),
+        ]
+    }
+
+    #[test]
+    fn round_trips_moves() {
+        let s: MoveStream = sample().into_iter().collect();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), sample());
+        assert_eq!(s.get(2), Move::Store(NodeId(2)));
+        assert_eq!(s.tags()[3], MoveTag::Delete);
+        assert_eq!(s.nodes()[1], NodeId(2));
+    }
+
+    #[test]
+    fn extend_concatenates_columns() {
+        let mut a: MoveStream = sample().into_iter().collect();
+        let b: MoveStream = sample().into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.get(4), Move::Load(NodeId(0)));
+        a.truncate(5);
+        assert_eq!(a.len(), 5);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn tags_match_paper_numbering() {
+        assert!(MoveTag::Load.is_io() && MoveTag::Store.is_io());
+        assert!(!MoveTag::Compute.is_io() && !MoveTag::Delete.is_io());
+        assert_eq!(MoveTag::from(Move::Compute(NodeId(1))), MoveTag::Compute);
+        assert_eq!(MoveTag::Store.with_node(NodeId(9)), Move::Store(NodeId(9)));
+    }
+}

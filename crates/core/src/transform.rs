@@ -14,9 +14,10 @@
 //!   outputs are preserved.
 
 use crate::graph::Cdag;
-use crate::label::PebbleState;
 use crate::moves::Move;
+use crate::redset::RedSet;
 use crate::schedule::Schedule;
+use crate::stream::{MoveStream, MoveTag};
 
 /// Statistics from one optimization run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,38 +56,39 @@ impl PeepholeStats {
 /// are stated for valid inputs.
 pub fn peephole(graph: &Cdag, schedule: &Schedule) -> (Schedule, PeepholeStats) {
     let mut stats = PeepholeStats::default();
-    let mut current: Vec<Move> = schedule.moves().to_vec();
+    let mut current: MoveStream = schedule.stream().clone();
     loop {
         let before = current.len();
         current = drop_redundant_label_moves(graph, current, &mut stats);
         current = drop_delete_load_pairs(current, &mut stats);
         current = drop_dead_stores(graph, current, &mut stats);
-        current = drop_trailing_deletes(graph, current, &mut stats);
+        drop_trailing_deletes(&mut current, &mut stats);
         if current.len() == before {
             break;
         }
     }
-    (Schedule::from_moves(current), stats)
+    (Schedule::from_stream(current), stats)
 }
 
 /// Remove `M2(v)` when `v` is not an output and its blue copy is never
 /// loaded later: the store's only observable effect would be a future
 /// reload or the stopping condition, and neither applies.
-fn drop_dead_stores(graph: &Cdag, moves: Vec<Move>, stats: &mut PeepholeStats) -> Vec<Move> {
+fn drop_dead_stores(graph: &Cdag, moves: MoveStream, stats: &mut PeepholeStats) -> MoveStream {
     let mut loaded_later = vec![false; graph.len()];
     let mut keep = vec![true; moves.len()];
-    for (i, mv) in moves.iter().enumerate().rev() {
-        match mv {
-            Move::Store(v) if !graph.is_sink(*v) && !loaded_later[v.index()] => {
+    for i in (0..moves.len()).rev() {
+        let v = moves.nodes()[i];
+        match moves.tags()[i] {
+            MoveTag::Store if !graph.is_sink(v) && !loaded_later[v.index()] => {
                 keep[i] = false;
                 stats.dead_stores += 1;
             }
-            Move::Load(v) => loaded_later[v.index()] = true,
+            MoveTag::Load => loaded_later[v.index()] = true,
             _ => {}
         }
     }
     moves
-        .into_iter()
+        .iter()
         .zip(keep)
         .filter_map(|(mv, k)| k.then_some(mv))
         .collect()
@@ -96,28 +98,37 @@ fn drop_dead_stores(graph: &Cdag, moves: Vec<Move>, stats: &mut PeepholeStats) -
 /// unchanged while the former costs weight.
 fn drop_redundant_label_moves(
     graph: &Cdag,
-    moves: Vec<Move>,
+    moves: MoveStream,
     stats: &mut PeepholeStats,
-) -> Vec<Move> {
-    let mut state = PebbleState::initial(graph);
-    let mut out = Vec::with_capacity(moves.len());
-    for mv in moves {
-        let label = state.label(mv.node());
-        let redundant = match mv {
-            Move::Store(_) if label.has_blue() => {
+) -> MoveStream {
+    let mut red = RedSet::new(graph.len());
+    let mut blue = RedSet::new(graph.len());
+    for &v in graph.sources() {
+        blue.insert(v, 0);
+    }
+    let mut out = MoveStream::with_capacity(moves.len());
+    for mv in moves.iter() {
+        let v = mv.node();
+        match mv {
+            Move::Store(_) if blue.contains(v) => {
                 stats.redundant_stores += 1;
-                true
+                continue;
             }
-            Move::Load(_) if label.has_red() => {
+            Move::Load(_) if red.contains(v) => {
                 stats.redundant_loads += 1;
-                true
+                continue;
             }
-            _ => false,
-        };
-        if !redundant {
-            state.apply(graph, mv);
-            out.push(mv);
+            Move::Load(_) | Move::Compute(_) => {
+                red.insert(v, 0);
+            }
+            Move::Store(_) => {
+                blue.insert(v, 0);
+            }
+            Move::Delete(_) => {
+                red.remove(v, 0);
+            }
         }
+        out.push(mv);
     }
     out
 }
@@ -126,11 +137,11 @@ fn drop_redundant_label_moves(
 /// happens, so keeping the red pebble is valid, saves `w_v` of cost, and
 /// never raises the peak (the weight was held immediately before and
 /// after anyway).
-fn drop_delete_load_pairs(moves: Vec<Move>, stats: &mut PeepholeStats) -> Vec<Move> {
-    let mut out: Vec<Move> = Vec::with_capacity(moves.len());
-    for mv in moves {
+fn drop_delete_load_pairs(moves: MoveStream, stats: &mut PeepholeStats) -> MoveStream {
+    let mut out = MoveStream::with_capacity(moves.len());
+    for mv in moves.iter() {
         match (out.last(), mv) {
-            (Some(&Move::Delete(d)), Move::Load(l)) if d == l => {
+            (Some(Move::Delete(d)), Move::Load(l)) if d == l => {
                 out.pop();
                 stats.delete_load_pairs += 1;
             }
@@ -142,16 +153,11 @@ fn drop_delete_load_pairs(moves: Vec<Move>, stats: &mut PeepholeStats) -> Vec<Mo
 
 /// Remove the maximal suffix of `M4` moves: once no further move follows,
 /// evictions free memory nobody uses.
-fn drop_trailing_deletes(
-    _graph: &Cdag,
-    mut moves: Vec<Move>,
-    stats: &mut PeepholeStats,
-) -> Vec<Move> {
+fn drop_trailing_deletes(moves: &mut MoveStream, stats: &mut PeepholeStats) {
     while matches!(moves.last(), Some(Move::Delete(_))) {
         moves.pop();
         stats.trailing_deletes += 1;
     }
-    moves
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@
 
 use crate::error::ValidityError;
 use crate::graph::{Cdag, Weight};
-use crate::label::PebbleState;
 use crate::moves::Move;
+use crate::redset::RedSet;
 use crate::schedule::Schedule;
 
 /// Statistics reported by a successful validation.
@@ -45,61 +45,81 @@ pub fn validate_schedule(
     budget: Weight,
     schedule: &Schedule,
 ) -> Result<ScheduleStats, ValidityError> {
-    let mut state = PebbleState::initial(graph);
+    validate_moves(graph, budget, schedule.iter())
+}
+
+/// Streaming form of [`validate_schedule`]: replays any move sequence
+/// without materializing it.
+///
+/// The schedule never needs to exist as a `Vec` — moves can come straight
+/// off a generator, a parser, or a [`crate::MoveStream`] iterator.  State
+/// is two bitsets and a handful of counters; nothing is allocated per move.
+pub fn validate_moves(
+    graph: &Cdag,
+    budget: Weight,
+    moves: impl IntoIterator<Item = Move>,
+) -> Result<ScheduleStats, ValidityError> {
+    let mut red = RedSet::new(graph.len());
+    let mut blue = RedSet::new(graph.len());
+    for &v in graph.sources() {
+        blue.insert(v, graph.weight(v));
+    }
     let mut stats = ScheduleStats {
         cost: 0,
         input_cost: 0,
         output_cost: 0,
         peak_red_weight: 0,
         computes: 0,
-        moves: schedule.len(),
+        moves: 0,
     };
 
-    for (step, mv) in schedule.iter().enumerate() {
+    for (step, mv) in moves.into_iter().enumerate() {
         let v = mv.node();
-        let label = state.label(v);
+        let w = graph.weight(v);
+        stats.moves += 1;
         match mv {
             Move::Load(_) => {
-                if !label.has_blue() {
+                if !blue.contains(v) {
                     return Err(ValidityError::LoadWithoutBlue { step, mv });
                 }
-                stats.input_cost += graph.weight(v);
+                stats.input_cost += w;
+                red.insert(v, w);
             }
             Move::Store(_) => {
-                if !label.has_red() {
+                if !red.contains(v) {
                     return Err(ValidityError::StoreWithoutRed { step, mv });
                 }
-                stats.output_cost += graph.weight(v);
+                stats.output_cost += w;
+                blue.insert(v, w);
             }
             Move::Compute(_) => {
                 if graph.is_source(v) {
                     return Err(ValidityError::ComputeSource { step, mv });
                 }
-                if let Some(&missing) = graph.preds(v).iter().find(|&&p| !state.label(p).has_red())
-                {
+                if let Some(&missing) = graph.preds(v).iter().find(|&&p| !red.contains(p)) {
                     return Err(ValidityError::ComputeWithoutOperands { step, mv, missing });
                 }
                 stats.computes += 1;
+                red.insert(v, w);
             }
             Move::Delete(_) => {
-                if !label.has_red() {
+                if !red.remove(v, w) {
                     return Err(ValidityError::DeleteWithoutRed { step, mv });
                 }
             }
         }
-        state.apply(graph, mv);
-        if state.red_weight() > budget {
+        if red.weight() > budget {
             return Err(ValidityError::BudgetExceeded {
                 step,
                 mv,
-                used: state.red_weight(),
+                used: red.weight(),
                 budget,
             });
         }
-        stats.peak_red_weight = stats.peak_red_weight.max(state.red_weight());
+        stats.peak_red_weight = stats.peak_red_weight.max(red.weight());
     }
 
-    if let Some(&sink) = graph.sinks().iter().find(|&&v| !state.label(v).has_blue()) {
+    if let Some(&sink) = graph.sinks().iter().find(|&&v| !blue.contains(v)) {
         return Err(ValidityError::StoppingConditionUnmet { sink });
     }
 

@@ -12,15 +12,22 @@
 //! instance, which is the strongest practical evidence that the DPs implement
 //! the paper's optimality lemmas correctly.
 //!
-//! States encode each node's label in 2 bits, packed into a `u128`, so graphs
-//! are limited to 64 nodes (far beyond what the search can exhaust anyway).
+//! States are a pair of fixed-width bitsets (`red`, `blue`), one bit per
+//! node, so graphs are limited to 64 nodes (far beyond what the search can
+//! exhaust anyway).  Hashing a state is two word multiplies, the weighted
+//! red occupancy is carried incrementally with each queue entry, and the
+//! "all predecessors red" rule is a single mask compare against a
+//! precomputed per-node predecessor bitmask.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pebblyn_core::{Cdag, Label, Move, NodeId, Schedule, Weight};
+use pebblyn_core::{Cdag, FastHashMap, Move, NodeId, Schedule, Weight};
 use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+
+/// Dijkstra maps keyed by packed [`State`]s; two word-folds per probe.
+type StateMap<V> = FastHashMap<State, V>;
 
 /// Error: the search exceeded its state budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,27 +44,42 @@ impl std::fmt::Display for SearchLimitExceeded {
 
 impl std::error::Error for SearchLimitExceeded {}
 
-/// Packed game snapshot: 2 bits per node.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-struct State(u128);
-
-const NONE: u128 = 0b00;
-const RED: u128 = 0b01;
-const BLUE: u128 = 0b10;
-const BOTH: u128 = 0b11;
+/// Packed game snapshot: one red and one blue bitset word, one bit per node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+struct State {
+    red: u64,
+    blue: u64,
+}
 
 impl State {
-    fn label(self, v: usize) -> u128 {
-        (self.0 >> (2 * v)) & 0b11
-    }
-    fn with_label(self, v: usize, l: u128) -> State {
-        State((self.0 & !(0b11u128 << (2 * v))) | (l << (2 * v)))
-    }
+    #[inline]
     fn has_red(self, v: usize) -> bool {
-        self.label(v) & RED != 0
+        self.red >> v & 1 != 0
     }
+    #[inline]
     fn has_blue(self, v: usize) -> bool {
-        self.label(v) & BLUE != 0
+        self.blue >> v & 1 != 0
+    }
+    #[inline]
+    fn add_red(self, v: usize) -> State {
+        State {
+            red: self.red | 1 << v,
+            ..self
+        }
+    }
+    #[inline]
+    fn add_blue(self, v: usize) -> State {
+        State {
+            blue: self.blue | 1 << v,
+            ..self
+        }
+    }
+    #[inline]
+    fn drop_red(self, v: usize) -> State {
+        State {
+            red: self.red & !(1 << v),
+            ..self
+        }
     }
 }
 
@@ -86,6 +108,10 @@ impl Default for ExactSolver {
 struct QueueItem {
     cost: Weight,
     state: State,
+    /// Weighted red occupancy of `state`, carried incrementally so
+    /// expansion never rescans the node set.  A pure function of
+    /// `state.red`, so duplicate queue entries always agree.
+    red_weight: Weight,
 }
 
 impl Ord for QueueItem {
@@ -94,7 +120,7 @@ impl Ord for QueueItem {
         other
             .cost
             .cmp(&self.cost)
-            .then_with(|| other.state.0.cmp(&self.state.0))
+            .then_with(|| other.state.cmp(&self.state))
     }
 }
 
@@ -153,29 +179,48 @@ impl ExactSolver {
             graph.len()
         );
         let n = graph.len();
-        let sinks: Vec<usize> = graph.sinks().iter().map(|v| v.index()).collect();
 
-        let mut start = State(0);
-        for v in graph.sources() {
-            start = start.with_label(v.index(), BLUE);
-        }
+        // Flat per-node tables + bitmasks so the expansion loop never
+        // touches the graph's adjacency or re-derives weights.
+        let weights: Vec<Weight> = (0..n).map(|v| graph.weight(NodeId(v as u32))).collect();
+        let pred_mask: Vec<u64> = (0..n)
+            .map(|v| {
+                graph
+                    .preds(NodeId(v as u32))
+                    .iter()
+                    .fold(0u64, |m, p| m | 1 << p.index())
+            })
+            .collect();
+        let source_mask: u64 = graph.sources().iter().fold(0, |m, v| m | 1 << v.index());
+        let sink_mask: u64 = graph.sinks().iter().fold(0, |m, v| m | 1 << v.index());
+
+        let start = State {
+            red: 0,
+            blue: source_mask,
+        };
 
         // dist: settled/backing costs; parent: for reconstruction.
-        let mut dist: HashMap<State, Weight> = HashMap::new();
-        let mut parent: HashMap<State, (State, Move)> = HashMap::new();
+        let mut dist: StateMap<Weight> = StateMap::default();
+        let mut parent: StateMap<(State, Move)> = StateMap::default();
         let mut heap = BinaryHeap::new();
         dist.insert(start, 0);
         heap.push(QueueItem {
             cost: 0,
             state: start,
+            red_weight: 0,
         });
         let mut expanded = 0usize;
 
-        while let Some(QueueItem { cost, state }) = heap.pop() {
+        while let Some(QueueItem {
+            cost,
+            state,
+            red_weight,
+        }) = heap.pop()
+        {
             if dist.get(&state).copied() != Some(cost) {
                 continue; // stale entry
             }
-            if sinks.iter().all(|&s| state.has_blue(s)) {
+            if state.blue & sink_mask == sink_mask {
                 let schedule = reconstruct.then(|| {
                     let mut moves = Vec::new();
                     let mut cur = state;
@@ -195,16 +240,12 @@ impl ExactSolver {
                 });
             }
 
-            let red_weight: Weight = (0..n)
-                .filter(|&v| state.has_red(v))
-                .map(|v| graph.weight(NodeId(v as u32)))
-                .sum();
-
             let push = |next: State,
+                        next_red_weight: Weight,
                         extra: Weight,
                         mv: Move,
-                        dist: &mut HashMap<State, Weight>,
-                        parent: &mut HashMap<State, (State, Move)>,
+                        dist: &mut StateMap<Weight>,
+                        parent: &mut StateMap<(State, Move)>,
                         heap: &mut BinaryHeap<QueueItem>| {
                 let nc = cost + extra;
                 match dist.entry(next) {
@@ -217,6 +258,7 @@ impl ExactSolver {
                             heap.push(QueueItem {
                                 cost: nc,
                                 state: next,
+                                red_weight: next_red_weight,
                             });
                         }
                     }
@@ -228,6 +270,7 @@ impl ExactSolver {
                         heap.push(QueueItem {
                             cost: nc,
                             state: next,
+                            red_weight: next_red_weight,
                         });
                     }
                 }
@@ -235,13 +278,15 @@ impl ExactSolver {
 
             for v in 0..n {
                 let id = NodeId(v as u32);
-                let w = graph.weight(id);
-                let l = state.label(v);
+                let w = weights[v];
+                let has_red = state.has_red(v);
+                let has_blue = state.has_blue(v);
 
                 // M1: load — only useful when it changes the label.
-                if l == BLUE && red_weight + w <= budget {
+                if has_blue && !has_red && red_weight + w <= budget {
                     push(
-                        state.with_label(v, BOTH),
+                        state.add_red(v),
+                        red_weight + w,
                         self.load_scale * w,
                         Move::Load(id),
                         &mut dist,
@@ -250,9 +295,10 @@ impl ExactSolver {
                     );
                 }
                 // M2: store — only useful when the node is red-only.
-                if l == RED {
+                if has_red && !has_blue {
                     push(
-                        state.with_label(v, BOTH),
+                        state.add_blue(v),
+                        red_weight,
                         self.store_scale * w,
                         Move::Store(id),
                         &mut dist,
@@ -261,13 +307,14 @@ impl ExactSolver {
                     );
                 }
                 // M3: compute — non-source, all preds red, not already red.
-                if !state.has_red(v)
-                    && !graph.is_source(id)
-                    && graph.preds(id).iter().all(|p| state.has_red(p.index()))
+                if !has_red
+                    && source_mask >> v & 1 == 0
+                    && state.red & pred_mask[v] == pred_mask[v]
                     && red_weight + w <= budget
                 {
                     push(
-                        state.with_label(v, l | RED),
+                        state.add_red(v),
+                        red_weight + w,
                         0,
                         Move::Compute(id),
                         &mut dist,
@@ -276,9 +323,10 @@ impl ExactSolver {
                     );
                 }
                 // M4: delete.
-                if state.has_red(v) {
+                if has_red {
                     push(
-                        state.with_label(v, l & !RED),
+                        state.drop_red(v),
+                        red_weight - w,
                         0,
                         Move::Delete(id),
                         &mut dist,
@@ -304,18 +352,6 @@ pub fn exact_optimal_schedule(graph: &Cdag, budget: Weight) -> Option<(Weight, S
     ExactSolver::default()
         .optimal_schedule(graph, budget)
         .expect("exact search exceeded state cap; use ExactSolver for control")
-}
-
-/// Decode a packed state label for debugging.
-#[allow(dead_code)]
-fn decode(l: u128) -> Label {
-    match l {
-        NONE => Label::None,
-        RED => Label::Red,
-        BLUE => Label::Blue,
-        BOTH => Label::Both,
-        _ => unreachable!(),
-    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! Reference separable 2-D Haar transform and the op-table for
-//! [`Dwt2dGraph`](pebblyn_graphs::dwt2d::Dwt2dGraph).
+//! [`Dwt2dGraph`].
 
 use crate::haar::INV_SQRT2;
 use pebblyn_graphs::dwt2d::Dwt2dGraph;

@@ -2,7 +2,7 @@
 
 use crate::energy::{EnergyModel, EnergyReport};
 use crate::ops::OpTable;
-use pebblyn_core::{Cdag, Move, NodeId, Schedule, Weight};
+use pebblyn_core::{Cdag, Move, NodeId, RedSet, Schedule, Weight};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -119,79 +119,100 @@ impl<'a> Machine<'a> {
     /// the stopping condition, and — against a schedule-free reference
     /// evaluation — that every output holds the correct value.
     pub fn run(&self, schedule: &Schedule, inputs: &[f64]) -> Result<ExecReport, ExecError> {
+        self.run_moves(schedule.iter(), inputs)
+    }
+
+    /// Streaming form of [`Machine::run`]: executes any move sequence
+    /// without materializing it.
+    ///
+    /// Memory state is flat — one value slot per node for each memory level
+    /// plus two [`RedSet`] residency bitsets — so no per-move hashing or
+    /// allocation happens while replaying.
+    pub fn run_moves(
+        &self,
+        moves: impl IntoIterator<Item = Move>,
+        inputs: &[f64],
+    ) -> Result<ExecReport, ExecError> {
         let g = self.graph;
         assert_eq!(inputs.len(), g.len(), "one input slot per node");
 
         let reference = crate::ops::eval_reference(g, self.ops, inputs);
 
-        // Slow memory starts holding all inputs (the starting condition).
-        let mut slow: HashMap<NodeId, f64> = g
-            .sources()
-            .into_iter()
-            .map(|v| (v, inputs[v.index()]))
-            .collect();
-        let mut fast: HashMap<NodeId, f64> = HashMap::new();
-        let mut used: Weight = 0;
+        // One value slot per node and memory level; the bitsets decide
+        // which slots are live.  Slow memory starts holding all inputs
+        // (the starting condition).
+        let mut slow_vals = vec![0.0f64; g.len()];
+        let mut fast_vals = vec![0.0f64; g.len()];
+        let mut in_slow = RedSet::new(g.len());
+        let mut in_fast = RedSet::new(g.len());
+        for &v in g.sources() {
+            slow_vals[v.index()] = inputs[v.index()];
+            in_slow.insert(v, g.weight(v));
+        }
         let mut peak: Weight = 0;
         let mut loaded_bits: Weight = 0;
         let mut stored_bits: Weight = 0;
         let mut computes = 0usize;
+        let mut operands: Vec<f64> = Vec::new();
 
-        for (step, mv) in schedule.iter().enumerate() {
+        for (step, mv) in moves.into_iter().enumerate() {
             let v = mv.node();
             let w = g.weight(v);
             match mv {
                 Move::Load(_) => {
-                    let val = *slow.get(&v).ok_or(ExecError::MissingInSlow(step, v))?;
-                    if fast.insert(v, val).is_none() {
-                        used += w;
+                    if !in_slow.contains(v) {
+                        return Err(ExecError::MissingInSlow(step, v));
                     }
+                    fast_vals[v.index()] = slow_vals[v.index()];
+                    in_fast.insert(v, w);
                     loaded_bits += w;
                 }
                 Move::Store(_) => {
-                    let val = *fast.get(&v).ok_or(ExecError::MissingInFast(step, v))?;
-                    slow.insert(v, val);
+                    if !in_fast.contains(v) {
+                        return Err(ExecError::MissingInFast(step, v));
+                    }
+                    slow_vals[v.index()] = fast_vals[v.index()];
+                    in_slow.insert(v, w);
                     stored_bits += w;
                 }
                 Move::Compute(_) => {
                     if g.is_source(v) {
                         return Err(ExecError::ComputeSource(step, v));
                     }
-                    let mut operands = Vec::with_capacity(g.in_degree(v));
+                    operands.clear();
                     for &p in g.preds(v) {
-                        operands.push(
-                            *fast
-                                .get(&p)
-                                .ok_or(ExecError::OperandNotResident(step, v, p))?,
-                        );
+                        if !in_fast.contains(p) {
+                            return Err(ExecError::OperandNotResident(step, v, p));
+                        }
+                        operands.push(fast_vals[p.index()]);
                     }
-                    let val = self.ops.eval(v, &operands);
-                    if fast.insert(v, val).is_none() {
-                        used += w;
-                    }
+                    fast_vals[v.index()] = self.ops.eval(v, &operands);
+                    in_fast.insert(v, w);
                     computes += 1;
                 }
                 Move::Delete(_) => {
-                    if fast.remove(&v).is_none() {
+                    if !in_fast.remove(v, w) {
                         return Err(ExecError::MissingInFast(step, v));
                     }
-                    used -= w;
                 }
             }
-            if used > self.capacity {
+            if in_fast.weight() > self.capacity {
                 return Err(ExecError::FastMemoryOverflow {
                     step,
-                    used,
+                    used: in_fast.weight(),
                     capacity: self.capacity,
                 });
             }
-            peak = peak.max(used);
+            peak = peak.max(in_fast.weight());
         }
 
         // Stopping condition + functional correctness of every output.
         let mut outputs = HashMap::new();
-        for v in self.graph.sinks() {
-            let got = *slow.get(&v).ok_or(ExecError::OutputNotStored(v))?;
+        for &v in self.graph.sinks() {
+            if !in_slow.contains(v) {
+                return Err(ExecError::OutputNotStored(v));
+            }
+            let got = slow_vals[v.index()];
             let expected = reference[v.index()];
             if !approx_eq(got, expected) {
                 return Err(ExecError::WrongOutput {

@@ -61,9 +61,9 @@ pub use pebblyn_synth as synth;
 pub mod prelude {
     pub use pebblyn_baselines::IoOptMvmModel;
     pub use pebblyn_core::{
-        algorithmic_lower_bound, min_feasible_budget, peephole, schedule_exists, validate_schedule,
-        Cdag, CdagBuilder, Label, Move, NodeId, PebbleState, PeepholeStats, Schedule,
-        ScheduleStats, Weight,
+        algorithmic_lower_bound, min_feasible_budget, peephole, schedule_exists, validate_moves,
+        validate_schedule, Cdag, CdagBuilder, Label, Move, MoveStream, NodeId, PebbleState,
+        PeepholeStats, RedSet, Schedule, ScheduleStats, Weight,
     };
     pub use pebblyn_core::{occupancy_summary, occupancy_trace, summarize, OccupancySummary};
     pub use pebblyn_engine::{

@@ -11,7 +11,7 @@
 //! Typed schedulers (the DWT DP, the MVM tiling, the streaming families)
 //! need structural metadata a bare [`Cdag`](pebblyn_core::Cdag) does not
 //! carry, so the trait takes
-//! [`AnyGraph`](pebblyn_graphs::AnyGraph) — the workload-erased graph from
+//! [`AnyGraph`] — the workload-erased graph from
 //! `pebblyn-graphs` — and advertises applicability through
 //! [`Scheduler::supports`].  Graph-generic algorithms (layer-by-layer,
 //! Belady, naive, k-ary on in-trees) support every variant, including
@@ -56,7 +56,7 @@ pub trait Scheduler: Send + Sync {
 
     /// Whether `min_cost` is non-increasing in the budget, which lets
     /// minimum-memory searches bisect instead of scanning linearly
-    /// (see [`crate::min_memory`]).
+    /// (see [`crate::min_memory`](mod@crate::min_memory)).
     fn monotone(&self) -> bool {
         false
     }

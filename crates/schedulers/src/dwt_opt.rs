@@ -21,9 +21,8 @@
 //! the concrete schedule is emitted in one walk over the plan forest.
 
 use crate::stack::with_large_stack;
-use pebblyn_core::{Cdag, Move, NodeId, Schedule, Weight};
+use pebblyn_core::{pack_key, Cdag, FastHashMap, Move, NodeId, Schedule, Weight};
 use pebblyn_graphs::DwtGraph;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Per-bit I/O cost scales: the classic game uses `(1, 1)`; asymmetric
@@ -119,17 +118,19 @@ struct Dp<'a> {
     /// Sibling (pruned coefficient) of each average node, if any.
     sibling: Vec<Option<NodeId>>,
     costs: IoCosts,
-    memo: HashMap<(NodeId, Weight), Option<Rc<Plan>>>,
+    /// Keyed by [`pack_key`]`(node, budget)` — one `u128` per state.
+    memo: FastHashMap<u128, Option<Rc<Plan>>>,
 }
 
 impl<'a> Dp<'a> {
     /// `PebbleTree(v, b)` — Lines 13–39 of Algorithm 1.
     fn pebble_tree(&mut self, v: NodeId, b: Weight) -> Option<Rc<Plan>> {
-        if let Some(hit) = self.memo.get(&(v, b)) {
+        let key = pack_key(v.index() as u64, b);
+        if let Some(hit) = self.memo.get(&key) {
             return hit.clone();
         }
         let plan = self.compute_plan(v, b);
-        self.memo.insert((v, b), plan.clone());
+        self.memo.insert(key, plan.clone());
         plan
     }
 
@@ -231,7 +232,7 @@ fn build_dp<'a>(dwt: &'a DwtGraph, costs: IoCosts) -> Dp<'a> {
         graph: g,
         sibling,
         costs,
-        memo: HashMap::new(),
+        memo: FastHashMap::default(),
     }
 }
 

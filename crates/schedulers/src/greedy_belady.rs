@@ -14,7 +14,7 @@
 //! furthest-next-use is the classic offline caching policy; the compute
 //! order itself is not optimized.
 
-use pebblyn_core::{Cdag, Move, NodeId, Schedule, Weight};
+use pebblyn_core::{Cdag, Move, MoveStream, NodeId, RedSet, Schedule, Weight};
 use std::collections::BinaryHeap;
 
 /// Schedule the whole graph under `budget` computing nodes in `order`
@@ -29,16 +29,19 @@ pub fn schedule_with_order(graph: &Cdag, budget: Weight, order: &[NodeId]) -> Op
         }
     }
 
+    let mut blue = RedSet::new(graph.len());
+    for &v in graph.sources() {
+        blue.insert(v, graph.weight(v));
+    }
     let mut st = State {
         graph,
         budget,
-        moves: Vec::new(),
-        red: vec![false; graph.len()],
-        blue: graph.nodes().map(|v| graph.is_source(v)).collect(),
+        moves: MoveStream::new(),
+        red: RedSet::new(graph.len()),
+        blue,
         pinned: vec![false; graph.len()],
         next_use_cursor: vec![0; graph.len()],
         use_positions,
-        used: 0,
         victims: BinaryHeap::new(),
     };
 
@@ -49,13 +52,13 @@ pub fn schedule_with_order(graph: &Cdag, budget: Weight, order: &[NodeId]) -> Op
         }
     }
     // Stopping condition: every sink needs a blue copy.
-    for v in graph.sinks() {
-        if !st.blue[v.index()] {
+    for &v in graph.sinks() {
+        if !st.blue.contains(v) {
             st.moves.push(Move::Store(v));
-            st.blue[v.index()] = true;
+            st.blue.insert(v, graph.weight(v));
         }
     }
-    Some(Schedule::from_moves(st.moves))
+    Some(Schedule::from_stream(st.moves))
 }
 
 /// Schedule with the graph's default topological order.
@@ -77,14 +80,14 @@ pub fn cost(graph: &Cdag, budget: Weight) -> Option<Weight> {
 struct State<'a> {
     graph: &'a Cdag,
     budget: Weight,
-    moves: Vec<Move>,
-    red: Vec<bool>,
-    blue: Vec<bool>,
+    moves: MoveStream,
+    /// Residency bitset; its cached weight is the fast-memory occupancy.
+    red: RedSet,
+    blue: RedSet,
     pinned: Vec<bool>,
     /// Index into `use_positions[v]` of the first use not yet executed.
     next_use_cursor: Vec<usize>,
     use_positions: Vec<Vec<usize>>,
-    used: Weight,
     /// Max-heap of (next_use, node) candidates; entries may be stale and
     /// are re-validated on pop (lazy deletion).
     victims: BinaryHeap<(usize, NodeId)>,
@@ -103,14 +106,13 @@ impl<'a> State<'a> {
     }
 
     fn insert_resident(&mut self, v: NodeId, now: usize) {
-        self.red[v.index()] = true;
-        self.used += self.graph.weight(v);
+        self.red.insert(v, self.graph.weight(v));
         let nu = self.next_use(v, now);
         self.victims.push((nu, v));
     }
 
     fn make_room(&mut self, extra: Weight, now: usize) -> bool {
-        while self.used + extra > self.budget {
+        while self.red.weight() + extra > self.budget {
             // Pop until we find a live, unpinned resident entry whose key
             // is current (lazy revalidation).  Pinned entries are parked
             // and re-inserted so they stay evictable later.
@@ -120,7 +122,7 @@ impl<'a> State<'a> {
                     self.victims.extend(parked);
                     return false;
                 };
-                if !self.red[v.index()] {
+                if !self.red.contains(v) {
                     continue; // stale entry for an already-evicted node
                 }
                 if self.pinned[v.index()] {
@@ -135,26 +137,24 @@ impl<'a> State<'a> {
                 break v;
             };
             self.victims.extend(parked);
-            let i = victim.index();
-            let dirty = !self.blue[i];
-            let needed_again = self.next_use(victim, now) != usize::MAX
-                || (self.graph.is_sink(victim) && !self.blue[i]);
+            let dirty = !self.blue.contains(victim);
+            let needed_again =
+                self.next_use(victim, now) != usize::MAX || (self.graph.is_sink(victim) && dirty);
             if dirty && needed_again {
                 self.moves.push(Move::Store(victim));
-                self.blue[i] = true;
+                self.blue.insert(victim, self.graph.weight(victim));
             }
             self.moves.push(Move::Delete(victim));
-            self.red[i] = false;
-            self.used -= self.graph.weight(victim);
+            self.red.remove(victim, self.graph.weight(victim));
         }
         true
     }
 
     fn make_red(&mut self, v: NodeId, now: usize) -> bool {
-        if self.red[v.index()] {
+        if self.red.contains(v) {
             return true;
         }
-        debug_assert!(self.blue[v.index()], "{v} must have been stored");
+        debug_assert!(self.blue.contains(v), "{v} must have been stored");
         if !self.make_room(self.graph.weight(v), now) {
             return false;
         }
@@ -187,7 +187,7 @@ impl<'a> State<'a> {
         // large keys, so grown keys must be pushed eagerly (the lazy
         // revalidation on pop can only *shrink* stale entries' priority).
         for &p in self.graph.preds(v) {
-            if self.red[p.index()] {
+            if self.red.contains(p) {
                 let nu = self.next_use(p, now + 1);
                 self.victims.push((nu, p));
             }

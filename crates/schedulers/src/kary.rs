@@ -19,8 +19,7 @@
 
 use crate::dwt_opt::IoCosts;
 use crate::stack::with_large_stack;
-use pebblyn_core::{Cdag, Move, NodeId, Schedule, Weight};
-use std::collections::HashMap;
+use pebblyn_core::{pack_key, Cdag, FastHashMap, Move, NodeId, Schedule, Weight};
 use std::rc::Rc;
 
 /// A memoised plan for computing one subtree root with a given budget.
@@ -75,16 +74,18 @@ impl Plan {
 struct Dp<'a> {
     graph: &'a Cdag,
     costs: IoCosts,
-    memo: HashMap<(NodeId, Weight), Option<Rc<Plan>>>,
+    /// Keyed by [`pack_key`]`(node, budget)` — one `u128` per state.
+    memo: FastHashMap<u128, Option<Rc<Plan>>>,
 }
 
 impl<'a> Dp<'a> {
     fn pebble(&mut self, v: NodeId, b: Weight) -> Option<Rc<Plan>> {
-        if let Some(hit) = self.memo.get(&(v, b)) {
+        let key = pack_key(v.index() as u64, b);
+        if let Some(hit) = self.memo.get(&key) {
             return hit.clone();
         }
         let plan = self.compute(v, b);
-        self.memo.insert((v, b), plan.clone());
+        self.memo.insert(key, plan.clone());
         plan
     }
 
@@ -114,31 +115,32 @@ impl<'a> Dp<'a> {
 
         // Held–Karp over (processed subset, kept weight): kept weight is the
         // only channel through which earlier keep decisions affect later
-        // parents' budgets, so it is a sufficient statistic for δ.
-        type Key = (u32, Weight); // (subset mask, kept weight)
+        // parents' budgets, so it is a sufficient statistic for δ.  Keys are
+        // `pack_key(subset mask, kept weight)` — one `u128` per state.
         #[derive(Clone)]
         struct Partial {
             cost: Weight,
             /// (parent index, plan, keep) appended in order.
             order: Vec<(usize, Rc<Plan>, bool)>,
         }
-        let mut frontier: HashMap<Key, Partial> = HashMap::new();
+        let mut frontier: FastHashMap<u128, Partial> = FastHashMap::default();
         frontier.insert(
-            (0, 0),
+            pack_key(0, 0),
             Partial {
                 cost: 0,
                 order: Vec::new(),
             },
         );
-        let full = (1u32 << k) - 1;
+        let full = (1u64 << k) - 1;
         for _ in 0..k {
-            let mut next: HashMap<Key, Partial> = HashMap::new();
-            for ((mask, kept), partial) in &frontier {
+            let mut next: FastHashMap<u128, Partial> = FastHashMap::default();
+            for (&state, partial) in &frontier {
+                let (mask, kept) = ((state >> 64) as u64, state as u64 as Weight);
                 for (i, &p) in preds.iter().enumerate() {
                     if mask & (1 << i) != 0 {
                         continue;
                     }
-                    if *kept >= b {
+                    if kept >= b {
                         continue;
                     }
                     let sub_budget = b - kept;
@@ -152,9 +154,9 @@ impl<'a> Dp<'a> {
                         } else {
                             (self.costs.load + self.costs.store) * wp
                         };
-                        let nkept = if keep { kept + wp } else { *kept };
+                        let nkept = if keep { kept + wp } else { kept };
                         let ncost = partial.cost + plan.cost() + extra;
-                        let key = (mask | (1 << i), nkept);
+                        let key = pack_key(mask | (1 << i), nkept);
                         let better = next.get(&key).is_none_or(|e| ncost < e.cost);
                         if better {
                             let mut order = partial.order.clone();
@@ -169,7 +171,7 @@ impl<'a> Dp<'a> {
 
         let best = frontier
             .iter()
-            .filter(|((mask, _), _)| *mask == full)
+            .filter(|(&state, _)| (state >> 64) as u64 == full)
             .min_by_key(|(_, partial)| partial.cost)?;
         let order = best
             .1
@@ -207,7 +209,7 @@ pub fn min_cost_with_costs(tree: &Cdag, budget: Weight, costs: IoCosts) -> Optio
         let mut dp = Dp {
             graph: tree,
             costs,
-            memo: HashMap::new(),
+            memo: FastHashMap::default(),
         };
         dp.pebble(root, budget)
             .map(|plan| plan.cost() + costs.store * tree.weight(root))
@@ -226,7 +228,7 @@ pub fn schedule_with_costs(tree: &Cdag, budget: Weight, costs: IoCosts) -> Optio
         let mut dp = Dp {
             graph: tree,
             costs,
-            memo: HashMap::new(),
+            memo: FastHashMap::default(),
         };
         let plan = dp.pebble(root, budget)?;
         let mut moves = Vec::new();
@@ -245,9 +247,10 @@ pub fn min_cost_bruteforce(tree: &Cdag, budget: Weight) -> Option<Weight> {
         g: &Cdag,
         v: NodeId,
         b: Weight,
-        memo: &mut HashMap<(NodeId, Weight), Option<Weight>>,
+        memo: &mut FastHashMap<u128, Option<Weight>>,
     ) -> Option<Weight> {
-        if let Some(&hit) = memo.get(&(v, b)) {
+        let key = pack_key(v.index() as u64, b);
+        if let Some(&hit) = memo.get(&key) {
             return hit;
         }
         let preds = g.preds(v).to_vec();
@@ -293,7 +296,7 @@ pub fn min_cost_bruteforce(tree: &Cdag, budget: Weight) -> Option<Weight> {
             });
             best
         })();
-        memo.insert((v, b), result);
+        memo.insert(key, result);
         result
     }
 
@@ -310,7 +313,7 @@ pub fn min_cost_bruteforce(tree: &Cdag, budget: Weight) -> Option<Weight> {
     }
 
     with_large_stack(|| {
-        let mut memo = HashMap::new();
+        let mut memo = FastHashMap::default();
         pt(tree, root, budget, &mut memo).map(|c| c + tree.weight(root))
     })
 }

@@ -141,7 +141,7 @@ impl<'a> State<'a> {
 
     fn finish(mut self) -> Schedule {
         // Stopping condition: store any output still lacking a blue copy.
-        for v in self.graph.sinks() {
+        for &v in self.graph.sinks() {
             if !self.blue[v.index()] {
                 debug_assert!(self.red[v.index()]);
                 self.moves.push(Move::Store(v));

@@ -23,8 +23,8 @@
 //! and validates the result with the ordinary validator.
 
 use crate::stack::with_large_stack;
-use pebblyn_core::{Cdag, NodeId, Weight};
-use std::collections::{BTreeSet, HashMap};
+use pebblyn_core::{pack_key, Cdag, FastHashMap, NodeId, Weight};
+use std::collections::BTreeSet;
 
 /// User-provided initial and reuse fast-memory states.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -104,17 +104,19 @@ fn project(tree: &Cdag, states: &MemoryStates) -> Projections {
 struct Dp<'a> {
     tree: &'a Cdag,
     proj: Projections,
-    memo: HashMap<(NodeId, Weight), Option<Weight>>,
+    /// Keyed by [`pack_key`]`(node, budget)` — one `u128` per state.
+    memo: FastHashMap<u128, Option<Weight>>,
 }
 
 impl<'a> Dp<'a> {
     /// `P_m(v, b, I_v, R_v)` — Eq. (8).
     fn pm(&mut self, v: NodeId, b: Weight) -> Option<Weight> {
-        if let Some(&hit) = self.memo.get(&(v, b)) {
+        let key = pack_key(v.index() as u64, b);
+        if let Some(&hit) = self.memo.get(&key) {
             return hit;
         }
         let result = self.compute(v, b);
-        self.memo.insert((v, b), result);
+        self.memo.insert(key, result);
         result
     }
 
@@ -197,15 +199,16 @@ impl<'a> Dp<'a> {
         let t = self.tree;
         let total_initial: Weight = preds.iter().map(|&p| self.proj.i_weight[p.index()]).sum();
 
-        // frontier: (mask, held weight) -> best cost.
-        let mut frontier: HashMap<(u32, Weight), Weight> = HashMap::new();
-        frontier.insert((0, 0), 0);
-        let full = (1u32 << k) - 1;
-        let mut processed_initial: HashMap<u32, Weight> = HashMap::new();
+        // frontier: pack_key(mask, held weight) -> best cost.
+        let mut frontier: FastHashMap<u128, Weight> = FastHashMap::default();
+        frontier.insert(pack_key(0, 0), 0);
+        let full = (1u64 << k) - 1;
+        let mut processed_initial: FastHashMap<u64, Weight> = FastHashMap::default();
         processed_initial.insert(0, 0);
         for _ in 0..k {
-            let mut next: HashMap<(u32, Weight), Weight> = HashMap::new();
-            for (&(mask, held), &cost) in &frontier {
+            let mut next: FastHashMap<u128, Weight> = FastHashMap::default();
+            for (&state, &cost) in &frontier {
+                let (mask, held) = ((state >> 64) as u64, state as u64 as Weight);
                 let done_initial = processed_initial[&mask];
                 for (i, &p) in preds.iter().enumerate() {
                     if mask & (1 << i) != 0 {
@@ -232,7 +235,7 @@ impl<'a> Dp<'a> {
                         // spill it: store + reload
                         (self.proj.r_weight[pi], 2 * t.weight(p)),
                     ] {
-                        let key = (nmask, held + delta_held);
+                        let key = pack_key(nmask, held + delta_held);
                         let ncost = cost + sub_cost + extra;
                         let slot = next.entry(key).or_insert(Weight::MAX);
                         if ncost < *slot {
@@ -245,7 +248,7 @@ impl<'a> Dp<'a> {
         }
         frontier
             .iter()
-            .filter(|((mask, _), _)| *mask == full)
+            .filter(|(&state, _)| (state >> 64) as u64 == full)
             .map(|(_, &c)| c)
             .min()
     }
@@ -294,7 +297,8 @@ type PlanEntry = Option<(Weight, std::rc::Rc<MPlan>)>;
 struct Planner<'a> {
     tree: &'a Cdag,
     proj: Projections,
-    memo: HashMap<(NodeId, Weight), PlanEntry>,
+    /// Keyed by [`pack_key`]`(node, budget)` — one `u128` per state.
+    memo: FastHashMap<u128, PlanEntry>,
 }
 
 #[derive(Debug)]
@@ -317,11 +321,12 @@ enum MPlan {
 
 impl<'a> Planner<'a> {
     fn pm(&mut self, v: NodeId, b: Weight) -> Option<(Weight, std::rc::Rc<MPlan>)> {
-        if let Some(hit) = self.memo.get(&(v, b)) {
+        let key = pack_key(v.index() as u64, b);
+        if let Some(hit) = self.memo.get(&key) {
             return hit.clone();
         }
         let result = self.compute(v, b);
-        self.memo.insert((v, b), result.clone());
+        self.memo.insert(key, result.clone());
         result
     }
 
@@ -486,7 +491,7 @@ pub fn plan(tree: &Cdag, budget: Weight, states: &MemoryStates) -> Option<Contex
         let mut planner = Planner {
             tree,
             proj: project(tree, states),
-            memo: HashMap::new(),
+            memo: FastHashMap::default(),
         };
         let (cost, mplan) = planner.pm(root, budget)?;
         let mut moves = Vec::new();
@@ -607,7 +612,7 @@ pub fn min_cost_for(
         let mut dp = Dp {
             tree,
             proj: project(tree, states),
-            memo: HashMap::new(),
+            memo: FastHashMap::default(),
         };
         dp.pm(v, budget)
     })

@@ -153,7 +153,7 @@ proptest! {
         let leaves = t.sources();
         let mut initial = Vec::new();
         let mut reuse = Vec::new();
-        for &l in &leaves {
+        for &l in leaves {
             if rand::Rng::gen_bool(&mut rng, 1.0 / 3.0) { initial.push(l); }
             if rand::Rng::gen_bool(&mut rng, 1.0 / 3.0) { reuse.push(l); }
         }
@@ -182,5 +182,126 @@ proptest! {
         for b in [minb, minb + 1, minb + 3, t.total_weight()] {
             prop_assert_eq!(kary::min_cost(&t, b), exact_min_cost(&t, b));
         }
+    }
+
+    /// CSR construction round-trips the builder: for random DAG edge lists,
+    /// the flat adjacency agrees with a naive `Vec<Vec<NodeId>>` layout
+    /// built from the same edges — per-node neighbor order included — and
+    /// the cached sources/sinks/edge-count/topo/ancestors match what the
+    /// naive layout derives.
+    #[test]
+    fn csr_round_trips_builder(seed in 0u64..5000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = rand::Rng::gen_range(&mut rng, 2usize..=24);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        // Every non-root node gets >= 1 predecessor so nothing is isolated.
+        for j in 1..n {
+            let i = rand::Rng::gen_range(&mut rng, 0..j);
+            if seen.insert((i, j)) { edges.push((i, j)); }
+            for _ in 0..rand::Rng::gen_range(&mut rng, 0usize..3) {
+                let i = rand::Rng::gen_range(&mut rng, 0..j);
+                if seen.insert((i, j)) { edges.push((i, j)); }
+            }
+        }
+
+        let mut b = CdagBuilder::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| b.node(rand::Rng::gen_range(&mut rng, 1u64..=9), format!("v{i}")))
+            .collect();
+        for &(x, y) in &edges {
+            b.edge(ids[x], ids[y]);
+        }
+        // Every node with index >= 1 has a predecessor and node 0 has a
+        // successor, so the builder's isolated-node check cannot fire.
+        let g = b.build().expect("random DAG builds");
+
+        // Naive adjacency in edge-insertion order — the pre-CSR layout.
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(x, y) in &edges {
+            preds[y].push(ids[x]);
+            succs[x].push(ids[y]);
+        }
+
+        prop_assert_eq!(g.edge_count(), edges.len());
+        for v in g.nodes() {
+            let i = v.index();
+            prop_assert_eq!(g.preds(v), &preds[i][..]);
+            prop_assert_eq!(g.succs(v), &succs[i][..]);
+            prop_assert_eq!(g.in_degree(v), preds[i].len());
+            prop_assert_eq!(g.out_degree(v), succs[i].len());
+        }
+        let naive_sources: Vec<NodeId> =
+            g.nodes().filter(|v| preds[v.index()].is_empty()).collect();
+        let naive_sinks: Vec<NodeId> =
+            g.nodes().filter(|v| succs[v.index()].is_empty()).collect();
+        prop_assert_eq!(g.sources(), &naive_sources[..]);
+        prop_assert_eq!(g.sinks(), &naive_sinks[..]);
+
+        // topo_order is a permutation where every edge goes forward.
+        let topo = g.topo_order();
+        prop_assert_eq!(topo.len(), n);
+        let mut pos = vec![usize::MAX; n];
+        for (idx, &v) in topo.iter().enumerate() {
+            pos[v.index()] = idx;
+        }
+        for &(x, y) in &edges {
+            prop_assert!(pos[x] < pos[y], "edge ({x}, {y}) violates topo order");
+        }
+
+        // ancestors() agrees with naive reachability over the naive layout.
+        for v in g.nodes() {
+            let anc = g.ancestors(v);
+            let mut naive = vec![false; n];
+            let mut stack = vec![v];
+            while let Some(u) = stack.pop() {
+                for &p in &preds[u.index()] {
+                    if !naive[p.index()] {
+                        naive[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            prop_assert_eq!(anc, naive);
+        }
+    }
+
+    /// A schedule replayed through the struct-of-arrays `MoveStream` path
+    /// is indistinguishable from its `Vec<Move>` form: identical move
+    /// round-trip, identical cost, and the identical validation verdict —
+    /// for valid schedules and corrupted ones alike.
+    #[test]
+    fn move_stream_replay_is_identical(seed in 0u64..2000, cut in 0usize..40) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = pebblyn::graphs::testgraphs::random_layered_dag(3, 4, 1..=8, &mut rng).unwrap();
+        let b = min_feasible_budget(&g);
+        let s = naive::schedule(&g, b).expect("witness at min feasible");
+        let moves: Vec<Move> = s.moves();
+
+        // Round-trip through the stream.
+        let rebuilt = Schedule::from_moves(moves.clone());
+        prop_assert_eq!(&rebuilt, &s);
+        prop_assert_eq!(rebuilt.stream().iter().collect::<Vec<_>>(), moves.clone());
+        for (i, &mv) in moves.iter().enumerate() {
+            prop_assert_eq!(rebuilt.stream().get(i), mv);
+        }
+
+        // Identical verdict and stats via both entry points.
+        let via_schedule = validate_schedule(&g, b, &s);
+        let via_stream = validate_moves(&g, b, moves.iter().copied());
+        prop_assert_eq!(via_schedule.clone(), via_stream);
+        let stats = via_schedule.expect("witness schedule is valid");
+        prop_assert_eq!(stats.cost, s.cost(&g));
+
+        // Corrupt the schedule (truncate at a random point): both paths
+        // must agree on the failure, too.
+        let cut = cut % (moves.len() + 1);
+        let truncated: Vec<Move> = moves[..cut].to_vec();
+        let ts = Schedule::from_moves(truncated.clone());
+        prop_assert_eq!(
+            validate_schedule(&g, b, &ts),
+            validate_moves(&g, b, truncated.iter().copied())
+        );
     }
 }

@@ -18,18 +18,33 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 /// Top-level driver handed to each `criterion_group!` target.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Honours `cargo bench -- --test` like the real crate: in test mode
+    /// every benchmark runs exactly once, so CI can smoke-check that all
+    /// bench targets still execute without paying for a measurement run.
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== {name}");
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
-            sample_size: 10,
+            sample_size: if test_mode { 1 } else { 10 },
             measurement_time: Duration::from_secs(2),
+            test_mode,
         }
     }
 }
@@ -69,18 +84,23 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
     /// Iterations to average over (also bounded by `measurement_time`).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !self.test_mode {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
     /// Wall-clock budget per benchmark.
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.measurement_time = d;
+        if !self.test_mode {
+            self.measurement_time = d;
+        }
         self
     }
 
