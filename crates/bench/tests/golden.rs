@@ -1,0 +1,69 @@
+//! Golden-snapshot guards for the headline artifacts.
+//!
+//! The CSVs committed under `results/` are the paper's tables — quietly
+//! drifting generators (a changed DP, a reordered row, a reformatted
+//! float) must fail loudly, not silently rewrite history.  Each test
+//! reruns the generating binary with `PEBBLYN_RESULTS` pointed at a temp
+//! directory and byte-compares the fresh CSV against the committed one.
+//!
+//! If a change is *intentional*, regenerate and commit:
+//!
+//! ```sh
+//! cargo run --release -p pebblyn-bench --bin table1
+//! cargo run --release -p pebblyn-bench --bin fig7
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Run `bin` with results redirected into a fresh temp dir; return the dir.
+fn regen_into_temp(bin: &str, tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pebblyn-golden-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp results dir");
+    let out = Command::new(bin)
+        .env("PEBBLYN_RESULTS", &dir)
+        .output()
+        .expect("generator binary runs");
+    assert!(
+        out.status.success(),
+        "{bin} exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    dir
+}
+
+fn committed(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name)
+}
+
+fn assert_matches_golden(fresh_dir: &Path, name: &str) {
+    let fresh = std::fs::read(fresh_dir.join(name))
+        .unwrap_or_else(|e| panic!("generator did not produce {name}: {e}"));
+    let golden = std::fs::read(committed(name))
+        .unwrap_or_else(|e| panic!("missing committed golden results/{name}: {e}"));
+    assert!(
+        fresh == golden,
+        "results/{name} no longer matches its generator (byte diff).\n\
+         If the change is intentional, regenerate and commit it.\n\
+         --- committed ---\n{}\n--- regenerated ---\n{}",
+        String::from_utf8_lossy(&golden),
+        String::from_utf8_lossy(&fresh)
+    );
+}
+
+#[test]
+fn table1_minimum_fast_memory_is_reproducible() {
+    let dir = regen_into_temp(env!("CARGO_BIN_EXE_table1"), "table1");
+    assert_matches_golden(&dir, "table_1_minimum_fast_memory.csv");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fig7_reduction_csvs_are_reproducible() {
+    let dir = regen_into_temp(env!("CARGO_BIN_EXE_fig7"), "fig7");
+    assert_matches_golden(&dir, "fig_7_reductions.csv");
+    assert_matches_golden(&dir, "fig_7_synthesized_memories.csv");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -14,6 +14,18 @@ fn pebblyn(args: &[&str]) -> (bool, String, String) {
     )
 }
 
+/// Like [`pebblyn`] but surfaces the exact exit code for error-path tests.
+fn pebblyn_code(args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pebblyn"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 #[test]
 fn schedule_dwt_reports_table1_row() {
     let (ok, stdout, _) = pebblyn(&[
@@ -228,6 +240,86 @@ fn exit_codes_distinguish_usage_from_runtime_errors() {
         .output()
         .expect("binary runs");
     assert_eq!(runtime.status.code(), Some(1));
+}
+
+#[test]
+fn malformed_args_exit_2_with_usage() {
+    // Every flavor of malformed invocation is a `CliError::Usage`: exit
+    // code 2, the offending detail on stderr, and the usage text printed.
+    let cases: [&[&str]; 6] = [
+        &[], // no command at all
+        &[
+            "schedule",
+            "--workload",
+            "dwt",
+            "--n",
+            "eight",
+            "--budget",
+            "1",
+        ], // non-numeric --n
+        &[
+            "schedule",
+            "--workload",
+            "dwt",
+            "--n",
+            "8",
+            "--d",
+            "3",
+            "--budget",
+            "12q",
+        ], // bad budget suffix
+        &["schedule", "--n", "8", "--budget", "100"], // missing --workload
+        &["schedule", "--workload", "teapot", "--budget", "100"], // unknown workload
+        &["synth"], // missing --bits
+    ];
+    for args in cases {
+        let (code, stderr) = pebblyn_code(args);
+        assert_eq!(code, Some(2), "{args:?} should be a usage error: {stderr}");
+        assert!(
+            stderr.contains("USAGE"),
+            "{args:?} must print usage: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn runtime_errors_exit_1_without_usage() {
+    // Infeasible budget: a well-formed invocation that fails at run time
+    // must exit 1 and must NOT dump the usage text over the real message.
+    let (code, stderr) = pebblyn_code(&[
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "1",
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("minimum feasible"), "{stderr}");
+    assert!(
+        !stderr.contains("USAGE"),
+        "runtime error drowned in usage text: {stderr}"
+    );
+
+    // Unwritable --out path: an I/O failure is also a runtime error.
+    let (code, stderr) = pebblyn_code(&[
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "200",
+        "--out",
+        "/nonexistent-dir/sub/sched.txt",
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(!stderr.contains("USAGE"), "{stderr}");
 }
 
 #[test]

@@ -1,0 +1,171 @@
+//! The `conformance` binary: fuzz the scheduler registry, or certify the
+//! harness itself in mutation-smoke mode.
+//!
+//! ```text
+//! cargo run --release -p pebblyn-conformance -- --seed 3 --cases 2000
+//! cargo run --release -p pebblyn-conformance -- --mutation-smoke
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found (or a mutant escaped),
+//! `2` usage error.
+
+use pebblyn_conformance::{mutation_smoke, run, Config};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+USAGE: conformance [OPTIONS]
+
+Differential conformance fuzzing for the pebblyn scheduler stack.
+
+OPTIONS:
+  --seed <N>          master seed (default 3); every case replays from
+                      (seed, index) alone
+  --cases <K>         number of cases (default 1000); in mutation-smoke
+                      mode, the per-mutant hunting budget (default 64)
+  --mutation-smoke    inject known-bad schedulers and verify the oracle
+                      catches every one (certifies the harness itself)
+  --max-states <N>    exact-solver state cap per probe (default 2000000)
+  --failure-out <F>   also write failing shrunk cases to this file
+  --help              print this help
+";
+
+struct Args {
+    seed: u64,
+    cases: Option<u64>,
+    mutation_smoke: bool,
+    max_states: usize,
+    failure_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 3,
+        cases: None,
+        mutation_smoke: false,
+        max_states: 2_000_000,
+        failure_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--cases" => {
+                args.cases = Some(
+                    value("--cases")?
+                        .parse()
+                        .map_err(|e| format!("bad --cases: {e}"))?,
+                );
+            }
+            "--max-states" => {
+                args.max_states = value("--max-states")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-states: {e}"))?;
+            }
+            "--failure-out" => args.failure_out = Some(value("--failure-out")?),
+            "--mutation-smoke" => args.mutation_smoke = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut cfg = Config {
+        seed: args.seed,
+        cases: args
+            .cases
+            .unwrap_or(if args.mutation_smoke { 64 } else { 1000 }),
+        ..Config::default()
+    };
+    cfg.oracle.max_states = args.max_states;
+
+    if args.mutation_smoke {
+        return smoke(&cfg);
+    }
+
+    println!(
+        "conformance: seed {} · {} cases · exact state cap {}",
+        cfg.seed, cfg.cases, cfg.oracle.max_states
+    );
+    let report = run(&cfg);
+    println!(
+        "checked {} cases / {} budget probes · {} exact-certified · {} exact-skipped (state cap)",
+        report.cases, report.budgets, report.exact_certified, report.exact_skipped
+    );
+
+    if report.is_clean() {
+        println!("OK: zero violations");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut body = String::new();
+    for f in &report.failures {
+        body.push_str(&f.to_string());
+        body.push('\n');
+    }
+    println!("{} FAILING CASE(S):\n{body}", report.failures.len());
+    println!(
+        "reproduce any case with: cargo run --release -p pebblyn-conformance -- --seed {} --cases {}",
+        cfg.seed, cfg.cases
+    );
+    if let Some(path) = &args.failure_out {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("failing shrunk cases written to {path}");
+        }
+    }
+    ExitCode::FAILURE
+}
+
+fn smoke(cfg: &Config) -> ExitCode {
+    println!(
+        "mutation smoke: seed {} · up to {} cases per mutant",
+        cfg.seed, cfg.cases
+    );
+    let reports = mutation_smoke(cfg);
+    let mut escaped = 0usize;
+    for r in &reports {
+        if r.caught {
+            let ex = r.example.as_ref().expect("caught implies example");
+            println!(
+                "CAUGHT {} after {} case(s); shrunk to {} nodes at budget {}",
+                r.name,
+                r.cases_tried,
+                ex.shrunk.graph.len(),
+                ex.shrunk.budget
+            );
+            println!("  {}", ex.shrunk_detail);
+        } else {
+            escaped += 1;
+            println!(
+                "ESCAPED {} — survived {} cases undetected (the net has a hole)",
+                r.name, r.cases_tried
+            );
+        }
+    }
+    if escaped == 0 {
+        println!("OK: all {} injected mutants caught", reports.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("{escaped} mutant(s) escaped");
+        ExitCode::FAILURE
+    }
+}

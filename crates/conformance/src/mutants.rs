@@ -1,0 +1,143 @@
+//! Known-bad scheduler wrappers for mutation smoke testing.
+//!
+//! A differential harness is only as good as its ability to *fail*: if an
+//! intentionally broken scheduler sails through, the net has a hole.  Each
+//! mutant here wraps the naive baseline with one classic defect; the smoke
+//! mode in [`crate::mutation_smoke`] asserts the oracle catches every one
+//! and shrinks a counterexample for it.
+//!
+//! The defects are chosen so each trips a *different* oracle relation:
+//!
+//! * [`OffByOneBudget`] — schedules against `budget + gcd` (the classic
+//!   fencepost); its schedule overruns the requested budget at the tight
+//!   probe (`invalid-schedule` / `phantom-feasibility`).
+//! * [`DroppedStore`] — silently drops the final `Store`, leaving a sink
+//!   unsaved (`invalid-schedule`: stopping condition unmet).
+//! * [`CostMisreport`] — returns a cost claim one unit below the replayed
+//!   truth (`cost-claim-mismatch`), the "benchmarks lie" defect.
+//! * [`PhantomFeasible`] — claims feasibility below the minimum feasible
+//!   budget (`phantom-feasibility`), the broken-feasibility-check defect.
+
+use pebblyn_core::{min_feasible_budget, Move, Schedule, Weight};
+use pebblyn_graphs::AnyGraph;
+use pebblyn_schedulers::api::Naive;
+use pebblyn_schedulers::Scheduler;
+
+/// Fencepost: consumes one weight-gcd more budget than requested.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OffByOneBudget;
+
+impl Scheduler for OffByOneBudget {
+    fn name(&self) -> &str {
+        "mutant:off-by-one-budget"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        let step = g.cdag().weight_gcd().max(1);
+        Naive.schedule(g, budget + step)
+    }
+}
+
+/// Drops the last `Store`, so one output never reaches slow memory.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DroppedStore;
+
+impl Scheduler for DroppedStore {
+    fn name(&self) -> &str {
+        "mutant:dropped-store"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        let sched = Naive.schedule(g, budget)?;
+        let mut moves: Vec<Move> = sched.iter().collect();
+        if let Some(pos) = moves.iter().rposition(|m| matches!(m, Move::Store(_))) {
+            moves.remove(pos);
+        }
+        Some(Schedule::from_moves(moves))
+    }
+}
+
+/// Reports one unit less cost than its schedule actually incurs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostMisreport;
+
+impl Scheduler for CostMisreport {
+    fn name(&self) -> &str {
+        "mutant:cost-misreport"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        Naive.schedule(g, budget)
+    }
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+        let sched = self.schedule(g, budget)?;
+        Some(sched.cost(g.cdag()).saturating_sub(1))
+    }
+}
+
+/// Ignores infeasibility: always schedules as if the budget sufficed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhantomFeasible;
+
+impl Scheduler for PhantomFeasible {
+    fn name(&self) -> &str {
+        "mutant:phantom-feasible"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        let minb = min_feasible_budget(g.cdag());
+        Naive.schedule(g, budget.max(minb))
+    }
+}
+
+/// All mutants, in a stable order.
+pub fn all() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(OffByOneBudget),
+        Box::new(DroppedStore),
+        Box::new(CostMisreport),
+        Box::new(PhantomFeasible),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::validate_moves;
+    use pebblyn_graphs::testgraphs;
+    use pebblyn_graphs::WeightScheme;
+
+    #[test]
+    fn mutants_misbehave_on_a_diamond() {
+        let g = testgraphs::diamond(WeightScheme::Equal(2));
+        let any = AnyGraph::custom("diamond", g.clone());
+        let minb = min_feasible_budget(&g);
+
+        // Off-by-one and phantom-feasible return schedules below minb...
+        assert!(OffByOneBudget.schedule(&any, minb - 1).is_some());
+        assert!(PhantomFeasible.schedule(&any, minb - 2).is_some());
+        // ...and those schedules do not actually fit the requested budget.
+        let s = PhantomFeasible.schedule(&any, minb - 2).unwrap();
+        assert!(validate_moves(&g, minb - 2, s.iter()).is_err());
+
+        // The dropped store breaks the stopping condition.
+        let s = DroppedStore.schedule(&any, 4 * g.total_weight()).unwrap();
+        assert!(validate_moves(&g, 4 * g.total_weight(), s.iter()).is_err());
+
+        // The misreporter's claim disagrees with its replay.
+        let b = 4 * g.total_weight();
+        let claimed = CostMisreport.min_cost(&any, b).unwrap();
+        let replayed = validate_moves(&g, b, CostMisreport.schedule(&any, b).unwrap().iter())
+            .unwrap()
+            .cost;
+        assert_ne!(claimed, replayed);
+    }
+}

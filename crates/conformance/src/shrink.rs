@@ -1,0 +1,246 @@
+//! Greedy test-case shrinking.
+//!
+//! Given a failing `(graph, budget)` pair and a predicate that re-checks
+//! whether a candidate still fails, the shrinker greedily applies four
+//! reductions to a fixpoint:
+//!
+//! 1. **drop a node** (with its incident edges),
+//! 2. **drop an edge** (which often unblocks further node removals),
+//! 3. **reduce a node weight** (to 1, else halve),
+//! 4. **reduce the budget** (binary-style steps down, then by 1).
+//!
+//! Each candidate is accepted only if the predicate still reports failure,
+//! so the result is a locally-minimal reproduction of the same defect.
+//! The predicate runs the full oracle, which is cheap at shrunk sizes.
+
+use pebblyn_core::{Cdag, CdagBuilder, NodeId, Weight};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized graph.
+    pub graph: Cdag,
+    /// The minimized budget.
+    pub budget: Weight,
+    /// Number of accepted reduction steps.
+    pub steps: usize,
+}
+
+/// Rebuild the subgraph of `g` induced by `keep`, optionally skipping one
+/// edge (by `(node, pred)` enumeration index).  Nodes that end up isolated
+/// are cascaded away — the model forbids nodes that are both source and
+/// sink, and a shrinker that rejected every such candidate would get stuck
+/// on disconnected components.  Returns `None` when nothing is left.
+fn rebuild(g: &Cdag, mut keep: Vec<bool>, skip_edge: Option<usize>) -> Option<Cdag> {
+    // Cascade: drop isolated nodes until the kept edge set covers every
+    // kept node.
+    loop {
+        let mut deg = vec![0usize; g.len()];
+        let mut idx = 0usize;
+        for u in g.nodes() {
+            for &p in g.preds(u) {
+                let skipped = skip_edge == Some(idx);
+                idx += 1;
+                if skipped || !keep[u.index()] || !keep[p.index()] {
+                    continue;
+                }
+                deg[u.index()] += 1;
+                deg[p.index()] += 1;
+            }
+        }
+        let mut changed = false;
+        for v in 0..g.len() {
+            if keep[v] && deg[v] == 0 {
+                keep[v] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if !keep.iter().any(|&k| k) {
+        return None;
+    }
+
+    let mut new_id = vec![u32::MAX; g.len()];
+    let mut b = CdagBuilder::with_capacity(g.len());
+    for u in g.nodes() {
+        if keep[u.index()] {
+            new_id[u.index()] = b.len() as u32;
+            b.node(g.weight(u), g.name(u).to_string());
+        }
+    }
+    let mut idx = 0usize;
+    for u in g.nodes() {
+        for &p in g.preds(u) {
+            let skipped = skip_edge == Some(idx);
+            idx += 1;
+            if skipped || !keep[u.index()] || !keep[p.index()] {
+                continue;
+            }
+            b.edge(NodeId(new_id[p.index()]), NodeId(new_id[u.index()]));
+        }
+    }
+    b.build().ok()
+}
+
+/// Rebuild `g` without node `v` (plus any nodes the removal isolates).
+/// Returns `None` when nothing valid remains.
+pub fn remove_node(g: &Cdag, v: NodeId) -> Option<Cdag> {
+    if g.len() <= 1 {
+        return None;
+    }
+    let mut keep = vec![true; g.len()];
+    keep[v.index()] = false;
+    rebuild(g, keep, None)
+}
+
+/// Rebuild `g` without its `k`-th edge (in `(node, pred)` enumeration
+/// order), cascading away any node the removal isolates.
+pub fn remove_edge(g: &Cdag, k: usize) -> Option<Cdag> {
+    rebuild(g, vec![true; g.len()], Some(k))
+}
+
+/// Rebuild `g` with node `v`'s weight set to `w`.
+pub fn set_weight(g: &Cdag, v: NodeId, w: Weight) -> Option<Cdag> {
+    if w == 0 {
+        return None;
+    }
+    let mut b = CdagBuilder::with_capacity(g.len());
+    for u in g.nodes() {
+        b.node(if u == v { w } else { g.weight(u) }, g.name(u).to_string());
+    }
+    for u in g.nodes() {
+        for &p in g.preds(u) {
+            b.edge(p, u);
+        }
+    }
+    b.build().ok()
+}
+
+/// Greedily minimize a failing `(graph, budget)` pair.
+///
+/// `still_fails` must return `true` for the input pair; every accepted
+/// reduction preserves that property.
+pub fn shrink(graph: &Cdag, budget: Weight, still_fails: impl Fn(&Cdag, Weight) -> bool) -> Shrunk {
+    let mut g = graph.clone();
+    let mut b = budget;
+    let mut steps = 0usize;
+
+    loop {
+        let mut progress = false;
+
+        // 1. Drop nodes, scanning from the back (late nodes are usually the
+        //    easiest to excise without orphaning others).
+        let mut v = g.len();
+        while v > 0 {
+            v -= 1;
+            if let Some(h) = remove_node(&g, NodeId(v as u32)) {
+                if still_fails(&h, b) {
+                    g = h;
+                    steps += 1;
+                    progress = true;
+                    v = v.min(g.len()); // ids shifted; continue from the same position
+                }
+            }
+        }
+
+        // 2. Drop edges: removing a dependency often unblocks further node
+        //    removals that would otherwise isolate a neighbor.
+        let mut k = g.edge_count();
+        while k > 0 {
+            k -= 1;
+            if let Some(h) = remove_edge(&g, k) {
+                if still_fails(&h, b) {
+                    g = h;
+                    steps += 1;
+                    progress = true;
+                    k = k.min(g.edge_count());
+                }
+            }
+        }
+
+        // 3. Reduce weights: straight to 1, else halve.
+        for v in 0..g.len() {
+            let v = NodeId(v as u32);
+            let w = g.weight(v);
+            if w <= 1 {
+                continue;
+            }
+            for cand in [1, w / 2] {
+                if cand == 0 || cand >= w {
+                    continue;
+                }
+                if let Some(h) = set_weight(&g, v, cand) {
+                    if still_fails(&h, b) {
+                        g = h;
+                        steps += 1;
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 4. Reduce the budget: halving first, then unit steps.
+        while b > 1 && still_fails(&g, b / 2) {
+            b /= 2;
+            steps += 1;
+            progress = true;
+        }
+        while b > 0 && still_fails(&g, b - 1) {
+            b -= 1;
+            steps += 1;
+            progress = true;
+        }
+
+        if !progress {
+            return Shrunk {
+                graph: g,
+                budget: b,
+                steps,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use pebblyn_core::min_feasible_budget;
+
+    #[test]
+    fn remove_node_shifts_ids() {
+        let g = generate(13, 0).graph; // a chain
+        let n = g.len();
+        let h = remove_node(&g, NodeId(0)).expect("chain tail is removable");
+        assert_eq!(h.len(), n - 1);
+    }
+
+    #[test]
+    fn shrinks_a_weight_predicate_to_the_minimum() {
+        // Predicate: "some node has weight >= 2". Minimal failing case is a
+        // single heavy edge pair — 2 nodes, one weight-2 node.
+        let g = generate(17, 3).graph; // INVARIANT profile: big and heavy
+        let total = g.total_weight();
+        let out = shrink(&g, total, |h, _| h.nodes().any(|v| h.weight(v) >= 2));
+        assert!(out.graph.len() <= 2, "left {} nodes", out.graph.len());
+        assert!(out.graph.nodes().any(|v| out.graph.weight(v) == 2));
+        assert_eq!(out.budget, 0);
+        assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn shrink_preserves_failure_under_oracle_style_predicate() {
+        // Predicate tied to both graph and budget: budget below feasibility.
+        let g = generate(19, 1).graph;
+        let minb = min_feasible_budget(&g);
+        let out = shrink(&g, minb.saturating_sub(1), |h, b| {
+            b < min_feasible_budget(h)
+        });
+        assert!(out.budget < min_feasible_budget(&out.graph));
+        assert!(out.graph.len() <= 2);
+    }
+}

@@ -35,6 +35,8 @@
 //! * [`graphs`] — DWT / MVM / k-ary tree constructions,
 //! * [`schedulers`] — the paper's algorithms plus baselines,
 //! * [`exact`] — exhaustive optimal search for certification,
+//! * [`conformance`] — the differential fuzzing harness that certifies
+//!   every scheduler against [`exact`] on randomized CDAGs,
 //! * [`baselines`] — IOOpt-style analytic bounds,
 //! * [`engine`] — the parallel sweep engine (`workloads × budgets ×
 //!   schedulers` plans with memoized evaluation),
@@ -48,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use pebblyn_baselines as baselines;
+pub use pebblyn_conformance as conformance;
 pub use pebblyn_core as core;
 pub use pebblyn_engine as engine;
 pub use pebblyn_exact as exact;

@@ -90,7 +90,10 @@ impl Scheduler for DwtOpt {
     }
 }
 
-/// Theorem 3.8 — the optimal k-ary (in-tree) dynamic program.
+/// Theorem 3.8 — the k-ary (in-tree) dynamic program.  Optimal within
+/// contiguous subtree evaluations; certifiably globally optimal when
+/// [`kary::contiguous_evaluation_safe`] holds (see the module docs for the
+/// counterexample the conformance fuzzer found outside that regime).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Kary;
 

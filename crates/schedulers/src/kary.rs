@@ -16,6 +16,22 @@
 //! same decision space in `O(3^k)`-ish work per node without changing the
 //! optimum.  [`min_cost_bruteforce`] keeps the literal `σ, δ` enumeration
 //! for cross-checking.
+//!
+//! # Optimality caveat (found by the conformance fuzzer)
+//!
+//! Eq. (6) minimises over *contiguous* evaluations: each parent subtree is
+//! pebbled start-to-finish before the next begins (modulo keep/spill of
+//! finished roots).  On arbitrary weighted in-trees that is not always
+//! globally optimal — a schedule may *pause* a subtree at a light interior
+//! node, evaluate a sibling while holding less red weight than the
+//! subtree's (heavier) root would occupy, and resume afterwards.  The
+//! differential harness in `pebblyn-conformance` shrank a 7-node witness:
+//! a chain `8→6→1→6` feeding the sink alongside a branch `8→1`, at the
+//! minimum feasible budget 14, where interleaving costs 17 but the best
+//! contiguous schedule costs 19.  [`contiguous_evaluation_safe`] gives a
+//! sufficient condition under which pausing can never win and the DP is
+//! therefore certifiably optimal; outside it the DP remains a valid upper
+//! bound (every emitted schedule still replays cleanly).
 
 use crate::dwt_opt::IoCosts;
 use crate::stack::with_large_stack;
@@ -185,6 +201,34 @@ impl<'a> Dp<'a> {
             cost: best.1.cost,
         }))
     }
+}
+
+/// Sufficient condition for Eq. (6)'s contiguity restriction to be lossless
+/// on `tree`: every computed node is no heavier than the lightest node in
+/// its subtree (the nodes that transitively feed it).
+///
+/// Under this condition, any "paused" partial evaluation of a subtree holds
+/// a frontier at least as heavy as the finished root, so finishing the
+/// subtree first frees at least as much budget for its siblings and
+/// contiguous evaluation dominates.  Equal-weight trees satisfy it
+/// trivially; so do accumulation trees whose node weights shrink toward the
+/// sink.  The witness in the module docs (heavy node above a weight-1
+/// interior node) violates it, and there the DP is suboptimal by 2.
+pub fn contiguous_evaluation_safe(tree: &Cdag) -> bool {
+    // min_sub[v] = lightest weight in the subtree rooted at v (v included),
+    // computable in one topological pass since preds precede v.
+    let mut min_sub = vec![Weight::MAX; tree.len()];
+    for &v in tree.topo_order() {
+        let mut m = tree.weight(v);
+        for &p in tree.preds(v) {
+            m = m.min(min_sub[p.index()]);
+        }
+        min_sub[v.index()] = m;
+        if !tree.is_source(v) && tree.weight(v) > m {
+            return false;
+        }
+    }
+    true
 }
 
 fn tree_root(tree: &Cdag) -> NodeId {
@@ -401,6 +445,66 @@ mod tests {
         let t = chain(10, WeightScheme::Equal(4)).unwrap();
         let minb = min_feasible_budget(&t);
         assert_eq!(min_cost(&t, minb), Some(8));
+    }
+
+    #[test]
+    fn contiguity_safety_predicate() {
+        // Equal weights: trivially safe.
+        assert!(contiguous_evaluation_safe(
+            &full_kary(2, 3, WeightScheme::Equal(2)).unwrap()
+        ));
+        assert!(contiguous_evaluation_safe(
+            &chain(8, WeightScheme::Equal(5)).unwrap()
+        ));
+        // A heavy node above a light interior node: unsafe.
+        assert!(!contiguous_evaluation_safe(&fuzzer_witness()));
+    }
+
+    /// The shrunk counterexample the conformance fuzzer found (seed 3):
+    /// chain 8→6→1→6 into the sink, plus a branch 8→1.  At the minimum
+    /// feasible budget the global optimum (17) pauses the chain at the
+    /// weight-1 node to evaluate the branch; the best *contiguous*
+    /// schedule — Eq. (6)'s whole decision space — costs 19.
+    fn fuzzer_witness() -> Cdag {
+        let mut b = pebblyn_core::CdagBuilder::new();
+        let root = b.node(1, "root");
+        let t1 = b.node(6, "t1");
+        let t2 = b.node(1, "t2");
+        let leaf3 = b.node(8, "leaf3");
+        let t4 = b.node(1, "t4");
+        let t6 = b.node(6, "t6");
+        let t7 = b.node(8, "t7");
+        b.edge(t1, root);
+        b.edge(t2, root);
+        b.edge(t4, t1);
+        b.edge(leaf3, t2);
+        b.edge(t6, t4);
+        b.edge(t7, t6);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn known_suboptimality_outside_the_safe_regime() {
+        let t = fuzzer_witness();
+        let minb = min_feasible_budget(&t);
+        assert_eq!(minb, 14);
+        // The DP is internally consistent (matches the literal Eq. (6)
+        // enumeration, emits a valid schedule at its claimed cost)...
+        assert_eq!(min_cost(&t, minb), Some(19));
+        assert_eq!(min_cost_bruteforce(&t, minb), Some(19));
+        let s = schedule(&t, minb).unwrap();
+        assert_eq!(validate_schedule(&t, minb, &s).unwrap().cost, 19);
+        // ...but interleaved evaluation beats every contiguous order, so
+        // the exact optimum is strictly lower.  This pins the gap the
+        // conformance fuzzer found; the oracle asserts kary == exact only
+        // on contiguous_evaluation_safe trees.
+        assert_eq!(pebblyn_exact::exact_min_cost(&t, minb), Some(17));
+        // With two extra units of budget the interleaving advantage
+        // disappears and the DP is optimal again.
+        assert_eq!(
+            min_cost(&t, minb + 2),
+            pebblyn_exact::exact_min_cost(&t, minb + 2)
+        );
     }
 
     #[test]

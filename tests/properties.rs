@@ -1,10 +1,25 @@
 //! Property-based tests over randomly generated workloads: the invariants
 //! every scheduler must uphold regardless of shape, weights, or budget.
 
+use pebblyn::conformance::metamorphic::scale_weights;
 use pebblyn::prelude::*;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Multiply every node weight produced by a scheme by `s`.  All three
+/// variants assign weights linearly in their parameters, so scaling the
+/// parameters scales the whole graph uniformly.
+fn scale_scheme(scheme: WeightScheme, s: Weight) -> WeightScheme {
+    match scheme {
+        WeightScheme::Equal(w) => WeightScheme::Equal(s * w),
+        WeightScheme::DoubleAccumulator(w) => WeightScheme::DoubleAccumulator(s * w),
+        WeightScheme::Custom { input, compute } => WeightScheme::Custom {
+            input: s * input,
+            compute: s * compute,
+        },
+    }
+}
 
 fn arb_scheme() -> impl Strategy<Value = WeightScheme> {
     prop_oneof![
@@ -303,5 +318,144 @@ proptest! {
             validate_schedule(&g, b, &ts),
             validate_moves(&g, b, truncated.iter().copied())
         );
+    }
+
+    /// Budget monotonicity for the DWT DP: more fast memory never costs
+    /// more I/O, at budget probes spread across the whole feasible range
+    /// (not just lattice points), and the ample-budget end touches the
+    /// lower bound.
+    #[test]
+    fn dwt_budget_monotonicity(k in 1usize..5, d in 1usize..5, scheme in arb_scheme()) {
+        let n = k << d;
+        let dwt = DwtGraph::new(n, d, scheme).unwrap();
+        let g = dwt.cdag();
+        let minb = min_feasible_budget(g);
+        let total = g.total_weight();
+        let mut prev: Option<Weight> = None;
+        let mut samples = 0usize;
+        for i in 0..=16u64 {
+            let b = minb + (total - minb) * i / 16;
+            if let Some(c) = dwt_opt::min_cost(&dwt, b) {
+                if let Some(p) = prev {
+                    prop_assert!(c <= p, "cost rose {} -> {} at budget {}", p, c, b);
+                }
+                prev = Some(c);
+                samples += 1;
+            }
+        }
+        prop_assert!(samples >= 2, "monotonicity probe vacuous: {samples} feasible budgets");
+        prop_assert_eq!(prev, Some(algorithmic_lower_bound(g)));
+    }
+
+    /// Budget monotonicity for the memory-state DP, with random
+    /// initial/reuse leaf sets in play: more fast memory never costs more,
+    /// and feasibility is upward-closed over the probed budgets.
+    #[test]
+    fn memstate_budget_monotonicity(seed in 0u64..3000, internal in 1usize..6) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = tree::random_weighted_tree(internal, 2, 1..=6, &mut rng).unwrap();
+        prop_assume!(t.max_in_degree() <= 2);
+        let leaves = t.sources();
+        let mut initial = Vec::new();
+        let mut reuse = Vec::new();
+        for &l in leaves {
+            if rand::Rng::gen_bool(&mut rng, 1.0 / 3.0) { initial.push(l); }
+            if rand::Rng::gen_bool(&mut rng, 1.0 / 3.0) { reuse.push(l); }
+        }
+        let states = MemoryStates::new(initial, reuse);
+        let minb = min_feasible_budget(&t);
+        let top = t.total_weight() + 8;
+        let mut prev: Option<Weight> = None;
+        for i in 0..=12u64 {
+            let b = minb + (top - minb) * i / 12;
+            match memstate::min_cost(&t, b, &states) {
+                Some(c) => {
+                    if let Some(p) = prev {
+                        prop_assert!(c <= p, "cost rose {} -> {} at budget {}", p, c, b);
+                    }
+                    prev = Some(c);
+                }
+                None => prop_assert!(
+                    prev.is_none(),
+                    "feasibility not upward-closed: infeasible at {} after a feasible budget", b
+                ),
+            }
+        }
+        prop_assert!(prev.is_some(), "ample budget {} still infeasible", top);
+    }
+
+    /// Weight scaling is a symmetry of the k-ary DP: multiplying every
+    /// node weight by `s` multiplies the DP's cost at budget `s * b` by
+    /// exactly `s` — the recurrence is weight-linear, so the claim holds
+    /// for the DP value even on trees where the DP is not globally optimal.
+    #[test]
+    fn kary_cost_scales_with_weights(
+        seed in 0u64..3000, internal in 1usize..6, kmax in 1usize..4, s in 2u64..6
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = tree::random_weighted_tree(internal, kmax, 1..=9, &mut rng).unwrap();
+        let scaled = scale_weights(&t, s);
+        let minb = min_feasible_budget(&t);
+        prop_assert_eq!(min_feasible_budget(&scaled), s * minb);
+        for b in [minb, minb + 1, minb + t.weight_gcd(), (minb + t.total_weight()) / 2, t.total_weight()] {
+            prop_assert_eq!(
+                kary::min_cost(&scaled, s * b),
+                kary::min_cost(&t, b).map(|c| s * c),
+                "budget {}", b
+            );
+        }
+    }
+
+    /// Weight scaling is a symmetry of the DWT DP, across every weight
+    /// scheme: `min_cost` on the `s`-scaled scheme at budget `s * b` is
+    /// exactly `s` times `min_cost` on the original at `b` — including
+    /// agreement on infeasibility.
+    #[test]
+    fn dwt_cost_scales_with_weights(
+        k in 1usize..5, d in 1usize..5, scheme in arb_scheme(), s in 2u64..5
+    ) {
+        let n = k << d;
+        let dwt = DwtGraph::new(n, d, scheme).unwrap();
+        let scaled = DwtGraph::new(n, d, scale_scheme(scheme, s)).unwrap();
+        let g = dwt.cdag();
+        let minb = min_feasible_budget(g);
+        prop_assert_eq!(min_feasible_budget(scaled.cdag()), s * minb);
+        let total = g.total_weight();
+        for b in [minb.saturating_sub(1), minb, minb + g.weight_gcd(), (minb + total) / 2, total] {
+            prop_assert_eq!(
+                dwt_opt::min_cost(&scaled, s * b),
+                dwt_opt::min_cost(&dwt, b).map(|c| s * c),
+                "budget {}", b
+            );
+        }
+    }
+
+    /// Weight scaling is a symmetry of the memory-state DP even with
+    /// nonempty initial/reuse sets: the state semantics are structural
+    /// (which leaves are resident / rematerializable), so scaling weights
+    /// and budget together scales the cost exactly.
+    #[test]
+    fn memstate_cost_scales_with_weights(seed in 0u64..3000, internal in 1usize..6, s in 2u64..5) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = tree::random_weighted_tree(internal, 2, 1..=6, &mut rng).unwrap();
+        prop_assume!(t.max_in_degree() <= 2);
+        let leaves = t.sources();
+        let mut initial = Vec::new();
+        let mut reuse = Vec::new();
+        for &l in leaves {
+            if rand::Rng::gen_bool(&mut rng, 1.0 / 3.0) { initial.push(l); }
+            if rand::Rng::gen_bool(&mut rng, 1.0 / 3.0) { reuse.push(l); }
+        }
+        let states = MemoryStates::new(initial, reuse);
+        // scale_weights preserves node ids, so the same state sets apply.
+        let scaled = scale_weights(&t, s);
+        let minb = min_feasible_budget(&t);
+        for b in [minb, minb + 2, (minb + t.total_weight()) / 2, t.total_weight() + 8] {
+            prop_assert_eq!(
+                memstate::min_cost(&scaled, s * b, &states),
+                memstate::min_cost(&t, b, &states).map(|c| s * c),
+                "budget {}", b
+            );
+        }
     }
 }
