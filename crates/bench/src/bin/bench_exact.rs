@@ -1,0 +1,188 @@
+//! Exact-search micro-benchmark: the bound-guided A\* against the plain
+//! Dijkstra baseline it replaced.
+//!
+//! For each certification-suite workload the binary runs both solvers at
+//! the same budget and reports expanded states and wall time, then writes
+//! `results/bench_exact.json`.  The baseline is
+//! [`ExactSolver::dijkstra_baseline`] — no heuristic, no dominance
+//! pruning, raw four-move successor relation — which is byte-identical in
+//! behaviour to the pre-A\* solver, so the comparison measures exactly the
+//! three pruning levers.  Expanded-state counts are deterministic on any
+//! host; wall times are same-host single-run measurements and only
+//! meaningful as ratios.
+
+use pebblyn::exact::{ExactSolver, Solution, StateLimitExceeded};
+use pebblyn::prelude::*;
+use pebblyn_bench::results_dir;
+use std::time::Instant;
+
+/// One workload/budget instance both solvers race on.
+struct Case {
+    name: &'static str,
+    workload: &'static str,
+    graph: Cdag,
+    budget: Weight,
+}
+
+/// A 16-node reconvergent mesh: 4 sources feeding 12 interior joins, each
+/// consuming its two predecessors plus a periodic long-range operand, so
+/// diamonds stack and shared operands stay live across the frontier.  This
+/// is the shape class the 16-node EXHAUSTIVE certification regime must
+/// dispatch under the 5M-state cap.
+fn reconvergent_mesh16() -> Cdag {
+    let mut b = CdagBuilder::with_capacity(16);
+    let ids: Vec<NodeId> = (0..16)
+        .map(|i| b.node(1 + (i as Weight) % 2, format!("m{i}")))
+        .collect();
+    for j in 4..16 {
+        b.edge(ids[j - 1], ids[j]);
+        b.edge(ids[j - 4], ids[j]);
+        if j % 3 == 0 {
+            b.edge(ids[j - 3], ids[j]);
+        }
+    }
+    b.build().expect("mesh is a connected DAG")
+}
+
+fn cases() -> Vec<Case> {
+    let dwt = DwtGraph::new(8, 2, WeightScheme::Equal(4)).unwrap();
+    let tree = pebblyn::graphs::tree::full_kary(2, 3, WeightScheme::Equal(2)).unwrap();
+    let fft = pebblyn::graphs::testgraphs::fft_butterfly(2, WeightScheme::Equal(2)).unwrap();
+    let mesh = reconvergent_mesh16();
+    let b_dwt = min_feasible_budget(dwt.cdag());
+    let b_tree = min_feasible_budget(&tree) + 2;
+    let b_fft = min_feasible_budget(&fft) + 4;
+    let b_mesh = min_feasible_budget(&mesh);
+    vec![
+        Case {
+            name: "dwt8x2_minb",
+            workload: "DWT(8,2) Equal(4) at min feasible budget",
+            graph: dwt.cdag().clone(),
+            budget: b_dwt,
+        },
+        Case {
+            name: "kary2x3_minb+2",
+            workload: "full binary tree depth 3, budget min+2",
+            graph: tree,
+            budget: b_tree,
+        },
+        Case {
+            name: "fft4_minb+4",
+            workload: "FFT-4 butterfly, budget min+4",
+            graph: fft,
+            budget: b_fft,
+        },
+        Case {
+            name: "mesh16_minb",
+            workload: "16-node reconvergent mesh at min feasible budget",
+            graph: mesh,
+            budget: b_mesh,
+        },
+    ]
+}
+
+struct Run {
+    cost: Option<Weight>,
+    states: usize,
+    capped: bool,
+    ms: f64,
+}
+
+fn run(solver: &ExactSolver, g: &Cdag, budget: Weight) -> Run {
+    let t = Instant::now();
+    let r: Result<Solution, StateLimitExceeded> = solver.solve(g, budget);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    match r {
+        Ok(sol) => Run {
+            cost: sol.cost,
+            states: sol.stats.expanded,
+            capped: false,
+            ms,
+        },
+        Err(e) => Run {
+            cost: None,
+            states: e.states_expanded,
+            capped: true,
+            ms,
+        },
+    }
+}
+
+fn main() {
+    let astar = ExactSolver::default();
+    let baseline = ExactSolver::dijkstra_baseline();
+    println!("exact search micro-bench: plain Dijkstra vs bound-guided A*\n");
+    println!(
+        "{:<16} {:>6} {:>12} {:>10} {:>12} {:>10} {:>8}",
+        "case", "budget", "dij states", "dij ms", "A* states", "A* ms", "shrink"
+    );
+
+    let mut entries = String::new();
+    for case in cases() {
+        let before = run(&baseline, &case.graph, case.budget);
+        let after = run(&astar, &case.graph, case.budget);
+        assert!(!after.capped, "{}: A* hit the state cap", case.name);
+        if !before.capped {
+            assert_eq!(
+                before.cost, after.cost,
+                "{}: solvers disagree on the optimum",
+                case.name
+            );
+        }
+        let shrink = before.states as f64 / (after.states.max(1)) as f64;
+        println!(
+            "{:<16} {:>6} {:>11}{} {:>10.1} {:>12} {:>10.1} {:>7.1}x",
+            case.name,
+            case.budget,
+            before.states,
+            if before.capped { "+" } else { " " },
+            before.ms,
+            after.states,
+            after.ms,
+            shrink,
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            r#"    {{
+      "bench": "{name}",
+      "workload": "{workload}",
+      "budget": {budget},
+      "optimal_cost": {cost},
+      "before_states_expanded": {bs},
+      "before_hit_state_cap": {bc},
+      "before_ms": {bms:.1},
+      "after_states_expanded": {as_},
+      "after_ms": {ams:.1},
+      "state_reduction": {shrink:.1}
+    }}"#,
+            name = case.name,
+            workload = case.workload,
+            budget = case.budget,
+            cost = after.cost.map_or_else(|| "null".into(), |c| c.to_string()),
+            bs = before.states,
+            bc = before.capped,
+            bms = before.ms,
+            as_ = after.states,
+            ams = after.ms,
+            shrink = shrink,
+        ));
+    }
+
+    let json = format!(
+        r#"{{
+  "description": "Exact-solver search benchmark: expanded states and wall time for the plain Dijkstra baseline (no heuristic, no dominance, raw four-move successors — the pre-A* solver) vs the bound-guided A* (forced-reload bound, dominance pruning, macro moves). States-expanded counts are deterministic; wall times are single-run same-host measurements and only the ratios are meaningful across machines. before_hit_state_cap means the baseline exceeded 5M expansions and its count is a lower bound.",
+  "date": "2026-08-06",
+  "host": "linux x86_64, 1 CPU",
+  "command": "cargo run --release -p pebblyn-bench --bin bench_exact",
+  "benchmarks": [
+{entries}
+  ]
+}}
+"#
+    );
+    let path = results_dir().join("bench_exact.json");
+    std::fs::write(&path, json).expect("write bench_exact.json");
+    println!("\n[json] {}", path.display());
+}

@@ -135,13 +135,34 @@ fn main() {
     println!("[json] {}", path.display());
 
     let memo = Memo::global();
+    let points: usize = results.iter().map(|r| r.rows.len()).sum();
     let point_ns: u64 = results.iter().map(SweepResult::total_wall_ns).sum();
     println!(
-        "engine: {} points in {:.2}s wall ({:.2}s point time; memo {} hits / {} misses)",
-        results.iter().map(|r| r.rows.len()).sum::<usize>(),
+        "engine: {points} points in {:.2}s wall ({:.2}s point time; memo {} hits / {} misses)",
         started.elapsed().as_secs_f64(),
         point_ns as f64 / 1e9,
         memo.hits(),
         memo.misses(),
     );
+
+    // Engine-cache effectiveness, as a separate artifact so the sweep JSON
+    // above stays byte-stable across engine-internals changes.
+    let (hits, misses) = (memo.hits(), memo.misses());
+    let memo_json = format!(
+        r#"{{
+  "description": "Engine memo-table effectiveness for the Figure 5 sweeps: every (graph, scheduler, budget) evaluation goes through the process-wide Memo; hits are evaluations answered from cache. Counters cover this process run (panel selection changes them).",
+  "command": "cargo run --release -p pebblyn-bench --bin fig5",
+  "panel": "{panel}",
+  "sweep_points": {points},
+  "point_time_ns": {point_ns},
+  "memo_hits": {hits},
+  "memo_misses": {misses},
+  "memo_hit_rate": {rate:.4}
+}}
+"#,
+        rate = hits as f64 / (hits + misses).max(1) as f64,
+    );
+    let memo_path = results_dir().join("sweep_memo.json");
+    std::fs::write(&memo_path, memo_json).expect("write sweep memo json");
+    println!("[json] {}", memo_path.display());
 }

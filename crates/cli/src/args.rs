@@ -18,11 +18,12 @@ COMMANDS:
   schedule     generate and validate a schedule for a workload
   min-memory   compute the minimum fast memory size (Definition 2.6)
   sweep        print cost vs fast-memory-size series for a workload
+  exact        solve a workload optimally (bound-guided A* search)
   synth        synthesize an SRAM macro for a capacity
   trace        render a schedule's fast-memory occupancy over time
   dot          print the workload CDAG in Graphviz DOT format
 
-WORKLOAD OPTIONS (schedule, min-memory, sweep, dot):
+WORKLOAD OPTIONS (schedule, min-memory, sweep, exact, dot):
   --workload dwt|mvm|conv|dwt2d|banded
                            (required)
   --n <N>                  DWT/Conv inputs, 2-D image side, or banded
@@ -36,6 +37,13 @@ WORKLOAD OPTIONS (schedule, min-memory, sweep, dot):
   --word <BITS>            word size in bits [default 16]
   --scheduler opt|lbl|naive|tiling|stream|banded|belady
                            scheduler [default: per-workload]
+
+EXACT OPTIONS:
+  --heuristic none|remaining-work|forced-reload
+                           A* guiding lower bound [default forced-reload]
+  --no-dominance           disable dominance pruning
+  --no-tighten             search the raw four-move game (no macro moves)
+  --max-states <N>         expanded-state cap [default 5000000]
 
 OTHER OPTIONS:
   --budget <BITS|Nw>       fast memory budget, bits or words (e.g. 99w)
@@ -91,6 +99,16 @@ pub enum Command {
         scheme: WeightScheme,
         scheduler: Scheduler,
         points: usize,
+    },
+    /// Solve the workload optimally with the bound-guided A* search.
+    Exact {
+        workload: Workload,
+        scheme: WeightScheme,
+        budget: Weight,
+        heuristic: Heuristic,
+        dominance: bool,
+        tighten: bool,
+        max_states: usize,
     },
     /// Synthesize an SRAM macro.
     Synth { bits: u64, word: u64 },
@@ -256,6 +274,26 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 scheme,
                 scheduler: scheduler(&w)?,
                 points: opts.parse_num("--points", 20)?,
+            })
+        }
+        "exact" => {
+            let w = workload()?;
+            let heuristic = match opts.get("--heuristic") {
+                None => Heuristic::default(),
+                Some(s) => Heuristic::parse(s).ok_or_else(|| {
+                    usage(format!(
+                        "unknown --heuristic {s} (none|remaining-work|forced-reload)"
+                    ))
+                })?,
+            };
+            Ok(Command::Exact {
+                workload: w,
+                scheme,
+                budget: budget()?,
+                heuristic,
+                dominance: !opts.flag("--no-dominance"),
+                tighten: !opts.flag("--no-tighten"),
+                max_states: opts.parse_num("--max-states", 5_000_000)?,
             })
         }
         "synth" => Ok(Command::Synth {

@@ -150,6 +150,61 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Exact {
+            workload,
+            scheme,
+            budget,
+            heuristic,
+            dominance,
+            tighten,
+            max_states,
+        } => {
+            let g = AnyGraph::build(workload, scheme)?;
+            let cdag = g.cdag();
+            if cdag.len() > 64 {
+                return Err(CliError::Unsupported(
+                    "the exact solver handles at most 64 nodes; shrink the workload",
+                ));
+            }
+            let solver = ExactSolver::with_max_states(max_states)
+                .with_heuristic(heuristic)
+                .with_dominance(dominance)
+                .with_tighten(tighten);
+            println!("{} under {scheme}, budget {budget} bits", g.name());
+            println!(
+                "solver:      A* · heuristic {} · dominance {} · macro moves {}",
+                heuristic.name(),
+                if dominance { "on" } else { "off" },
+                if tighten { "on" } else { "off" },
+            );
+            let sol = solver.solve(cdag, budget)?;
+            let st = sol.stats;
+            let Some(cost) = sol.cost else {
+                return Err(CliError::Infeasible {
+                    scheduler: "exact A*",
+                    budget,
+                    min_feasible: Some(min_feasible_budget(cdag)),
+                });
+            };
+            println!(
+                "optimum:     {cost} bits (lower bound {}, root bound {})",
+                algorithmic_lower_bound(cdag),
+                st.root_bound
+            );
+            println!(
+                "expanded:    {} states over {} batches ({} generated)",
+                st.expanded, st.batches, st.generated
+            );
+            println!(
+                "pruned:      {} dominated · {} re-reached ({} dominance entries)",
+                st.dominated, st.deduped, st.dominance_entries
+            );
+            println!(
+                "frontier:    {} open at exit · peak {}",
+                st.frontier_left, st.peak_open
+            );
+            Ok(())
+        }
         Command::Synth { bits, word } => {
             let m = SramConfig {
                 capacity_bits: bits,

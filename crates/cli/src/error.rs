@@ -35,6 +35,8 @@ pub enum CliError {
     Unsupported(&'static str),
     /// A minimum-memory search never reached its target.
     Target(&'static str),
+    /// The exact search hit its expanded-state cap.
+    Search(pebblyn::prelude::StateLimitExceeded),
     /// Writing an output file failed.
     Io {
         /// Destination path.
@@ -76,6 +78,7 @@ impl fmt::Display for CliError {
                 min_feasible: None,
             } => write!(f, "no {scheduler} schedule at {budget} bits"),
             CliError::Io { path, source } => write!(f, "writing {path}: {source}"),
+            CliError::Search(e) => write!(f, "{e}; raise --max-states to keep searching"),
         }
     }
 }
@@ -88,6 +91,12 @@ impl std::error::Error for CliError {
             CliError::Io { source, .. } => Some(source),
             _ => None,
         }
+    }
+}
+
+impl From<pebblyn::prelude::StateLimitExceeded> for CliError {
+    fn from(e: pebblyn::prelude::StateLimitExceeded) -> Self {
+        CliError::Search(e)
     }
 }
 

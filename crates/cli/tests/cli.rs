@@ -338,6 +338,109 @@ fn mismatched_scheduler_is_rejected() {
 }
 
 #[test]
+fn exact_solves_small_dwt_optimally() {
+    let (ok, stdout, _) = pebblyn(&[
+        "exact",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "200",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("optimum:     256 bits"), "{stdout}");
+    assert!(stdout.contains("expanded:"), "{stdout}");
+    assert!(stdout.contains("heuristic forced-reload"), "{stdout}");
+}
+
+#[test]
+fn exact_ablation_flags_change_the_report_not_the_optimum() {
+    // A smaller instance than the default-path test: the fully ablated
+    // solver is the unpruned Dijkstra and blows the state cap on graphs
+    // the guided search dispatches instantly.
+    let base = &[
+        "exact",
+        "--workload",
+        "dwt",
+        "--n",
+        "4",
+        "--d",
+        "2",
+        "--budget",
+        "112",
+    ];
+    let mut ablated: Vec<&str> = base.to_vec();
+    ablated.extend(["--heuristic", "none", "--no-dominance", "--no-tighten"]);
+    let (ok, stdout, _) = pebblyn(&ablated);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("optimum:     128 bits"), "{stdout}");
+    assert!(stdout.contains("heuristic none"), "{stdout}");
+    assert!(stdout.contains("dominance off"), "{stdout}");
+    assert!(stdout.contains("macro moves off"), "{stdout}");
+}
+
+#[test]
+fn exact_bad_flags_are_usage_errors() {
+    // Matching the PR-1 convention: malformed invocations exit 2 with the
+    // usage text; well-formed ones that fail at run time exit 1 without it.
+    let bad: [&[&str]; 3] = [
+        &[
+            "exact",
+            "--workload",
+            "dwt",
+            "--n",
+            "8",
+            "--d",
+            "3",
+            "--budget",
+            "200",
+            "--heuristic",
+            "astar",
+        ],
+        &["exact", "--workload", "dwt", "--n", "8", "--d", "3"], // missing --budget
+        &[
+            "exact",
+            "--workload",
+            "dwt",
+            "--n",
+            "8",
+            "--d",
+            "3",
+            "--budget",
+            "200",
+            "--max-states",
+            "many",
+        ],
+    ];
+    for args in bad {
+        let (code, stderr) = pebblyn_code(args);
+        assert_eq!(code, Some(2), "{args:?}: {stderr}");
+        assert!(stderr.contains("USAGE"), "{args:?}: {stderr}");
+    }
+
+    // Hitting the state cap is a runtime error, not a usage error.
+    let (code, stderr) = pebblyn_code(&[
+        "exact",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "200",
+        "--max-states",
+        "1",
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("state cap"), "{stderr}");
+    assert!(!stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
 fn synth_prints_macro() {
     let (ok, stdout, _) = pebblyn(&["synth", "--bits", "256"]);
     assert!(ok);

@@ -109,15 +109,19 @@ pub struct SizeProfile {
 }
 
 /// Small graphs + small weights: the exact solver can exhaust these.
+///
+/// The 16-node ceiling is what the bound-guided A\* (dominance pruning +
+/// macro moves) makes affordable; the plain Dijkstra that preceded it was
+/// only practical to 12 nodes under the same state cap.
 pub const EXHAUSTIVE: SizeProfile = SizeProfile {
     min_nodes: 3,
-    max_nodes: 12,
+    max_nodes: 16,
     max_weight: 3,
 };
 
 /// Larger graphs checked in invariant-only mode.
 pub const INVARIANT: SizeProfile = SizeProfile {
-    min_nodes: 13,
+    min_nodes: 17,
     max_nodes: 28,
     max_weight: 8,
 };

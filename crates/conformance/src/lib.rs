@@ -112,6 +112,9 @@ pub struct Report {
     pub exact_certified: usize,
     /// Probes where the exact search hit its state cap and was skipped.
     pub exact_skipped: usize,
+    /// Total states the exact solver expanded across the run — the sweep's
+    /// certification cost, and the number the A\* pruning levers drive down.
+    pub exact_states: usize,
     /// Failing cases, shrunk.
     pub failures: Vec<Failure>,
 }
@@ -147,6 +150,7 @@ pub fn run_with_schedulers(cfg: &Config, schedulers: &[&dyn Scheduler]) -> Repor
         report.budgets += out.budgets;
         report.exact_certified += out.exact_certified;
         report.exact_skipped += out.exact_skipped;
+        report.exact_states += out.exact_states;
         if !out.violations.is_empty() {
             report
                 .failures

@@ -10,6 +10,7 @@
 //! `2` usage error.
 
 use pebblyn_conformance::{mutation_smoke, run, Config};
+use pebblyn_core::Heuristic;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -25,6 +26,9 @@ OPTIONS:
   --mutation-smoke    inject known-bad schedulers and verify the oracle
                       catches every one (certifies the harness itself)
   --max-states <N>    exact-solver state cap per probe (default 2000000)
+  --heuristic <H>     exact A* lower bound: none | remaining-work |
+                      forced-reload (default forced-reload)
+  --no-dominance      disable the exact solver's dominance pruning
   --failure-out <F>   also write failing shrunk cases to this file
   --help              print this help
 ";
@@ -34,6 +38,8 @@ struct Args {
     cases: Option<u64>,
     mutation_smoke: bool,
     max_states: usize,
+    heuristic: Heuristic,
+    dominance: bool,
     failure_out: Option<String>,
 }
 
@@ -43,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         cases: None,
         mutation_smoke: false,
         max_states: 2_000_000,
+        heuristic: Heuristic::default(),
+        dominance: true,
         failure_out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -66,6 +74,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --max-states: {e}"))?;
             }
+            "--heuristic" => {
+                let v = value("--heuristic")?;
+                args.heuristic = Heuristic::parse(&v).ok_or_else(|| {
+                    format!(
+                        "bad --heuristic: {v:?} (expected none | remaining-work | forced-reload)"
+                    )
+                })?;
+            }
+            "--no-dominance" => args.dominance = false,
             "--failure-out" => args.failure_out = Some(value("--failure-out")?),
             "--mutation-smoke" => args.mutation_smoke = true,
             "--help" | "-h" => return Err(String::new()),
@@ -95,19 +112,29 @@ fn main() -> ExitCode {
         ..Config::default()
     };
     cfg.oracle.max_states = args.max_states;
+    cfg.oracle.heuristic = args.heuristic;
+    cfg.oracle.dominance = args.dominance;
 
     if args.mutation_smoke {
         return smoke(&cfg);
     }
 
     println!(
-        "conformance: seed {} · {} cases · exact state cap {}",
-        cfg.seed, cfg.cases, cfg.oracle.max_states
+        "conformance: seed {} · {} cases · exact state cap {} · heuristic {}{}",
+        cfg.seed,
+        cfg.cases,
+        cfg.oracle.max_states,
+        cfg.oracle.heuristic.name(),
+        if cfg.oracle.dominance {
+            ""
+        } else {
+            " · dominance off"
+        }
     );
     let report = run(&cfg);
     println!(
-        "checked {} cases / {} budget probes · {} exact-certified · {} exact-skipped (state cap)",
-        report.cases, report.budgets, report.exact_certified, report.exact_skipped
+        "checked {} cases / {} budget probes · {} exact-certified · {} exact-skipped (state cap) · {} states expanded",
+        report.cases, report.budgets, report.exact_certified, report.exact_skipped, report.exact_states
     );
 
     if report.is_clean() {

@@ -24,7 +24,6 @@
 use crate::oracle::{CaseOutcome, OracleConfig, Violation};
 use crate::rng::SplitRng;
 use pebblyn_core::{min_feasible_budget, validate_moves, Cdag, CdagBuilder, NodeId, Weight};
-use pebblyn_exact::ExactSolver;
 use pebblyn_graphs::AnyGraph;
 use pebblyn_schedulers::Scheduler;
 use rand::Rng;
@@ -178,7 +177,7 @@ pub fn check(
 
     // Exact-solver covariances, where the exhaustive pass certified b.
     let Some(opt) = exact_at_b else { return };
-    let solver = ExactSolver::with_max_states(cfg.max_states);
+    let solver = cfg.solver();
 
     match solver.min_cost(&scaled, s * b) {
         Ok(c) => {

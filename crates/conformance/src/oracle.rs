@@ -27,7 +27,8 @@
 
 use crate::gen::TestCase;
 use pebblyn_core::{
-    algorithmic_lower_bound, min_feasible_budget, occupancy_trace, validate_moves, Cdag, Weight,
+    algorithmic_lower_bound, min_feasible_budget, occupancy_trace, validate_moves, Cdag, Heuristic,
+    Weight,
 };
 use pebblyn_exact::ExactSolver;
 use pebblyn_graphs::AnyGraph;
@@ -61,6 +62,10 @@ pub struct OracleConfig {
     /// Exact-solver expanded-state cap; budgets whose search exceeds it are
     /// downgraded to invariant-only (counted in `exact_skipped`).
     pub max_states: usize,
+    /// Lower bound guiding the exact A\* (for pruning ablations).
+    pub heuristic: Heuristic,
+    /// Enable the exact solver's dominance pruning (for ablations).
+    pub dominance: bool,
     /// Cross-check every schedule on the executable machine with real
     /// values (validates outputs against a reference evaluation).
     pub machine_replay: bool,
@@ -74,9 +79,20 @@ impl Default for OracleConfig {
         OracleConfig {
             exhaustive_max_nodes: crate::gen::EXHAUSTIVE.max_nodes,
             max_states: 2_000_000,
+            heuristic: Heuristic::default(),
+            dominance: true,
             machine_replay: true,
             metamorphic: true,
         }
+    }
+}
+
+impl OracleConfig {
+    /// The exact solver this configuration asks for.
+    pub fn solver(&self) -> ExactSolver {
+        ExactSolver::with_max_states(self.max_states)
+            .with_heuristic(self.heuristic)
+            .with_dominance(self.dominance)
     }
 }
 
@@ -113,6 +129,9 @@ pub struct CaseOutcome {
     pub exact_certified: usize,
     /// Budgets where the exact search hit the state cap and was skipped.
     pub exact_skipped: usize,
+    /// Total states the exact solver expanded across this case's probes
+    /// (including capped searches) — the cost of certification.
+    pub exact_states: usize,
     /// All broken relations found (capped per case).
     pub violations: Vec<Violation>,
 }
@@ -193,7 +212,7 @@ fn check_graph_probes(
     let minb = min_feasible_budget(g);
     let lb = algorithmic_lower_bound(g);
     let exhaustive = g.len() <= cfg.exhaustive_max_nodes;
-    let solver = ExactSolver::with_max_states(cfg.max_states);
+    let solver = cfg.solver();
 
     let ops = lincom_ops(g);
     let inputs: Vec<f64> = (0..g.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -213,13 +232,15 @@ fn check_graph_probes(
 
         // Exact optimum for this budget, if exhaustible.
         let exact: Option<Option<Weight>> = if exhaustive {
-            match solver.min_cost(g, b) {
-                Ok(c) => {
+            match solver.solve(g, b) {
+                Ok(sol) => {
                     out.exact_certified += 1;
-                    Some(c)
+                    out.exact_states += sol.stats.expanded;
+                    Some(sol.cost)
                 }
-                Err(_) => {
+                Err(e) => {
                     out.exact_skipped += 1;
+                    out.exact_states += e.states_expanded;
                     None
                 }
             }

@@ -1,7 +1,18 @@
-//! Model-level bounds: schedule existence (Prop. 2.3) and the algorithmic
-//! lower bound (Prop. 2.4).
+//! Model-level bounds: schedule existence (Prop. 2.3), the algorithmic
+//! lower bound (Prop. 2.4), and per-state admissible lower bounds for
+//! best-first search ([`StateBounds`]).
+//!
+//! The per-state bounds generalize Prop. 2.4 from the initial position to an
+//! arbitrary mid-game snapshot `(red, blue)`: the *remaining-work* bound
+//! restricts the loads/stores it counts to not-yet-blue sinks and
+//! never-loaded sources that provably still have to move, and the
+//! *forced-reload* bound additionally charges for the cheapest chain of
+//! loads that can restore an evicted-but-still-needed value.  Both are
+//! admissible (never exceed the true remaining optimal cost), which is what
+//! lets the exact solver run A\* instead of uniform-cost Dijkstra.
 
-use crate::graph::{Cdag, Weight};
+use crate::graph::{Cdag, NodeId, Weight};
+use crate::redset::{mask_iter, mask_weight};
 
 /// The algorithmic lower bound of Proposition 2.4:
 ///
@@ -44,6 +55,189 @@ pub fn schedule_exists(graph: &Cdag, budget: Weight) -> bool {
     budget >= min_feasible_budget(graph)
 }
 
+/// Which admissible per-state lower bound a best-first search applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Heuristic {
+    /// `h ≡ 0`: best-first search degenerates to uniform-cost Dijkstra.
+    None,
+    /// Prop. 2.4 restricted to the not-yet-done endpoints: every not-yet-blue
+    /// sink still costs one store, and every never-loaded source that must
+    /// become red still costs one load.
+    RemainingWork,
+    /// [`Heuristic::RemainingWork`] strengthened with a forced-reload chain
+    /// bound: when a needed interior value has been evicted, the cheapest way
+    /// back to red is a chain of loads, and the best such chain is still a
+    /// valid lower bound.
+    #[default]
+    ForcedReload,
+}
+
+impl Heuristic {
+    /// Stable CLI names, matching `--heuristic {none,remaining-work,forced-reload}`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Heuristic::None => "none",
+            Heuristic::RemainingWork => "remaining-work",
+            Heuristic::ForcedReload => "forced-reload",
+        }
+    }
+
+    /// Parse a CLI name; inverse of [`Heuristic::name`].
+    pub fn parse(s: &str) -> Option<Heuristic> {
+        match s {
+            "none" => Some(Heuristic::None),
+            "remaining-work" => Some(Heuristic::RemainingWork),
+            "forced-reload" => Some(Heuristic::ForcedReload),
+            _ => None,
+        }
+    }
+}
+
+/// Precomputed context for evaluating admissible lower bounds on packed
+/// `(red, blue)` game states of a fixed graph (≤ 64 nodes, one bit per node).
+///
+/// Construction walks the graph once; each bound evaluation is then a few
+/// linear mask passes and never touches the graph again, so it is cheap
+/// enough to run on every generated search state.
+#[derive(Debug, Clone)]
+pub struct StateBounds {
+    weights: Vec<Weight>,
+    pred_masks: Vec<u64>,
+    topo: Vec<NodeId>,
+    source_mask: u64,
+    sink_mask: u64,
+    load_scale: Weight,
+    store_scale: Weight,
+}
+
+impl StateBounds {
+    /// Build the bound context for `graph` with per-bit I/O costs
+    /// (`load_scale` per loaded bit, `store_scale` per stored bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph has more than 64 nodes (the packed-mask limit).
+    pub fn new(graph: &Cdag, load_scale: Weight, store_scale: Weight) -> Self {
+        let n = graph.len();
+        assert!(
+            n <= 64,
+            "per-state bounds support at most 64 nodes (got {n})"
+        );
+        let weights = (0..n).map(|v| graph.weight(NodeId(v as u32))).collect();
+        let pred_masks = (0..n)
+            .map(|v| {
+                graph
+                    .preds(NodeId(v as u32))
+                    .iter()
+                    .fold(0u64, |m, p| m | 1 << p.index())
+            })
+            .collect();
+        StateBounds {
+            weights,
+            pred_masks,
+            topo: graph.topo_order().to_vec(),
+            source_mask: graph.sources().iter().fold(0, |m, v| m | 1 << v.index()),
+            sink_mask: graph.sinks().iter().fold(0, |m, v| m | 1 << v.index()),
+            load_scale,
+            store_scale,
+        }
+    }
+
+    /// The "must still become red" closure `R*` of a state.
+    ///
+    /// Seeded with every sink that is neither red nor blue (it has to be
+    /// computed before it can be stored), then closed backwards: a member
+    /// that is not blue can only first turn red via M3 (compute) — an M1
+    /// load needs a blue pebble, and earning one takes an M2 store which
+    /// itself needs the node red first — so all its non-red predecessors
+    /// must become red too.  Blue members stop the recursion (they may
+    /// simply be reloaded).  Every member is non-red by construction.
+    pub fn needed_mask(&self, red: u64, blue: u64) -> u64 {
+        let mut need = self.sink_mask & !blue & !red;
+        let mut frontier = need;
+        while frontier != 0 {
+            let mut next = 0u64;
+            for v in mask_iter(frontier) {
+                if blue >> v.index() & 1 == 0 {
+                    next |= self.pred_masks[v.index()] & !red & !need;
+                }
+            }
+            need |= next;
+            frontier = next;
+        }
+        need
+    }
+
+    /// Stores that must still happen: every not-yet-blue sink needs at least
+    /// one M2, and those events are pairwise distinct moves.
+    pub fn store_bound(&self, blue: u64) -> Weight {
+        self.store_scale * mask_weight(self.sink_mask & !blue, &self.weights)
+    }
+
+    /// The remaining-work bound: unavoidable sink stores plus unavoidable
+    /// source loads (a source in `R*` can only become red via M1 — sources
+    /// have no predecessors to compute from).  Admissible because the counted
+    /// moves are pairwise distinct events of any completing schedule.
+    pub fn remaining_work(&self, red: u64, blue: u64) -> Weight {
+        let need = self.needed_mask(red, blue);
+        self.store_bound(blue)
+            + self.load_scale * mask_weight(need & self.source_mask, &self.weights)
+    }
+
+    /// The forced-reload bound: [`StateBounds::store_bound`] plus the larger
+    /// of the source-load term and the best forced-reload chain.
+    ///
+    /// For each node `u`, `mk(u)` lower-bounds the load cost any schedule
+    /// pays before `u` can next be red: zero if `u` is red; `load·w_u` if `u`
+    /// is a source (only M1 applies); for interior nodes the compute route
+    /// needs every predecessor red, which costs at least `max_p mk(p)` (max,
+    /// not sum — predecessor chains may share ancestors), and a blue interior
+    /// node may instead be reloaded directly for `load·w_u`, so `mk` takes
+    /// the cheaper route.  The chain term is `max_{u ∈ R*} mk(u)`; it counts
+    /// load events only, which may coincide with the source-load term's, so
+    /// the two are combined with `max`, while store events are disjoint from
+    /// both and add.
+    pub fn forced_reload(&self, red: u64, blue: u64) -> Weight {
+        let need = self.needed_mask(red, blue);
+        let load_term = self.load_scale * mask_weight(need & self.source_mask, &self.weights);
+
+        let mut mk = vec![0 as Weight; self.weights.len()];
+        for &v in &self.topo {
+            let i = v.index();
+            if red >> i & 1 != 0 {
+                continue; // mk = 0
+            }
+            let direct = self.load_scale * self.weights[i];
+            if self.source_mask >> i & 1 != 0 {
+                mk[i] = direct;
+                continue;
+            }
+            let via_preds = mask_iter(self.pred_masks[i])
+                .map(|p| mk[p.index()])
+                .max()
+                .unwrap_or(0);
+            mk[i] = if blue >> i & 1 != 0 {
+                direct.min(via_preds)
+            } else {
+                via_preds
+            };
+        }
+        let chain = mask_iter(need).map(|u| mk[u.index()]).max().unwrap_or(0);
+
+        self.store_bound(blue) + load_term.max(chain)
+    }
+
+    /// Evaluate the selected bound on a state.  Always admissible: the result
+    /// never exceeds the true optimal remaining cost from `(red, blue)`.
+    pub fn lower_bound(&self, red: u64, blue: u64, heuristic: Heuristic) -> Weight {
+        match heuristic {
+            Heuristic::None => 0,
+            Heuristic::RemainingWork => self.remaining_work(red, blue),
+            Heuristic::ForcedReload => self.forced_reload(red, blue),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +268,69 @@ mod tests {
         assert_eq!(min_feasible_budget(&g), 48);
         assert!(schedule_exists(&g, 48));
         assert!(!schedule_exists(&g, 47));
+    }
+
+    #[test]
+    fn heuristic_names_round_trip() {
+        for h in [
+            Heuristic::None,
+            Heuristic::RemainingWork,
+            Heuristic::ForcedReload,
+        ] {
+            assert_eq!(Heuristic::parse(h.name()), Some(h));
+        }
+        assert_eq!(Heuristic::parse("bogus"), None);
+        assert_eq!(Heuristic::default(), Heuristic::ForcedReload);
+    }
+
+    #[test]
+    fn start_state_bound_matches_prop_2_4() {
+        // At the initial position (red = ∅, blue = sources) the per-state
+        // bounds specialize exactly to the algorithmic lower bound.
+        let g = chain();
+        let sb = StateBounds::new(&g, 1, 1);
+        let sources = 1u64; // x is node 0
+        assert_eq!(sb.needed_mask(0, sources), 0b111);
+        assert_eq!(sb.remaining_work(0, sources), algorithmic_lower_bound(&g));
+        assert_eq!(sb.forced_reload(0, sources), algorithmic_lower_bound(&g));
+    }
+
+    #[test]
+    fn forced_reload_charges_for_evicted_interior() {
+        // x(16) -> m(32) -> y(16).  Mid-game: m was computed, stored, and
+        // evicted; nothing is red.  R* is {y, m}: y must be computed, so m
+        // must become red again, but m is blue so the closure stops there
+        // (it may be reloaded) and the source x is not forced.  forced-reload
+        // prices the cheapest way to get m red again: min(reload m = 32,
+        // recompute via x = 16) = 16.
+        let g = chain();
+        let sb = StateBounds::new(&g, 1, 1);
+        let blue = 0b011; // x (source) and m stored
+        assert_eq!(sb.needed_mask(0, blue), 0b110); // sink y + evicted m
+        assert_eq!(sb.remaining_work(0, blue), 16); // store y
+        assert_eq!(sb.forced_reload(0, blue), 16 + 16); // store y + chain to m
+                                                        // True remaining optimum: load x (16), compute m, compute y, store y
+                                                        // (16) = 32, so the bound is tight here and admissible.
+    }
+
+    #[test]
+    fn bounds_are_zero_at_goal() {
+        let g = chain();
+        let sb = StateBounds::new(&g, 1, 1);
+        let all = 0b111;
+        assert_eq!(sb.remaining_work(0, all), 0);
+        assert_eq!(sb.forced_reload(0, all), 0);
+        assert_eq!(sb.lower_bound(0, all, Heuristic::ForcedReload), 0);
+    }
+
+    #[test]
+    fn io_scales_multiply_the_bound_terms() {
+        let g = chain();
+        let sb = StateBounds::new(&g, 3, 5);
+        let sources = 1u64;
+        // 3 × load(x=16) vs chain (same events) + 5 × store(y=16).
+        assert_eq!(sb.remaining_work(0, sources), 3 * 16 + 5 * 16);
+        assert_eq!(sb.forced_reload(0, sources), 3 * 16 + 5 * 16);
     }
 
     #[test]

@@ -30,7 +30,9 @@
 //! * [`validate`] — an independent replayer that checks every game rule and
 //!   the weighted budget at every step, and reports exact statistics,
 //! * [`bounds`] — the algorithmic lower bound (Prop. 2.4), the schedule
-//!   existence criterion (Prop. 2.3) and the minimum feasible budget.
+//!   existence criterion (Prop. 2.3), the minimum feasible budget, and
+//!   admissible per-state lower bounds ([`StateBounds`]) for best-first
+//!   exhaustive search.
 //!
 //! Weights are represented as `u64` *bit counts*.  The paper permits positive
 //! reals of polynomial precision; every experiment in the paper uses integral
@@ -54,13 +56,15 @@ pub mod trace;
 pub mod transform;
 pub mod validate;
 
-pub use bounds::{algorithmic_lower_bound, min_feasible_budget, schedule_exists};
+pub use bounds::{
+    algorithmic_lower_bound, min_feasible_budget, schedule_exists, Heuristic, StateBounds,
+};
 pub use error::{GraphError, ValidityError};
 pub use fasthash::{pack_key, FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use graph::{Cdag, CdagBuilder, NodeId, Weight};
 pub use label::{Label, PebbleState};
 pub use moves::Move;
-pub use redset::RedSet;
+pub use redset::{mask_iter, mask_weight, RedSet};
 pub use schedule::Schedule;
 pub use stream::MoveStream;
 pub use trace::{

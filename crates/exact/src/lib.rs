@@ -1,16 +1,39 @@
-//! # pebblyn-exact — exhaustive optimal WRBPG solver
+//! # pebblyn-exact — bound-guided optimal WRBPG solver
 //!
 //! Computing optimal red-blue pebbling schedules for arbitrary CDAGs is
-//! PSPACE-complete, but for *small* graphs the full game-state space fits in
-//! memory.  This crate runs uniform-cost search (Dijkstra) over complete
-//! game snapshots, yielding the provably minimum weighted schedule cost — and
-//! on request the schedule itself.
+//! PSPACE-hard, but for *small* graphs the full game-state space fits in
+//! memory.  This crate finds the provably minimum weighted schedule cost —
+//! and on request the schedule itself — with best-first **A\*** search over
+//! complete game snapshots, guided by the admissible per-state lower bounds
+//! of [`pebblyn_core::StateBounds`] and pruned three ways:
+//!
+//! * **heuristic guidance** ([`Heuristic`]) — each state is queued at
+//!   `f = g + h` where `h` lower-bounds the remaining cost (unavoidable sink
+//!   stores + source loads, optionally a forced-reload chain), so expansion
+//!   concentrates on states that can still beat the incumbent;
+//! * **dominance pruning** — a state is discarded when a recorded state with
+//!   a red superset, the same blue set, and strictly smaller cost exists
+//!   (deletes are free, so the dominator can reach anything the dominated
+//!   state can, strictly cheaper);
+//! * **successor tightening** — schedule-normalization arguments fuse every
+//!   load block with the compute that consumes it and every store with the
+//!   compute that creates it, and admit deletes only when the budget
+//!   actually blocks a load/compute, collapsing vast equivalent-interleaving
+//!   plateaus of the raw four-move game.
+//!
+//! Frontier expansion is batched and runs through
+//! [`pebblyn_engine::par::par_map`] over a sharded open list with
+//! deterministic tie-breaking, so results (costs, schedules, statistics) are
+//! byte-identical for any thread count.  Every toggle can be switched off —
+//! [`ExactSolver::dijkstra_baseline`] reproduces the PR-2 uniform-cost
+//! search exactly — which is what the conformance harness uses to
+//! differentially certify the optimizations.
 //!
 //! Its purpose in this workspace is **certification**: property tests assert
 //! that the dataflow-specific dynamic programs of `pebblyn-schedulers`
 //! (Algorithm 1, Eq. 6, Eq. 8) match this solver exactly on every small
-//! instance, which is the strongest practical evidence that the DPs implement
-//! the paper's optimality lemmas correctly.
+//! instance, which is the strongest practical evidence that the DPs
+//! implement the paper's optimality lemmas correctly.
 //!
 //! States are a pair of fixed-width bitsets (`red`, `blue`), one bit per
 //! node, so graphs are limited to 64 nodes (far beyond what the search can
@@ -22,76 +45,97 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pebblyn_core::{Cdag, FastHashMap, Move, NodeId, Schedule, Weight};
-use std::collections::hash_map::Entry;
-use std::collections::BinaryHeap;
+mod dominance;
+mod search;
 
-/// Dijkstra maps keyed by packed [`State`]s; two word-folds per probe.
-type StateMap<V> = FastHashMap<State, V>;
+pub use pebblyn_core::Heuristic;
+use pebblyn_core::{Cdag, Schedule, Weight};
 
-/// Error: the search exceeded its state budget.
+/// Error: the search was about to exceed its state budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SearchLimitExceeded {
+pub struct StateLimitExceeded {
     /// The configured maximum number of expanded states.
     pub max_states: usize,
+    /// States actually expanded before giving up (the cap is checked before
+    /// each expansion, so this never overshoots `max_states`).
+    pub states_expanded: usize,
 }
 
-impl std::fmt::Display for SearchLimitExceeded {
+impl std::fmt::Display for StateLimitExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "exact search exceeded {} states", self.max_states)
+        write!(
+            f,
+            "exact search hit its state cap ({} of max {} states expanded)",
+            self.states_expanded, self.max_states
+        )
     }
 }
 
-impl std::error::Error for SearchLimitExceeded {}
+impl std::error::Error for StateLimitExceeded {}
 
-/// Packed game snapshot: one red and one blue bitset word, one bit per node.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
-struct State {
-    red: u64,
-    blue: u64,
+/// Former name of [`StateLimitExceeded`], kept for downstream callers.
+pub type SearchLimitExceeded = StateLimitExceeded;
+
+/// Counters describing one search run; all deterministic for a fixed
+/// solver configuration, graph, and budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// States popped from the open list and expanded.
+    pub expanded: usize,
+    /// Successor states generated (before dedup/dominance filtering).
+    pub generated: usize,
+    /// States discarded by dominance pruning (at generation or expansion).
+    pub dominated: usize,
+    /// Generated successors rejected because a path at least as cheap was
+    /// already known.
+    pub deduped: usize,
+    /// Parallel expansion rounds driven through the sharded worklist.
+    pub batches: usize,
+    /// Largest open-list size observed after a merge.
+    pub peak_open: usize,
+    /// Largest Pareto-antichain size of the dominance store.
+    pub dominance_entries: usize,
+    /// Open-list entries still queued when the goal was settled.
+    pub frontier_left: usize,
+    /// The admissible lower bound evaluated at the start state.
+    pub root_bound: Weight,
 }
 
-impl State {
-    #[inline]
-    fn has_red(self, v: usize) -> bool {
-        self.red >> v & 1 != 0
-    }
-    #[inline]
-    fn has_blue(self, v: usize) -> bool {
-        self.blue >> v & 1 != 0
-    }
-    #[inline]
-    fn add_red(self, v: usize) -> State {
-        State {
-            red: self.red | 1 << v,
-            ..self
-        }
-    }
-    #[inline]
-    fn add_blue(self, v: usize) -> State {
-        State {
-            blue: self.blue | 1 << v,
-            ..self
-        }
-    }
-    #[inline]
-    fn drop_red(self, v: usize) -> State {
-        State {
-            red: self.red & !(1 << v),
-            ..self
-        }
-    }
+/// A finished search: the optimal cost (`None` when no schedule exists
+/// under the budget), the reconstructed schedule when requested, and the
+/// run's [`SearchStats`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Minimum weighted schedule cost, or `None` when the budget admits no
+    /// valid schedule.
+    pub cost: Option<Weight>,
+    /// The optimal schedule, present iff reconstruction was requested and
+    /// the instance is feasible.
+    pub schedule: Option<Schedule>,
+    /// Search counters.
+    pub stats: SearchStats,
 }
 
 /// Exhaustive solver configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ExactSolver {
-    /// Maximum number of distinct states to settle before giving up.
+    /// Maximum number of states to expand before giving up (checked before
+    /// each expansion).
     pub max_states: usize,
     /// Cost per bit of an M1 (load) move.
     pub load_scale: Weight,
     /// Cost per bit of an M2 (store) move.
     pub store_scale: Weight,
+    /// Which admissible per-state lower bound guides the search.
+    pub heuristic: Heuristic,
+    /// Enable dominance pruning.
+    pub dominance: bool,
+    /// Enable the tightened macro-move successor relation; `false` falls
+    /// back to the raw four-move game (the ablation baseline).
+    pub tighten: bool,
+    /// States expanded per parallel frontier round.  Fixed (not derived from
+    /// the thread count) so results are byte-identical on any host.
+    pub batch_size: usize,
 }
 
 impl Default for ExactSolver {
@@ -100,33 +144,11 @@ impl Default for ExactSolver {
             max_states: 5_000_000,
             load_scale: 1,
             store_scale: 1,
+            heuristic: Heuristic::default(),
+            dominance: true,
+            tighten: true,
+            batch_size: 32,
         }
-    }
-}
-
-#[derive(PartialEq, Eq)]
-struct QueueItem {
-    cost: Weight,
-    state: State,
-    /// Weighted red occupancy of `state`, carried incrementally so
-    /// expansion never rescans the node set.  A pure function of
-    /// `state.red`, so duplicate queue entries always agree.
-    red_weight: Weight,
-}
-
-impl Ord for QueueItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by cost.
-        other
-            .cost
-            .cmp(&self.cost)
-            .then_with(|| other.state.cmp(&self.state))
-    }
-}
-
-impl PartialOrd for QueueItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
     }
 }
 
@@ -146,14 +168,43 @@ impl ExactSolver {
         self
     }
 
+    /// Select the guiding lower bound ([`Heuristic::None`] degenerates to
+    /// uniform-cost search).
+    pub fn with_heuristic(mut self, heuristic: Heuristic) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Toggle dominance pruning.
+    pub fn with_dominance(mut self, on: bool) -> Self {
+        self.dominance = on;
+        self
+    }
+
+    /// Toggle the tightened macro-move successor relation.
+    pub fn with_tighten(mut self, on: bool) -> Self {
+        self.tighten = on;
+        self
+    }
+
+    /// The PR-2 uniform-cost Dijkstra baseline: no heuristic, no dominance,
+    /// raw four-move successors.  Used for ablations and as the differential
+    /// oracle certifying the optimized search.
+    pub fn dijkstra_baseline() -> Self {
+        ExactSolver::default()
+            .with_heuristic(Heuristic::None)
+            .with_dominance(false)
+            .with_tighten(false)
+    }
+
     /// Minimum weighted schedule cost for `graph` under `budget`, or
     /// `Ok(None)` when no valid schedule exists.
     pub fn min_cost(
         &self,
         graph: &Cdag,
         budget: Weight,
-    ) -> Result<Option<Weight>, SearchLimitExceeded> {
-        self.search(graph, budget, false).map(|r| r.map(|(c, _)| c))
+    ) -> Result<Option<Weight>, StateLimitExceeded> {
+        self.solve(graph, budget).map(|s| s.cost)
     }
 
     /// A provably optimal schedule, or `Ok(None)` when no valid schedule
@@ -162,181 +213,30 @@ impl ExactSolver {
         &self,
         graph: &Cdag,
         budget: Weight,
-    ) -> Result<Option<(Weight, Schedule)>, SearchLimitExceeded> {
-        self.search(graph, budget, true)
-            .map(|r| r.map(|(c, s)| (c, s.expect("schedule reconstruction was requested"))))
+    ) -> Result<Option<(Weight, Schedule)>, StateLimitExceeded> {
+        let sol = self.solve_with_schedule(graph, budget)?;
+        Ok(sol.cost.map(|c| {
+            (
+                c,
+                sol.schedule
+                    .expect("feasible solve_with_schedule has a schedule"),
+            )
+        }))
     }
 
-    fn search(
+    /// Run the search and return cost + statistics (no schedule
+    /// reconstruction, so the parent map is never built).
+    pub fn solve(&self, graph: &Cdag, budget: Weight) -> Result<Solution, StateLimitExceeded> {
+        search::search(self, graph, budget, false)
+    }
+
+    /// Run the search with schedule reconstruction.
+    pub fn solve_with_schedule(
         &self,
         graph: &Cdag,
         budget: Weight,
-        reconstruct: bool,
-    ) -> Result<Option<(Weight, Option<Schedule>)>, SearchLimitExceeded> {
-        assert!(
-            graph.len() <= 64,
-            "exact solver supports at most 64 nodes (got {})",
-            graph.len()
-        );
-        let n = graph.len();
-
-        // Flat per-node tables + bitmasks so the expansion loop never
-        // touches the graph's adjacency or re-derives weights.
-        let weights: Vec<Weight> = (0..n).map(|v| graph.weight(NodeId(v as u32))).collect();
-        let pred_mask: Vec<u64> = (0..n)
-            .map(|v| {
-                graph
-                    .preds(NodeId(v as u32))
-                    .iter()
-                    .fold(0u64, |m, p| m | 1 << p.index())
-            })
-            .collect();
-        let source_mask: u64 = graph.sources().iter().fold(0, |m, v| m | 1 << v.index());
-        let sink_mask: u64 = graph.sinks().iter().fold(0, |m, v| m | 1 << v.index());
-
-        let start = State {
-            red: 0,
-            blue: source_mask,
-        };
-
-        // dist: settled/backing costs; parent: for reconstruction.
-        let mut dist: StateMap<Weight> = StateMap::default();
-        let mut parent: StateMap<(State, Move)> = StateMap::default();
-        let mut heap = BinaryHeap::new();
-        dist.insert(start, 0);
-        heap.push(QueueItem {
-            cost: 0,
-            state: start,
-            red_weight: 0,
-        });
-        let mut expanded = 0usize;
-
-        while let Some(QueueItem {
-            cost,
-            state,
-            red_weight,
-        }) = heap.pop()
-        {
-            if dist.get(&state).copied() != Some(cost) {
-                continue; // stale entry
-            }
-            if state.blue & sink_mask == sink_mask {
-                let schedule = reconstruct.then(|| {
-                    let mut moves = Vec::new();
-                    let mut cur = state;
-                    while let Some(&(prev, mv)) = parent.get(&cur) {
-                        moves.push(mv);
-                        cur = prev;
-                    }
-                    moves.reverse();
-                    Schedule::from_moves(moves)
-                });
-                return Ok(Some((cost, schedule)));
-            }
-            expanded += 1;
-            if expanded > self.max_states {
-                return Err(SearchLimitExceeded {
-                    max_states: self.max_states,
-                });
-            }
-
-            let push = |next: State,
-                        next_red_weight: Weight,
-                        extra: Weight,
-                        mv: Move,
-                        dist: &mut StateMap<Weight>,
-                        parent: &mut StateMap<(State, Move)>,
-                        heap: &mut BinaryHeap<QueueItem>| {
-                let nc = cost + extra;
-                match dist.entry(next) {
-                    Entry::Occupied(mut e) => {
-                        if nc < *e.get() {
-                            e.insert(nc);
-                            if reconstruct {
-                                parent.insert(next, (state, mv));
-                            }
-                            heap.push(QueueItem {
-                                cost: nc,
-                                state: next,
-                                red_weight: next_red_weight,
-                            });
-                        }
-                    }
-                    Entry::Vacant(e) => {
-                        e.insert(nc);
-                        if reconstruct {
-                            parent.insert(next, (state, mv));
-                        }
-                        heap.push(QueueItem {
-                            cost: nc,
-                            state: next,
-                            red_weight: next_red_weight,
-                        });
-                    }
-                }
-            };
-
-            for v in 0..n {
-                let id = NodeId(v as u32);
-                let w = weights[v];
-                let has_red = state.has_red(v);
-                let has_blue = state.has_blue(v);
-
-                // M1: load — only useful when it changes the label.
-                if has_blue && !has_red && red_weight + w <= budget {
-                    push(
-                        state.add_red(v),
-                        red_weight + w,
-                        self.load_scale * w,
-                        Move::Load(id),
-                        &mut dist,
-                        &mut parent,
-                        &mut heap,
-                    );
-                }
-                // M2: store — only useful when the node is red-only.
-                if has_red && !has_blue {
-                    push(
-                        state.add_blue(v),
-                        red_weight,
-                        self.store_scale * w,
-                        Move::Store(id),
-                        &mut dist,
-                        &mut parent,
-                        &mut heap,
-                    );
-                }
-                // M3: compute — non-source, all preds red, not already red.
-                if !has_red
-                    && source_mask >> v & 1 == 0
-                    && state.red & pred_mask[v] == pred_mask[v]
-                    && red_weight + w <= budget
-                {
-                    push(
-                        state.add_red(v),
-                        red_weight + w,
-                        0,
-                        Move::Compute(id),
-                        &mut dist,
-                        &mut parent,
-                        &mut heap,
-                    );
-                }
-                // M4: delete.
-                if has_red {
-                    push(
-                        state.drop_red(v),
-                        red_weight - w,
-                        0,
-                        Move::Delete(id),
-                        &mut dist,
-                        &mut parent,
-                        &mut heap,
-                    );
-                }
-            }
-        }
-        Ok(None)
+    ) -> Result<Solution, StateLimitExceeded> {
+        search::search(self, graph, budget, true)
     }
 }
 
@@ -358,6 +258,23 @@ pub fn exact_optimal_schedule(graph: &Cdag, budget: Weight) -> Option<(Weight, S
 mod tests {
     use super::*;
     use pebblyn_core::{validate_schedule, CdagBuilder};
+
+    /// Every solver configuration the tests sweep: default A\* plus each
+    /// ablation axis and the full Dijkstra baseline.
+    fn all_configs() -> Vec<ExactSolver> {
+        vec![
+            ExactSolver::default(),
+            ExactSolver::default().with_heuristic(Heuristic::None),
+            ExactSolver::default().with_heuristic(Heuristic::RemainingWork),
+            ExactSolver::default().with_dominance(false),
+            ExactSolver::default().with_tighten(false),
+            ExactSolver::dijkstra_baseline(),
+            ExactSolver {
+                batch_size: 1,
+                ..ExactSolver::default()
+            },
+        ]
+    }
 
     /// x, y -> s
     fn add_graph() -> Cdag {
@@ -383,7 +300,9 @@ mod tests {
     #[test]
     fn infeasible_budget_returns_none() {
         let g = add_graph();
-        assert_eq!(exact_min_cost(&g, 63), None);
+        for solver in all_configs() {
+            assert_eq!(solver.min_cost(&g, 63).unwrap(), None);
+        }
     }
 
     #[test]
@@ -396,7 +315,9 @@ mod tests {
         bld.edge(x, a);
         bld.edge(a, b2);
         let g = bld.build().unwrap();
-        assert_eq!(exact_min_cost(&g, 32), Some(32));
+        for solver in all_configs() {
+            assert_eq!(solver.min_cost(&g, 32).unwrap(), Some(32));
+        }
     }
 
     #[test]
@@ -416,10 +337,12 @@ mod tests {
         b.edge(i0, r);
         b.edge(i1, r);
         let g = b.build().unwrap();
-        assert_eq!(exact_min_cost(&g, 4), Some(5));
-        // Budget 3 = minimum feasible: i0 must be spilled and reloaded.
-        assert_eq!(exact_min_cost(&g, 3), Some(7));
-        assert_eq!(exact_min_cost(&g, 2), None);
+        for solver in all_configs() {
+            assert_eq!(solver.min_cost(&g, 4).unwrap(), Some(5));
+            // Budget 3 = minimum feasible: i0 must be spilled and reloaded.
+            assert_eq!(solver.min_cost(&g, 3).unwrap(), Some(7));
+            assert_eq!(solver.min_cost(&g, 2).unwrap(), None);
+        }
     }
 
     #[test]
@@ -437,25 +360,41 @@ mod tests {
         bld.edge(c, e);
         bld.edge(d, e);
         let g = bld.build().unwrap();
-        // Budget 3: load a, b; compute c; delete a; compute d (b,c,d red
-        // exceeds 3? b,c red + d = 3 ok after deleting a); compute e needs
-        // c,d red + e = 3. Cost = 2 loads + 1 store = 3.
-        assert_eq!(exact_min_cost(&g, 3), Some(3));
+        // Budget 3: load a, b; compute c; delete a; compute d; delete b;
+        // compute e; store e.  Cost = 2 loads + 1 store = 3.
+        for solver in all_configs() {
+            assert_eq!(solver.min_cost(&g, 3).unwrap(), Some(3));
+        }
     }
 
     #[test]
     fn schedule_reconstruction_is_valid() {
         let g = add_graph();
-        let (cost, sched) = exact_optimal_schedule(&g, 100).unwrap();
-        let stats = validate_schedule(&g, 100, &sched).unwrap();
-        assert_eq!(stats.cost, cost);
+        for solver in all_configs() {
+            let (cost, sched) = solver.optimal_schedule(&g, 100).unwrap().unwrap();
+            let stats = validate_schedule(&g, 100, &sched).unwrap();
+            assert_eq!(stats.cost, cost);
+        }
     }
 
     #[test]
-    fn state_cap_is_enforced() {
+    fn state_cap_is_enforced_before_expansion() {
         let g = add_graph();
-        let solver = ExactSolver::with_max_states(1);
-        assert!(solver.min_cost(&g, 64).is_err());
+        // A zero-state cap refuses to expand even the start state…
+        let err = ExactSolver::with_max_states(0)
+            .min_cost(&g, 64)
+            .unwrap_err();
+        assert_eq!(err.max_states, 0);
+        assert_eq!(err.states_expanded, 0, "cap must trigger before expanding");
+        // …and the baseline (which cannot reach the goal in one expansion)
+        // reports exactly the cap, never cap+1 as the pre-rewrite solver did.
+        let one = ExactSolver {
+            max_states: 1,
+            ..ExactSolver::dijkstra_baseline()
+        };
+        let err = one.min_cost(&g, 64).unwrap_err();
+        assert_eq!(err.max_states, 1);
+        assert_eq!(err.states_expanded, 1);
     }
 
     #[test]
@@ -474,6 +413,47 @@ mod tests {
         let g = bld.build().unwrap();
         // Budget 12: h + l + c1 = 12 ok; then c2 needs h + c1 + c2 = 12 ok
         // (delete l). Cost = 10 + 1 (loads) + 1 (store c2)... c1 is interior.
-        assert_eq!(exact_min_cost(&g, 12), Some(12));
+        for solver in all_configs() {
+            assert_eq!(solver.min_cost(&g, 12).unwrap(), Some(12));
+        }
+    }
+
+    #[test]
+    fn io_scales_apply_to_all_configs() {
+        let g = add_graph();
+        for solver in all_configs() {
+            let solver = solver.with_io_scales(3, 5);
+            // 3×(16+16) loads + 5×32 store.
+            assert_eq!(solver.min_cost(&g, 64).unwrap(), Some(3 * 32 + 5 * 32));
+        }
+    }
+
+    #[test]
+    fn stats_reflect_pruning() {
+        let g = add_graph();
+        let fast = ExactSolver::default().solve(&g, 64).unwrap();
+        let slow = ExactSolver::dijkstra_baseline().solve(&g, 64).unwrap();
+        assert_eq!(fast.cost, slow.cost);
+        assert!(fast.stats.expanded <= slow.stats.expanded);
+        assert!(fast.stats.root_bound > 0, "A* start state has a bound");
+        assert_eq!(slow.stats.root_bound, 0, "Dijkstra has no bound");
+        assert!(slow.stats.generated > 0 && fast.stats.generated > 0);
+    }
+
+    #[test]
+    fn search_is_deterministic_across_thread_counts() {
+        // par_map splits batches by PEBBLYN_THREADS; results and stats must
+        // not depend on it.  (Thread count is process-wide env, so we only
+        // assert repeat determinism here; engine tests cover thread-count
+        // invariance of par_map ordering.)
+        let g = add_graph();
+        let a = ExactSolver::default().solve_with_schedule(&g, 64).unwrap();
+        let b = ExactSolver::default().solve_with_schedule(&g, 64).unwrap();
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(
+            a.schedule.as_ref().map(|s| s.moves().to_vec()),
+            b.schedule.as_ref().map(|s| s.moves().to_vec())
+        );
     }
 }

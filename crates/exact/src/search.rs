@@ -1,0 +1,485 @@
+//! Best-first A\* search over packed WRBPG game states.
+//!
+//! The driver is a batched A\*: it deterministically drains the globally
+//! best entries from a sharded open list ([`ShardedWorklist`]), expands the
+//! batch in parallel with [`par_map`] (successor generation and heuristic
+//! evaluation are pure), and merges distance/parent/queue updates
+//! sequentially in batch order.  Merge order is therefore independent of
+//! thread count, which keeps costs, schedules, and statistics
+//! byte-reproducible.
+//!
+//! A goal state is only accepted when it is the head of the open list with
+//! its recorded distance — i.e. its `f = g` is no worse than every open
+//! `f = g + h` — which with an admissible (not necessarily consistent)
+//! heuristic certifies optimality; improved paths re-queue their state, so
+//! inconsistency costs re-expansions, never correctness.
+//!
+//! Successor generation runs in one of two modes:
+//!
+//! * **loose** — the four raw game moves, exactly the PR-2 Dijkstra relation
+//!   (kept as the ablation baseline and differential-testing oracle);
+//! * **tightened** — macro-moves justified by schedule normalization: every
+//!   load can be postponed until just before the compute that consumes it,
+//!   every store advanced to just after the compute that creates it, and
+//!   every delete deferred until some load/compute is budget-blocked.  Each
+//!   successor is then either *fused loads + compute (+ store)* for one
+//!   target node, or a single delete when the budget actually blocks
+//!   progress.  Both the intermediate load states and all detached
+//!   store/delete interleavings vanish from the state space.
+
+use crate::dominance::DominanceStore;
+use crate::{ExactSolver, SearchStats, Solution, StateLimitExceeded};
+use pebblyn_core::{
+    mask_iter, mask_weight, Cdag, FastHashMap, Heuristic, Move, NodeId, Schedule, StateBounds,
+    Weight,
+};
+use pebblyn_engine::par::par_map;
+use pebblyn_engine::ShardedWorklist;
+use std::hash::{BuildHasher, Hash};
+
+/// Open-list shard count; fixed so expansion order never depends on the
+/// host's thread count.
+const SHARDS: usize = 8;
+
+/// Packed game snapshot: one red and one blue bitset word, one bit per node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+struct State {
+    red: u64,
+    blue: u64,
+}
+
+/// One search transition; `Fused` covers the tightened macro-moves.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// A raw game move (loose mode, and deletes in tightened mode).
+    Single(Move),
+    /// Load every node in `loads` (ascending), compute `target`, and
+    /// optionally store it immediately.
+    Fused {
+        loads: u64,
+        target: NodeId,
+        store: bool,
+    },
+}
+
+impl Step {
+    fn emit(self, moves: &mut Vec<Move>) {
+        match self {
+            Step::Single(mv) => moves.push(mv),
+            Step::Fused {
+                loads,
+                target,
+                store,
+            } => {
+                for v in mask_iter(loads) {
+                    moves.push(Move::Load(v));
+                }
+                moves.push(Move::Compute(target));
+                if store {
+                    moves.push(Move::Store(target));
+                }
+            }
+        }
+    }
+}
+
+/// A successor produced by (parallel) expansion, with its heuristic already
+/// evaluated.
+struct Succ {
+    state: State,
+    g: Weight,
+    red_weight: Weight,
+    h: Weight,
+    step: Step,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct QueueItem {
+    f: Weight,
+    g: Weight,
+    state: State,
+    /// Weighted red occupancy of `state`, carried incrementally so expansion
+    /// never rescans the node set.  A pure function of `state.red`, so
+    /// duplicate queue entries always agree.
+    red_weight: Weight,
+}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap priority: smallest f first, then deepest (largest g),
+        // then smallest state word — a total order, so ties are
+        // deterministic.
+        other
+            .f
+            .cmp(&self.f)
+            .then_with(|| self.g.cmp(&other.g))
+            .then_with(|| other.state.cmp(&self.state))
+    }
+}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Immutable per-search tables; successor generation reads only this.
+struct Ctx {
+    n: usize,
+    weights: Vec<Weight>,
+    pred_masks: Vec<u64>,
+    source_mask: u64,
+    sink_mask: u64,
+    budget: Weight,
+    load_scale: Weight,
+    store_scale: Weight,
+    bounds: StateBounds,
+    heuristic: Heuristic,
+    tighten: bool,
+}
+
+impl Ctx {
+    fn h(&self, s: State) -> Weight {
+        self.bounds.lower_bound(s.red, s.blue, self.heuristic)
+    }
+
+    fn successors(&self, item: &QueueItem) -> Vec<Succ> {
+        let mut out = Vec::new();
+        if self.tighten {
+            self.successors_tight(item, &mut out);
+        } else {
+            self.successors_loose(item, &mut out);
+        }
+        out
+    }
+
+    fn push(&self, out: &mut Vec<Succ>, state: State, g: Weight, red_weight: Weight, step: Step) {
+        let h = self.h(state);
+        out.push(Succ {
+            state,
+            g,
+            red_weight,
+            h,
+            step,
+        });
+    }
+
+    /// Tightened successor relation (see module docs): fused
+    /// loads+compute(+store) macros per target node, plus deletes only when
+    /// some otherwise-applicable load/compute is budget-blocked.
+    fn successors_tight(&self, item: &QueueItem, out: &mut Vec<Succ>) {
+        let s = item.state;
+        let mut blocked = false;
+        for u in 0..self.n {
+            if s.red >> u & 1 != 0 || self.source_mask >> u & 1 != 0 {
+                continue;
+            }
+            let missing = self.pred_masks[u] & !s.red;
+            if missing & !s.blue != 0 {
+                continue; // some predecessor is neither red nor blue:
+                          // deletes cannot unblock this target
+            }
+            let is_sink = self.sink_mask >> u & 1 != 0;
+            let is_blue = s.blue >> u & 1 != 0;
+            if is_sink && is_blue {
+                continue; // already delivered and has no consumers
+            }
+            let load_w = mask_weight(missing, &self.weights);
+            let w_u = self.weights[u];
+            if item.red_weight + load_w + w_u > self.budget {
+                blocked = true;
+                continue;
+            }
+            let next_red = s.red | missing | 1 << u;
+            let next_rw = item.red_weight + load_w + w_u;
+            let g_loads = item.g + self.load_scale * load_w;
+            let step = |store| Step::Fused {
+                loads: missing,
+                target: NodeId(u as u32),
+                store,
+            };
+            // A computed sink is only useful stored, so its unstored variant
+            // is dropped; interior nodes get both (a store only pays off if
+            // the value is later reloaded, which the search decides).
+            if !is_sink {
+                self.push(
+                    out,
+                    State {
+                        red: next_red,
+                        blue: s.blue,
+                    },
+                    g_loads,
+                    next_rw,
+                    step(false),
+                );
+            }
+            if !is_blue {
+                self.push(
+                    out,
+                    State {
+                        red: next_red,
+                        blue: s.blue | 1 << u,
+                    },
+                    g_loads + self.store_scale * w_u,
+                    next_rw,
+                    step(true),
+                );
+            }
+        }
+        if blocked {
+            for x in mask_iter(s.red) {
+                self.push(
+                    out,
+                    State {
+                        red: s.red & !(1 << x.index()),
+                        blue: s.blue,
+                    },
+                    item.g,
+                    item.red_weight - self.weights[x.index()],
+                    Step::Single(Move::Delete(x)),
+                );
+            }
+        }
+    }
+
+    /// The raw four-move relation, byte-for-byte the PR-2 Dijkstra
+    /// expansion; kept as the ablation baseline and differential oracle.
+    fn successors_loose(&self, item: &QueueItem, out: &mut Vec<Succ>) {
+        let s = item.state;
+        for v in 0..self.n {
+            let id = NodeId(v as u32);
+            let w = self.weights[v];
+            let has_red = s.red >> v & 1 != 0;
+            let has_blue = s.blue >> v & 1 != 0;
+
+            // M1: load — only useful when it changes the label.
+            if has_blue && !has_red && item.red_weight + w <= self.budget {
+                self.push(
+                    out,
+                    State {
+                        red: s.red | 1 << v,
+                        blue: s.blue,
+                    },
+                    item.g + self.load_scale * w,
+                    item.red_weight + w,
+                    Step::Single(Move::Load(id)),
+                );
+            }
+            // M2: store — only useful when the node is red-only.
+            if has_red && !has_blue {
+                self.push(
+                    out,
+                    State {
+                        red: s.red,
+                        blue: s.blue | 1 << v,
+                    },
+                    item.g + self.store_scale * w,
+                    item.red_weight,
+                    Step::Single(Move::Store(id)),
+                );
+            }
+            // M3: compute — non-source, all preds red, not already red.
+            if !has_red
+                && self.source_mask >> v & 1 == 0
+                && s.red & self.pred_masks[v] == self.pred_masks[v]
+                && item.red_weight + w <= self.budget
+            {
+                self.push(
+                    out,
+                    State {
+                        red: s.red | 1 << v,
+                        blue: s.blue,
+                    },
+                    item.g,
+                    item.red_weight + w,
+                    Step::Single(Move::Compute(id)),
+                );
+            }
+            // M4: delete.
+            if has_red {
+                self.push(
+                    out,
+                    State {
+                        red: s.red & !(1 << v),
+                        blue: s.blue,
+                    },
+                    item.g,
+                    item.red_weight - w,
+                    Step::Single(Move::Delete(id)),
+                );
+            }
+        }
+    }
+}
+
+fn shard_hint(s: State) -> u64 {
+    pebblyn_core::FastBuildHasher::default().hash_one(s)
+}
+
+pub(crate) fn search(
+    solver: &ExactSolver,
+    graph: &Cdag,
+    budget: Weight,
+    reconstruct: bool,
+) -> Result<Solution, StateLimitExceeded> {
+    assert!(
+        graph.len() <= 64,
+        "exact solver supports at most 64 nodes (got {})",
+        graph.len()
+    );
+    let n = graph.len();
+    let weights: Vec<Weight> = (0..n).map(|v| graph.weight(NodeId(v as u32))).collect();
+    let pred_masks: Vec<u64> = (0..n)
+        .map(|v| {
+            graph
+                .preds(NodeId(v as u32))
+                .iter()
+                .fold(0u64, |m, p| m | 1 << p.index())
+        })
+        .collect();
+    let ctx = Ctx {
+        n,
+        source_mask: graph.sources().iter().fold(0, |m, v| m | 1 << v.index()),
+        sink_mask: graph.sinks().iter().fold(0, |m, v| m | 1 << v.index()),
+        budget,
+        load_scale: solver.load_scale,
+        store_scale: solver.store_scale,
+        bounds: StateBounds::new(graph, solver.load_scale, solver.store_scale),
+        heuristic: solver.heuristic,
+        tighten: solver.tighten,
+        weights,
+        pred_masks,
+    };
+
+    let start = State {
+        red: 0,
+        blue: ctx.source_mask,
+    };
+    let mut stats = SearchStats {
+        root_bound: ctx.h(start),
+        ..SearchStats::default()
+    };
+
+    let mut dist: FastHashMap<State, Weight> = FastHashMap::default();
+    let mut parent: FastHashMap<State, (State, Step)> = FastHashMap::default();
+    let mut open: ShardedWorklist<QueueItem> = ShardedWorklist::new(SHARDS);
+    dist.insert(start, 0);
+    open.push(
+        shard_hint(start),
+        QueueItem {
+            f: stats.root_bound,
+            g: 0,
+            state: start,
+            red_weight: 0,
+        },
+    );
+    let mut dom = DominanceStore::default();
+    let batch_cap = solver.batch_size.max(1);
+    let mut batch: Vec<QueueItem> = Vec::with_capacity(batch_cap);
+
+    loop {
+        batch.clear();
+        let mut settled_goal: Option<QueueItem> = None;
+        while batch.len() < batch_cap {
+            let Some(item) = open.pop_best() else { break };
+            if dist.get(&item.state) != Some(&item.g) {
+                continue; // stale queue entry
+            }
+            if item.state.blue & ctx.sink_mask == ctx.sink_mask {
+                if batch.is_empty() {
+                    // Head of the open list: g ≤ every open f, hence optimal.
+                    settled_goal = Some(item);
+                } else {
+                    // Cannot settle behind this round's batch; re-queue and
+                    // let the next round see it as the head.
+                    open.push(shard_hint(item.state), item);
+                }
+                break;
+            }
+            if stats.expanded == solver.max_states {
+                return Err(StateLimitExceeded {
+                    max_states: solver.max_states,
+                    states_expanded: stats.expanded,
+                });
+            }
+            if solver.dominance {
+                if dom.dominated(item.state.red, item.state.blue, item.g) {
+                    stats.dominated += 1;
+                    continue;
+                }
+                dom.record(item.state.red, item.state.blue, item.g);
+            }
+            stats.expanded += 1;
+            batch.push(item);
+        }
+
+        if let Some(goal) = settled_goal {
+            stats.frontier_left = open.len();
+            let schedule = reconstruct.then(|| {
+                let mut steps = Vec::new();
+                let mut cur = goal.state;
+                while let Some(&(prev, step)) = parent.get(&cur) {
+                    steps.push(step);
+                    cur = prev;
+                }
+                steps.reverse();
+                let mut moves = Vec::new();
+                for step in steps {
+                    step.emit(&mut moves);
+                }
+                Schedule::from_moves(moves)
+            });
+            return Ok(Solution {
+                cost: Some(goal.g),
+                schedule,
+                stats,
+            });
+        }
+        if batch.is_empty() {
+            // The open list drained without reaching the goal: infeasible.
+            stats.frontier_left = 0;
+            return Ok(Solution {
+                cost: None,
+                schedule: None,
+                stats,
+            });
+        }
+
+        stats.batches += 1;
+        let succ_lists = par_map(&batch, |item| ctx.successors(item));
+        // Sequential merge in batch order: the only mutation point, so the
+        // search is deterministic for any thread count.
+        for (item, succs) in batch.iter().zip(succ_lists) {
+            for succ in succs {
+                stats.generated += 1;
+                let improves = match dist.get(&succ.state) {
+                    Some(&d) => succ.g < d,
+                    None => true,
+                };
+                if !improves {
+                    stats.deduped += 1;
+                    continue;
+                }
+                if solver.dominance && dom.dominated(succ.state.red, succ.state.blue, succ.g) {
+                    stats.dominated += 1;
+                    continue;
+                }
+                dist.insert(succ.state, succ.g);
+                if reconstruct {
+                    parent.insert(succ.state, (item.state, succ.step));
+                }
+                open.push(
+                    shard_hint(succ.state),
+                    QueueItem {
+                        f: succ.g + succ.h,
+                        g: succ.g,
+                        state: succ.state,
+                        red_weight: succ.red_weight,
+                    },
+                );
+            }
+        }
+        stats.peak_open = stats.peak_open.max(open.len());
+        stats.dominance_entries = stats.dominance_entries.max(dom.len());
+    }
+}

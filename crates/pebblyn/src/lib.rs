@@ -72,7 +72,10 @@ pub mod prelude {
     pub use pebblyn_engine::{
         BudgetSpec, Memo, MinMemoryPlan, MinMemoryResult, Series, SweepPlan, SweepResult,
     };
-    pub use pebblyn_exact::{exact_min_cost, exact_optimal_schedule, ExactSolver};
+    pub use pebblyn_exact::{
+        exact_min_cost, exact_optimal_schedule, ExactSolver, Heuristic, SearchStats, Solution,
+        StateLimitExceeded,
+    };
     pub use pebblyn_graphs::{
         banded, conv, dwt, dwt2d, dwt_coarse, mvm, tree, AnyGraph, BandedMvmGraph, CoarseDwtGraph,
         ConvGraph, Dwt2dGraph, DwtGraph, Layered, MvmGraph, WeightScheme, Workload,
