@@ -13,7 +13,8 @@
 
 use pebblyn::exact::{ExactSolver, Solution, StateLimitExceeded};
 use pebblyn::prelude::*;
-use pebblyn_bench::results_dir;
+use pebblyn::telemetry;
+use pebblyn_bench::{init_telemetry_from_args, reconvergent_mesh16, results_dir};
 use std::time::Instant;
 
 /// One workload/budget instance both solvers race on.
@@ -22,26 +23,6 @@ struct Case {
     workload: &'static str,
     graph: Cdag,
     budget: Weight,
-}
-
-/// A 16-node reconvergent mesh: 4 sources feeding 12 interior joins, each
-/// consuming its two predecessors plus a periodic long-range operand, so
-/// diamonds stack and shared operands stay live across the frontier.  This
-/// is the shape class the 16-node EXHAUSTIVE certification regime must
-/// dispatch under the 5M-state cap.
-fn reconvergent_mesh16() -> Cdag {
-    let mut b = CdagBuilder::with_capacity(16);
-    let ids: Vec<NodeId> = (0..16)
-        .map(|i| b.node(1 + (i as Weight) % 2, format!("m{i}")))
-        .collect();
-    for j in 4..16 {
-        b.edge(ids[j - 1], ids[j]);
-        b.edge(ids[j - 4], ids[j]);
-        if j % 3 == 0 {
-            b.edge(ids[j - 3], ids[j]);
-        }
-    }
-    b.build().expect("mesh is a connected DAG")
 }
 
 fn cases() -> Vec<Case> {
@@ -109,6 +90,8 @@ fn run(solver: &ExactSolver, g: &Cdag, budget: Weight) -> Run {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_on = init_telemetry_from_args(&argv);
     let astar = ExactSolver::default();
     let baseline = ExactSolver::dijkstra_baseline();
     println!("exact search micro-bench: plain Dijkstra vs bound-guided A*\n");
@@ -119,8 +102,21 @@ fn main() {
 
     let mut entries = String::new();
     for case in cases() {
+        // One telemetry run per solver per case: reset between solves so
+        // each flushed record carries exactly that solve's counters (the
+        // JSONL's states_expanded then equals the table's column).
+        if telemetry_on {
+            telemetry::reset();
+        }
         let before = run(&baseline, &case.graph, case.budget);
+        if telemetry_on {
+            telemetry::flush_run(&format!("{}/dijkstra", case.name));
+            telemetry::reset();
+        }
         let after = run(&astar, &case.graph, case.budget);
+        if telemetry_on {
+            telemetry::flush_run(&format!("{}/astar", case.name));
+        }
         assert!(!after.capped, "{}: A* hit the state cap", case.name);
         if !before.capped {
             assert_eq!(

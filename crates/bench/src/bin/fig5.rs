@@ -11,7 +11,7 @@
 //! ```
 
 use pebblyn::prelude::*;
-use pebblyn_bench::{fmt_bits, results_dir, Table};
+use pebblyn_bench::{fmt_bits, init_telemetry_from_args, results_dir, Table};
 
 fn dwt_panel(panel: &str, scheme: WeightScheme) -> SweepResult {
     let g = AnyGraph::build(Workload::Dwt { n: 256, d: 8 }, scheme).unwrap();
@@ -100,6 +100,7 @@ fn mvm_panel(panel: &str, scheme: WeightScheme) -> SweepResult {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    init_telemetry_from_args(&args);
     let panel = args
         .iter()
         .position(|a| a == "--panel")
@@ -165,4 +166,8 @@ fn main() {
     let memo_path = results_dir().join("sweep_memo.json");
     std::fs::write(&memo_path, memo_json).expect("write sweep memo json");
     println!("[json] {}", memo_path.display());
+
+    // No-op unless --telemetry installed sinks: the memo and sweep numbers
+    // printed above also land in the JSONL record for machine consumption.
+    pebblyn::telemetry::flush_run(&format!("fig5/{panel}"));
 }

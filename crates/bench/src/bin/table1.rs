@@ -6,9 +6,11 @@
 //! ```
 
 use pebblyn::prelude::*;
-use pebblyn_bench::{table1_rows, Table};
+use pebblyn_bench::{init_telemetry_from_args, table1_rows, Table};
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    init_telemetry_from_args(&argv);
     let mut t = Table::new(
         "Table 1 minimum fast memory",
         &[
@@ -43,4 +45,5 @@ fn main() {
     }
     t.emit();
     println!("\n(* = this paper's approaches; words are 16-bit as in the paper)");
+    pebblyn::telemetry::flush_run("table1");
 }

@@ -140,6 +140,47 @@ where
     pebblyn::engine::par::par_map(&items, f)
 }
 
+/// A 16-node reconvergent mesh: 4 sources feeding 12 interior joins, each
+/// consuming its two predecessors plus a periodic long-range operand, so
+/// diamonds stack and shared operands stay live across the frontier.  This
+/// is the shape class the 16-node EXHAUSTIVE certification regime must
+/// dispatch under the 5M-state cap; `bench_exact` races both solvers on it
+/// and the telemetry tests pin the solver's counters against it.
+pub fn reconvergent_mesh16() -> Cdag {
+    let mut b = CdagBuilder::with_capacity(16);
+    let ids: Vec<NodeId> = (0..16)
+        .map(|i| b.node(1 + (i as Weight) % 2, format!("m{i}")))
+        .collect();
+    for j in 4..16 {
+        b.edge(ids[j - 1], ids[j]);
+        b.edge(ids[j - 4], ids[j]);
+        if j % 3 == 0 {
+            b.edge(ids[j - 3], ids[j]);
+        }
+    }
+    b.build().expect("mesh is a connected DAG")
+}
+
+/// Handle a `--telemetry <FILE>` flag shared by the bench binaries: when
+/// present, enable telemetry and install a schema-versioned JSONL sink at
+/// the path plus a human-readable summary sink on stderr.  Returns whether
+/// telemetry was turned on (callers then `flush_run` at phase ends).
+pub fn init_telemetry_from_args(args: &[String]) -> bool {
+    let Some(path) = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+    else {
+        return false;
+    };
+    pebblyn::telemetry::enable();
+    let sink = pebblyn::telemetry::JsonlSink::create(path)
+        .unwrap_or_else(|e| panic!("cannot open telemetry file {path}: {e}"));
+    pebblyn::telemetry::install_sink(Box::new(sink));
+    pebblyn::telemetry::install_sink(Box::new(pebblyn::telemetry::SummarySink));
+    true
+}
+
 /// The four Table 1 workload/scheduler comparisons, shared by several
 /// binaries: (label, scheme, our min-memory bits, baseline min-memory bits).
 ///

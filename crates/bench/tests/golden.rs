@@ -18,9 +18,15 @@ use std::process::Command;
 
 /// Run `bin` with results redirected into a fresh temp dir; return the dir.
 fn regen_into_temp(bin: &str, tag: &str) -> PathBuf {
+    regen_into_temp_with(bin, tag, &[])
+}
+
+/// As [`regen_into_temp`], passing `args` through to the generator.
+fn regen_into_temp_with(bin: &str, tag: &str, args: &[&str]) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("pebblyn-golden-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp results dir");
     let out = Command::new(bin)
+        .args(args)
         .env("PEBBLYN_RESULTS", &dir)
         .output()
         .expect("generator binary runs");
@@ -57,6 +63,50 @@ fn assert_matches_golden(fresh_dir: &Path, name: &str) {
 fn table1_minimum_fast_memory_is_reproducible() {
     let dir = regen_into_temp(env!("CARGO_BIN_EXE_table1"), "table1");
     assert_matches_golden(&dir, "table_1_minimum_fast_memory.csv");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every fig5 artifact that is byte-stable by design (`sweep_memo.json` is
+/// excluded: it carries wall-clock point timings).
+const FIG5_STABLE: &[&str] = &[
+    "fig5_sweep.json",
+    "fig_5a_equal_dwt_256_8_.csv",
+    "fig_5b_da_dwt_256_8_.csv",
+    "fig_5c_equal_mvm_96_120_.csv",
+    "fig_5d_da_mvm_96_120_.csv",
+];
+
+#[test]
+fn fig5_sweep_json_and_csvs_are_reproducible() {
+    let dir = regen_into_temp(env!("CARGO_BIN_EXE_fig5"), "fig5");
+    for name in FIG5_STABLE {
+        assert_matches_golden(&dir, name);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Telemetry must be observationally free: running the same generator with
+/// `--telemetry` (counters on, JSONL + stderr summary sinks installed)
+/// leaves every golden artifact byte-identical.  Only the side-channel
+/// JSONL file differs from a telemetry-off run.
+#[test]
+fn fig5_outputs_are_byte_identical_with_telemetry_on() {
+    let jsonl = std::env::temp_dir().join(format!("pebblyn-fig5-telemetry-{}", std::process::id()));
+    let jsonl_str = jsonl.to_str().expect("utf-8 temp path");
+    let dir = regen_into_temp_with(
+        env!("CARGO_BIN_EXE_fig5"),
+        "fig5-telemetry",
+        &["--telemetry", jsonl_str],
+    );
+    for name in FIG5_STABLE {
+        assert_matches_golden(&dir, name);
+    }
+    let side_channel = std::fs::read_to_string(&jsonl).expect("telemetry JSONL written");
+    assert!(
+        side_channel.contains("\"schema\":\"pebblyn-telemetry/v1\""),
+        "telemetry record missing schema marker: {side_channel}"
+    );
+    std::fs::remove_file(&jsonl).ok();
     std::fs::remove_dir_all(&dir).ok();
 }
 

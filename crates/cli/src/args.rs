@@ -22,6 +22,8 @@ COMMANDS:
   synth        synthesize an SRAM macro for a capacity
   trace        render a schedule's fast-memory occupancy over time
   dot          print the workload CDAG in Graphviz DOT format
+  telemetry-report <FILE>
+               summarize a telemetry JSONL file written by --telemetry
 
 WORKLOAD OPTIONS (schedule, min-memory, sweep, exact, dot):
   --workload dwt|mvm|conv|dwt2d|banded
@@ -52,6 +54,9 @@ OTHER OPTIONS:
   --emit                   print the full move sequence (schedule)
   --optimize               run the peephole passes before reporting
   --out <FILE>             write the schedule in the M1..M4 text format
+  --telemetry <FILE>       (any command) record run counters and phase
+                           timers to FILE as schema-versioned JSONL;
+                           inspect with telemetry-report
 ";
 
 /// Which scheduler to run.
@@ -124,6 +129,51 @@ pub enum Command {
         scheduler: Scheduler,
         budget: Weight,
     },
+    /// Summarize a telemetry JSONL file.
+    TelemetryReport { path: String },
+}
+
+impl Command {
+    /// The subcommand name, used as the telemetry run label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Schedule { .. } => "schedule",
+            Command::MinMemory { .. } => "min-memory",
+            Command::Sweep { .. } => "sweep",
+            Command::Exact { .. } => "exact",
+            Command::Synth { .. } => "synth",
+            Command::Dot { .. } => "dot",
+            Command::Trace { .. } => "trace",
+            Command::TelemetryReport { .. } => "telemetry-report",
+        }
+    }
+}
+
+/// A parsed invocation: the global options plus the command.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// `--telemetry <FILE>`: record run counters to this JSONL file.
+    pub telemetry: Option<String>,
+    /// The subcommand.
+    pub command: Command,
+}
+
+/// Parse `argv` into an [`Invocation`] (global flags + command).
+pub fn parse_invocation(argv: &[String]) -> Result<Invocation, CliError> {
+    let telemetry = argv
+        .iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| {
+            argv.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| usage("missing value for --telemetry"))
+        })
+        .transpose()?;
+    Ok(Invocation {
+        telemetry,
+        command: parse(argv)?,
+    })
 }
 
 struct Opts<'a> {
@@ -316,6 +366,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 scheduler: scheduler(&w)?,
                 budget: budget()?,
             })
+        }
+        "telemetry-report" => {
+            let path = argv
+                .get(1)
+                .filter(|s| !s.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| usage("telemetry-report requires a JSONL file argument"))?;
+            Ok(Command::TelemetryReport { path })
         }
         "-h" | "--help" | "help" => Err(usage("help requested")),
         other => Err(usage(format!("unknown command: {other}"))),

@@ -68,12 +68,24 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let sched = ensure_supported(&g, scheduler)?;
             let cdag = g.cdag();
             println!("{} under {scheme}, budget {budget} bits", g.name());
-            let Some(mut schedule) = sched.schedule(&g, budget) else {
-                return Err(CliError::Infeasible {
-                    scheduler: scheduler_name(scheduler),
-                    budget,
-                    min_feasible: Some(min_feasible_budget(cdag)),
-                });
+            let mut schedule = match sched.schedule(&g, budget) {
+                Ok(s) => s,
+                Err(ScheduleError::InfeasibleBudget { min_feasible }) => {
+                    return Err(CliError::Infeasible {
+                        scheduler: scheduler_name(scheduler),
+                        budget,
+                        // Always offer the Prop. 2.3 minimum, as this
+                        // command historically did.
+                        min_feasible: min_feasible.or(Some(min_feasible_budget(cdag))),
+                    });
+                }
+                Err(e) => {
+                    return Err(CliError::from_schedule_error(
+                        e,
+                        scheduler_name(scheduler),
+                        budget,
+                    ))
+                }
             };
             if optimize {
                 let (optimized, pstats) = peephole(cdag, &schedule);
@@ -243,13 +255,9 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let g = AnyGraph::build(workload, scheme)?;
             let sched = ensure_supported(&g, scheduler)?;
             let cdag = g.cdag();
-            let Some(schedule) = sched.schedule(&g, budget) else {
-                return Err(CliError::Infeasible {
-                    scheduler: scheduler_name(scheduler),
-                    budget,
-                    min_feasible: None,
-                });
-            };
+            let schedule = sched
+                .schedule(&g, budget)
+                .map_err(|e| CliError::from_schedule_error(e, scheduler_name(scheduler), budget))?;
             validate_schedule(cdag, budget, &schedule)?;
             let trace = occupancy_trace(cdag, &schedule);
             let s = summarize(&trace);
@@ -265,6 +273,16 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 s.mean,
                 100.0 * s.time_at_peak
             );
+            Ok(())
+        }
+        Command::TelemetryReport { path } => {
+            let text = std::fs::read_to_string(&path).map_err(|source| CliError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            let records =
+                pebblyn::telemetry::schema::validate_jsonl(&text).map_err(CliError::Telemetry)?;
+            print!("{}", pebblyn::telemetry::schema::report(&records));
             Ok(())
         }
     }

@@ -37,6 +37,8 @@ pub enum CliError {
     Target(&'static str),
     /// The exact search hit its expanded-state cap.
     Search(pebblyn::prelude::StateLimitExceeded),
+    /// A telemetry JSONL file failed schema validation.
+    Telemetry(String),
     /// Writing an output file failed.
     Io {
         /// Destination path.
@@ -53,6 +55,29 @@ impl CliError {
         match self {
             CliError::Usage(_) => 2,
             _ => 1,
+        }
+    }
+
+    /// Map a typed [`ScheduleError`] to the CLI surface: `Unsupported` and
+    /// `InfeasibleBudget` stay runtime errors (exit 1) with the CLI's
+    /// established messages; `ValidationFailed` surfaces as the scheduler
+    /// bug it is.
+    pub fn from_schedule_error(
+        e: pebblyn::prelude::ScheduleError,
+        scheduler: &'static str,
+        budget: Weight,
+    ) -> Self {
+        use pebblyn::prelude::ScheduleError;
+        match e {
+            ScheduleError::Unsupported => {
+                CliError::Unsupported("scheduler does not support this workload")
+            }
+            ScheduleError::InfeasibleBudget { min_feasible } => CliError::Infeasible {
+                scheduler,
+                budget,
+                min_feasible,
+            },
+            ScheduleError::ValidationFailed(v) => CliError::Validity(v),
         }
     }
 }
@@ -77,8 +102,9 @@ impl fmt::Display for CliError {
                 budget,
                 min_feasible: None,
             } => write!(f, "no {scheduler} schedule at {budget} bits"),
-            CliError::Io { path, source } => write!(f, "writing {path}: {source}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
             CliError::Search(e) => write!(f, "{e}; raise --max-states to keep searching"),
+            CliError::Telemetry(m) => write!(f, "telemetry file invalid: {m}"),
         }
     }
 }

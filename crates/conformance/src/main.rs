@@ -11,6 +11,7 @@
 
 use pebblyn_conformance::{mutation_smoke, run, Config};
 use pebblyn_core::Heuristic;
+use pebblyn_telemetry as telemetry;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -30,6 +31,9 @@ OPTIONS:
                       forced-reload (default forced-reload)
   --no-dominance      disable the exact solver's dominance pruning
   --failure-out <F>   also write failing shrunk cases to this file
+  --telemetry <F>     record run counters to this JSONL file (schema
+                      pebblyn-telemetry/v1) and cross-check the report's
+                      exact-state total against the solver's own counter
   --help              print this help
 ";
 
@@ -41,6 +45,7 @@ struct Args {
     heuristic: Heuristic,
     dominance: bool,
     failure_out: Option<String>,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         heuristic: Heuristic::default(),
         dominance: true,
         failure_out: None,
+        telemetry: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-dominance" => args.dominance = false,
             "--failure-out" => args.failure_out = Some(value("--failure-out")?),
+            "--telemetry" => args.telemetry = Some(value("--telemetry")?),
             "--mutation-smoke" => args.mutation_smoke = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument: {other}")),
@@ -111,9 +118,23 @@ fn main() -> ExitCode {
             .unwrap_or(if args.mutation_smoke { 64 } else { 1000 }),
         ..Config::default()
     };
-    cfg.oracle.max_states = args.max_states;
-    cfg.oracle.heuristic = args.heuristic;
-    cfg.oracle.dominance = args.dominance;
+    cfg.oracle = cfg
+        .oracle
+        .with_max_states(args.max_states)
+        .with_heuristic(args.heuristic)
+        .with_dominance(args.dominance);
+
+    if let Some(path) = &args.telemetry {
+        telemetry::enable();
+        match telemetry::JsonlSink::create(path) {
+            Ok(sink) => telemetry::install_sink(Box::new(sink)),
+            Err(e) => {
+                eprintln!("error: cannot open telemetry file {path}: {e}\n");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if args.mutation_smoke {
         return smoke(&cfg);
@@ -123,9 +144,9 @@ fn main() -> ExitCode {
         "conformance: seed {} · {} cases · exact state cap {} · heuristic {}{}",
         cfg.seed,
         cfg.cases,
-        cfg.oracle.max_states,
-        cfg.oracle.heuristic.name(),
-        if cfg.oracle.dominance {
+        cfg.oracle.max_states(),
+        cfg.oracle.heuristic().name(),
+        if cfg.oracle.dominance() {
             ""
         } else {
             " · dominance off"
@@ -138,8 +159,28 @@ fn main() -> ExitCode {
     );
 
     if report.is_clean() {
+        if args.telemetry.is_some() {
+            // On a clean run (no shrinking re-runs to skew the counter) the
+            // report's exact-state total and the solver's own telemetry
+            // counter account for the same solves; CI pins this invariant.
+            let counted = telemetry::counter(telemetry::Counter::StatesExpanded);
+            if counted != report.exact_states as u64 {
+                println!(
+                    "TELEMETRY MISMATCH: report counted {} exact states but the solver's \
+                     telemetry counter reads {counted}",
+                    report.exact_states
+                );
+                telemetry::flush_run("conformance");
+                return ExitCode::FAILURE;
+            }
+            println!("telemetry: states_expanded counter matches the report ({counted})");
+            telemetry::flush_run("conformance");
+        }
         println!("OK: zero violations");
         return ExitCode::SUCCESS;
+    }
+    if args.telemetry.is_some() {
+        telemetry::flush_run("conformance");
     }
 
     let mut body = String::new();
@@ -188,6 +229,7 @@ fn smoke(cfg: &Config) -> ExitCode {
             );
         }
     }
+    telemetry::flush_run("mutation-smoke");
     if escaped == 0 {
         println!("OK: all {} injected mutants caught", reports.len());
         ExitCode::SUCCESS

@@ -18,10 +18,10 @@
 //! * [`PhantomFeasible`] — claims feasibility below the minimum feasible
 //!   budget (`phantom-feasibility`), the broken-feasibility-check defect.
 
-use pebblyn_core::{min_feasible_budget, Move, Schedule, Weight};
+use pebblyn_core::{min_feasible_budget, validate_schedule, Move, Schedule, Weight};
 use pebblyn_graphs::AnyGraph;
 use pebblyn_schedulers::api::Naive;
-use pebblyn_schedulers::Scheduler;
+use pebblyn_schedulers::{ScheduleError, Scheduler};
 
 /// Fencepost: consumes one weight-gcd more budget than requested.
 #[derive(Debug, Clone, Copy, Default)]
@@ -34,9 +34,18 @@ impl Scheduler for OffByOneBudget {
     fn supports(&self, _g: &AnyGraph) -> bool {
         true
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         let step = g.cdag().weight_gcd().max(1);
         Naive.schedule(g, budget + step)
+    }
+    // Swallowed-validation default, as in the other mutants: at the tight
+    // probe the fencepost schedule overruns the requested budget and the
+    // replay rejection masquerades as infeasibility.
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Result<Weight, ScheduleError> {
+        let sched = self.schedule(g, budget)?;
+        validate_schedule(g.cdag(), budget, &sched)
+            .map(|st| st.cost)
+            .map_err(|_| ScheduleError::InfeasibleBudget { min_feasible: None })
     }
 }
 
@@ -51,13 +60,22 @@ impl Scheduler for DroppedStore {
     fn supports(&self, _g: &AnyGraph) -> bool {
         true
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         let sched = Naive.schedule(g, budget)?;
         let mut moves: Vec<Move> = sched.iter().collect();
         if let Some(pos) = moves.iter().rposition(|m| matches!(m, Move::Store(_))) {
             moves.remove(pos);
         }
-        Some(Schedule::from_moves(moves))
+        Ok(Schedule::from_moves(moves))
+    }
+    // Reproduces the pre-redesign `.ok()` default: a replay rejection is
+    // swallowed into "infeasible", which is precisely the masquerade the
+    // oracle must see through.
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Result<Weight, ScheduleError> {
+        let sched = self.schedule(g, budget)?;
+        validate_schedule(g.cdag(), budget, &sched)
+            .map(|st| st.cost)
+            .map_err(|_| ScheduleError::InfeasibleBudget { min_feasible: None })
     }
 }
 
@@ -72,12 +90,12 @@ impl Scheduler for CostMisreport {
     fn supports(&self, _g: &AnyGraph) -> bool {
         true
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         Naive.schedule(g, budget)
     }
-    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Result<Weight, ScheduleError> {
         let sched = self.schedule(g, budget)?;
-        Some(sched.cost(g.cdag()).saturating_sub(1))
+        Ok(sched.cost(g.cdag()).saturating_sub(1))
     }
 }
 
@@ -92,9 +110,18 @@ impl Scheduler for PhantomFeasible {
     fn supports(&self, _g: &AnyGraph) -> bool {
         true
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         let minb = min_feasible_budget(g.cdag());
         Naive.schedule(g, budget.max(minb))
+    }
+    // Same swallowed-validation default as [`DroppedStore`]: below the
+    // true minimum the padded schedule busts the requested budget on
+    // replay and the mutant quietly reports "infeasible".
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Result<Weight, ScheduleError> {
+        let sched = self.schedule(g, budget)?;
+        validate_schedule(g.cdag(), budget, &sched)
+            .map(|st| st.cost)
+            .map_err(|_| ScheduleError::InfeasibleBudget { min_feasible: None })
     }
 }
 
@@ -122,8 +149,8 @@ mod tests {
         let minb = min_feasible_budget(&g);
 
         // Off-by-one and phantom-feasible return schedules below minb...
-        assert!(OffByOneBudget.schedule(&any, minb - 1).is_some());
-        assert!(PhantomFeasible.schedule(&any, minb - 2).is_some());
+        assert!(OffByOneBudget.schedule(&any, minb - 1).is_ok());
+        assert!(PhantomFeasible.schedule(&any, minb - 2).is_ok());
         // ...and those schedules do not actually fit the requested budget.
         let s = PhantomFeasible.schedule(&any, minb - 2).unwrap();
         assert!(validate_moves(&g, minb - 2, s.iter()).is_err());

@@ -33,7 +33,8 @@ use pebblyn_core::{
 use pebblyn_exact::ExactSolver;
 use pebblyn_graphs::AnyGraph;
 use pebblyn_machine::{Machine, Op, OpTable};
-use pebblyn_schedulers::{kary, Scheduler};
+use pebblyn_schedulers::{kary, ScheduleError, Scheduler};
+use pebblyn_telemetry as telemetry;
 use rand::Rng;
 use std::fmt;
 
@@ -55,23 +56,27 @@ pub fn certified_optimal(scheduler: &str, g: &Cdag) -> bool {
 }
 
 /// Oracle tuning knobs.
+///
+/// Constructed with [`OracleConfig::default`] and refined through the
+/// `with_*` builder methods; the fields themselves are crate-private so
+/// configuration flows through one audited surface.
 #[derive(Debug, Clone, Copy)]
 pub struct OracleConfig {
     /// Run the exact solver when the graph has at most this many nodes.
-    pub exhaustive_max_nodes: usize,
+    pub(crate) exhaustive_max_nodes: usize,
     /// Exact-solver expanded-state cap; budgets whose search exceeds it are
     /// downgraded to invariant-only (counted in `exact_skipped`).
-    pub max_states: usize,
+    pub(crate) max_states: usize,
     /// Lower bound guiding the exact A\* (for pruning ablations).
-    pub heuristic: Heuristic,
+    pub(crate) heuristic: Heuristic,
     /// Enable the exact solver's dominance pruning (for ablations).
-    pub dominance: bool,
+    pub(crate) dominance: bool,
     /// Cross-check every schedule on the executable machine with real
     /// values (validates outputs against a reference evaluation).
-    pub machine_replay: bool,
+    pub(crate) machine_replay: bool,
     /// Apply the metamorphic transforms (weight scaling, isomorphism,
     /// IO-scale symmetry).
-    pub metamorphic: bool,
+    pub(crate) metamorphic: bool,
 }
 
 impl Default for OracleConfig {
@@ -93,6 +98,57 @@ impl OracleConfig {
         ExactSolver::with_max_states(self.max_states)
             .with_heuristic(self.heuristic)
             .with_dominance(self.dominance)
+    }
+
+    /// Only run the exact solver on graphs with at most `n` nodes.
+    pub fn with_exhaustive_max_nodes(mut self, n: usize) -> Self {
+        self.exhaustive_max_nodes = n;
+        self
+    }
+
+    /// Cap the exact solver at `n` expanded states per probe.
+    pub fn with_max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Pick the lower bound guiding the exact A\*.
+    pub fn with_heuristic(mut self, h: Heuristic) -> Self {
+        self.heuristic = h;
+        self
+    }
+
+    /// Enable or disable the exact solver's dominance pruning.
+    pub fn with_dominance(mut self, on: bool) -> Self {
+        self.dominance = on;
+        self
+    }
+
+    /// Enable or disable machine replay cross-checks.
+    pub fn with_machine_replay(mut self, on: bool) -> Self {
+        self.machine_replay = on;
+        self
+    }
+
+    /// Enable or disable the metamorphic transforms.
+    pub fn with_metamorphic(mut self, on: bool) -> Self {
+        self.metamorphic = on;
+        self
+    }
+
+    /// The configured expanded-state cap.
+    pub fn max_states(&self) -> usize {
+        self.max_states
+    }
+
+    /// The configured A\* heuristic.
+    pub fn heuristic(&self) -> Heuristic {
+        self.heuristic
+    }
+
+    /// Whether dominance pruning is enabled.
+    pub fn dominance(&self) -> bool {
+        self.dominance
     }
 }
 
@@ -236,11 +292,13 @@ fn check_graph_probes(
                 Ok(sol) => {
                     out.exact_certified += 1;
                     out.exact_states += sol.stats.expanded;
+                    telemetry::incr(telemetry::Counter::ProbesCertified);
                     Some(sol.cost)
                 }
                 Err(e) => {
                     out.exact_skipped += 1;
                     out.exact_states += e.states_expanded;
+                    telemetry::incr(telemetry::Counter::ProbesSkipped);
                     None
                 }
             }
@@ -291,20 +349,20 @@ fn check_graph_probes(
         }
 
         for (si, s) in schedulers.iter().enumerate() {
+            telemetry::incr(telemetry::Counter::Probes);
             let supported = s.supports(&any);
             let sched = s.schedule(&any, b);
             let claimed = s.min_cost(&any, b);
 
             if !supported {
-                if sched.is_some() || claimed.is_some() {
+                if sched.is_ok() || claimed.is_ok() {
                     push(
                         out,
                         Violation {
                             check: "unsupported-but-scheduled",
                             scheduler: s.name().into(),
                             budget: b,
-                            detail: "supports() is false but schedule/min_cost returned Some"
-                                .into(),
+                            detail: "supports() is false but schedule/min_cost succeeded".into(),
                         },
                     );
                 }
@@ -312,7 +370,7 @@ fn check_graph_probes(
                 continue;
             }
 
-            if b < minb && (sched.is_some() || claimed.is_some()) {
+            if b < minb && (sched.is_ok() || claimed.is_ok()) {
                 push(
                     out,
                     Violation {
@@ -325,7 +383,32 @@ fn check_graph_probes(
                     },
                 );
             }
-            if b >= minb && s.name() == "naive" && sched.is_none() {
+            // A `min_feasible` hint asserts *no* algorithm can schedule
+            // below it (Prop. 2.3), so it must equal the game minimum.
+            for (method, r) in [
+                ("schedule", sched.as_ref().err()),
+                ("min_cost", claimed.as_ref().err()),
+            ] {
+                if let Some(ScheduleError::InfeasibleBudget {
+                    min_feasible: Some(m),
+                }) = r
+                {
+                    if *m != minb || b >= *m {
+                        push(
+                            out,
+                            Violation {
+                                check: "infeasible-hint-wrong",
+                                scheduler: s.name().into(),
+                                budget: b,
+                                detail: format!(
+                                    "{method} hinted min_feasible={m} but the game minimum is {minb}"
+                                ),
+                            },
+                        );
+                    }
+                }
+            }
+            if b >= minb && s.name() == "naive" && sched.is_err() {
                 push(
                     out,
                     Violation {
@@ -336,7 +419,7 @@ fn check_graph_probes(
                     },
                 );
             }
-            if sched.is_none() && claimed.is_some() {
+            if sched.is_err() && claimed.is_ok() {
                 push(
                     out,
                     Violation {
@@ -348,7 +431,7 @@ fn check_graph_probes(
                 );
             }
 
-            let Some(sched) = sched else {
+            let Ok(sched) = sched else {
                 per_sched_costs[si].push(None);
                 continue;
             };
@@ -372,7 +455,7 @@ fn check_graph_probes(
             };
 
             match claimed {
-                Some(c) if c == stats.cost => {}
+                Ok(c) if c == stats.cost => {}
                 _ => push(
                     out,
                     Violation {

@@ -196,6 +196,7 @@ pub fn shrink(graph: &Cdag, budget: Weight, still_fails: impl Fn(&Cdag, Weight) 
         }
 
         if !progress {
+            pebblyn_telemetry::add(pebblyn_telemetry::Counter::ShrinkSteps, steps as u64);
             return Shrunk {
                 graph: g,
                 budget: b,

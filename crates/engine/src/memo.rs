@@ -9,6 +9,7 @@
 //! [`Memo::global`]).
 
 use pebblyn_core::Weight;
+use pebblyn_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -51,10 +52,12 @@ impl Memo {
             let map = self.map.lock().expect("memo poisoned");
             if let Some(&cached) = map.get(&(key.to_string(), series.to_string(), budget)) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                telemetry::incr(telemetry::Counter::MemoHits);
                 return cached;
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::incr(telemetry::Counter::MemoMisses);
         let value = compute();
         self.map
             .lock()

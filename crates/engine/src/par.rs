@@ -15,6 +15,7 @@
 //! Results are always returned in input order, so parallel and serial
 //! runs are byte-identical downstream.
 
+use pebblyn_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -43,6 +44,9 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    telemetry::incr(telemetry::Counter::ParRounds);
+    telemetry::add(telemetry::Counter::ParTasks, items.len() as u64);
+    telemetry::gauge_max(telemetry::Gauge::QueueDepthPeak, items.len() as u64);
     let threads = thread_count(items.len());
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();

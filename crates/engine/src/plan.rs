@@ -16,7 +16,8 @@ use crate::result::{MinMemoryResult, MinMemoryRow, SweepResult, SweepRow};
 use pebblyn_baselines::IoOptMvmModel;
 use pebblyn_core::{algorithmic_lower_bound, min_feasible_budget, occupancy_summary, Weight};
 use pebblyn_graphs::AnyGraph;
-use pebblyn_schedulers::{MinMemoryOptions, Scheduler};
+use pebblyn_schedulers::{MinMemoryOptions, ScheduleError, Scheduler};
+use pebblyn_telemetry as telemetry;
 use std::time::Instant;
 
 /// Log-spaced budgets on the word lattice from `lo_words` to `hi_words`
@@ -160,9 +161,20 @@ impl<'a> Series<'a> {
     }
 
     /// Evaluate the series (unmemoized).
+    ///
+    /// Scheduler series fold [`ScheduleError::Unsupported`] and
+    /// [`ScheduleError::InfeasibleBudget`] into `None` (an empty sweep
+    /// cell), but a [`ScheduleError::ValidationFailed`] is a scheduler
+    /// bug and panics rather than masquerading as infeasibility.
     pub fn cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
         match &self.kind {
-            Kind::Scheduler(s) => s.min_cost(g, budget),
+            Kind::Scheduler(s) => match s.min_cost(g, budget) {
+                Ok(c) => Some(c),
+                Err(ScheduleError::Unsupported | ScheduleError::InfeasibleBudget { .. }) => None,
+                Err(e @ ScheduleError::ValidationFailed(_)) => {
+                    panic!("{} on {} at {budget}: {e}", s.name(), g.name())
+                }
+            },
             Kind::Model(f) => f(g, budget),
         }
     }
@@ -171,6 +183,7 @@ impl<'a> Series<'a> {
         match &self.kind {
             Kind::Scheduler(s) => s
                 .schedule(g, budget)
+                .ok()
                 .map(|sch| occupancy_summary(g.cdag(), &sch).peak),
             Kind::Model(_) => None,
         }
@@ -187,19 +200,18 @@ impl std::fmt::Debug for Series<'_> {
 }
 
 /// A declarative `workloads × budgets × series` sweep.
+///
+/// Constructed exclusively through [`SweepPlan::new`] and the builder
+/// methods ([`workload`](SweepPlan::workload), [`series`](SweepPlan::series),
+/// [`measure_peak`](SweepPlan::measure_peak)) so adding plan knobs is not a
+/// breaking change.
 #[derive(Debug)]
 pub struct SweepPlan<'a> {
-    /// Plan title, carried into the result.
-    pub title: String,
-    /// Workload instances to sweep.
-    pub workloads: Vec<AnyGraph>,
-    /// Budget grid.
-    pub budgets: BudgetSpec,
-    /// Cost series to evaluate at every point.
-    pub series: Vec<Series<'a>>,
-    /// Also generate schedules and record their peak occupancy (slower;
-    /// model series never have peaks).
-    pub measure_peak: bool,
+    title: String,
+    workloads: Vec<AnyGraph>,
+    budgets: BudgetSpec,
+    series: Vec<Series<'a>>,
+    measure_peak: bool,
 }
 
 impl<'a> SweepPlan<'a> {
@@ -243,6 +255,7 @@ impl<'a> SweepPlan<'a> {
     /// `PEBBLYN_THREADS`, then all cores); rows come back in plan order:
     /// workload-major, then budget, then series.
     pub fn run_with(&self, memo: &Memo) -> SweepResult {
+        let _span = telemetry::span("sweep");
         struct WorkloadMeta {
             name: String,
             key: String,
@@ -326,14 +339,14 @@ impl std::fmt::Debug for MinMemoryEntry<'_> {
 }
 
 /// A declarative `workloads × series` minimum-fast-memory computation.
+///
+/// Constructed exclusively through [`MinMemoryPlan::new`] and the builder
+/// methods, like [`SweepPlan`].
 #[derive(Debug)]
 pub struct MinMemoryPlan<'a> {
-    /// Plan title, carried into the result.
-    pub title: String,
-    /// Workload instances.
-    pub workloads: Vec<AnyGraph>,
-    /// Columns to compute per workload.
-    pub entries: Vec<MinMemoryEntry<'a>>,
+    title: String,
+    workloads: Vec<AnyGraph>,
+    entries: Vec<MinMemoryEntry<'a>>,
 }
 
 impl<'a> MinMemoryPlan<'a> {
@@ -380,6 +393,7 @@ impl<'a> MinMemoryPlan<'a> {
     /// the memo, so a sweep that already evaluated a budget makes the
     /// bisection here free (and vice versa).
     pub fn run_with(&self, memo: &Memo) -> MinMemoryResult {
+        let _span = telemetry::span("min_memory");
         let mut points: Vec<(usize, usize)> = Vec::new();
         for wi in 0..self.workloads.len() {
             for ei in 0..self.entries.len() {

@@ -35,6 +35,7 @@ use pebblyn_core::{
 };
 use pebblyn_engine::par::par_map;
 use pebblyn_engine::ShardedWorklist;
+use pebblyn_telemetry as telemetry;
 use std::hash::{BuildHasher, Hash};
 
 /// Open-list shard count; fixed so expansion order never depends on the
@@ -316,6 +317,25 @@ fn shard_hint(s: State) -> u64 {
     pebblyn_core::FastBuildHasher::default().hash_one(s)
 }
 
+/// Mirror a finished search's [`SearchStats`] into the process telemetry.
+///
+/// Called exactly once per `search` exit (every `return` path), so the
+/// `states_expanded` counter equals the sum of per-solve `stats.expanded`
+/// — the invariant the conformance CI job asserts against its report.
+fn record_stats(stats: &SearchStats) {
+    if !telemetry::enabled() {
+        return;
+    }
+    use telemetry::{Counter, Gauge};
+    telemetry::add(Counter::StatesExpanded, stats.expanded as u64);
+    telemetry::add(Counter::StatesGenerated, stats.generated as u64);
+    telemetry::add(Counter::DominancePruned, stats.dominated as u64);
+    telemetry::add(Counter::DedupPruned, stats.deduped as u64);
+    telemetry::add(Counter::SearchBatches, stats.batches as u64);
+    telemetry::gauge_max(Gauge::FrontierPeak, stats.peak_open as u64);
+    telemetry::gauge_max(Gauge::DominanceEntriesPeak, stats.dominance_entries as u64);
+}
+
 pub(crate) fn search(
     solver: &ExactSolver,
     graph: &Cdag,
@@ -327,6 +347,7 @@ pub(crate) fn search(
         "exact solver supports at most 64 nodes (got {})",
         graph.len()
     );
+    let _span = telemetry::span("exact_search");
     let n = graph.len();
     let weights: Vec<Weight> = (0..n).map(|v| graph.weight(NodeId(v as u32))).collect();
     let pred_masks: Vec<u64> = (0..n)
@@ -397,6 +418,7 @@ pub(crate) fn search(
                 break;
             }
             if stats.expanded == solver.max_states {
+                record_stats(&stats);
                 return Err(StateLimitExceeded {
                     max_states: solver.max_states,
                     states_expanded: stats.expanded,
@@ -429,6 +451,7 @@ pub(crate) fn search(
                 }
                 Schedule::from_moves(moves)
             });
+            record_stats(&stats);
             return Ok(Solution {
                 cost: Some(goal.g),
                 schedule,
@@ -438,6 +461,7 @@ pub(crate) fn search(
         if batch.is_empty() {
             // The open list drained without reaching the goal: infeasible.
             stats.frontier_left = 0;
+            record_stats(&stats);
             return Ok(Solution {
                 cost: None,
                 schedule: None,

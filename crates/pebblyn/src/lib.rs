@@ -44,7 +44,9 @@
 //!   accounting,
 //! * [`kernels`] — Haar/MVM arithmetic, synthetic neural signals, BCI
 //!   features, fixed point,
-//! * [`synth`] — the SRAM macro model behind the circuit-level results.
+//! * [`synth`] — the SRAM macro model behind the circuit-level results,
+//! * [`telemetry`] — zero-overhead-when-disabled counters, phase timers
+//!   and sinks shared by the solver, engine, and CLI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,6 +61,7 @@ pub use pebblyn_kernels as kernels;
 pub use pebblyn_machine as machine;
 pub use pebblyn_schedulers as schedulers;
 pub use pebblyn_synth as synth;
+pub use pebblyn_telemetry as telemetry;
 
 /// Everything most programs need, in one import.
 pub mod prelude {
@@ -89,7 +92,8 @@ pub mod prelude {
     pub use pebblyn_schedulers::parallel::ParallelPlan;
     pub use pebblyn_schedulers::{
         api, banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, memstate,
-        min_memory, mvm_tiling, naive, parallel, registry, MinMemoryOptions, Scheduler,
+        min_memory, mvm_tiling, naive, parallel, registry, MinMemoryOptions, ScheduleError,
+        Scheduler,
     };
     pub use pebblyn_synth::{round_pow2, Floorplan, NvmParams, Process, SramConfig, SramMacro};
 }

@@ -16,12 +16,90 @@
 //! [`Scheduler::supports`].  Graph-generic algorithms (layer-by-layer,
 //! Belady, naive, k-ary on in-trees) support every variant, including
 //! [`AnyGraph::Custom`] wrappers around arbitrary CDAGs.
+//!
+//! # Migration note: `Option` → `Result<_, ScheduleError>`
+//!
+//! [`Scheduler::schedule`] and [`Scheduler::min_cost`] used to return
+//! `Option`, which conflated three distinct outcomes behind one `None`:
+//! the algorithm does not apply to the graph family, the budget is below
+//! the algorithm's feasibility threshold, and (silently, through an
+//! `.ok()` in the old `min_cost` default) the generated schedule failed
+//! replay validation.  They now return `Result<_, ScheduleError>`:
+//!
+//! - [`ScheduleError::Unsupported`] — wrong graph family; the old code
+//!   required a pre-flight [`Scheduler::supports`] call to detect this.
+//! - [`ScheduleError::InfeasibleBudget`] — the budget is too small for
+//!   this algorithm, with an optional `min_feasible` hint when the budget
+//!   is below the game-level minimum of Proposition 2.3 (no algorithm
+//!   can succeed there).
+//! - [`ScheduleError::ValidationFailed`] — the schedule was produced but
+//!   failed [`validate_schedule`]; always a scheduler bug, never an input
+//!   error, and previously indistinguishable from infeasibility.
+//!
+//! Callers that only care about success can use the deprecated
+//! [`Scheduler::schedule_opt`]/[`Scheduler::min_cost_opt`] shims, kept
+//! for one release.
 
 use crate::{
     banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, mvm_tiling, naive,
 };
-use pebblyn_core::{validate_schedule, Schedule, Weight};
+use pebblyn_core::{min_feasible_budget, validate_schedule, Schedule, ValidityError, Weight};
 use pebblyn_graphs::AnyGraph;
+use pebblyn_telemetry as telemetry;
+
+/// Why a [`Scheduler`] call produced no schedule or cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The algorithm does not apply to this graph family at all
+    /// (equivalently, [`Scheduler::supports`] is `false`).
+    Unsupported,
+    /// The graph is supported but the fast-memory budget is too small for
+    /// this algorithm.
+    InfeasibleBudget {
+        /// The game-level minimum feasible budget (Proposition 2.3) when
+        /// the requested budget is below it — no algorithm can schedule
+        /// the graph there.  `None` means only that *this* algorithm
+        /// failed; a stronger one may still succeed at this budget.
+        min_feasible: Option<Weight>,
+    },
+    /// The algorithm produced a schedule that failed replay validation.
+    /// This is a scheduler bug, never an input error.
+    ValidationFailed(ValidityError),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Unsupported => write!(f, "scheduler does not support this graph"),
+            ScheduleError::InfeasibleBudget { min_feasible: None } => {
+                write!(f, "budget too small for this scheduler")
+            }
+            ScheduleError::InfeasibleBudget {
+                min_feasible: Some(m),
+            } => write!(f, "budget below game-level minimum ({m} bits required)"),
+            ScheduleError::ValidationFailed(e) => write!(f, "schedule failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The [`ScheduleError::InfeasibleBudget`] for `g` at `budget`, with the
+/// Proposition 2.3 hint filled in when the budget is below the game-level
+/// minimum.
+fn infeasible(g: &AnyGraph, budget: Weight) -> ScheduleError {
+    let game_min = min_feasible_budget(g.cdag());
+    ScheduleError::InfeasibleBudget {
+        min_feasible: (budget < game_min).then_some(game_min),
+    }
+}
+
+/// Record a successful schedule's move count in telemetry and pass the
+/// schedule through (free when telemetry is disabled).
+fn emit(s: Schedule) -> Schedule {
+    telemetry::add(telemetry::Counter::MovesEmitted, s.len() as u64);
+    s
+}
 
 /// One scheduling algorithm, workload-erased.
 ///
@@ -29,8 +107,8 @@ use pebblyn_graphs::AnyGraph;
 /// `&dyn Scheduler` (they are all `Send + Sync`, so sweeps may share them
 /// across threads).  Calling [`schedule`](Scheduler::schedule) or
 /// [`min_cost`](Scheduler::min_cost) on an unsupported graph returns
-/// `None`; check [`supports`](Scheduler::supports) first to distinguish
-/// "not applicable" from "budget too small".
+/// [`ScheduleError::Unsupported`]; a supported graph with too small a
+/// budget returns [`ScheduleError::InfeasibleBudget`].
 pub trait Scheduler: Send + Sync {
     /// Stable machine-readable name (registry key, sweep-row label).
     fn name(&self) -> &str;
@@ -38,20 +116,20 @@ pub trait Scheduler: Send + Sync {
     /// Whether this algorithm applies to `g` at all.
     fn supports(&self, g: &AnyGraph) -> bool;
 
-    /// A concrete schedule within `budget`, or `None` when the graph is
-    /// unsupported or the budget too small.
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule>;
+    /// A concrete schedule within `budget`.
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError>;
 
     /// The scheduler's cost at `budget`.
     ///
     /// The default generates the schedule and replays it through
-    /// [`validate_schedule`]; DP-based schedulers override this with their
-    /// direct cost recurrences (no move materialization).
-    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+    /// [`validate_schedule`], surfacing a replay rejection as
+    /// [`ScheduleError::ValidationFailed`]; DP-based schedulers override
+    /// this with their direct cost recurrences (no move materialization).
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Result<Weight, ScheduleError> {
         let s = self.schedule(g, budget)?;
         validate_schedule(g.cdag(), budget, &s)
-            .ok()
             .map(|st| st.cost)
+            .map_err(ScheduleError::ValidationFailed)
     }
 
     /// Whether `min_cost` is non-increasing in the budget, which lets
@@ -59,6 +137,20 @@ pub trait Scheduler: Send + Sync {
     /// (see [`crate::min_memory`](mod@crate::min_memory)).
     fn monotone(&self) -> bool {
         false
+    }
+
+    /// Option-typed shim over [`Scheduler::schedule`] for callers that do
+    /// not need the failure reason.
+    #[deprecated(note = "use schedule() and match on ScheduleError")]
+    fn schedule_opt(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+        self.schedule(g, budget).ok()
+    }
+
+    /// Option-typed shim over [`Scheduler::min_cost`] for callers that do
+    /// not need the failure reason.
+    #[deprecated(note = "use min_cost() and match on ScheduleError")]
+    fn min_cost_opt(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+        self.min_cost(g, budget).ok()
     }
 }
 
@@ -73,16 +165,20 @@ impl Scheduler for DwtOpt {
     fn supports(&self, g: &AnyGraph) -> bool {
         matches!(g, AnyGraph::Dwt(d) if d.satisfies_pruning_condition())
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         match g {
-            AnyGraph::Dwt(d) if d.satisfies_pruning_condition() => dwt_opt::schedule(d, budget),
-            _ => None,
+            AnyGraph::Dwt(d) if d.satisfies_pruning_condition() => dwt_opt::schedule(d, budget)
+                .map(emit)
+                .ok_or_else(|| infeasible(g, budget)),
+            _ => Err(ScheduleError::Unsupported),
         }
     }
-    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Result<Weight, ScheduleError> {
         match g {
-            AnyGraph::Dwt(d) if d.satisfies_pruning_condition() => dwt_opt::min_cost(d, budget),
-            _ => None,
+            AnyGraph::Dwt(d) if d.satisfies_pruning_condition() => {
+                dwt_opt::min_cost(d, budget).ok_or_else(|| infeasible(g, budget))
+            }
+            _ => Err(ScheduleError::Unsupported),
         }
     }
     fn monotone(&self) -> bool {
@@ -104,17 +200,21 @@ impl Scheduler for Kary {
     fn supports(&self, g: &AnyGraph) -> bool {
         g.cdag().is_in_tree()
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         let cdag = g.cdag();
-        cdag.is_in_tree()
-            .then(|| kary::schedule(cdag, budget))
-            .flatten()
+        if !cdag.is_in_tree() {
+            return Err(ScheduleError::Unsupported);
+        }
+        kary::schedule(cdag, budget)
+            .map(emit)
+            .ok_or_else(|| infeasible(g, budget))
     }
-    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Result<Weight, ScheduleError> {
         let cdag = g.cdag();
-        cdag.is_in_tree()
-            .then(|| kary::min_cost(cdag, budget))
-            .flatten()
+        if !cdag.is_in_tree() {
+            return Err(ScheduleError::Unsupported);
+        }
+        kary::min_cost(cdag, budget).ok_or_else(|| infeasible(g, budget))
     }
     fn monotone(&self) -> bool {
         true
@@ -132,16 +232,20 @@ impl Scheduler for MvmTiling {
     fn supports(&self, g: &AnyGraph) -> bool {
         matches!(g, AnyGraph::Mvm(_))
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         match g {
-            AnyGraph::Mvm(m) => mvm_tiling::schedule(m, budget),
-            _ => None,
+            AnyGraph::Mvm(m) => mvm_tiling::schedule(m, budget)
+                .map(emit)
+                .ok_or_else(|| infeasible(g, budget)),
+            _ => Err(ScheduleError::Unsupported),
         }
     }
-    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Result<Weight, ScheduleError> {
         match g {
-            AnyGraph::Mvm(m) => mvm_tiling::min_cost(m, budget),
-            _ => None,
+            AnyGraph::Mvm(m) => {
+                mvm_tiling::min_cost(m, budget).ok_or_else(|| infeasible(g, budget))
+            }
+            _ => Err(ScheduleError::Unsupported),
         }
     }
     fn monotone(&self) -> bool {
@@ -160,16 +264,20 @@ impl Scheduler for ConvStream {
     fn supports(&self, g: &AnyGraph) -> bool {
         matches!(g, AnyGraph::Conv(_))
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         match g {
-            AnyGraph::Conv(c) => conv_stream::schedule(c, budget),
-            _ => None,
+            AnyGraph::Conv(c) => conv_stream::schedule(c, budget)
+                .map(emit)
+                .ok_or_else(|| infeasible(g, budget)),
+            _ => Err(ScheduleError::Unsupported),
         }
     }
-    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Result<Weight, ScheduleError> {
         match g {
-            AnyGraph::Conv(c) => conv_stream::min_cost(c, budget),
-            _ => None,
+            AnyGraph::Conv(c) => {
+                conv_stream::min_cost(c, budget).ok_or_else(|| infeasible(g, budget))
+            }
+            _ => Err(ScheduleError::Unsupported),
         }
     }
     fn monotone(&self) -> bool {
@@ -188,16 +296,20 @@ impl Scheduler for BandedStream {
     fn supports(&self, g: &AnyGraph) -> bool {
         matches!(g, AnyGraph::Banded { .. })
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         match g {
-            AnyGraph::Banded { graph, .. } => banded_stream::schedule(graph, budget),
-            _ => None,
+            AnyGraph::Banded { graph, .. } => banded_stream::schedule(graph, budget)
+                .map(emit)
+                .ok_or_else(|| infeasible(g, budget)),
+            _ => Err(ScheduleError::Unsupported),
         }
     }
-    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
+    fn min_cost(&self, g: &AnyGraph, budget: Weight) -> Result<Weight, ScheduleError> {
         match g {
-            AnyGraph::Banded { graph, .. } => banded_stream::min_cost(graph, budget),
-            _ => None,
+            AnyGraph::Banded { graph, .. } => {
+                banded_stream::min_cost(graph, budget).ok_or_else(|| infeasible(g, budget))
+            }
+            _ => Err(ScheduleError::Unsupported),
         }
     }
     fn monotone(&self) -> bool {
@@ -216,8 +328,10 @@ impl Scheduler for LayerByLayer {
     fn supports(&self, _g: &AnyGraph) -> bool {
         true
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         layer_by_layer::schedule(g, budget, layer_by_layer::LayerByLayerOptions::default())
+            .map(emit)
+            .ok_or_else(|| infeasible(g, budget))
     }
 }
 
@@ -232,8 +346,10 @@ impl Scheduler for GreedyBelady {
     fn supports(&self, _g: &AnyGraph) -> bool {
         true
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         greedy_belady::schedule(g.cdag(), budget)
+            .map(emit)
+            .ok_or_else(|| infeasible(g, budget))
     }
 }
 
@@ -248,8 +364,10 @@ impl Scheduler for Naive {
     fn supports(&self, _g: &AnyGraph) -> bool {
         true
     }
-    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
         naive::schedule(g.cdag(), budget)
+            .map(emit)
+            .ok_or_else(|| infeasible(g, budget))
     }
 }
 
@@ -313,22 +431,30 @@ mod tests {
             let budget = 4 * g.cdag().total_weight();
             for s in registry() {
                 if !s.supports(&g) {
-                    assert!(
-                        s.schedule(&g, budget).is_none(),
+                    assert_eq!(
+                        s.schedule(&g, budget).unwrap_err(),
+                        ScheduleError::Unsupported,
                         "{} must refuse unsupported {}",
+                        s.name(),
+                        g.name()
+                    );
+                    assert_eq!(
+                        s.min_cost(&g, budget).unwrap_err(),
+                        ScheduleError::Unsupported,
+                        "{} min_cost must refuse unsupported {}",
                         s.name(),
                         g.name()
                     );
                     continue;
                 }
-                let sched = s.schedule(&g, budget).unwrap_or_else(|| {
-                    panic!("{} infeasible on {} at ample budget", s.name(), g.name())
+                let sched = s.schedule(&g, budget).unwrap_or_else(|e| {
+                    panic!("{} on {} at ample budget: {e}", s.name(), g.name())
                 });
                 let stats = validate_schedule(g.cdag(), budget, &sched)
                     .unwrap_or_else(|e| panic!("{} on {}: {e}", s.name(), g.name()));
                 let cost = s
                     .min_cost(&g, budget)
-                    .unwrap_or_else(|| panic!("{} min_cost on {}", s.name(), g.name()));
+                    .unwrap_or_else(|e| panic!("{} min_cost on {}: {e}", s.name(), g.name()));
                 assert!(
                     cost <= stats.cost,
                     "{} on {}: min_cost {cost} exceeds replay {}",
@@ -340,13 +466,36 @@ mod tests {
         }
     }
 
+    /// Below the Proposition 2.3 game-level minimum every supported call
+    /// reports `InfeasibleBudget` with the minimum as its hint, and
+    /// unsupported calls still report `Unsupported`.
     #[test]
     fn below_feasibility_every_scheduler_declines() {
         for g in instances() {
-            let too_small = min_feasible_budget(g.cdag()) - 1;
+            let game_min = min_feasible_budget(g.cdag());
+            let too_small = game_min - 1;
             for s in registry() {
-                assert!(s.schedule(&g, too_small).is_none(), "{}", s.name());
-                assert!(s.min_cost(&g, too_small).is_none(), "{}", s.name());
+                let expected = if s.supports(&g) {
+                    ScheduleError::InfeasibleBudget {
+                        min_feasible: Some(game_min),
+                    }
+                } else {
+                    ScheduleError::Unsupported
+                };
+                assert_eq!(
+                    s.schedule(&g, too_small).unwrap_err(),
+                    expected,
+                    "{} schedule on {}",
+                    s.name(),
+                    g.name()
+                );
+                assert_eq!(
+                    s.min_cost(&g, too_small).unwrap_err(),
+                    expected,
+                    "{} min_cost on {}",
+                    s.name(),
+                    g.name()
+                );
             }
         }
     }
@@ -371,7 +520,50 @@ mod tests {
             unreachable!()
         };
         let budget = 24 * 16;
-        assert_eq!(DwtOpt.min_cost(&g, budget), dwt_opt::min_cost(d, budget));
+        assert_eq!(
+            DwtOpt.min_cost(&g, budget).ok(),
+            dwt_opt::min_cost(d, budget)
+        );
         assert!(DwtOpt.monotone());
+    }
+
+    /// The `min_cost` default surfaces a replay rejection as
+    /// `ValidationFailed` instead of swallowing it (the old `.ok()` bug
+    /// mapped scheduler bugs to "infeasible").
+    #[test]
+    fn min_cost_default_reports_validation_failures() {
+        struct EmptyScheduler;
+        impl Scheduler for EmptyScheduler {
+            fn name(&self) -> &str {
+                "empty"
+            }
+            fn supports(&self, _g: &AnyGraph) -> bool {
+                true
+            }
+            fn schedule(&self, _g: &AnyGraph, _budget: Weight) -> Result<Schedule, ScheduleError> {
+                Ok(Schedule::new())
+            }
+        }
+        let g = AnyGraph::custom("diamond", testgraphs::diamond(WeightScheme::Equal(8)));
+        let budget = 4 * g.cdag().total_weight();
+        match EmptyScheduler.min_cost(&g, budget) {
+            Err(ScheduleError::ValidationFailed(_)) => {}
+            other => panic!("expected ValidationFailed, got {other:?}"),
+        }
+    }
+
+    /// The deprecated shims behave like `.ok()` over the typed calls.
+    #[test]
+    #[allow(deprecated)]
+    fn option_shims_match_typed_surface() {
+        let g = AnyGraph::custom("diamond", testgraphs::diamond(WeightScheme::Equal(8)));
+        let budget = 4 * g.cdag().total_weight();
+        assert!(Naive.schedule_opt(&g, budget).is_some());
+        assert_eq!(
+            Naive.min_cost_opt(&g, budget),
+            Naive.min_cost(&g, budget).ok()
+        );
+        assert!(DwtOpt.schedule_opt(&g, budget).is_none());
+        assert!(DwtOpt.min_cost_opt(&g, budget).is_none());
     }
 }
