@@ -1,0 +1,357 @@
+//! Trace-replay load generator for the scheduling daemon.
+//!
+//! ```sh
+//! loadgen [--requests N] [--cases K] [--seed S] [--out FILE]
+//!         [--socket PATH] [--assert-hit] [--assert-no-shed] [--shutdown]
+//!         [--queue-depth N] [--workers N] [--telemetry FILE]
+//! ```
+//!
+//! Replays a seeded, repeat-heavy request mix — identical repeats,
+//! relabeled isomorphs, and cost-only probes over `K` conformance-generated
+//! graphs — against the scheduling service and reports hit rate, latency
+//! percentiles, and shed count to `results/service_load.json`.
+//!
+//! Two modes:
+//!
+//! * **in-process** (default): the trace runs twice through a
+//!   [`Server`]-fronted [`Service`], once cache-enabled and once
+//!   cache-disabled, so the report carries the cache's p50/p99 speedup on
+//!   the same machine, same trace;
+//! * **`--socket PATH`**: the trace drives a running `pebblyn serve`
+//!   daemon over its unix socket, one frame per request.  `--assert-hit`
+//!   and `--assert-no-shed` turn the report into a CI check, and
+//!   `--shutdown` stops the daemon afterwards (awaiting its ack) so its
+//!   telemetry file is flushed and checkable.
+
+use pebblyn::conformance::metamorphic::{permute_nodes, random_perm};
+use pebblyn::conformance::{generate, SplitRng};
+use pebblyn::prelude::*;
+use pebblyn::service::wire::{self, Frame};
+use pebblyn_bench::{init_telemetry_from_args, results_dir};
+use std::time::Instant;
+
+struct Args {
+    requests: usize,
+    cases: u64,
+    seed: u64,
+    out: Option<String>,
+    socket: Option<String>,
+    assert_hit: bool,
+    assert_no_shed: bool,
+    shutdown: bool,
+    queue_depth: usize,
+    workers: usize,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        requests: 400,
+        cases: 12,
+        seed: 0x10AD_6E4E,
+        out: None,
+        socket: None,
+        assert_hit: false,
+        assert_no_shed: false,
+        shutdown: false,
+        queue_depth: 64,
+        workers: 0,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let num = |name: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|e| format!("bad {name} {v:?}: {e}"))
+        };
+        match arg.as_str() {
+            "--requests" => args.requests = num("--requests", value("--requests")?)? as usize,
+            "--cases" => args.cases = num("--cases", value("--cases")?)?.max(1),
+            "--seed" => args.seed = num("--seed", value("--seed")?)?,
+            "--out" => args.out = Some(value("--out")?),
+            "--socket" => args.socket = Some(value("--socket")?),
+            "--assert-hit" => args.assert_hit = true,
+            "--assert-no-shed" => args.assert_no_shed = true,
+            "--shutdown" => args.shutdown = true,
+            "--queue-depth" => {
+                args.queue_depth = num("--queue-depth", value("--queue-depth")?)?.max(1) as usize
+            }
+            "--workers" => args.workers = num("--workers", value("--workers")?)? as usize,
+            "--telemetry" => {
+                value("--telemetry")?; // consumed by init_telemetry_from_args
+            }
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The deterministic request mix: per graph-cycle, identity full solves,
+/// relabeled isomorphs, and cost-only probes, all against the
+/// workload-agnostic `greedy-belady` so every graph in the mix is valid.
+///
+/// The unique graphs are mostly mid-size convolution CDAGs (a few
+/// hundred nodes — large enough that a solve visibly out-costs a cache
+/// probe, and path-like enough that canonical forms stay exact, so
+/// relabeled isomorphs hit) with a seasoning of small
+/// conformance-generated graphs (the shapes the differential oracle
+/// fuzzes).  Three of four cycles resubmit a graph byte-identically —
+/// the daemon pattern the identity fast path exists for — and the
+/// fourth relabels it, exercising canonical transport.
+fn trace(args: &Args) -> Vec<Request> {
+    let graphs: Vec<Cdag> = (0..args.cases)
+        .map(|i| {
+            if i % 4 == 3 {
+                generate(args.seed, i).graph
+            } else {
+                let n = 192 + 4 * i as usize;
+                let k = 8 + (i as usize % 3);
+                ConvGraph::new(n, k, WeightScheme::Equal(16))
+                    .expect("valid conv params")
+                    .cdag()
+                    .clone()
+            }
+        })
+        .collect();
+    (0..args.requests)
+        .map(|i| {
+            let g = &graphs[i % graphs.len()];
+            let cycle = i / graphs.len();
+            let budget = min_feasible_budget(g) + g.total_weight() / 2;
+            let (graph, cost_only) = match cycle % 4 {
+                3 => {
+                    let mut rng = SplitRng::for_case(args.seed ^ 0x5EED, i as u64);
+                    let perm = random_perm(g.len(), &mut rng);
+                    (permute_nodes(g, &perm), false)
+                }
+                2 => (g.clone(), true),
+                _ => (g.clone(), false),
+            };
+            Request {
+                id: i as u64,
+                ask: ScheduleRequest::new(GraphSpec::Custom(graph), budget, "greedy-belady")
+                    .with_cost_only(cost_only),
+                no_cache: false,
+            }
+        })
+        .collect()
+}
+
+/// Latency percentiles plus hit/shed accounting over one replay.
+#[derive(Debug, Default)]
+struct Pass {
+    hits: u64,
+    sheds: u64,
+    answered: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl Pass {
+    fn observe(&mut self, resp: &Response, ns: u64) {
+        self.latencies_ns.push(ns);
+        match &resp.outcome {
+            Outcome::Ok { cache_hit, .. } => {
+                self.answered += 1;
+                if *cache_hit {
+                    self.hits += 1;
+                }
+            }
+            Outcome::Rejected { kind, .. } => {
+                if *kind == RejectKind::Overloaded {
+                    self.sheds += 1;
+                } else {
+                    panic!("trace request rejected: {:?}", resp.outcome);
+                }
+            }
+        }
+    }
+
+    fn percentile_us(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx] as f64 / 1e3
+    }
+
+    fn hit_rate(&self) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.answered as f64
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            r#"{{ "answered": {}, "hits": {}, "hit_rate": {:.4}, "shed": {}, "p50_us": {:.1}, "p99_us": {:.1} }}"#,
+            self.answered,
+            self.hits,
+            self.hit_rate(),
+            self.sheds,
+            self.percentile_us(0.50),
+            self.percentile_us(0.99),
+        )
+    }
+}
+
+/// Replay the trace through an in-process worker pool.
+fn replay_in_process(reqs: &[Request], cache: bool, args: &Args) -> Pass {
+    let service = std::sync::Arc::new(Service::new(&ServiceConfig {
+        cache,
+        ..ServiceConfig::default()
+    }));
+    let server = Server::start(
+        std::sync::Arc::clone(&service),
+        &ServerConfig {
+            queue_depth: args.queue_depth,
+            workers: args.workers,
+        },
+    );
+    let mut pass = Pass::default();
+    for req in reqs {
+        // Clone outside the timer: marshalling a request is client work,
+        // not service latency.
+        let req = req.clone();
+        let t = Instant::now();
+        let resp = server.submit(req).recv().expect("worker answers");
+        pass.observe(&resp, t.elapsed().as_nanos() as u64);
+    }
+    server.shutdown();
+    pass
+}
+
+/// Replay the trace against a daemon's unix socket, one frame at a time.
+fn replay_socket(reqs: &[Request], path: &str, shutdown: bool) -> std::io::Result<Pass> {
+    use std::io::Read as _;
+    let mut stream = std::os::unix::net::UnixStream::connect(path)?;
+    let mut pass = Pass::default();
+    for req in reqs {
+        let t = Instant::now();
+        wire::write_frame(&mut stream, &wire::encode_request(req))?;
+        let payload = wire::read_frame(&mut stream)?
+            .ok_or_else(|| std::io::Error::other("daemon closed mid-trace"))?;
+        let frame = wire::decode_payload(&payload).map_err(std::io::Error::other)?;
+        let Frame::Response(resp) = frame else {
+            return Err(std::io::Error::other(format!("unexpected frame {frame:?}")));
+        };
+        pass.observe(&resp, t.elapsed().as_nanos() as u64);
+    }
+    if shutdown {
+        wire::write_frame(&mut stream, &wire::encode_shutdown())?;
+        // Await the ack (any remaining bytes) so the daemon has flushed
+        // telemetry before we return and CI inspects its JSONL.
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest)?;
+    }
+    Ok(pass)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_on = init_telemetry_from_args(&argv);
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let reqs = trace(&args);
+    println!(
+        "loadgen: {} requests over {} unique graphs (seed {:#x}){}",
+        args.requests,
+        args.cases,
+        args.seed,
+        match &args.socket {
+            Some(p) => format!(", socket {p}"),
+            None => ", in-process".into(),
+        }
+    );
+
+    let (cached, cold) = match &args.socket {
+        Some(path) => {
+            let pass = replay_socket(&reqs, path, args.shutdown).unwrap_or_else(|e| {
+                eprintln!("error: socket replay failed: {e}");
+                std::process::exit(1);
+            });
+            (pass, None)
+        }
+        None => {
+            let warm = replay_in_process(&reqs, true, &args);
+            let cold = replay_in_process(&reqs, false, &args);
+            (warm, Some(cold))
+        }
+    };
+
+    println!(
+        "cached: {:.1}% hits, p50 {:.1} us, p99 {:.1} us, {} shed",
+        100.0 * cached.hit_rate(),
+        cached.percentile_us(0.50),
+        cached.percentile_us(0.99),
+        cached.sheds,
+    );
+    let speedup = cold.as_ref().map(|c| {
+        let s = c.percentile_us(0.50) / cached.percentile_us(0.50).max(1e-9);
+        println!(
+            "cold:   p50 {:.1} us, p99 {:.1} us -> cache p50 speedup {s:.1}x",
+            c.percentile_us(0.50),
+            c.percentile_us(0.99),
+        );
+        s
+    });
+
+    let json = format!(
+        r#"{{
+  "description": "Scheduling-daemon load report: a seeded repeat-heavy trace (identity repeats, relabeled isomorphs, cost-only probes over conformance-generated graphs) replayed through the service. In in-process mode the same trace also runs against a cache-disabled control and p50_speedup compares median latencies; wall times are same-host single-run measurements.",
+  "command": "cargo run --release -p pebblyn-bench --bin loadgen",
+  "requests": {requests},
+  "unique_graphs": {cases},
+  "seed": {seed},
+  "scheduler": "greedy-belady",
+  "transport": "{transport}",
+  "cached": {cached},
+  "cold": {cold},
+  "p50_speedup": {speedup}
+}}
+"#,
+        requests = args.requests,
+        cases = args.cases,
+        seed = args.seed,
+        transport = if args.socket.is_some() {
+            "unix-socket"
+        } else {
+            "in-process"
+        },
+        cached = cached.json(),
+        cold = cold.as_ref().map_or("null".into(), Pass::json),
+        speedup = speedup.map_or("null".into(), |s| format!("{s:.2}")),
+    );
+    let path = args
+        .out
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("service_load.json"));
+    std::fs::write(&path, json).expect("write service_load.json");
+    println!("[json] {}", path.display());
+
+    if telemetry_on {
+        pebblyn::telemetry::flush_run("loadgen");
+    }
+    if args.assert_hit && cached.hits == 0 {
+        eprintln!(
+            "FAIL: --assert-hit: no cache hits over {} requests",
+            args.requests
+        );
+        std::process::exit(1);
+    }
+    if args.assert_no_shed && cached.sheds > 0 {
+        eprintln!("FAIL: --assert-no-shed: {} requests shed", cached.sheds);
+        std::process::exit(1);
+    }
+}

@@ -22,6 +22,8 @@ COMMANDS:
   synth        synthesize an SRAM macro for a capacity
   trace        render a schedule's fast-memory occupancy over time
   dot          print the workload CDAG in Graphviz DOT format
+  serve        run the scheduling daemon (wire protocol over stdio or
+               a unix socket, canonicalizing schedule cache)
   telemetry-report <FILE>
                summarize a telemetry JSONL file written by --telemetry
 
@@ -37,8 +39,17 @@ WORKLOAD OPTIONS (schedule, min-memory, sweep, exact, dot):
   --bandwidth <B>          banded MVM half-bandwidth [default 4]
   --weights equal|da       weight configuration [default equal]
   --word <BITS>            word size in bits [default 16]
-  --scheduler opt|lbl|naive|tiling|stream|banded|belady
-                           scheduler [default: per-workload]
+  --scheduler <NAME>       a registry name: dwt-opt|kary|mvm-tiling|
+                           conv-stream|banded-stream|layer-by-layer|
+                           greedy-belady|naive (aliases: opt, lbl,
+                           tiling, stream, banded, belady)
+                           [default: per-workload]
+
+SERVE OPTIONS:
+  --socket <PATH>          listen on a unix socket instead of stdio
+  --queue-depth <N>        bounded request queue; overflow sheds [64]
+  --workers <N>            worker threads [default: machine-sized]
+  --no-cache               disable the canonicalizing schedule cache
 
 EXACT OPTIONS:
   --heuristic none|remaining-work|forced-reload
@@ -59,23 +70,31 @@ OTHER OPTIONS:
                            inspect with telemetry-report
 ";
 
-/// Which scheduler to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scheduler {
-    /// The DWT-optimal dynamic program (Algorithm 1).
-    Optimal,
-    /// The layer-by-layer baseline.
-    LayerByLayer,
-    /// The trivial topological-order schedule.
-    Naive,
-    /// The MVM tiling (§4.3).
-    Tiling,
-    /// Sliding-window streaming for convolution.
-    Stream,
-    /// Streaming for banded MVM.
-    BandedStream,
-    /// Greedy with Belady eviction.
-    Belady,
+/// Map a `--scheduler` value — a registry name or one of the historical
+/// CLI aliases — to its canonical registry name, validated against the
+/// live scheduler registry at parse time.  An unknown name is a
+/// [`CliError::Usage`] (exit 2) that lists every valid registry name, so
+/// the driver's error is actionable without reading the docs.
+pub fn resolve_scheduler(input: &str) -> Result<&'static str, CliError> {
+    let name = match input {
+        "opt" | "optimal" => "dwt-opt",
+        "lbl" => "layer-by-layer",
+        "tiling" => "mvm-tiling",
+        "stream" => "conv-stream",
+        "banded" => "banded-stream",
+        "belady" => "greedy-belady",
+        other => other,
+    };
+    match api::by_name(name) {
+        Some(s) => Ok(s.name()),
+        None => {
+            let valid: Vec<&str> = api::registry().iter().map(|s| s.name()).collect();
+            Err(usage(format!(
+                "unknown --scheduler {input}; valid names: {}",
+                valid.join(", ")
+            )))
+        }
+    }
 }
 
 /// A parsed command.
@@ -86,7 +105,7 @@ pub enum Command {
     Schedule {
         workload: Workload,
         scheme: WeightScheme,
-        scheduler: Scheduler,
+        scheduler: &'static str,
         budget: Weight,
         emit: bool,
         optimize: bool,
@@ -96,13 +115,13 @@ pub enum Command {
     MinMemory {
         workload: Workload,
         scheme: WeightScheme,
-        scheduler: Scheduler,
+        scheduler: &'static str,
     },
     /// Print a cost vs budget series as CSV.
     Sweep {
         workload: Workload,
         scheme: WeightScheme,
-        scheduler: Scheduler,
+        scheduler: &'static str,
         points: usize,
     },
     /// Solve the workload optimally with the bound-guided A* search.
@@ -126,8 +145,15 @@ pub enum Command {
     Trace {
         workload: Workload,
         scheme: WeightScheme,
-        scheduler: Scheduler,
+        scheduler: &'static str,
         budget: Weight,
+    },
+    /// Run the scheduling daemon.
+    Serve {
+        socket: Option<String>,
+        queue_depth: usize,
+        workers: usize,
+        cache: bool,
     },
     /// Summarize a telemetry JSONL file.
     TelemetryReport { path: String },
@@ -144,6 +170,7 @@ impl Command {
             Command::Synth { .. } => "synth",
             Command::Dot { .. } => "dot",
             Command::Trace { .. } => "trace",
+            Command::Serve { .. } => "serve",
             Command::TelemetryReport { .. } => "telemetry-report",
         }
     }
@@ -261,24 +288,15 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         }
     };
 
-    let scheduler = |w: &Workload| -> Result<Scheduler, CliError> {
+    let scheduler = |w: &Workload| -> Result<&'static str, CliError> {
         let default = match w {
-            Workload::Dwt { .. } => "opt",
-            Workload::Mvm { .. } => "tiling",
-            Workload::Conv { .. } => "stream",
-            Workload::Dwt2d { .. } => "belady",
-            Workload::Banded { .. } => "banded",
+            Workload::Dwt { .. } => "dwt-opt",
+            Workload::Mvm { .. } => "mvm-tiling",
+            Workload::Conv { .. } => "conv-stream",
+            Workload::Dwt2d { .. } => "greedy-belady",
+            Workload::Banded { .. } => "banded-stream",
         };
-        match opts.get("--scheduler").unwrap_or(default) {
-            "opt" | "optimal" => Ok(Scheduler::Optimal),
-            "lbl" | "layer-by-layer" => Ok(Scheduler::LayerByLayer),
-            "naive" => Ok(Scheduler::Naive),
-            "tiling" => Ok(Scheduler::Tiling),
-            "stream" => Ok(Scheduler::Stream),
-            "banded" | "banded-stream" => Ok(Scheduler::BandedStream),
-            "belady" => Ok(Scheduler::Belady),
-            other => Err(usage(format!("unknown --scheduler {other}"))),
-        }
+        resolve_scheduler(opts.get("--scheduler").unwrap_or(default))
     };
 
     let budget = || -> Result<Weight, CliError> {
@@ -367,6 +385,18 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 budget: budget()?,
             })
         }
+        "serve" => {
+            let queue_depth: usize = opts.parse_num("--queue-depth", 64)?;
+            if queue_depth == 0 {
+                return Err(usage("--queue-depth must be positive"));
+            }
+            Ok(Command::Serve {
+                socket: opts.get("--socket").map(String::from),
+                queue_depth,
+                workers: opts.parse_num("--workers", 0)?,
+                cache: !opts.flag("--no-cache"),
+            })
+        }
         "telemetry-report" => {
             let path = argv
                 .get(1)
@@ -398,7 +428,7 @@ mod tests {
             Command::Schedule {
                 workload: Workload::Dwt { n: 256, d: 8 },
                 budget: 160,
-                scheduler: Scheduler::Optimal,
+                scheduler: "dwt-opt",
                 emit: false,
                 optimize: false,
                 ..
@@ -425,7 +455,7 @@ mod tests {
         match c {
             Command::MinMemory {
                 workload: Workload::Mvm { m: 96, n: 120 },
-                scheduler: Scheduler::Tiling,
+                scheduler: "mvm-tiling",
                 scheme: WeightScheme::DoubleAccumulator(16),
             } => {}
             other => panic!("unexpected {other:?}"),
@@ -445,11 +475,79 @@ mod tests {
                         n: 32,
                         bandwidth: 3,
                     },
-                scheduler: Scheduler::BandedStream,
+                scheduler: "banded-stream",
                 ..
             } => {}
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn scheduler_aliases_resolve_to_registry_names() {
+        for (alias, name) in [
+            ("opt", "dwt-opt"),
+            ("optimal", "dwt-opt"),
+            ("lbl", "layer-by-layer"),
+            ("tiling", "mvm-tiling"),
+            ("stream", "conv-stream"),
+            ("banded", "banded-stream"),
+            ("belady", "greedy-belady"),
+            // Registry names pass through untouched.
+            ("naive", "naive"),
+            ("kary", "kary"),
+            ("greedy-belady", "greedy-belady"),
+        ] {
+            assert_eq!(resolve_scheduler(alias).unwrap(), name, "{alias}");
+        }
+    }
+
+    #[test]
+    fn unknown_scheduler_is_a_usage_error_listing_valid_names() {
+        let err = resolve_scheduler("warp-drive").unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let msg = err.to_string();
+        for name in api::registry().iter().map(|s| s.name()) {
+            assert!(msg.contains(name), "{msg} must list {name}");
+        }
+        // End-to-end: the schedule command surfaces the same error.
+        let err = parse(&argv(
+            "schedule --workload dwt --n 8 --d 3 --budget 200 --scheduler warp-drive",
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("valid names"));
+    }
+
+    #[test]
+    fn serve_parses_with_defaults_and_flags() {
+        match parse(&argv("serve")).unwrap() {
+            Command::Serve {
+                socket: None,
+                queue_depth: 64,
+                workers: 0,
+                cache: true,
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "serve --socket /tmp/p.sock --queue-depth 8 --workers 2 --no-cache",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                socket: Some(s),
+                queue_depth: 8,
+                workers: 2,
+                cache: false,
+            } => assert_eq!(s, "/tmp/p.sock"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("serve --queue-depth 0"))
+                .unwrap_err()
+                .exit_code(),
+            2
+        );
     }
 
     #[test]

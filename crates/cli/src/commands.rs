@@ -1,54 +1,60 @@
 //! Command implementations.
 //!
 //! Every command builds the shared workload-erased
-//! [`AnyGraph`] and dispatches scheduling through the unified
-//! [`Scheduler`] trait (`pebblyn-schedulers::api`); the `sweep` and
-//! `min-memory` commands are thin declarations over the
-//! `pebblyn-engine` plans, sharing its process-wide memo.
+//! [`AnyGraph`] and routes scheduling through the typed request API
+//! ([`ScheduleRequest`] → `pebblyn-schedulers::api::execute_with`) — the
+//! same single entry point the engine's sweep evaluator and the
+//! `pebblyn serve` daemon use.  The `sweep` and `min-memory` commands
+//! are thin declarations over the `pebblyn-engine` plans, sharing its
+//! process-wide memo.
 
-use crate::args::{Command, Scheduler as SchedulerArg};
+use crate::args::Command;
 use crate::error::CliError;
 use pebblyn::prelude::*;
+use pebblyn::service::{serve_stream, serve_unix};
 
-/// The trait object a `--scheduler` flag names.
-fn resolve(s: SchedulerArg) -> &'static dyn Scheduler {
-    match s {
-        SchedulerArg::Optimal => &api::DwtOpt,
-        SchedulerArg::LayerByLayer => &api::LayerByLayer,
-        SchedulerArg::Naive => &api::Naive,
-        SchedulerArg::Tiling => &api::MvmTiling,
-        SchedulerArg::Stream => &api::ConvStream,
-        SchedulerArg::BandedStream => &api::BandedStream,
-        SchedulerArg::Belady => &api::GreedyBelady,
-    }
+/// The trait object a `--scheduler` registry name denotes.  The parser
+/// already validated the name, so a miss here is unreachable in the
+/// binary; it still degrades to the same usage error rather than a panic
+/// for library callers handing in a raw [`Command`].
+fn resolve(name: &str) -> Result<&'static dyn Scheduler, CliError> {
+    api::by_name(name).ok_or_else(|| {
+        let valid: Vec<&str> = api::registry().iter().map(|s| s.name()).collect();
+        CliError::Usage(format!(
+            "unknown --scheduler {name}; valid names: {}",
+            valid.join(", ")
+        ))
+    })
 }
 
 /// Resolve and check applicability, with the workload-specific hint.
-fn ensure_supported(g: &AnyGraph, s: SchedulerArg) -> Result<&'static dyn Scheduler, CliError> {
-    let sched = resolve(s);
+fn ensure_supported(g: &AnyGraph, name: &str) -> Result<&'static dyn Scheduler, CliError> {
+    let sched = resolve(name)?;
     if sched.supports(g) {
         return Ok(sched);
     }
-    Err(CliError::Unsupported(match s {
-        SchedulerArg::Optimal => "the optimal DP is DWT-specific; pick the workload's scheduler",
-        SchedulerArg::Tiling => "tiling is MVM-specific; pick the workload's scheduler",
-        SchedulerArg::Stream => "streaming is Conv-specific; pick the workload's scheduler",
-        SchedulerArg::BandedStream => {
-            "banded streaming is BandedMVM-specific; pick the workload's scheduler"
-        }
+    Err(CliError::Unsupported(match sched.name() {
+        "dwt-opt" => "the optimal DP is DWT-specific; pick the workload's scheduler",
+        "mvm-tiling" => "tiling is MVM-specific; pick the workload's scheduler",
+        "conv-stream" => "streaming is Conv-specific; pick the workload's scheduler",
+        "banded-stream" => "banded streaming is BandedMVM-specific; pick the workload's scheduler",
+        "kary" => "the k-ary DP needs an in-tree CDAG; pick the workload's scheduler",
         _ => "scheduler does not support this workload",
     }))
 }
 
-fn scheduler_name(s: SchedulerArg) -> &'static str {
-    match s {
-        SchedulerArg::Optimal => "optimal DP (Algorithm 1)",
-        SchedulerArg::LayerByLayer => "layer-by-layer baseline",
-        SchedulerArg::Naive => "naive topological",
-        SchedulerArg::Tiling => "tiling (Section 4.3)",
-        SchedulerArg::Stream => "sliding-window streaming",
-        SchedulerArg::BandedStream => "banded streaming",
-        SchedulerArg::Belady => "Belady-eviction greedy",
+/// The human-readable name the reports print for a registry name.
+fn display_name(name: &str) -> &'static str {
+    match name {
+        "dwt-opt" => "optimal DP (Algorithm 1)",
+        "kary" => "k-ary tree DP",
+        "layer-by-layer" => "layer-by-layer baseline",
+        "naive" => "naive topological",
+        "mvm-tiling" => "tiling (Section 4.3)",
+        "conv-stream" => "sliding-window streaming",
+        "banded-stream" => "banded streaming",
+        "greedy-belady" => "Belady-eviction greedy",
+        _ => "scheduler",
     }
 }
 
@@ -68,11 +74,12 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let sched = ensure_supported(&g, scheduler)?;
             let cdag = g.cdag();
             println!("{} under {scheme}, budget {budget} bits", g.name());
-            let mut schedule = match sched.schedule(&g, budget) {
-                Ok(s) => s,
+            let req = ScheduleRequest::new(&g, budget, scheduler);
+            let mut schedule = match api::execute_with(sched, &req) {
+                Ok(resp) => resp.into_schedule().expect("full request returns moves"),
                 Err(ScheduleError::InfeasibleBudget { min_feasible }) => {
                     return Err(CliError::Infeasible {
-                        scheduler: scheduler_name(scheduler),
+                        scheduler: display_name(scheduler),
                         budget,
                         // Always offer the Prop. 2.3 minimum, as this
                         // command historically did.
@@ -82,7 +89,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 Err(e) => {
                     return Err(CliError::from_schedule_error(
                         e,
-                        scheduler_name(scheduler),
+                        display_name(scheduler),
                         budget,
                     ))
                 }
@@ -93,7 +100,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 schedule = optimized;
             }
             let stats = validate_schedule(cdag, budget, &schedule)?;
-            println!("scheduler:   {}", scheduler_name(scheduler));
+            println!("scheduler:   {}", display_name(scheduler));
             println!("moves:       {}", stats.moves);
             println!(
                 "cost:        {} bits (lower bound {})",
@@ -123,14 +130,14 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let g = AnyGraph::build(workload, scheme)?;
             let name = g.name();
             let res = MinMemoryPlan::new("cli min-memory")
-                .to_lower_bound(Series::scheduler(resolve(scheduler)))
+                .to_lower_bound(Series::scheduler(resolve(scheduler)?))
                 .workload(g)
                 .run_with(Memo::global());
             let bits = res.rows[0].min_bits.ok_or(CliError::Target(
                 "scheduler never reaches the algorithmic lower bound",
             ))?;
             let word = scheme.word_bits();
-            println!("{name} under {scheme}, {}", scheduler_name(scheduler));
+            println!("{name} under {scheme}, {}", display_name(scheduler));
             println!("minimum fast memory: {} words = {bits} bits", bits / word);
             println!("power-of-two:        {} bits", round_pow2(bits));
             Ok(())
@@ -255,13 +262,15 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let g = AnyGraph::build(workload, scheme)?;
             let sched = ensure_supported(&g, scheduler)?;
             let cdag = g.cdag();
-            let schedule = sched
-                .schedule(&g, budget)
-                .map_err(|e| CliError::from_schedule_error(e, scheduler_name(scheduler), budget))?;
+            let req = ScheduleRequest::new(&g, budget, scheduler);
+            let schedule = api::execute_with(sched, &req)
+                .map_err(|e| CliError::from_schedule_error(e, display_name(scheduler), budget))?
+                .into_schedule()
+                .expect("full request returns moves");
             validate_schedule(cdag, budget, &schedule)?;
             let trace = occupancy_trace(cdag, &schedule);
             let s = summarize(&trace);
-            println!("{} under {scheme}, {}", g.name(), scheduler_name(scheduler));
+            println!("{} under {scheme}, {}", g.name(), display_name(scheduler));
             println!(
                 "occupancy over {} moves (budget {budget} bits):",
                 trace.len()
@@ -273,6 +282,55 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 s.mean,
                 100.0 * s.time_at_peak
             );
+            Ok(())
+        }
+        Command::Serve {
+            socket,
+            queue_depth,
+            workers,
+            cache,
+        } => {
+            let service = std::sync::Arc::new(Service::new(&ServiceConfig {
+                cache,
+                ..ServiceConfig::default()
+            }));
+            let server = Server::start(
+                std::sync::Arc::clone(&service),
+                &ServerConfig {
+                    queue_depth,
+                    workers,
+                },
+            );
+            match socket {
+                Some(path) => {
+                    eprintln!("pebblyn serve: listening on {path}");
+                    serve_unix(&server, std::path::Path::new(&path)).map_err(|source| {
+                        CliError::Io {
+                            path: path.clone(),
+                            source,
+                        }
+                    })?;
+                }
+                None => {
+                    // Stdio transport: one framed conversation, then exit.
+                    let stdin = std::io::stdin();
+                    let mut stdout = std::io::stdout();
+                    serve_stream(&server, stdin, &mut stdout).map_err(|source| CliError::Io {
+                        path: "<stdio>".into(),
+                        source,
+                    })?;
+                }
+            }
+            server.shutdown();
+            if let Some(cache) = service.cache() {
+                let st = cache.stats();
+                eprintln!(
+                    "pebblyn serve: {} hits / {} misses over {} cached entries",
+                    st.hits(),
+                    st.misses(),
+                    st.entries()
+                );
+            }
             Ok(())
         }
         Command::TelemetryReport { path } => {

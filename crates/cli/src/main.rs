@@ -5,6 +5,7 @@
 //! pebblyn min-memory --workload mvm --m 96 --cols 120 --weights da
 //! pebblyn sweep     --workload dwt --n 256 --d 8 --points 20
 //! pebblyn exact     --workload dwt --n 8 --d 3 --budget 7w --telemetry run.jsonl
+//! pebblyn serve     --socket /tmp/pebblyn.sock --queue-depth 64
 //! pebblyn telemetry-report run.jsonl
 //! pebblyn synth     --bits 2048
 //! pebblyn dot       --workload dwt --n 8 --d 3

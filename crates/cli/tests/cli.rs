@@ -323,6 +323,115 @@ fn runtime_errors_exit_1_without_usage() {
 }
 
 #[test]
+fn unknown_scheduler_exits_2_listing_valid_names() {
+    // Satellite of the service PR: a typo'd scheduler name is an
+    // *invocation* error (exit 2 + usage), not a runtime failure, and the
+    // message lists every registry name so the fix is copy-pasteable.
+    let (code, stderr) = pebblyn_code(&[
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "200",
+        "--scheduler",
+        "warp-drive",
+    ]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("valid names"), "{stderr}");
+    for name in ["dwt-opt", "mvm-tiling", "greedy-belady", "naive"] {
+        assert!(stderr.contains(name), "must list {name}: {stderr}");
+    }
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn registry_names_are_accepted_directly() {
+    let (ok, stdout, _) = pebblyn(&[
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "200",
+        "--scheduler",
+        "dwt-opt",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("optimal DP (Algorithm 1)"), "{stdout}");
+}
+
+#[test]
+fn serve_answers_framed_requests_over_stdio() {
+    use pebblyn::prelude::{ScheduleRequest, WeightScheme, Workload};
+    use pebblyn::service::wire::{self, Frame};
+    use pebblyn::service::{GraphSpec, Outcome, Request};
+    use std::io::{Read, Write};
+    use std::process::Stdio;
+
+    let request = |id| Request {
+        id,
+        ask: ScheduleRequest::new(
+            GraphSpec::Workload {
+                workload: Workload::Dwt { n: 16, d: 2 },
+                scheme: WeightScheme::Equal(16),
+            },
+            256,
+            "dwt-opt",
+        ),
+        no_cache: false,
+    };
+    let mut input = Vec::new();
+    wire::write_frame(&mut input, &wire::encode_request(&request(1))).unwrap();
+    wire::write_frame(&mut input, &wire::encode_request(&request(2))).unwrap();
+    wire::write_frame(&mut input, &wire::encode_shutdown()).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pebblyn"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    child.stdin.take().unwrap().write_all(&input).unwrap();
+    let mut output = Vec::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_end(&mut output)
+        .unwrap();
+    assert!(child.wait().unwrap().success());
+
+    let mut r = &output[..];
+    let mut frames = Vec::new();
+    while let Some(payload) = wire::read_frame(&mut r).unwrap() {
+        frames.push(wire::decode_payload(&payload).unwrap());
+    }
+    assert_eq!(frames.len(), 3, "two answers + shutdown ack");
+    let costs: Vec<_> = frames[..2]
+        .iter()
+        .map(|f| {
+            let Frame::Response(resp) = f else {
+                panic!("expected response, got {f:?}")
+            };
+            let Outcome::Ok { cost, .. } = &resp.outcome else {
+                panic!("expected ok outcome: {resp:?}")
+            };
+            *cost
+        })
+        .collect();
+    assert_eq!(costs[0], costs[1], "cache hit must not change the answer");
+    assert!(matches!(frames[2], Frame::Shutdown));
+}
+
+#[test]
 fn mismatched_scheduler_is_rejected() {
     let (ok, _, stderr) = pebblyn(&[
         "schedule",

@@ -20,8 +20,15 @@
 
 use pebblyn_core::{min_feasible_budget, validate_schedule, Move, Schedule, Weight};
 use pebblyn_graphs::AnyGraph;
-use pebblyn_schedulers::api::Naive;
+use pebblyn_schedulers::api::{sealed, Naive};
 use pebblyn_schedulers::{ScheduleError, Scheduler};
+
+// `Scheduler` is sealed; the mutants are exactly the kind of deliberate
+// out-of-crate implementor the hidden marker exists for.
+impl sealed::Sealed for OffByOneBudget {}
+impl sealed::Sealed for DroppedStore {}
+impl sealed::Sealed for CostMisreport {}
+impl sealed::Sealed for PhantomFeasible {}
 
 /// Fencepost: consumes one weight-gcd more budget than requested.
 #[derive(Debug, Clone, Copy, Default)]

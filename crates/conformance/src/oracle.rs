@@ -58,25 +58,26 @@ pub fn certified_optimal(scheduler: &str, g: &Cdag) -> bool {
 /// Oracle tuning knobs.
 ///
 /// Constructed with [`OracleConfig::default`] and refined through the
-/// `with_*` builder methods; the fields themselves are crate-private so
-/// configuration flows through one audited surface.
+/// `with_*` builder methods; the fields themselves are fully private so
+/// configuration flows through one audited surface (each has a matching
+/// getter).
 #[derive(Debug, Clone, Copy)]
 pub struct OracleConfig {
     /// Run the exact solver when the graph has at most this many nodes.
-    pub(crate) exhaustive_max_nodes: usize,
+    exhaustive_max_nodes: usize,
     /// Exact-solver expanded-state cap; budgets whose search exceeds it are
     /// downgraded to invariant-only (counted in `exact_skipped`).
-    pub(crate) max_states: usize,
+    max_states: usize,
     /// Lower bound guiding the exact A\* (for pruning ablations).
-    pub(crate) heuristic: Heuristic,
+    heuristic: Heuristic,
     /// Enable the exact solver's dominance pruning (for ablations).
-    pub(crate) dominance: bool,
+    dominance: bool,
     /// Cross-check every schedule on the executable machine with real
     /// values (validates outputs against a reference evaluation).
-    pub(crate) machine_replay: bool,
+    machine_replay: bool,
     /// Apply the metamorphic transforms (weight scaling, isomorphism,
     /// IO-scale symmetry).
-    pub(crate) metamorphic: bool,
+    metamorphic: bool,
 }
 
 impl Default for OracleConfig {
@@ -149,6 +150,21 @@ impl OracleConfig {
     /// Whether dominance pruning is enabled.
     pub fn dominance(&self) -> bool {
         self.dominance
+    }
+
+    /// The configured exhaustive-regime node ceiling.
+    pub fn exhaustive_max_nodes(&self) -> usize {
+        self.exhaustive_max_nodes
+    }
+
+    /// Whether machine replay cross-checks are enabled.
+    pub fn machine_replay(&self) -> bool {
+        self.machine_replay
+    }
+
+    /// Whether the metamorphic transforms are enabled.
+    pub fn metamorphic(&self) -> bool {
+        self.metamorphic
     }
 }
 

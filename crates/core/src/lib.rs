@@ -50,6 +50,7 @@ pub mod io;
 pub mod label;
 pub mod moves;
 pub mod redset;
+pub mod request;
 pub mod schedule;
 pub mod stream;
 pub mod trace;
@@ -65,6 +66,7 @@ pub use graph::{Cdag, CdagBuilder, NodeId, Weight};
 pub use label::{Label, PebbleState};
 pub use moves::Move;
 pub use redset::{mask_iter, mask_weight, RedSet};
+pub use request::{ScheduleRequest, ScheduleResponse};
 pub use schedule::Schedule;
 pub use stream::MoveStream;
 pub use trace::{

@@ -1,0 +1,197 @@
+//! The first-class scheduling request/response surface.
+//!
+//! Every consumer that asks "schedule this graph within this budget with
+//! this algorithm" — the CLI `schedule`/`trace` commands, the engine's
+//! sweep series, and the `pebblyn serve` daemon — phrases the question as
+//! one [`ScheduleRequest`] and receives one [`ScheduleResponse`], instead
+//! of threading `(graph, budget, scheduler-name)` argument triples through
+//! every layer.  The executor lives in `pebblyn-schedulers::api` (`execute`
+//! / `execute_with`), which resolves the scheduler name against the
+//! registry; this module holds only the transport-free data types so any
+//! crate can speak the protocol without depending on the algorithms.
+//!
+//! The graph payload is generic: in-process callers use the
+//! workload-erased `AnyGraph` (by value or by reference — the engine
+//! evaluates thousands of points against one borrowed graph), while the
+//! daemon's wire layer decodes into an owned graph.  Fields are private
+//! behind builders/accessors, matching the `OracleConfig` convention, so
+//! request knobs can grow without breaking the protocol's users.
+
+use crate::graph::Weight;
+use crate::schedule::Schedule;
+
+/// One scheduling question: graph + budget + algorithm.
+///
+/// `G` is the graph payload (typically `AnyGraph` or `&AnyGraph`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleRequest<G> {
+    graph: G,
+    budget: Weight,
+    scheduler: String,
+    cost_only: bool,
+}
+
+impl<G> ScheduleRequest<G> {
+    /// A request for a full schedule of `graph` within `budget` bits from
+    /// the scheduler registered under `scheduler`.
+    pub fn new(graph: G, budget: Weight, scheduler: impl Into<String>) -> Self {
+        ScheduleRequest {
+            graph,
+            budget,
+            scheduler: scheduler.into(),
+            cost_only: false,
+        }
+    }
+
+    /// Ask only for the cost (no move materialization).  Sweeps use this:
+    /// DP schedulers answer from their cost recurrences directly.
+    pub fn with_cost_only(mut self, yes: bool) -> Self {
+        self.cost_only = yes;
+        self
+    }
+
+    /// The graph payload.
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// The fast-memory budget in bits.
+    pub fn budget(&self) -> Weight {
+        self.budget
+    }
+
+    /// The registry name of the requested scheduler.
+    pub fn scheduler(&self) -> &str {
+        &self.scheduler
+    }
+
+    /// Whether the caller wants only the cost, not the moves.
+    pub fn is_cost_only(&self) -> bool {
+        self.cost_only
+    }
+
+    /// Consume the request, returning the graph payload.
+    pub fn into_graph(self) -> G {
+        self.graph
+    }
+
+    /// Re-wrap the same question around a transformed graph payload
+    /// (e.g. borrow an owned graph, or unwrap a decoded one).
+    pub fn map_graph<H>(self, f: impl FnOnce(G) -> H) -> ScheduleRequest<H> {
+        ScheduleRequest {
+            graph: f(self.graph),
+            budget: self.budget,
+            scheduler: self.scheduler,
+            cost_only: self.cost_only,
+        }
+    }
+
+    /// The same request with the graph borrowed instead of owned.
+    pub fn as_ref(&self) -> ScheduleRequest<&G> {
+        ScheduleRequest {
+            graph: &self.graph,
+            budget: self.budget,
+            scheduler: self.scheduler.clone(),
+            cost_only: self.cost_only,
+        }
+    }
+}
+
+/// A successful answer to a [`ScheduleRequest`].
+///
+/// Failures are *not* encoded here — executors return
+/// `Result<ScheduleResponse, _>` with their own typed error (the registry
+/// executor's `ExecuteError`, the daemon's wire status), so success never
+/// carries dead error fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleResponse {
+    scheduler: String,
+    cost: Weight,
+    schedule: Option<Schedule>,
+}
+
+impl ScheduleResponse {
+    /// A full answer: the replay-validated cost and the moves.
+    pub fn scheduled(scheduler: impl Into<String>, cost: Weight, schedule: Schedule) -> Self {
+        ScheduleResponse {
+            scheduler: scheduler.into(),
+            cost,
+            schedule: Some(schedule),
+        }
+    }
+
+    /// A cost-only answer (the request set
+    /// [`ScheduleRequest::with_cost_only`]).
+    pub fn cost_only(scheduler: impl Into<String>, cost: Weight) -> Self {
+        ScheduleResponse {
+            scheduler: scheduler.into(),
+            cost,
+            schedule: None,
+        }
+    }
+
+    /// The registry name of the scheduler that answered.
+    pub fn scheduler(&self) -> &str {
+        &self.scheduler
+    }
+
+    /// The schedule's weighted I/O cost in bits (Definition 2.2).
+    pub fn cost(&self) -> Weight {
+        self.cost
+    }
+
+    /// The move sequence (`None` for cost-only answers).
+    pub fn schedule(&self) -> Option<&Schedule> {
+        self.schedule.as_ref()
+    }
+
+    /// Consume the response, returning the move sequence if present.
+    pub fn into_schedule(self) -> Option<Schedule> {
+        self.schedule
+    }
+
+    /// Rewrite the answer's node labels through `f` — how a cache entry
+    /// computed on an isomorphic instance is transported back to the
+    /// requester's labeling (see `pebblyn-service`).
+    pub fn map_nodes(self, f: impl Fn(crate::graph::NodeId) -> crate::graph::NodeId) -> Self {
+        ScheduleResponse {
+            schedule: self.schedule.map(|s| s.map_nodes(f)),
+            ..self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+    use crate::moves::Move;
+
+    #[test]
+    fn request_builder_round_trips() {
+        let req = ScheduleRequest::new("graph", 160, "dwt-opt").with_cost_only(true);
+        assert_eq!(*req.graph(), "graph");
+        assert_eq!(req.budget(), 160);
+        assert_eq!(req.scheduler(), "dwt-opt");
+        assert!(req.is_cost_only());
+        let borrowed = req.as_ref();
+        assert_eq!(**borrowed.graph(), "graph");
+        let mapped = req.map_graph(|g| g.len());
+        assert_eq!(*mapped.graph(), 5);
+        assert_eq!(mapped.scheduler(), "dwt-opt");
+        assert!(mapped.is_cost_only());
+    }
+
+    #[test]
+    fn response_transport_relabels_moves() {
+        let sched = Schedule::from_moves(vec![Move::Load(NodeId(0)), Move::Compute(NodeId(1))]);
+        let resp = ScheduleResponse::scheduled("naive", 16, sched);
+        let moved = resp.clone().map_nodes(|v| NodeId(v.0 + 10));
+        assert_eq!(moved.cost(), resp.cost());
+        assert_eq!(
+            moved.schedule().unwrap().moves(),
+            vec![Move::Load(NodeId(10)), Move::Compute(NodeId(11))]
+        );
+        assert_eq!(ScheduleResponse::cost_only("naive", 16).schedule(), None);
+    }
+}

@@ -14,9 +14,11 @@ use crate::memo::Memo;
 use crate::par::par_map;
 use crate::result::{MinMemoryResult, MinMemoryRow, SweepResult, SweepRow};
 use pebblyn_baselines::IoOptMvmModel;
-use pebblyn_core::{algorithmic_lower_bound, min_feasible_budget, occupancy_summary, Weight};
+use pebblyn_core::{
+    algorithmic_lower_bound, min_feasible_budget, occupancy_summary, ScheduleRequest, Weight,
+};
 use pebblyn_graphs::AnyGraph;
-use pebblyn_schedulers::{MinMemoryOptions, ScheduleError, Scheduler};
+use pebblyn_schedulers::{api, MinMemoryOptions, ScheduleError, Scheduler};
 use pebblyn_telemetry as telemetry;
 use std::time::Instant;
 
@@ -162,19 +164,27 @@ impl<'a> Series<'a> {
 
     /// Evaluate the series (unmemoized).
     ///
-    /// Scheduler series fold [`ScheduleError::Unsupported`] and
+    /// Scheduler series go through the typed request surface
+    /// ([`api::execute_with`] with a cost-only [`ScheduleRequest`], so DP
+    /// schedulers answer from their recurrences), folding
+    /// [`ScheduleError::Unsupported`] and
     /// [`ScheduleError::InfeasibleBudget`] into `None` (an empty sweep
-    /// cell), but a [`ScheduleError::ValidationFailed`] is a scheduler
-    /// bug and panics rather than masquerading as infeasibility.
+    /// cell); a [`ScheduleError::ValidationFailed`] is a scheduler bug and
+    /// panics rather than masquerading as infeasibility.
     pub fn cost(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
         match &self.kind {
-            Kind::Scheduler(s) => match s.min_cost(g, budget) {
-                Ok(c) => Some(c),
-                Err(ScheduleError::Unsupported | ScheduleError::InfeasibleBudget { .. }) => None,
-                Err(e @ ScheduleError::ValidationFailed(_)) => {
-                    panic!("{} on {} at {budget}: {e}", s.name(), g.name())
+            Kind::Scheduler(s) => {
+                let req = ScheduleRequest::new(g, budget, s.name()).with_cost_only(true);
+                match api::execute_with(*s, &req) {
+                    Ok(r) => Some(r.cost()),
+                    Err(ScheduleError::Unsupported | ScheduleError::InfeasibleBudget { .. }) => {
+                        None
+                    }
+                    Err(e @ ScheduleError::ValidationFailed(_)) => {
+                        panic!("{} on {} at {budget}: {e}", s.name(), g.name())
+                    }
                 }
-            },
+            }
             Kind::Model(f) => f(g, budget),
         }
     }

@@ -46,7 +46,10 @@
 //!   features, fixed point,
 //! * [`synth`] — the SRAM macro model behind the circuit-level results,
 //! * [`telemetry`] — zero-overhead-when-disabled counters, phase timers
-//!   and sinks shared by the solver, engine, and CLI.
+//!   and sinks shared by the solver, engine, and CLI,
+//! * [`service`] — the scheduling daemon: wire protocol, canonicalizing
+//!   schedule cache, and the bounded-queue worker pool behind
+//!   `pebblyn serve`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +63,7 @@ pub use pebblyn_graphs as graphs;
 pub use pebblyn_kernels as kernels;
 pub use pebblyn_machine as machine;
 pub use pebblyn_schedulers as schedulers;
+pub use pebblyn_service as service;
 pub use pebblyn_synth as synth;
 pub use pebblyn_telemetry as telemetry;
 
@@ -69,7 +73,7 @@ pub mod prelude {
     pub use pebblyn_core::{
         algorithmic_lower_bound, min_feasible_budget, peephole, schedule_exists, validate_moves,
         validate_schedule, Cdag, CdagBuilder, Label, Move, MoveStream, NodeId, PebbleState,
-        PeepholeStats, RedSet, Schedule, ScheduleStats, Weight,
+        PeepholeStats, RedSet, Schedule, ScheduleRequest, ScheduleResponse, ScheduleStats, Weight,
     };
     pub use pebblyn_core::{occupancy_summary, occupancy_trace, summarize, OccupancySummary};
     pub use pebblyn_engine::{
@@ -94,6 +98,10 @@ pub mod prelude {
         api, banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, memstate,
         min_memory, mvm_tiling, naive, parallel, registry, MinMemoryOptions, ScheduleError,
         Scheduler,
+    };
+    pub use pebblyn_service::{
+        GraphSpec, Outcome, RejectKind, Request, Response, Server, ServerConfig, Service,
+        ServiceConfig,
     };
     pub use pebblyn_synth::{round_pow2, Floorplan, NvmParams, Process, SramConfig, SramMacro};
 }

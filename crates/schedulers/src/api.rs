@@ -17,35 +17,63 @@
 //! Belady, naive, k-ary on in-trees) support every variant, including
 //! [`AnyGraph::Custom`] wrappers around arbitrary CDAGs.
 //!
-//! # Migration note: `Option` → `Result<_, ScheduleError>`
+//! # The trait contract (sealed)
 //!
-//! [`Scheduler::schedule`] and [`Scheduler::min_cost`] used to return
-//! `Option`, which conflated three distinct outcomes behind one `None`:
-//! the algorithm does not apply to the graph family, the budget is below
-//! the algorithm's feasibility threshold, and (silently, through an
-//! `.ok()` in the old `min_cost` default) the generated schedule failed
-//! replay validation.  They now return `Result<_, ScheduleError>`:
+//! [`Scheduler::schedule`] and [`Scheduler::min_cost`] return
+//! `Result<_, ScheduleError>`, distinguishing three outcomes the older
+//! `Option` surface conflated behind one `None`:
 //!
-//! - [`ScheduleError::Unsupported`] — wrong graph family; the old code
-//!   required a pre-flight [`Scheduler::supports`] call to detect this.
+//! - [`ScheduleError::Unsupported`] — wrong graph family; equivalently,
+//!   [`Scheduler::supports`] is `false`.
 //! - [`ScheduleError::InfeasibleBudget`] — the budget is too small for
 //!   this algorithm, with an optional `min_feasible` hint when the budget
 //!   is below the game-level minimum of Proposition 2.3 (no algorithm
 //!   can succeed there).
 //! - [`ScheduleError::ValidationFailed`] — the schedule was produced but
 //!   failed [`validate_schedule`]; always a scheduler bug, never an input
-//!   error, and previously indistinguishable from infeasibility.
+//!   error.
 //!
-//! Callers that only care about success can use the deprecated
-//! [`Scheduler::schedule_opt`]/[`Scheduler::min_cost_opt`] shims, kept
-//! for one release.
+//! The deprecated Option-typed `schedule_opt`/`min_cost_opt` shims kept
+//! for one release after that migration are gone.  The trait is also now
+//! **sealed** behind the `#[doc(hidden)]` [`sealed::Sealed`] marker:
+//! downstream crates cannot implement `Scheduler` accidentally, so the
+//! trait can grow defaulted methods without breaking anyone.  Test-only
+//! implementations (the conformance mutants, harness fakes) opt in
+//! explicitly with `impl api::sealed::Sealed for MyFake {}` — the escape
+//! hatch is public but undocumented, marking every implementor outside
+//! this module as deliberate.
+//!
+//! # Request execution
+//!
+//! The typed request surface ([`ScheduleRequest`]/[`ScheduleResponse`]
+//! from `pebblyn-core`) is executed here: [`execute`] resolves the
+//! requested scheduler name against the [`registry`] and answers the
+//! request; [`execute_with`] skips resolution for callers that already
+//! hold a trait object (the engine's sweep series).  The CLI, the engine,
+//! and the `pebblyn serve` daemon all funnel through these two functions.
 
 use crate::{
     banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, mvm_tiling, naive,
 };
-use pebblyn_core::{min_feasible_budget, validate_schedule, Schedule, ValidityError, Weight};
+use pebblyn_core::{
+    min_feasible_budget, validate_schedule, Schedule, ScheduleRequest, ScheduleResponse,
+    ValidityError, Weight,
+};
 use pebblyn_graphs::AnyGraph;
 use pebblyn_telemetry as telemetry;
+use std::borrow::Borrow;
+
+/// The private-in-spirit marker module sealing [`Scheduler`].
+///
+/// Hidden from docs: implementing [`sealed::Sealed`] outside this crate is
+/// reserved for test doubles (the conformance harness's fault-injection
+/// mutants).  Production schedulers live in this crate and are listed in
+/// [`REGISTRY`].
+#[doc(hidden)]
+pub mod sealed {
+    /// Marker supertrait restricting who may implement `Scheduler`.
+    pub trait Sealed {}
+}
 
 /// Why a [`Scheduler`] call produced no schedule or cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,7 +137,10 @@ fn emit(s: Schedule) -> Schedule {
 /// [`min_cost`](Scheduler::min_cost) on an unsupported graph returns
 /// [`ScheduleError::Unsupported`]; a supported graph with too small a
 /// budget returns [`ScheduleError::InfeasibleBudget`].
-pub trait Scheduler: Send + Sync {
+///
+/// The trait is sealed (see the module docs): implementors outside this
+/// crate must opt in through the hidden [`sealed::Sealed`] marker.
+pub trait Scheduler: sealed::Sealed + Send + Sync {
     /// Stable machine-readable name (registry key, sweep-row label).
     fn name(&self) -> &str;
 
@@ -138,20 +169,87 @@ pub trait Scheduler: Send + Sync {
     fn monotone(&self) -> bool {
         false
     }
+}
 
-    /// Option-typed shim over [`Scheduler::schedule`] for callers that do
-    /// not need the failure reason.
-    #[deprecated(note = "use schedule() and match on ScheduleError")]
-    fn schedule_opt(&self, g: &AnyGraph, budget: Weight) -> Option<Schedule> {
-        self.schedule(g, budget).ok()
-    }
+/// Why [`execute`] produced no [`ScheduleResponse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecuteError {
+    /// The request named a scheduler the [`registry`] does not know.
+    UnknownScheduler {
+        /// The name the request asked for.
+        requested: String,
+        /// Every valid registry name, in registration order.
+        valid: Vec<&'static str>,
+    },
+    /// The scheduler was found but declined or failed (see
+    /// [`ScheduleError`]).
+    Schedule(ScheduleError),
+}
 
-    /// Option-typed shim over [`Scheduler::min_cost`] for callers that do
-    /// not need the failure reason.
-    #[deprecated(note = "use min_cost() and match on ScheduleError")]
-    fn min_cost_opt(&self, g: &AnyGraph, budget: Weight) -> Option<Weight> {
-        self.min_cost(g, budget).ok()
+impl std::fmt::Display for ExecuteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecuteError::UnknownScheduler { requested, valid } => {
+                write!(
+                    f,
+                    "unknown scheduler {requested:?} (valid: {})",
+                    valid.join(", ")
+                )
+            }
+            ExecuteError::Schedule(e) => write!(f, "{e}"),
+        }
     }
+}
+
+impl std::error::Error for ExecuteError {}
+
+impl From<ScheduleError> for ExecuteError {
+    fn from(e: ScheduleError) -> Self {
+        ExecuteError::Schedule(e)
+    }
+}
+
+/// Answer a [`ScheduleRequest`], resolving the scheduler by name.
+///
+/// The single entry point behind the CLI `schedule`/`trace` commands and
+/// the `pebblyn serve` daemon's miss path.  An unknown scheduler name is
+/// rejected with the full list of valid names so every surface (CLI usage
+/// errors, daemon reject frames) can echo it.
+pub fn execute<G: Borrow<AnyGraph>>(
+    req: &ScheduleRequest<G>,
+) -> Result<ScheduleResponse, ExecuteError> {
+    let s = by_name(req.scheduler()).ok_or_else(|| ExecuteError::UnknownScheduler {
+        requested: req.scheduler().to_string(),
+        valid: registry().iter().map(|s| s.name()).collect(),
+    })?;
+    execute_with(s, req).map_err(ExecuteError::Schedule)
+}
+
+/// Answer a [`ScheduleRequest`] with an already-resolved scheduler,
+/// ignoring the request's name field.
+///
+/// The engine's sweep series use this: a [`crate::api`] trait object is
+/// already in hand (possibly one that is not in the registry), and the
+/// cost-only flag routes to [`Scheduler::min_cost`] so DP schedulers
+/// answer from their recurrences without materializing moves.
+///
+/// Full-schedule answers are replay-validated here, so a response's cost
+/// is always the *replayed* cost — the daemon caches and serves it as
+/// ground truth.
+pub fn execute_with<G: Borrow<AnyGraph>>(
+    s: &dyn Scheduler,
+    req: &ScheduleRequest<G>,
+) -> Result<ScheduleResponse, ScheduleError> {
+    let _span = telemetry::span("request");
+    let g: &AnyGraph = req.graph().borrow();
+    if req.is_cost_only() {
+        let cost = s.min_cost(g, req.budget())?;
+        return Ok(ScheduleResponse::cost_only(s.name(), cost));
+    }
+    let schedule = s.schedule(g, req.budget())?;
+    let stats = validate_schedule(g.cdag(), req.budget(), &schedule)
+        .map_err(ScheduleError::ValidationFailed)?;
+    Ok(ScheduleResponse::scheduled(s.name(), stats.cost, schedule))
 }
 
 /// Algorithm 1 — the provably optimal DWT dynamic program.
@@ -371,6 +469,15 @@ impl Scheduler for Naive {
     }
 }
 
+impl sealed::Sealed for DwtOpt {}
+impl sealed::Sealed for Kary {}
+impl sealed::Sealed for MvmTiling {}
+impl sealed::Sealed for ConvStream {}
+impl sealed::Sealed for BandedStream {}
+impl sealed::Sealed for LayerByLayer {}
+impl sealed::Sealed for GreedyBelady {}
+impl sealed::Sealed for Naive {}
+
 /// Every scheduler in the crate, as trait objects.
 pub static REGISTRY: &[&dyn Scheduler] = &[
     &DwtOpt,
@@ -533,6 +640,7 @@ mod tests {
     #[test]
     fn min_cost_default_reports_validation_failures() {
         struct EmptyScheduler;
+        impl sealed::Sealed for EmptyScheduler {}
         impl Scheduler for EmptyScheduler {
             fn name(&self) -> &str {
                 "empty"
@@ -552,18 +660,49 @@ mod tests {
         }
     }
 
-    /// The deprecated shims behave like `.ok()` over the typed calls.
+    /// `execute` resolves by registry name, answers the request, and
+    /// rejects unknown names with the full valid list.
     #[test]
-    #[allow(deprecated)]
-    fn option_shims_match_typed_surface() {
+    fn execute_resolves_and_answers_requests() {
+        let g = AnyGraph::build(Workload::Dwt { n: 16, d: 4 }, WeightScheme::Equal(16)).unwrap();
+        let budget = 10 * 16;
+        let full = execute(&pebblyn_core::ScheduleRequest::new(&g, budget, "dwt-opt")).unwrap();
+        assert_eq!(full.scheduler(), "dwt-opt");
+        assert_eq!(Some(full.cost()), DwtOpt.min_cost(&g, budget).ok());
+        let replay =
+            validate_schedule(g.cdag(), budget, full.schedule().expect("full answer")).unwrap();
+        assert_eq!(replay.cost, full.cost());
+
+        let cost_only = execute(
+            &pebblyn_core::ScheduleRequest::new(&g, budget, "dwt-opt").with_cost_only(true),
+        )
+        .unwrap();
+        assert_eq!(cost_only.cost(), full.cost());
+        assert!(cost_only.schedule().is_none());
+
+        match execute(&pebblyn_core::ScheduleRequest::new(&g, budget, "no-such")) {
+            Err(ExecuteError::UnknownScheduler { requested, valid }) => {
+                assert_eq!(requested, "no-such");
+                assert_eq!(valid.len(), registry().len());
+                assert!(valid.contains(&"naive"));
+            }
+            other => panic!("expected UnknownScheduler, got {other:?}"),
+        }
+    }
+
+    /// `execute_with` surfaces scheduler declines as typed errors and
+    /// validates full answers before reporting their cost.
+    #[test]
+    fn execute_with_validates_and_propagates_errors() {
         let g = AnyGraph::custom("diamond", testgraphs::diamond(WeightScheme::Equal(8)));
         let budget = 4 * g.cdag().total_weight();
-        assert!(Naive.schedule_opt(&g, budget).is_some());
+        let req = pebblyn_core::ScheduleRequest::new(&g, budget, "ignored");
         assert_eq!(
-            Naive.min_cost_opt(&g, budget),
-            Naive.min_cost(&g, budget).ok()
+            execute_with(&DwtOpt, &req).unwrap_err(),
+            ScheduleError::Unsupported
         );
-        assert!(DwtOpt.schedule_opt(&g, budget).is_none());
-        assert!(DwtOpt.min_cost_opt(&g, budget).is_none());
+        let ok = execute_with(&Naive, &req).unwrap();
+        assert_eq!(ok.scheduler(), "naive");
+        assert_eq!(Some(ok.cost()), Naive.min_cost(&g, budget).ok());
     }
 }

@@ -1,0 +1,371 @@
+//! The sharded, canonicalizing schedule cache.
+//!
+//! Two index levels, consulted cheapest-first:
+//!
+//! * **Identity index** — keyed by the graph's serialization under its
+//!   own labels ([`IdentityForm`], one `O(V + E)` pass).  This is the
+//!   fast path for the dominant daemon pattern, a client resubmitting
+//!   the graph it built last time: a hit costs no color refinement and
+//!   no schedule transport, because the stored moves are already in the
+//!   requester's labels.
+//! * **Canonical index** — keyed by the full serialized canonical form
+//!   ([`CanonicalForm`]).  Entries here answer *relabeled* isomorphs:
+//!   cached schedules are stored in canonical labels and a hit
+//!   transports the moves through the requester's inverse labeling, so
+//!   isomorphic requests receive a schedule valid for their own node
+//!   ids (the PR 3 metamorphic isomorphism invariant is what licenses
+//!   this transport).  Only exact forms participate — an inexact form
+//!   can only ever match byte-identical instances, which the identity
+//!   index already covers.
+//!
+//! Both levels compare full serialized bytes, never just the bucket
+//! hash — collisions degrade to misses, not wrong answers — and key on
+//! the scheduler name and budget besides the graph.  Sharding is by
+//! hash over independently-locked `HashMap`s, so worker threads
+//! answering unrelated graphs never contend.
+
+use crate::canon::{CanonicalForm, IdentityForm};
+use pebblyn_core::{FastHashMap, Schedule, Weight};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A cached answer: replayed cost, and moves when the entry came from a
+/// full (non-cost-only) solve.  Stored labels depend on the index: the
+/// requester's own in the identity index, canonical in the canonical one.
+#[derive(Debug, Clone)]
+struct Entry {
+    key: EntryKey,
+    cost: Weight,
+    schedule: Option<Schedule>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EntryKey {
+    bytes: Vec<u8>,
+    scheduler: String,
+    budget: Weight,
+}
+
+/// A transported cache hit.
+#[derive(Debug, Clone)]
+pub struct CacheHit {
+    /// The replayed cost recorded at insert time.
+    pub cost: Weight,
+    /// The cached moves, rewritten to the requester's node labels
+    /// (`None` when the entry was cost-only or the request is).
+    pub schedule: Option<Schedule>,
+}
+
+/// Monotone hit/miss/insert counters (cache-local; the service also
+/// mirrors hits and misses into the telemetry pipeline).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    entries: AtomicU64,
+}
+
+impl CacheStats {
+    /// Lookups answered from either index.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+    /// Lookups that fell through to the engine.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+    /// Entries currently resident, summed over both indexes.
+    pub fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+}
+
+/// One sharded byte-keyed index (the two cache levels share this shape).
+struct Shards(Vec<Mutex<FastHashMap<u64, Vec<Entry>>>>);
+
+impl Shards {
+    fn new(shards: usize) -> Self {
+        Shards(
+            (0..shards.max(1))
+                .map(|_| Mutex::new(FastHashMap::default()))
+                .collect(),
+        )
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<FastHashMap<u64, Vec<Entry>>> {
+        &self.0[(hash as usize) % self.0.len()]
+    }
+
+    /// Find a satisfying entry; a full entry satisfies both full and
+    /// cost-only requests, a cost-only entry only the latter.  Returns
+    /// the cost and (when `need_moves`) a clone of the stored schedule.
+    fn find(
+        &self,
+        hash: u64,
+        bytes: &[u8],
+        scheduler: &str,
+        budget: Weight,
+        need_moves: bool,
+    ) -> Option<(Weight, Option<Schedule>)> {
+        let shard = self.shard(hash).lock().unwrap();
+        let hit = shard.get(&hash)?.iter().find(|e| {
+            e.key.budget == budget
+                && e.key.scheduler == scheduler
+                && (!need_moves || e.schedule.is_some())
+                && e.key.bytes == bytes
+        })?;
+        let schedule = if need_moves {
+            hit.schedule.clone()
+        } else {
+            None
+        };
+        Some((hit.cost, schedule))
+    }
+
+    /// Insert or upgrade: a full entry replaces a cost-only entry for the
+    /// same key, a cost-only insert never downgrades a full entry.
+    /// Returns whether a brand-new entry was created.
+    fn put(
+        &self,
+        hash: u64,
+        bytes: &[u8],
+        scheduler: &str,
+        budget: Weight,
+        cost: Weight,
+        schedule: Option<Schedule>,
+    ) -> bool {
+        let key = EntryKey {
+            bytes: bytes.to_vec(),
+            scheduler: scheduler.to_string(),
+            budget,
+        };
+        let mut shard = self.shard(hash).lock().unwrap();
+        let bucket = shard.entry(hash).or_default();
+        if let Some(existing) = bucket.iter_mut().find(|e| e.key == key) {
+            if existing.schedule.is_none() {
+                if let Some(s) = schedule {
+                    existing.schedule = Some(s);
+                    existing.cost = cost;
+                }
+            }
+            return false;
+        }
+        bucket.push(Entry {
+            key,
+            cost,
+            schedule,
+        });
+        true
+    }
+}
+
+/// The two-level sharded cache.
+pub struct ScheduleCache {
+    ident: Shards,
+    canon: Shards,
+    stats: CacheStats,
+}
+
+impl ScheduleCache {
+    /// A cache with `shards` independent lock domains per index (rounded
+    /// up to 1).
+    pub fn new(shards: usize) -> Self {
+        ScheduleCache {
+            ident: Shards::new(shards),
+            canon: Shards::new(shards),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Identity-index lookup: byte-identical graph, same labels, so the
+    /// stored schedule is returned without transport.
+    pub fn lookup_identity(
+        &self,
+        form: &IdentityForm,
+        scheduler: &str,
+        budget: Weight,
+        need_moves: bool,
+    ) -> Option<CacheHit> {
+        let (cost, schedule) =
+            self.ident
+                .find(form.hash(), form.bytes(), scheduler, budget, need_moves)?;
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        Some(CacheHit { cost, schedule })
+    }
+
+    /// Canonical-index lookup.  On hit the stored canonical schedule is
+    /// transported through `form`'s inverse labeling.
+    pub fn lookup(
+        &self,
+        form: &CanonicalForm,
+        scheduler: &str,
+        budget: Weight,
+        need_moves: bool,
+    ) -> Option<CacheHit> {
+        let (cost, stored) =
+            self.canon
+                .find(form.hash(), form.bytes(), scheduler, budget, need_moves)?;
+        let schedule = stored.map(|s| {
+            let inv = form.inverse_perm();
+            s.map_nodes(|c| inv[c.index()])
+        });
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        Some(CacheHit { cost, schedule })
+    }
+
+    /// Record a miss (for stats symmetry; the service calls this when
+    /// every lookup level returns `None` and the engine is consulted).
+    pub fn record_miss(&self) {
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Insert into the identity index.  `schedule` is stored as-is, in
+    /// the requester's labels.
+    pub fn insert_identity(
+        &self,
+        form: &IdentityForm,
+        scheduler: &str,
+        budget: Weight,
+        cost: Weight,
+        schedule: Option<&Schedule>,
+    ) {
+        if self.ident.put(
+            form.hash(),
+            form.bytes(),
+            scheduler,
+            budget,
+            cost,
+            schedule.cloned(),
+        ) {
+            self.stats.entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Insert into the canonical index.  `schedule` must be in the
+    /// *requester's* labels; it is rewritten to canonical labels via
+    /// `form` before storage.
+    pub fn insert(
+        &self,
+        form: &CanonicalForm,
+        scheduler: &str,
+        budget: Weight,
+        cost: Weight,
+        schedule: Option<&Schedule>,
+    ) {
+        let stored = schedule.map(|s| s.map_nodes(|v| form.to_canon(v)));
+        if self
+            .canon
+            .put(form.hash(), form.bytes(), scheduler, budget, cost, stored)
+        {
+            self.stats.entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The cache-local counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::{canonical_form, identity_form};
+    use pebblyn_core::{CdagBuilder, Move, NodeId};
+
+    fn chain3() -> pebblyn_core::Cdag {
+        let mut b = CdagBuilder::new();
+        let a = b.unnamed(1);
+        let c = b.unnamed(2);
+        let d = b.unnamed(3);
+        b.edge(a, c);
+        b.edge(c, d);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_entry_serves_cost_only_but_not_vice_versa() {
+        let g = chain3();
+        let form = canonical_form(&g);
+        let cache = ScheduleCache::new(4);
+        assert!(cache.lookup(&form, "naive", 10, false).is_none());
+
+        cache.insert(&form, "naive", 10, 7, None); // cost-only entry
+        assert!(cache.lookup(&form, "naive", 10, true).is_none());
+        assert_eq!(cache.lookup(&form, "naive", 10, false).unwrap().cost, 7);
+
+        let sched = Schedule::from_moves(vec![Move::Load(NodeId(0)), Move::Compute(NodeId(1))]);
+        cache.insert(&form, "naive", 10, 7, Some(&sched)); // upgrade to full
+        let hit = cache.lookup(&form, "naive", 10, true).unwrap();
+        assert_eq!(hit.cost, 7);
+        assert_eq!(hit.schedule.unwrap().moves(), sched.moves());
+        assert_eq!(cache.stats().entries(), 1);
+        // Different budget or scheduler: miss.
+        assert!(cache.lookup(&form, "naive", 11, false).is_none());
+        assert!(cache.lookup(&form, "kary", 10, false).is_none());
+    }
+
+    #[test]
+    fn transported_hit_rewrites_labels() {
+        // Same chain built in reverse construction order.
+        let g1 = chain3();
+        let mut b = CdagBuilder::new();
+        let d = b.unnamed(3);
+        let c = b.unnamed(2);
+        let a = b.unnamed(1);
+        b.edge(a, c);
+        b.edge(c, d);
+        let g2 = b.build().unwrap();
+
+        let f1 = canonical_form(&g1);
+        let f2 = canonical_form(&g2);
+        assert_eq!(f1.bytes(), f2.bytes());
+
+        let cache = ScheduleCache::new(1);
+        // Schedule in g1 labels: touch every node once.
+        let sched = Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Compute(NodeId(1)),
+            Move::Compute(NodeId(2)),
+        ]);
+        cache.insert(&f1, "naive", 10, 5, Some(&sched));
+        let hit = cache.lookup(&f2, "naive", 10, true).unwrap();
+        // g1's node v corresponds to g2's node with the same canonical
+        // label; weights identify the mapping: 0->2, 1->1, 2->0.
+        assert_eq!(
+            hit.schedule.unwrap().moves(),
+            vec![
+                Move::Load(NodeId(2)),
+                Move::Compute(NodeId(1)),
+                Move::Compute(NodeId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn identity_index_is_label_strict_and_transport_free() {
+        let g1 = chain3();
+        let mut b = CdagBuilder::new();
+        let d = b.unnamed(3);
+        let c = b.unnamed(2);
+        let a = b.unnamed(1);
+        b.edge(a, c);
+        b.edge(c, d);
+        let g2 = b.build().unwrap();
+
+        let i1 = identity_form(&g1);
+        let i2 = identity_form(&g2);
+        let cache = ScheduleCache::new(2);
+        let sched = Schedule::from_moves(vec![Move::Load(NodeId(0)), Move::Compute(NodeId(2))]);
+        cache.insert_identity(&i1, "naive", 10, 5, Some(&sched));
+        // Same graph object: hit, moves byte-for-byte as stored.
+        let hit = cache.lookup_identity(&i1, "naive", 10, true).unwrap();
+        assert_eq!(hit.schedule.unwrap().moves(), sched.moves());
+        // Isomorphic but relabeled: the identity index must NOT answer.
+        assert!(cache.lookup_identity(&i2, "naive", 10, true).is_none());
+        // Upgrade semantics match the canonical index.
+        cache.insert_identity(&i1, "naive", 10, 5, None);
+        assert!(cache.lookup_identity(&i1, "naive", 10, true).is_some());
+        assert_eq!(cache.stats().entries(), 1);
+    }
+}

@@ -1,0 +1,607 @@
+//! Canonical graph forms for the schedule cache.
+//!
+//! The daemon's cache must answer "have I scheduled this graph before?"
+//! where "this graph" means *up to node relabeling*: two clients that
+//! built the same dataflow in different construction orders should hit
+//! the same entry.  That requires two things with different robustness
+//! budgets:
+//!
+//! 1. An **isomorphism-invariant hash** for bucket addressing.  We use
+//!    the fixpoint of Weisfeiler–Leman color refinement: starting from
+//!    `(weight, in-degree, out-degree)` colors, each round recolors a
+//!    node by its color plus the sorted multisets of its predecessor and
+//!    successor colors, densely re-ranked.  The fixpoint partition is a
+//!    label-free function of the graph, so hashing its color histogram
+//!    together with the edge color pairs is invariant for *every* graph,
+//!    unconditionally — the property the service proptests pin down.
+//!
+//! 2. A **canonical labeling** for exact entry comparison and for
+//!    transporting a cached schedule to the requester's labels.  When
+//!    refinement leaves color classes with more than one node (the graph
+//!    has nontrivial symmetry), we first run a **twin sweep**: a class
+//!    whose members all share the *same* predecessor set and successor
+//!    set (DWT's approx/detail pairs, fan-out replicas) is a genuine
+//!    automorphism orbit, so any fixed internal order serializes to the
+//!    same bytes — we split every such class deterministically at zero
+//!    branching cost.  Only the symmetry twins cannot explain falls to
+//!    textbook individualization–refinement: branch on each member of
+//!    the first surviving non-singleton class, refine, recurse, and keep
+//!    the lexicographically least serialized form over *all* branches.
+//!    Exploring every branch is what makes the winner label-independent.
+//!    The search tree can be factorial, so two invariant guards bound
+//!    it: a class wider than [`CLASS_CAP`] (dense MVM's interchangeable
+//!    rows — class *sizes* are label-free) aborts immediately, and the
+//!    tree runs under a node budget whose sufficiency is also
+//!    label-independent (the tree's size does not depend on labels).  On
+//!    either bail-out we fall back to the original labeling marked
+//!    inexact: identically-labeled repeats still hit (the common case
+//!    for a client in a loop, served by the cache's identity fast path),
+//!    relabeled isomorphs of highly-symmetric graphs miss, and
+//!    correctness is never at stake because the cache compares full
+//!    serialized bytes, never just the hash.
+
+use pebblyn_core::{Cdag, FastHasher, NodeId};
+use std::hash::Hasher;
+
+/// Default individualization–refinement search budget (tree nodes).
+///
+/// After the twin sweep, every workload family in the paper discretizes
+/// in a handful of nodes; the budget is a backstop for adversarial
+/// many-small-orbit graphs (e.g. dozens of interchangeable components).
+pub const DEFAULT_SEARCH_BUDGET: usize = 2048;
+
+/// Widest non-twin color class the search will branch on.  A wider class
+/// means at least `CLASS_CAP!`-ish work to canonicalize exactly, which no
+/// budget this side of absurd covers — bail to the inexact fallback
+/// before paying even one branch.  Class sizes are a label-free property
+/// of the refined partition, so the bail-out is isomorphism-invariant.
+pub const CLASS_CAP: usize = 24;
+
+/// A graph's cache identity: invariant hash, comparison bytes, and the
+/// labeling that produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    hash: u64,
+    bytes: Vec<u8>,
+    perm: Vec<u32>,
+    exact: bool,
+}
+
+impl CanonicalForm {
+    /// The isomorphism-invariant bucket hash (WL fixpoint signature).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The serialized comparison form.  Two graphs with equal bytes are
+    /// identical after applying their respective [`perm`](Self::perm)s.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// `perm[v] = c`: original node `v` holds canonical label `c`.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Whether the canonical search completed.  Inexact forms use the
+    /// original labeling and only match byte-identical instances.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Map an original-label node to its canonical label.
+    pub fn to_canon(&self, v: NodeId) -> NodeId {
+        NodeId(self.perm[v.index()])
+    }
+
+    /// The inverse labeling: `inv[c] = v` with `perm[v] = c`.  Used to
+    /// transport a canonically-labeled cached schedule back to this
+    /// requester's node ids.
+    pub fn inverse_perm(&self) -> Vec<NodeId> {
+        let mut inv = vec![NodeId(0); self.perm.len()];
+        for (v, &c) in self.perm.iter().enumerate() {
+            inv[c as usize] = NodeId(v as u32);
+        }
+        inv
+    }
+}
+
+/// Compute the canonical form under [`DEFAULT_SEARCH_BUDGET`].
+pub fn canonical_form(g: &Cdag) -> CanonicalForm {
+    canonical_form_with_budget(g, DEFAULT_SEARCH_BUDGET)
+}
+
+/// Compute the canonical form under an explicit search budget.
+pub fn canonical_form_with_budget(g: &Cdag, budget: usize) -> CanonicalForm {
+    let mut colors = initial_colors(g);
+    refine(g, &mut colors);
+    let hash = signature_hash(g, &colors);
+
+    let mut remaining = budget;
+    match search(g, colors, &mut remaining) {
+        Some((bytes, perm)) => CanonicalForm {
+            hash,
+            bytes,
+            perm,
+            exact: true,
+        },
+        None => {
+            let identity: Vec<u32> = (0..g.len() as u32).collect();
+            CanonicalForm {
+                hash,
+                bytes: serialize(g, &identity, false),
+                perm: identity,
+                exact: false,
+            }
+        }
+    }
+}
+
+/// A graph's *identity* form: its serialization under its own labels.
+///
+/// Costs one `O(V + E)` pass — no refinement, no search — and keys the
+/// cache's first-level fast path for the dominant daemon pattern: a
+/// client resubmitting the exact graph it built last time.  Schedules
+/// stored under an identity form are already in the requester's labels,
+/// so hits need no transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdentityForm {
+    hash: u64,
+    bytes: Vec<u8>,
+}
+
+impl IdentityForm {
+    /// Bucket hash of the identity bytes (not the WL signature — this
+    /// form deliberately distinguishes labelings).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The serialized comparison form under the graph's own labels.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Serialize `g` under its own labels and hash the bytes.
+pub fn identity_form(g: &Cdag) -> IdentityForm {
+    let identity: Vec<u32> = (0..g.len() as u32).collect();
+    let bytes = serialize(g, &identity, false);
+    let mut h = FastHasher::default();
+    h.write_u64(0x70_65_62_5f_69_64_5f_31); // "peb_id_1" domain tag
+    h.write(&bytes);
+    IdentityForm {
+        hash: h.finish(),
+        bytes,
+    }
+}
+
+/// Dense-rank arbitrary ordered keys to colors `0..k`.
+fn dense_rank<K: Ord>(keys: &[K]) -> (Vec<u32>, usize) {
+    let mut sorted: Vec<&K> = keys.iter().collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let colors = keys
+        .iter()
+        .map(|k| sorted.binary_search(&k).unwrap() as u32)
+        .collect();
+    (colors, sorted.len())
+}
+
+/// Label-free starting partition: `(weight, in-degree, out-degree)`.
+fn initial_colors(g: &Cdag) -> Vec<u32> {
+    let keys: Vec<(u64, usize, usize)> = g
+        .nodes()
+        .map(|v| (g.weight(v), g.in_degree(v), g.out_degree(v)))
+        .collect();
+    dense_rank(&keys).0
+}
+
+/// WL color refinement to fixpoint.  Each round keys a node by its color
+/// and the sorted colors of its neighborhoods; dense re-ranking only ever
+/// splits classes, so the loop terminates in at most `n` rounds.
+///
+/// The neighborhood keys live in one flat CSR buffer reused across
+/// rounds — refinement runs in the search's inner loop, so per-node
+/// allocations there dominated whole-graph canonicalization time.
+/// Nodes sharing a color share degrees (degrees seed the initial
+/// partition and refinement only splits), so comparing the merged
+/// `preds ++ succs` slice is comparing `(preds, succs)`.
+fn refine(g: &Cdag, colors: &mut [u32]) {
+    let n = g.len();
+    if n == 0 {
+        return;
+    }
+    let mut start = Vec::with_capacity(n + 1);
+    let mut split = Vec::with_capacity(n);
+    let mut total = 0usize;
+    for v in g.nodes() {
+        start.push(total);
+        total += g.in_degree(v);
+        split.push(total);
+        total += g.out_degree(v);
+    }
+    start.push(total);
+    let mut buf = vec![0u32; total];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut next = vec![0u32; n];
+    let mut classes = count_classes(colors);
+    loop {
+        for v in g.nodes() {
+            let i = v.index();
+            for (slot, u) in buf[start[i]..split[i]].iter_mut().zip(g.preds(v)) {
+                *slot = colors[u.index()];
+            }
+            buf[start[i]..split[i]].sort_unstable();
+            for (slot, u) in buf[split[i]..start[i + 1]].iter_mut().zip(g.succs(v)) {
+                *slot = colors[u.index()];
+            }
+            buf[split[i]..start[i + 1]].sort_unstable();
+        }
+        {
+            let key = |v: u32| {
+                let i = v as usize;
+                (colors[i], &buf[start[i]..start[i + 1]])
+            };
+            order.sort_unstable_by(|&a, &b| key(a).cmp(&key(b)));
+            let mut k = 0u32;
+            next[order[0] as usize] = 0;
+            for w in order.windows(2) {
+                if key(w[0]) != key(w[1]) {
+                    k += 1;
+                }
+                next[w[1] as usize] = k;
+            }
+        }
+        let k = next[order[n - 1] as usize] as usize + 1;
+        colors.copy_from_slice(&next);
+        if k == classes || k == n {
+            return;
+        }
+        classes = k;
+    }
+}
+
+fn count_classes(colors: &[u32]) -> usize {
+    let mut seen: Vec<u32> = colors.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Split `v` off from its color class, ordered before its old classmates.
+fn individualize(colors: &[u32], v: usize) -> Vec<u32> {
+    let keys: Vec<(u32, u8)> = colors
+        .iter()
+        .enumerate()
+        .map(|(u, &c)| (c, u8::from(u != v)))
+        .collect();
+    dense_rank(&keys).0
+}
+
+/// Split every **twin class** — a refined color class whose members all
+/// share the same predecessor *set* and successor *set* (DWT's
+/// approx/detail pairs, fan-out replicas, identical reduction inputs).
+/// Twins are mutually automorphic and their serialized rows are
+/// indistinguishable, so any fixed internal order yields the same
+/// canonical bytes; splitting them all at once in node-index order
+/// removes the dominant symmetry in the paper's workloads without
+/// branching (a twin *pair* per DWT level would otherwise cost a
+/// `2^levels` search tree).  A different original labeling picks a
+/// different internal order, but the two labelings then differ by an
+/// automorphism, which the bytes — and the cache's schedule transport —
+/// are invariant under.  Returns whether anything split; callers
+/// re-refine to propagate the new colors.
+fn split_twin_classes(g: &Cdag, colors: &mut Vec<u32>) -> bool {
+    let n = g.len();
+    let mut by_class: Vec<u32> = (0..n as u32).collect();
+    by_class.sort_unstable_by_key(|&v| colors[v as usize]);
+    let mut tiebreak = vec![0u32; n];
+    let mut any = false;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && colors[by_class[j] as usize] == colors[by_class[i] as usize] {
+            j += 1;
+        }
+        if j - i > 1 && is_twin_class(g, &by_class[i..j]) {
+            any = true;
+            // `by_class` ties on node id, so rank-in-class is index order.
+            for (r, &v) in by_class[i..j].iter().enumerate() {
+                tiebreak[v as usize] = r as u32;
+            }
+        }
+        i = j;
+    }
+    if any {
+        let keys: Vec<(u32, u32)> = colors
+            .iter()
+            .zip(&tiebreak)
+            .map(|(&c, &t)| (c, t))
+            .collect();
+        *colors = dense_rank(&keys).0;
+    }
+    any
+}
+
+/// Do all members share one predecessor set and one successor set?
+/// (Twins can never be adjacent to each other: an intra-class edge would
+/// already make the endpoint neighborhoods differ.)
+fn is_twin_class(g: &Cdag, members: &[u32]) -> bool {
+    let sorted_ids = |xs: &[NodeId]| {
+        let mut v: Vec<u32> = xs.iter().map(|u| u.index() as u32).collect();
+        v.sort_unstable();
+        v
+    };
+    let p0 = sorted_ids(g.preds(NodeId(members[0])));
+    let s0 = sorted_ids(g.succs(NodeId(members[0])));
+    members[1..]
+        .iter()
+        .all(|&m| sorted_ids(g.preds(NodeId(m))) == p0 && sorted_ids(g.succs(NodeId(m))) == s0)
+}
+
+/// Individualization–refinement: return the lex-least serialized form and
+/// its labeling, or `None` if the graph is too symmetric to finish —
+/// a branching class wider than [`CLASS_CAP`] or `budget` search-tree
+/// nodes exhausted, both label-invariant conditions.
+fn search(g: &Cdag, mut colors: Vec<u32>, budget: &mut usize) -> Option<(Vec<u8>, Vec<u32>)> {
+    refine(g, &mut colors);
+    while split_twin_classes(g, &mut colors) {
+        refine(g, &mut colors);
+    }
+    let n = g.len();
+    if count_classes(&colors) == n {
+        // Discrete: the colors are a permutation 0..n and *are* the
+        // canonical labeling of this branch.
+        let bytes = serialize(g, &colors, true);
+        return Some((bytes, colors));
+    }
+    // First non-singleton class by color value — an invariant choice.
+    let mut counts = vec![0u32; n];
+    for &c in &colors {
+        counts[c as usize] += 1;
+    }
+    let target = (0..n as u32).find(|&c| counts[c as usize] > 1)?;
+    if counts[target as usize] as usize > CLASS_CAP {
+        return None;
+    }
+    *budget = budget.checked_sub(1)?;
+    let mut best: Option<(Vec<u8>, Vec<u32>)> = None;
+    for v in 0..n {
+        if colors[v] != target {
+            continue;
+        }
+        // Explore *every* member: the winner is the lex-min over the whole
+        // orbit, which no relabeling can change.
+        let child = individualize(&colors, v);
+        let cand = search(g, child, budget)?;
+        match &best {
+            Some((b, _)) if *b <= cand.0 => {}
+            _ => best = Some(cand),
+        }
+    }
+    best
+}
+
+/// Serialize `g` under labeling `perm` (original id -> label): weights and
+/// sorted predecessor lists per label, prefixed by an exactness tag so
+/// exact and fallback forms can never compare equal.
+fn serialize(g: &Cdag, perm: &[u32], exact: bool) -> Vec<u8> {
+    let n = g.len();
+    let mut inv = vec![0u32; n];
+    for (v, &c) in perm.iter().enumerate() {
+        inv[c as usize] = v as u32;
+    }
+    let mut out = Vec::with_capacity(16 + 12 * n + 4 * g.edge_count());
+    out.push(u8::from(exact));
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&(g.edge_count() as u32).to_le_bytes());
+    for &orig in &inv {
+        let v = NodeId(orig);
+        out.extend_from_slice(&g.weight(v).to_le_bytes());
+        let mut preds: Vec<u32> = g.preds(v).iter().map(|u| perm[u.index()]).collect();
+        preds.sort_unstable();
+        out.extend_from_slice(&(preds.len() as u32).to_le_bytes());
+        for p in preds {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Hash the WL fixpoint signature: size, color histogram (with weights
+/// folded in via the initial partition), and the multiset of edge color
+/// pairs.  Every ingredient is label-free, so the hash is invariant.
+fn signature_hash(g: &Cdag, colors: &[u32]) -> u64 {
+    let mut h = FastHasher::default();
+    h.write_u64(0x70_65_62_5f_63_61_6e_31); // "peb_can1" domain tag
+    h.write_usize(g.len());
+    h.write_usize(g.edge_count());
+
+    let mut node_sig: Vec<(u32, u64)> = g
+        .nodes()
+        .map(|v| (colors[v.index()], g.weight(v)))
+        .collect();
+    node_sig.sort_unstable();
+    for (c, w) in node_sig {
+        h.write_u32(c);
+        h.write_u64(w);
+    }
+
+    let mut edge_sig: Vec<(u32, u32)> = Vec::with_capacity(g.edge_count());
+    for v in g.nodes() {
+        for &u in g.preds(v) {
+            edge_sig.push((colors[u.index()], colors[v.index()]));
+        }
+    }
+    edge_sig.sort_unstable();
+    for (a, b) in edge_sig {
+        h.write_u32(a);
+        h.write_u32(b);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::CdagBuilder;
+
+    /// A small asymmetric DAG: path with a weighted side branch.
+    fn asymmetric() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let a = b.unnamed(1);
+        let c = b.unnamed(2);
+        let d = b.unnamed(1);
+        let e = b.unnamed(3);
+        b.edge(a, c);
+        b.edge(c, d);
+        b.edge(c, e);
+        b.edge(d, e);
+        b.build().unwrap()
+    }
+
+    /// The same DAG built in a different node order.
+    fn asymmetric_relabeled() -> (Cdag, Vec<u32>) {
+        // perm maps asymmetric() ids -> these ids: a->3, c->1, d->0, e->2
+        let mut b = CdagBuilder::new();
+        let d = b.unnamed(1);
+        let c = b.unnamed(2);
+        let e = b.unnamed(3);
+        let a = b.unnamed(1);
+        b.edge(a, c);
+        b.edge(c, d);
+        b.edge(c, e);
+        b.edge(d, e);
+        (b.build().unwrap(), vec![3, 1, 0, 2])
+    }
+
+    #[test]
+    fn isomorphic_graphs_share_hash_and_bytes() {
+        let g1 = asymmetric();
+        let (g2, _) = asymmetric_relabeled();
+        let f1 = canonical_form(&g1);
+        let f2 = canonical_form(&g2);
+        assert!(f1.is_exact() && f2.is_exact());
+        assert_eq!(f1.hash(), f2.hash());
+        assert_eq!(f1.bytes(), f2.bytes());
+    }
+
+    #[test]
+    fn perm_transports_between_labelings() {
+        let g1 = asymmetric();
+        let (g2, perm) = asymmetric_relabeled();
+        let f1 = canonical_form(&g1);
+        let f2 = canonical_form(&g2);
+        // Node v in g1 corresponds to perm[v] in g2; both must land on
+        // the same canonical label.
+        for (v, &p) in perm.iter().enumerate() {
+            assert_eq!(f1.perm()[v], f2.perm()[p as usize]);
+        }
+        // inverse_perm round-trips.
+        let inv = f1.inverse_perm();
+        for v in g1.nodes() {
+            assert_eq!(inv[f1.to_canon(v).index()], v);
+        }
+    }
+
+    #[test]
+    fn non_isomorphic_graphs_differ() {
+        let g1 = asymmetric();
+        let mut b = CdagBuilder::new();
+        let a = b.unnamed(1);
+        let c = b.unnamed(2);
+        let d = b.unnamed(1);
+        let e = b.unnamed(4); // different weight
+        b.edge(a, c);
+        b.edge(c, d);
+        b.edge(c, e);
+        b.edge(d, e);
+        let g2 = b.build().unwrap();
+        let f1 = canonical_form(&g1);
+        let f2 = canonical_form(&g2);
+        assert_ne!(f1.bytes(), f2.bytes());
+    }
+
+    #[test]
+    fn twin_classes_collapse_without_any_search_budget() {
+        // A 1 -> {2..9} -> 10 double-fan: the middle nodes are mutually
+        // interchangeable *twins* (same pred set {1}, same succ set
+        // {10}), so the twin sweep discretizes the partition and even a
+        // zero search budget yields an exact, labeling-independent form.
+        let fan = |order: &[u32]| {
+            let mut b = CdagBuilder::new();
+            let ids: Vec<_> = (0..10).map(|_| b.unnamed(1)).collect();
+            for &m in order {
+                b.edge(ids[0], ids[m as usize]);
+                b.edge(ids[m as usize], ids[9]);
+            }
+            b.build().unwrap()
+        };
+        let g1 = fan(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let g2 = fan(&[8, 3, 1, 7, 2, 6, 4, 5]);
+        let f1 = canonical_form_with_budget(&g1, 0);
+        let f2 = canonical_form_with_budget(&g2, 0);
+        assert!(f1.is_exact() && f2.is_exact());
+        assert_eq!(f1.hash(), f2.hash());
+        assert_eq!(f1.bytes(), f2.bytes());
+    }
+
+    /// `k` disjoint 2-node chains `a_i -> b_i`: every `a_i` is in one WL
+    /// class but they are *not* twins (each has a different successor),
+    /// so canonicalizing takes a genuine `k`-way branch per level.
+    fn chains(k: usize, order: &[usize]) -> Cdag {
+        let mut b = CdagBuilder::new();
+        let heads: Vec<_> = (0..k).map(|_| b.unnamed(1)).collect();
+        let tails: Vec<_> = (0..k).map(|_| b.unnamed(2)).collect();
+        for &i in order {
+            b.edge(heads[i], tails[i]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn symmetric_non_twin_graph_exhausts_budget_but_hash_stays_invariant() {
+        let g1 = chains(6, &[0, 1, 2, 3, 4, 5]);
+        let g2 = chains(6, &[4, 0, 5, 2, 1, 3]);
+        let f1 = canonical_form_with_budget(&g1, 2);
+        let f2 = canonical_form_with_budget(&g2, 2);
+        assert!(!f1.is_exact() && !f2.is_exact());
+        assert_eq!(f1.hash(), f2.hash());
+        // With a generous budget the 6!-leaf search completes and the
+        // forms agree across labelings.
+        let e1 = canonical_form_with_budget(&g1, 1 << 20);
+        let e2 = canonical_form_with_budget(&g2, 1 << 20);
+        assert!(e1.is_exact() && e2.is_exact());
+        assert_eq!(e1.bytes(), e2.bytes());
+        // Exact and inexact forms never compare equal even on the same
+        // graph (leading exactness tag differs).
+        assert_ne!(e1.bytes(), f1.bytes());
+    }
+
+    #[test]
+    fn classes_wider_than_cap_bail_to_inexact_at_any_budget() {
+        let wide = CLASS_CAP + 2;
+        let order1: Vec<usize> = (0..wide).collect();
+        let order2: Vec<usize> = (0..wide).rev().collect();
+        let g1 = chains(wide, &order1);
+        let g2 = chains(wide, &order2);
+        let f1 = canonical_form_with_budget(&g1, usize::MAX);
+        let f2 = canonical_form_with_budget(&g2, usize::MAX);
+        assert!(!f1.is_exact() && !f2.is_exact());
+        assert_eq!(f1.hash(), f2.hash());
+    }
+
+    #[test]
+    fn identity_form_distinguishes_labelings_but_not_repeats() {
+        let g1 = asymmetric();
+        let (g2, _) = asymmetric_relabeled();
+        let i1 = identity_form(&g1);
+        let i1_again = identity_form(&g1);
+        let i2 = identity_form(&g2);
+        assert_eq!(i1, i1_again);
+        assert_eq!(i1.hash(), i1_again.hash());
+        assert_ne!(i1.bytes(), i2.bytes());
+    }
+}

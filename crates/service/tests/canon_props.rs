@@ -1,0 +1,120 @@
+//! Property tests for the canonicalizing cache (satellite of the
+//! scheduling-as-a-service PR).
+//!
+//! The two properties the cache's correctness rests on:
+//!
+//! 1. the canonical *hash* is isomorphism-invariant for every graph,
+//!    unconditionally (the WL fixpoint signature is label-free), and
+//!    when the bounded canonical search completes on both sides, the
+//!    full comparison bytes agree too;
+//! 2. a cache hit on a *relabeled* isomorph transports a schedule that
+//!    replays on the requester's graph to exactly the cost a fresh
+//!    engine solve would report.
+//!
+//! Graphs come from the conformance generator (the same four families
+//! the differential oracle fuzzes) and relabelings from its metamorphic
+//! permutation transform, so these properties are exercised on the
+//! shapes the rest of the workspace already trusts.
+
+use pebblyn_conformance::metamorphic::{permute_nodes, random_perm};
+use pebblyn_conformance::{generate, SplitRng};
+use pebblyn_core::{min_feasible_budget, validate_schedule, ScheduleRequest};
+use pebblyn_service::canon::canonical_form;
+use pebblyn_service::{GraphSpec, Outcome, Request, Service};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// WL signature hashes never see node labels: any permutation of any
+    /// generated graph hashes identically, exactness is decided the same
+    /// way on both sides, and exact forms serialize identically.
+    #[test]
+    fn canonical_hash_is_isomorphism_invariant(seed in 0u64..2000, index in 0u64..8, pseed in 0u64..1000) {
+        let case = generate(seed, index);
+        let g1 = case.graph;
+        let mut rng = SplitRng::new(pseed ^ 0x9e37_79b9_7f4a_7c15);
+        let perm = random_perm(g1.len(), &mut rng);
+        let g2 = permute_nodes(&g1, &perm);
+
+        let f1 = canonical_form(&g1);
+        let f2 = canonical_form(&g2);
+        prop_assert_eq!(f1.hash(), f2.hash(), "hash must ignore labels ({})", case.spec);
+        // The search tree's size is label-free, so the budget verdict is too.
+        prop_assert_eq!(f1.is_exact(), f2.is_exact(), "exactness must ignore labels");
+        if f1.is_exact() {
+            prop_assert_eq!(f1.bytes(), f2.bytes(), "exact forms must serialize identically");
+            // The two labelings need not agree pointwise (they may differ
+            // by an automorphism), but routing g1 through its labeling and
+            // back out of g2's must be an isomorphism g1 -> g2 — the map
+            // the cache transport uses.
+            let inv2 = f2.inverse_perm();
+            let map = |v: pebblyn_core::NodeId| inv2[f1.to_canon(v).index()];
+            for v in g1.nodes() {
+                prop_assert_eq!(g1.weight(v), g2.weight(map(v)));
+                let mut expect: Vec<u32> = g1.preds(v).iter().map(|&p| map(p).0).collect();
+                let mut got: Vec<u32> = g2.preds(map(v)).iter().map(|p| p.0).collect();
+                expect.sort_unstable();
+                got.sort_unstable();
+                prop_assert_eq!(expect, got);
+            }
+        }
+    }
+
+    /// Serving a relabeled isomorph from the cache gives a schedule that
+    /// validates on the requester's labeling at exactly the cost of a
+    /// fresh solve of that labeling.
+    #[test]
+    fn cache_hit_transports_to_fresh_solve_cost(seed in 0u64..500, index in 0u64..4, pseed in 0u64..500) {
+        let case = generate(seed, index);
+        let g1 = case.graph;
+        let mut rng = SplitRng::new(pseed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1);
+        let perm = random_perm(g1.len(), &mut rng);
+        let g2 = permute_nodes(&g1, &perm);
+        let budget = min_feasible_budget(&g1) + g1.total_weight() / 2;
+
+        let svc = Service::with_default_config();
+        let cold = svc.handle(Request {
+            id: 1,
+            ask: ScheduleRequest::new(GraphSpec::Custom(g1.clone()), budget, "naive"),
+            no_cache: false,
+        });
+        let Outcome::Ok { cost: cold_cost, cache_hit: false, .. } = cold.outcome else {
+            panic!("cold solve must succeed above the minimum feasible budget")
+        };
+
+        let warm = svc.handle(Request {
+            id: 2,
+            ask: ScheduleRequest::new(GraphSpec::Custom(g2.clone()), budget, "naive"),
+            no_cache: false,
+        });
+        let Outcome::Ok { cost, schedule, cache_hit } = warm.outcome else {
+            panic!("warm solve must succeed above the minimum feasible budget")
+        };
+        // Exact canonicalization on both sides guarantees the relabeled
+        // isomorph hits; inexact (budget-bounded) forms are allowed to
+        // miss but never to answer wrong.
+        let exact = canonical_form(&g1).is_exact();
+        if exact {
+            prop_assert!(cache_hit, "exact isomorphs must share a cache entry ({})", case.spec);
+        }
+        // Hit or miss, the answer must validate on *this* labeling and
+        // match the cost a fresh solve reports (naive's cost is a pure
+        // function of structure, so cold and warm agree).
+        let sched = schedule.expect("full request returns moves");
+        let stats = validate_schedule(&g2, budget, &sched).expect("transported schedule replays");
+        prop_assert_eq!(stats.cost, cost);
+        prop_assert_eq!(cost, cold_cost);
+
+        // A fresh, cache-bypassing solve of the relabeled graph agrees.
+        let fresh = svc.handle(Request {
+            id: 3,
+            ask: ScheduleRequest::new(GraphSpec::Custom(g2), budget, "naive"),
+            no_cache: true,
+        });
+        let Outcome::Ok { cost: fresh_cost, cache_hit: false, .. } = fresh.outcome else {
+            panic!("fresh solve must succeed")
+        };
+        prop_assert_eq!(cost, fresh_cost);
+    }
+}

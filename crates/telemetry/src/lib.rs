@@ -65,10 +65,19 @@ pub enum Counter {
     ParTasks,
     /// Invocations of the deterministic parallel map.
     ParRounds,
+    /// Scheduling requests accepted by the service (hits + misses + rejects;
+    /// excludes load-shed requests, which never reach the cache).
+    ServiceRequests,
+    /// Service requests answered from the canonical schedule cache.
+    ServiceCacheHits,
+    /// Service requests that fell through to an engine solve.
+    ServiceCacheMisses,
+    /// Service requests shed because the bounded queue was full.
+    ServiceShed,
 }
 
 /// All counters, in declaration (and output) order.
-pub const COUNTERS: [Counter; 14] = [
+pub const COUNTERS: [Counter; 18] = [
     Counter::StatesExpanded,
     Counter::StatesGenerated,
     Counter::DominancePruned,
@@ -83,6 +92,10 @@ pub const COUNTERS: [Counter; 14] = [
     Counter::ShrinkSteps,
     Counter::ParTasks,
     Counter::ParRounds,
+    Counter::ServiceRequests,
+    Counter::ServiceCacheHits,
+    Counter::ServiceCacheMisses,
+    Counter::ServiceShed,
 ];
 
 impl Counter {
@@ -103,6 +116,10 @@ impl Counter {
             Counter::ShrinkSteps => "shrink_steps",
             Counter::ParTasks => "par_tasks",
             Counter::ParRounds => "par_rounds",
+            Counter::ServiceRequests => "service_requests",
+            Counter::ServiceCacheHits => "service_cache_hits",
+            Counter::ServiceCacheMisses => "service_cache_misses",
+            Counter::ServiceShed => "service_shed",
         }
     }
 }
@@ -117,13 +134,19 @@ pub enum Gauge {
     DominanceEntriesPeak,
     /// Peak depth of any engine work queue.
     QueueDepthPeak,
+    /// Peak depth of the service's bounded request queue.
+    ServiceQueueDepthPeak,
+    /// Slowest single request the service answered, in wall nanoseconds.
+    ServiceLatencyPeakNs,
 }
 
 /// All gauges, in declaration (and output) order.
-pub const GAUGES: [Gauge; 3] = [
+pub const GAUGES: [Gauge; 5] = [
     Gauge::FrontierPeak,
     Gauge::DominanceEntriesPeak,
     Gauge::QueueDepthPeak,
+    Gauge::ServiceQueueDepthPeak,
+    Gauge::ServiceLatencyPeakNs,
 ];
 
 impl Gauge {
@@ -133,6 +156,8 @@ impl Gauge {
             Gauge::FrontierPeak => "frontier_peak",
             Gauge::DominanceEntriesPeak => "dominance_entries_peak",
             Gauge::QueueDepthPeak => "queue_depth_peak",
+            Gauge::ServiceQueueDepthPeak => "service_queue_depth_peak",
+            Gauge::ServiceLatencyPeakNs => "service_latency_peak_ns",
         }
     }
 }
