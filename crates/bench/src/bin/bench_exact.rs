@@ -1,20 +1,31 @@
 //! Exact-search micro-benchmark: the bound-guided A\* against the plain
-//! Dijkstra baseline it replaced.
+//! Dijkstra baseline it replaced, plus the wide-mask / symmetry / thread
+//! ablation that certifies the post-64-node solver.
 //!
-//! For each certification-suite workload the binary runs both solvers at
-//! the same budget and reports expanded states and wall time, then writes
-//! `results/bench_exact.json`.  The baseline is
-//! [`ExactSolver::dijkstra_baseline`] — no heuristic, no dominance
-//! pruning, raw four-move successor relation — which is byte-identical in
-//! behaviour to the pre-A\* solver, so the comparison measures exactly the
-//! three pruning levers.  Expanded-state counts are deterministic on any
-//! host; wall times are same-host single-run measurements and only
-//! meaningful as ratios.
+//! **Section 1 (legacy races).**  For each ≤ 64-node certification-suite
+//! workload the binary runs both solvers at the same budget and reports
+//! expanded states and wall time.  The baseline is
+//! [`ExactSolver::dijkstra_baseline`] — no heuristic, no dominance pruning,
+//! raw four-move successor relation, no symmetry — which is byte-identical
+//! in behaviour to the pre-A\* solver, so the comparison measures exactly
+//! the pruning levers.  These graphs all dispatch to the `u64` fast path
+//! (`mask_words = 1` is recorded per case to prove it).
+//!
+//! **Section 2 (wide ablation).**  A 72-node diamond chain — past the old
+//! `u64` wall, so it runs on `Words<2>` masks — is solved with symmetry
+//! reduction off and on, and then at 1 and 8 worker threads, asserting the
+//! thread count changes *nothing* (cost, every statistic, the steal count).
+//!
+//! Expanded-state counts are deterministic on any host; wall times are
+//! same-host single-run measurements and only meaningful as ratios.
+//! `--records <FILE>` additionally writes every run's deterministic fields
+//! (no wall times) as JSON — CI re-runs the bench at several thread counts
+//! and byte-diffs the records.
 
-use pebblyn::exact::{ExactSolver, Solution, StateLimitExceeded};
+use pebblyn::exact::{ExactError, ExactSolver, SearchStats, Solution};
 use pebblyn::prelude::*;
 use pebblyn::telemetry;
-use pebblyn_bench::{init_telemetry_from_args, reconvergent_mesh16, results_dir};
+use pebblyn_bench::{diamond_chain, init_telemetry_from_args, reconvergent_mesh16, results_dir};
 use std::time::Instant;
 
 /// One workload/budget instance both solvers race on.
@@ -64,36 +75,103 @@ fn cases() -> Vec<Case> {
 
 struct Run {
     cost: Option<Weight>,
-    states: usize,
+    stats: SearchStats,
     capped: bool,
     ms: f64,
 }
 
 fn run(solver: &ExactSolver, g: &Cdag, budget: Weight) -> Run {
     let t = Instant::now();
-    let r: Result<Solution, StateLimitExceeded> = solver.solve(g, budget);
+    let r: Result<Solution, ExactError> = solver.solve(g, budget);
     let ms = t.elapsed().as_secs_f64() * 1e3;
     match r {
         Ok(sol) => Run {
             cost: sol.cost,
-            states: sol.stats.expanded,
+            stats: sol.stats,
             capped: false,
             ms,
         },
         Err(e) => Run {
             cost: None,
-            states: e.states_expanded,
+            stats: SearchStats {
+                expanded: e.states_expanded(),
+                ..SearchStats::default()
+            },
             capped: true,
             ms,
         },
     }
 }
 
+/// Deterministic fields of one solve, serialized for the `--records` file.
+/// Deliberately excludes wall times and anything else host-dependent:
+/// CI byte-diffs these records across thread counts.
+fn record(name: &str, config: &str, budget: Weight, r: &Run) -> String {
+    let st = &r.stats;
+    format!(
+        r#"    {{
+      "case": "{name}",
+      "config": "{config}",
+      "budget": {budget},
+      "cost": {cost},
+      "expanded": {expanded},
+      "generated": {generated},
+      "dominated": {dominated},
+      "deduped": {deduped},
+      "symmetry_pruned": {symmetry_pruned},
+      "batches": {batches},
+      "frontier_steals": {frontier_steals},
+      "peak_open": {peak_open},
+      "frontier_left": {frontier_left},
+      "root_bound": {root_bound},
+      "mask_words": {mask_words}
+    }}"#,
+        cost = r.cost.map_or_else(|| "null".into(), |c| c.to_string()),
+        expanded = st.expanded,
+        generated = st.generated,
+        dominated = st.dominated,
+        deduped = st.deduped,
+        symmetry_pruned = st.symmetry_pruned,
+        batches = st.batches,
+        frontier_steals = st.frontier_steals,
+        peak_open = st.peak_open,
+        frontier_left = st.frontier_left,
+        root_bound = st.root_bound,
+        mask_words = st.mask_words,
+    )
+}
+
+/// Run `f` with the worker pool pinned to `threads` via `RAYON_NUM_THREADS`
+/// (the highest-priority knob), restoring the previous value after.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let prev = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let r = f();
+    match prev {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    r
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let telemetry_on = init_telemetry_from_args(&argv);
+    let records_path = argv
+        .iter()
+        .position(|a| a == "--records")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
     let astar = ExactSolver::default();
     let baseline = ExactSolver::dijkstra_baseline();
+    let mut records = String::new();
+    let mut push_record = |name: &str, config: &str, budget: Weight, r: &Run| {
+        if !records.is_empty() {
+            records.push_str(",\n");
+        }
+        records.push_str(&record(name, config, budget, r));
+    };
+
     println!("exact search micro-bench: plain Dijkstra vs bound-guided A*\n");
     println!(
         "{:<16} {:>6} {:>12} {:>10} {:>12} {:>10} {:>8}",
@@ -118,6 +196,11 @@ fn main() {
             telemetry::flush_run(&format!("{}/astar", case.name));
         }
         assert!(!after.capped, "{}: A* hit the state cap", case.name);
+        assert_eq!(
+            after.stats.mask_words, 1,
+            "{}: a ≤64-node case must stay on the u64 fast path",
+            case.name
+        );
         if !before.capped {
             assert_eq!(
                 before.cost, after.cost,
@@ -125,15 +208,17 @@ fn main() {
                 case.name
             );
         }
-        let shrink = before.states as f64 / (after.states.max(1)) as f64;
+        push_record(case.name, "dijkstra", case.budget, &before);
+        push_record(case.name, "astar", case.budget, &after);
+        let shrink = before.stats.expanded as f64 / (after.stats.expanded.max(1)) as f64;
         println!(
             "{:<16} {:>6} {:>11}{} {:>10.1} {:>12} {:>10.1} {:>7.1}x",
             case.name,
             case.budget,
-            before.states,
+            before.stats.expanded,
             if before.capped { "+" } else { " " },
             before.ms,
-            after.states,
+            after.stats.expanded,
             after.ms,
             shrink,
         );
@@ -146,6 +231,7 @@ fn main() {
       "workload": "{workload}",
       "budget": {budget},
       "optimal_cost": {cost},
+      "mask_words": 1,
       "before_states_expanded": {bs},
       "before_hit_state_cap": {bc},
       "before_ms": {bms:.1},
@@ -157,23 +243,105 @@ fn main() {
             workload = case.workload,
             budget = case.budget,
             cost = after.cost.map_or_else(|| "null".into(), |c| c.to_string()),
-            bs = before.states,
+            bs = before.stats.expanded,
             bc = before.capped,
             bms = before.ms,
-            as_ = after.states,
+            as_ = after.stats.expanded,
             ams = after.ms,
             shrink = shrink,
         ));
     }
 
+    // --- Section 2: the 72-node wide-mask ablation -----------------------
+    let wide = diamond_chain(18);
+    let wide_budget: Weight = 3;
+    assert_eq!(wide.len(), 72, "the wide case must cross the 64-node wall");
+    println!("\nwide ablation: 72-node diamond chain, budget {wide_budget} (Words<2> masks)\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10} {:>8}",
+        "config", "states", "sym prunes", "steals", "ms"
+    );
+
+    if telemetry_on {
+        telemetry::reset();
+    }
+    let sym_off = run(&astar.with_symmetry(false), &wide, wide_budget);
+    if telemetry_on {
+        telemetry::flush_run("diamond72/sym_off");
+        telemetry::reset();
+    }
+    let sym_on = run(&astar, &wide, wide_budget);
+    if telemetry_on {
+        telemetry::flush_run("diamond72/sym_on");
+    }
+    assert!(!sym_off.capped && !sym_on.capped, "diamond72 hit state cap");
+    assert_eq!(sym_on.cost, sym_off.cost, "symmetry must not change cost");
+    assert_eq!(sym_on.cost, Some(2), "diamond chain optimum is 2");
+    assert_eq!(sym_on.stats.mask_words, 2, "72 nodes need Words<2>");
+    assert!(
+        sym_on.stats.expanded < sym_off.stats.expanded,
+        "orbit collapsing must shrink the search"
+    );
+    let t1 = with_threads(1, || run(&astar, &wide, wide_budget));
+    let t8 = with_threads(8, || run(&astar, &wide, wide_budget));
+    assert_eq!(t1.cost, t8.cost, "thread count changed the optimum");
+    assert_eq!(
+        t1.stats, t8.stats,
+        "thread count changed the search trajectory"
+    );
+    push_record("diamond72", "sym_off", wide_budget, &sym_off);
+    push_record("diamond72", "sym_on", wide_budget, &sym_on);
+    push_record("diamond72", "sym_on_threads1", wide_budget, &t1);
+    push_record("diamond72", "sym_on_threads8", wide_budget, &t8);
+    for (label, r) in [
+        ("sym_off", &sym_off),
+        ("sym_on", &sym_on),
+        ("sym_on @1 thread", &t1),
+        ("sym_on @8 threads", &t8),
+    ] {
+        println!(
+            "{:<22} {:>12} {:>12} {:>10} {:>8.1}",
+            label, r.stats.expanded, r.stats.symmetry_pruned, r.stats.frontier_steals, r.ms
+        );
+    }
+
+    let ablation = format!(
+        r#"    {{
+      "bench": "diamond72",
+      "workload": "72-node diamond chain (18 fused diamonds), budget 3",
+      "nodes": 72,
+      "budget": {wide_budget},
+      "optimal_cost": {cost},
+      "mask_words": 2,
+      "sym_off_states_expanded": {off},
+      "sym_on_states_expanded": {on},
+      "symmetry_pruned": {pruned},
+      "frontier_steals": {steals},
+      "threads1_states_expanded": {t1s},
+      "threads8_states_expanded": {t8s},
+      "thread_invariant": {inv}
+    }}"#,
+        cost = sym_on.cost.unwrap(),
+        off = sym_off.stats.expanded,
+        on = sym_on.stats.expanded,
+        pruned = sym_on.stats.symmetry_pruned,
+        steals = sym_on.stats.frontier_steals,
+        t1s = t1.stats.expanded,
+        t8s = t8.stats.expanded,
+        inv = t1.stats == t8.stats,
+    );
+
     let json = format!(
         r#"{{
-  "description": "Exact-solver search benchmark: expanded states and wall time for the plain Dijkstra baseline (no heuristic, no dominance, raw four-move successors — the pre-A* solver) vs the bound-guided A* (forced-reload bound, dominance pruning, macro moves). States-expanded counts are deterministic; wall times are single-run same-host measurements and only the ratios are meaningful across machines. before_hit_state_cap means the baseline exceeded 5M expansions and its count is a lower bound.",
-  "date": "2026-08-06",
+  "description": "Exact-solver search benchmark. 'benchmarks': expanded states and wall time for the plain Dijkstra baseline (no heuristic, no dominance, raw four-move successors, no symmetry — the pre-A* solver) vs the bound-guided A* (forced-reload bound, dominance pruning, macro moves, twin-orbit symmetry reduction); all four cases dispatch to the u64 fast path (mask_words 1). 'wide_ablation': a 72-node diamond chain past the old 64-node u64 wall, solved on Words<2> masks with symmetry off/on and at 1 vs 8 worker threads (thread_invariant asserts identical stats). States-expanded counts are deterministic; wall times are single-run same-host measurements and only the ratios are meaningful across machines. before_hit_state_cap means the baseline exceeded 5M expansions and its count is a lower bound.",
+  "date": "2026-08-09",
   "host": "linux x86_64, 1 CPU",
   "command": "cargo run --release -p pebblyn-bench --bin bench_exact",
   "benchmarks": [
 {entries}
+  ],
+  "wide_ablation": [
+{ablation}
   ]
 }}
 "#
@@ -181,4 +349,12 @@ fn main() {
     let path = results_dir().join("bench_exact.json");
     std::fs::write(&path, json).expect("write bench_exact.json");
     println!("\n[json] {}", path.display());
+
+    if let Some(rp) = records_path {
+        let body = format!(
+            "{{\n  \"description\": \"Deterministic per-solve records (no wall times); byte-identical at any thread count.\",\n  \"records\": [\n{records}\n  ]\n}}\n"
+        );
+        std::fs::write(&rp, body).unwrap_or_else(|e| panic!("write {rp}: {e}"));
+        println!("[records] {rp}");
+    }
 }

@@ -2,11 +2,13 @@
 //!
 //! ```sh
 //! telemetry_check <file.jsonl> [--runs N] [--nonzero COUNTER]...
-//!                 [--expect COUNTER=VALUE]...
+//!                 [--nonzero-gauge GAUGE] [--expect COUNTER=VALUE]...
 //! ```
 //!
 //! Parses every line against the `pebblyn-telemetry/v1` schema and applies
-//! the requested assertions over the *sum* of each counter across runs.
+//! the requested assertions over the *sum* of each counter across runs
+//! (gauges are high-water marks, so `--nonzero-gauge` checks the *max*
+//! across runs instead).
 //! Exit 0 when everything holds, 1 with a diagnostic otherwise, 2 on bad
 //! invocation.
 
@@ -17,6 +19,7 @@ struct Checks {
     path: String,
     runs: Option<usize>,
     nonzero: Vec<String>,
+    nonzero_gauge: Vec<String>,
     expect: Vec<(String, u64)>,
 }
 
@@ -25,6 +28,7 @@ fn parse_args(argv: &[String]) -> Result<Checks, String> {
         path: String::new(),
         runs: None,
         nonzero: Vec::new(),
+        nonzero_gauge: Vec::new(),
         expect: Vec::new(),
     };
     let mut it = argv.iter();
@@ -43,6 +47,7 @@ fn parse_args(argv: &[String]) -> Result<Checks, String> {
                 )
             }
             "--nonzero" => checks.nonzero.push(value("--nonzero")?),
+            "--nonzero-gauge" => checks.nonzero_gauge.push(value("--nonzero-gauge")?),
             "--expect" => {
                 let v = value("--expect")?;
                 let (name, val) = v
@@ -61,7 +66,8 @@ fn parse_args(argv: &[String]) -> Result<Checks, String> {
     }
     if checks.path.is_empty() {
         return Err("usage: telemetry_check <file.jsonl> [--runs N] \
-                    [--nonzero COUNTER]... [--expect COUNTER=VALUE]..."
+                    [--nonzero COUNTER]... [--nonzero-gauge GAUGE]... \
+                    [--expect COUNTER=VALUE]..."
             .into());
     }
     Ok(checks)
@@ -88,6 +94,16 @@ fn check(checks: &Checks) -> Result<(), String> {
     for name in &checks.nonzero {
         if total(name) == 0 {
             return Err(format!("counter {name} is zero across all runs"));
+        }
+    }
+    for name in &checks.nonzero_gauge {
+        let peak = records
+            .iter()
+            .map(|r| r.gauges.get(name).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        if peak == 0 {
+            return Err(format!("gauge {name} is zero across all runs"));
         }
     }
     for (name, want) in &checks.expect {

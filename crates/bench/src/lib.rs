@@ -161,6 +161,30 @@ pub fn reconvergent_mesh16() -> Cdag {
     b.build().expect("mesh is a connected DAG")
 }
 
+/// A chain of `k` unit-weight diamonds `a→{b,c}→d`, each diamond's exit
+/// feeding the next diamond's entry: `4k` nodes total.  Every diamond's
+/// midpoints are a twin orbit (identical predecessor and successor sets),
+/// so the graph is the canonical symmetry-reduction witness; at `k = 18`
+/// (72 nodes) it is also the bench instance that crosses the old 64-node
+/// `u64` state-mask wall and exercises the `Words<2>` search.  Feasible at
+/// budget 3 with optimal cost 2 (load the head source, store the tail
+/// sink; every interior node is compute-only).
+pub fn diamond_chain(k: usize) -> Cdag {
+    let mut b = CdagBuilder::with_capacity(4 * k);
+    let ids: Vec<NodeId> = (0..4 * k).map(|i| b.node(1, format!("d{i}"))).collect();
+    for d in 0..k {
+        let (a, m1, m2, z) = (ids[4 * d], ids[4 * d + 1], ids[4 * d + 2], ids[4 * d + 3]);
+        b.edge(a, m1);
+        b.edge(a, m2);
+        b.edge(m1, z);
+        b.edge(m2, z);
+        if d + 1 < k {
+            b.edge(z, ids[4 * d + 4]);
+        }
+    }
+    b.build().expect("diamond chain is a connected DAG")
+}
+
 /// Handle a `--telemetry <FILE>` flag shared by the bench binaries: when
 /// present, enable telemetry and install a schema-versioned JSONL sink at
 /// the path plus a human-readable summary sink on stderr.  Returns whether

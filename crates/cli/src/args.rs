@@ -56,6 +56,7 @@ EXACT OPTIONS:
                            A* guiding lower bound [default forced-reload]
   --no-dominance           disable dominance pruning
   --no-tighten             search the raw four-move game (no macro moves)
+  --no-symmetry            disable twin-orbit symmetry reduction
   --max-states <N>         expanded-state cap [default 5000000]
 
 OTHER OPTIONS:
@@ -132,6 +133,7 @@ pub enum Command {
         heuristic: Heuristic,
         dominance: bool,
         tighten: bool,
+        symmetry: bool,
         max_states: usize,
     },
     /// Synthesize an SRAM macro.
@@ -361,6 +363,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 heuristic,
                 dominance: !opts.flag("--no-dominance"),
                 tighten: !opts.flag("--no-tighten"),
+                symmetry: !opts.flag("--no-symmetry"),
                 max_states: opts.parse_num("--max-states", 5_000_000)?,
             })
         }

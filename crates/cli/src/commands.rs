@@ -176,25 +176,23 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             heuristic,
             dominance,
             tighten,
+            symmetry,
             max_states,
         } => {
             let g = AnyGraph::build(workload, scheme)?;
             let cdag = g.cdag();
-            if cdag.len() > 64 {
-                return Err(CliError::Unsupported(
-                    "the exact solver handles at most 64 nodes; shrink the workload",
-                ));
-            }
             let solver = ExactSolver::with_max_states(max_states)
                 .with_heuristic(heuristic)
                 .with_dominance(dominance)
-                .with_tighten(tighten);
+                .with_tighten(tighten)
+                .with_symmetry(symmetry);
             println!("{} under {scheme}, budget {budget} bits", g.name());
             println!(
-                "solver:      A* · heuristic {} · dominance {} · macro moves {}",
+                "solver:      A* · heuristic {} · dominance {} · macro moves {} · symmetry {}",
                 heuristic.name(),
                 if dominance { "on" } else { "off" },
                 if tighten { "on" } else { "off" },
+                if symmetry { "on" } else { "off" },
             );
             let sol = solver.solve(cdag, budget)?;
             let st = sol.stats;
@@ -215,12 +213,14 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 st.expanded, st.batches, st.generated
             );
             println!(
-                "pruned:      {} dominated · {} re-reached ({} dominance entries)",
-                st.dominated, st.deduped, st.dominance_entries
+                "pruned:      {} dominated · {} re-reached · {} orbit-merged \
+                 ({} dominance entries)",
+                st.dominated, st.deduped, st.symmetry_pruned, st.dominance_entries
             );
             println!(
-                "frontier:    {} open at exit · peak {}",
-                st.frontier_left, st.peak_open
+                "frontier:    {} open at exit · peak {} · {} steals \
+                 ({}-word state masks)",
+                st.frontier_left, st.peak_open, st.frontier_steals, st.mask_words
             );
             Ok(())
         }

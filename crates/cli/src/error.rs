@@ -35,8 +35,9 @@ pub enum CliError {
     Unsupported(&'static str),
     /// A minimum-memory search never reached its target.
     Target(&'static str),
-    /// The exact search hit its expanded-state cap.
-    Search(pebblyn::prelude::StateLimitExceeded),
+    /// The exact search failed: expanded-state cap hit, or the graph is
+    /// wider than the widest supported state mask.
+    Search(pebblyn::prelude::ExactError),
     /// A telemetry JSONL file failed schema validation.
     Telemetry(String),
     /// Writing an output file failed.
@@ -103,7 +104,10 @@ impl fmt::Display for CliError {
                 min_feasible: None,
             } => write!(f, "no {scheduler} schedule at {budget} bits"),
             CliError::Io { path, source } => write!(f, "{path}: {source}"),
-            CliError::Search(e) => write!(f, "{e}; raise --max-states to keep searching"),
+            CliError::Search(e @ pebblyn::prelude::ExactError::StateLimit(_)) => {
+                write!(f, "{e}; raise --max-states to keep searching")
+            }
+            CliError::Search(e) => write!(f, "{e}"),
             CliError::Telemetry(m) => write!(f, "telemetry file invalid: {m}"),
         }
     }
@@ -120,9 +124,15 @@ impl std::error::Error for CliError {
     }
 }
 
+impl From<pebblyn::prelude::ExactError> for CliError {
+    fn from(e: pebblyn::prelude::ExactError) -> Self {
+        CliError::Search(e)
+    }
+}
+
 impl From<pebblyn::prelude::StateLimitExceeded> for CliError {
     fn from(e: pebblyn::prelude::StateLimitExceeded) -> Self {
-        CliError::Search(e)
+        CliError::Search(e.into())
     }
 }
 

@@ -492,6 +492,50 @@ fn exact_ablation_flags_change_the_report_not_the_optimum() {
 }
 
 #[test]
+fn exact_rejects_too_wide_graphs_with_exit_1_naming_the_limit() {
+    // DWT(256, 8) is a 766-node CDAG — far past the 256-node Words<4>
+    // ceiling.  A well-formed invocation that the solver cannot represent
+    // is a *runtime* error (exit 1, no usage text), and the message must
+    // name the limit so the failure is actionable.
+    let (code, stderr) = pebblyn_code(&[
+        "exact",
+        "--workload",
+        "dwt",
+        "--n",
+        "256",
+        "--d",
+        "8",
+        "--budget",
+        "10w",
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("766 nodes"), "{stderr}");
+    assert!(stderr.contains("at most 256"), "{stderr}");
+    assert!(!stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn exact_no_symmetry_flag_reports_but_keeps_the_optimum() {
+    let base = [
+        "exact",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "200",
+    ];
+    let mut off: Vec<&str> = base.to_vec();
+    off.push("--no-symmetry");
+    let (ok, stdout, _) = pebblyn(&off);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("symmetry off"), "{stdout}");
+    assert!(stdout.contains("optimum:     256 bits"), "{stdout}");
+}
+
+#[test]
 fn exact_bad_flags_are_usage_errors() {
     // Matching the PR-1 convention: malformed invocations exit 2 with the
     // usage text; well-formed ones that fail at run time exit 1 without it.

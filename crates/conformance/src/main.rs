@@ -30,6 +30,8 @@ OPTIONS:
   --heuristic <H>     exact A* lower bound: none | remaining-work |
                       forced-reload (default forced-reload)
   --no-dominance      disable the exact solver's dominance pruning
+  --no-symmetry       disable the exact solver's twin-orbit symmetry
+                      reduction
   --failure-out <F>   also write failing shrunk cases to this file
   --telemetry <F>     record run counters to this JSONL file (schema
                       pebblyn-telemetry/v1) and cross-check the report's
@@ -44,6 +46,7 @@ struct Args {
     max_states: usize,
     heuristic: Heuristic,
     dominance: bool,
+    symmetry: bool,
     failure_out: Option<String>,
     telemetry: Option<String>,
 }
@@ -56,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         max_states: 2_000_000,
         heuristic: Heuristic::default(),
         dominance: true,
+        symmetry: true,
         failure_out: None,
         telemetry: None,
     };
@@ -89,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
                 })?;
             }
             "--no-dominance" => args.dominance = false,
+            "--no-symmetry" => args.symmetry = false,
             "--failure-out" => args.failure_out = Some(value("--failure-out")?),
             "--telemetry" => args.telemetry = Some(value("--telemetry")?),
             "--mutation-smoke" => args.mutation_smoke = true,
@@ -122,7 +127,8 @@ fn main() -> ExitCode {
         .oracle
         .with_max_states(args.max_states)
         .with_heuristic(args.heuristic)
-        .with_dominance(args.dominance);
+        .with_dominance(args.dominance)
+        .with_symmetry(args.symmetry);
 
     if let Some(path) = &args.telemetry {
         telemetry::enable();
@@ -141,7 +147,7 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "conformance: seed {} · {} cases · exact state cap {} · heuristic {}{}",
+        "conformance: seed {} · {} cases · exact state cap {} · heuristic {}{}{}",
         cfg.seed,
         cfg.cases,
         cfg.oracle.max_states(),
@@ -150,6 +156,11 @@ fn main() -> ExitCode {
             ""
         } else {
             " · dominance off"
+        },
+        if cfg.oracle.symmetry() {
+            ""
+        } else {
+            " · symmetry off"
         }
     );
     let report = run(&cfg);

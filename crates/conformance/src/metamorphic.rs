@@ -199,7 +199,7 @@ pub fn check(
             }
         }
         Err(e) => {
-            out.exact_states += e.states_expanded;
+            out.exact_states += e.states_expanded();
             out.exact_skipped += 1;
         }
     }
@@ -218,7 +218,7 @@ pub fn check(
             }
         }
         Err(e) => {
-            out.exact_states += e.states_expanded;
+            out.exact_states += e.states_expanded();
             out.exact_skipped += 1;
         }
     }
@@ -244,7 +244,7 @@ pub fn check(
             }
         }
         Err(e) => {
-            out.exact_states += e.states_expanded;
+            out.exact_states += e.states_expanded();
             out.exact_skipped += 1;
         }
     }
@@ -255,7 +255,7 @@ pub fn check(
     for r in [&asym_sol, &sym_sol] {
         match r {
             Ok(sol) => out.exact_states += sol.stats.expanded,
-            Err(e) => out.exact_states += e.states_expanded,
+            Err(e) => out.exact_states += e.states_expanded(),
         }
     }
     match (asym_sol, sym_sol) {

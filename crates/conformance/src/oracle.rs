@@ -72,6 +72,8 @@ pub struct OracleConfig {
     heuristic: Heuristic,
     /// Enable the exact solver's dominance pruning (for ablations).
     dominance: bool,
+    /// Enable twin-orbit symmetry reduction (for ablations).
+    symmetry: bool,
     /// Cross-check every schedule on the executable machine with real
     /// values (validates outputs against a reference evaluation).
     machine_replay: bool,
@@ -87,6 +89,7 @@ impl Default for OracleConfig {
             max_states: 2_000_000,
             heuristic: Heuristic::default(),
             dominance: true,
+            symmetry: true,
             machine_replay: true,
             metamorphic: true,
         }
@@ -99,6 +102,7 @@ impl OracleConfig {
         ExactSolver::with_max_states(self.max_states)
             .with_heuristic(self.heuristic)
             .with_dominance(self.dominance)
+            .with_symmetry(self.symmetry)
     }
 
     /// Only run the exact solver on graphs with at most `n` nodes.
@@ -122,6 +126,12 @@ impl OracleConfig {
     /// Enable or disable the exact solver's dominance pruning.
     pub fn with_dominance(mut self, on: bool) -> Self {
         self.dominance = on;
+        self
+    }
+
+    /// Enable or disable twin-orbit symmetry reduction.
+    pub fn with_symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
         self
     }
 
@@ -150,6 +160,11 @@ impl OracleConfig {
     /// Whether dominance pruning is enabled.
     pub fn dominance(&self) -> bool {
         self.dominance
+    }
+
+    /// Whether twin-orbit symmetry reduction is enabled.
+    pub fn symmetry(&self) -> bool {
+        self.symmetry
     }
 
     /// The configured exhaustive-regime node ceiling.
@@ -313,7 +328,7 @@ fn check_graph_probes(
                 }
                 Err(e) => {
                     out.exact_skipped += 1;
-                    out.exact_states += e.states_expanded;
+                    out.exact_states += e.states_expanded();
                     telemetry::incr(telemetry::Counter::ProbesSkipped);
                     None
                 }

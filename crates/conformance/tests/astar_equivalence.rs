@@ -5,10 +5,11 @@
 //! unpruned baseline stays cheap) and compares them across the full
 //! feasibility-aware budget sweep.
 //!
-//! This is the end-to-end safety net for all three pruning levers at once:
-//! an inadmissible bound, an unsound dominance rule, or an incomplete
-//! macro-move relation would each surface here as a cost mismatch (too
-//! high) or a phantom infeasibility (`Some` vs `None`).
+//! This is the end-to-end safety net for all four pruning levers at once:
+//! an inadmissible bound, an unsound dominance rule, an incomplete
+//! macro-move relation, or an unsound twin-orbit canonicalization would
+//! each surface here as a cost mismatch (too high) or a phantom
+//! infeasibility (`Some` vs `None`).
 
 use pebblyn_conformance::{generate, oracle::budget_probes};
 use pebblyn_exact::ExactSolver;
@@ -49,6 +50,7 @@ proptest! {
         let variants = [
             ExactSolver::default().with_dominance(false),
             ExactSolver::default().with_tighten(false),
+            ExactSolver::default().with_symmetry(false),
             ExactSolver::default().with_heuristic(pebblyn_core::Heuristic::RemainingWork),
         ];
         for b in budget_probes(g) {

@@ -12,7 +12,7 @@
 //! lets the exact solver run A\* instead of uniform-cost Dijkstra.
 
 use crate::graph::{Cdag, NodeId, Weight};
-use crate::redset::{mask_iter, mask_weight};
+use crate::mask::{mask_iter, mask_weight, StateMask};
 
 /// The algorithmic lower bound of Proposition 2.4:
 ///
@@ -93,51 +93,55 @@ impl Heuristic {
     }
 }
 
+/// Fold a node list into a mask of any [`StateMask`] width.
+pub fn nodes_to_mask<M: StateMask>(nodes: &[NodeId]) -> M {
+    nodes.iter().fold(M::empty(), |m, v| m.set(v.index()))
+}
+
 /// Precomputed context for evaluating admissible lower bounds on packed
-/// `(red, blue)` game states of a fixed graph (≤ 64 nodes, one bit per node).
+/// `(red, blue)` game states of a fixed graph (one bit per node; the mask
+/// type `M` sets the node-count ceiling — `u64` covers 64 nodes, wider
+/// [`crate::Words`] masks up to `M::BITS`).
 ///
 /// Construction walks the graph once; each bound evaluation is then a few
 /// linear mask passes and never touches the graph again, so it is cheap
 /// enough to run on every generated search state.
 #[derive(Debug, Clone)]
-pub struct StateBounds {
+pub struct StateBounds<M: StateMask = u64> {
     weights: Vec<Weight>,
-    pred_masks: Vec<u64>,
+    pred_masks: Vec<M>,
     topo: Vec<NodeId>,
-    source_mask: u64,
-    sink_mask: u64,
+    source_mask: M,
+    sink_mask: M,
     load_scale: Weight,
     store_scale: Weight,
 }
 
-impl StateBounds {
+impl<M: StateMask> StateBounds<M> {
     /// Build the bound context for `graph` with per-bit I/O costs
     /// (`load_scale` per loaded bit, `store_scale` per stored bit).
     ///
     /// # Panics
     ///
-    /// Panics when the graph has more than 64 nodes (the packed-mask limit).
+    /// Panics when the graph has more nodes than `M` has bits (the
+    /// packed-mask limit of the chosen width).
     pub fn new(graph: &Cdag, load_scale: Weight, store_scale: Weight) -> Self {
         let n = graph.len();
         assert!(
-            n <= 64,
-            "per-state bounds support at most 64 nodes (got {n})"
+            n <= M::BITS,
+            "per-state bounds support at most {} nodes at this mask width (got {n})",
+            M::BITS
         );
         let weights = (0..n).map(|v| graph.weight(NodeId(v as u32))).collect();
         let pred_masks = (0..n)
-            .map(|v| {
-                graph
-                    .preds(NodeId(v as u32))
-                    .iter()
-                    .fold(0u64, |m, p| m | 1 << p.index())
-            })
+            .map(|v| nodes_to_mask(graph.preds(NodeId(v as u32))))
             .collect();
         StateBounds {
             weights,
             pred_masks,
             topo: graph.topo_order().to_vec(),
-            source_mask: graph.sources().iter().fold(0, |m, v| m | 1 << v.index()),
-            sink_mask: graph.sinks().iter().fold(0, |m, v| m | 1 << v.index()),
+            source_mask: nodes_to_mask(graph.sources()),
+            sink_mask: nodes_to_mask(graph.sinks()),
             load_scale,
             store_scale,
         }
@@ -152,17 +156,17 @@ impl StateBounds {
     /// itself needs the node red first — so all its non-red predecessors
     /// must become red too.  Blue members stop the recursion (they may
     /// simply be reloaded).  Every member is non-red by construction.
-    pub fn needed_mask(&self, red: u64, blue: u64) -> u64 {
+    pub fn needed_mask(&self, red: M, blue: M) -> M {
         let mut need = self.sink_mask & !blue & !red;
         let mut frontier = need;
-        while frontier != 0 {
-            let mut next = 0u64;
+        while !frontier.is_empty() {
+            let mut next = M::empty();
             for v in mask_iter(frontier) {
-                if blue >> v.index() & 1 == 0 {
-                    next |= self.pred_masks[v.index()] & !red & !need;
+                if !blue.get(v.index()) {
+                    next = next | (self.pred_masks[v.index()] & !red & !need);
                 }
             }
-            need |= next;
+            need = need | next;
             frontier = next;
         }
         need
@@ -170,7 +174,7 @@ impl StateBounds {
 
     /// Stores that must still happen: every not-yet-blue sink needs at least
     /// one M2, and those events are pairwise distinct moves.
-    pub fn store_bound(&self, blue: u64) -> Weight {
+    pub fn store_bound(&self, blue: M) -> Weight {
         self.store_scale * mask_weight(self.sink_mask & !blue, &self.weights)
     }
 
@@ -178,7 +182,7 @@ impl StateBounds {
     /// source loads (a source in `R*` can only become red via M1 — sources
     /// have no predecessors to compute from).  Admissible because the counted
     /// moves are pairwise distinct events of any completing schedule.
-    pub fn remaining_work(&self, red: u64, blue: u64) -> Weight {
+    pub fn remaining_work(&self, red: M, blue: M) -> Weight {
         let need = self.needed_mask(red, blue);
         self.store_bound(blue)
             + self.load_scale * mask_weight(need & self.source_mask, &self.weights)
@@ -197,18 +201,18 @@ impl StateBounds {
     /// load events only, which may coincide with the source-load term's, so
     /// the two are combined with `max`, while store events are disjoint from
     /// both and add.
-    pub fn forced_reload(&self, red: u64, blue: u64) -> Weight {
+    pub fn forced_reload(&self, red: M, blue: M) -> Weight {
         let need = self.needed_mask(red, blue);
         let load_term = self.load_scale * mask_weight(need & self.source_mask, &self.weights);
 
         let mut mk = vec![0 as Weight; self.weights.len()];
         for &v in &self.topo {
             let i = v.index();
-            if red >> i & 1 != 0 {
+            if red.get(i) {
                 continue; // mk = 0
             }
             let direct = self.load_scale * self.weights[i];
-            if self.source_mask >> i & 1 != 0 {
+            if self.source_mask.get(i) {
                 mk[i] = direct;
                 continue;
             }
@@ -216,7 +220,7 @@ impl StateBounds {
                 .map(|p| mk[p.index()])
                 .max()
                 .unwrap_or(0);
-            mk[i] = if blue >> i & 1 != 0 {
+            mk[i] = if blue.get(i) {
                 direct.min(via_preds)
             } else {
                 via_preds
@@ -229,7 +233,7 @@ impl StateBounds {
 
     /// Evaluate the selected bound on a state.  Always admissible: the result
     /// never exceeds the true optimal remaining cost from `(red, blue)`.
-    pub fn lower_bound(&self, red: u64, blue: u64, heuristic: Heuristic) -> Weight {
+    pub fn lower_bound(&self, red: M, blue: M, heuristic: Heuristic) -> Weight {
         match heuristic {
             Heuristic::None => 0,
             Heuristic::RemainingWork => self.remaining_work(red, blue),
@@ -305,7 +309,7 @@ mod tests {
         // recompute via x = 16) = 16.
         let g = chain();
         let sb = StateBounds::new(&g, 1, 1);
-        let blue = 0b011; // x (source) and m stored
+        let blue: u64 = 0b011; // x (source) and m stored
         assert_eq!(sb.needed_mask(0, blue), 0b110); // sink y + evicted m
         assert_eq!(sb.remaining_work(0, blue), 16); // store y
         assert_eq!(sb.forced_reload(0, blue), 16 + 16); // store y + chain to m
@@ -317,7 +321,7 @@ mod tests {
     fn bounds_are_zero_at_goal() {
         let g = chain();
         let sb = StateBounds::new(&g, 1, 1);
-        let all = 0b111;
+        let all: u64 = 0b111;
         assert_eq!(sb.remaining_work(0, all), 0);
         assert_eq!(sb.forced_reload(0, all), 0);
         assert_eq!(sb.lower_bound(0, all, Heuristic::ForcedReload), 0);

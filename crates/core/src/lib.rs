@@ -48,11 +48,13 @@ pub mod fasthash;
 pub mod graph;
 pub mod io;
 pub mod label;
+pub mod mask;
 pub mod moves;
 pub mod redset;
 pub mod request;
 pub mod schedule;
 pub mod stream;
+pub mod symmetry;
 pub mod trace;
 pub mod transform;
 pub mod validate;
@@ -64,11 +66,13 @@ pub use error::{GraphError, ValidityError};
 pub use fasthash::{pack_key, FastBuildHasher, FastHashMap, FastHashSet, FastHasher};
 pub use graph::{Cdag, CdagBuilder, NodeId, Weight};
 pub use label::{Label, PebbleState};
+pub use mask::{mask_iter, mask_weight, StateMask, Words};
 pub use moves::Move;
-pub use redset::{mask_iter, mask_weight, RedSet};
+pub use redset::RedSet;
 pub use request::{ScheduleRequest, ScheduleResponse};
 pub use schedule::Schedule;
 pub use stream::MoveStream;
+pub use symmetry::twin_classes;
 pub use trace::{
     occupancy_summary, occupancy_trace, render_sparkline, summarize, OccupancySummary,
 };

@@ -10,34 +10,6 @@
 
 use crate::graph::{NodeId, Weight};
 
-/// Iterate the set bits of a single-word node mask in ascending node order.
-///
-/// Single-word masks (`u64`, one bit per node, graphs ≤ 64 nodes) are the
-/// state representation of the exhaustive solver and the per-state bounds in
-/// [`crate::bounds`]; this is their shared bit-walk.
-#[inline]
-pub fn mask_iter(mask: u64) -> impl Iterator<Item = NodeId> {
-    let mut bits = mask;
-    std::iter::from_fn(move || {
-        if bits == 0 {
-            return None;
-        }
-        let tz = bits.trailing_zeros();
-        bits &= bits - 1;
-        Some(NodeId(tz))
-    })
-}
-
-/// Total weight of the nodes named by a single-word mask:
-/// `Σ_{v ∈ mask} weights[v]`.
-///
-/// `weights` is indexed by node id; bits at or above `weights.len()` must be
-/// clear.
-#[inline]
-pub fn mask_weight(mask: u64, weights: &[Weight]) -> Weight {
-    mask_iter(mask).map(|v| weights[v.index()]).sum()
-}
-
 /// A set of nodes stored as a `u64`-word bitset, with the total weight of
 /// the members cached incrementally.
 ///
@@ -146,22 +118,6 @@ impl RedSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn mask_iter_walks_ascending() {
-        let got: Vec<u32> = mask_iter(0b1010_0101).map(|v| v.0).collect();
-        assert_eq!(got, vec![0, 2, 5, 7]);
-        assert_eq!(mask_iter(0).count(), 0);
-        assert_eq!(mask_iter(1 << 63).next(), Some(NodeId(63)));
-    }
-
-    #[test]
-    fn mask_weight_sums_members() {
-        let weights = [10, 20, 30, 40];
-        assert_eq!(mask_weight(0, &weights), 0);
-        assert_eq!(mask_weight(0b1011, &weights), 10 + 20 + 40);
-        assert_eq!(mask_weight(0b1111, &weights), 100);
-    }
 
     #[test]
     fn insert_remove_track_weight() {

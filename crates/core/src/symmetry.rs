@@ -1,0 +1,295 @@
+//! Structural symmetry detection: Weisfeiler–Leman color refinement and
+//! twin-class (automorphism-orbit) extraction.
+//!
+//! Two consumers share this machinery:
+//!
+//! * the **service cache canonicalizer** (`pebblyn-service`), which
+//!   refines to a fixpoint, splits twin classes, and then runs
+//!   individualization–refinement to a full canonical labeling; and
+//! * the **exact solver's symmetry reduction**, which only needs the
+//!   orbits themselves: a twin class — a refined color class whose
+//!   members all share one predecessor *set* and one successor *set*
+//!   (DWT approx/detail pairs, fan-out replicas, identical reduction
+//!   inputs) — is a set of mutually interchangeable nodes, so game
+//!   states that differ only by a permutation of pebbles within a twin
+//!   class have identical optimal completions and can be collapsed to
+//!   one canonical representative before dedup.
+//!
+//! The refinement starts from the label-free partition
+//! `(weight, in-degree, out-degree)` and each round recolors a node by
+//! its color plus the sorted multisets of its predecessor and successor
+//! colors, densely re-ranked; rounds only ever split classes, so the
+//! fixpoint is reached in at most `n` rounds.  Because weight seeds the
+//! initial partition, members of one twin class always share a weight —
+//! the property that makes within-class pebble permutations
+//! budget-preserving automorphisms of the *weighted* game.
+
+use crate::graph::{Cdag, NodeId};
+
+/// Dense-rank arbitrary ordered keys to colors `0..k`; returns the colors
+/// and the class count `k`.
+pub fn dense_rank<K: Ord>(keys: &[K]) -> (Vec<u32>, usize) {
+    let mut sorted: Vec<&K> = keys.iter().collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let colors = keys
+        .iter()
+        .map(|k| sorted.binary_search(&k).unwrap() as u32)
+        .collect();
+    (colors, sorted.len())
+}
+
+/// Label-free starting partition: `(weight, in-degree, out-degree)`.
+pub fn initial_colors(g: &Cdag) -> Vec<u32> {
+    let keys: Vec<(u64, usize, usize)> = g
+        .nodes()
+        .map(|v| (g.weight(v), g.in_degree(v), g.out_degree(v)))
+        .collect();
+    dense_rank(&keys).0
+}
+
+/// WL color refinement to fixpoint.  Each round keys a node by its color
+/// and the sorted colors of its neighborhoods; dense re-ranking only ever
+/// splits classes, so the loop terminates in at most `n` rounds.
+///
+/// The neighborhood keys live in one flat CSR buffer reused across
+/// rounds — refinement runs in the canonicalizer's inner loop, so
+/// per-node allocations there dominated whole-graph canonicalization
+/// time.  Nodes sharing a color share degrees (degrees seed the initial
+/// partition and refinement only splits), so comparing the merged
+/// `preds ++ succs` slice is comparing `(preds, succs)`.
+pub fn refine(g: &Cdag, colors: &mut [u32]) {
+    let n = g.len();
+    if n == 0 {
+        return;
+    }
+    let mut start = Vec::with_capacity(n + 1);
+    let mut split = Vec::with_capacity(n);
+    let mut total = 0usize;
+    for v in g.nodes() {
+        start.push(total);
+        total += g.in_degree(v);
+        split.push(total);
+        total += g.out_degree(v);
+    }
+    start.push(total);
+    let mut buf = vec![0u32; total];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut next = vec![0u32; n];
+    let mut classes = count_classes(colors);
+    loop {
+        for v in g.nodes() {
+            let i = v.index();
+            for (slot, u) in buf[start[i]..split[i]].iter_mut().zip(g.preds(v)) {
+                *slot = colors[u.index()];
+            }
+            buf[start[i]..split[i]].sort_unstable();
+            for (slot, u) in buf[split[i]..start[i + 1]].iter_mut().zip(g.succs(v)) {
+                *slot = colors[u.index()];
+            }
+            buf[split[i]..start[i + 1]].sort_unstable();
+        }
+        {
+            let key = |v: u32| {
+                let i = v as usize;
+                (colors[i], &buf[start[i]..start[i + 1]])
+            };
+            order.sort_unstable_by(|&a, &b| key(a).cmp(&key(b)));
+            let mut k = 0u32;
+            next[order[0] as usize] = 0;
+            for w in order.windows(2) {
+                if key(w[0]) != key(w[1]) {
+                    k += 1;
+                }
+                next[w[1] as usize] = k;
+            }
+        }
+        let k = next[order[n - 1] as usize] as usize + 1;
+        colors.copy_from_slice(&next);
+        if k == classes || k == n {
+            return;
+        }
+        classes = k;
+    }
+}
+
+/// Number of distinct colors in a coloring.
+pub fn count_classes(colors: &[u32]) -> usize {
+    let mut seen: Vec<u32> = colors.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// Do all members share one predecessor set and one successor set?
+/// (Twins can never be adjacent to each other: an intra-class edge would
+/// already make the endpoint neighborhoods differ.)
+pub fn is_twin_class(g: &Cdag, members: &[u32]) -> bool {
+    let sorted_ids = |xs: &[NodeId]| {
+        let mut v: Vec<u32> = xs.iter().map(|u| u.index() as u32).collect();
+        v.sort_unstable();
+        v
+    };
+    let p0 = sorted_ids(g.preds(NodeId(members[0])));
+    let s0 = sorted_ids(g.succs(NodeId(members[0])));
+    members[1..]
+        .iter()
+        .all(|&m| sorted_ids(g.preds(NodeId(m))) == p0 && sorted_ids(g.succs(NodeId(m))) == s0)
+}
+
+/// Split every **twin class** in `colors` (see [`is_twin_class`]),
+/// ordering members by node index.  Returns whether anything split;
+/// callers re-refine to propagate the new colors.
+///
+/// Twins are mutually automorphic and their serialized rows are
+/// indistinguishable, so any fixed internal order yields the same
+/// canonical bytes; splitting them all at once in node-index order
+/// removes the dominant symmetry in the paper's workloads without
+/// branching (a twin *pair* per DWT level would otherwise cost a
+/// `2^levels` search tree).
+pub fn split_twin_classes(g: &Cdag, colors: &mut Vec<u32>) -> bool {
+    let n = g.len();
+    let mut by_class: Vec<u32> = (0..n as u32).collect();
+    by_class.sort_unstable_by_key(|&v| colors[v as usize]);
+    let mut tiebreak = vec![0u32; n];
+    let mut any = false;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && colors[by_class[j] as usize] == colors[by_class[i] as usize] {
+            j += 1;
+        }
+        if j - i > 1 && is_twin_class(g, &by_class[i..j]) {
+            any = true;
+            // `by_class` ties on node id, so rank-in-class is index order.
+            for (r, &v) in by_class[i..j].iter().enumerate() {
+                tiebreak[v as usize] = r as u32;
+            }
+        }
+        i = j;
+    }
+    if any {
+        let keys: Vec<(u32, u32)> = colors
+            .iter()
+            .zip(&tiebreak)
+            .map(|(&c, &t)| (c, t))
+            .collect();
+        *colors = dense_rank(&keys).0;
+    }
+    any
+}
+
+/// The twin classes of `g` with two or more members, each sorted by node
+/// index, ordered by their smallest member.
+///
+/// Refines the WL partition to fixpoint first, so "same color" already
+/// implies same weight and isomorphic neighborhood structure; a class
+/// additionally passing [`is_twin_class`] is a genuine automorphism
+/// orbit whose members are pairwise interchangeable by the transposition
+/// automorphism (equal weights make the swap budget-preserving in the
+/// weighted game).  Singleton classes are omitted — they admit no
+/// nontrivial permutation.
+pub fn twin_classes(g: &Cdag) -> Vec<Vec<u32>> {
+    let n = g.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut colors = initial_colors(g);
+    refine(g, &mut colors);
+    let mut by_class: Vec<u32> = (0..n as u32).collect();
+    by_class.sort_unstable_by_key(|&v| (colors[v as usize], v));
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && colors[by_class[j] as usize] == colors[by_class[i] as usize] {
+            j += 1;
+        }
+        if j - i > 1 && is_twin_class(g, &by_class[i..j]) {
+            out.push(by_class[i..j].to_vec());
+        }
+        i = j;
+    }
+    out.sort_unstable_by_key(|c| c[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CdagBuilder;
+
+    /// a -> {b, c} -> d diamond: b and c are twins.
+    fn diamond() -> Cdag {
+        let mut bld = CdagBuilder::new();
+        let a = bld.unnamed(1);
+        let b = bld.unnamed(1);
+        let c = bld.unnamed(1);
+        let d = bld.unnamed(1);
+        bld.edge(a, b);
+        bld.edge(a, c);
+        bld.edge(b, d);
+        bld.edge(c, d);
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_midpoints_are_one_twin_class() {
+        let classes = twin_classes(&diamond());
+        assert_eq!(classes, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn weight_differences_break_twinhood() {
+        let mut bld = CdagBuilder::new();
+        let a = bld.unnamed(1);
+        let b = bld.unnamed(1);
+        let c = bld.unnamed(2); // same structure as b, different weight
+        let d = bld.unnamed(1);
+        bld.edge(a, b);
+        bld.edge(a, c);
+        bld.edge(b, d);
+        bld.edge(c, d);
+        let g = bld.build().unwrap();
+        assert!(twin_classes(&g).is_empty());
+    }
+
+    #[test]
+    fn fanout_replicas_form_one_wide_class() {
+        // 1 -> {2..9} -> 10: the eight middle nodes are one orbit.
+        let mut bld = CdagBuilder::new();
+        let ids: Vec<_> = (0..10).map(|_| bld.unnamed(1)).collect();
+        for m in 1..9 {
+            bld.edge(ids[0], ids[m]);
+            bld.edge(ids[m], ids[9]);
+        }
+        let g = bld.build().unwrap();
+        let classes = twin_classes(&g);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0], (1..9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn same_colors_but_different_neighbors_are_not_twins() {
+        // Two disjoint chains a_i -> b_i: heads share a WL class but have
+        // different successors, so they are not twins.
+        let mut bld = CdagBuilder::new();
+        let a0 = bld.unnamed(1);
+        let a1 = bld.unnamed(1);
+        let b0 = bld.unnamed(2);
+        let b1 = bld.unnamed(2);
+        bld.edge(a0, b0);
+        bld.edge(a1, b1);
+        let g = bld.build().unwrap();
+        assert!(twin_classes(&g).is_empty());
+    }
+
+    #[test]
+    fn asymmetric_chain_has_no_classes() {
+        let mut bld = CdagBuilder::new();
+        let a = bld.unnamed(1);
+        let b = bld.unnamed(1);
+        bld.edge(a, b);
+        assert!(twin_classes(&bld.build().unwrap()).is_empty());
+    }
+}

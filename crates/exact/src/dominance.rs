@@ -27,34 +27,46 @@
 //! model prices out except in degenerate zero-scale configurations.  Each
 //! bucket is maintained as a Pareto antichain: recording a pair evicts every
 //! pair it dominates, so buckets stay small.
+//!
+//! The store is generic over the state's [`StateMask`] width; the subset
+//! probe is [`StateMask::contains_all`], which for `u64` lowers to the
+//! single `and`+`cmp` of the pre-refactor store.
 
-use pebblyn_core::{FastHashMap, Weight};
+use pebblyn_core::{FastHashMap, StateMask, Weight};
 
 /// Recorded expansion frontiers, bucketed by blue mask.
-#[derive(Debug, Default)]
-pub(crate) struct DominanceStore {
-    buckets: FastHashMap<u64, Vec<(u64, Weight)>>,
+#[derive(Debug)]
+pub(crate) struct DominanceStore<M: StateMask> {
+    buckets: FastHashMap<M, Vec<(M, Weight)>>,
 }
 
-impl DominanceStore {
+impl<M: StateMask> Default for DominanceStore<M> {
+    fn default() -> Self {
+        DominanceStore {
+            buckets: FastHashMap::default(),
+        }
+    }
+}
+
+impl<M: StateMask> DominanceStore<M> {
     /// `true` when a recorded state with the same blue mask, a red superset,
     /// and *strictly* smaller cost exists.  (The equal-state case is already
     /// handled by the search's distance map, which never re-queues a state
     /// at a non-improving cost; equal-cost subsets must survive, see the
     /// module docs.)
-    pub(crate) fn dominated(&self, red: u64, blue: u64, g: Weight) -> bool {
+    pub(crate) fn dominated(&self, red: M, blue: M, g: Weight) -> bool {
         self.buckets
             .get(&blue)
-            .is_some_and(|b| b.iter().any(|&(r, rg)| r & red == red && rg < g))
+            .is_some_and(|b| b.iter().any(|&(r, rg)| r.contains_all(red) && rg < g))
     }
 
     /// Record `(red, blue)` reached at cost `g`, evicting every recorded
     /// pair whose pruning power the new one subsumes (`red ⊇ r`, `g ≤ rg`:
     /// anything the old pair strictly dominates, the new one does too), so
     /// the bucket stays a Pareto antichain.
-    pub(crate) fn record(&mut self, red: u64, blue: u64, g: Weight) {
+    pub(crate) fn record(&mut self, red: M, blue: M, g: Weight) {
         let bucket = self.buckets.entry(blue).or_default();
-        bucket.retain(|&(r, rg)| !(red & r == r && g <= rg));
+        bucket.retain(|&(r, rg)| !(red.contains_all(r) && g <= rg));
         bucket.push((red, g));
     }
 
@@ -67,10 +79,11 @@ impl DominanceStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pebblyn_core::Words;
 
     #[test]
     fn superset_at_strictly_lower_cost_dominates() {
-        let mut d = DominanceStore::default();
+        let mut d = DominanceStore::<u64>::default();
         d.record(0b111, 0b1, 10);
         assert!(d.dominated(0b011, 0b1, 11), "red subset, higher cost");
         assert!(d.dominated(0b111, 0b1, 12), "equal red, higher cost");
@@ -85,7 +98,7 @@ mod tests {
 
     #[test]
     fn record_keeps_buckets_as_antichains() {
-        let mut d = DominanceStore::default();
+        let mut d = DominanceStore::<u64>::default();
         d.record(0b011, 0, 10);
         d.record(0b001, 0, 12); // dominated by the first, still recorded…
         assert_eq!(d.len(), 2);
@@ -94,5 +107,19 @@ mod tests {
         assert!(d.dominated(0b011, 0, 10));
         d.record(0b100, 0, 1); // incomparable: antichain grows
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn wide_masks_dominate_across_word_boundaries() {
+        type M = Words<2>;
+        let blue = M::bit(70);
+        let mut d = DominanceStore::<M>::default();
+        d.record(M::bit(1) | M::bit(65), blue, 10);
+        assert!(d.dominated(M::bit(65), blue, 11), "high-word subset");
+        assert!(!d.dominated(M::bit(66), blue, 11), "incomparable high word");
+        assert!(
+            !d.dominated(M::bit(65), M::bit(71), 11),
+            "other blue bucket"
+        );
     }
 }

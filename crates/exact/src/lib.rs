@@ -5,7 +5,7 @@
 //! memory.  This crate finds the provably minimum weighted schedule cost —
 //! and on request the schedule itself — with best-first **A\*** search over
 //! complete game snapshots, guided by the admissible per-state lower bounds
-//! of [`pebblyn_core::StateBounds`] and pruned three ways:
+//! of [`pebblyn_core::StateBounds`] and pruned four ways:
 //!
 //! * **heuristic guidance** ([`Heuristic`]) — each state is queued at
 //!   `f = g + h` where `h` lower-bounds the remaining cost (unavoidable sink
@@ -19,12 +19,20 @@
 //!   load block with the compute that consumes it and every store with the
 //!   compute that creates it, and admit deletes only when the budget
 //!   actually blocks a load/compute, collapsing vast equivalent-interleaving
-//!   plateaus of the raw four-move game.
+//!   plateaus of the raw four-move game;
+//! * **symmetry reduction** — structurally interchangeable *twin* nodes
+//!   (identical predecessor and successor sets, hence equal weights:
+//!   automorphism orbits found by [`pebblyn_core::twin_classes`]) are
+//!   collapsed by rewriting every generated state to a per-orbit canonical
+//!   form, so states that differ only by which twin holds a pebble are
+//!   searched once.
 //!
-//! Frontier expansion is batched and runs through
-//! [`pebblyn_engine::par::par_map`] over a sharded open list with
-//! deterministic tie-breaking, so results (costs, schedules, statistics) are
-//! byte-identical for any thread count.  Every toggle can be switched off —
+//! Frontier expansion is batched and hash-distributed
+//! ([`pebblyn_engine::par::par_map_hash_distributed`], HDA\*-style): each
+//! frontier state is expanded by the virtual shard owning its state hash,
+//! with a deterministic steal rebalance, so results (costs, schedules, and
+//! every statistic including the steal count) are byte-identical for any
+//! thread count.  Every toggle can be switched off —
 //! [`ExactSolver::dijkstra_baseline`] reproduces the PR-2 uniform-cost
 //! search exactly — which is what the conformance harness uses to
 //! differentially certify the optimizations.
@@ -36,11 +44,14 @@
 //! implement the paper's optimality lemmas correctly.
 //!
 //! States are a pair of fixed-width bitsets (`red`, `blue`), one bit per
-//! node, so graphs are limited to 64 nodes (far beyond what the search can
-//! exhaust anyway).  Hashing a state is two word multiplies, the weighted
-//! red occupancy is carried incrementally with each queue entry, and the
-//! "all predecessors red" rule is a single mask compare against a
-//! precomputed per-node predecessor bitmask.
+//! node, generic over [`StateMask`]: graphs of ≤ 64 nodes run on bare
+//! `u64`s (byte-for-byte the historical fast path), wider graphs are
+//! dispatched to const-generic [`Words`] masks up to [`MAX_NODES`] = 256
+//! nodes, beyond which the solver returns a typed
+//! [`ExactError::Unsupported`].  Hashing a state is a handful of word
+//! multiplies, the weighted red occupancy is carried incrementally with
+//! each queue entry, and the "all predecessors red" rule is a mask compare
+//! against a precomputed per-node predecessor bitmask.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,6 +61,13 @@ mod search;
 
 pub use pebblyn_core::Heuristic;
 use pebblyn_core::{Cdag, Schedule, Weight};
+pub use pebblyn_core::{StateMask, Words};
+
+/// Widest graph the built-in mask dispatch supports (`Words<4>`).
+///
+/// [`ExactSolver::solve_with_mask`] accepts any sealed mask width, but the
+/// automatic dispatch in [`ExactSolver::solve`] stops here.
+pub const MAX_NODES: usize = 256;
 
 /// Error: the search was about to exceed its state budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,8 +94,68 @@ impl std::error::Error for StateLimitExceeded {}
 /// Former name of [`StateLimitExceeded`], kept for downstream callers.
 pub type SearchLimitExceeded = StateLimitExceeded;
 
+/// Why an exact solve could not produce an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactError {
+    /// The graph is wider than the widest state mask the solver (or the
+    /// explicitly requested mask) can represent.  The message names the
+    /// limit so callers can tell a representational limit from a resource
+    /// one.
+    Unsupported {
+        /// Node count of the offending graph.
+        nodes: usize,
+        /// Widest node count the attempted configuration supports.
+        limit: usize,
+    },
+    /// The search ran but exceeded its expansion cap.
+    StateLimit(StateLimitExceeded),
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::Unsupported { nodes, limit } => write!(
+                f,
+                "graph has {nodes} nodes but the exact solver's state mask \
+                 covers at most {limit}; split the instance or use a \
+                 heuristic scheduler"
+            ),
+            ExactError::StateLimit(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ExactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExactError::StateLimit(e) => Some(e),
+            ExactError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl ExactError {
+    /// States the failed search actually expanded before erroring: the cap
+    /// for [`ExactError::StateLimit`], and 0 for
+    /// [`ExactError::Unsupported`], which rejects before searching.  Lets
+    /// accounting callers (the conformance report keeps its state total
+    /// equal to the telemetry counter) treat both arms uniformly.
+    pub fn states_expanded(&self) -> usize {
+        match self {
+            ExactError::StateLimit(e) => e.states_expanded,
+            ExactError::Unsupported { .. } => 0,
+        }
+    }
+}
+
+impl From<StateLimitExceeded> for ExactError {
+    fn from(e: StateLimitExceeded) -> Self {
+        ExactError::StateLimit(e)
+    }
+}
+
 /// Counters describing one search run; all deterministic for a fixed
-/// solver configuration, graph, and budget.
+/// solver configuration, graph, and budget — independent of thread count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// States popped from the open list and expanded.
@@ -89,8 +167,15 @@ pub struct SearchStats {
     /// Generated successors rejected because a path at least as cheap was
     /// already known.
     pub deduped: usize,
+    /// Generated successors rewritten to a different twin-orbit canonical
+    /// state by symmetry reduction (each rewrite merges an orbit sibling
+    /// into its representative).
+    pub symmetry_pruned: usize,
     /// Parallel expansion rounds driven through the sharded worklist.
     pub batches: usize,
+    /// Frontier items expanded by a virtual shard other than their hash
+    /// owner (the deterministic rebalance of hash-distributed expansion).
+    pub frontier_steals: u64,
     /// Largest open-list size observed after a merge.
     pub peak_open: usize,
     /// Largest Pareto-antichain size of the dominance store.
@@ -99,6 +184,8 @@ pub struct SearchStats {
     pub frontier_left: usize,
     /// The admissible lower bound evaluated at the start state.
     pub root_bound: Weight,
+    /// 64-bit words per state mask this solve ran with (1 = u64 fast path).
+    pub mask_words: usize,
 }
 
 /// A finished search: the optimal cost (`None` when no schedule exists
@@ -133,6 +220,10 @@ pub struct ExactSolver {
     /// Enable the tightened macro-move successor relation; `false` falls
     /// back to the raw four-move game (the ablation baseline).
     pub tighten: bool,
+    /// Enable twin-orbit symmetry reduction.  Automatically suspended while
+    /// reconstructing a schedule (canonical states lose the concrete move
+    /// identities a replayable schedule needs); cost-only solves keep it.
+    pub symmetry: bool,
     /// States expanded per parallel frontier round.  Fixed (not derived from
     /// the thread count) so results are byte-identical on any host.
     pub batch_size: usize,
@@ -147,6 +238,7 @@ impl Default for ExactSolver {
             heuristic: Heuristic::default(),
             dominance: true,
             tighten: true,
+            symmetry: true,
             batch_size: 32,
         }
     }
@@ -187,23 +279,26 @@ impl ExactSolver {
         self
     }
 
+    /// Toggle twin-orbit symmetry reduction.
+    pub fn with_symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
+    }
+
     /// The PR-2 uniform-cost Dijkstra baseline: no heuristic, no dominance,
-    /// raw four-move successors.  Used for ablations and as the differential
-    /// oracle certifying the optimized search.
+    /// raw four-move successors, no symmetry reduction.  Used for ablations
+    /// and as the differential oracle certifying the optimized search.
     pub fn dijkstra_baseline() -> Self {
         ExactSolver::default()
             .with_heuristic(Heuristic::None)
             .with_dominance(false)
             .with_tighten(false)
+            .with_symmetry(false)
     }
 
     /// Minimum weighted schedule cost for `graph` under `budget`, or
     /// `Ok(None)` when no valid schedule exists.
-    pub fn min_cost(
-        &self,
-        graph: &Cdag,
-        budget: Weight,
-    ) -> Result<Option<Weight>, StateLimitExceeded> {
+    pub fn min_cost(&self, graph: &Cdag, budget: Weight) -> Result<Option<Weight>, ExactError> {
         self.solve(graph, budget).map(|s| s.cost)
     }
 
@@ -213,7 +308,7 @@ impl ExactSolver {
         &self,
         graph: &Cdag,
         budget: Weight,
-    ) -> Result<Option<(Weight, Schedule)>, StateLimitExceeded> {
+    ) -> Result<Option<(Weight, Schedule)>, ExactError> {
         let sol = self.solve_with_schedule(graph, budget)?;
         Ok(sol.cost.map(|c| {
             (
@@ -226,17 +321,82 @@ impl ExactSolver {
 
     /// Run the search and return cost + statistics (no schedule
     /// reconstruction, so the parent map is never built).
-    pub fn solve(&self, graph: &Cdag, budget: Weight) -> Result<Solution, StateLimitExceeded> {
-        search::search(self, graph, budget, false)
+    ///
+    /// Dispatches to the narrowest mask that fits the graph: bare `u64` up
+    /// to 64 nodes (the zero-cost fast path), then `Words<2>` and
+    /// `Words<4>`; graphs wider than [`MAX_NODES`] get
+    /// [`ExactError::Unsupported`].
+    pub fn solve(&self, graph: &Cdag, budget: Weight) -> Result<Solution, ExactError> {
+        self.dispatch(graph, budget, false)
     }
 
-    /// Run the search with schedule reconstruction.
+    /// Run the search with schedule reconstruction (same mask dispatch as
+    /// [`ExactSolver::solve`]).
     pub fn solve_with_schedule(
         &self,
         graph: &Cdag,
         budget: Weight,
-    ) -> Result<Solution, StateLimitExceeded> {
-        search::search(self, graph, budget, true)
+    ) -> Result<Solution, ExactError> {
+        self.dispatch(graph, budget, true)
+    }
+
+    /// Run the search with an explicitly chosen mask width (cost only).
+    ///
+    /// Exists for width-equivalence testing and benchmarking: a graph of
+    /// ≤ 64 nodes solved via `Words<2>` must produce the same cost, the
+    /// same schedule, and the same search trajectory as the `u64` fast
+    /// path.  Errors with [`ExactError::Unsupported`] naming `M::BITS` when
+    /// the graph does not fit the requested mask.
+    pub fn solve_with_mask<M: StateMask>(
+        &self,
+        graph: &Cdag,
+        budget: Weight,
+    ) -> Result<Solution, ExactError> {
+        if graph.len() > M::BITS {
+            return Err(ExactError::Unsupported {
+                nodes: graph.len(),
+                limit: M::BITS,
+            });
+        }
+        search::search::<M>(self, graph, budget, false).map_err(ExactError::from)
+    }
+
+    /// Run the search with an explicitly chosen mask width, reconstructing
+    /// the schedule (see [`ExactSolver::solve_with_mask`]).
+    pub fn solve_with_schedule_and_mask<M: StateMask>(
+        &self,
+        graph: &Cdag,
+        budget: Weight,
+    ) -> Result<Solution, ExactError> {
+        if graph.len() > M::BITS {
+            return Err(ExactError::Unsupported {
+                nodes: graph.len(),
+                limit: M::BITS,
+            });
+        }
+        search::search::<M>(self, graph, budget, true).map_err(ExactError::from)
+    }
+
+    fn dispatch(
+        &self,
+        graph: &Cdag,
+        budget: Weight,
+        reconstruct: bool,
+    ) -> Result<Solution, ExactError> {
+        let n = graph.len();
+        let result = if n <= 64 {
+            search::search::<u64>(self, graph, budget, reconstruct)
+        } else if n <= 128 {
+            search::search::<Words<2>>(self, graph, budget, reconstruct)
+        } else if n <= MAX_NODES {
+            search::search::<Words<4>>(self, graph, budget, reconstruct)
+        } else {
+            return Err(ExactError::Unsupported {
+                nodes: n,
+                limit: MAX_NODES,
+            });
+        };
+        result.map_err(ExactError::from)
     }
 }
 
@@ -244,14 +404,14 @@ impl ExactSolver {
 pub fn exact_min_cost(graph: &Cdag, budget: Weight) -> Option<Weight> {
     ExactSolver::default()
         .min_cost(graph, budget)
-        .expect("exact search exceeded state cap; use ExactSolver for control")
+        .expect("exact search failed; use ExactSolver for control")
 }
 
 /// Convenience wrapper: an optimal schedule with the default state cap.
 pub fn exact_optimal_schedule(graph: &Cdag, budget: Weight) -> Option<(Weight, Schedule)> {
     ExactSolver::default()
         .optimal_schedule(graph, budget)
-        .expect("exact search exceeded state cap; use ExactSolver for control")
+        .expect("exact search failed; use ExactSolver for control")
 }
 
 #[cfg(test)]
@@ -268,6 +428,7 @@ mod tests {
             ExactSolver::default().with_heuristic(Heuristic::RemainingWork),
             ExactSolver::default().with_dominance(false),
             ExactSolver::default().with_tighten(false),
+            ExactSolver::default().with_symmetry(false),
             ExactSolver::dijkstra_baseline(),
             ExactSolver {
                 batch_size: 1,
@@ -384,6 +545,9 @@ mod tests {
         let err = ExactSolver::with_max_states(0)
             .min_cost(&g, 64)
             .unwrap_err();
+        let ExactError::StateLimit(err) = err else {
+            panic!("expected a state-limit error, got {err:?}");
+        };
         assert_eq!(err.max_states, 0);
         assert_eq!(err.states_expanded, 0, "cap must trigger before expanding");
         // …and the baseline (which cannot reach the goal in one expansion)
@@ -393,6 +557,9 @@ mod tests {
             ..ExactSolver::dijkstra_baseline()
         };
         let err = one.min_cost(&g, 64).unwrap_err();
+        let ExactError::StateLimit(err) = err else {
+            panic!("expected a state-limit error, got {err:?}");
+        };
         assert_eq!(err.max_states, 1);
         assert_eq!(err.states_expanded, 1);
     }
@@ -438,6 +605,7 @@ mod tests {
         assert!(fast.stats.root_bound > 0, "A* start state has a bound");
         assert_eq!(slow.stats.root_bound, 0, "Dijkstra has no bound");
         assert!(slow.stats.generated > 0 && fast.stats.generated > 0);
+        assert_eq!(fast.stats.mask_words, 1, "small graph uses the u64 path");
     }
 
     #[test]
@@ -455,5 +623,107 @@ mod tests {
             a.schedule.as_ref().map(|s| s.moves().to_vec()),
             b.schedule.as_ref().map(|s| s.moves().to_vec())
         );
+    }
+
+    /// Chain of `n` unit-weight nodes.
+    fn chain(n: usize) -> Cdag {
+        let mut b = CdagBuilder::new();
+        let ids: Vec<_> = (0..n).map(|i| b.node(1, format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            b.edge(w[0], w[1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn graphs_past_64_nodes_dispatch_to_wide_masks() {
+        // A 70-node chain crosses the old u64 wall; interior nodes are free,
+        // so the optimal cost is load(head) + store(tail) = 2.
+        let g = chain(70);
+        let sol = ExactSolver::default().solve(&g, 2).unwrap();
+        assert_eq!(sol.cost, Some(2));
+        assert_eq!(sol.stats.mask_words, 2, "70 nodes need Words<2>");
+        let (cost, sched) = ExactSolver::default()
+            .optimal_schedule(&g, 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(cost, 2);
+        assert_eq!(validate_schedule(&g, 2, &sched).unwrap().cost, 2);
+    }
+
+    #[test]
+    fn forced_wide_mask_matches_u64_fast_path_exactly() {
+        let g = add_graph();
+        let solver = ExactSolver::default();
+        let narrow = solver.solve_with_schedule_and_mask::<u64>(&g, 64).unwrap();
+        let wide = solver
+            .solve_with_schedule_and_mask::<Words<2>>(&g, 64)
+            .unwrap();
+        assert_eq!(narrow.cost, wide.cost);
+        assert_eq!(
+            narrow.schedule.as_ref().map(|s| s.moves().to_vec()),
+            wide.schedule.as_ref().map(|s| s.moves().to_vec()),
+            "shared-width runs must take the identical search trajectory"
+        );
+        assert_eq!(narrow.stats.expanded, wide.stats.expanded);
+        assert_eq!(narrow.stats.frontier_steals, wide.stats.frontier_steals);
+    }
+
+    #[test]
+    fn too_wide_graphs_get_a_typed_unsupported_error() {
+        let g = chain(MAX_NODES + 1);
+        let err = ExactSolver::default().solve(&g, 3).unwrap_err();
+        assert_eq!(
+            err,
+            ExactError::Unsupported {
+                nodes: MAX_NODES + 1,
+                limit: MAX_NODES
+            }
+        );
+        assert!(err.to_string().contains("at most 256"), "names the limit");
+        // Width-forcing APIs name the *requested* mask's limit instead.
+        let err = ExactSolver::default()
+            .solve_with_mask::<u64>(&chain(70), 2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExactError::Unsupported {
+                nodes: 70,
+                limit: 64
+            }
+        );
+    }
+
+    #[test]
+    fn symmetry_reduction_preserves_cost_and_prunes_states() {
+        // Chained diamonds a -> {b, c} -> d -> {e, f} -> g: each diamond's
+        // midpoints are a twin orbit, so without reduction the search walks
+        // both "computed b first" and "computed c first" state families.
+        let mut b = CdagBuilder::new();
+        let ids: Vec<_> = (0..7).map(|i| b.node(1, format!("n{i}"))).collect();
+        for d in 0..2 {
+            let (a, m1, m2, z) = (ids[3 * d], ids[3 * d + 1], ids[3 * d + 2], ids[3 * d + 3]);
+            b.edge(a, m1);
+            b.edge(a, m2);
+            b.edge(m1, z);
+            b.edge(m2, z);
+        }
+        let g = b.build().unwrap();
+        let on = ExactSolver::default().solve(&g, 3).unwrap();
+        let off = ExactSolver::default()
+            .with_symmetry(false)
+            .solve(&g, 3)
+            .unwrap();
+        assert_eq!(on.cost, off.cost, "symmetry reduction never changes cost");
+        assert!(on.cost.is_some());
+        assert!(
+            on.stats.expanded < off.stats.expanded,
+            "orbit collapsing must shrink the reachable state space \
+             ({} vs {})",
+            on.stats.expanded,
+            off.stats.expanded
+        );
+        assert!(on.stats.symmetry_pruned > 0);
+        assert_eq!(off.stats.symmetry_pruned, 0);
     }
 }

@@ -2,11 +2,18 @@
 //!
 //! The driver is a batched A\*: it deterministically drains the globally
 //! best entries from a sharded open list ([`ShardedWorklist`]), expands the
-//! batch in parallel with [`par_map`] (successor generation and heuristic
-//! evaluation are pure), and merges distance/parent/queue updates
-//! sequentially in batch order.  Merge order is therefore independent of
-//! thread count, which keeps costs, schedules, and statistics
-//! byte-reproducible.
+//! batch in parallel with [`par_map_hash_distributed`] (successor
+//! generation and heuristic evaluation are pure; each frontier item is
+//! expanded by the virtual shard that *owns* its state hash, with a
+//! deterministic steal rebalance — HDA\*-style hash distribution), and
+//! merges distance/parent/queue updates sequentially in batch order.
+//! Ownership, rebalance, and merge order are all independent of thread
+//! count, which keeps costs, schedules, and statistics byte-reproducible.
+//!
+//! The state is generic over [`StateMask`]: `u64` is the zero-cost fast
+//! path for graphs of ≤ 64 nodes (the monomorphized hot loop is the
+//! pre-refactor single-word code), and `Words<N>` lifts the same search to
+//! wider graphs.  The search itself never mentions a concrete width.
 //!
 //! A goal state is only accepted when it is the head of the open list with
 //! its recorded distance — i.e. its `f = g` is no worse than every open
@@ -26,44 +33,56 @@
 //!   target node, or a single delete when the budget actually blocks
 //!   progress.  Both the intermediate load states and all detached
 //!   store/delete interleavings vanish from the state space.
+//!
+//! On top of either relation, **symmetry reduction** (when enabled and no
+//! schedule is being reconstructed) rewrites every generated state to its
+//! twin-orbit canonical form: within each twin class of the graph
+//! ([`pebblyn_core::twin_classes`] — nodes with identical predecessor and
+//! successor sets, hence equal weights and mutually interchangeable by
+//! automorphism), the members' per-node `(red, blue)` statuses are sorted
+//! into a fixed order.  States differing only by which twin holds a pebble
+//! collapse to one representative, and because the permutation is a
+//! weight-preserving automorphism, reachability, budget feasibility, and
+//! optimal completion cost are untouched — only the number of states the
+//! search must visit shrinks.
 
 use crate::dominance::DominanceStore;
 use crate::{ExactSolver, SearchStats, Solution, StateLimitExceeded};
 use pebblyn_core::{
-    mask_iter, mask_weight, Cdag, FastHashMap, Heuristic, Move, NodeId, Schedule, StateBounds,
-    Weight,
+    mask_iter, mask_weight, twin_classes, Cdag, FastHashMap, FastHasher, Heuristic, Move, NodeId,
+    Schedule, StateBounds, StateMask, Weight,
 };
-use pebblyn_engine::par::par_map;
+use pebblyn_engine::par::par_map_hash_distributed;
 use pebblyn_engine::ShardedWorklist;
 use pebblyn_telemetry as telemetry;
-use std::hash::{BuildHasher, Hash};
+use std::hash::Hasher;
 
-/// Open-list shard count; fixed so expansion order never depends on the
-/// host's thread count.
+/// Open-list shard count and virtual expansion-owner count; fixed so
+/// expansion order never depends on the host's thread count.
 const SHARDS: usize = 8;
 
-/// Packed game snapshot: one red and one blue bitset word, one bit per node.
+/// Packed game snapshot: one red and one blue bitset, one bit per node.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
-struct State {
-    red: u64,
-    blue: u64,
+struct State<M: StateMask> {
+    red: M,
+    blue: M,
 }
 
 /// One search transition; `Fused` covers the tightened macro-moves.
 #[derive(Clone, Copy, Debug)]
-enum Step {
+enum Step<M: StateMask> {
     /// A raw game move (loose mode, and deletes in tightened mode).
     Single(Move),
     /// Load every node in `loads` (ascending), compute `target`, and
     /// optionally store it immediately.
     Fused {
-        loads: u64,
+        loads: M,
         target: NodeId,
         store: bool,
     },
 }
 
-impl Step {
+impl<M: StateMask> Step<M> {
     fn emit(self, moves: &mut Vec<Move>) {
         match self {
             Step::Single(mv) => moves.push(mv),
@@ -85,31 +104,36 @@ impl Step {
 }
 
 /// A successor produced by (parallel) expansion, with its heuristic already
-/// evaluated.
-struct Succ {
-    state: State,
+/// evaluated and its state already in twin-orbit canonical form.
+struct Succ<M: StateMask> {
+    state: State<M>,
     g: Weight,
     red_weight: Weight,
     h: Weight,
-    step: Step,
+    step: Step<M>,
+    /// Whether canonicalization rewrote the state (a symmetry prune).
+    canonized: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct QueueItem {
+struct QueueItem<M: StateMask> {
     f: Weight,
     g: Weight,
-    state: State,
+    state: State<M>,
     /// Weighted red occupancy of `state`, carried incrementally so expansion
     /// never rescans the node set.  A pure function of `state.red`, so
     /// duplicate queue entries always agree.
     red_weight: Weight,
 }
 
-impl Ord for QueueItem {
+impl<M: StateMask> Ord for QueueItem<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap priority: smallest f first, then deepest (largest g),
-        // then smallest state word — a total order, so ties are
-        // deterministic.
+        // then smallest state value — a total order, so ties are
+        // deterministic.  `M`'s Ord matches u64's numeric order on shared
+        // widths, so the tie-break (and hence the whole expansion order) is
+        // identical between the u64 fast path and a wider mask on the same
+        // graph.
         other
             .f
             .cmp(&self.f)
@@ -118,33 +142,72 @@ impl Ord for QueueItem {
     }
 }
 
-impl PartialOrd for QueueItem {
+impl<M: StateMask> PartialOrd for QueueItem<M> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
 /// Immutable per-search tables; successor generation reads only this.
-struct Ctx {
+struct Ctx<M: StateMask> {
     n: usize,
     weights: Vec<Weight>,
-    pred_masks: Vec<u64>,
-    source_mask: u64,
-    sink_mask: u64,
+    pred_masks: Vec<M>,
+    source_mask: M,
+    sink_mask: M,
     budget: Weight,
     load_scale: Weight,
     store_scale: Weight,
-    bounds: StateBounds,
+    bounds: StateBounds<M>,
     heuristic: Heuristic,
     tighten: bool,
+    /// Twin classes (size ≥ 2, members ascending) used for state
+    /// canonicalization; empty when symmetry reduction is off.
+    classes: Vec<Vec<u32>>,
+    /// `ceil(n / 64)`: how many mask words the graph actually occupies.
+    /// Hashing exactly these words keeps shard routing width-independent.
+    hash_words: usize,
 }
 
-impl Ctx {
-    fn h(&self, s: State) -> Weight {
+impl<M: StateMask> Ctx<M> {
+    fn h(&self, s: State<M>) -> Weight {
         self.bounds.lower_bound(s.red, s.blue, self.heuristic)
     }
 
-    fn successors(&self, item: &QueueItem) -> Vec<Succ> {
+    /// Rewrite `s` to its twin-orbit canonical representative: within each
+    /// twin class, sort the members' 2-bit `(red, blue)` statuses into
+    /// descending order along ascending member index.  The rewrite is a
+    /// permutation of pebbles inside automorphism orbits of equal-weight
+    /// nodes, so it preserves red weight, budget feasibility, goal
+    /// membership, and optimal completion cost.
+    fn canon(&self, s: State<M>) -> (State<M>, bool) {
+        let mut red = s.red;
+        let mut blue = s.blue;
+        let mut changed = false;
+        for class in &self.classes {
+            let mut count = [0usize; 4];
+            for &v in class {
+                let v = v as usize;
+                count[usize::from(red.get(v)) << 1 | usize::from(blue.get(v))] += 1;
+            }
+            let mut members = class.iter();
+            for status in (0..4usize).rev() {
+                for _ in 0..count[status] {
+                    let v = *members.next().expect("statuses == members") as usize;
+                    let r = status & 2 != 0;
+                    let b = status & 1 != 0;
+                    if red.get(v) != r || blue.get(v) != b {
+                        changed = true;
+                    }
+                    red = if r { red.set(v) } else { red.clear(v) };
+                    blue = if b { blue.set(v) } else { blue.clear(v) };
+                }
+            }
+        }
+        (State { red, blue }, changed)
+    }
+
+    fn successors(&self, item: &QueueItem<M>) -> Vec<Succ<M>> {
         let mut out = Vec::new();
         if self.tighten {
             self.successors_tight(item, &mut out);
@@ -154,7 +217,15 @@ impl Ctx {
         out
     }
 
-    fn push(&self, out: &mut Vec<Succ>, state: State, g: Weight, red_weight: Weight, step: Step) {
+    fn push(
+        &self,
+        out: &mut Vec<Succ<M>>,
+        state: State<M>,
+        g: Weight,
+        red_weight: Weight,
+        step: Step<M>,
+    ) {
+        let (state, canonized) = self.canon(state);
         let h = self.h(state);
         out.push(Succ {
             state,
@@ -162,26 +233,27 @@ impl Ctx {
             red_weight,
             h,
             step,
+            canonized,
         });
     }
 
     /// Tightened successor relation (see module docs): fused
     /// loads+compute(+store) macros per target node, plus deletes only when
     /// some otherwise-applicable load/compute is budget-blocked.
-    fn successors_tight(&self, item: &QueueItem, out: &mut Vec<Succ>) {
+    fn successors_tight(&self, item: &QueueItem<M>, out: &mut Vec<Succ<M>>) {
         let s = item.state;
         let mut blocked = false;
         for u in 0..self.n {
-            if s.red >> u & 1 != 0 || self.source_mask >> u & 1 != 0 {
+            if s.red.get(u) || self.source_mask.get(u) {
                 continue;
             }
             let missing = self.pred_masks[u] & !s.red;
-            if missing & !s.blue != 0 {
+            if !(missing & !s.blue).is_empty() {
                 continue; // some predecessor is neither red nor blue:
                           // deletes cannot unblock this target
             }
-            let is_sink = self.sink_mask >> u & 1 != 0;
-            let is_blue = s.blue >> u & 1 != 0;
+            let is_sink = self.sink_mask.get(u);
+            let is_blue = s.blue.get(u);
             if is_sink && is_blue {
                 continue; // already delivered and has no consumers
             }
@@ -191,7 +263,7 @@ impl Ctx {
                 blocked = true;
                 continue;
             }
-            let next_red = s.red | missing | 1 << u;
+            let next_red = s.red | missing | M::bit(u);
             let next_rw = item.red_weight + load_w + w_u;
             let g_loads = item.g + self.load_scale * load_w;
             let step = |store| Step::Fused {
@@ -219,7 +291,7 @@ impl Ctx {
                     out,
                     State {
                         red: next_red,
-                        blue: s.blue | 1 << u,
+                        blue: s.blue.set(u),
                     },
                     g_loads + self.store_scale * w_u,
                     next_rw,
@@ -232,7 +304,7 @@ impl Ctx {
                 self.push(
                     out,
                     State {
-                        red: s.red & !(1 << x.index()),
+                        red: s.red.clear(x.index()),
                         blue: s.blue,
                     },
                     item.g,
@@ -245,20 +317,20 @@ impl Ctx {
 
     /// The raw four-move relation, byte-for-byte the PR-2 Dijkstra
     /// expansion; kept as the ablation baseline and differential oracle.
-    fn successors_loose(&self, item: &QueueItem, out: &mut Vec<Succ>) {
+    fn successors_loose(&self, item: &QueueItem<M>, out: &mut Vec<Succ<M>>) {
         let s = item.state;
         for v in 0..self.n {
             let id = NodeId(v as u32);
             let w = self.weights[v];
-            let has_red = s.red >> v & 1 != 0;
-            let has_blue = s.blue >> v & 1 != 0;
+            let has_red = s.red.get(v);
+            let has_blue = s.blue.get(v);
 
             // M1: load — only useful when it changes the label.
             if has_blue && !has_red && item.red_weight + w <= self.budget {
                 self.push(
                     out,
                     State {
-                        red: s.red | 1 << v,
+                        red: s.red.set(v),
                         blue: s.blue,
                     },
                     item.g + self.load_scale * w,
@@ -272,7 +344,7 @@ impl Ctx {
                     out,
                     State {
                         red: s.red,
-                        blue: s.blue | 1 << v,
+                        blue: s.blue.set(v),
                     },
                     item.g + self.store_scale * w,
                     item.red_weight,
@@ -281,14 +353,14 @@ impl Ctx {
             }
             // M3: compute — non-source, all preds red, not already red.
             if !has_red
-                && self.source_mask >> v & 1 == 0
-                && s.red & self.pred_masks[v] == self.pred_masks[v]
+                && !self.source_mask.get(v)
+                && s.red.contains_all(self.pred_masks[v])
                 && item.red_weight + w <= self.budget
             {
                 self.push(
                     out,
                     State {
-                        red: s.red | 1 << v,
+                        red: s.red.set(v),
                         blue: s.blue,
                     },
                     item.g,
@@ -301,7 +373,7 @@ impl Ctx {
                 self.push(
                     out,
                     State {
-                        red: s.red & !(1 << v),
+                        red: s.red.clear(v),
                         blue: s.blue,
                     },
                     item.g,
@@ -313,8 +385,17 @@ impl Ctx {
     }
 }
 
-fn shard_hint(s: State) -> u64 {
-    pebblyn_core::FastBuildHasher::default().hash_one(s)
+/// Width-independent shard/owner hint: hash exactly the words the graph
+/// occupies, so a ≤ 64-node graph routes identically whether its states are
+/// `u64` or `Words<N>` — the precondition for the mask-width equivalence
+/// guarantee.
+fn shard_hint<M: StateMask>(s: &State<M>, hash_words: usize) -> u64 {
+    let mut h = FastHasher::default();
+    for i in 0..hash_words {
+        h.write_u64(s.red.word(i));
+        h.write_u64(s.blue.word(i));
+    }
+    h.finish()
 }
 
 /// Mirror a finished search's [`SearchStats`] into the process telemetry.
@@ -331,37 +412,44 @@ fn record_stats(stats: &SearchStats) {
     telemetry::add(Counter::StatesGenerated, stats.generated as u64);
     telemetry::add(Counter::DominancePruned, stats.dominated as u64);
     telemetry::add(Counter::DedupPruned, stats.deduped as u64);
+    telemetry::add(Counter::SymmetryPruned, stats.symmetry_pruned as u64);
     telemetry::add(Counter::SearchBatches, stats.batches as u64);
+    telemetry::add(Counter::FrontierSteals, stats.frontier_steals);
     telemetry::gauge_max(Gauge::FrontierPeak, stats.peak_open as u64);
     telemetry::gauge_max(Gauge::DominanceEntriesPeak, stats.dominance_entries as u64);
+    telemetry::gauge_max(Gauge::MaskWords, stats.mask_words as u64);
 }
 
-pub(crate) fn search(
+pub(crate) fn search<M: StateMask>(
     solver: &ExactSolver,
     graph: &Cdag,
     budget: Weight,
     reconstruct: bool,
 ) -> Result<Solution, StateLimitExceeded> {
     assert!(
-        graph.len() <= 64,
-        "exact solver supports at most 64 nodes (got {})",
+        graph.len() <= M::BITS,
+        "state mask of {} bits cannot represent {} nodes (checked by the solver entry points)",
+        M::BITS,
         graph.len()
     );
     let _span = telemetry::span("exact_search");
     let n = graph.len();
     let weights: Vec<Weight> = (0..n).map(|v| graph.weight(NodeId(v as u32))).collect();
-    let pred_masks: Vec<u64> = (0..n)
-        .map(|v| {
-            graph
-                .preds(NodeId(v as u32))
-                .iter()
-                .fold(0u64, |m, p| m | 1 << p.index())
-        })
+    let pred_masks: Vec<M> = (0..n)
+        .map(|v| pebblyn_core::bounds::nodes_to_mask(graph.preds(NodeId(v as u32))))
         .collect();
+    // Symmetry reduction rewrites states across automorphism orbits, which
+    // preserves costs but not the parent pointers a concrete move sequence
+    // needs — so it is disabled whenever a schedule is being reconstructed.
+    let classes = if solver.symmetry && !reconstruct {
+        twin_classes(graph)
+    } else {
+        Vec::new()
+    };
     let ctx = Ctx {
         n,
-        source_mask: graph.sources().iter().fold(0, |m, v| m | 1 << v.index()),
-        sink_mask: graph.sinks().iter().fold(0, |m, v| m | 1 << v.index()),
+        source_mask: pebblyn_core::bounds::nodes_to_mask::<M>(graph.sources()),
+        sink_mask: pebblyn_core::bounds::nodes_to_mask::<M>(graph.sinks()),
         budget,
         load_scale: solver.load_scale,
         store_scale: solver.store_scale,
@@ -370,23 +458,26 @@ pub(crate) fn search(
         tighten: solver.tighten,
         weights,
         pred_masks,
+        classes,
+        hash_words: n.div_ceil(64).max(1),
     };
 
-    let start = State {
-        red: 0,
+    let (start, _) = ctx.canon(State {
+        red: M::empty(),
         blue: ctx.source_mask,
-    };
+    });
     let mut stats = SearchStats {
         root_bound: ctx.h(start),
+        mask_words: M::WORDS,
         ..SearchStats::default()
     };
 
-    let mut dist: FastHashMap<State, Weight> = FastHashMap::default();
-    let mut parent: FastHashMap<State, (State, Step)> = FastHashMap::default();
-    let mut open: ShardedWorklist<QueueItem> = ShardedWorklist::new(SHARDS);
+    let mut dist: FastHashMap<State<M>, Weight> = FastHashMap::default();
+    let mut parent: FastHashMap<State<M>, (State<M>, Step<M>)> = FastHashMap::default();
+    let mut open: ShardedWorklist<QueueItem<M>> = ShardedWorklist::new(SHARDS);
     dist.insert(start, 0);
     open.push(
-        shard_hint(start),
+        shard_hint(&start, ctx.hash_words),
         QueueItem {
             f: stats.root_bound,
             g: 0,
@@ -396,24 +487,25 @@ pub(crate) fn search(
     );
     let mut dom = DominanceStore::default();
     let batch_cap = solver.batch_size.max(1);
-    let mut batch: Vec<QueueItem> = Vec::with_capacity(batch_cap);
+    let mut batch: Vec<QueueItem<M>> = Vec::with_capacity(batch_cap);
+    let mut hints: Vec<u64> = Vec::with_capacity(batch_cap);
 
     loop {
         batch.clear();
-        let mut settled_goal: Option<QueueItem> = None;
+        let mut settled_goal: Option<QueueItem<M>> = None;
         while batch.len() < batch_cap {
             let Some(item) = open.pop_best() else { break };
             if dist.get(&item.state) != Some(&item.g) {
                 continue; // stale queue entry
             }
-            if item.state.blue & ctx.sink_mask == ctx.sink_mask {
+            if item.state.blue.contains_all(ctx.sink_mask) {
                 if batch.is_empty() {
                     // Head of the open list: g ≤ every open f, hence optimal.
                     settled_goal = Some(item);
                 } else {
                     // Cannot settle behind this round's batch; re-queue and
                     // let the next round see it as the head.
-                    open.push(shard_hint(item.state), item);
+                    open.push(shard_hint(&item.state, ctx.hash_words), item);
                 }
                 break;
             }
@@ -470,12 +562,23 @@ pub(crate) fn search(
         }
 
         stats.batches += 1;
-        let succ_lists = par_map(&batch, |item| ctx.successors(item));
+        hints.clear();
+        hints.extend(
+            batch
+                .iter()
+                .map(|item| shard_hint(&item.state, ctx.hash_words)),
+        );
+        let (succ_lists, steals) =
+            par_map_hash_distributed(&batch, &hints, SHARDS, |item| ctx.successors(item));
+        stats.frontier_steals += steals;
         // Sequential merge in batch order: the only mutation point, so the
         // search is deterministic for any thread count.
         for (item, succs) in batch.iter().zip(succ_lists) {
             for succ in succs {
                 stats.generated += 1;
+                if succ.canonized {
+                    stats.symmetry_pruned += 1;
+                }
                 let improves = match dist.get(&succ.state) {
                     Some(&d) => succ.g < d,
                     None => true,
@@ -493,7 +596,7 @@ pub(crate) fn search(
                     parent.insert(succ.state, (item.state, succ.step));
                 }
                 open.push(
-                    shard_hint(succ.state),
+                    shard_hint(&succ.state, ctx.hash_words),
                     QueueItem {
                         f: succ.g + succ.h,
                         g: succ.g,

@@ -40,6 +40,9 @@
 //!    correctness is never at stake because the cache compares full
 //!    serialized bytes, never just the hash.
 
+use pebblyn_core::symmetry::{
+    count_classes, dense_rank, initial_colors, refine, split_twin_classes,
+};
 use pebblyn_core::{Cdag, FastHasher, NodeId};
 use std::hash::Hasher;
 
@@ -177,99 +180,6 @@ pub fn identity_form(g: &Cdag) -> IdentityForm {
     }
 }
 
-/// Dense-rank arbitrary ordered keys to colors `0..k`.
-fn dense_rank<K: Ord>(keys: &[K]) -> (Vec<u32>, usize) {
-    let mut sorted: Vec<&K> = keys.iter().collect();
-    sorted.sort_unstable();
-    sorted.dedup();
-    let colors = keys
-        .iter()
-        .map(|k| sorted.binary_search(&k).unwrap() as u32)
-        .collect();
-    (colors, sorted.len())
-}
-
-/// Label-free starting partition: `(weight, in-degree, out-degree)`.
-fn initial_colors(g: &Cdag) -> Vec<u32> {
-    let keys: Vec<(u64, usize, usize)> = g
-        .nodes()
-        .map(|v| (g.weight(v), g.in_degree(v), g.out_degree(v)))
-        .collect();
-    dense_rank(&keys).0
-}
-
-/// WL color refinement to fixpoint.  Each round keys a node by its color
-/// and the sorted colors of its neighborhoods; dense re-ranking only ever
-/// splits classes, so the loop terminates in at most `n` rounds.
-///
-/// The neighborhood keys live in one flat CSR buffer reused across
-/// rounds — refinement runs in the search's inner loop, so per-node
-/// allocations there dominated whole-graph canonicalization time.
-/// Nodes sharing a color share degrees (degrees seed the initial
-/// partition and refinement only splits), so comparing the merged
-/// `preds ++ succs` slice is comparing `(preds, succs)`.
-fn refine(g: &Cdag, colors: &mut [u32]) {
-    let n = g.len();
-    if n == 0 {
-        return;
-    }
-    let mut start = Vec::with_capacity(n + 1);
-    let mut split = Vec::with_capacity(n);
-    let mut total = 0usize;
-    for v in g.nodes() {
-        start.push(total);
-        total += g.in_degree(v);
-        split.push(total);
-        total += g.out_degree(v);
-    }
-    start.push(total);
-    let mut buf = vec![0u32; total];
-    let mut order: Vec<u32> = (0..n as u32).collect();
-    let mut next = vec![0u32; n];
-    let mut classes = count_classes(colors);
-    loop {
-        for v in g.nodes() {
-            let i = v.index();
-            for (slot, u) in buf[start[i]..split[i]].iter_mut().zip(g.preds(v)) {
-                *slot = colors[u.index()];
-            }
-            buf[start[i]..split[i]].sort_unstable();
-            for (slot, u) in buf[split[i]..start[i + 1]].iter_mut().zip(g.succs(v)) {
-                *slot = colors[u.index()];
-            }
-            buf[split[i]..start[i + 1]].sort_unstable();
-        }
-        {
-            let key = |v: u32| {
-                let i = v as usize;
-                (colors[i], &buf[start[i]..start[i + 1]])
-            };
-            order.sort_unstable_by(|&a, &b| key(a).cmp(&key(b)));
-            let mut k = 0u32;
-            next[order[0] as usize] = 0;
-            for w in order.windows(2) {
-                if key(w[0]) != key(w[1]) {
-                    k += 1;
-                }
-                next[w[1] as usize] = k;
-            }
-        }
-        let k = next[order[n - 1] as usize] as usize + 1;
-        colors.copy_from_slice(&next);
-        if k == classes || k == n {
-            return;
-        }
-        classes = k;
-    }
-}
-
-fn count_classes(colors: &[u32]) -> usize {
-    let mut seen: Vec<u32> = colors.to_vec();
-    seen.sort_unstable();
-    seen.dedup();
-    seen.len()
-}
-
 /// Split `v` off from its color class, ordered before its old classmates.
 fn individualize(colors: &[u32], v: usize) -> Vec<u32> {
     let keys: Vec<(u32, u8)> = colors
@@ -278,67 +188,6 @@ fn individualize(colors: &[u32], v: usize) -> Vec<u32> {
         .map(|(u, &c)| (c, u8::from(u != v)))
         .collect();
     dense_rank(&keys).0
-}
-
-/// Split every **twin class** — a refined color class whose members all
-/// share the same predecessor *set* and successor *set* (DWT's
-/// approx/detail pairs, fan-out replicas, identical reduction inputs).
-/// Twins are mutually automorphic and their serialized rows are
-/// indistinguishable, so any fixed internal order yields the same
-/// canonical bytes; splitting them all at once in node-index order
-/// removes the dominant symmetry in the paper's workloads without
-/// branching (a twin *pair* per DWT level would otherwise cost a
-/// `2^levels` search tree).  A different original labeling picks a
-/// different internal order, but the two labelings then differ by an
-/// automorphism, which the bytes — and the cache's schedule transport —
-/// are invariant under.  Returns whether anything split; callers
-/// re-refine to propagate the new colors.
-fn split_twin_classes(g: &Cdag, colors: &mut Vec<u32>) -> bool {
-    let n = g.len();
-    let mut by_class: Vec<u32> = (0..n as u32).collect();
-    by_class.sort_unstable_by_key(|&v| colors[v as usize]);
-    let mut tiebreak = vec![0u32; n];
-    let mut any = false;
-    let mut i = 0;
-    while i < n {
-        let mut j = i;
-        while j < n && colors[by_class[j] as usize] == colors[by_class[i] as usize] {
-            j += 1;
-        }
-        if j - i > 1 && is_twin_class(g, &by_class[i..j]) {
-            any = true;
-            // `by_class` ties on node id, so rank-in-class is index order.
-            for (r, &v) in by_class[i..j].iter().enumerate() {
-                tiebreak[v as usize] = r as u32;
-            }
-        }
-        i = j;
-    }
-    if any {
-        let keys: Vec<(u32, u32)> = colors
-            .iter()
-            .zip(&tiebreak)
-            .map(|(&c, &t)| (c, t))
-            .collect();
-        *colors = dense_rank(&keys).0;
-    }
-    any
-}
-
-/// Do all members share one predecessor set and one successor set?
-/// (Twins can never be adjacent to each other: an intra-class edge would
-/// already make the endpoint neighborhoods differ.)
-fn is_twin_class(g: &Cdag, members: &[u32]) -> bool {
-    let sorted_ids = |xs: &[NodeId]| {
-        let mut v: Vec<u32> = xs.iter().map(|u| u.index() as u32).collect();
-        v.sort_unstable();
-        v
-    };
-    let p0 = sorted_ids(g.preds(NodeId(members[0])));
-    let s0 = sorted_ids(g.succs(NodeId(members[0])));
-    members[1..]
-        .iter()
-        .all(|&m| sorted_ids(g.preds(NodeId(m))) == p0 && sorted_ids(g.succs(NodeId(m))) == s0)
 }
 
 /// Individualization–refinement: return the lex-least serialized form and

@@ -45,8 +45,15 @@ pub enum Counter {
     DominancePruned,
     /// Successors discarded as exact duplicates of a queued/closed state.
     DedupPruned,
+    /// Successors rewritten to their twin-orbit canonical representative by
+    /// the exact search's symmetry reduction.
+    SymmetryPruned,
     /// Parallel expansion batches executed by the exact search.
     SearchBatches,
+    /// Frontier items reassigned from their hash-owner expansion shard to an
+    /// underloaded one by the deterministic rebalance (virtual work
+    /// stealing; independent of the physical thread count).
+    FrontierSteals,
     /// Engine memo lookups answered from cache.
     MemoHits,
     /// Engine memo lookups that had to compute.
@@ -77,12 +84,14 @@ pub enum Counter {
 }
 
 /// All counters, in declaration (and output) order.
-pub const COUNTERS: [Counter; 18] = [
+pub const COUNTERS: [Counter; 20] = [
     Counter::StatesExpanded,
     Counter::StatesGenerated,
     Counter::DominancePruned,
     Counter::DedupPruned,
+    Counter::SymmetryPruned,
     Counter::SearchBatches,
+    Counter::FrontierSteals,
     Counter::MemoHits,
     Counter::MemoMisses,
     Counter::MovesEmitted,
@@ -106,7 +115,9 @@ impl Counter {
             Counter::StatesGenerated => "states_generated",
             Counter::DominancePruned => "dominance_pruned",
             Counter::DedupPruned => "dedup_pruned",
+            Counter::SymmetryPruned => "symmetry_prunes",
             Counter::SearchBatches => "search_batches",
+            Counter::FrontierSteals => "frontier_steals",
             Counter::MemoHits => "memo_hits",
             Counter::MemoMisses => "memo_misses",
             Counter::MovesEmitted => "moves_emitted",
@@ -138,15 +149,19 @@ pub enum Gauge {
     ServiceQueueDepthPeak,
     /// Slowest single request the service answered, in wall nanoseconds.
     ServiceLatencyPeakNs,
+    /// Widest state mask (in 64-bit words) any exact search in this run
+    /// monomorphized to: 1 = the u64 fast path, 2+ = `Words<N>`.
+    MaskWords,
 }
 
 /// All gauges, in declaration (and output) order.
-pub const GAUGES: [Gauge; 5] = [
+pub const GAUGES: [Gauge; 6] = [
     Gauge::FrontierPeak,
     Gauge::DominanceEntriesPeak,
     Gauge::QueueDepthPeak,
     Gauge::ServiceQueueDepthPeak,
     Gauge::ServiceLatencyPeakNs,
+    Gauge::MaskWords,
 ];
 
 impl Gauge {
@@ -158,6 +173,7 @@ impl Gauge {
             Gauge::QueueDepthPeak => "queue_depth_peak",
             Gauge::ServiceQueueDepthPeak => "service_queue_depth_peak",
             Gauge::ServiceLatencyPeakNs => "service_latency_peak_ns",
+            Gauge::MaskWords => "mask_words",
         }
     }
 }
