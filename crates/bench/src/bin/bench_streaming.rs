@@ -1,0 +1,290 @@
+//! Streaming-scheduler scaling curve: `results/bench_streaming.json`.
+//!
+//! For each giant-CDAG family (`dwt_giga`, `mvm_giga`,
+//! `layered_random_giga`) and each streaming scheduler (`topo-window`,
+//! `slab-partition`), schedule graphs from ten thousand to a million
+//! nodes and record wall time, time per edge, a peak-RSS proxy, and the
+//! observed Proposition 2.4 bound gap.  The headline claim is
+//! *near-linear throughput*: each scheduler's worst-case envelope (the
+//! slowest family's time-per-edge at each ladder size) stays within
+//! 1.5x of the 10k-node figure at a million nodes (asserted here at
+//! generation time and re-checked structurally by
+//! `validate_bench_streaming`, which the golden test runs against the
+//! committed artifact).
+//!
+//! Wall times are single-host, cold-cache measurements (the median of
+//! nine passes, each preceded by a cache-evicting scratch sweep so every
+//! size is timed DRAM-resident); only the ratios are meaningful across
+//! machines.  The RSS proxy is `VmHWM` from `/proc/self/status` — a
+//! process-wide high-water mark, so it is non-decreasing across points
+//! and 0 where the file is unavailable.
+//!
+//! ```sh
+//! cargo run --release -p pebblyn-bench --bin bench_streaming
+//! # CI smoke: cap the curve and record telemetry for telemetry_check
+//! cargo run --release -p pebblyn-bench --bin bench_streaming -- \
+//!     --max-nodes 100000 --telemetry streaming_tele.jsonl
+//! ```
+
+use pebblyn::prelude::*;
+use pebblyn::synth::{dwt_giga, layered_random_giga, mvm_giga};
+use pebblyn::telemetry;
+use pebblyn_bench::{
+    init_telemetry_from_args, results_dir, validate_bench_streaming, BENCH_STREAMING_MAX_DRIFT,
+    BENCH_STREAMING_SCHEMA,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The node-count ladder (approximate; structured families round down to
+/// their nearest admissible shape).
+const SIZES: &[usize] = &[10_000, 100_000, 1_000_000];
+/// Layered-random generator seed — fixed so the curve is reproducible.
+const SEED: u64 = 7;
+/// Timed passes per point; the median is reported.
+const PASSES: usize = 9;
+/// Scratch sweep size for cache eviction between passes — comfortably
+/// larger than any last-level cache.
+const SWEEP_BYTES: usize = 96 * 1024 * 1024;
+
+/// Touch every cache line of a large scratch buffer so the next timing
+/// pass starts with the graph evicted from the CPU caches, whatever the
+/// graph's size.
+fn evict_caches(scratch: &mut Vec<u8>) {
+    if scratch.len() < SWEEP_BYTES {
+        scratch.resize(SWEEP_BYTES, 1);
+    }
+    for i in (0..SWEEP_BYTES).step_by(64) {
+        scratch[i] = scratch[i].wrapping_add(1);
+    }
+}
+
+/// `VmHWM` (peak resident set) in KiB from `/proc/self/status`, or 0.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn build(family: &str, nodes: usize) -> Cdag {
+    match family {
+        "dwt" => {
+            let target = nodes.div_ceil(3).max(4);
+            let inputs = if target.is_power_of_two() {
+                target
+            } else {
+                target.next_power_of_two() / 2
+            };
+            dwt_giga(inputs, inputs.trailing_zeros() as usize)
+        }
+        "mvm" => {
+            // Fixed matrix width, scaled row count: every size then streams
+            // the same per-row working set (one 1000-column input vector)
+            // and the ladder varies only the stream length, which is the
+            // quantity a near-linear scaling claim is about.
+            let cols = 1000.min(nodes / 2).max(2);
+            mvm_giga((nodes / cols).saturating_sub(1).max(1), cols)
+        }
+        "layered" => {
+            let width = ((nodes as f64).sqrt() as usize).max(4);
+            layered_random_giga((nodes / width).max(2), width, 3, SEED)
+        }
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+struct Point {
+    family: &'static str,
+    scheduler: &'static str,
+    nodes: usize,
+    edges: usize,
+    budget: Weight,
+    cost: Weight,
+    lb: Weight,
+    moves: usize,
+    wall_ms: f64,
+    ns_per_edge: f64,
+    rss_kb: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry_on = init_telemetry_from_args(&args);
+    let max_nodes: usize = args
+        .iter()
+        .position(|a| a == "--max-nodes")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--max-nodes must be an integer"))
+        .unwrap_or(usize::MAX);
+
+    let schedulers: Vec<&'static dyn Scheduler> = ["topo-window", "slab-partition"]
+        .into_iter()
+        .map(|n| api::by_name(n).expect("streaming schedulers registered"))
+        .collect();
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    for family in ["dwt", "mvm", "layered"] {
+        for &nodes in SIZES.iter().filter(|&&n| n <= max_nodes) {
+            let cdag = build(family, nodes);
+            let (n, e) = (cdag.len(), cdag.edge_count());
+            let lb = algorithmic_lower_bound(&cdag);
+            // Exactly the Prop. 2.3 minimum feasible budget: the tightest
+            // red-memory regime the game admits, which is the regime a
+            // streaming scheduler exists for.  It also keeps the
+            // budget-to-working-set pressure structurally identical at
+            // every ladder size, so the ns/edge curve measures scheduler
+            // throughput rather than a shifting eviction regime.
+            let budget = min_feasible_budget(&cdag);
+            let g = AnyGraph::custom(format!("{family}-giga"), cdag);
+            for s in &schedulers {
+                // Cold-cache median-of-9: a cache-sized scratch sweep evicts
+                // the graph between passes, so a 10k graph (which otherwise
+                // lives in L2 after its build) is measured from DRAM exactly
+                // like the million-node points.  Warm-vs-cold asymmetry
+                // would otherwise dominate the drift ratio and say nothing
+                // about the scheduler.  The median is robust against the
+                // multi-tenant noise spikes of shared hosts.
+                let mut pass_ms = Vec::with_capacity(PASSES);
+                let mut schedule = None;
+                for _ in 0..PASSES {
+                    evict_caches(&mut scratch);
+                    let t = Instant::now();
+                    let sched = s
+                        .schedule(&g, budget)
+                        .expect("budget equals the Prop. 2.3 minimum");
+                    pass_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                    schedule = Some(sched);
+                }
+                pass_ms.sort_by(f64::total_cmp);
+                let median_ms = pass_ms[PASSES / 2];
+                let schedule = schedule.expect("at least one pass ran");
+                let stats = validate_schedule(g.cdag(), budget, &schedule)
+                    .expect("streaming schedules replay cleanly");
+                assert!(stats.cost >= lb, "cost below the Prop. 2.4 bound");
+                points.push(Point {
+                    family,
+                    scheduler: s.name(),
+                    nodes: n,
+                    edges: e,
+                    budget,
+                    cost: stats.cost,
+                    lb,
+                    moves: stats.moves,
+                    wall_ms: median_ms,
+                    ns_per_edge: median_ms * 1e6 / e as f64,
+                    rss_kb: peak_rss_kb(),
+                });
+                println!(
+                    "{family:>7} x{n:>7} nodes  {:<14}  {:>9.1} ms  {:>6.0} ns/edge  gap {:.4}x",
+                    s.name(),
+                    median_ms,
+                    median_ms * 1e6 / e as f64,
+                    stats.cost as f64 / lb as f64,
+                );
+            }
+            if telemetry_on {
+                telemetry::flush_run(&format!("bench_streaming {family} {n}"));
+            }
+        }
+    }
+
+    // The near-linearity acceptance bar, asserted at generation time when
+    // the full ladder ran (a --max-nodes smoke has nothing to compare).
+    // Judged on each scheduler's worst-case envelope: at every ladder rank
+    // take the slowest family's ns/edge.  The envelope bounds the per-edge
+    // cost a user can observe at that scale; per-family curves stay fully
+    // published, and the envelope is robust to one family being
+    // anomalously cache-friendly at the small end (a 10k mvm graph is
+    // sequential and L2-resident, which says nothing about scaling).
+    for s in &schedulers {
+        let mut envelope: Vec<f64> = Vec::new();
+        for family in ["dwt", "mvm", "layered"] {
+            let mut curve: Vec<&Point> = points
+                .iter()
+                .filter(|p| p.family == family && p.scheduler == s.name())
+                .collect();
+            curve.sort_by_key(|p| p.nodes);
+            if envelope.is_empty() {
+                envelope = curve.iter().map(|p| p.ns_per_edge).collect();
+            } else {
+                for (e, p) in envelope.iter_mut().zip(&curve) {
+                    *e = e.max(p.ns_per_edge);
+                }
+            }
+        }
+        if envelope.len() < 2 {
+            continue;
+        }
+        let (first, last) = (envelope[0], envelope[envelope.len() - 1]);
+        assert!(
+            last <= first * BENCH_STREAMING_MAX_DRIFT,
+            "{}: worst-family ns/edge envelope drifted {first:.1} -> {last:.1}",
+            s.name()
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"{BENCH_STREAMING_SCHEMA}\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"Streaming-scheduler scaling curve: topo-window and slab-partition \
+         over dwt_giga/mvm_giga/layered_random_giga graphs from ~10k to ~1M nodes at the \
+         Prop. 2.3 minimum feasible budget. wall_ms is the median of nine cold-cache schedule \
+         passes on \
+         one host, each pass preceded by a cache-evicting scratch sweep so every size is timed \
+         DRAM-resident (only ratios are portable); ns_per_edge = wall_ms * 1e6 / edges, with \
+         each scheduler's worst-case envelope (max ns_per_edge over families at each ladder \
+         size) asserted within 1.5x of its smallest-size value; peak_rss_kb is the \
+         process-wide VmHWM high-water proxy (non-decreasing across points, 0 if unavailable); \
+         bound_gap = cost_bits / lower_bound_bits (Prop. 2.4).\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"command\": \"cargo run --release -p pebblyn-bench --bin bench_streaming\","
+    );
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"family\": \"{}\",", p.family);
+        let _ = writeln!(json, "      \"scheduler\": \"{}\",", p.scheduler);
+        let _ = writeln!(json, "      \"nodes\": {},", p.nodes);
+        let _ = writeln!(json, "      \"edges\": {},", p.edges);
+        let _ = writeln!(json, "      \"budget_bits\": {},", p.budget);
+        let _ = writeln!(json, "      \"cost_bits\": {},", p.cost);
+        let _ = writeln!(json, "      \"lower_bound_bits\": {},", p.lb);
+        let _ = writeln!(
+            json,
+            "      \"bound_gap\": {:.6},",
+            p.cost as f64 / p.lb as f64
+        );
+        let _ = writeln!(json, "      \"moves\": {},", p.moves);
+        let _ = writeln!(json, "      \"wall_ms\": {:.3},", p.wall_ms);
+        let _ = writeln!(json, "      \"ns_per_edge\": {:.3},", p.ns_per_edge);
+        let _ = writeln!(json, "      \"peak_rss_kb\": {}", p.rss_kb);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    // Self-check before publishing: the artifact must satisfy its own
+    // validator (the same one the golden test applies to the committed
+    // copy) — except the drift bar, which needs the full ladder.
+    if max_nodes >= *SIZES.last().unwrap() {
+        validate_bench_streaming(&json).expect("generated artifact validates");
+    }
+
+    let path = results_dir().join("bench_streaming.json");
+    std::fs::write(&path, &json).expect("write bench_streaming.json");
+    println!("\nwrote {}", path.display());
+}

@@ -261,6 +261,149 @@ pub fn table1_rows() -> Vec<(String, WeightScheme, Weight, Weight)> {
     rows
 }
 
+/// Schema identifier stamped on `results/bench_streaming.json`.
+pub const BENCH_STREAMING_SCHEMA: &str = "pebblyn-bench-streaming/v1";
+
+/// The maximum admissible `ns_per_edge` drift of each scheduler's
+/// worst-case envelope — at every ladder size take the slowest family's
+/// time-per-edge; the envelope at a million nodes may be at most 1.5x
+/// the 10k-node figure.  This is the "near-linear throughput" acceptance
+/// bar: it bounds how much a user's worst-case per-edge cost can degrade
+/// across a 100x size range, while per-family curves stay fully
+/// published in the artifact.
+pub const BENCH_STREAMING_MAX_DRIFT: f64 = 1.5;
+
+/// Validate `results/bench_streaming.json` structurally, reusing the
+/// telemetry crate's recursive-descent JSON parser (the workspace is
+/// deliberately serde-free).
+///
+/// Checks, per point: all required keys present and well-typed, positive
+/// node/edge counts, `cost_bits >= lower_bound_bits`, `bound_gap` equal to
+/// their ratio (and therefore >= 1), positive `ns_per_edge`.  Across each
+/// `(family, scheduler)` group: at least two sizes and a consistent
+/// ladder length.  Per scheduler: the worst-case envelope (max
+/// `ns_per_edge` over families at each ladder rank) at the largest size
+/// within [`BENCH_STREAMING_MAX_DRIFT`] of the smallest — the
+/// scaling-curve claim itself.
+pub fn validate_bench_streaming(text: &str) -> Result<(), String> {
+    use pebblyn::telemetry::schema::{parse, Value};
+    use std::collections::BTreeMap;
+
+    let root = parse(text)?;
+    let obj = root.as_object().ok_or("top level must be an object")?;
+    let field = |k: &str| obj.get(k).ok_or_else(|| format!("missing key {k:?}"));
+    let schema = field("schema")?.as_str().ok_or("schema must be a string")?;
+    if schema != BENCH_STREAMING_SCHEMA {
+        return Err(format!(
+            "schema {schema:?}, expected {BENCH_STREAMING_SCHEMA:?}"
+        ));
+    }
+    field("description")?
+        .as_str()
+        .ok_or("description must be a string")?;
+    field("command")?
+        .as_str()
+        .ok_or("command must be a string")?;
+    let Value::Array(points) = field("points")? else {
+        return Err("points must be an array".into());
+    };
+    if points.is_empty() {
+        return Err("points must be non-empty".into());
+    }
+
+    // (family, scheduler) -> (nodes, ns_per_edge) samples.
+    let mut curves: BTreeMap<(String, String), Vec<(u64, f64)>> = BTreeMap::new();
+    for (i, p) in points.iter().enumerate() {
+        let ctx = |msg: String| format!("points[{i}]: {msg}");
+        let p = p
+            .as_object()
+            .ok_or_else(|| ctx("must be an object".into()))?;
+        let get = |k: &str| p.get(k).ok_or_else(|| ctx(format!("missing key {k:?}")));
+        let get_u64 = |k: &str| {
+            get(k)?
+                .as_u64()
+                .ok_or_else(|| ctx(format!("{k} must be a non-negative integer")))
+        };
+        let get_f64 = |k: &str| match get(k)? {
+            &Value::Number(n) => Ok(n),
+            _ => Err(ctx(format!("{k} must be a number"))),
+        };
+        let family = get("family")?
+            .as_str()
+            .ok_or_else(|| ctx("family must be a string".into()))?;
+        let scheduler = get("scheduler")?
+            .as_str()
+            .ok_or_else(|| ctx("scheduler must be a string".into()))?;
+        let nodes = get_u64("nodes")?;
+        let edges = get_u64("edges")?;
+        if nodes == 0 || edges == 0 {
+            return Err(ctx("nodes and edges must be positive".into()));
+        }
+        get_u64("budget_bits")?;
+        get_u64("moves")?;
+        get_u64("peak_rss_kb")?;
+        let cost = get_u64("cost_bits")?;
+        let lb = get_u64("lower_bound_bits")?;
+        if lb == 0 || cost < lb {
+            return Err(ctx(format!(
+                "cost_bits {cost} must be >= lower_bound_bits {lb} > 0"
+            )));
+        }
+        let gap = get_f64("bound_gap")?;
+        if (gap - cost as f64 / lb as f64).abs() > 1e-3 {
+            return Err(ctx(format!(
+                "bound_gap {gap} is not cost_bits/lower_bound_bits"
+            )));
+        }
+        let wall_ms = get_f64("wall_ms")?;
+        let npe = get_f64("ns_per_edge")?;
+        if wall_ms < 0.0 || npe <= 0.0 {
+            return Err(ctx("wall_ms must be >= 0 and ns_per_edge > 0".into()));
+        }
+        curves
+            .entry((family.to_string(), scheduler.to_string()))
+            .or_default()
+            .push((nodes, npe));
+    }
+
+    // Near-linearity is judged on each scheduler's worst-case envelope:
+    // at every ladder rank take the slowest family's ns_per_edge.  The
+    // envelope bounds the per-edge cost a user can observe at that scale;
+    // requiring it to stay within the drift bar from 10k to 1M is the
+    // scaling claim, robust to one family being anomalously cache-friendly
+    // at the small end.
+    let mut envelopes: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for ((family, scheduler), mut samples) in curves {
+        if samples.len() < 2 {
+            return Err(format!(
+                "{family}/{scheduler}: scaling curve needs at least two sizes"
+            ));
+        }
+        samples.sort_by_key(|&(n, _)| n);
+        let env = envelopes.entry(scheduler).or_default();
+        if env.is_empty() {
+            env.extend(samples.iter().map(|&(_, npe)| npe));
+        } else if env.len() != samples.len() {
+            return Err(format!("{family}: families disagree on ladder length"));
+        } else {
+            for (e, &(_, npe)) in env.iter_mut().zip(&samples) {
+                *e = e.max(npe);
+            }
+        }
+    }
+    for (scheduler, env) in envelopes {
+        let (first, last) = (env[0], env[env.len() - 1]);
+        if last > first * BENCH_STREAMING_MAX_DRIFT {
+            return Err(format!(
+                "{scheduler}: worst-family ns_per_edge envelope drifts \
+                 {first:.1} -> {last:.1} (over the {BENCH_STREAMING_MAX_DRIFT}x \
+                 near-linearity bar)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -110,6 +110,20 @@ fn fig5_outputs_are_byte_identical_with_telemetry_on() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `bench_streaming.json` carries wall-clock medians, so it cannot be
+/// byte-golden like the CSVs; instead the committed artifact must satisfy
+/// the same structural validator the generator self-checks with: schema
+/// tag, well-typed points, `cost_bits >= lower_bound_bits` with an honest
+/// `bound_gap`, and each scheduler's worst-family ns/edge envelope within
+/// the near-linearity drift bar.
+#[test]
+fn bench_streaming_artifact_satisfies_its_validator() {
+    let text = std::fs::read_to_string(committed("bench_streaming.json"))
+        .expect("missing committed results/bench_streaming.json");
+    pebblyn_bench::validate_bench_streaming(&text)
+        .expect("committed bench_streaming.json fails its structural validator");
+}
+
 #[test]
 fn fig7_reduction_csvs_are_reproducible() {
     let dir = regen_into_temp(env!("CARGO_BIN_EXE_fig7"), "fig7");

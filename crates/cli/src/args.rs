@@ -16,6 +16,8 @@ USAGE:
 
 COMMANDS:
   schedule     generate and validate a schedule for a workload
+  stream       schedule a synthetic giant CDAG (up to millions of nodes)
+               with the O(E) streaming schedulers
   min-memory   compute the minimum fast memory size (Definition 2.6)
   sweep        print cost vs fast-memory-size series for a workload
   exact        solve a workload optimally (bound-guided A* search)
@@ -41,9 +43,19 @@ WORKLOAD OPTIONS (schedule, min-memory, sweep, exact, dot):
   --word <BITS>            word size in bits [default 16]
   --scheduler <NAME>       a registry name: dwt-opt|kary|mvm-tiling|
                            conv-stream|banded-stream|layer-by-layer|
-                           greedy-belady|naive (aliases: opt, lbl,
-                           tiling, stream, banded, belady)
+                           greedy-belady|topo-window|slab-partition|
+                           naive (aliases: opt, lbl, tiling, stream,
+                           banded, belady, window, slab)
                            [default: per-workload]
+
+STREAM OPTIONS:
+  --family dwt|mvm|layered synthetic giant-CDAG family [default layered]
+  --nodes <N>              approximate node count [default 1000000]
+  --seed <S>               layered-random seed [default 7]
+  --fan-in <F>             layered-random max fan-in [default 3]
+  --scheduler <NAME>       topo-window (default) or slab-partition;
+                           any registry name is accepted
+  --budget <BITS|Nw>       fast memory budget (required)
 
 SERVE OPTIONS:
   --socket <PATH>          listen on a unix socket instead of stdio
@@ -84,6 +96,8 @@ pub fn resolve_scheduler(input: &str) -> Result<&'static str, CliError> {
         "stream" => "conv-stream",
         "banded" => "banded-stream",
         "belady" => "greedy-belady",
+        "window" => "topo-window",
+        "slab" => "slab-partition",
         other => other,
     };
     match api::by_name(name) {
@@ -94,6 +108,29 @@ pub fn resolve_scheduler(input: &str) -> Result<&'static str, CliError> {
                 "unknown --scheduler {input}; valid names: {}",
                 valid.join(", ")
             )))
+        }
+    }
+}
+
+/// Synthetic giant-CDAG family for `pebblyn stream` (see
+/// `pebblyn_synth::giga`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFamily {
+    /// Full-depth 1-D DWT pyramid (`dwt_giga`).
+    Dwt,
+    /// Matrix-vector partial-accumulation grid (`mvm_giga`).
+    Mvm,
+    /// Seeded layered-random DAG (`layered_random_giga`).
+    Layered,
+}
+
+impl StreamFamily {
+    /// The `--family` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamFamily::Dwt => "dwt",
+            StreamFamily::Mvm => "mvm",
+            StreamFamily::Layered => "layered",
         }
     }
 }
@@ -111,6 +148,15 @@ pub enum Command {
         emit: bool,
         optimize: bool,
         out: Option<String>,
+    },
+    /// Schedule a synthetic giant CDAG with the streaming schedulers.
+    Stream {
+        family: StreamFamily,
+        nodes: usize,
+        seed: u64,
+        fan_in: usize,
+        scheduler: &'static str,
+        budget: Weight,
     },
     /// Compute the minimum fast memory size (Definition 2.6).
     MinMemory {
@@ -166,6 +212,7 @@ impl Command {
     pub fn name(&self) -> &'static str {
         match self {
             Command::Schedule { .. } => "schedule",
+            Command::Stream { .. } => "stream",
             Command::MinMemory { .. } => "min-memory",
             Command::Sweep { .. } => "sweep",
             Command::Exact { .. } => "exact",
@@ -327,6 +374,30 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 emit: opts.flag("--emit"),
                 optimize: opts.flag("--optimize"),
                 out: opts.get("--out").map(String::from),
+            })
+        }
+        "stream" => {
+            let family = match opts.get("--family").unwrap_or("layered") {
+                "dwt" => StreamFamily::Dwt,
+                "mvm" => StreamFamily::Mvm,
+                "layered" => StreamFamily::Layered,
+                other => return Err(usage(format!("unknown --family {other} (dwt|mvm|layered)"))),
+            };
+            let nodes: usize = opts.parse_num("--nodes", 1_000_000)?;
+            if nodes < 16 {
+                return Err(usage("--nodes must be at least 16"));
+            }
+            let fan_in: usize = opts.parse_num("--fan-in", 3)?;
+            if fan_in == 0 {
+                return Err(usage("--fan-in must be positive"));
+            }
+            Ok(Command::Stream {
+                family,
+                nodes,
+                seed: opts.parse_num("--seed", 7)?,
+                fan_in,
+                scheduler: resolve_scheduler(opts.get("--scheduler").unwrap_or("topo-window"))?,
+                budget: budget()?,
             })
         }
         "min-memory" => {
@@ -519,6 +590,40 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("valid names"));
+    }
+
+    #[test]
+    fn stream_parses_with_defaults_and_aliases() {
+        match parse(&argv("stream --budget 64w")).unwrap() {
+            Command::Stream {
+                family: StreamFamily::Layered,
+                nodes: 1_000_000,
+                seed: 7,
+                fan_in: 3,
+                scheduler: "topo-window",
+                budget: 1024,
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "stream --family dwt --nodes 100000 --scheduler slab --budget 4096",
+        ))
+        .unwrap()
+        {
+            Command::Stream {
+                family: StreamFamily::Dwt,
+                nodes: 100_000,
+                scheduler: "slab-partition",
+                budget: 4096,
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(resolve_scheduler("window").unwrap(), "topo-window");
+        assert!(parse(&argv("stream --family fft --budget 64w")).is_err());
+        assert!(parse(&argv("stream --nodes 4 --budget 64w")).is_err());
+        assert!(parse(&argv("stream --fan-in 0 --budget 64w")).is_err());
+        assert!(parse(&argv("stream")).is_err()); // budget is required
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! are thin declarations over the `pebblyn-engine` plans, sharing its
 //! process-wide memo.
 
-use crate::args::Command;
+use crate::args::{Command, StreamFamily};
 use crate::error::CliError;
 use pebblyn::prelude::*;
 use pebblyn::service::{serve_stream, serve_unix};
@@ -54,7 +54,46 @@ fn display_name(name: &str) -> &'static str {
         "conv-stream" => "sliding-window streaming",
         "banded-stream" => "banded streaming",
         "greedy-belady" => "Belady-eviction greedy",
+        "topo-window" => "streaming window (Belady eviction)",
+        "slab-partition" => "streaming slab partitioner",
         _ => "scheduler",
+    }
+}
+
+/// Build one synthetic giant CDAG of roughly `nodes` nodes (see
+/// `pebblyn_synth::giga`); structured families round down to their
+/// nearest admissible shape, never up, so `--nodes` is an upper bound
+/// on the structured part of the graph size.
+fn build_stream_graph(
+    family: StreamFamily,
+    nodes: usize,
+    seed: u64,
+    fan_in: usize,
+) -> pebblyn::core::Cdag {
+    use pebblyn::synth::{dwt_giga, layered_random_giga, mvm_giga};
+    match family {
+        StreamFamily::Dwt => {
+            // Full-depth pyramid: 3·inputs − 2 nodes for power-of-two inputs.
+            let target = nodes.div_ceil(3).max(4);
+            let inputs = if target.is_power_of_two() {
+                target
+            } else {
+                target.next_power_of_two() / 2
+            };
+            dwt_giga(inputs, inputs.trailing_zeros() as usize)
+        }
+        StreamFamily::Mvm => {
+            // cols·(rows + 1) nodes: a near-square accumulation grid.
+            let cols = (nodes as f64).sqrt() as usize;
+            let cols = cols.max(2);
+            let rows = (nodes / cols).saturating_sub(1).max(1);
+            mvm_giga(rows, cols)
+        }
+        StreamFamily::Layered => {
+            let width = ((nodes as f64).sqrt() as usize).max(fan_in).max(2);
+            let layers = (nodes / width).max(2);
+            layered_random_giga(layers, width, fan_in, seed)
+        }
     }
 }
 
@@ -120,6 +159,51 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 })?;
                 println!("schedule written to {path}");
             }
+            Ok(())
+        }
+        Command::Stream {
+            family,
+            nodes,
+            seed,
+            fan_in,
+            scheduler,
+            budget,
+        } => {
+            use std::time::Instant;
+            let t0 = Instant::now();
+            let cdag = build_stream_graph(family, nodes, seed, fan_in);
+            let (n, e) = (cdag.len(), cdag.edge_count());
+            let built = t0.elapsed();
+            let g = AnyGraph::custom(format!("{}-giga", family.name()), cdag);
+            let cdag = g.cdag();
+            println!(
+                "{}: {n} nodes / {e} edges (built in {:.2}s), budget {budget} bits",
+                g.name(),
+                built.as_secs_f64()
+            );
+            let sched = ensure_supported(&g, scheduler)?;
+            let t1 = Instant::now();
+            let schedule = sched
+                .schedule(&g, budget)
+                .map_err(|e| CliError::from_schedule_error(e, display_name(scheduler), budget))?;
+            let scheduled = t1.elapsed();
+            let stats = validate_schedule(cdag, budget, &schedule)?;
+            let lb = algorithmic_lower_bound(cdag);
+            println!("scheduler:   {}", display_name(scheduler));
+            println!(
+                "cost:        {} bits (lower bound {lb}, gap {:.4}x)",
+                stats.cost,
+                stats.cost as f64 / lb as f64
+            );
+            println!(
+                "peak red:    {} of {budget} bits · {} moves",
+                stats.peak_red_weight, stats.moves
+            );
+            println!(
+                "scheduled in {:.2}s ({:.0} ns/edge, single pass)",
+                scheduled.as_secs_f64(),
+                scheduled.as_secs_f64() * 1e9 / e as f64
+            );
             Ok(())
         }
         Command::MinMemory {

@@ -11,11 +11,14 @@
 //! asserting they are caught ([`mutants`], [`mutation_smoke`]).
 //!
 //! Entry points: [`run`] fuzzes the real registry, [`mutation_smoke`]
-//! fuzzes each mutant until caught.  The `conformance` binary wraps both:
+//! fuzzes each mutant until caught, and [`run_streaming`] certifies the
+//! streaming schedulers by invariants alone ([`streaming`]).  The
+//! `conformance` binary wraps all three:
 //!
 //! ```text
 //! cargo run -p pebblyn-conformance -- --seed 3 --cases 2000
 //! cargo run -p pebblyn-conformance -- --mutation-smoke
+//! cargo run -p pebblyn-conformance -- --streaming --cases 500
 //! ```
 
 #![forbid(unsafe_code)]
@@ -27,11 +30,13 @@ pub mod mutants;
 pub mod oracle;
 pub mod rng;
 pub mod shrink;
+pub mod streaming;
 
 pub use gen::{generate, CaseSpec, Family, TestCase};
 pub use oracle::{CaseOutcome, OracleConfig, Violation};
 pub use rng::SplitRng;
 pub use shrink::Shrunk;
+pub use streaming::{run_streaming, GapSample, StreamingReport};
 
 use pebblyn_core::{Cdag, Weight};
 use pebblyn_engine::par::par_map;

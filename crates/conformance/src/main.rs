@@ -9,7 +9,7 @@
 //! Exit codes: `0` clean, `1` violations found (or a mutant escaped),
 //! `2` usage error.
 
-use pebblyn_conformance::{mutation_smoke, run, Config};
+use pebblyn_conformance::{mutation_smoke, run, run_streaming, Config};
 use pebblyn_core::Heuristic;
 use pebblyn_telemetry as telemetry;
 use std::process::ExitCode;
@@ -26,6 +26,10 @@ OPTIONS:
                       mode, the per-mutant hunting budget (default 64)
   --mutation-smoke    inject known-bad schedulers and verify the oracle
                       catches every one (certifies the harness itself)
+  --streaming         run the STREAMING regime instead: certify the
+                      streaming schedulers by invariants alone (Prop. 2.3
+                      feasibility, replay-cost identity, Prop. 2.4 bound
+                      gap recorded) — no exact cross-check
   --max-states <N>    exact-solver state cap per probe (default 2000000)
   --heuristic <H>     exact A* lower bound: none | remaining-work |
                       forced-reload (default forced-reload)
@@ -43,6 +47,7 @@ struct Args {
     seed: u64,
     cases: Option<u64>,
     mutation_smoke: bool,
+    streaming: bool,
     max_states: usize,
     heuristic: Heuristic,
     dominance: bool,
@@ -56,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 3,
         cases: None,
         mutation_smoke: false,
+        streaming: false,
         max_states: 2_000_000,
         heuristic: Heuristic::default(),
         dominance: true,
@@ -97,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
             "--failure-out" => args.failure_out = Some(value("--failure-out")?),
             "--telemetry" => args.telemetry = Some(value("--telemetry")?),
             "--mutation-smoke" => args.mutation_smoke = true,
+            "--streaming" => args.streaming = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -142,8 +149,16 @@ fn main() -> ExitCode {
         }
     }
 
+    if args.mutation_smoke && args.streaming {
+        eprintln!("error: --mutation-smoke and --streaming are mutually exclusive\n");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
     if args.mutation_smoke {
         return smoke(&cfg);
+    }
+    if args.streaming {
+        return streaming(&cfg, args.telemetry.is_some(), args.failure_out.as_deref());
     }
 
     println!(
@@ -205,6 +220,43 @@ fn main() -> ExitCode {
         cfg.seed, cfg.cases
     );
     if let Some(path) = &args.failure_out {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("failing shrunk cases written to {path}");
+        }
+    }
+    ExitCode::FAILURE
+}
+
+fn streaming(cfg: &Config, telemetry_on: bool, failure_out: Option<&str>) -> ExitCode {
+    println!(
+        "conformance (STREAMING regime): seed {} · {} cases · invariant-only, bound gap recorded",
+        cfg.seed, cfg.cases
+    );
+    let report = run_streaming(cfg);
+    println!(
+        "checked {} cases / {} probes ({} feasible) · Prop. 2.4 gap: worst {:.4}x · mean {:.4}x",
+        report.cases, report.probes, report.feasible_probes, report.worst_gap, report.mean_gap
+    );
+    if telemetry_on {
+        telemetry::flush_run("conformance-streaming");
+    }
+    if report.is_clean() {
+        println!("OK: zero violations");
+        return ExitCode::SUCCESS;
+    }
+    let mut body = String::new();
+    for f in &report.failures {
+        body.push_str(&f.to_string());
+        body.push('\n');
+    }
+    println!("{} FAILING CASE(S):\n{body}", report.failures.len());
+    println!(
+        "reproduce with: cargo run --release -p pebblyn-conformance -- --streaming --seed {} --cases {}",
+        cfg.seed, cfg.cases
+    );
+    if let Some(path) = failure_out {
         if let Err(e) = std::fs::write(path, &body) {
             eprintln!("warning: could not write {path}: {e}");
         } else {

@@ -1,0 +1,395 @@
+//! The STREAMING conformance regime: invariant-only certification of the
+//! O(E) streaming schedulers, with the Proposition 2.4 bound gap recorded.
+//!
+//! The exhaustive oracle cross-checks every registered scheduler against
+//! the exact solver, but that relation is meaningless for schedulers built
+//! for graphs the exact solver will never touch.  This regime certifies
+//! the streaming pair (`topo-window`, `slab-partition`) by *invariants
+//! alone*, on the same four generator families and the same
+//! feasibility-aware budget probes as the full oracle:
+//!
+//! 1. **Feasibility (Prop. 2.3)** — below [`min_feasible_budget`] the
+//!    scheduler must decline with the game-level hint filled in; at or
+//!    above it, a streaming scheduler supports every CDAG and must
+//!    succeed.
+//! 2. **Replay-cost identity** — the emitted schedule replays cleanly
+//!    through [`validate_moves`] under the requested budget, and the
+//!    replayed cost equals the schedule's own cost claim.
+//! 3. **Bound gap (Prop. 2.4)** — the replayed cost sits at or above
+//!    [`algorithmic_lower_bound`]; the observed gap ratio is *recorded*
+//!    (not asserted) so the report quantifies how far the heuristics sit
+//!    from the information-theoretic floor.
+//!
+//! There is no exact cross-check and no randomness: every check is a pure
+//! function of `(graph, budget)`, which is what lets [`run_streaming`]
+//! hand failing cases to the same greedy shrinker the exact regime uses.
+
+use crate::gen::generate;
+use crate::oracle::{budget_probes, Violation};
+use crate::shrink;
+use crate::{Config, Failure};
+use pebblyn_core::{algorithmic_lower_bound, min_feasible_budget, validate_moves, Cdag, Weight};
+use pebblyn_engine::par::par_map;
+use pebblyn_graphs::AnyGraph;
+use pebblyn_schedulers::{by_name, ScheduleError, Scheduler};
+use pebblyn_telemetry as telemetry;
+
+/// The schedulers this regime certifies, resolved from the live registry
+/// so the regime and the CLI can never disagree about what "streaming"
+/// means.
+///
+/// # Panics
+///
+/// Panics if either streaming scheduler has been dropped from the
+/// registry — that is a wiring bug, not a conformance finding.
+pub fn streaming_schedulers() -> Vec<&'static dyn Scheduler> {
+    ["topo-window", "slab-partition"]
+        .into_iter()
+        .map(|n| by_name(n).unwrap_or_else(|| panic!("{n} missing from the registry")))
+        .collect()
+}
+
+/// One feasible probe's observed distance from the Prop. 2.4 floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapSample {
+    /// Replayed schedule cost (weighted I/O bits).
+    pub cost: Weight,
+    /// [`algorithmic_lower_bound`] of the probed graph.
+    pub lower_bound: Weight,
+}
+
+impl GapSample {
+    /// `cost / lower_bound` — `1.0` means the heuristic hit the floor.
+    ///
+    /// The lower bound is strictly positive on every valid CDAG (sources
+    /// and sinks have positive weights), so the ratio is always finite.
+    pub fn ratio(&self) -> f64 {
+        self.cost as f64 / self.lower_bound as f64
+    }
+}
+
+/// Aggregate report of one streaming-regime run.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingReport {
+    /// Cases checked.
+    pub cases: u64,
+    /// Total `(scheduler, budget)` probes across all cases.
+    pub probes: usize,
+    /// Probes at or above the Prop. 2.3 minimum (each contributes one
+    /// [`GapSample`] unless it failed).
+    pub feasible_probes: usize,
+    /// Largest observed `cost / lower_bound` ratio.
+    pub worst_gap: f64,
+    /// Mean observed `cost / lower_bound` ratio over feasible probes.
+    pub mean_gap: f64,
+    /// Failing cases, shrunk exactly like the exact regime's.
+    pub failures: Vec<Failure>,
+}
+
+impl StreamingReport {
+    /// `true` when no case violated any streaming invariant.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Check both streaming schedulers on one `(graph, budget)` probe.
+///
+/// Returns the recorded violations plus one [`GapSample`] per scheduler
+/// that produced a valid feasible schedule.  Pure — no RNG, no exact
+/// solver — so the shrinker can re-invoke it freely.
+pub fn check_streaming_graph_at(
+    g: &Cdag,
+    budget: Weight,
+    schedulers: &[&dyn Scheduler],
+) -> (Vec<Violation>, Vec<GapSample>) {
+    let minb = min_feasible_budget(g);
+    let lb = algorithmic_lower_bound(g);
+    let any = AnyGraph::custom("streaming", g.clone());
+    let mut violations = Vec::new();
+    let mut gaps = Vec::new();
+
+    for s in schedulers {
+        telemetry::incr(telemetry::Counter::Probes);
+        match s.schedule(&any, budget) {
+            Ok(schedule) => {
+                if budget < minb {
+                    violations.push(Violation {
+                        check: "phantom-feasibility",
+                        scheduler: s.name().to_string(),
+                        budget,
+                        detail: format!(
+                            "produced a schedule below the Prop. 2.3 minimum ({minb} bits)"
+                        ),
+                    });
+                    continue;
+                }
+                let stats = match validate_moves(g, budget, schedule.iter()) {
+                    Ok(stats) => stats,
+                    Err(e) => {
+                        violations.push(Violation {
+                            check: "invalid-schedule",
+                            scheduler: s.name().to_string(),
+                            budget,
+                            detail: format!("replay rejected: {e}"),
+                        });
+                        continue;
+                    }
+                };
+                let claimed = schedule.cost(g);
+                if stats.cost != claimed {
+                    violations.push(Violation {
+                        check: "cost-claim-mismatch",
+                        scheduler: s.name().to_string(),
+                        budget,
+                        detail: format!(
+                            "schedule claims cost {claimed}, replay measured {}",
+                            stats.cost
+                        ),
+                    });
+                    continue;
+                }
+                if stats.cost < lb {
+                    violations.push(Violation {
+                        check: "below-lower-bound",
+                        scheduler: s.name().to_string(),
+                        budget,
+                        detail: format!("cost {} < algorithmic lower bound {lb}", stats.cost),
+                    });
+                    continue;
+                }
+                gaps.push(GapSample {
+                    cost: stats.cost,
+                    lower_bound: lb,
+                });
+            }
+            Err(ScheduleError::InfeasibleBudget { min_feasible }) => {
+                if budget >= minb {
+                    violations.push(Violation {
+                        check: "streaming-infeasible",
+                        scheduler: s.name().to_string(),
+                        budget,
+                        detail: format!(
+                            "declined a feasible budget (Prop. 2.3 minimum is {minb} bits)"
+                        ),
+                    });
+                } else if min_feasible != Some(minb) {
+                    violations.push(Violation {
+                        check: "infeasible-hint-wrong",
+                        scheduler: s.name().to_string(),
+                        budget,
+                        detail: format!(
+                            "hint {min_feasible:?} disagrees with the Prop. 2.3 minimum {minb}"
+                        ),
+                    });
+                }
+            }
+            Err(e) => {
+                violations.push(Violation {
+                    check: "streaming-unsupported",
+                    scheduler: s.name().to_string(),
+                    budget,
+                    detail: format!("streaming schedulers support every CDAG, got: {e}"),
+                });
+            }
+        }
+    }
+    (violations, gaps)
+}
+
+/// Check one graph across the oracle's feasibility-aware budget probes.
+pub fn check_streaming_graph(
+    g: &Cdag,
+    schedulers: &[&dyn Scheduler],
+) -> (usize, Vec<Violation>, Vec<GapSample>) {
+    let mut probes = 0usize;
+    let mut violations = Vec::new();
+    let mut gaps = Vec::new();
+    for b in budget_probes(g) {
+        probes += schedulers.len();
+        let (v, mut g_samples) = check_streaming_graph_at(g, b, schedulers);
+        violations.extend(v);
+        gaps.append(&mut g_samples);
+    }
+    (probes, violations, gaps)
+}
+
+/// Run the STREAMING regime: generate `cfg.cases` cases from the same
+/// `(seed, index)` space as the exact regime and certify the streaming
+/// invariants on each, shrinking any failures.
+pub fn run_streaming(cfg: &Config) -> StreamingReport {
+    let schedulers = streaming_schedulers();
+    let indices: Vec<u64> = (0..cfg.cases).collect();
+    let outcomes = par_map(&indices, |&idx| {
+        let case = generate(cfg.seed, idx);
+        let minb = min_feasible_budget(&case.graph);
+        let feasible = budget_probes(&case.graph)
+            .into_iter()
+            .filter(|&b| b >= minb)
+            .count()
+            * schedulers.len();
+        let (probes, violations, gaps) = check_streaming_graph(&case.graph, &schedulers);
+        (case, probes, feasible, violations, gaps)
+    });
+
+    let mut report = StreamingReport {
+        cases: cfg.cases,
+        ..StreamingReport::default()
+    };
+    let mut gap_sum = 0.0f64;
+    let mut gap_count = 0usize;
+    for (case, probes, feasible, violations, gaps) in outcomes {
+        report.probes += probes;
+        report.feasible_probes += feasible;
+        for g in gaps {
+            let r = g.ratio();
+            report.worst_gap = report.worst_gap.max(r);
+            gap_sum += r;
+            gap_count += 1;
+        }
+        if !violations.is_empty() {
+            report
+                .failures
+                .push(shrink_streaming_failure(&case, violations, &schedulers));
+        }
+    }
+    if gap_count > 0 {
+        report.mean_gap = gap_sum / gap_count as f64;
+    }
+    report
+}
+
+/// Minimize one failing streaming case.
+///
+/// Mirrors the exact regime's `shrink_failure`: shrink `(graph, budget)`
+/// while the same named check keeps failing.  Streaming checks are pure
+/// per-budget invariants (there is no sweep-level relation like
+/// monotonicity), so every violation reproduces at its recorded budget
+/// and the shrinker may minimize the budget too.
+fn shrink_streaming_failure(
+    case: &crate::TestCase,
+    violations: Vec<Violation>,
+    schedulers: &[&dyn Scheduler],
+) -> Failure {
+    let first = violations[0].clone();
+    let check = first.check;
+
+    let shrunk = shrink::shrink(&case.graph, first.budget, |g, b| {
+        check_streaming_graph_at(g, b, schedulers)
+            .0
+            .iter()
+            .any(|v| v.check == check)
+    });
+
+    let shrunk_detail = check_streaming_graph_at(&shrunk.graph, shrunk.budget, schedulers)
+        .0
+        .into_iter()
+        .find(|v| v.check == check)
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| format!("[{check}] (reproduces only on the unshrunk case)"));
+
+    Failure {
+        spec: case.spec,
+        label: case.label(),
+        violations,
+        shrunk,
+        shrunk_detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::CdagBuilder;
+
+    fn small_cfg() -> Config {
+        Config {
+            seed: 3,
+            cases: 24,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn registry_streaming_pair_is_clean_on_a_small_run() {
+        let report = run_streaming(&small_cfg());
+        assert!(
+            report.is_clean(),
+            "violations: {:#?}",
+            report
+                .failures
+                .iter()
+                .map(|f| &f.violations)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.cases, 24);
+        assert!(report.feasible_probes > 0, "nothing was probed feasibly");
+        assert!(
+            report.worst_gap >= 1.0,
+            "gap ratios are cost/lb >= 1, got {}",
+            report.worst_gap
+        );
+        assert!(report.mean_gap >= 1.0 && report.mean_gap <= report.worst_gap);
+    }
+
+    #[test]
+    fn streaming_runs_are_deterministic() {
+        let a = run_streaming(&small_cfg());
+        let b = run_streaming(&small_cfg());
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.feasible_probes, b.feasible_probes);
+        assert_eq!(a.worst_gap, b.worst_gap);
+        assert_eq!(a.mean_gap, b.mean_gap);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    /// A broken streaming scheduler must be caught *and* shrunk: the
+    /// regime's net and the shrinker's recheck both work end-to-end.
+    #[test]
+    fn a_phantom_feasible_mutant_is_caught_and_shrunk() {
+        use crate::mutants;
+        let mutant = &mutants::all()[3]; // phantom-feasible: schedules below minb
+        let schedulers: Vec<&dyn Scheduler> = vec![mutant.as_ref()];
+        let cfg = small_cfg();
+        for idx in 0..cfg.cases {
+            let case = generate(cfg.seed, idx);
+            let (_, violations, _) = check_streaming_graph(&case.graph, &schedulers);
+            if violations.is_empty() {
+                continue;
+            }
+            let failure = shrink_streaming_failure(&case, violations, &schedulers);
+            assert!(!failure.shrunk_detail.is_empty());
+            assert!(failure.shrunk.graph.len() <= case.graph.len());
+            return;
+        }
+        panic!("no mutant violation found in {} cases", cfg.cases);
+    }
+
+    #[test]
+    fn gap_sample_ratio_is_cost_over_bound() {
+        let s = GapSample {
+            cost: 96,
+            lower_bound: 64,
+        };
+        assert!((s.ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_built_diamond_passes_every_probe() {
+        let mut b = CdagBuilder::new();
+        let a = b.node(16, "a");
+        let x = b.node(32, "x");
+        let y = b.node(32, "y");
+        let z = b.node(16, "z");
+        b.edge(a, x);
+        b.edge(a, y);
+        b.edge(x, z);
+        b.edge(y, z);
+        let g = b.build().unwrap();
+        let schedulers = streaming_schedulers();
+        let (probes, violations, gaps) = check_streaming_graph(&g, &schedulers);
+        assert!(violations.is_empty(), "{violations:#?}");
+        assert!(probes >= gaps.len());
+        assert!(gaps.iter().all(|s| s.ratio() >= 1.0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the streaming schedulers over the conformance
+//! generator's full case space — all four CDAG families (chains-of-bands,
+//! trees, layered DAGs, diamonds; see `gen`) at randomly drawn budgets,
+//! including the INVARIANT profile's larger graphs the exhaustive oracle
+//! never certifies.
+//!
+//! Two invariants per draw:
+//!
+//! 1. **Feasibility dichotomy (Prop. 2.3)** — below the game-level
+//!    minimum both schedulers decline with the correct hint; at or above
+//!    it both produce a schedule.
+//! 2. **Replay-cost identity** — every produced schedule replays cleanly
+//!    through the validator under the *requested* budget, and the
+//!    replayed cost equals the schedule's own cost claim and respects the
+//!    Prop. 2.4 lower bound.
+
+use pebblyn_conformance::generate;
+use pebblyn_conformance::streaming::streaming_schedulers;
+use pebblyn_core::{algorithmic_lower_bound, min_feasible_budget, validate_moves, Weight};
+use pebblyn_graphs::AnyGraph;
+use pebblyn_schedulers::ScheduleError;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streaming_schedules_are_valid_and_cost_honest(
+        seed in 0u64..4096,
+        index in 0u64..512,
+        budget_bump in 0u64..6,
+    ) {
+        let case = generate(seed, index);
+        let g = &case.graph;
+        let minb = min_feasible_budget(g);
+        let lb = algorithmic_lower_bound(g);
+        let step = g.weight_gcd().max(1);
+        // Random feasible budget: minimum plus a few weight-gcd steps.
+        let budget: Weight = minb + budget_bump * step;
+        let any = AnyGraph::custom("streaming-props", g.clone());
+
+        for s in streaming_schedulers() {
+            let sched = s.schedule(&any, budget).unwrap_or_else(|e| {
+                panic!("{}: {} declined feasible budget {budget}: {e}", case.label(), s.name())
+            });
+            let stats = validate_moves(g, budget, sched.iter()).unwrap_or_else(|e| {
+                panic!("{}: {} invalid at budget {budget}: {e}", case.label(), s.name())
+            });
+            prop_assert_eq!(
+                stats.cost, sched.cost(g),
+                "{}: {} replay cost disagrees with the schedule's claim",
+                case.label(), s.name()
+            );
+            prop_assert!(
+                stats.cost >= lb,
+                "{}: {} cost {} below the Prop. 2.4 bound {}",
+                case.label(), s.name(), stats.cost, lb
+            );
+            prop_assert!(
+                stats.peak_red_weight <= budget,
+                "{}: {} peak {} exceeds budget {}",
+                case.label(), s.name(), stats.peak_red_weight, budget
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_declines_below_the_minimum_with_the_right_hint(
+        seed in 0u64..4096,
+        index in 0u64..512,
+    ) {
+        let case = generate(seed, index);
+        let g = &case.graph;
+        let minb = min_feasible_budget(g);
+        prop_assume!(minb > 0);
+        let any = AnyGraph::custom("streaming-props", g.clone());
+
+        for s in streaming_schedulers() {
+            match s.schedule(&any, minb - 1) {
+                Err(ScheduleError::InfeasibleBudget { min_feasible }) => prop_assert_eq!(
+                    min_feasible, Some(minb),
+                    "{}: {} hint disagrees with Prop. 2.3",
+                    case.label(), s.name()
+                ),
+                Ok(_) => prop_assert!(
+                    false,
+                    "{}: {} scheduled below the Prop. 2.3 minimum {}",
+                    case.label(), s.name(), minb
+                ),
+                Err(e) => prop_assert!(
+                    false,
+                    "{}: {} wrong error below minimum: {e}",
+                    case.label(), s.name()
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Differential pin for the streaming heuristics: on graphs small enough
+//! to solve exhaustively (≤ 20 nodes), `topo-window` and `slab-partition`
+//! must cost **at least** the exact optimum at every budget in the
+//! feasibility-aware sweep — ties allowed, beating it never.
+//!
+//! The STREAMING conformance regime deliberately runs without an exact
+//! cross-check (its whole point is the million-node scale where no exact
+//! solve exists); this test is the compensating control at small scale.
+//! A streaming schedule *below* the exhaustive optimum would mean either
+//! an invalid schedule the validator missed or an unsound exact solver —
+//! both stop-the-line findings.
+
+use pebblyn_conformance::streaming::streaming_schedulers;
+use pebblyn_conformance::{generate, oracle::budget_probes, OracleConfig};
+use pebblyn_core::{min_feasible_budget, validate_moves};
+use pebblyn_graphs::AnyGraph;
+
+#[test]
+fn streaming_never_beats_exact_on_small_graphs() {
+    let schedulers = streaming_schedulers();
+    let solver = OracleConfig::default().solver();
+    let mut certified = 0usize;
+
+    for idx in 0..48u64 {
+        let case = generate(3, idx);
+        let g = &case.graph;
+        if g.len() > 20 {
+            continue;
+        }
+        let minb = min_feasible_budget(g);
+        let any = AnyGraph::custom("streaming-vs-exact", g.clone());
+
+        for b in budget_probes(g) {
+            // State-capped searches are skipped, never trusted.
+            let Ok(sol) = solver.solve(g, b) else {
+                continue;
+            };
+
+            for s in &schedulers {
+                match s.schedule(&any, b) {
+                    Ok(sched) => {
+                        let opt = sol.cost.unwrap_or_else(|| {
+                            panic!(
+                                "{}: {} scheduled at budget {b} where the exact game is infeasible",
+                                case.label(),
+                                s.name()
+                            )
+                        });
+                        let stats = validate_moves(g, b, sched.iter()).unwrap_or_else(|e| {
+                            panic!("{}: {} invalid at budget {b}: {e}", case.label(), s.name())
+                        });
+                        assert!(
+                            stats.cost >= opt,
+                            "{}: {} cost {} beats the exact optimum {opt} at budget {b}",
+                            case.label(),
+                            s.name(),
+                            stats.cost
+                        );
+                        certified += 1;
+                    }
+                    Err(_) => {
+                        // Streaming schedulers support every CDAG, so a
+                        // refusal is only legitimate below the Prop. 2.3
+                        // minimum — exactly where the game itself is
+                        // infeasible.
+                        assert!(
+                            b < minb,
+                            "{}: {} declined feasible budget {b} (minimum {minb})",
+                            case.label(),
+                            s.name()
+                        );
+                        assert!(
+                            sol.cost.is_none(),
+                            "{}: exact solved budget {b} below the Prop. 2.3 minimum {minb}",
+                            case.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(
+        certified >= 100,
+        "differential pin certified only {certified} probes — generator or sweep regressed"
+    );
+}

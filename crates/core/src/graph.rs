@@ -162,9 +162,13 @@ impl Cdag {
     }
 
     /// The human-readable name of a node (empty string when unnamed).
+    ///
+    /// Graphs built with [`Cdag::from_csr`] carry no name table at all, so
+    /// out-of-range lookups fall back to the empty string rather than
+    /// paying one heap `String` per node at million-node scale.
     #[inline]
     pub fn name(&self, v: NodeId) -> &str {
-        &self.names[v.index()]
+        self.names.get(v.index()).map_or("", String::as_str)
     }
 
     /// Greatest common divisor of all node weights.
@@ -303,6 +307,139 @@ impl Cdag {
     /// Maximum in-degree across all nodes (the `k` of a k-ary tree).
     pub fn max_in_degree(&self) -> usize {
         self.nodes().map(|v| self.in_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Build a [`Cdag`] directly from predecessor-CSR arrays, skipping the
+    /// per-edge bookkeeping of [`CdagBuilder`].
+    ///
+    /// `pred_off` must have `weights.len() + 1` entries with `pred_off[0] ==
+    /// 0`, non-decreasing offsets, and `pred_off[n] == pred_adj.len()`;
+    /// `preds(v)` is then `pred_adj[pred_off[v]..pred_off[v+1]]`.  Nodes are
+    /// unnamed ([`Cdag::name`] returns `""`).  This is the million-node
+    /// entry point: it allocates only the successor CSR and the topological
+    /// order on top of the caller's arrays, and duplicate detection uses an
+    /// O(V) stamp array instead of a hash set, so the whole construction is
+    /// O(V + E).
+    ///
+    /// # Errors
+    ///
+    /// The same structural invariants as [`CdagBuilder::build`]:
+    /// [`GraphError::Empty`], [`GraphError::ZeroWeight`],
+    /// [`GraphError::BadEdge`] (out-of-range endpoint or self-loop),
+    /// [`GraphError::DuplicateEdge`] (repeated predecessor of one node),
+    /// [`GraphError::Cycle`], and [`GraphError::SourceIsSink`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CSR arrays are malformed (wrong `pred_off` length,
+    /// non-zero first offset, decreasing offsets, or a final offset that
+    /// disagrees with `pred_adj.len()`) — those are caller bugs, not data
+    /// errors.
+    pub fn from_csr(
+        weights: Vec<Weight>,
+        pred_off: Vec<u32>,
+        pred_adj: Vec<NodeId>,
+    ) -> Result<Cdag, GraphError> {
+        let n = weights.len();
+        let m = pred_adj.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        assert_eq!(pred_off.len(), n + 1, "pred_off must have n + 1 entries");
+        assert_eq!(pred_off[0], 0, "pred_off must start at 0");
+        assert!(
+            pred_off.windows(2).all(|w| w[0] <= w[1]),
+            "pred_off must be non-decreasing"
+        );
+        assert_eq!(
+            pred_off[n] as usize, m,
+            "pred_off must end at pred_adj.len()"
+        );
+        if let Some(v) = weights.iter().position(|&w| w == 0) {
+            return Err(GraphError::ZeroWeight(NodeId(v as u32)));
+        }
+
+        // Endpoint / self-loop / duplicate checks with a stamp array: node v
+        // stamps each predecessor slot with v + 1, so a repeat within one
+        // node's slice is caught in O(1) without hashing.
+        let mut stamp = vec![0u32; n];
+        for v in 0..n {
+            let to = NodeId(v as u32);
+            for &p in &pred_adj[pred_off[v] as usize..pred_off[v + 1] as usize] {
+                if p.index() >= n || p == to {
+                    return Err(GraphError::BadEdge(p, to));
+                }
+                if stamp[p.index()] == v as u32 + 1 {
+                    return Err(GraphError::DuplicateEdge(p, to));
+                }
+                stamp[p.index()] = v as u32 + 1;
+            }
+        }
+
+        // Successor CSR by stable counting sort over the predecessor lists.
+        let mut succ_off = vec![0u32; n + 1];
+        for &p in &pred_adj {
+            succ_off[p.index() + 1] += 1;
+        }
+        for v in 0..n {
+            succ_off[v + 1] += succ_off[v];
+        }
+        let mut succ_adj = vec![NodeId(0); m];
+        let mut succ_cur: Vec<u32> = succ_off[..n].to_vec();
+        for v in 0..n {
+            for &p in &pred_adj[pred_off[v] as usize..pred_off[v + 1] as usize] {
+                succ_adj[succ_cur[p.index()] as usize] = NodeId(v as u32);
+                succ_cur[p.index()] += 1;
+            }
+        }
+
+        // Kahn's algorithm: topological sort + cycle detection.
+        let mut indeg: Vec<u32> = (0..n).map(|v| pred_off[v + 1] - pred_off[v]).collect();
+        let mut queue: std::collections::VecDeque<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|v| indeg[v.index()] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            topo.push(v);
+            for &u in &succ_adj[succ_off[v.index()] as usize..succ_off[v.index() + 1] as usize] {
+                indeg[u.index()] -= 1;
+                if indeg[u.index()] == 0 {
+                    queue.push_back(u);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(GraphError::Cycle);
+        }
+
+        let mut sources = Vec::new();
+        let mut sinks = Vec::new();
+        for v in 0..n {
+            let is_source = pred_off[v] == pred_off[v + 1];
+            let is_sink = succ_off[v] == succ_off[v + 1];
+            if is_source && is_sink {
+                return Err(GraphError::SourceIsSink(NodeId(v as u32)));
+            }
+            if is_source {
+                sources.push(NodeId(v as u32));
+            }
+            if is_sink {
+                sinks.push(NodeId(v as u32));
+            }
+        }
+
+        Ok(Cdag {
+            weights,
+            names: Vec::new(),
+            topo,
+            pred_off,
+            pred_adj,
+            succ_off,
+            succ_adj,
+            sources,
+            sinks,
+        })
     }
 
     /// Render the graph in Graphviz DOT format.
@@ -701,6 +838,60 @@ mod tests {
         assert_eq!(union.weakly_connected_components().len(), 3);
         assert_eq!(union.weight(NodeId(4)), 1);
         assert_eq!(union.preds(NodeId(5)), &[NodeId(4)]);
+    }
+
+    #[test]
+    fn from_csr_matches_builder() {
+        // Same diamond as `diamond()`, expressed as predecessor CSR.
+        let weights = vec![16, 16, 32, 32, 16];
+        let pred_off = vec![0, 0, 0, 2, 3, 5];
+        let pred_adj = vec![NodeId(0), NodeId(1), NodeId(1), NodeId(2), NodeId(3)];
+        let g = Cdag::from_csr(weights, pred_off, pred_adj).unwrap();
+        let b = diamond();
+        assert_eq!(g.len(), b.len());
+        assert_eq!(g.edge_count(), b.edge_count());
+        assert_eq!(g.sources(), b.sources());
+        assert_eq!(g.sinks(), b.sinks());
+        assert_eq!(g.topo_order(), b.topo_order());
+        for v in g.nodes() {
+            assert_eq!(g.preds(v), b.preds(v));
+            assert_eq!(g.succs(v), b.succs(v));
+            assert_eq!(g.name(v), ""); // no name table
+        }
+    }
+
+    #[test]
+    fn from_csr_rejects_structural_errors() {
+        let edge = |off: Vec<u32>, adj: Vec<NodeId>| Cdag::from_csr(vec![1, 1], off, adj);
+        assert!(matches!(
+            Cdag::from_csr(vec![], vec![0], vec![]),
+            Err(GraphError::Empty)
+        ));
+        assert!(matches!(
+            Cdag::from_csr(vec![1, 0], vec![0, 0, 1], vec![NodeId(0)]),
+            Err(GraphError::ZeroWeight(NodeId(1)))
+        ));
+        assert!(matches!(
+            edge(vec![0, 0, 1], vec![NodeId(7)]),
+            Err(GraphError::BadEdge(_, _))
+        ));
+        assert!(matches!(
+            edge(vec![0, 0, 1], vec![NodeId(1)]),
+            Err(GraphError::BadEdge(_, _)) // self-loop
+        ));
+        assert!(matches!(
+            edge(vec![0, 0, 2], vec![NodeId(0), NodeId(0)]),
+            Err(GraphError::DuplicateEdge(_, _))
+        ));
+        // 0 -> 1 and 1 -> 0 is a 2-cycle.
+        assert!(matches!(
+            edge(vec![0, 1, 2], vec![NodeId(1), NodeId(0)]),
+            Err(GraphError::Cycle)
+        ));
+        assert!(matches!(
+            Cdag::from_csr(vec![1, 1, 1], vec![0, 0, 1, 1], vec![NodeId(0)]),
+            Err(GraphError::SourceIsSink(NodeId(2)))
+        ));
     }
 
     #[test]

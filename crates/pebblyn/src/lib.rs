@@ -35,6 +35,9 @@
 //! * [`graphs`] — DWT / MVM / k-ary tree constructions,
 //! * [`schedulers`] — the paper's algorithms plus baselines,
 //! * [`exact`] — exhaustive optimal search for certification,
+//! * [`streaming`] — O(E) single-pass schedulers for the million-node
+//!   regime (topological-window Belady eviction, layered slab
+//!   partitioning), certified by the bound-gap conformance tier,
 //! * [`conformance`] — the differential fuzzing harness that certifies
 //!   every scheduler against [`exact`] on randomized CDAGs,
 //! * [`baselines`] — IOOpt-style analytic bounds,
@@ -64,6 +67,7 @@ pub use pebblyn_kernels as kernels;
 pub use pebblyn_machine as machine;
 pub use pebblyn_schedulers as schedulers;
 pub use pebblyn_service as service;
+pub use pebblyn_streaming as streaming;
 pub use pebblyn_synth as synth;
 pub use pebblyn_telemetry as telemetry;
 

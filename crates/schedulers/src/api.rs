@@ -451,6 +451,47 @@ impl Scheduler for GreedyBelady {
     }
 }
 
+/// Streaming topological-window greedy with Belady eviction
+/// (`pebblyn-streaming`): a single O(E) pass for graphs too large for the
+/// resident-graph schedulers, with next-use knowledge bounded by a
+/// lookahead window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopoWindow;
+
+impl Scheduler for TopoWindow {
+    fn name(&self) -> &str {
+        "topo-window"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
+        pebblyn_streaming::window_schedule(g.cdag(), budget)
+            .map(emit)
+            .ok_or_else(|| infeasible(g, budget))
+    }
+}
+
+/// Streaming layered slab partitioner with reload-aware cuts
+/// (`pebblyn-streaming`): slices the topological order into
+/// budget-feasible slabs and emits load/compute/store/flush phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlabPartition;
+
+impl Scheduler for SlabPartition {
+    fn name(&self) -> &str {
+        "slab-partition"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
+        pebblyn_streaming::slab_schedule(g.cdag(), budget)
+            .map(emit)
+            .ok_or_else(|| infeasible(g, budget))
+    }
+}
+
 /// Proposition 2.3 — the trivial topological-order schedule.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Naive;
@@ -476,6 +517,8 @@ impl sealed::Sealed for ConvStream {}
 impl sealed::Sealed for BandedStream {}
 impl sealed::Sealed for LayerByLayer {}
 impl sealed::Sealed for GreedyBelady {}
+impl sealed::Sealed for TopoWindow {}
+impl sealed::Sealed for SlabPartition {}
 impl sealed::Sealed for Naive {}
 
 /// Every scheduler in the crate, as trait objects.
@@ -487,6 +530,8 @@ pub static REGISTRY: &[&dyn Scheduler] = &[
     &BandedStream,
     &LayerByLayer,
     &GreedyBelady,
+    &TopoWindow,
+    &SlabPartition,
     &Naive,
 ];
 

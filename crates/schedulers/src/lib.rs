@@ -49,5 +49,5 @@ pub mod naive;
 pub mod parallel;
 pub mod stack;
 
-pub use api::{execute, execute_with, registry, ExecuteError, ScheduleError, Scheduler};
+pub use api::{by_name, execute, execute_with, registry, ExecuteError, ScheduleError, Scheduler};
 pub use min_memory::{min_memory, MinMemoryOptions};

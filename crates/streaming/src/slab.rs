@@ -1,0 +1,354 @@
+//! Layered slab partitioning with reload-aware boundary selection.
+//!
+//! The topological order is cut into contiguous **slabs** whose working set
+//! — slab members plus every external operand they consume — fits the
+//! weighted budget.  Each slab is then emitted as four phases: load all
+//! external inputs (blue by construction: sources, or values stored when an
+//! earlier slab's boundary was crossed), compute the members in topological
+//! order, store every value that crosses the boundary forward (plus dirty
+//! sinks), and delete the whole resident set.
+//!
+//! Greedy growth alone would always cut at the first position that
+//! overflows; that can land the boundary in the middle of a dense
+//! reconvergent region and force heavy store-and-reload traffic.  Instead,
+//! when growth stalls the partitioner looks back over the trailing
+//! [`SlabConfig::lookback`] admitted positions and commits the cut that
+//! minimizes the weight of values alive across it (the "New Tools for Peak
+//! Memory Scheduling" divide-and-conquer intuition, applied to a streaming
+//! single pass).  Each node is scanned at most `lookback + 2` times, so the
+//! partitioner stays O(lookback · V + E).
+
+use pebblyn_core::{min_feasible_budget, Cdag, Move, MoveStream, NodeId, Schedule, Weight};
+use pebblyn_telemetry::{self as telemetry, Counter};
+
+/// Default number of trailing cut candidates examined per boundary.
+pub const DEFAULT_LOOKBACK: usize = 8;
+
+/// Tuning knobs for [`slab_schedule_with`].
+#[derive(Debug, Clone)]
+pub struct SlabConfig {
+    /// How many trailing admitted positions compete for each cut; `1`
+    /// degenerates to plain greedy growth (always cut at the overflow).
+    pub lookback: usize,
+}
+
+impl Default for SlabConfig {
+    fn default() -> Self {
+        Self {
+            lookback: DEFAULT_LOOKBACK,
+        }
+    }
+}
+
+/// Counters reported alongside a schedule by [`slab_schedule_with`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlabStats {
+    /// Number of slabs emitted.
+    pub slabs: u64,
+    /// Boundaries committed between slabs (`slabs - 1`).
+    pub cuts: u64,
+    /// Load moves emitted.
+    pub loads: u64,
+    /// Store moves emitted.
+    pub stores: u64,
+    /// Peak resident red weight across all slabs, in bits.
+    pub peak_red: Weight,
+}
+
+/// Schedule `graph` under `budget` with the default lookback.
+///
+/// Returns `None` exactly when Prop 2.3 says no schedule exists
+/// (`budget < min_feasible_budget`).
+pub fn slab_schedule(graph: &Cdag, budget: Weight) -> Option<Schedule> {
+    slab_schedule_with(graph, budget, &SlabConfig::default()).map(|(s, _)| s)
+}
+
+/// Schedule `graph` under `budget` with explicit [`SlabConfig`], returning
+/// the schedule together with [`SlabStats`].
+pub fn slab_schedule_with(
+    graph: &Cdag,
+    budget: Weight,
+    cfg: &SlabConfig,
+) -> Option<(Schedule, SlabStats)> {
+    if budget < min_feasible_budget(graph) {
+        return None;
+    }
+    let lookback = cfg.lookback.max(1);
+    let n = graph.len();
+
+    // Compute order: non-source nodes in topological order.  Sources are
+    // never slab members; they enter as external inputs of whichever slabs
+    // consume them.
+    let order: Vec<NodeId> = graph
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|&v| !graph.is_source(v))
+        .collect();
+    let c = order.len();
+
+    // Last consumption position of each value in the compute order
+    // (u32::MAX when it is never consumed, i.e. a sink).  A forward sweep
+    // over the same predecessor lists pass 1 streams suffices: positions
+    // only increase, so the final write per operand is its last use — no
+    // reverse-adjacency pass needed.
+    let mut last_use = vec![u32::MAX; n];
+    for (t, &v) in order.iter().enumerate() {
+        for &p in graph.preds(v) {
+            last_use[p.index()] = t as u32;
+        }
+    }
+    let consumed_after = |u: NodeId, j: usize| -> bool {
+        let last = last_use[u.index()];
+        last != u32::MAX && last as usize > j
+    };
+
+    // -------- Pass 1: choose slab boundaries. --------
+    // Both passes touch per-node membership and a per-slab dedup stamp for
+    // every operand; packing them into one 8-byte record keeps that to a
+    // single scattered cache line per edge (the pass is miss-bound at a
+    // million nodes).  `slab` is the slab index of member v; `stamp` marks
+    // v as already counted toward one slab's external inputs — pass 1
+    // stamps with the slab index, pass 2 with `slabs + index`, so the one
+    // array serves both without clearing.
+    #[derive(Clone, Copy)]
+    struct SlabRec {
+        slab: u32,
+        stamp: u32,
+    }
+    let mut rec = vec![
+        SlabRec {
+            slab: u32::MAX,
+            stamp: u32::MAX
+        };
+        n
+    ];
+    let mut bounds: Vec<usize> = Vec::new(); // exclusive end of each slab
+    let mut start = 0usize;
+    let mut slab_idx = 0u32;
+    let mut stats = SlabStats::default();
+
+    while start < c {
+        let mut slab_w: Weight = 0;
+        let mut in_w: Weight = 0;
+        let mut i = start;
+        while i < c {
+            let v = order[i];
+            let mut extra: Weight = 0;
+            for &p in graph.preds(v) {
+                let r = rec[p.index()];
+                if r.slab != slab_idx && r.stamp != slab_idx {
+                    extra += graph.weight(p);
+                }
+            }
+            if slab_w + in_w + graph.weight(v) + extra > budget {
+                break;
+            }
+            rec[v.index()].slab = slab_idx;
+            slab_w += graph.weight(v);
+            for &p in graph.preds(v) {
+                let r = &mut rec[p.index()];
+                if r.slab != slab_idx && r.stamp != slab_idx {
+                    r.stamp = slab_idx;
+                    in_w += graph.weight(p);
+                }
+            }
+            i += 1;
+        }
+        debug_assert!(i > start, "budget >= min_feasible admits any single node");
+
+        let end = if i == c {
+            c // final slab: no boundary to pick
+        } else {
+            // Reload-aware cut: among the trailing `lookback` admitted
+            // positions, commit the boundary with the least crossing
+            // weight (members alive past it); ties prefer the later cut.
+            let lo = (i - start).min(lookback); // candidates: i-lo ..= i-1
+            let mut best_j = i - 1;
+            let mut best_w = Weight::MAX;
+            for j in (i - lo..i).rev() {
+                let crossing: Weight = order[start..=j]
+                    .iter()
+                    .filter(|&&u| consumed_after(u, j))
+                    .map(|&u| graph.weight(u))
+                    .sum();
+                if crossing < best_w {
+                    best_w = crossing;
+                    best_j = j;
+                }
+            }
+            // Defer everything after the committed cut to the next slab.
+            for &v in &order[best_j + 1..i] {
+                rec[v.index()].slab = u32::MAX;
+            }
+            stats.cuts += 1;
+            best_j + 1
+        };
+        bounds.push(end);
+        stats.slabs += 1;
+        start = end;
+        slab_idx += 1;
+    }
+
+    // -------- Pass 2: emit the phases. --------
+    // Straight into the struct-of-arrays stream, reserved at the provable
+    // upper bound (computes + stores ≤ 2·members, loads ≤ edges, deletes =
+    // loads + computes) so the columns never regrow mid-pass.
+    let mut moves = MoveStream::with_capacity(3 * c + 2 * graph.edge_count());
+    // Pass-2 dedup stamps live above every pass-1 stamp value.
+    let stamp_base = bounds.len() as u32;
+    let mut inputs: Vec<NodeId> = Vec::new();
+    let mut start = 0usize;
+    let mut computes = 0u64;
+    for (s, &end) in bounds.iter().enumerate() {
+        let s = s as u32;
+        let mut resident: Weight = 0;
+        // Load external inputs (deduped per slab).
+        inputs.clear();
+        for &v in &order[start..end] {
+            for &p in graph.preds(v) {
+                let r = &mut rec[p.index()];
+                if r.slab != s && r.stamp != stamp_base + s {
+                    r.stamp = stamp_base + s;
+                    inputs.push(p);
+                    moves.push(Move::Load(p));
+                    resident += graph.weight(p);
+                    stats.loads += 1;
+                }
+            }
+        }
+        // Compute members in topological order.
+        for &v in &order[start..end] {
+            moves.push(Move::Compute(v));
+            resident += graph.weight(v);
+            computes += 1;
+        }
+        debug_assert!(resident <= budget, "slab working set exceeds budget");
+        stats.peak_red = stats.peak_red.max(resident);
+        // Store values crossing the boundary forward, and sinks.
+        for &v in &order[start..end] {
+            if last_use[v.index()] == u32::MAX || last_use[v.index()] as usize >= end {
+                moves.push(Move::Store(v));
+                stats.stores += 1;
+            }
+        }
+        // Flush the resident set.
+        for &p in &inputs {
+            moves.push(Move::Delete(p));
+        }
+        for &v in &order[start..end] {
+            moves.push(Move::Delete(v));
+        }
+        start = end;
+    }
+
+    telemetry::add(Counter::StreamNodes, computes);
+    telemetry::add(Counter::SlabCuts, stats.cuts);
+    Some((Schedule::from_stream(moves), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::{validate_schedule, CdagBuilder};
+
+    fn chain(len: usize) -> Cdag {
+        let mut b = CdagBuilder::new();
+        let mut prev = b.node(8, "s");
+        for i in 1..len {
+            let v = b.node(8, format!("c{i}"));
+            b.edge(prev, v);
+            prev = v;
+        }
+        b.build().unwrap()
+    }
+
+    fn diamond() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let a = b.node(16, "a");
+        let bb = b.node(16, "b");
+        let c = b.node(32, "c");
+        let d = b.node(32, "d");
+        let e = b.node(16, "e");
+        b.edge(a, c);
+        b.edge(bb, c);
+        b.edge(bb, d);
+        b.edge(c, e);
+        b.edge(d, e);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let g = diamond();
+        let minb = min_feasible_budget(&g);
+        assert!(slab_schedule(&g, minb - 1).is_none());
+        assert!(slab_schedule(&g, minb).is_some());
+    }
+
+    #[test]
+    fn schedules_validate_across_budgets() {
+        for g in [diamond(), chain(64)] {
+            let minb = min_feasible_budget(&g);
+            for budget in [minb, minb + 16, g.total_weight()] {
+                let (s, stats) = slab_schedule_with(&g, budget, &SlabConfig::default()).unwrap();
+                let check = validate_schedule(&g, budget, &s).expect("valid");
+                assert_eq!(check.cost, s.cost(&g));
+                assert!(check.peak_red_weight <= budget);
+                assert_eq!(check.peak_red_weight, stats.peak_red);
+            }
+        }
+    }
+
+    #[test]
+    fn tight_budget_cuts_a_chain_into_many_slabs() {
+        let g = chain(64);
+        let minb = min_feasible_budget(&g); // 16: one node + one operand
+        let (_, stats) = slab_schedule_with(&g, minb, &SlabConfig::default()).unwrap();
+        assert!(stats.slabs > 1, "tight budget must partition");
+        assert_eq!(stats.cuts, stats.slabs - 1);
+    }
+
+    #[test]
+    fn ample_budget_is_one_slab() {
+        let g = diamond();
+        let (s, stats) = slab_schedule_with(&g, g.total_weight(), &SlabConfig::default()).unwrap();
+        assert_eq!(stats.slabs, 1);
+        assert_eq!(stats.cuts, 0);
+        validate_schedule(&g, g.total_weight(), &s).expect("valid");
+    }
+
+    #[test]
+    fn lookback_never_hurts_boundary_weight() {
+        // With lookback 1 the cut lands wherever growth stalls; wider
+        // lookback may only reduce total I/O on this reconvergent shape.
+        let mut b = CdagBuilder::new();
+        let mut heads = Vec::new();
+        for i in 0..6 {
+            let x = b.node(8, format!("x{i}"));
+            let m = b.node(8, format!("m{i}"));
+            b.edge(x, m);
+            heads.push(m);
+        }
+        let mut prev: Option<pebblyn_core::NodeId> = None;
+        for (i, &m) in heads.iter().enumerate() {
+            let r = b.node(8, format!("r{i}"));
+            b.edge(m, r);
+            if let Some(p) = prev {
+                b.edge(p, r);
+            }
+            prev = Some(r);
+        }
+        let g = b.build().unwrap();
+        let minb = min_feasible_budget(&g);
+        let greedy = slab_schedule_with(&g, minb + 8, &SlabConfig { lookback: 1 })
+            .unwrap()
+            .0
+            .cost(&g);
+        let aware = slab_schedule_with(&g, minb + 8, &SlabConfig::default())
+            .unwrap()
+            .0
+            .cost(&g);
+        assert!(aware <= greedy, "lookback {aware} vs greedy {greedy}");
+    }
+}

@@ -1,0 +1,293 @@
+//! Million-node CDAG generators that materialize predecessor CSR directly.
+//!
+//! The regular [`pebblyn_core::CdagBuilder`] path keeps a `(from, to)` edge
+//! list plus a hash set for duplicate detection — fine at thousands of
+//! nodes, wasteful at millions.  These generators emit nodes in
+//! topological id order and append each node's predecessors straight into
+//! the CSR arrays consumed by [`Cdag::from_csr`], so peak memory is the
+//! graph itself and construction is a strict O(V + E) pass.
+//!
+//! All three families are deterministic: the random family is driven by a
+//! SplitMix64 stream seeded by the caller, and the structured families use
+//! no randomness at all.  Same parameters + same seed ⇒ byte-identical
+//! CSR (pinned by the generator-determinism test).
+
+use pebblyn_core::{Cdag, NodeId, Weight};
+
+/// Word size of input coefficients in bits (matches the paper's 16-bit
+/// DWT/MVM inputs).
+const INPUT_BITS: Weight = 16;
+/// Word size of computed values in bits (32-bit accumulators).
+const ACC_BITS: Weight = 32;
+
+/// SplitMix64 (Steele et al.): the same generator the conformance harness
+/// seeds its cases with, reproduced here so `pebblyn-synth` stays free of
+/// the conformance crate.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..bound` (Lemire-free modulo is fine here: the
+    /// bound is tiny next to 2^64, so the bias is negligible and, more
+    /// importantly, deterministic).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Streaming builder over the raw CSR arrays: push one node at a time with
+/// its (already deduplicated, in-range) predecessors.
+struct CsrSink {
+    weights: Vec<Weight>,
+    pred_off: Vec<u32>,
+    pred_adj: Vec<NodeId>,
+}
+
+impl CsrSink {
+    fn with_capacity(nodes: usize, edges: usize) -> Self {
+        let mut pred_off = Vec::with_capacity(nodes + 1);
+        pred_off.push(0);
+        Self {
+            weights: Vec::with_capacity(nodes),
+            pred_off,
+            pred_adj: Vec::with_capacity(edges),
+        }
+    }
+
+    fn node(&mut self, weight: Weight, preds: &[NodeId]) -> NodeId {
+        let id = NodeId(self.weights.len() as u32);
+        self.weights.push(weight);
+        self.pred_adj.extend_from_slice(preds);
+        self.pred_off.push(self.pred_adj.len() as u32);
+        id
+    }
+
+    fn finish(self) -> Cdag {
+        Cdag::from_csr(self.weights, self.pred_off, self.pred_adj)
+            .expect("generator emits structurally valid CSR")
+    }
+}
+
+/// A 1-D discrete wavelet transform pyramid.
+///
+/// Level 0 holds `inputs` source coefficients (16-bit); each of `levels`
+/// analysis levels maps the previous approximation band of length `m` to
+/// `m / 2` approximation and `m / 2` detail coefficients (32-bit), each
+/// consuming one even/odd input pair.  Detail bands and the final
+/// approximation band are the sinks.  Node count is
+/// `inputs · (1 + 2·(1 − 2⁻ˡᵉᵛᵉˡˢ))` ≈ 3·`inputs`; every non-source node
+/// has exactly 2 predecessors.
+///
+/// # Panics
+///
+/// Panics unless `inputs` is a power of two ≥ 2 and
+/// `1 ≤ levels ≤ log2(inputs)`.
+pub fn dwt_giga(inputs: usize, levels: usize) -> Cdag {
+    assert!(
+        inputs >= 2 && inputs.is_power_of_two(),
+        "inputs must be a power of two >= 2"
+    );
+    assert!(
+        levels >= 1 && (1usize << levels) <= inputs,
+        "levels must satisfy 2^levels <= inputs"
+    );
+    let edges = 2 * (2 * inputs - inputs.checked_shr(levels as u32 - 1).unwrap_or(0));
+    let nodes = inputs + edges / 2;
+    let mut sink = CsrSink::with_capacity(nodes, edges);
+
+    let mut band: Vec<NodeId> = (0..inputs).map(|_| sink.node(INPUT_BITS, &[])).collect();
+    for _ in 0..levels {
+        let half = band.len() / 2;
+        let mut next = Vec::with_capacity(half);
+        for i in 0..half {
+            let pair = [band[2 * i], band[2 * i + 1]];
+            next.push(sink.node(ACC_BITS, &pair)); // approximation
+            sink.node(ACC_BITS, &pair); // detail (sink)
+        }
+        band = next;
+    }
+    sink.finish()
+}
+
+/// A matrix-vector multiply as `rows` partial-accumulation chains.
+///
+/// `cols` source vector entries (16-bit) feed every row; row `i` is the
+/// chain `p[i][j] = p[i][j-1] + A[i][j] · x[j]` of 32-bit partials, so
+/// node `(i, j)` depends on `x[j]` and, for `j > 0`, on `(i, j-1)`.  The
+/// last partial of each row is a sink.  `rows · cols + cols` nodes,
+/// `2·rows·cols − rows` edges.
+///
+/// # Panics
+///
+/// Panics when `rows` or `cols` is zero.
+pub fn mvm_giga(rows: usize, cols: usize) -> Cdag {
+    assert!(rows > 0 && cols > 0, "rows and cols must be positive");
+    let nodes = cols + rows * cols;
+    let edges = 2 * rows * cols - rows;
+    let mut sink = CsrSink::with_capacity(nodes, edges);
+
+    let x: Vec<NodeId> = (0..cols).map(|_| sink.node(INPUT_BITS, &[])).collect();
+    for _ in 0..rows {
+        let mut prev = sink.node(ACC_BITS, &[x[0]]);
+        for &xj in &x[1..] {
+            prev = sink.node(ACC_BITS, &[xj, prev]);
+        }
+    }
+    sink.finish()
+}
+
+/// A seeded layered-random DAG: `layers` layers of `width` nodes; layer 0
+/// is the 16-bit sources, and each deeper node draws up to `fan_in`
+/// distinct predecessors uniformly from the previous layer (weights cycle
+/// through 16/32/48/64 bits pseudo-randomly).  Sources left unconsumed by
+/// layer 1 are patched onto layer-1 nodes so no node is simultaneously
+/// source and sink; deeper unconsumed nodes simply become extra sinks.
+///
+/// # Panics
+///
+/// Panics unless `layers ≥ 2`, `width ≥ 1`, and `1 ≤ fan_in ≤ width`.
+pub fn layered_random_giga(layers: usize, width: usize, fan_in: usize, seed: u64) -> Cdag {
+    assert!(layers >= 2, "need at least sources plus one compute layer");
+    assert!(width >= 1, "width must be positive");
+    assert!((1..=width).contains(&fan_in), "fan_in must be in 1..=width");
+    let nodes = layers * width;
+    let mut sink = CsrSink::with_capacity(nodes, nodes * fan_in);
+    let mut rng = SplitMix64::new(seed);
+
+    let mut prev: Vec<NodeId> = (0..width).map(|_| sink.node(INPUT_BITS, &[])).collect();
+    let mut preds: Vec<NodeId> = Vec::with_capacity(fan_in + width);
+    // Per-node predecessor choices of the whole next layer, staged so the
+    // layer-1 patch-up can run before anything is committed to the CSR.
+    let mut staged: Vec<Vec<NodeId>> = Vec::with_capacity(width);
+    let mut used = vec![false; width];
+
+    for layer in 1..layers {
+        staged.clear();
+        used.iter_mut().for_each(|u| *u = false);
+        for _ in 0..width {
+            let k = 1 + rng.below(fan_in as u64) as usize;
+            preds.clear();
+            for _ in 0..k {
+                let cand = prev[rng.below(width as u64) as usize];
+                if !preds.contains(&cand) {
+                    preds.push(cand);
+                }
+            }
+            for &p in &preds {
+                used[p.index() % width] = true;
+            }
+            staged.push(preds.clone());
+        }
+        if layer == 1 {
+            // Patch unconsumed sources onto layer-1 nodes round-robin so no
+            // source is also a sink (the model forbids isolated values).
+            let mut slot = 0usize;
+            for (i, &u) in used.iter().enumerate() {
+                if !u {
+                    let orphan = prev[i];
+                    while staged[slot % width].contains(&orphan) {
+                        slot += 1;
+                    }
+                    staged[slot % width].push(orphan);
+                    slot += 1;
+                }
+            }
+        }
+        prev = staged
+            .iter()
+            .map(|preds| {
+                let w = INPUT_BITS * (1 + rng.below(4));
+                sink.node(w, preds)
+            })
+            .collect();
+    }
+    sink.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::min_feasible_budget;
+
+    #[test]
+    fn dwt_shape_and_counts() {
+        let g = dwt_giga(16, 4);
+        // 16 sources + (8+8) + (4+4) + (2+2) + (1+1) = 46 nodes.
+        assert_eq!(g.len(), 46);
+        assert_eq!(g.sources().len(), 16);
+        // Details at each level + final approximation: 8+4+2+1 + 1 = 16.
+        assert_eq!(g.sinks().len(), 16);
+        assert_eq!(g.edge_count(), 2 * (46 - 16));
+        assert!(g
+            .nodes()
+            .all(|v| g.in_degree(v) == 0 || g.in_degree(v) == 2));
+        assert!(min_feasible_budget(&g) <= 3 * ACC_BITS);
+    }
+
+    #[test]
+    fn mvm_shape_and_counts() {
+        let g = mvm_giga(3, 5);
+        assert_eq!(g.len(), 5 + 15);
+        assert_eq!(g.sources().len(), 5);
+        assert_eq!(g.sinks().len(), 3);
+        assert_eq!(g.edge_count(), 2 * 15 - 3);
+    }
+
+    #[test]
+    fn layered_random_is_structurally_sound() {
+        let g = layered_random_giga(8, 32, 3, 0xfeed);
+        assert_eq!(g.len(), 8 * 32);
+        assert_eq!(g.sources().len(), 32);
+        assert!(!g.sinks().is_empty());
+        // Every source is consumed (the patch-up worked) because from_csr
+        // would have rejected a SourceIsSink otherwise; spot-check anyway.
+        assert!(g.sources().iter().all(|&s| g.out_degree(s) > 0));
+    }
+
+    #[test]
+    fn same_seed_same_graph_different_seed_different_graph() {
+        let a = layered_random_giga(6, 16, 2, 7);
+        let b = layered_random_giga(6, 16, 2, 7);
+        let c = layered_random_giga(6, 16, 2, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    /// The benchmark ladder's largest graphs must be bit-stable across
+    /// builds: two constructions from the same parameters are `==` (node
+    /// weights, CSR layout, topo order — `Cdag` derives full equality).
+    /// Runs the million-node shapes under optimization; debug builds use
+    /// a 10x smaller ladder so `cargo test` stays quick.
+    #[test]
+    fn giga_generators_are_deterministic_at_scale() {
+        let scale = if cfg!(debug_assertions) { 10 } else { 1 };
+        let (layers, width) = (1000 / scale, 1000);
+        let a = layered_random_giga(layers, width, 3, 7);
+        let b = layered_random_giga(layers, width, 3, 7);
+        assert_eq!(a.len(), layers * width);
+        assert_eq!(a, b);
+
+        let rows = 1_000_000 / scale / 1000 - 1;
+        let m1 = mvm_giga(rows, 1000);
+        let m2 = mvm_giga(rows, 1000);
+        assert_eq!(m1.len(), 1000 + rows * 1000);
+        assert_eq!(m1, m2);
+
+        let inputs = 262_144 / scale.next_power_of_two();
+        let d1 = dwt_giga(inputs, inputs.trailing_zeros() as usize);
+        let d2 = dwt_giga(inputs, inputs.trailing_zeros() as usize);
+        assert_eq!(d1, d2);
+    }
+}

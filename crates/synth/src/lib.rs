@@ -22,11 +22,20 @@
 //! ~24 mW, read/write power up to ~40 mW, ~45 GB/s); EXPERIMENTS.md records
 //! measured-vs-paper numbers for every configuration.
 
+//!
+//! Since the streaming-scheduler work the crate has a second personality:
+//! [`giga`] generates **million-node CDAGs** (DWT pyramids, MVM
+//! accumulation grids, seeded layered-random DAGs) directly in predecessor
+//! CSR form, feeding `Cdag::from_csr` without any intermediate edge list —
+//! the input side of the `results/bench_streaming.json` scaling curve.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod giga;
 pub mod layout;
 pub mod sram;
 
+pub use giga::{dwt_giga, layered_random_giga, mvm_giga};
 pub use layout::Floorplan;
 pub use sram::{round_pow2, NvmParams, Process, SramConfig, SramMacro};

@@ -81,10 +81,18 @@ pub enum Counter {
     ServiceCacheMisses,
     /// Service requests shed because the bounded queue was full.
     ServiceShed,
+    /// Residents evicted by the streaming topological-window scheduler's
+    /// Belady (furthest-next-use) policy.
+    WindowEvictions,
+    /// Slab boundaries committed by the streaming layered partitioner.
+    SlabCuts,
+    /// Nodes scheduled by the streaming schedulers (one increment per
+    /// computed node, across both streaming strategies).
+    StreamNodes,
 }
 
 /// All counters, in declaration (and output) order.
-pub const COUNTERS: [Counter; 20] = [
+pub const COUNTERS: [Counter; 23] = [
     Counter::StatesExpanded,
     Counter::StatesGenerated,
     Counter::DominancePruned,
@@ -105,6 +113,9 @@ pub const COUNTERS: [Counter; 20] = [
     Counter::ServiceCacheHits,
     Counter::ServiceCacheMisses,
     Counter::ServiceShed,
+    Counter::WindowEvictions,
+    Counter::SlabCuts,
+    Counter::StreamNodes,
 ];
 
 impl Counter {
@@ -131,6 +142,9 @@ impl Counter {
             Counter::ServiceCacheHits => "service_cache_hits",
             Counter::ServiceCacheMisses => "service_cache_misses",
             Counter::ServiceShed => "service_shed",
+            Counter::WindowEvictions => "window_evictions",
+            Counter::SlabCuts => "slab_cuts",
+            Counter::StreamNodes => "stream_nodes",
         }
     }
 }
@@ -152,16 +166,20 @@ pub enum Gauge {
     /// Widest state mask (in 64-bit words) any exact search in this run
     /// monomorphized to: 1 = the u64 fast path, 2+ = `Words<N>`.
     MaskWords,
+    /// Peak resident red weight (in bits) observed by the streaming
+    /// topological-window scheduler.
+    WindowPeak,
 }
 
 /// All gauges, in declaration (and output) order.
-pub const GAUGES: [Gauge; 6] = [
+pub const GAUGES: [Gauge; 7] = [
     Gauge::FrontierPeak,
     Gauge::DominanceEntriesPeak,
     Gauge::QueueDepthPeak,
     Gauge::ServiceQueueDepthPeak,
     Gauge::ServiceLatencyPeakNs,
     Gauge::MaskWords,
+    Gauge::WindowPeak,
 ];
 
 impl Gauge {
@@ -174,6 +192,7 @@ impl Gauge {
             Gauge::ServiceQueueDepthPeak => "service_queue_depth_peak",
             Gauge::ServiceLatencyPeakNs => "service_latency_peak_ns",
             Gauge::MaskWords => "mask_words",
+            Gauge::WindowPeak => "window_peak",
         }
     }
 }
