@@ -40,7 +40,7 @@ fn exact_solve_and_memo_feed_the_in_memory_sink() {
         telemetry::counter(telemetry::Counter::StatesGenerated),
         sol.stats.generated as u64
     );
-    assert!(telemetry::gauge(telemetry::Gauge::FrontierPeak) > 0);
+    assert!(telemetry::gauge(telemetry::Gauge::OpenListPeak) > 0);
 
     // A second solve accumulates (counters are process totals per run).
     let mesh = reconvergent_mesh16();
@@ -71,7 +71,7 @@ fn exact_solve_and_memo_feed_the_in_memory_sink() {
         Some((sol.stats.expanded + sol2.stats.expanded) as u64)
     );
     assert!(snapshot.counter("memo_hits").unwrap() >= 1);
-    assert!(snapshot.gauge("frontier_peak").unwrap() > 0);
+    assert!(snapshot.gauge("open_list_peak").unwrap() > 0);
     drop(recorded);
 
     telemetry::disable();

@@ -64,11 +64,14 @@ SERVE OPTIONS:
   --no-cache               disable the canonicalizing schedule cache
 
 EXACT OPTIONS:
-  --heuristic none|remaining-work|forced-reload
-                           A* guiding lower bound [default forced-reload]
+  --heuristic none|remaining-work|forced-reload|landmark-pdb
+                           A* guiding lower bound [default landmark-pdb]
   --no-dominance           disable dominance pruning
   --no-tighten             search the raw four-move game (no macro moves)
-  --no-symmetry            disable twin-orbit symmetry reduction
+  --no-symmetry            disable symmetry reduction (twin + WL orbits)
+  --wl-symmetry on|off     WL-orbit lever on top of twin symmetry
+                           [default on; conflicts with --no-symmetry]
+  --no-partial-expansion   materialize every successor (no PEA* deferral)
   --max-states <N>         expanded-state cap [default 5000000]
 
 OTHER OPTIONS:
@@ -180,6 +183,8 @@ pub enum Command {
         dominance: bool,
         tighten: bool,
         symmetry: bool,
+        wl_symmetry: bool,
+        partial_expansion: bool,
         max_states: usize,
     },
     /// Synthesize an SRAM macro.
@@ -423,9 +428,22 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 None => Heuristic::default(),
                 Some(s) => Heuristic::parse(s).ok_or_else(|| {
                     usage(format!(
-                        "unknown --heuristic {s} (none|remaining-work|forced-reload)"
+                        "unknown --heuristic {s} (none|remaining-work|forced-reload|landmark-pdb)"
                     ))
                 })?,
+            };
+            let symmetry = !opts.flag("--no-symmetry");
+            let wl_symmetry = match opts.get("--wl-symmetry") {
+                None => symmetry,
+                Some("on") if !symmetry => {
+                    return Err(usage(
+                        "--wl-symmetry on conflicts with --no-symmetry (the WL lever \
+                         extends twin symmetry; it cannot run without it)",
+                    ))
+                }
+                Some("on") => true,
+                Some("off") => false,
+                Some(s) => return Err(usage(format!("unknown --wl-symmetry {s} (on|off)"))),
             };
             Ok(Command::Exact {
                 workload: w,
@@ -434,7 +452,9 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 heuristic,
                 dominance: !opts.flag("--no-dominance"),
                 tighten: !opts.flag("--no-tighten"),
-                symmetry: !opts.flag("--no-symmetry"),
+                symmetry,
+                wl_symmetry,
+                partial_expansion: !opts.flag("--no-partial-expansion"),
                 max_states: opts.parse_num("--max-states", 5_000_000)?,
             })
         }

@@ -261,6 +261,8 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             dominance,
             tighten,
             symmetry,
+            wl_symmetry,
+            partial_expansion,
             max_states,
         } => {
             let g = AnyGraph::build(workload, scheme)?;
@@ -269,14 +271,19 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 .with_heuristic(heuristic)
                 .with_dominance(dominance)
                 .with_tighten(tighten)
-                .with_symmetry(symmetry);
+                .with_symmetry(symmetry)
+                .with_wl_symmetry(wl_symmetry)
+                .with_partial_expansion(partial_expansion);
             println!("{} under {scheme}, budget {budget} bits", g.name());
             println!(
-                "solver:      A* · heuristic {} · dominance {} · macro moves {} · symmetry {}",
+                "solver:      A* · heuristic {} · dominance {} · macro moves {} · symmetry {} \
+                 · wl orbits {} · partial expansion {}",
                 heuristic.name(),
                 if dominance { "on" } else { "off" },
                 if tighten { "on" } else { "off" },
                 if symmetry { "on" } else { "off" },
+                if symmetry && wl_symmetry { "on" } else { "off" },
+                if partial_expansion { "on" } else { "off" },
             );
             let sol = solver.solve(cdag, budget)?;
             let st = sol.stats;
@@ -293,8 +300,8 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 st.root_bound
             );
             println!(
-                "expanded:    {} states over {} batches ({} generated)",
-                st.expanded, st.batches, st.generated
+                "expanded:    {} states over {} batches ({} generated, {} re-expansions)",
+                st.expanded, st.batches, st.generated, st.re_expanded
             );
             println!(
                 "pruned:      {} dominated · {} re-reached · {} orbit-merged \

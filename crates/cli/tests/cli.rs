@@ -462,7 +462,10 @@ fn exact_solves_small_dwt_optimally() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("optimum:     256 bits"), "{stdout}");
     assert!(stdout.contains("expanded:"), "{stdout}");
-    assert!(stdout.contains("heuristic forced-reload"), "{stdout}");
+    assert!(stdout.contains("re-expansions"), "{stdout}");
+    assert!(stdout.contains("heuristic landmark-pdb"), "{stdout}");
+    assert!(stdout.contains("wl orbits on"), "{stdout}");
+    assert!(stdout.contains("partial expansion on"), "{stdout}");
 }
 
 #[test]
@@ -532,6 +535,83 @@ fn exact_no_symmetry_flag_reports_but_keeps_the_optimum() {
     let (ok, stdout, _) = pebblyn(&off);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("symmetry off"), "{stdout}");
+    // --no-symmetry also suspends the WL lever (it rides on twin symmetry).
+    assert!(stdout.contains("wl orbits off"), "{stdout}");
+    assert!(stdout.contains("optimum:     256 bits"), "{stdout}");
+}
+
+#[test]
+fn exact_new_lever_ablations_keep_the_optimum() {
+    let base = [
+        "exact",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "200",
+    ];
+    for (extra, banner) in [
+        (
+            vec!["--no-partial-expansion"],
+            vec!["partial expansion off"],
+        ),
+        (vec!["--wl-symmetry", "off"], vec!["wl orbits off"]),
+        (
+            vec!["--heuristic", "forced-reload"],
+            vec!["heuristic forced-reload"],
+        ),
+        (
+            vec!["--heuristic", "landmark-pdb", "--no-partial-expansion"],
+            vec!["heuristic landmark-pdb", "partial expansion off"],
+        ),
+    ] {
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend(&extra);
+        let (ok, stdout, _) = pebblyn(&argv);
+        assert!(ok, "{extra:?}: {stdout}");
+        assert!(
+            stdout.contains("optimum:     256 bits"),
+            "{extra:?}: {stdout}"
+        );
+        for b in banner {
+            assert!(stdout.contains(b), "{extra:?}: {stdout}");
+        }
+    }
+}
+
+#[test]
+fn exact_wl_symmetry_conflicts_are_usage_errors() {
+    let base = [
+        "exact",
+        "--workload",
+        "dwt",
+        "--n",
+        "8",
+        "--d",
+        "3",
+        "--budget",
+        "200",
+    ];
+    // Asking for the WL lever while turning symmetry off is contradictory.
+    let mut conflict: Vec<&str> = base.to_vec();
+    conflict.extend(["--wl-symmetry", "on", "--no-symmetry"]);
+    let (code, stderr) = pebblyn_code(&conflict);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--wl-symmetry on conflicts"), "{stderr}");
+    // A bogus value is a usage error too.
+    let mut bad: Vec<&str> = base.to_vec();
+    bad.extend(["--wl-symmetry", "maybe"]);
+    let (code, stderr) = pebblyn_code(&bad);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("unknown --wl-symmetry"), "{stderr}");
+    // Explicitly off together with --no-symmetry is redundant but coherent.
+    let mut off: Vec<&str> = base.to_vec();
+    off.extend(["--wl-symmetry", "off", "--no-symmetry"]);
+    let (ok, stdout, _) = pebblyn(&off);
+    assert!(ok, "{stdout}");
     assert!(stdout.contains("optimum:     256 bits"), "{stdout}");
 }
 

@@ -112,20 +112,22 @@ pub struct SizeProfile {
 ///
 /// The ceiling has moved with the solver: plain Dijkstra was practical to
 /// 12 nodes, the bound-guided A\* (dominance pruning + macro moves) raised
-/// it to 16, and twin-orbit symmetry reduction on the mask-generic search
-/// raises it to 20 under the same 5M-state cap and CI wall-clock guard.
+/// it to 16, twin-orbit symmetry reduction on the mask-generic search to
+/// 20, and the landmark/PDB lower-bound tier plus certified WL-orbit
+/// generators and partial expansion raise it to 24 under the same 5M-state
+/// cap and CI wall-clock guard.
 pub const EXHAUSTIVE: SizeProfile = SizeProfile {
     min_nodes: 3,
-    max_nodes: 20,
+    max_nodes: 24,
     max_weight: 3,
 };
 
-/// Larger graphs checked in invariant-only mode.  The 40-node ceiling
+/// Larger graphs checked in invariant-only mode.  The 44-node ceiling
 /// exercises the relation lattice well past the exhaustible band while
 /// staying far under the 256-node `Words<4>` mask limit.
 pub const INVARIANT: SizeProfile = SizeProfile {
-    min_nodes: 21,
-    max_nodes: 40,
+    min_nodes: 25,
+    max_nodes: 44,
     max_weight: 8,
 };
 

@@ -32,10 +32,15 @@ OPTIONS:
                       gap recorded) — no exact cross-check
   --max-states <N>    exact-solver state cap per probe (default 2000000)
   --heuristic <H>     exact A* lower bound: none | remaining-work |
-                      forced-reload (default forced-reload)
+                      forced-reload | landmark-pdb (default landmark-pdb)
   --no-dominance      disable the exact solver's dominance pruning
-  --no-symmetry       disable the exact solver's twin-orbit symmetry
-                      reduction
+  --no-symmetry       disable the exact solver's symmetry reduction
+                      (twin + WL orbits)
+  --wl-symmetry <V>   on | off: the WL-orbit lever on top of twin
+                      symmetry (default on; on conflicts with
+                      --no-symmetry)
+  --no-partial-expansion
+                      materialize every successor (disable PEA*)
   --failure-out <F>   also write failing shrunk cases to this file
   --telemetry <F>     record run counters to this JSONL file (schema
                       pebblyn-telemetry/v1) and cross-check the report's
@@ -52,6 +57,8 @@ struct Args {
     heuristic: Heuristic,
     dominance: bool,
     symmetry: bool,
+    wl_symmetry: Option<bool>,
+    partial_expansion: bool,
     failure_out: Option<String>,
     telemetry: Option<String>,
 }
@@ -66,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
         heuristic: Heuristic::default(),
         dominance: true,
         symmetry: true,
+        wl_symmetry: None,
+        partial_expansion: true,
         failure_out: None,
         telemetry: None,
     };
@@ -94,12 +103,21 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--heuristic")?;
                 args.heuristic = Heuristic::parse(&v).ok_or_else(|| {
                     format!(
-                        "bad --heuristic: {v:?} (expected none | remaining-work | forced-reload)"
+                        "bad --heuristic: {v:?} (expected none | remaining-work | \
+                         forced-reload | landmark-pdb)"
                     )
                 })?;
             }
             "--no-dominance" => args.dominance = false,
             "--no-symmetry" => args.symmetry = false,
+            "--wl-symmetry" => {
+                args.wl_symmetry = Some(match value("--wl-symmetry")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad --wl-symmetry: {other:?} (on|off)")),
+                });
+            }
+            "--no-partial-expansion" => args.partial_expansion = false,
             "--failure-out" => args.failure_out = Some(value("--failure-out")?),
             "--telemetry" => args.telemetry = Some(value("--telemetry")?),
             "--mutation-smoke" => args.mutation_smoke = true,
@@ -123,6 +141,14 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.wl_symmetry == Some(true) && !args.symmetry {
+        eprintln!(
+            "error: --wl-symmetry on conflicts with --no-symmetry \
+             (the WL lever extends twin symmetry)\n"
+        );
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
     let mut cfg = Config {
         seed: args.seed,
         cases: args
@@ -135,7 +161,9 @@ fn main() -> ExitCode {
         .with_max_states(args.max_states)
         .with_heuristic(args.heuristic)
         .with_dominance(args.dominance)
-        .with_symmetry(args.symmetry);
+        .with_symmetry(args.symmetry)
+        .with_wl_symmetry(args.wl_symmetry.unwrap_or(args.symmetry))
+        .with_partial_expansion(args.partial_expansion);
 
     if let Some(path) = &args.telemetry {
         telemetry::enable();
@@ -162,7 +190,7 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "conformance: seed {} · {} cases · exact state cap {} · heuristic {}{}{}",
+        "conformance: seed {} · {} cases · exact state cap {} · heuristic {}{}{}{}{}",
         cfg.seed,
         cfg.cases,
         cfg.oracle.max_states(),
@@ -176,6 +204,16 @@ fn main() -> ExitCode {
             ""
         } else {
             " · symmetry off"
+        },
+        if cfg.oracle.symmetry() && cfg.oracle.wl_symmetry() {
+            ""
+        } else {
+            " · wl orbits off"
+        },
+        if cfg.oracle.partial_expansion() {
+            ""
+        } else {
+            " · partial expansion off"
         }
     );
     let report = run(&cfg);

@@ -74,6 +74,10 @@ pub struct OracleConfig {
     dominance: bool,
     /// Enable twin-orbit symmetry reduction (for ablations).
     symmetry: bool,
+    /// Enable the WL-orbit lever on top of twin symmetry (for ablations).
+    wl_symmetry: bool,
+    /// Enable partial expansion — PEA* deferral (for ablations).
+    partial_expansion: bool,
     /// Cross-check every schedule on the executable machine with real
     /// values (validates outputs against a reference evaluation).
     machine_replay: bool,
@@ -90,6 +94,8 @@ impl Default for OracleConfig {
             heuristic: Heuristic::default(),
             dominance: true,
             symmetry: true,
+            wl_symmetry: true,
+            partial_expansion: true,
             machine_replay: true,
             metamorphic: true,
         }
@@ -103,6 +109,8 @@ impl OracleConfig {
             .with_heuristic(self.heuristic)
             .with_dominance(self.dominance)
             .with_symmetry(self.symmetry)
+            .with_wl_symmetry(self.wl_symmetry)
+            .with_partial_expansion(self.partial_expansion)
     }
 
     /// Only run the exact solver on graphs with at most `n` nodes.
@@ -132,6 +140,18 @@ impl OracleConfig {
     /// Enable or disable twin-orbit symmetry reduction.
     pub fn with_symmetry(mut self, on: bool) -> Self {
         self.symmetry = on;
+        self
+    }
+
+    /// Enable or disable the WL-orbit lever (inert without `symmetry`).
+    pub fn with_wl_symmetry(mut self, on: bool) -> Self {
+        self.wl_symmetry = on;
+        self
+    }
+
+    /// Enable or disable partial expansion (PEA*).
+    pub fn with_partial_expansion(mut self, on: bool) -> Self {
+        self.partial_expansion = on;
         self
     }
 
@@ -165,6 +185,16 @@ impl OracleConfig {
     /// Whether twin-orbit symmetry reduction is enabled.
     pub fn symmetry(&self) -> bool {
         self.symmetry
+    }
+
+    /// Whether the WL-orbit lever is enabled.
+    pub fn wl_symmetry(&self) -> bool {
+        self.wl_symmetry
+    }
+
+    /// Whether partial expansion is enabled.
+    pub fn partial_expansion(&self) -> bool {
+        self.partial_expansion
     }
 
     /// The configured exhaustive-regime node ceiling.

@@ -161,14 +161,15 @@ pub fn shrink(graph: &Cdag, budget: Weight, still_fails: impl Fn(&Cdag, Weight) 
             }
         }
 
-        // 3. Reduce weights: straight to 1, else halve.
+        // 3. Reduce weights: straight to 1, else halve, else a unit step
+        //    (halving alone strands odd weights — 3/2 is already 1).
         for v in 0..g.len() {
             let v = NodeId(v as u32);
             let w = g.weight(v);
             if w <= 1 {
                 continue;
             }
-            for cand in [1, w / 2] {
+            for cand in [1, w / 2, w - 1] {
                 if cand == 0 || cand >= w {
                     continue;
                 }

@@ -41,7 +41,10 @@ proptest! {
 
     #[test]
     fn pruning_levers_are_independent(seed in 0u64..512, index in 0u64..128) {
-        // Each lever alone must also preserve the optimum (ablation grid).
+        // Each lever alone must also preserve the optimum (ablation grid):
+        // heuristic tier × symmetry mode × partial expansion, single-axis
+        // ablations plus the pairwise combinations of the new levers.
+        use pebblyn_core::Heuristic;
         let case = generate(seed, index);
         let g = &case.graph;
         prop_assume!(g.len() <= 8);
@@ -51,7 +54,22 @@ proptest! {
             ExactSolver::default().with_dominance(false),
             ExactSolver::default().with_tighten(false),
             ExactSolver::default().with_symmetry(false),
-            ExactSolver::default().with_heuristic(pebblyn_core::Heuristic::RemainingWork),
+            ExactSolver::default().with_heuristic(Heuristic::RemainingWork),
+            ExactSolver::default().with_heuristic(Heuristic::ForcedReload),
+            // New levers, each alone off (everything else at defaults)…
+            ExactSolver::default().with_wl_symmetry(false),
+            ExactSolver::default().with_partial_expansion(false),
+            // …and crossed with the heuristic tiers.
+            ExactSolver::default()
+                .with_heuristic(Heuristic::ForcedReload)
+                .with_partial_expansion(false),
+            ExactSolver::default()
+                .with_heuristic(Heuristic::RemainingWork)
+                .with_wl_symmetry(false)
+                .with_partial_expansion(false),
+            ExactSolver::default()
+                .with_symmetry(false)
+                .with_partial_expansion(false),
         ];
         for b in budget_probes(g) {
             let want = reference.min_cost(g, b).unwrap();

@@ -5,14 +5,18 @@
 //! The per-state bounds generalize Prop. 2.4 from the initial position to an
 //! arbitrary mid-game snapshot `(red, blue)`: the *remaining-work* bound
 //! restricts the loads/stores it counts to not-yet-blue sinks and
-//! never-loaded sources that provably still have to move, and the
+//! never-loaded sources that provably still have to move, the
 //! *forced-reload* bound additionally charges for the cheapest chain of
-//! loads that can restore an evicted-but-still-needed value.  Both are
-//! admissible (never exceed the true remaining optimal cost), which is what
-//! lets the exact solver run A\* instead of uniform-cost Dijkstra.
+//! loads that can restore an evicted-but-still-needed value, and the
+//! *landmark-pdb* tier strengthens forced-reload further with cut-based
+//! landmark reload charges and an abstraction pattern database (see
+//! [`StateBounds::with_budget`]).  All are admissible (never exceed the true
+//! remaining optimal cost), which is what lets the exact solver run A\*
+//! instead of uniform-cost Dijkstra.
 
 use crate::graph::{Cdag, NodeId, Weight};
 use crate::mask::{mask_iter, mask_weight, StateMask};
+use std::cell::RefCell;
 
 /// The algorithmic lower bound of Proposition 2.4:
 ///
@@ -68,17 +72,26 @@ pub enum Heuristic {
     /// bound: when a needed interior value has been evicted, the cheapest way
     /// back to red is a chain of loads, and the best such chain is still a
     /// valid lower bound.
-    #[default]
     ForcedReload,
+    /// [`Heuristic::ForcedReload`] strengthened twice over, and the default:
+    /// budget-cut *landmarks* charge the reloads a tight pivot provably
+    /// forces, and a small abstraction *pattern database* prices the moves a
+    /// chosen node subset still owes exactly.  Needs the budget at
+    /// construction ([`StateBounds::with_budget`]); a [`StateBounds::new`]
+    /// context evaluates this tier as plain forced-reload.
+    #[default]
+    LandmarkPdb,
 }
 
 impl Heuristic {
-    /// Stable CLI names, matching `--heuristic {none,remaining-work,forced-reload}`.
+    /// Stable CLI names, matching
+    /// `--heuristic {none,remaining-work,forced-reload,landmark-pdb}`.
     pub fn name(self) -> &'static str {
         match self {
             Heuristic::None => "none",
             Heuristic::RemainingWork => "remaining-work",
             Heuristic::ForcedReload => "forced-reload",
+            Heuristic::LandmarkPdb => "landmark-pdb",
         }
     }
 
@@ -88,6 +101,7 @@ impl Heuristic {
             "none" => Some(Heuristic::None),
             "remaining-work" => Some(Heuristic::RemainingWork),
             "forced-reload" => Some(Heuristic::ForcedReload),
+            "landmark-pdb" => Some(Heuristic::LandmarkPdb),
             _ => None,
         }
     }
@@ -96,6 +110,55 @@ impl Heuristic {
 /// Fold a node list into a mask of any [`StateMask`] width.
 pub fn nodes_to_mask<M: StateMask>(nodes: &[NodeId]) -> M {
     nodes.iter().fold(M::empty(), |m, v| m.set(v.index()))
+}
+
+/// At most this many budget-cut landmarks are retained per instance; the
+/// per-state evaluation re-checks each retained pivot, so the cap bounds the
+/// landmark term's cost at a handful of mask closures.
+const LANDMARK_CAP: usize = 4;
+
+/// Pattern-database projection width: `4^PDB_CAP` abstract states bound the
+/// per-instance build (reverse Dijkstra over at most 4096 states), which
+/// keeps construction cheap enough for the conformance sweep's thousands of
+/// per-probe solver calls.
+const PDB_CAP: usize = 6;
+
+/// A retained budget-cut landmark: computing `pivot` pins its closed
+/// neighborhood `N(z) = {z} ∪ preds(z)` red simultaneously, so any source
+/// consumed both before and after that moment and too heavy for the
+/// leftover budget must be reloaded afterwards.
+#[derive(Debug, Clone)]
+struct Landmark<M: StateMask> {
+    pivot: u32,
+    /// `N(z)`: the pivot plus its predecessors.
+    group_mask: M,
+    /// Red weight the budget has left beside `N(z)`:
+    /// `budget − (w(z) + Σ w(preds(z)))`, saturating.
+    free: Weight,
+}
+
+/// Abstraction pattern database over a fixed node subset `P`: the table maps
+/// the blue-set projection `blue ∩ P` to the cheapest abstract completion
+/// cost, where the abstract game keeps only `P`'s nodes, relaxes every
+/// out-of-`P` dependency, and retains the real weighted budget.
+#[derive(Debug, Clone)]
+struct Pdb<M: StateMask> {
+    /// Pattern members in ascending node order; bit `i` of a table key is
+    /// `nodes[i]`'s blue status.
+    nodes: Vec<u32>,
+    /// Cheapest abstract completion cost per blue projection (`2^|P|` keys).
+    table: Vec<Weight>,
+    /// Sinks outside the pattern (their stores are disjoint from `P` moves).
+    out_sink_mask: M,
+    /// Sources outside the pattern (their loads are disjoint from `P` moves).
+    out_source_mask: M,
+}
+
+thread_local! {
+    /// Scratch for the forced-reload DP so the per-state evaluation never
+    /// allocates.  Entries are only valid for cone members written during the
+    /// current call; red members are written explicitly (0) for that reason.
+    static MK_SCRATCH: RefCell<Vec<Weight>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Precomputed context for evaluating admissible lower bounds on packed
@@ -110,16 +173,34 @@ pub fn nodes_to_mask<M: StateMask>(nodes: &[NodeId]) -> M {
 pub struct StateBounds<M: StateMask = u64> {
     weights: Vec<Weight>,
     pred_masks: Vec<M>,
+    succ_masks: Vec<M>,
+    /// Ancestors-or-self per node: the cone of nodes whose status can change
+    /// the forced-reload DP value at this node.
+    anc_masks: Vec<M>,
+    /// Forced-reload DP values at the all-empty state (`red = blue = ∅`) —
+    /// the pointwise maximum over every state, exact whenever no cone member
+    /// is red or blue-interior.
+    root_mk: Vec<Weight>,
     topo: Vec<NodeId>,
     source_mask: M,
     sink_mask: M,
     load_scale: Weight,
     store_scale: Weight,
+    /// Budget-cut landmarks; empty unless built by
+    /// [`StateBounds::with_budget`].
+    landmarks: Vec<Landmark<M>>,
+    /// Pattern database; `None` unless built by [`StateBounds::with_budget`].
+    pdb: Option<Pdb<M>>,
 }
 
 impl<M: StateMask> StateBounds<M> {
     /// Build the bound context for `graph` with per-bit I/O costs
     /// (`load_scale` per loaded bit, `store_scale` per stored bit).
+    ///
+    /// The budget-dependent [`Heuristic::LandmarkPdb`] extras are *not*
+    /// built — that tier evaluates as [`Heuristic::ForcedReload`] on this
+    /// context.  Use [`StateBounds::with_budget`] when the search budget is
+    /// known.
     ///
     /// # Panics
     ///
@@ -132,19 +213,71 @@ impl<M: StateMask> StateBounds<M> {
             "per-state bounds support at most {} nodes at this mask width (got {n})",
             M::BITS
         );
-        let weights = (0..n).map(|v| graph.weight(NodeId(v as u32))).collect();
-        let pred_masks = (0..n)
+        let weights: Vec<Weight> = (0..n).map(|v| graph.weight(NodeId(v as u32))).collect();
+        let pred_masks: Vec<M> = (0..n)
             .map(|v| nodes_to_mask(graph.preds(NodeId(v as u32))))
             .collect();
+        let succ_masks: Vec<M> = (0..n)
+            .map(|v| nodes_to_mask(graph.succs(NodeId(v as u32))))
+            .collect();
+        let topo = graph.topo_order().to_vec();
+        let source_mask: M = nodes_to_mask(graph.sources());
+        let load_scale_ = load_scale;
+
+        // Ancestor cones and the all-empty-state DP values, both in one
+        // topological pass: anc(v) = {v} ∪ ⋃_p anc(p), and root_mk is the
+        // forced-reload recurrence with nothing red and nothing blue (its
+        // pointwise maximum over all states).
+        let mut anc_masks = vec![M::empty(); n];
+        let mut root_mk = vec![0 as Weight; n];
+        for &v in &topo {
+            let i = v.index();
+            let mut anc = M::bit(i);
+            let mut via_preds = 0;
+            for p in mask_iter(pred_masks[i]) {
+                anc = anc | anc_masks[p.index()];
+                via_preds = via_preds.max(root_mk[p.index()]);
+            }
+            anc_masks[i] = anc;
+            root_mk[i] = if source_mask.get(i) {
+                load_scale_ * weights[i]
+            } else {
+                via_preds
+            };
+        }
+
         StateBounds {
             weights,
             pred_masks,
-            topo: graph.topo_order().to_vec(),
-            source_mask: nodes_to_mask(graph.sources()),
+            succ_masks,
+            anc_masks,
+            root_mk,
+            topo,
+            source_mask,
             sink_mask: nodes_to_mask(graph.sinks()),
             load_scale,
             store_scale,
+            landmarks: Vec::new(),
+            pdb: None,
         }
+    }
+
+    /// Build the bound context *and* the budget-dependent
+    /// [`Heuristic::LandmarkPdb`] extras: budget-cut landmarks (retained by
+    /// their root-state charge, at most [`LANDMARK_CAP`]) and the abstraction
+    /// pattern database (reverse Dijkstra over at most `4^PDB_CAP` abstract
+    /// states).  Construction is deterministic — ties break on node index —
+    /// and happens once per instance.
+    pub fn with_budget(
+        graph: &Cdag,
+        load_scale: Weight,
+        store_scale: Weight,
+        budget: Weight,
+    ) -> Self {
+        let mut sb = Self::new(graph, load_scale, store_scale);
+        sb.landmarks = sb.build_landmarks(budget);
+        sb.pdb = sb.build_pdb(budget);
+        sb
     }
 
     /// The "must still become red" closure `R*` of a state.
@@ -188,8 +321,7 @@ impl<M: StateMask> StateBounds<M> {
             + self.load_scale * mask_weight(need & self.source_mask, &self.weights)
     }
 
-    /// The forced-reload bound: [`StateBounds::store_bound`] plus the larger
-    /// of the source-load term and the best forced-reload chain.
+    /// The forced-reload chain term `max_{u ∈ R*} mk(u)`.
     ///
     /// For each node `u`, `mk(u)` lower-bounds the load cost any schedule
     /// pays before `u` can next be red: zero if `u` is red; `load·w_u` if `u`
@@ -197,11 +329,80 @@ impl<M: StateMask> StateBounds<M> {
     /// needs every predecessor red, which costs at least `max_p mk(p)` (max,
     /// not sum — predecessor chains may share ancestors), and a blue interior
     /// node may instead be reloaded directly for `load·w_u`, so `mk` takes
-    /// the cheaper route.  The chain term is `max_{u ∈ R*} mk(u)`; it counts
-    /// load events only, which may coincide with the source-load term's, so
-    /// the two are combined with `max`, while store events are disjoint from
-    /// both and add.
+    /// the cheaper route.
+    ///
+    /// The DP is hoisted: `mk` differs from the precomputed all-empty-state
+    /// values only where a red or blue-interior node sits in a needed node's
+    /// ancestor cone, so the common case is a pure masked fold over
+    /// `root_mk` and the general case re-runs the recurrence on cone members
+    /// only, in thread-local scratch (no allocation either way).
+    fn reload_chain(&self, red: M, blue: M, need: M) -> Weight {
+        if need.is_empty() {
+            return 0;
+        }
+        let mut cone = M::empty();
+        for u in mask_iter(need) {
+            cone = cone | self.anc_masks[u.index()];
+        }
+        // Nodes whose status discounts the recurrence below its root value:
+        // red anywhere, or blue off-source (the direct-reload shortcut).
+        let dirty = (red | (blue & !self.source_mask)) & cone;
+        if dirty.is_empty() {
+            return mask_iter(need)
+                .map(|u| self.root_mk[u.index()])
+                .max()
+                .unwrap_or(0);
+        }
+        MK_SCRATCH.with(|scratch| {
+            let mut mk = scratch.borrow_mut();
+            if mk.len() < self.weights.len() {
+                mk.resize(self.weights.len(), 0);
+            }
+            for &v in &self.topo {
+                let i = v.index();
+                if !cone.get(i) {
+                    continue;
+                }
+                if red.get(i) {
+                    mk[i] = 0;
+                    continue;
+                }
+                let direct = self.load_scale * self.weights[i];
+                if self.source_mask.get(i) {
+                    mk[i] = direct;
+                    continue;
+                }
+                let via_preds = mask_iter(self.pred_masks[i])
+                    .map(|p| mk[p.index()])
+                    .max()
+                    .unwrap_or(0);
+                mk[i] = if blue.get(i) {
+                    direct.min(via_preds)
+                } else {
+                    via_preds
+                };
+            }
+            mask_iter(need).map(|u| mk[u.index()]).max().unwrap_or(0)
+        })
+    }
+
+    /// The forced-reload bound: [`StateBounds::store_bound`] plus the larger
+    /// of the source-load term and the best forced-reload chain.  The chain
+    /// term counts load events only, which may coincide with the source-load
+    /// term's, so the two are combined with `max`, while store events are
+    /// disjoint from both and add.
     pub fn forced_reload(&self, red: M, blue: M) -> Weight {
+        let need = self.needed_mask(red, blue);
+        let load_term = self.load_scale * mask_weight(need & self.source_mask, &self.weights);
+        let chain = self.reload_chain(red, blue, need);
+        self.store_bound(blue) + load_term.max(chain)
+    }
+
+    /// The pre-hoist forced-reload evaluation (fresh full-width DP per call).
+    /// Kept for the equivalence proptests and the `bench_exact` hoist
+    /// micro-bench; not used on the search path.
+    #[doc(hidden)]
+    pub fn forced_reload_reference(&self, red: M, blue: M) -> Weight {
         let need = self.needed_mask(red, blue);
         let load_term = self.load_scale * mask_weight(need & self.source_mask, &self.weights);
 
@@ -231,6 +432,348 @@ impl<M: StateMask> StateBounds<M> {
         self.store_bound(blue) + load_term.max(chain)
     }
 
+    /// Identify budget-cut landmarks at the root state (`red = ∅`,
+    /// `blue = sources`) and retain the [`LANDMARK_CAP`] strongest, ordered
+    /// by root charge descending with node-index tie-break.  Retention is a
+    /// selection heuristic only — admissibility is re-established per state
+    /// by [`StateBounds::landmark_extra`].
+    fn build_landmarks(&self, budget: Weight) -> Vec<Landmark<M>> {
+        let red = M::empty();
+        let blue = self.source_mask;
+        let need = self.needed_mask(red, blue);
+        let mut scored: Vec<(Weight, u32)> = Vec::new();
+        let mut candidates: Vec<Landmark<M>> = Vec::new();
+        for z in 0..self.weights.len() {
+            if self.source_mask.get(z) {
+                continue; // a pivot must be computable
+            }
+            let group_mask = self.pred_masks[z].set(z);
+            let group_weight = mask_weight(group_mask, &self.weights);
+            let lm = Landmark {
+                pivot: z as u32,
+                group_mask,
+                free: budget.saturating_sub(group_weight),
+            };
+            let extra = self.landmark_extra(&lm, red, blue, need);
+            if extra > 0 {
+                scored.push((extra, z as u32));
+                candidates.push(lm);
+            }
+        }
+        let mut order: Vec<usize> = (0..scored.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(scored[i].0), scored[i].1));
+        order
+            .into_iter()
+            .take(LANDMARK_CAP)
+            .map(|i| candidates[i].clone())
+            .collect()
+    }
+
+    /// Per-state landmark charge for one retained pivot `z`.
+    ///
+    /// Valid only when `z ∈ R*` and `z` is not blue — then `z`'s first
+    /// return to red is a compute, at which moment `red ⊇ N(z)` and at most
+    /// `free = budget − w(N(z))` weight of anything else fits.  A source
+    /// outside `N(z)` that is consumed by a forced compute *before* that
+    /// moment and by one *after* it must be red on both sides; whatever part
+    /// of that source set exceeds `free` is provably non-red at the pivot
+    /// moment and must be reloaded afterwards.  Those reload events are
+    /// disjoint from the first-load events the source-load term counts
+    /// (first loads happen before the pivot moment), so the two *add*.
+    fn landmark_extra(&self, lm: &Landmark<M>, red: M, blue: M, need: M) -> Weight {
+        let z = lm.pivot as usize;
+        if !need.get(z) || blue.get(z) {
+            return 0;
+        }
+        // Forced computes strictly before the pivot moment: the backward
+        // closure of z's non-red, non-blue predecessors through non-red,
+        // non-blue nodes (each must first become red via compute, before z).
+        let mut before = self.pred_masks[z] & !red & !blue;
+        let mut frontier = before;
+        while !frontier.is_empty() {
+            let mut next = M::empty();
+            for v in mask_iter(frontier) {
+                next = next | (self.pred_masks[v.index()] & !red & !blue & !before);
+            }
+            before = before | next;
+            frontier = next;
+        }
+        if before.is_empty() {
+            return 0;
+        }
+        // Forced computes strictly after the pivot moment: the forward
+        // closure of z's needed non-blue successors through needed non-blue
+        // nodes (each consumes a value first produced at or after z's
+        // compute).
+        let mut after = self.succ_masks[z] & need & !blue;
+        let mut frontier = after;
+        while !frontier.is_empty() {
+            let mut next = M::empty();
+            for v in mask_iter(frontier) {
+                next = next | (self.succ_masks[v.index()] & need & !blue & !after);
+            }
+            after = after | next;
+            frontier = next;
+        }
+        if after.is_empty() {
+            return 0;
+        }
+        // Sources outside N(z) consumed on both sides of the pivot moment.
+        let mut crossing = 0;
+        let mut members: [Weight; 6] = [0; 6];
+        let mut count = 0usize;
+        for s in mask_iter(self.source_mask & !lm.group_mask) {
+            let consumers = self.succ_masks[s.index()];
+            if !(consumers & before).is_empty() && !(consumers & after).is_empty() {
+                crossing += self.weights[s.index()];
+                if count < members.len() {
+                    members[count] = self.weights[s.index()];
+                }
+                count += 1;
+            }
+        }
+        // Sources are atomic, so the resident crossing weight at the pivot
+        // moment is the best *subset* sum fitting `free` — enumerated
+        // exactly while the crossing set is small, else relaxed to `free`
+        // itself (still admissible, possibly looser).
+        let resident = if count <= members.len() {
+            let mut best = 0;
+            for pick in 0u32..(1 << count) {
+                let total: Weight = (0..count)
+                    .filter(|&i| pick & (1 << i) != 0)
+                    .map(|i| members[i])
+                    .sum();
+                if total <= lm.free && total > best {
+                    best = total;
+                }
+            }
+            best
+        } else {
+            lm.free
+        };
+        self.load_scale * crossing.saturating_sub(resident)
+    }
+
+    /// Choose the pattern subset deterministically: sinks by descending
+    /// weight, then the heaviest closed neighborhood `N(z*)` (the Prop. 2.3
+    /// bottleneck — where the budget bites hardest), then the heaviest
+    /// remaining nodes; node-index tie-breaks throughout, capped at
+    /// [`PDB_CAP`] members.
+    fn choose_pattern(&self) -> Vec<u32> {
+        let n = self.weights.len();
+        let by_weight = |ids: Vec<u32>| -> Vec<u32> {
+            let mut v = ids;
+            v.sort_by_key(|&i| (std::cmp::Reverse(self.weights[i as usize]), i));
+            v
+        };
+        let sinks = by_weight(
+            mask_iter(self.sink_mask)
+                .map(|v| v.index() as u32)
+                .collect(),
+        );
+        let bottleneck = (0..n)
+            .filter(|&z| !self.source_mask.get(z))
+            .max_by_key(|&z| {
+                (
+                    mask_weight(self.pred_masks[z].set(z), &self.weights),
+                    std::cmp::Reverse(z),
+                )
+            });
+        let group = bottleneck.map_or_else(Vec::new, |z| {
+            by_weight(
+                mask_iter(self.pred_masks[z].set(z))
+                    .map(|v| v.index() as u32)
+                    .collect(),
+            )
+        });
+        let rest = by_weight((0..n as u32).collect());
+
+        let mut pattern: Vec<u32> = Vec::new();
+        for id in sinks.into_iter().chain(group).chain(rest) {
+            if pattern.len() == PDB_CAP {
+                break;
+            }
+            if !pattern.contains(&id) {
+                pattern.push(id);
+            }
+        }
+        pattern.sort_unstable();
+        pattern
+    }
+
+    /// Build the pattern database: enumerate every abstract `(red_P, blue_P)`
+    /// state with `w(red_P) ≤ budget`, reverse-Dijkstra from the abstract
+    /// goals (`blue_P ⊇ sinks ∩ P`), then project to blue keys by minimizing
+    /// over the red coordinate.
+    ///
+    /// The abstract game keeps the real budget and the real per-node rules
+    /// restricted to `P`: load needs the node blue, store needs it red,
+    /// compute needs the in-`P` predecessors red (out-of-`P` dependencies are
+    /// relaxed away) and is forbidden for real sources, delete is free.  The
+    /// `P`-projection of any real completion is a valid abstract play of no
+    /// larger cost, so the table value under-estimates the real cost of the
+    /// moves any completion still spends on `P`'s nodes — and those moves are
+    /// disjoint from out-of-`P` sink stores and source loads, so the three
+    /// terms of [`StateBounds::landmark_pdb`]'s PDB component add.
+    fn build_pdb(&self, budget: Weight) -> Option<Pdb<M>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let nodes = self.choose_pattern();
+        let k = nodes.len();
+        if k < 2 {
+            return None;
+        }
+        let w: Vec<Weight> = nodes.iter().map(|&i| self.weights[i as usize]).collect();
+        // In-pattern predecessor masks and real-source / sink flags, all in
+        // pattern-bit space.
+        let mut pred_bits = vec![0u32; k];
+        let mut source_bits = 0u32;
+        let mut sink_bits = 0u32;
+        for (bi, &id) in nodes.iter().enumerate() {
+            for (bj, &jd) in nodes.iter().enumerate() {
+                if self.pred_masks[id as usize].get(jd as usize) {
+                    pred_bits[bi] |= 1 << bj;
+                }
+            }
+            if self.source_mask.get(id as usize) {
+                source_bits |= 1 << bi;
+            }
+            if self.sink_mask.get(id as usize) {
+                sink_bits |= 1 << bi;
+            }
+        }
+        // Red-set weights, and which red sets fit the budget.
+        let reds = 1usize << k;
+        let mut red_weight = vec![0 as Weight; reds];
+        for r in 1..reds {
+            let low = r.trailing_zeros() as usize;
+            red_weight[r] = red_weight[r & (r - 1)] + w[low];
+        }
+
+        // state = red | (blue << k); dist = cheapest abstract completion.
+        let states = 1usize << (2 * k);
+        let mut dist = vec![Weight::MAX; states];
+        let mut heap: BinaryHeap<Reverse<(Weight, u32)>> = BinaryHeap::new();
+        for (s, d) in dist.iter_mut().enumerate() {
+            let r = s & (reds - 1);
+            let b = s >> k;
+            if red_weight[r] > budget {
+                continue;
+            }
+            if b & sink_bits as usize == sink_bits as usize {
+                *d = 0;
+                heap.push(Reverse((0, s as u32)));
+            }
+        }
+        // Reverse relaxation: for a settled state s, enumerate the abstract
+        // moves that *arrive* at s and relax their origins.
+        while let Some(Reverse((d, s))) = heap.pop() {
+            let s = s as usize;
+            if d > dist[s] {
+                continue;
+            }
+            let r = s & (reds - 1);
+            let b = s >> k;
+            for v in 0..k {
+                let bit = 1usize << v;
+                // load v arrived here: v red and blue now; origin dropped v
+                // from red and paid load·w.
+                if r & bit != 0 && b & bit != 0 {
+                    let t = (r & !bit) | (b << k);
+                    let nd = d + self.load_scale * w[v];
+                    if nd < dist[t] {
+                        dist[t] = nd;
+                        heap.push(Reverse((nd, t as u32)));
+                    }
+                }
+                // store v arrived here: v red and blue now; origin lacked the
+                // blue pebble and paid store·w.
+                if r & bit != 0 && b & bit != 0 {
+                    let t = r | ((b & !bit) << k);
+                    let nd = d + self.store_scale * w[v];
+                    if nd < dist[t] {
+                        dist[t] = nd;
+                        heap.push(Reverse((nd, t as u32)));
+                    }
+                }
+                // compute v arrived here: v red now, its in-pattern preds
+                // red, and v is not a real source; free.
+                if r & bit != 0
+                    && source_bits & bit as u32 == 0
+                    && r & pred_bits[v] as usize == pred_bits[v] as usize
+                {
+                    let t = (r & !bit) | (b << k);
+                    if d < dist[t] {
+                        dist[t] = d;
+                        heap.push(Reverse((d, t as u32)));
+                    }
+                }
+                // delete v arrived here: v not red now; origin held it (and
+                // must itself fit the budget); free.
+                if r & bit == 0 && red_weight[r | bit] <= budget {
+                    let t = (r | bit) | (b << k);
+                    if d < dist[t] {
+                        dist[t] = d;
+                        heap.push(Reverse((d, t as u32)));
+                    }
+                }
+            }
+        }
+        // Blue-set projection: the table key is blue ∩ P alone, so take the
+        // cheapest completion over every red coordinate (an unreachable
+        // column degrades to the admissible 0, never an over-estimate).
+        let table: Vec<Weight> = (0..(1usize << k))
+            .map(|b| {
+                (0..reds)
+                    .map(|r| dist[r | (b << k)])
+                    .min()
+                    .filter(|&d| d != Weight::MAX)
+                    .unwrap_or(0)
+            })
+            .collect();
+
+        let pattern_mask: M = nodes.iter().fold(M::empty(), |m, &i| m.set(i as usize));
+        Some(Pdb {
+            nodes,
+            table,
+            out_sink_mask: self.sink_mask & !pattern_mask,
+            out_source_mask: self.source_mask & !pattern_mask,
+        })
+    }
+
+    /// The landmark-pdb bound: the maximum of the landmark-strengthened
+    /// forced-reload bound and the pattern-database bound.  Falls back to
+    /// plain forced-reload when the budget-dependent extras were not built
+    /// ([`StateBounds::new`]).
+    pub fn landmark_pdb(&self, red: M, blue: M) -> Weight {
+        let need = self.needed_mask(red, blue);
+        let store = self.store_bound(blue);
+        let load_term = self.load_scale * mask_weight(need & self.source_mask, &self.weights);
+        let chain = self.reload_chain(red, blue, need);
+        let lmax = self
+            .landmarks
+            .iter()
+            .map(|lm| self.landmark_extra(lm, red, blue, need))
+            .max()
+            .unwrap_or(0);
+        // Landmark reloads add to the first-load term (disjoint events);
+        // the chain may share load events with both, so it joins by max.
+        let lm_bound = store + (load_term + lmax).max(chain);
+        let pdb_bound = self.pdb.as_ref().map_or(0, |p| {
+            let mut key = 0usize;
+            for (bit, &v) in p.nodes.iter().enumerate() {
+                if blue.get(v as usize) {
+                    key |= 1 << bit;
+                }
+            }
+            p.table[key]
+                + self.store_scale * mask_weight(p.out_sink_mask & !blue, &self.weights)
+                + self.load_scale * mask_weight(need & p.out_source_mask, &self.weights)
+        });
+        lm_bound.max(pdb_bound)
+    }
+
     /// Evaluate the selected bound on a state.  Always admissible: the result
     /// never exceeds the true optimal remaining cost from `(red, blue)`.
     pub fn lower_bound(&self, red: M, blue: M, heuristic: Heuristic) -> Weight {
@@ -238,6 +781,7 @@ impl<M: StateMask> StateBounds<M> {
             Heuristic::None => 0,
             Heuristic::RemainingWork => self.remaining_work(red, blue),
             Heuristic::ForcedReload => self.forced_reload(red, blue),
+            Heuristic::LandmarkPdb => self.landmark_pdb(red, blue),
         }
     }
 }
@@ -280,11 +824,12 @@ mod tests {
             Heuristic::None,
             Heuristic::RemainingWork,
             Heuristic::ForcedReload,
+            Heuristic::LandmarkPdb,
         ] {
             assert_eq!(Heuristic::parse(h.name()), Some(h));
         }
         assert_eq!(Heuristic::parse("bogus"), None);
-        assert_eq!(Heuristic::default(), Heuristic::ForcedReload);
+        assert_eq!(Heuristic::default(), Heuristic::LandmarkPdb);
     }
 
     #[test]
@@ -318,13 +863,31 @@ mod tests {
     }
 
     #[test]
+    fn hoisted_forced_reload_matches_the_reference() {
+        // Every (red, blue) pair over the 3-node chain: the cone-restricted
+        // scratch DP must agree exactly with the fresh-allocation reference.
+        let g = chain();
+        let sb = StateBounds::<u64>::new(&g, 2, 3);
+        for red in 0u64..8 {
+            for blue in 0u64..8 {
+                assert_eq!(
+                    sb.forced_reload(red, blue),
+                    sb.forced_reload_reference(red, blue),
+                    "red={red:03b} blue={blue:03b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn bounds_are_zero_at_goal() {
         let g = chain();
-        let sb = StateBounds::new(&g, 1, 1);
+        let sb = StateBounds::with_budget(&g, 1, 1, 48);
         let all: u64 = 0b111;
         assert_eq!(sb.remaining_work(0, all), 0);
         assert_eq!(sb.forced_reload(0, all), 0);
-        assert_eq!(sb.lower_bound(0, all, Heuristic::ForcedReload), 0);
+        assert_eq!(sb.landmark_pdb(0, all), 0);
+        assert_eq!(sb.lower_bound(0, all, Heuristic::LandmarkPdb), 0);
     }
 
     #[test]
@@ -348,5 +911,75 @@ mod tests {
         let g = b.build().unwrap();
         assert_eq!(min_feasible_budget(&g), 4 * 16 + 32);
         assert_eq!(algorithmic_lower_bound(&g), 4 * 16 + 32);
+    }
+
+    #[test]
+    fn landmark_pdb_without_budget_falls_back_to_forced_reload() {
+        let g = chain();
+        let sb = StateBounds::<u64>::new(&g, 1, 1);
+        for red in 0u64..8 {
+            for blue in 0u64..8 {
+                assert_eq!(sb.landmark_pdb(red, blue), sb.forced_reload(red, blue));
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_pdb_dominates_forced_reload_pointwise() {
+        let g = chain();
+        let sb = StateBounds::<u64>::with_budget(&g, 1, 1, 48);
+        for red in 0u64..8 {
+            for blue in 0u64..8 {
+                assert!(
+                    sb.landmark_pdb(red, blue) >= sb.forced_reload(red, blue),
+                    "red={red:03b} blue={blue:03b}"
+                );
+            }
+        }
+    }
+
+    /// s(2) -> a(4) -> z(1) -> c(1), plus s -> c: computing z pins {a, z}
+    /// (weight 5) red, so at budget 6 the crossing source s (needed before
+    /// z for a, and after z for c) cannot stay resident and must reload.
+    fn crossing() -> Cdag {
+        let mut b = CdagBuilder::new();
+        let s = b.node(2, "s");
+        let a = b.node(4, "a");
+        let z = b.node(1, "z");
+        let c = b.node(1, "c");
+        b.edge(s, a);
+        b.edge(a, z);
+        b.edge(z, c);
+        b.edge(s, c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn landmark_charges_the_budget_forced_reload() {
+        let g = crossing();
+        assert_eq!(min_feasible_budget(&g), 6); // a: 4 + 2
+        let sb = StateBounds::<u64>::with_budget(&g, 1, 1, 6);
+        let root_red = 0u64;
+        let root_blue = 0b0001; // source s
+                                // forced-reload sees: store c (1) + max(load s = 2, chain 2) = 3.
+        assert_eq!(sb.forced_reload(root_red, root_blue), 3);
+        // The landmark at pivot z adds the forced s reload: free budget
+        // beside N(z) = {a, z} is 6 − 5 = 1 < w(s) = 2, so one extra load
+        // of s.  store c (1) + (load 2 + extra 2) = 5 — and 5 is the true
+        // optimum (load s, compute a, delete s, compute z, delete a,
+        // reload s, compute c, store c = 2 + 2 + 1).
+        assert_eq!(sb.landmark_pdb(root_red, root_blue), 5);
+    }
+
+    #[test]
+    fn pdb_projection_is_admissible_on_the_chain() {
+        // Full-pattern PDB on the 3-node chain: the abstract game equals the
+        // real game here, so the bound at the root must not exceed the true
+        // optimum (32) and must keep the forced-reload floor.
+        let g = chain();
+        let sb = StateBounds::<u64>::with_budget(&g, 1, 1, 48);
+        let b = sb.landmark_pdb(0, 0b001);
+        assert!(b >= 32, "must keep the forced-reload floor, got {b}");
+        assert!(b <= 32, "must stay admissible (true optimum 32), got {b}");
     }
 }

@@ -72,7 +72,7 @@ pub use redset::RedSet;
 pub use request::{ScheduleRequest, ScheduleResponse};
 pub use schedule::Schedule;
 pub use stream::MoveStream;
-pub use symmetry::twin_classes;
+pub use symmetry::{certified_generators, is_certified_automorphism, twin_classes};
 pub use trace::{
     occupancy_summary, occupancy_trace, render_sparkline, summarize, OccupancySummary,
 };

@@ -214,6 +214,211 @@ pub fn twin_classes(g: &Cdag) -> Vec<Vec<u32>> {
     out
 }
 
+/// At most this many certified generators are returned: every generator is
+/// re-applied per canonicalized search state, so the cap bounds the
+/// per-state cost of the WL-orbit lever.
+const GENERATOR_CAP: usize = 12;
+
+/// Verify that `perm` is a weight-preserving CDAG automorphism: a bijection
+/// on nodes under which every node keeps its weight and every edge maps to
+/// an edge (injectivity plus equal out-degrees makes the edge map onto).
+///
+/// This is the certification step of the WL-orbit lever: candidate
+/// generators are *constructed* heuristically from WL color classes, but
+/// only permutations passing this exact check are ever used to rewrite
+/// search states, so an uncertified candidate costs a little construction
+/// time and can never cost correctness.
+pub fn is_certified_automorphism(g: &Cdag, perm: &[u32]) -> bool {
+    let n = g.len();
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &img in perm {
+        let Some(slot) = seen.get_mut(img as usize) else {
+            return false;
+        };
+        if std::mem::replace(slot, true) {
+            return false;
+        }
+    }
+    for v in g.nodes() {
+        let i = v.index();
+        let iv = NodeId(perm[i]);
+        if g.weight(v) != g.weight(iv) || g.out_degree(v) != g.out_degree(iv) {
+            return false;
+        }
+        for &s in g.succs(v) {
+            let mapped = perm[s.index()];
+            if !g.succs(iv).iter().any(|&t| t.index() as u32 == mapped) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Propagate the seed constraint `a ↦ b` into a full candidate permutation
+/// by matching neighborhoods color-by-color (unconstrained nodes stay
+/// fixed).  Returns `None` when the constraints conflict; a returned
+/// candidate is *not* yet certified.
+fn propagate_candidate(g: &Cdag, colors: &[u32], a: u32, b: u32) -> Option<Vec<u32>> {
+    const UNSET: u32 = u32::MAX;
+    let n = g.len();
+    let mut img = vec![UNSET; n];
+    let mut pre = vec![UNSET; n];
+    let assign = |img: &mut Vec<u32>, pre: &mut Vec<u32>, x: u32, y: u32| -> Option<bool> {
+        // Returns Some(true) when newly assigned, Some(false) when already
+        // consistently assigned, None on conflict.
+        if img[x as usize] != UNSET {
+            return (img[x as usize] == y).then_some(false);
+        }
+        if pre[y as usize] != UNSET {
+            return None;
+        }
+        img[x as usize] = y;
+        pre[y as usize] = x;
+        Some(true)
+    };
+    // Seed as a transposition: constraining only `a ↦ b` would leave `b`
+    // image-less and the fixpoint fill below would reject the candidate.
+    // Non-involutive orbits (pure rotations) simply fail certification,
+    // which is the designed fallback.
+    assign(&mut img, &mut pre, a, b)?;
+    assign(&mut img, &mut pre, b, a)?;
+    let mut queue = vec![(a, b), (b, a)];
+    while let Some((x, y)) = queue.pop() {
+        for dir in 0..2 {
+            let (nx, ny) = if dir == 0 {
+                (g.preds(NodeId(x)), g.preds(NodeId(y)))
+            } else {
+                (g.succs(NodeId(x)), g.succs(NodeId(y)))
+            };
+            if nx.len() != ny.len() {
+                return None;
+            }
+            // Match x's neighbors to y's within each WL color, honoring
+            // assignments already forced; leftovers pair in index order.
+            let mut xs: Vec<u32> = nx.iter().map(|v| v.index() as u32).collect();
+            let mut ys: Vec<u32> = ny.iter().map(|v| v.index() as u32).collect();
+            xs.sort_unstable_by_key(|&v| (colors[v as usize], v));
+            ys.sort_unstable_by_key(|&v| (colors[v as usize], v));
+            if xs
+                .iter()
+                .zip(&ys)
+                .any(|(&u, &v)| colors[u as usize] != colors[v as usize])
+            {
+                return None; // color multisets differ between the neighborhoods
+            }
+            let mut i = 0;
+            while i < xs.len() {
+                let c = colors[xs[i] as usize];
+                let mut j = i;
+                while j < xs.len() && colors[xs[j] as usize] == c {
+                    j += 1;
+                }
+                // Constrained members first: an already-assigned u must map
+                // into this block, and it consumes its partner.
+                let block_x = &xs[i..j];
+                let block_y = &ys[i..j];
+                let mut free_x: Vec<u32> = Vec::new();
+                let mut used_y = vec![false; block_y.len()];
+                for &u in block_x {
+                    if img[u as usize] != UNSET {
+                        let v = img[u as usize];
+                        match block_y.iter().position(|&w| w == v) {
+                            Some(p) if !used_y[p] => used_y[p] = true,
+                            _ => return None,
+                        }
+                    } else {
+                        free_x.push(u);
+                    }
+                }
+                let mut free_y: Vec<u32> = block_y
+                    .iter()
+                    .enumerate()
+                    .filter(|&(p, &v)| !used_y[p] && pre[v as usize] == UNSET)
+                    .map(|(_, &v)| v)
+                    .collect();
+                if free_x.len() != free_y.len() {
+                    return None;
+                }
+                free_x.sort_unstable();
+                free_y.sort_unstable();
+                for (&u, &v) in free_x.iter().zip(&free_y) {
+                    if assign(&mut img, &mut pre, u, v)? {
+                        queue.push((u, v));
+                    }
+                }
+                i = j;
+            }
+        }
+    }
+    // Unconstrained nodes stay fixed; a node claimed as an image by the
+    // constrained part cannot also be a fixpoint.
+    for v in 0..n as u32 {
+        if img[v as usize] == UNSET {
+            if pre[v as usize] != UNSET {
+                return None;
+            }
+            img[v as usize] = v;
+            pre[v as usize] = v;
+        }
+    }
+    Some(img)
+}
+
+/// Certified automorphism generators beyond exact twins: for every WL
+/// fixpoint class that is *not* a twin class, seed candidate permutations
+/// swapping the smallest member with each other member, propagate the
+/// constraint through the neighborhood structure, and keep only candidates
+/// that pass the full [`is_certified_automorphism`] check.  Twin classes
+/// are skipped — the twin canonicalization already collapses them
+/// completely and more cheaply — so the generators returned here are
+/// precisely the coupled orbits (parallel chains, reconvergent meshes)
+/// that the twin test misses.
+///
+/// Every generator is a full node permutation (`perm[v]` is `v`'s image).
+/// Construction order, and therefore the result, is deterministic; at most
+/// [`GENERATOR_CAP`] generators are returned, non-identity and deduplicated.
+pub fn certified_generators(g: &Cdag) -> Vec<Vec<u32>> {
+    let n = g.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut colors = initial_colors(g);
+    refine(g, &mut colors);
+    let mut by_class: Vec<u32> = (0..n as u32).collect();
+    by_class.sort_unstable_by_key(|&v| (colors[v as usize], v));
+    let mut gens: Vec<Vec<u32>> = Vec::new();
+    let mut i = 0;
+    while i < n && gens.len() < GENERATOR_CAP {
+        let mut j = i;
+        while j < n && colors[by_class[j] as usize] == colors[by_class[i] as usize] {
+            j += 1;
+        }
+        let members = &by_class[i..j];
+        if members.len() > 1 && !is_twin_class(g, members) {
+            for &other in &members[1..] {
+                if gens.len() == GENERATOR_CAP {
+                    break;
+                }
+                let Some(perm) = propagate_candidate(g, &colors, members[0], other) else {
+                    continue;
+                };
+                if perm.iter().enumerate().all(|(v, &p)| p == v as u32) {
+                    continue;
+                }
+                if is_certified_automorphism(g, &perm) && !gens.contains(&perm) {
+                    gens.push(perm);
+                }
+            }
+        }
+        i = j;
+    }
+    gens
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +496,86 @@ mod tests {
         let b = bld.unnamed(1);
         bld.edge(a, b);
         assert!(twin_classes(&bld.build().unwrap()).is_empty());
+    }
+
+    /// Two disjoint chains a_i -> b_i: the coupled orbit the twin test
+    /// misses.  The only nontrivial automorphism swaps both pairs at once.
+    fn parallel_chains() -> Cdag {
+        let mut bld = CdagBuilder::new();
+        let a0 = bld.unnamed(1);
+        let a1 = bld.unnamed(1);
+        let b0 = bld.unnamed(2);
+        let b1 = bld.unnamed(2);
+        bld.edge(a0, b0);
+        bld.edge(a1, b1);
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn coupled_chains_yield_a_certified_generator() {
+        let gens = certified_generators(&parallel_chains());
+        // Both seeds (a0<->a1 and b0<->b1) propagate to the same swap.
+        assert_eq!(gens, vec![vec![1, 0, 3, 2]]);
+    }
+
+    #[test]
+    fn twin_only_orbits_yield_no_extra_generators() {
+        // Diamond midpoints are twins; the twin canonicalizer owns them.
+        assert!(certified_generators(&diamond()).is_empty());
+    }
+
+    #[test]
+    fn certification_rejects_non_automorphisms() {
+        let g = parallel_chains();
+        // Swapping only the heads breaks the edge map: (a1, b0) is no edge.
+        assert!(!is_certified_automorphism(&g, &[1, 0, 2, 3]));
+        // Weight mismatch: heads and tails differ in weight.
+        assert!(!is_certified_automorphism(&g, &[2, 3, 0, 1]));
+        // Not a bijection.
+        assert!(!is_certified_automorphism(&g, &[0, 0, 2, 3]));
+        // Wrong length.
+        assert!(!is_certified_automorphism(&g, &[0, 1, 2]));
+        // The genuine coupled swap certifies.
+        assert!(is_certified_automorphism(&g, &[1, 0, 3, 2]));
+    }
+
+    #[test]
+    fn reconvergent_mesh_generators_certify() {
+        // a -> {b0, b1}, b_i -> c_i, {c0, c1} -> d: the midpoints are two
+        // coupled 2-chains, not twins; every returned generator must be a
+        // genuine automorphism (re-certify to pin the invariant).
+        let mut bld = CdagBuilder::new();
+        let a = bld.unnamed(1);
+        let b0 = bld.unnamed(2);
+        let b1 = bld.unnamed(2);
+        let c0 = bld.unnamed(1);
+        let c1 = bld.unnamed(1);
+        let d = bld.unnamed(3);
+        bld.edge(a, b0);
+        bld.edge(a, b1);
+        bld.edge(b0, c0);
+        bld.edge(b1, c1);
+        bld.edge(c0, d);
+        bld.edge(c1, d);
+        let g = bld.build().unwrap();
+        assert!(twin_classes(&g).is_empty());
+        let gens = certified_generators(&g);
+        assert!(!gens.is_empty());
+        for p in &gens {
+            assert!(is_certified_automorphism(&g, p));
+        }
+        // The coupled swap (b0 b1)(c0 c1) is among them.
+        assert!(gens.contains(&vec![0, 2, 1, 4, 3, 5]));
+    }
+
+    #[test]
+    fn asymmetric_graphs_yield_no_generators() {
+        let mut bld = CdagBuilder::new();
+        let a = bld.unnamed(1);
+        let b = bld.unnamed(2);
+        let c = bld.unnamed(3);
+        bld.edge(a, b);
+        bld.edge(b, c);
+        assert!(certified_generators(&bld.build().unwrap()).is_empty());
     }
 }

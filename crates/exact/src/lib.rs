@@ -182,6 +182,10 @@ pub struct SearchStats {
     pub dominance_entries: usize,
     /// Open-list entries still queued when the goal was settled.
     pub frontier_left: usize,
+    /// Partial-expansion re-pops: deferred parents popped a second (or
+    /// later) time at the f-value of their best unmaterialized successor.
+    /// A subset of `expanded`; zero when partial expansion is off.
+    pub re_expanded: usize,
     /// The admissible lower bound evaluated at the start state.
     pub root_bound: Weight,
     /// 64-bit words per state mask this solve ran with (1 = u64 fast path).
@@ -224,6 +228,16 @@ pub struct ExactSolver {
     /// reconstructing a schedule (canonical states lose the concrete move
     /// identities a replayable schedule needs); cost-only solves keep it.
     pub symmetry: bool,
+    /// Enable the WL-orbit lever on top of twin symmetry: canonicalize
+    /// states through certified automorphism generators beyond exact twins.
+    /// Only active when `symmetry` is also on (it extends, never replaces,
+    /// the twin sort), and suspended during schedule reconstruction for the
+    /// same reason.
+    pub wl_symmetry: bool,
+    /// Enable partial expansion (PEA*): successors above the parent's
+    /// popped f-value are not materialized; the parent re-enqueues at the
+    /// best deferred f instead, trading re-expansions for open-list peak.
+    pub partial_expansion: bool,
     /// States expanded per parallel frontier round.  Fixed (not derived from
     /// the thread count) so results are byte-identical on any host.
     pub batch_size: usize,
@@ -239,6 +253,8 @@ impl Default for ExactSolver {
             dominance: true,
             tighten: true,
             symmetry: true,
+            wl_symmetry: true,
+            partial_expansion: true,
             batch_size: 32,
         }
     }
@@ -285,15 +301,31 @@ impl ExactSolver {
         self
     }
 
+    /// Toggle the WL-orbit lever (certified automorphism generators beyond
+    /// exact twins).  Inert unless `symmetry` is also on.
+    pub fn with_wl_symmetry(mut self, on: bool) -> Self {
+        self.wl_symmetry = on;
+        self
+    }
+
+    /// Toggle partial expansion (PEA*).
+    pub fn with_partial_expansion(mut self, on: bool) -> Self {
+        self.partial_expansion = on;
+        self
+    }
+
     /// The PR-2 uniform-cost Dijkstra baseline: no heuristic, no dominance,
-    /// raw four-move successors, no symmetry reduction.  Used for ablations
-    /// and as the differential oracle certifying the optimized search.
+    /// raw four-move successors, no symmetry reduction, full expansion.
+    /// Used for ablations and as the differential oracle certifying the
+    /// optimized search.
     pub fn dijkstra_baseline() -> Self {
         ExactSolver::default()
             .with_heuristic(Heuristic::None)
             .with_dominance(false)
             .with_tighten(false)
             .with_symmetry(false)
+            .with_wl_symmetry(false)
+            .with_partial_expansion(false)
     }
 
     /// Minimum weighted schedule cost for `graph` under `budget`, or
@@ -426,9 +458,16 @@ mod tests {
             ExactSolver::default(),
             ExactSolver::default().with_heuristic(Heuristic::None),
             ExactSolver::default().with_heuristic(Heuristic::RemainingWork),
+            ExactSolver::default().with_heuristic(Heuristic::ForcedReload),
             ExactSolver::default().with_dominance(false),
             ExactSolver::default().with_tighten(false),
             ExactSolver::default().with_symmetry(false),
+            ExactSolver::default().with_wl_symmetry(false),
+            ExactSolver::default().with_partial_expansion(false),
+            ExactSolver::default()
+                .with_wl_symmetry(false)
+                .with_partial_expansion(false)
+                .with_heuristic(Heuristic::ForcedReload),
             ExactSolver::dijkstra_baseline(),
             ExactSolver {
                 batch_size: 1,

@@ -45,12 +45,32 @@
 //! weight-preserving automorphism, reachability, budget feasibility, and
 //! optimal completion cost are untouched — only the number of states the
 //! search must visit shrinks.
+//!
+//! The **WL-orbit lever** extends the same argument past exact twins: after
+//! the twin sort, the canonicalizer greedily applies every *certified*
+//! automorphism generator ([`pebblyn_core::certified_generators`] — WL-class
+//! candidates that passed a full edge/weight permutation check), keeping any
+//! image that is strictly smaller in state order, to a fixpoint.  Each
+//! application is a genuine automorphism, so the rewrite is sound for the
+//! same reason the twin sort is; greedy descent need not reach the global
+//! orbit minimum, which costs collapse opportunities but never correctness.
+//!
+//! **Partial expansion** (PEA\*) tames the open list: when a popped state's
+//! successors are merged, only those with `f ≤ F` (the parent's own popped
+//! f-value) enter the open list; if any admissible successor had `f > F`,
+//! the parent re-enqueues once at the *smallest* such f instead of
+//! materializing those children.  Re-popping the deferred parent
+//! regenerates its successors under the raised threshold, so every child is
+//! eventually enqueued at exactly the moment the best-first order needs it
+//! — the open-list peak shrinks while costs, tie-breaking, and thread-count
+//! determinism are untouched (the deferred entry re-enters the same total
+//! order as everything else).
 
 use crate::dominance::DominanceStore;
 use crate::{ExactSolver, SearchStats, Solution, StateLimitExceeded};
 use pebblyn_core::{
-    mask_iter, mask_weight, twin_classes, Cdag, FastHashMap, FastHasher, Heuristic, Move, NodeId,
-    Schedule, StateBounds, StateMask, Weight,
+    certified_generators, mask_iter, mask_weight, twin_classes, Cdag, FastHashMap, FastHasher,
+    Heuristic, Move, NodeId, Schedule, StateBounds, StateMask, Weight,
 };
 use pebblyn_engine::par::par_map_hash_distributed;
 use pebblyn_engine::ShardedWorklist;
@@ -115,7 +135,7 @@ struct Succ<M: StateMask> {
     canonized: bool,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, Eq, Debug)]
 struct QueueItem<M: StateMask> {
     f: Weight,
     g: Weight,
@@ -124,6 +144,18 @@ struct QueueItem<M: StateMask> {
     /// never rescans the node set.  A pure function of `state.red`, so
     /// duplicate queue entries always agree.
     red_weight: Weight,
+    /// Partial-expansion re-enqueue: this entry's `f` is the smallest
+    /// f-value among successors the last expansion declined to materialize,
+    /// not `g + h(state)`.  Counted as a re-expansion when popped.
+    deferred: bool,
+}
+
+impl<M: StateMask> PartialEq for QueueItem<M> {
+    fn eq(&self, other: &Self) -> bool {
+        // Must agree with `Ord` (which ignores the deferred flag and the
+        // derived `red_weight`), or heap/sort invariants break.
+        self.f == other.f && self.g == other.g && self.state == other.state
+    }
 }
 
 impl<M: StateMask> Ord for QueueItem<M> {
@@ -164,6 +196,9 @@ struct Ctx<M: StateMask> {
     /// Twin classes (size ≥ 2, members ascending) used for state
     /// canonicalization; empty when symmetry reduction is off.
     classes: Vec<Vec<u32>>,
+    /// Certified automorphism generators (full node permutations) applied
+    /// greedily after the twin sort; empty when the WL lever is off.
+    generators: Vec<Vec<u32>>,
     /// `ceil(n / 64)`: how many mask words the graph actually occupies.
     /// Hashing exactly these words keeps shard routing width-independent.
     hash_words: usize,
@@ -204,7 +239,29 @@ impl<M: StateMask> Ctx<M> {
                 }
             }
         }
-        (State { red, blue }, changed)
+        let mut cur = State { red, blue };
+        // WL-orbit lever: greedy descent under the certified generators.
+        // Every application is a weight-preserving automorphism, so each
+        // image is cost-equivalent; keeping only strictly smaller images
+        // makes the loop terminate (finite strictly-decreasing chain) and
+        // keeps canon a pure function of its input.
+        if !self.generators.is_empty() {
+            loop {
+                let mut improved = false;
+                for perm in &self.generators {
+                    let img = apply_perm(perm, cur, self.n);
+                    if img < cur {
+                        cur = img;
+                        improved = true;
+                        changed = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        (cur, changed)
     }
 
     fn successors(&self, item: &QueueItem<M>) -> Vec<Succ<M>> {
@@ -385,6 +442,23 @@ impl<M: StateMask> Ctx<M> {
     }
 }
 
+/// Image of a packed state under a node permutation: pebbles move with
+/// their nodes (`perm[v]` is `v`'s image).
+fn apply_perm<M: StateMask>(perm: &[u32], s: State<M>, n: usize) -> State<M> {
+    let mut red = M::empty();
+    let mut blue = M::empty();
+    for (v, &img) in perm.iter().enumerate().take(n) {
+        let t = img as usize;
+        if s.red.get(v) {
+            red = red.set(t);
+        }
+        if s.blue.get(v) {
+            blue = blue.set(t);
+        }
+    }
+    State { red, blue }
+}
+
 /// Width-independent shard/owner hint: hash exactly the words the graph
 /// occupies, so a ≤ 64-node graph routes identically whether its states are
 /// `u64` or `Words<N>` — the precondition for the mask-width equivalence
@@ -415,7 +489,8 @@ fn record_stats(stats: &SearchStats) {
     telemetry::add(Counter::SymmetryPruned, stats.symmetry_pruned as u64);
     telemetry::add(Counter::SearchBatches, stats.batches as u64);
     telemetry::add(Counter::FrontierSteals, stats.frontier_steals);
-    telemetry::gauge_max(Gauge::FrontierPeak, stats.peak_open as u64);
+    telemetry::add(Counter::ReExpansions, stats.re_expanded as u64);
+    telemetry::gauge_max(Gauge::OpenListPeak, stats.peak_open as u64);
     telemetry::gauge_max(Gauge::DominanceEntriesPeak, stats.dominance_entries as u64);
     telemetry::gauge_max(Gauge::MaskWords, stats.mask_words as u64);
 }
@@ -446,6 +521,22 @@ pub(crate) fn search<M: StateMask>(
     } else {
         Vec::new()
     };
+    // The WL-orbit lever rides on the same soundness argument as the twin
+    // sort, and the same reconstruction caveat; it is additionally gated by
+    // its own flag so the ablation grid can isolate it.
+    let generators = if solver.symmetry && solver.wl_symmetry && !reconstruct {
+        certified_generators(graph)
+    } else {
+        Vec::new()
+    };
+    // The landmark/PDB tier needs the budget at construction time (landmarks
+    // and the abstract game are budget-relative); the other tiers keep the
+    // budget-free constructor so their bounds stay instance-cacheable.
+    let bounds = if solver.heuristic == Heuristic::LandmarkPdb {
+        StateBounds::with_budget(graph, solver.load_scale, solver.store_scale, budget)
+    } else {
+        StateBounds::new(graph, solver.load_scale, solver.store_scale)
+    };
     let ctx = Ctx {
         n,
         source_mask: pebblyn_core::bounds::nodes_to_mask::<M>(graph.sources()),
@@ -453,12 +544,13 @@ pub(crate) fn search<M: StateMask>(
         budget,
         load_scale: solver.load_scale,
         store_scale: solver.store_scale,
-        bounds: StateBounds::new(graph, solver.load_scale, solver.store_scale),
+        bounds,
         heuristic: solver.heuristic,
         tighten: solver.tighten,
         weights,
         pred_masks,
         classes,
+        generators,
         hash_words: n.div_ceil(64).max(1),
     };
 
@@ -483,6 +575,7 @@ pub(crate) fn search<M: StateMask>(
             g: 0,
             state: start,
             red_weight: 0,
+            deferred: false,
         },
     );
     let mut dom = DominanceStore::default();
@@ -524,6 +617,9 @@ pub(crate) fn search<M: StateMask>(
                 dom.record(item.state.red, item.state.blue, item.g);
             }
             stats.expanded += 1;
+            if item.deferred {
+                stats.re_expanded += 1;
+            }
             batch.push(item);
         }
 
@@ -574,6 +670,15 @@ pub(crate) fn search<M: StateMask>(
         // Sequential merge in batch order: the only mutation point, so the
         // search is deterministic for any thread count.
         for (item, succs) in batch.iter().zip(succ_lists) {
+            // Partial expansion: only successors at or below the parent's
+            // own popped f-value materialize now; the smallest deferred f
+            // (over successors that would otherwise have been enqueued)
+            // becomes the parent's re-enqueue priority.  Filters only ever
+            // tighten over time — `dist` entries can only shrink and the
+            // dominance antichain only grows — so a successor filtered out
+            // here would also be filtered at re-expansion, and skipping it
+            // in `next_f` loses nothing.
+            let mut next_f: Option<Weight> = None;
             for succ in succs {
                 stats.generated += 1;
                 if succ.canonized {
@@ -591,6 +696,11 @@ pub(crate) fn search<M: StateMask>(
                     stats.dominated += 1;
                     continue;
                 }
+                let f = succ.g + succ.h;
+                if solver.partial_expansion && f > item.f {
+                    next_f = Some(next_f.map_or(f, |best: Weight| best.min(f)));
+                    continue;
+                }
                 dist.insert(succ.state, succ.g);
                 if reconstruct {
                     parent.insert(succ.state, (item.state, succ.step));
@@ -598,10 +708,26 @@ pub(crate) fn search<M: StateMask>(
                 open.push(
                     shard_hint(&succ.state, ctx.hash_words),
                     QueueItem {
-                        f: succ.g + succ.h,
+                        f,
                         g: succ.g,
                         state: succ.state,
                         red_weight: succ.red_weight,
+                        deferred: false,
+                    },
+                );
+            }
+            if let Some(f) = next_f {
+                // Strictly increasing re-enqueue f (`f > item.f`), so a
+                // state re-expands at most once per distinct successor
+                // f-value and the search terminates.
+                open.push(
+                    shard_hint(&item.state, ctx.hash_words),
+                    QueueItem {
+                        f,
+                        g: item.g,
+                        state: item.state,
+                        red_weight: item.red_weight,
+                        deferred: true,
                     },
                 );
             }

@@ -8,8 +8,8 @@
 //! would overcharge for.
 //!
 //! The test replays the optimal schedule move by move and asserts, at every
-//! prefix state, `h(state) ≤ optimal_cost − cost_spent_so_far` for each of
-//! the three heuristics.  Since A\* visits only states on or off the optimal
+//! prefix state, `h(state) ≤ optimal_cost − cost_spent_so_far` for every
+//! heuristic tier.  Since A\* visits only states on or off the optimal
 //! path with `g + h ≤ C*` when `h` is admissible, overcharging any state on
 //! the optimal trajectory would make the search return a wrong (higher)
 //! cost; this witness pins the bound on a graph where that actually bites.
@@ -53,8 +53,11 @@ fn heuristics_are_admissible_along_the_optimal_trajectory() {
         Heuristic::None,
         Heuristic::RemainingWork,
         Heuristic::ForcedReload,
+        Heuristic::LandmarkPdb,
     ];
-    let bounds = StateBounds::new(&g, 1, 1);
+    // `with_budget` builds the landmark set and the pattern database the
+    // landmark-pdb tier needs; the other tiers read the same tables.
+    let bounds: StateBounds = StateBounds::with_budget(&g, 1, 1, budget);
 
     // Replay the optimal schedule, checking every prefix state.
     let mut red: u64 = 0;
@@ -96,13 +99,15 @@ fn heuristics_are_admissible_along_the_optimal_trajectory() {
     }
     assert_eq!(spent, cost, "replayed cost matches the solver's claim");
 
-    // The bounds are ordered: forced-reload dominates remaining-work
-    // dominates the trivial bound, at the start state too.
+    // The bounds are ordered: landmark-pdb dominates forced-reload
+    // dominates remaining-work dominates the trivial bound, at the start
+    // state too.
     let mut src = 0u64;
     for &v in g.sources() {
         src |= 1 << v.index();
     }
     let rw = bounds.lower_bound(0, src, Heuristic::RemainingWork);
     let fr = bounds.lower_bound(0, src, Heuristic::ForcedReload);
-    assert!(fr >= rw && rw > 0);
+    let lp = bounds.lower_bound(0, src, Heuristic::LandmarkPdb);
+    assert!(lp >= fr && fr >= rw && rw > 0);
 }

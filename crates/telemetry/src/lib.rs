@@ -54,6 +54,9 @@ pub enum Counter {
     /// underloaded one by the deterministic rebalance (virtual work
     /// stealing; independent of the physical thread count).
     FrontierSteals,
+    /// Partial-expansion re-pops: deferred parents the exact search popped
+    /// again at the f-value of their best unmaterialized successor.
+    ReExpansions,
     /// Engine memo lookups answered from cache.
     MemoHits,
     /// Engine memo lookups that had to compute.
@@ -92,7 +95,7 @@ pub enum Counter {
 }
 
 /// All counters, in declaration (and output) order.
-pub const COUNTERS: [Counter; 23] = [
+pub const COUNTERS: [Counter; 24] = [
     Counter::StatesExpanded,
     Counter::StatesGenerated,
     Counter::DominancePruned,
@@ -100,6 +103,7 @@ pub const COUNTERS: [Counter; 23] = [
     Counter::SymmetryPruned,
     Counter::SearchBatches,
     Counter::FrontierSteals,
+    Counter::ReExpansions,
     Counter::MemoHits,
     Counter::MemoMisses,
     Counter::MovesEmitted,
@@ -129,6 +133,7 @@ impl Counter {
             Counter::SymmetryPruned => "symmetry_prunes",
             Counter::SearchBatches => "search_batches",
             Counter::FrontierSteals => "frontier_steals",
+            Counter::ReExpansions => "re_expansions",
             Counter::MemoHits => "memo_hits",
             Counter::MemoMisses => "memo_misses",
             Counter::MovesEmitted => "moves_emitted",
@@ -154,7 +159,7 @@ impl Counter {
 #[repr(usize)]
 pub enum Gauge {
     /// Peak open-list size observed by the exact search.
-    FrontierPeak,
+    OpenListPeak,
     /// Peak number of dominance-table entries.
     DominanceEntriesPeak,
     /// Peak depth of any engine work queue.
@@ -173,7 +178,7 @@ pub enum Gauge {
 
 /// All gauges, in declaration (and output) order.
 pub const GAUGES: [Gauge; 7] = [
-    Gauge::FrontierPeak,
+    Gauge::OpenListPeak,
     Gauge::DominanceEntriesPeak,
     Gauge::QueueDepthPeak,
     Gauge::ServiceQueueDepthPeak,
@@ -186,7 +191,7 @@ impl Gauge {
     /// Stable snake_case name used in JSONL and summary output.
     pub const fn name(self) -> &'static str {
         match self {
-            Gauge::FrontierPeak => "frontier_peak",
+            Gauge::OpenListPeak => "open_list_peak",
             Gauge::DominanceEntriesPeak => "dominance_entries_peak",
             Gauge::QueueDepthPeak => "queue_depth_peak",
             Gauge::ServiceQueueDepthPeak => "service_queue_depth_peak",
@@ -407,10 +412,10 @@ mod tests {
         reset();
         disable();
         add(Counter::StatesExpanded, 10);
-        gauge_max(Gauge::FrontierPeak, 99);
+        gauge_max(Gauge::OpenListPeak, 99);
         drop(span("phase"));
         assert_eq!(counter(Counter::StatesExpanded), 0);
-        assert_eq!(gauge(Gauge::FrontierPeak), 0);
+        assert_eq!(gauge(Gauge::OpenListPeak), 0);
         assert!(snapshot().spans_ns.is_empty());
     }
 
@@ -419,11 +424,11 @@ mod tests {
         isolated(|| {
             add(Counter::MemoHits, 3);
             incr(Counter::MemoHits);
-            gauge_max(Gauge::FrontierPeak, 7);
-            gauge_max(Gauge::FrontierPeak, 4);
+            gauge_max(Gauge::OpenListPeak, 7);
+            gauge_max(Gauge::OpenListPeak, 4);
             let snap = snapshot();
             assert_eq!(snap.counter("memo_hits"), Some(4));
-            assert_eq!(snap.gauge("frontier_peak"), Some(7));
+            assert_eq!(snap.gauge("open_list_peak"), Some(7));
             assert_eq!(snap.counter("no_such"), None);
         });
     }

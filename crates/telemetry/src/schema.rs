@@ -5,7 +5,7 @@
 //! ```json
 //! {"schema":"pebblyn-telemetry/v1","label":"exact mesh16",
 //!  "counters":{"states_expanded":123,...},
-//!  "gauges":{"frontier_peak":17,...},
+//!  "gauges":{"open_list_peak":17,...},
 //!  "spans_ns":{"solve":1500000}}
 //! ```
 //!
@@ -379,7 +379,7 @@ mod tests {
     fn snap() -> Snapshot {
         Snapshot {
             counters: vec![("states_expanded", 42), ("memo_hits", 0)],
-            gauges: vec![("frontier_peak", 9)],
+            gauges: vec![("open_list_peak", 9)],
             spans_ns: vec![("solve", 1234)],
         }
     }
@@ -391,7 +391,7 @@ mod tests {
         assert_eq!(rec.label, "exact mesh16");
         assert_eq!(rec.counters["states_expanded"], 42);
         assert_eq!(rec.counters["memo_hits"], 0);
-        assert_eq!(rec.gauges["frontier_peak"], 9);
+        assert_eq!(rec.gauges["open_list_peak"], 9);
         assert_eq!(rec.spans_ns["solve"], 1234);
     }
 

@@ -135,7 +135,7 @@ mod tests {
             label: "t".into(),
             snapshot: Snapshot {
                 counters: vec![("states_expanded", 5), ("memo_hits", 0)],
-                gauges: vec![("frontier_peak", 3)],
+                gauges: vec![("open_list_peak", 3)],
                 spans_ns: vec![("solve", 1_500_000)],
             },
         }
