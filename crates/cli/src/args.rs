@@ -76,6 +76,14 @@ EXACT OPTIONS:
 
 OTHER OPTIONS:
   --budget <BITS|Nw>       fast memory budget, bits or words (e.g. 99w)
+  --procs <P>              (schedule, sweep) play the multiprocessor game
+                           on P identical processors of --budget bits each
+                           [default 1: the classic single-processor game]
+  --proc-budgets a,b,...   (schedule) per-processor budgets, bits or words;
+                           replaces --budget, length must match --procs
+                           when both are given
+  --comm-price <W>         red-to-red communication price multiplier
+                           [default 2: priced like a store + a load]
   --points <K>             sweep points [default 20]
   --bits <BITS>            synth capacity in bits
   --emit                   print the full move sequence (schedule)
@@ -147,7 +155,7 @@ pub enum Command {
         workload: Workload,
         scheme: WeightScheme,
         scheduler: &'static str,
-        budget: Weight,
+        machine: MachineSpec,
         emit: bool,
         optimize: bool,
         out: Option<String>,
@@ -173,6 +181,8 @@ pub enum Command {
         scheme: WeightScheme,
         scheduler: &'static str,
         points: usize,
+        procs: usize,
+        comm_price: Weight,
     },
     /// Solve the workload optimally with the bound-guided A* search.
     Exact {
@@ -353,19 +363,72 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         resolve_scheduler(opts.get("--scheduler").unwrap_or(default))
     };
 
-    let budget = || -> Result<Weight, CliError> {
-        let s = opts
-            .get("--budget")
-            .ok_or_else(|| usage("missing --budget"))?;
+    // Bits with an optional `w` (words) suffix, e.g. `99w` = 99 · word.
+    let bits = |key: &str, s: &str| -> Result<Weight, CliError> {
         if let Some(words) = s.strip_suffix('w') {
             words
                 .parse::<Weight>()
                 .map(|w| w * word)
-                .map_err(|_| usage(format!("invalid --budget: {s}")))
+                .map_err(|_| usage(format!("invalid {key}: {s}")))
         } else {
-            s.parse()
-                .map_err(|_| usage(format!("invalid --budget: {s}")))
+            s.parse().map_err(|_| usage(format!("invalid {key}: {s}")))
         }
+    };
+
+    let budget = || -> Result<Weight, CliError> {
+        let s = opts
+            .get("--budget")
+            .ok_or_else(|| usage("missing --budget"))?;
+        bits("--budget", s)
+    };
+
+    // `--procs` with a zero guard; commands that cannot go multiprocessor
+    // simply never call this (an unused `--procs` is ignored like any
+    // other inapplicable flag).
+    let procs = || -> Result<usize, CliError> {
+        let p: usize = opts.parse_num("--procs", 1)?;
+        if p == 0 {
+            return Err(usage("--procs must be at least 1"));
+        }
+        Ok(p)
+    };
+
+    // The full machine: `--procs N` identical copies of `--budget`, or
+    // explicit heterogeneous `--proc-budgets a,b,...`, with `--comm-price`
+    // on top.  Inconsistent combinations are usage errors, not silent
+    // precedence rules.
+    let machine = || -> Result<MachineSpec, CliError> {
+        let comm_price: Weight = opts.parse_num("--comm-price", DEFAULT_COMM_PRICE)?;
+        let spec = match opts.get("--proc-budgets") {
+            Some(list) => {
+                let budgets = list
+                    .split(',')
+                    .map(|s| bits("--proc-budgets", s.trim()).map(ProcBudget::new))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if budgets.is_empty() {
+                    return Err(usage("--proc-budgets needs at least one budget"));
+                }
+                if let Some(p) = opts.get("--procs") {
+                    let p: usize = p
+                        .parse()
+                        .map_err(|_| usage(format!("invalid --procs: {p}")))?;
+                    if p != budgets.len() {
+                        return Err(usage(format!(
+                            "--procs {p} does not match the {} budgets in --proc-budgets",
+                            budgets.len()
+                        )));
+                    }
+                }
+                if opts.get("--budget").is_some() {
+                    return Err(usage(
+                        "--budget conflicts with --proc-budgets (budgets are per-processor)",
+                    ));
+                }
+                MachineSpec::new(budgets)
+            }
+            None => MachineSpec::symmetric(procs()?, budget()?),
+        };
+        Ok(spec.with_comm_price(comm_price))
     };
 
     match cmd {
@@ -375,7 +438,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 workload: w,
                 scheme,
                 scheduler: scheduler(&w)?,
-                budget: budget()?,
+                machine: machine()?,
                 emit: opts.flag("--emit"),
                 optimize: opts.flag("--optimize"),
                 out: opts.get("--out").map(String::from),
@@ -414,12 +477,20 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             })
         }
         "sweep" => {
+            if opts.get("--proc-budgets").is_some() {
+                return Err(usage(
+                    "--proc-budgets applies to schedule only; sweep varies the \
+                     per-processor budget itself (use --procs)",
+                ));
+            }
             let w = workload()?;
             Ok(Command::Sweep {
                 workload: w,
                 scheme,
                 scheduler: scheduler(&w)?,
                 points: opts.parse_num("--points", 20)?,
+                procs: procs()?,
+                comm_price: opts.parse_num("--comm-price", DEFAULT_COMM_PRICE)?,
             })
         }
         "exact" => {
@@ -521,13 +592,73 @@ mod tests {
         match c {
             Command::Schedule {
                 workload: Workload::Dwt { n: 256, d: 8 },
-                budget: 160,
+                machine,
                 scheduler: "dwt-opt",
                 emit: false,
                 optimize: false,
                 ..
+            } => assert_eq!(machine, MachineSpec::uniprocessor(160)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiprocessor_flags_build_the_machine() {
+        // --procs with a shared --budget: symmetric machine.
+        let c = parse(&argv(
+            "schedule --workload dwt --n 16 --d 2 --budget 10w --procs 4 --comm-price 3",
+        ))
+        .unwrap();
+        match c {
+            Command::Schedule { machine, .. } => {
+                assert_eq!(machine, MachineSpec::symmetric(4, 160).with_comm_price(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // --proc-budgets: heterogeneous, word suffixes allowed, default
+        // communication price.
+        let c = parse(&argv(
+            "schedule --workload dwt --n 16 --d 2 --proc-budgets 12w,64",
+        ))
+        .unwrap();
+        match c {
+            Command::Schedule { machine, .. } => {
+                assert_eq!(machine.num_procs(), 2);
+                assert_eq!((machine.proc_budget(0), machine.proc_budget(1)), (192, 64));
+                assert_eq!(machine.comm_price(), DEFAULT_COMM_PRICE);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Sweep accepts --procs / --comm-price.
+        match parse(&argv("sweep --workload dwt --n 16 --d 2 --procs 2")).unwrap() {
+            Command::Sweep {
+                procs: 2,
+                comm_price: DEFAULT_COMM_PRICE,
+                ..
             } => {}
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_multiprocessor_flags_are_usage_errors() {
+        for bad in [
+            // Zero processors.
+            "schedule --workload dwt --n 16 --d 2 --budget 10w --procs 0",
+            "sweep --workload dwt --n 16 --d 2 --procs 0",
+            // Count disagrees with the explicit budget list.
+            "schedule --workload dwt --n 16 --d 2 --procs 3 --proc-budgets 64,64",
+            // Scalar and per-processor budgets both given.
+            "schedule --workload dwt --n 16 --d 2 --budget 64 --proc-budgets 64,64",
+            // Unparseable list entry.
+            "schedule --workload dwt --n 16 --d 2 --proc-budgets 64,nope",
+            // Sweep generates its own budgets; a fixed list is a mistake.
+            "sweep --workload dwt --n 16 --d 2 --proc-budgets 64,64",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad}: {err}");
         }
     }
 

@@ -56,6 +56,8 @@ fn display_name(name: &str) -> &'static str {
         "greedy-belady" => "Belady-eviction greedy",
         "topo-window" => "streaming window (Belady eviction)",
         "slab-partition" => "streaming slab partitioner",
+        "partition-belady" => "level-partitioned Belady (best of q <= p)",
+        "comm-list" => "communication-aware list scheduler",
         _ => "scheduler",
     }
 }
@@ -97,6 +99,129 @@ fn build_stream_graph(
     }
 }
 
+/// One line describing the machine for report headers, e.g.
+/// `4 processors x 160 bits` or `processors of 192, 64 bits`.
+fn machine_summary(machine: &MachineSpec) -> String {
+    let budgets: Vec<Weight> = machine.procs().iter().map(|p| p.budget()).collect();
+    if budgets.windows(2).all(|w| w[0] == w[1]) {
+        format!("{} processors x {} bits", machine.num_procs(), budgets[0])
+    } else {
+        let list: Vec<String> = budgets.iter().map(Weight::to_string).collect();
+        format!("processors of {} bits", list.join(", "))
+    }
+}
+
+/// `pebblyn schedule --procs P ...`: run the multiprocessor game and
+/// report total I/O, makespan and communication alongside the
+/// single-processor metrics.
+fn schedule_multi(
+    g: &AnyGraph,
+    sched: &'static dyn Scheduler,
+    scheduler: &'static str,
+    machine: &MachineSpec,
+    emit: bool,
+    out: Option<String>,
+) -> Result<(), CliError> {
+    if out.is_some() {
+        return Err(CliError::Usage(
+            "--out writes the single-processor M1..M4 text format and does not \
+             apply to multiprocessor schedules"
+                .into(),
+        ));
+    }
+    if !sched.supports_machine(g, machine) {
+        return Err(CliError::Unsupported(
+            "this scheduler plays the single-processor game only; use \
+             partition-belady or comm-list with --procs > 1",
+        ));
+    }
+    let cdag = g.cdag();
+    println!(
+        "{} on {}, comm price {}",
+        g.name(),
+        machine_summary(machine),
+        machine.comm_price()
+    );
+    let req = ScheduleRequest::new(g, machine.clone(), scheduler);
+    let resp = api::execute_with(sched, &req).map_err(|e| match e {
+        ScheduleError::InfeasibleBudget { min_feasible } => CliError::Infeasible {
+            scheduler: display_name(scheduler),
+            budget: machine.max_proc_budget(),
+            min_feasible: min_feasible.or(Some(min_feasible_budget(cdag))),
+        },
+        e => CliError::from_schedule_error(e, display_name(scheduler), machine.max_proc_budget()),
+    })?;
+    let multi = resp
+        .into_multi_schedule()
+        .expect("full multiprocessor request returns moves");
+    // Replay for the report's stats; the executor already validated.
+    let stats = validate_multi_schedule(cdag, machine, &multi)?;
+    println!("scheduler:   {}", display_name(scheduler));
+    println!(
+        "moves:       {} ({} communications)",
+        stats.moves, stats.comm_moves
+    );
+    println!(
+        "total I/O:   {} bits (lower bound {}, comm {} of it)",
+        stats.total_cost(),
+        algorithmic_lower_bound(cdag),
+        stats.comm_cost
+    );
+    println!("makespan:    {} bit-times", stats.makespan);
+    println!(
+        "busy procs:  {} of {}, peak red {:?}",
+        stats.procs_used(),
+        machine.num_procs(),
+        stats.peak_red
+    );
+    if emit {
+        println!("\n{multi}");
+    }
+    Ok(())
+}
+
+/// `pebblyn sweep --procs P ...`: cost and makespan vs the per-processor
+/// budget over the same log lattice the single-processor sweep uses.
+fn sweep_multi(
+    g: &AnyGraph,
+    sched: &'static dyn Scheduler,
+    scheduler: &'static str,
+    points: usize,
+    procs: usize,
+    comm_price: Weight,
+    scheme: WeightScheme,
+) -> Result<(), CliError> {
+    let budgets = BudgetSpec::LogLattice {
+        points,
+        word: scheme.word_bits(),
+    }
+    .budgets(g);
+    println!("budget_bits,cost_bits,makespan_bits,comm_bits");
+    for b in budgets {
+        let machine = MachineSpec::symmetric(procs, b).with_comm_price(comm_price);
+        if !sched.supports_machine(g, &machine) {
+            return Err(CliError::Unsupported(
+                "this scheduler plays the single-processor game only; use \
+                 partition-belady or comm-list with --procs > 1",
+            ));
+        }
+        let req = ScheduleRequest::new(g, machine, scheduler).with_cost_only(true);
+        match api::execute_with(sched, &req) {
+            Ok(resp) => println!(
+                "{b},{},{},{}",
+                resp.cost(),
+                resp.makespan()
+                    .expect("multiprocessor answers carry makespan"),
+                resp.comm_cost()
+                    .expect("multiprocessor answers carry comm cost"),
+            ),
+            Err(ScheduleError::InfeasibleBudget { .. }) => println!("{b},inf,inf,inf"),
+            Err(e) => return Err(CliError::from_schedule_error(e, display_name(scheduler), b)),
+        }
+    }
+    Ok(())
+}
+
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), CliError> {
     match cmd {
@@ -104,7 +229,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             workload,
             scheme,
             scheduler,
-            budget,
+            machine,
             emit,
             optimize,
             out,
@@ -112,6 +237,9 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let g = AnyGraph::build(workload, scheme)?;
             let sched = ensure_supported(&g, scheduler)?;
             let cdag = g.cdag();
+            let Some(budget) = machine.uniprocessor_budget() else {
+                return schedule_multi(&g, sched, scheduler, &machine, emit, out);
+            };
             println!("{} under {scheme}, budget {budget} bits", g.name());
             let req = ScheduleRequest::new(&g, budget, scheduler);
             let mut schedule = match api::execute_with(sched, &req) {
@@ -231,9 +359,14 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             scheme,
             scheduler,
             points,
+            procs,
+            comm_price,
         } => {
             let g = AnyGraph::build(workload, scheme)?;
             let sched = ensure_supported(&g, scheduler)?;
+            if procs > 1 {
+                return sweep_multi(&g, sched, scheduler, points, procs, comm_price, scheme);
+            }
             let res = SweepPlan::new(
                 "cli sweep",
                 BudgetSpec::LogLattice {

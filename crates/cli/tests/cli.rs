@@ -680,3 +680,94 @@ fn synth_prints_macro() {
     assert!(stdout.contains("area:"));
     assert!(stdout.contains("leakage:"));
 }
+
+#[test]
+fn schedule_multiprocessor_reports_makespan() {
+    let (ok, stdout, stderr) = pebblyn(&[
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "16",
+        "--d",
+        "2",
+        "--budget",
+        "10w",
+        "--procs",
+        "2",
+        "--scheduler",
+        "partition-belady",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("2 processors x 160 bits"), "{stdout}");
+    assert!(stdout.contains("makespan:"), "{stdout}");
+    assert!(stdout.contains("total I/O:"), "{stdout}");
+}
+
+#[test]
+fn sweep_multiprocessor_emits_makespan_column() {
+    let (ok, stdout, stderr) = pebblyn(&[
+        "sweep",
+        "--workload",
+        "dwt",
+        "--n",
+        "16",
+        "--d",
+        "2",
+        "--points",
+        "4",
+        "--procs",
+        "2",
+        "--scheduler",
+        "comm-list",
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next(),
+        Some("budget_bits,cost_bits,makespan_bits,comm_bits")
+    );
+    assert!(lines.clone().count() >= 1, "{stdout}");
+    for line in lines {
+        assert_eq!(line.split(',').count(), 4, "{line}");
+    }
+}
+
+#[test]
+fn multiprocessor_flag_misuse_exits_2() {
+    let (code, stderr) = pebblyn_code(&[
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "16",
+        "--d",
+        "2",
+        "--budget",
+        "10w",
+        "--procs",
+        "3",
+        "--proc-budgets",
+        "64,64",
+    ]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--proc-budgets"), "{stderr}");
+
+    let (code, stderr) = pebblyn_code(&[
+        "schedule",
+        "--workload",
+        "dwt",
+        "--n",
+        "16",
+        "--d",
+        "2",
+        "--budget",
+        "10w",
+        "--procs",
+        "2",
+        "--scheduler",
+        "dwt-opt",
+    ]);
+    assert_eq!(code, Some(1), "single-processor-only scheduler: {stderr}");
+    assert!(stderr.contains("single-processor"), "{stderr}");
+}

@@ -11,14 +11,16 @@
 //! asserting they are caught ([`mutants`], [`mutation_smoke`]).
 //!
 //! Entry points: [`run`] fuzzes the real registry, [`mutation_smoke`]
-//! fuzzes each mutant until caught, and [`run_streaming`] certifies the
-//! streaming schedulers by invariants alone ([`streaming`]).  The
-//! `conformance` binary wraps all three:
+//! fuzzes each mutant until caught, [`run_streaming`] certifies the
+//! streaming schedulers by invariants alone ([`streaming`]), and
+//! [`run_multi`] certifies the multiprocessor schedulers across processor
+//! counts ([`multi`]).  The `conformance` binary wraps all four:
 //!
 //! ```text
 //! cargo run -p pebblyn-conformance -- --seed 3 --cases 2000
 //! cargo run -p pebblyn-conformance -- --mutation-smoke
 //! cargo run -p pebblyn-conformance -- --streaming --cases 500
+//! cargo run -p pebblyn-conformance -- --multi --cases 500 --procs 1,2,4
 //! ```
 
 #![forbid(unsafe_code)]
@@ -26,6 +28,7 @@
 
 pub mod gen;
 pub mod metamorphic;
+pub mod multi;
 pub mod mutants;
 pub mod oracle;
 pub mod rng;
@@ -33,6 +36,7 @@ pub mod shrink;
 pub mod streaming;
 
 pub use gen::{generate, CaseSpec, Family, TestCase};
+pub use multi::{run_multi, MultiReport, DEFAULT_PROCS};
 pub use oracle::{CaseOutcome, OracleConfig, Violation};
 pub use rng::SplitRng;
 pub use shrink::Shrunk;

@@ -9,7 +9,7 @@
 //! Exit codes: `0` clean, `1` violations found (or a mutant escaped),
 //! `2` usage error.
 
-use pebblyn_conformance::{mutation_smoke, run, run_streaming, Config};
+use pebblyn_conformance::{mutation_smoke, run, run_multi, run_streaming, Config, DEFAULT_PROCS};
 use pebblyn_core::Heuristic;
 use pebblyn_telemetry as telemetry;
 use std::process::ExitCode;
@@ -30,6 +30,13 @@ OPTIONS:
                       streaming schedulers by invariants alone (Prop. 2.3
                       feasibility, replay-cost identity, Prop. 2.4 bound
                       gap recorded) — no exact cross-check
+  --multi             run the MULTI regime instead: certify the
+                      multiprocessor schedulers (replay, per-processor
+                      budgets, I/O and makespan floors, p=1 byte-identity
+                      to greedy-belady, monotonicity in p, work
+                      conservation)
+  --procs <LIST>      comma-separated processor counts for --multi
+                      (default 1,2,4)
   --max-states <N>    exact-solver state cap per probe (default 2000000)
   --heuristic <H>     exact A* lower bound: none | remaining-work |
                       forced-reload | landmark-pdb (default landmark-pdb)
@@ -53,6 +60,8 @@ struct Args {
     cases: Option<u64>,
     mutation_smoke: bool,
     streaming: bool,
+    multi: bool,
+    procs: Vec<usize>,
     max_states: usize,
     heuristic: Heuristic,
     dominance: bool,
@@ -69,6 +78,8 @@ fn parse_args() -> Result<Args, String> {
         cases: None,
         mutation_smoke: false,
         streaming: false,
+        multi: false,
+        procs: DEFAULT_PROCS.to_vec(),
         max_states: 2_000_000,
         heuristic: Heuristic::default(),
         dominance: true,
@@ -122,6 +133,25 @@ fn parse_args() -> Result<Args, String> {
             "--telemetry" => args.telemetry = Some(value("--telemetry")?),
             "--mutation-smoke" => args.mutation_smoke = true,
             "--streaming" => args.streaming = true,
+            "--multi" => args.multi = true,
+            "--procs" => {
+                let v = value("--procs")?;
+                args.procs = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&p| p >= 1)
+                            .ok_or_else(|| {
+                                format!("bad --procs: {v:?} (comma-separated counts >= 1)")
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if args.procs.is_empty() {
+                    return Err("bad --procs: empty list".to_string());
+                }
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -177,8 +207,8 @@ fn main() -> ExitCode {
         }
     }
 
-    if args.mutation_smoke && args.streaming {
-        eprintln!("error: --mutation-smoke and --streaming are mutually exclusive\n");
+    if (args.mutation_smoke as u8) + (args.streaming as u8) + (args.multi as u8) > 1 {
+        eprintln!("error: --mutation-smoke, --streaming and --multi are mutually exclusive\n");
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
@@ -187,6 +217,14 @@ fn main() -> ExitCode {
     }
     if args.streaming {
         return streaming(&cfg, args.telemetry.is_some(), args.failure_out.as_deref());
+    }
+    if args.multi {
+        return multi(
+            &cfg,
+            &args.procs,
+            args.telemetry.is_some(),
+            args.failure_out.as_deref(),
+        );
     }
 
     println!(
@@ -292,6 +330,48 @@ fn streaming(cfg: &Config, telemetry_on: bool, failure_out: Option<&str>) -> Exi
     println!("{} FAILING CASE(S):\n{body}", report.failures.len());
     println!(
         "reproduce with: cargo run --release -p pebblyn-conformance -- --streaming --seed {} --cases {}",
+        cfg.seed, cfg.cases
+    );
+    if let Some(path) = failure_out {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("failing shrunk cases written to {path}");
+        }
+    }
+    ExitCode::FAILURE
+}
+
+fn multi(cfg: &Config, procs: &[usize], telemetry_on: bool, failure_out: Option<&str>) -> ExitCode {
+    let procs_label = procs
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "conformance (MULTI regime): seed {} · {} cases · procs {{{procs_label}}}",
+        cfg.seed, cfg.cases
+    );
+    let report = run_multi(cfg, procs);
+    println!(
+        "checked {} cases / {} probes · {} communication moves observed",
+        report.cases, report.probes, report.comm_moves
+    );
+    if telemetry_on {
+        telemetry::flush_run("conformance-multi");
+    }
+    if report.is_clean() {
+        println!("OK: zero violations");
+        return ExitCode::SUCCESS;
+    }
+    let mut body = String::new();
+    for f in &report.failures {
+        body.push_str(&f.to_string());
+        body.push('\n');
+    }
+    println!("{} FAILING CASE(S):\n{body}", report.failures.len());
+    println!(
+        "reproduce with: cargo run --release -p pebblyn-conformance -- --multi --seed {} --cases {} --procs {procs_label}",
         cfg.seed, cfg.cases
     );
     if let Some(path) = failure_out {

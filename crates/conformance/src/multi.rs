@@ -1,0 +1,444 @@
+//! The MULTI conformance regime: invariant certification of the
+//! multiprocessor schedulers across processor counts.
+//!
+//! The exact oracle certifies single-processor optimality; nothing like an
+//! exhaustive multiprocessor optimum is tractable, so this regime pins the
+//! multiprocessor schedulers (`partition-belady`, `comm-list`) to the
+//! relations that *are* checkable, on the same generator families and
+//! feasibility-aware budget probes as the other regimes:
+//!
+//! 1. **Feasibility** — at or above the Proposition 2.3 minimum per
+//!    processor, both schedulers must produce a schedule for every CDAG at
+//!    every probed processor count.
+//! 2. **Replay** — the schedule replays cleanly through
+//!    [`validate_multi_schedule`]; the replayed per-processor red peaks
+//!    respect every processor's budget (re-asserted outside the validator
+//!    so a validator regression cannot mask a scheduler one).
+//! 3. **I/O floor** — replayed I/O cost (loads + stores, communication
+//!    excluded) sits at or above [`algorithmic_lower_bound`]: every source
+//!    still enters fast memory at least once and every sink is still
+//!    stored, no matter how many processors participate.
+//! 4. **Makespan floor** — the makespan covers both the weighted compute
+//!    critical path (dependencies serialize across processors through
+//!    stores/communication) and the average work bound
+//!    `ceil(total compute weight / p)`.
+//! 5. **p = 1 identity** — on a uniprocessor machine both multiprocessor
+//!    schedulers project to *byte-identical* `greedy-belady` move streams:
+//!    the multiprocessor surface is a strict extension, not a fork.
+//! 6. **Monotonicity in p** — `partition-belady` selects the best machine
+//!    prefix, so its `(makespan, total cost)` objective never worsens as
+//!    processors are added at a fixed per-processor budget.
+//! 7. **Work conservation** — `comm-list` dispatches to the least-loaded
+//!    processor, so it must occupy at least `min(p, computed nodes)`
+//!    processors.
+
+use crate::gen::generate;
+use crate::oracle::{budget_probes, Violation};
+use crate::shrink;
+use crate::{Config, Failure};
+use pebblyn_core::{
+    algorithmic_lower_bound, min_feasible_budget, validate_multi_schedule, Cdag, MachineSpec,
+    MultiSchedule, Weight,
+};
+use pebblyn_engine::par::par_map;
+use pebblyn_graphs::AnyGraph;
+use pebblyn_schedulers::{by_name, Scheduler};
+use pebblyn_telemetry as telemetry;
+
+/// The multiprocessor schedulers this regime certifies, resolved from the
+/// live registry so the regime and the CLI can never disagree.
+///
+/// # Panics
+///
+/// Panics if either scheduler is missing from the registry — a wiring bug,
+/// not a conformance finding.
+pub fn multi_schedulers() -> Vec<&'static dyn Scheduler> {
+    ["partition-belady", "comm-list"]
+        .into_iter()
+        .map(|n| by_name(n).unwrap_or_else(|| panic!("{n} missing from the registry")))
+        .collect()
+}
+
+/// The processor counts a default MULTI run sweeps.
+pub const DEFAULT_PROCS: &[usize] = &[1, 2, 4];
+
+/// Aggregate report of one MULTI-regime run.
+#[derive(Debug, Clone, Default)]
+pub struct MultiReport {
+    /// Cases checked.
+    pub cases: u64,
+    /// Total `(scheduler, budget, procs)` probes across all cases.
+    pub probes: usize,
+    /// Total communication moves observed across all feasible probes.
+    pub comm_moves: u64,
+    /// Failing cases, shrunk exactly like the other regimes'.
+    pub failures: Vec<Failure>,
+}
+
+impl MultiReport {
+    /// `true` when no case violated any multiprocessor invariant.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The weighted compute critical path: the heaviest compute-weight chain,
+/// a makespan floor no processor count can beat.
+fn critical_path(g: &Cdag) -> Weight {
+    let mut down = vec![0 as Weight; g.len()];
+    let mut best = 0;
+    for &v in g.topo_order().iter().rev() {
+        let tail = g
+            .succs(v)
+            .iter()
+            .map(|&s| down[s.index()])
+            .max()
+            .unwrap_or(0);
+        let own = if g.is_source(v) { 0 } else { g.weight(v) };
+        down[v.index()] = own + tail;
+        best = best.max(down[v.index()]);
+    }
+    best
+}
+
+/// Check both multiprocessor schedulers on one `(graph, budget)` probe
+/// across `procs`.  Pure — no RNG — so the shrinker can re-invoke it.
+pub fn check_multi_graph_at(
+    g: &Cdag,
+    budget: Weight,
+    procs: &[usize],
+    schedulers: &[&dyn Scheduler],
+) -> (Vec<Violation>, u64) {
+    let minb = min_feasible_budget(g);
+    let lb = algorithmic_lower_bound(g);
+    let cp = critical_path(g);
+    let work: Weight = g
+        .nodes()
+        .filter(|&v| !g.is_source(v))
+        .map(|v| g.weight(v))
+        .sum();
+    let computes = g.nodes().filter(|&v| !g.is_source(v)).count();
+    let any = AnyGraph::custom("multi", g.clone());
+    let mut violations = Vec::new();
+    let mut comm_total = 0u64;
+    let single = pebblyn_schedulers::greedy_belady::schedule(g, budget);
+
+    for s in schedulers {
+        // (makespan, total cost) of the previous processor count, for the
+        // partition scheduler's monotonicity relation.
+        let mut prev_key: Option<(Weight, Weight)> = None;
+        for &p in procs {
+            telemetry::incr(telemetry::Counter::Probes);
+            let spec = MachineSpec::symmetric(p, budget);
+            let mut fail = |check: &'static str, detail: String| {
+                violations.push(Violation {
+                    check,
+                    scheduler: format!("{}@p{p}", s.name()),
+                    budget,
+                    detail,
+                });
+            };
+            let ms: MultiSchedule = match s.schedule_multi(&any, &spec) {
+                Ok(ms) => ms,
+                Err(e) => {
+                    if budget >= minb {
+                        fail(
+                            "multi-infeasible",
+                            format!("declined a feasible budget ({minb} bits suffice): {e}"),
+                        );
+                    }
+                    continue;
+                }
+            };
+            if budget < minb {
+                fail(
+                    "multi-phantom-feasibility",
+                    format!("produced a schedule below the Prop. 2.3 minimum ({minb} bits)"),
+                );
+                continue;
+            }
+            let stats = match validate_multi_schedule(g, &spec, &ms) {
+                Ok(stats) => stats,
+                Err(e) => {
+                    fail("multi-invalid", format!("replay rejected: {e}"));
+                    continue;
+                }
+            };
+            comm_total += stats.comm_moves;
+            if let Some((q, &peak)) = stats
+                .peak_red
+                .iter()
+                .enumerate()
+                .find(|&(q, &peak)| peak > spec.proc_budget(q))
+            {
+                fail(
+                    "multi-budget-exceeded",
+                    format!(
+                        "processor {q} peaked at {peak} over budget {}",
+                        spec.proc_budget(q)
+                    ),
+                );
+                continue;
+            }
+            if stats.io_cost < lb {
+                fail(
+                    "multi-below-lower-bound",
+                    format!("I/O cost {} < algorithmic lower bound {lb}", stats.io_cost),
+                );
+            }
+            let span_floor = cp.max(work.div_ceil(p as Weight));
+            if stats.makespan < span_floor {
+                fail(
+                    "multi-makespan-floor",
+                    format!(
+                        "makespan {} < max(critical path {cp}, work/p {})",
+                        stats.makespan,
+                        work.div_ceil(p as Weight)
+                    ),
+                );
+            }
+            if p == 1 {
+                match (&single, ms.project_single()) {
+                    (Some(expected), Some(projected)) if &projected == expected => {}
+                    (Some(_), got) => fail(
+                        "multi-p1-divergence",
+                        format!(
+                            "p=1 projection is not byte-identical to greedy-belady \
+                             (projected {} moves)",
+                            got.map(|s| s.len()).unwrap_or(0)
+                        ),
+                    ),
+                    (None, _) => fail(
+                        "multi-p1-divergence",
+                        "scheduled at p=1 where greedy-belady is infeasible".to_string(),
+                    ),
+                }
+                if stats.comm_moves != 0 {
+                    fail(
+                        "multi-p1-comm",
+                        format!("{} communication moves on one processor", stats.comm_moves),
+                    );
+                }
+            }
+            if s.name() == "partition-belady" {
+                let key = (stats.makespan, stats.total_cost());
+                if let Some(prev) = prev_key {
+                    if key > prev {
+                        fail(
+                            "multi-non-monotone",
+                            format!(
+                                "objective worsened with more processors: {key:?} after {prev:?}"
+                            ),
+                        );
+                    }
+                }
+                prev_key = Some(key);
+            }
+            if s.name() == "comm-list" && stats.procs_used() < p.min(computes) {
+                fail(
+                    "multi-not-work-conserving",
+                    format!(
+                        "used {} of {p} processors with {computes} computed nodes",
+                        stats.procs_used()
+                    ),
+                );
+            }
+        }
+    }
+    (violations, comm_total)
+}
+
+/// Check one graph across the feasibility-aware budget probes.
+pub fn check_multi_graph(
+    g: &Cdag,
+    procs: &[usize],
+    schedulers: &[&dyn Scheduler],
+) -> (usize, Vec<Violation>, u64) {
+    let minb = min_feasible_budget(g);
+    let mut probes = 0usize;
+    let mut violations = Vec::new();
+    let mut comm = 0u64;
+    for b in budget_probes(g) {
+        if b < minb {
+            continue; // the multi surface declines these uniformly; nothing to learn
+        }
+        probes += schedulers.len() * procs.len();
+        let (v, c) = check_multi_graph_at(g, b, procs, schedulers);
+        violations.extend(v);
+        comm += c;
+    }
+    (probes, violations, comm)
+}
+
+/// Run the MULTI regime: generate `cfg.cases` cases from the same
+/// `(seed, index)` space as the other regimes and certify the
+/// multiprocessor invariants on each at every processor count in `procs`,
+/// shrinking any failures.
+pub fn run_multi(cfg: &Config, procs: &[usize]) -> MultiReport {
+    let schedulers = multi_schedulers();
+    let indices: Vec<u64> = (0..cfg.cases).collect();
+    let outcomes = par_map(&indices, |&idx| {
+        let case = generate(cfg.seed, idx);
+        let (probes, violations, comm) = check_multi_graph(&case.graph, procs, &schedulers);
+        (case, probes, violations, comm)
+    });
+
+    let mut report = MultiReport {
+        cases: cfg.cases,
+        ..MultiReport::default()
+    };
+    for (case, probes, violations, comm) in outcomes {
+        report.probes += probes;
+        report.comm_moves += comm;
+        if !violations.is_empty() {
+            report
+                .failures
+                .push(shrink_multi_failure(&case, violations, procs, &schedulers));
+        }
+    }
+    report
+}
+
+/// Minimize one failing MULTI case.  Every check reproduces at its
+/// recorded budget (the monotonicity relation spans processor counts, not
+/// budgets), so the shrinker may minimize the budget too.
+fn shrink_multi_failure(
+    case: &crate::TestCase,
+    violations: Vec<Violation>,
+    procs: &[usize],
+    schedulers: &[&dyn Scheduler],
+) -> Failure {
+    let first = violations[0].clone();
+    let check = first.check;
+
+    let shrunk = shrink::shrink(&case.graph, first.budget, |g, b| {
+        check_multi_graph_at(g, b, procs, schedulers)
+            .0
+            .iter()
+            .any(|v| v.check == check)
+    });
+
+    let shrunk_detail = check_multi_graph_at(&shrunk.graph, shrunk.budget, procs, schedulers)
+        .0
+        .into_iter()
+        .find(|v| v.check == check)
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| format!("[{check}] (reproduces only on the unshrunk case)"));
+
+    Failure {
+        spec: case.spec,
+        label: case.label(),
+        violations,
+        shrunk,
+        shrunk_detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebblyn_core::CdagBuilder;
+
+    fn small_cfg() -> Config {
+        Config {
+            seed: 3,
+            cases: 16,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn registry_multi_pair_is_clean_on_a_small_run() {
+        let report = run_multi(&small_cfg(), DEFAULT_PROCS);
+        assert!(
+            report.is_clean(),
+            "violations: {:#?}",
+            report
+                .failures
+                .iter()
+                .map(|f| &f.violations)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.cases, 16);
+        assert!(report.probes > 0, "nothing was probed");
+    }
+
+    #[test]
+    fn multi_runs_are_deterministic() {
+        let a = run_multi(&small_cfg(), DEFAULT_PROCS);
+        let b = run_multi(&small_cfg(), DEFAULT_PROCS);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.comm_moves, b.comm_moves);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn hand_built_diamond_passes_every_probe() {
+        let mut b = CdagBuilder::new();
+        let a = b.node(16, "a");
+        let x = b.node(32, "x");
+        let y = b.node(32, "y");
+        let z = b.node(16, "z");
+        b.edge(a, x);
+        b.edge(a, y);
+        b.edge(x, z);
+        b.edge(y, z);
+        let g = b.build().unwrap();
+        let (probes, violations, _) = check_multi_graph(&g, DEFAULT_PROCS, &multi_schedulers());
+        assert!(violations.is_empty(), "{violations:#?}");
+        assert!(probes > 0);
+    }
+
+    /// A deliberately broken "multiprocessor" scheduler — it silently drops
+    /// the last compute — must be caught by the replay check.
+    #[test]
+    fn a_truncating_mutant_is_caught() {
+        use pebblyn_core::{MultiSchedule, Weight};
+        use pebblyn_schedulers::{api, ScheduleError};
+
+        struct Truncating;
+        impl api::sealed::Sealed for Truncating {}
+        impl Scheduler for Truncating {
+            fn name(&self) -> &str {
+                "truncating"
+            }
+            fn supports(&self, _g: &AnyGraph) -> bool {
+                true
+            }
+            fn schedule(
+                &self,
+                g: &AnyGraph,
+                budget: Weight,
+            ) -> Result<pebblyn_core::Schedule, ScheduleError> {
+                pebblyn_schedulers::greedy_belady::schedule(g.cdag(), budget)
+                    .ok_or(ScheduleError::InfeasibleBudget { min_feasible: None })
+            }
+            fn supports_machine(&self, _g: &AnyGraph, _spec: &MachineSpec) -> bool {
+                true
+            }
+            fn schedule_multi(
+                &self,
+                g: &AnyGraph,
+                spec: &MachineSpec,
+            ) -> Result<MultiSchedule, ScheduleError> {
+                let full = self.schedule(g, spec.proc_budget(0))?;
+                let moves: Vec<_> = full.iter().collect();
+                let cut = moves.len().saturating_sub(1);
+                Ok(MultiSchedule::from_single(
+                    &pebblyn_core::Schedule::from_moves(moves[..cut].to_vec()),
+                ))
+            }
+        }
+
+        let schedulers: Vec<&dyn Scheduler> = vec![&Truncating];
+        let cfg = small_cfg();
+        for idx in 0..cfg.cases {
+            let case = generate(cfg.seed, idx);
+            let (_, violations, _) = check_multi_graph(&case.graph, &[2], &schedulers);
+            if violations.iter().any(|v| v.check == "multi-invalid") {
+                return;
+            }
+        }
+        panic!("truncating mutant escaped the MULTI regime");
+    }
+}

@@ -1,0 +1,133 @@
+//! Satellite of the multiprocessor redesign: a `p = 1` machine is not
+//! merely *equivalent* to the scalar-budget game, it is **byte-identical**
+//! — every registered scheduler asked to play on
+//! `MachineSpec::uniprocessor(b)` must produce exactly the move stream and
+//! cost the pre-redesign scalar path produces.  The executor guarantees
+//! this by construction (uniprocessor requests route through the old code
+//! path, and the default `schedule_multi` wraps `schedule`); this test
+//! pins the guarantee empirically across the seeded conformance corpus
+//! and the structured workload families, so any future scheduler that
+//! overrides `schedule_multi` with a divergent `p = 1` special case is
+//! caught here before the MULTI conformance regime ever runs.
+
+use pebblyn_conformance::generate;
+use pebblyn_core::{min_feasible_budget, MachineSpec, MultiMove, ScheduleRequest};
+use pebblyn_graphs::{AnyGraph, WeightScheme, Workload};
+use pebblyn_schedulers::{api, ScheduleError};
+
+/// Budgets worth probing: the feasibility threshold, a mid-slack point,
+/// and ample memory.
+fn probe_budgets(g: &AnyGraph) -> Vec<u64> {
+    let minb = min_feasible_budget(g.cdag());
+    let total = g.cdag().total_weight();
+    let mut bs = vec![minb, minb + (total - minb.min(total)) / 2, total];
+    bs.dedup();
+    bs
+}
+
+/// Every corpus graph × registered scheduler × probe budget: the trait's
+/// multi entry point under a uniprocessor spec projects to exactly the
+/// scalar schedule, and the request executor returns the same answer for
+/// `ScheduleRequest::new(g, b, ..)` and
+/// `ScheduleRequest::new(g, MachineSpec::uniprocessor(b), ..)`.
+fn assert_p1_identity(g: &AnyGraph) {
+    for sched in api::registry() {
+        if !sched.supports(g) {
+            continue;
+        }
+        for b in probe_budgets(g) {
+            let spec = MachineSpec::uniprocessor(b);
+            let scalar = match sched.schedule(g, b) {
+                Ok(s) => s,
+                Err(ScheduleError::InfeasibleBudget { .. }) => {
+                    // The multi path must decline the same budgets.
+                    assert!(
+                        sched.schedule_multi(g, &spec).is_err(),
+                        "{}: multi path accepts budget {b} the scalar path declines on {}",
+                        sched.name(),
+                        g.name()
+                    );
+                    continue;
+                }
+                Err(e) => panic!("{}: scalar path failed on {}: {e}", sched.name(), g.name()),
+            };
+            let multi = sched
+                .schedule_multi(g, &spec)
+                .unwrap_or_else(|e| panic!("{}: multi path failed: {e}", sched.name()));
+
+            // Byte identity: every multi move is the scalar move on
+            // processor 0, in the same order.
+            assert_eq!(
+                multi.len(),
+                scalar.len(),
+                "{} on {}",
+                sched.name(),
+                g.name()
+            );
+            for (mm, sm) in multi.iter().zip(scalar.stream().iter()) {
+                assert_eq!(
+                    mm,
+                    MultiMove::from_single(sm, 0),
+                    "{} on {} at budget {b}: move streams diverge",
+                    sched.name(),
+                    g.name()
+                );
+            }
+
+            // The executor agrees with itself across the two request forms.
+            let scalar_req = ScheduleRequest::new(g, b, sched.name());
+            let multi_req = ScheduleRequest::new(g, spec.clone(), sched.name());
+            let a = api::execute_with(*sched, &scalar_req).expect("scalar request succeeds");
+            let m = api::execute_with(*sched, &multi_req).expect("uniprocessor request succeeds");
+            assert_eq!(a.cost(), m.cost(), "{} on {}", sched.name(), g.name());
+            assert_eq!(
+                a.schedule().map(|s| s.moves()),
+                m.schedule().map(|s| s.moves()),
+                "{} on {} at budget {b}: executor answers diverge",
+                sched.name(),
+                g.name()
+            );
+            assert_eq!(m.makespan(), None, "uniprocessor answers carry no makespan");
+            assert_eq!(
+                m.comm_cost(),
+                None,
+                "uniprocessor answers carry no comm cost"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_corpus_p1_machines_are_byte_identical_to_scalar_budgets() {
+    for idx in 0..24 {
+        let case = generate(3, idx);
+        let g = AnyGraph::custom(format!("case-{idx}"), case.graph);
+        assert_p1_identity(&g);
+    }
+}
+
+#[test]
+fn structured_workloads_p1_machines_are_byte_identical_to_scalar_budgets() {
+    // The typed schedulers (dwt-opt, kary, mvm-tiling, conv-stream,
+    // banded-stream) only engage on their workload families, which the
+    // random corpus never produces.
+    let workloads = [
+        (Workload::Dwt { n: 16, d: 2 }, WeightScheme::Equal(16)),
+        (
+            Workload::Mvm { m: 6, n: 8 },
+            WeightScheme::DoubleAccumulator(8),
+        ),
+        (Workload::Conv { n: 24, k: 4 }, WeightScheme::Equal(8)),
+        (
+            Workload::Banded {
+                n: 12,
+                bandwidth: 2,
+            },
+            WeightScheme::Equal(8),
+        ),
+    ];
+    for (w, scheme) in workloads {
+        let g = AnyGraph::build(w, scheme).expect("workload builds");
+        assert_p1_identity(&g);
+    }
+}

@@ -50,9 +50,11 @@ pub mod io;
 pub mod label;
 pub mod mask;
 pub mod moves;
+pub mod multi;
 pub mod redset;
 pub mod request;
 pub mod schedule;
+pub mod spec;
 pub mod stream;
 pub mod symmetry;
 pub mod trace;
@@ -68,9 +70,13 @@ pub use graph::{Cdag, CdagBuilder, NodeId, Weight};
 pub use label::{Label, PebbleState};
 pub use mask::{mask_iter, mask_weight, StateMask, Words};
 pub use moves::Move;
+pub use multi::{
+    validate_multi_schedule, MultiMove, MultiSchedule, MultiStats, MultiValidityError,
+};
 pub use redset::RedSet;
 pub use request::{ScheduleRequest, ScheduleResponse};
 pub use schedule::Schedule;
+pub use spec::{MachineSpec, ProcBudget, DEFAULT_COMM_PRICE};
 pub use stream::MoveStream;
 pub use symmetry::{certified_generators, is_certified_automorphism, twin_classes};
 pub use trace::{

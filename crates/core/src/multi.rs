@@ -1,0 +1,810 @@
+//! The multiprocessor WRBPG: p red pebble sets over one shared blue level.
+//!
+//! Following Böhnlein–Papp–Yzelman ("Red-Blue Pebbling with Multiple
+//! Processors"), the game board gains `p` processors.  Each processor `q`
+//! owns a bounded red pebble set (its fast memory, budget
+//! `MachineSpec::proc_budget(q)`); all processors share the unbounded blue
+//! level (slow memory).  The move forms are the four single-processor
+//! moves, now tagged with the acting processor, plus one new form:
+//!
+//! * [`MultiMove::Comm`] — **communication**: copy a value red-to-red from
+//!   one processor to another, priced like a store+load of the same value
+//!   (`comm_price · w(v)` traffic, default price 2).
+//!
+//! Two objectives coexist (the compute/communication/memory trade-off):
+//!
+//! * **total I/O** — the weighted M1+M2 sum of Definition 2.2, summed over
+//!   all processors, plus the priced communication traffic, and
+//! * **makespan** — the maximum per-processor finish time under a simple
+//!   contention-free timing model: a compute of `v` occupies its processor
+//!   for `w(v)` time units, a load waits until the blue copy exists and
+//!   then takes `w(v)`, a store takes `w(v)` and publishes the blue copy,
+//!   a communication synchronizes both endpoints for `comm_price · w(v)`,
+//!   and deletes are free.
+//!
+//! [`validate_multi_schedule`] replays a [`MultiSchedule`] against every
+//! rule — per-processor budgets after every move, shared-blue
+//! preconditions, the sinks-end-blue stopping condition — and reports
+//! [`MultiStats`] (both objectives plus per-processor occupancy), mirroring
+//! the single-processor `validate_schedule`.  A `p = 1` multi schedule with
+//! no communication moves projects losslessly onto a classic [`Schedule`]
+//! via [`MultiSchedule::project_single`], which is how the conformance
+//! oracle checks p=1 equivalence byte-for-byte.
+
+use crate::graph::{Cdag, NodeId, Weight};
+use crate::moves::Move;
+use crate::redset::RedSet;
+use crate::schedule::Schedule;
+use crate::spec::MachineSpec;
+use std::fmt;
+
+/// One move of the multiprocessor game.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MultiMove {
+    /// *M1* on processor `proc` — copy `node` from slow memory into
+    /// `proc`'s fast memory.
+    Load {
+        /// Acting processor.
+        proc: usize,
+        /// Target node.
+        node: NodeId,
+    },
+    /// *M2* on processor `proc` — copy `node` from `proc`'s fast memory to
+    /// slow memory (visible to every processor afterwards).
+    Store {
+        /// Acting processor.
+        proc: usize,
+        /// Target node.
+        node: NodeId,
+    },
+    /// *M3* on processor `proc` — compute `node`; every predecessor must be
+    /// red **on the same processor**.
+    Compute {
+        /// Acting processor.
+        proc: usize,
+        /// Target node.
+        node: NodeId,
+    },
+    /// *M4* on processor `proc` — evict `node` from `proc`'s fast memory.
+    Delete {
+        /// Acting processor.
+        proc: usize,
+        /// Target node.
+        node: NodeId,
+    },
+    /// *M5* — communicate `node` red-to-red from processor `from` to
+    /// processor `to`, priced like a store+load (`comm_price · w`).
+    Comm {
+        /// Sending processor (must hold `node` red).
+        from: usize,
+        /// Receiving processor (gains a red pebble on `node`).
+        to: usize,
+        /// Transferred node.
+        node: NodeId,
+    },
+}
+
+impl MultiMove {
+    /// The node this move targets.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        match self {
+            MultiMove::Load { node, .. }
+            | MultiMove::Store { node, .. }
+            | MultiMove::Compute { node, .. }
+            | MultiMove::Delete { node, .. }
+            | MultiMove::Comm { node, .. } => node,
+        }
+    }
+
+    /// The single-processor equivalent when this move runs on processor 0
+    /// of a uniprocessor machine; `None` for communication or any other
+    /// processor.
+    pub fn as_single(self) -> Option<Move> {
+        match self {
+            MultiMove::Load { proc: 0, node } => Some(Move::Load(node)),
+            MultiMove::Store { proc: 0, node } => Some(Move::Store(node)),
+            MultiMove::Compute { proc: 0, node } => Some(Move::Compute(node)),
+            MultiMove::Delete { proc: 0, node } => Some(Move::Delete(node)),
+            _ => None,
+        }
+    }
+
+    /// Lift a single-processor move onto processor `proc`.
+    pub fn from_single(mv: Move, proc: usize) -> MultiMove {
+        match mv {
+            Move::Load(node) => MultiMove::Load { proc, node },
+            Move::Store(node) => MultiMove::Store { proc, node },
+            Move::Compute(node) => MultiMove::Compute { proc, node },
+            Move::Delete(node) => MultiMove::Delete { proc, node },
+        }
+    }
+}
+
+impl fmt::Debug for MultiMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MultiMove::Load { proc, node } => write!(f, "M1@p{proc}({node})"),
+            MultiMove::Store { proc, node } => write!(f, "M2@p{proc}({node})"),
+            MultiMove::Compute { proc, node } => write!(f, "M3@p{proc}({node})"),
+            MultiMove::Delete { proc, node } => write!(f, "M4@p{proc}({node})"),
+            MultiMove::Comm { from, to, node } => write!(f, "M5(p{from}->p{to}, {node})"),
+        }
+    }
+}
+
+impl fmt::Display for MultiMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An ordered multiprocessor move sequence.
+///
+/// Moves are globally ordered (the validator replays them sequentially for
+/// rule checking); the timing model recovers per-processor concurrency
+/// from the per-processor clocks, so the global order only has to be
+/// *consistent* with each processor's local order and with cross-processor
+/// data movement.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct MultiSchedule {
+    moves: Vec<MultiMove>,
+}
+
+impl MultiSchedule {
+    /// The empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a move list.
+    pub fn from_moves(moves: Vec<MultiMove>) -> Self {
+        MultiSchedule { moves }
+    }
+
+    /// Lift a single-processor schedule onto processor 0 of a
+    /// multiprocessor machine.
+    pub fn from_single(schedule: &Schedule) -> Self {
+        MultiSchedule {
+            moves: schedule
+                .iter()
+                .map(|m| MultiMove::from_single(m, 0))
+                .collect(),
+        }
+    }
+
+    /// Project back onto the single-processor game: succeeds exactly when
+    /// every move runs on processor 0 and there is no communication.
+    /// `from_single` followed by `project_single` is the identity, which
+    /// is the p=1 byte-identity contract the conformance oracle checks.
+    pub fn project_single(&self) -> Option<Schedule> {
+        self.moves.iter().map(|m| m.as_single()).collect()
+    }
+
+    /// The move sequence.
+    #[inline]
+    pub fn moves(&self) -> &[MultiMove] {
+        &self.moves
+    }
+
+    /// Append one move.
+    #[inline]
+    pub fn push(&mut self, mv: MultiMove) {
+        self.moves.push(mv);
+    }
+
+    /// Number of moves.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// `true` when there are no moves.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// Iterate over the moves.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = MultiMove> + '_ {
+        self.moves.iter().copied()
+    }
+
+    /// Rewrite every move's target node — the multiprocessor analogue of
+    /// [`Schedule::map_nodes`], used to transport cached answers between
+    /// isomorphic labelings.  Processor indices are untouched.
+    pub fn map_nodes(&self, f: impl Fn(NodeId) -> NodeId) -> MultiSchedule {
+        MultiSchedule {
+            moves: self
+                .moves
+                .iter()
+                .map(|&m| match m {
+                    MultiMove::Load { proc, node } => MultiMove::Load {
+                        proc,
+                        node: f(node),
+                    },
+                    MultiMove::Store { proc, node } => MultiMove::Store {
+                        proc,
+                        node: f(node),
+                    },
+                    MultiMove::Compute { proc, node } => MultiMove::Compute {
+                        proc,
+                        node: f(node),
+                    },
+                    MultiMove::Delete { proc, node } => MultiMove::Delete {
+                        proc,
+                        node: f(node),
+                    },
+                    MultiMove::Comm { from, to, node } => MultiMove::Comm {
+                        from,
+                        to,
+                        node: f(node),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for MultiSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let comm = self
+            .moves
+            .iter()
+            .filter(|m| matches!(m, MultiMove::Comm { .. }))
+            .count();
+        write!(f, "MultiSchedule({} moves, {comm} comm)", self.len())
+    }
+}
+
+impl fmt::Display for MultiSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, m) in self.moves.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<MultiMove> for MultiSchedule {
+    fn from_iter<T: IntoIterator<Item = MultiMove>>(iter: T) -> Self {
+        MultiSchedule {
+            moves: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Why a multiprocessor schedule is invalid (with the offending step).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiValidityError {
+    /// A move names a processor the machine does not have.
+    UnknownProc {
+        /// 0-based move index.
+        step: usize,
+        /// The offending move.
+        mv: MultiMove,
+        /// Number of processors in the spec.
+        procs: usize,
+    },
+    /// M1 of a node with no blue pebble.
+    LoadWithoutBlue {
+        /// 0-based move index.
+        step: usize,
+        /// The offending move.
+        mv: MultiMove,
+    },
+    /// M2 of a node not red on the acting processor.
+    StoreWithoutRed {
+        /// 0-based move index.
+        step: usize,
+        /// The offending move.
+        mv: MultiMove,
+    },
+    /// M3 of a source node.
+    ComputeSource {
+        /// 0-based move index.
+        step: usize,
+        /// The offending move.
+        mv: MultiMove,
+    },
+    /// M3 with predecessors missing from the acting processor's red set.
+    ComputeWithoutOperands {
+        /// 0-based move index.
+        step: usize,
+        /// The offending move.
+        mv: MultiMove,
+        /// Predecessors not red on the acting processor.
+        missing: Vec<NodeId>,
+    },
+    /// M4 of a node not red on the acting processor.
+    DeleteWithoutRed {
+        /// 0-based move index.
+        step: usize,
+        /// The offending move.
+        mv: MultiMove,
+    },
+    /// M5 whose source processor does not hold the node red.
+    CommWithoutRed {
+        /// 0-based move index.
+        step: usize,
+        /// The offending move.
+        mv: MultiMove,
+    },
+    /// M5 from a processor to itself.
+    CommToSelf {
+        /// 0-based move index.
+        step: usize,
+        /// The offending move.
+        mv: MultiMove,
+    },
+    /// A processor's red weight exceeded its budget after a move.
+    BudgetExceeded {
+        /// 0-based move index.
+        step: usize,
+        /// The offending move.
+        mv: MultiMove,
+        /// The overloaded processor.
+        proc: usize,
+        /// Red weight on `proc` after the move.
+        used: Weight,
+        /// `proc`'s budget.
+        budget: Weight,
+    },
+    /// A sink ended the schedule without a blue pebble.
+    StoppingConditionUnmet {
+        /// The uncovered sink.
+        sink: NodeId,
+    },
+}
+
+impl fmt::Display for MultiValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use MultiValidityError::*;
+        match self {
+            UnknownProc { step, mv, procs } => {
+                write!(f, "step {step}: {mv} names a processor >= p={procs}")
+            }
+            LoadWithoutBlue { step, mv } => {
+                write!(f, "step {step}: {mv} loads a node with no blue pebble")
+            }
+            StoreWithoutRed { step, mv } => write!(
+                f,
+                "step {step}: {mv} stores a node not red on the acting processor"
+            ),
+            ComputeSource { step, mv } => {
+                write!(f, "step {step}: {mv} computes a source node")
+            }
+            ComputeWithoutOperands { step, mv, missing } => write!(
+                f,
+                "step {step}: {mv} computes with operands {missing:?} not red on the processor"
+            ),
+            DeleteWithoutRed { step, mv } => write!(
+                f,
+                "step {step}: {mv} deletes a node not red on the acting processor"
+            ),
+            CommWithoutRed { step, mv } => write!(
+                f,
+                "step {step}: {mv} communicates a node not red on the sender"
+            ),
+            CommToSelf { step, mv } => {
+                write!(f, "step {step}: {mv} communicates a node to its own holder")
+            }
+            BudgetExceeded {
+                step,
+                mv,
+                proc,
+                used,
+                budget,
+            } => write!(
+                f,
+                "step {step}: {mv} leaves processor {proc} at {used} red bits > budget {budget}"
+            ),
+            StoppingConditionUnmet { sink } => {
+                write!(f, "sink {sink} holds no blue pebble at the end")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiValidityError {}
+
+/// Exact statistics of a replay-validated multiprocessor schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiStats {
+    /// Weighted M1+M2 cost summed over all processors (Definition 2.2),
+    /// *excluding* communication.
+    pub io_cost: Weight,
+    /// Weighted M1 (load) component of `io_cost`.
+    pub input_cost: Weight,
+    /// Weighted M2 (store) component of `io_cost`.
+    pub output_cost: Weight,
+    /// Priced communication traffic: `Σ_{M5(v)} comm_price · w_v`.
+    pub comm_cost: Weight,
+    /// Number of communication moves.
+    pub comm_moves: u64,
+    /// Makespan: the maximum per-processor clock after the last move.
+    pub makespan: Weight,
+    /// Peak red weight per processor (index = processor).
+    pub peak_red: Vec<Weight>,
+    /// Compute moves per processor (index = processor).
+    pub computes_per_proc: Vec<u64>,
+    /// Total number of moves replayed.
+    pub moves: u64,
+}
+
+impl MultiStats {
+    /// The combined I/O objective: slow-memory traffic plus priced
+    /// communication.  For p=1 this equals the single-processor cost.
+    pub fn total_cost(&self) -> Weight {
+        self.io_cost + self.comm_cost
+    }
+
+    /// Total compute moves across processors.
+    pub fn computes(&self) -> u64 {
+        self.computes_per_proc.iter().sum()
+    }
+
+    /// Number of processors that computed at least one node.
+    pub fn procs_used(&self) -> usize {
+        self.computes_per_proc.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+/// Replay `schedule` on `graph` under `spec`, checking every rule of the
+/// multiprocessor game, and return exact statistics.
+///
+/// Rules checked (mirroring the single-processor `validate_moves`):
+/// every processor index exists; M1 needs a blue pebble; M2/M4 need a red
+/// pebble on the acting processor; M3 needs a non-source node with every
+/// predecessor red **on the acting processor**; M5 needs the value red on
+/// the sender and distinct endpoints; after every red-set insertion the
+/// owning processor's weighted budget holds; and every sink ends blue.
+pub fn validate_multi_schedule(
+    graph: &Cdag,
+    spec: &MachineSpec,
+    schedule: &MultiSchedule,
+) -> Result<MultiStats, MultiValidityError> {
+    use MultiValidityError::*;
+    let p = spec.num_procs();
+    let mut red: Vec<RedSet> = (0..p).map(|_| RedSet::new(graph.len())).collect();
+    let mut blue = RedSet::new(graph.len());
+    // Per-processor clocks and the time each blue copy becomes readable.
+    let mut clock: Vec<Weight> = vec![0; p];
+    let mut avail_blue: Vec<Weight> = vec![0; graph.len()];
+    for &v in graph.sources() {
+        blue.insert(v, graph.weight(v));
+    }
+
+    let mut stats = MultiStats {
+        io_cost: 0,
+        input_cost: 0,
+        output_cost: 0,
+        comm_cost: 0,
+        comm_moves: 0,
+        makespan: 0,
+        peak_red: vec![0; p],
+        computes_per_proc: vec![0; p],
+        moves: schedule.len() as u64,
+    };
+
+    let check_budget = |red: &[RedSet],
+                        stats: &mut MultiStats,
+                        step: usize,
+                        mv: MultiMove,
+                        q: usize|
+     -> Result<(), MultiValidityError> {
+        let used = red[q].weight();
+        stats.peak_red[q] = stats.peak_red[q].max(used);
+        if used > spec.proc_budget(q) {
+            return Err(BudgetExceeded {
+                step,
+                mv,
+                proc: q,
+                used,
+                budget: spec.proc_budget(q),
+            });
+        }
+        Ok(())
+    };
+
+    for (step, mv) in schedule.iter().enumerate() {
+        match mv {
+            MultiMove::Load { proc, node } => {
+                if proc >= p {
+                    return Err(UnknownProc { step, mv, procs: p });
+                }
+                if !blue.contains(node) {
+                    return Err(LoadWithoutBlue { step, mv });
+                }
+                let w = graph.weight(node);
+                stats.io_cost += w;
+                stats.input_cost += w;
+                clock[proc] = clock[proc].max(avail_blue[node.index()]) + w;
+                red[proc].insert(node, w);
+                check_budget(&red, &mut stats, step, mv, proc)?;
+            }
+            MultiMove::Store { proc, node } => {
+                if proc >= p {
+                    return Err(UnknownProc { step, mv, procs: p });
+                }
+                if !red[proc].contains(node) {
+                    return Err(StoreWithoutRed { step, mv });
+                }
+                let w = graph.weight(node);
+                stats.io_cost += w;
+                stats.output_cost += w;
+                clock[proc] += w;
+                if blue.insert(node, w) {
+                    avail_blue[node.index()] = clock[proc];
+                }
+            }
+            MultiMove::Compute { proc, node } => {
+                if proc >= p {
+                    return Err(UnknownProc { step, mv, procs: p });
+                }
+                if graph.is_source(node) {
+                    return Err(ComputeSource { step, mv });
+                }
+                let missing: Vec<NodeId> = graph
+                    .preds(node)
+                    .iter()
+                    .copied()
+                    .filter(|&u| !red[proc].contains(u))
+                    .collect();
+                if !missing.is_empty() {
+                    return Err(ComputeWithoutOperands { step, mv, missing });
+                }
+                let w = graph.weight(node);
+                clock[proc] += w;
+                stats.computes_per_proc[proc] += 1;
+                red[proc].insert(node, w);
+                check_budget(&red, &mut stats, step, mv, proc)?;
+            }
+            MultiMove::Delete { proc, node } => {
+                if proc >= p {
+                    return Err(UnknownProc { step, mv, procs: p });
+                }
+                if !red[proc].remove(node, graph.weight(node)) {
+                    return Err(DeleteWithoutRed { step, mv });
+                }
+            }
+            MultiMove::Comm { from, to, node } => {
+                if from >= p || to >= p {
+                    return Err(UnknownProc { step, mv, procs: p });
+                }
+                if from == to {
+                    return Err(CommToSelf { step, mv });
+                }
+                if !red[from].contains(node) {
+                    return Err(CommWithoutRed { step, mv });
+                }
+                let w = graph.weight(node);
+                stats.comm_cost += spec.comm_price() * w;
+                stats.comm_moves += 1;
+                let t = clock[from].max(clock[to]) + spec.comm_price() * w;
+                clock[from] = t;
+                clock[to] = t;
+                red[to].insert(node, w);
+                check_budget(&red, &mut stats, step, mv, to)?;
+            }
+        }
+    }
+
+    for &v in graph.sinks() {
+        if !blue.contains(v) {
+            return Err(StoppingConditionUnmet { sink: v });
+        }
+    }
+    stats.makespan = clock.into_iter().max().unwrap_or(0);
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CdagBuilder;
+    use crate::validate::validate_schedule;
+
+    /// x(16) -> y(32), x -> z(16): one shared input, two consumers.
+    fn fork() -> (Cdag, NodeId, NodeId, NodeId) {
+        let mut b = CdagBuilder::new();
+        let x = b.node(16, "x");
+        let y = b.node(32, "y");
+        let z = b.node(16, "z");
+        b.edge(x, y);
+        b.edge(x, z);
+        (b.build().unwrap(), x, y, z)
+    }
+
+    #[test]
+    fn single_proc_round_trips_and_matches_classic_validator() {
+        let (g, x, y, z) = fork();
+        let single = Schedule::from_moves(vec![
+            Move::Load(x),
+            Move::Compute(y),
+            Move::Store(y),
+            Move::Delete(y),
+            Move::Compute(z),
+            Move::Store(z),
+        ]);
+        let multi = MultiSchedule::from_single(&single);
+        assert_eq!(multi.project_single().unwrap(), single);
+
+        let spec = MachineSpec::uniprocessor(64);
+        let stats = validate_multi_schedule(&g, &spec, &multi).unwrap();
+        let classic = validate_schedule(&g, 64, &single).unwrap();
+        assert_eq!(stats.io_cost, classic.cost);
+        assert_eq!(stats.input_cost, classic.input_cost);
+        assert_eq!(stats.output_cost, classic.output_cost);
+        assert_eq!(stats.peak_red, vec![classic.peak_red_weight]);
+        assert_eq!(stats.comm_moves, 0);
+        assert_eq!(stats.total_cost(), classic.cost);
+        assert_eq!(stats.procs_used(), 1);
+        // load 16 + compute 32 + store 32 + compute 16 + store 16
+        assert_eq!(stats.makespan, 112);
+    }
+
+    #[test]
+    fn comm_move_transfers_red_and_prices_like_store_load() {
+        let (g, x, y, z) = fork();
+        let spec = MachineSpec::symmetric(2, 64);
+        let sched = MultiSchedule::from_moves(vec![
+            MultiMove::Load { proc: 0, node: x },
+            MultiMove::Comm {
+                from: 0,
+                to: 1,
+                node: x,
+            },
+            MultiMove::Compute { proc: 0, node: y },
+            MultiMove::Compute { proc: 1, node: z },
+            MultiMove::Store { proc: 0, node: y },
+            MultiMove::Store { proc: 1, node: z },
+        ]);
+        let stats = validate_multi_schedule(&g, &spec, &sched).unwrap();
+        assert_eq!(stats.comm_moves, 1);
+        assert_eq!(stats.comm_cost, 2 * 16);
+        assert_eq!(stats.io_cost, 16 + 32 + 16);
+        assert_eq!(stats.total_cost(), 96);
+        assert_eq!(stats.procs_used(), 2);
+        assert_eq!(stats.computes_per_proc, vec![1, 1]);
+        // p0: load 16 -> comm sync to 48 -> compute 32 -> store 32 = 112.
+        // p1: comm sync to 48 -> compute 16 -> store 16 = 80.
+        assert_eq!(stats.makespan, 112);
+    }
+
+    #[test]
+    fn makespan_load_waits_for_blue_availability() {
+        let (g, x, y, z) = fork();
+        let spec = MachineSpec::symmetric(2, 64);
+        // p1 loads x only after p0 stores... x is a source, blue at t=0,
+        // so no wait; but y computed on p0 then stored is only available
+        // to p1 after the store completes.
+        let sched = MultiSchedule::from_moves(vec![
+            MultiMove::Load { proc: 0, node: x },
+            MultiMove::Compute { proc: 0, node: y },
+            MultiMove::Store { proc: 0, node: y }, // blue(y) at t=16+32+32=80
+            MultiMove::Load { proc: 1, node: x },  // t(p1)=16
+            MultiMove::Compute { proc: 1, node: z },
+            MultiMove::Store { proc: 1, node: z },
+            MultiMove::Delete { proc: 1, node: z },
+            MultiMove::Load { proc: 1, node: y }, // waits: max(48, 80)+32 = 112
+        ]);
+        let stats = validate_multi_schedule(&g, &spec, &sched).unwrap();
+        assert_eq!(stats.makespan, 112);
+    }
+
+    #[test]
+    fn per_proc_budgets_are_independent() {
+        let (g, x, y, _z) = fork();
+        let spec = MachineSpec::new(vec![
+            crate::spec::ProcBudget::new(64),
+            crate::spec::ProcBudget::new(16),
+        ]);
+        // Fits on p0 (peak 48 <= 64): replay only trips the stopping
+        // condition (sink z never produced), not the budget.
+        let on_p0 = MultiSchedule::from_moves(vec![
+            MultiMove::Load { proc: 0, node: x },
+            MultiMove::Compute { proc: 0, node: y },
+            MultiMove::Store { proc: 0, node: y },
+        ]);
+        assert!(matches!(
+            validate_multi_schedule(&g, &spec, &on_p0),
+            Err(MultiValidityError::StoppingConditionUnmet { .. })
+        ));
+        // Same prefix on p1 blows its 16-bit budget at the compute.
+        let on_p1 = MultiSchedule::from_moves(vec![
+            MultiMove::Load { proc: 1, node: x },
+            MultiMove::Compute { proc: 1, node: y },
+        ]);
+        match validate_multi_schedule(&g, &spec, &on_p1) {
+            Err(MultiValidityError::BudgetExceeded {
+                proc, used, budget, ..
+            }) => {
+                assert_eq!(proc, 1);
+                assert_eq!(used, 48);
+                assert_eq!(budget, 16);
+            }
+            other => panic!("expected budget violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compute_needs_operands_on_the_same_processor() {
+        let (g, x, y, _z) = fork();
+        let spec = MachineSpec::symmetric(2, 64);
+        let sched = MultiSchedule::from_moves(vec![
+            MultiMove::Load { proc: 0, node: x },
+            MultiMove::Compute { proc: 1, node: y }, // x red on p0, not p1
+        ]);
+        match validate_multi_schedule(&g, &spec, &sched) {
+            Err(MultiValidityError::ComputeWithoutOperands { missing, .. }) => {
+                assert_eq!(missing, vec![x]);
+            }
+            other => panic!("expected missing operands, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comm_requires_red_sender_and_distinct_endpoints() {
+        let (g, x, _y, _z) = fork();
+        let spec = MachineSpec::symmetric(2, 64);
+        let no_red = MultiSchedule::from_moves(vec![MultiMove::Comm {
+            from: 0,
+            to: 1,
+            node: x,
+        }]);
+        assert!(matches!(
+            validate_multi_schedule(&g, &spec, &no_red),
+            Err(MultiValidityError::CommWithoutRed { .. })
+        ));
+        let to_self = MultiSchedule::from_moves(vec![
+            MultiMove::Load { proc: 0, node: x },
+            MultiMove::Comm {
+                from: 0,
+                to: 0,
+                node: x,
+            },
+        ]);
+        assert!(matches!(
+            validate_multi_schedule(&g, &spec, &to_self),
+            Err(MultiValidityError::CommToSelf { .. })
+        ));
+    }
+
+    #[test]
+    fn stopping_condition_and_unknown_proc() {
+        let (g, x, y, z) = fork();
+        let spec = MachineSpec::symmetric(2, 64);
+        let incomplete = MultiSchedule::from_moves(vec![
+            MultiMove::Load { proc: 0, node: x },
+            MultiMove::Compute { proc: 0, node: y },
+            MultiMove::Store { proc: 0, node: y },
+            MultiMove::Compute { proc: 0, node: z },
+        ]);
+        assert!(matches!(
+            validate_multi_schedule(&g, &spec, &incomplete),
+            Err(MultiValidityError::StoppingConditionUnmet { sink }) if sink == z
+        ));
+        let bad_proc = MultiSchedule::from_moves(vec![MultiMove::Load { proc: 2, node: x }]);
+        assert!(matches!(
+            validate_multi_schedule(&g, &spec, &bad_proc),
+            Err(MultiValidityError::UnknownProc { procs: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn projection_fails_off_processor_zero() {
+        let (_g, x, _y, _z) = fork();
+        let off = MultiSchedule::from_moves(vec![MultiMove::Load { proc: 1, node: x }]);
+        assert!(off.project_single().is_none());
+        let comm = MultiSchedule::from_moves(vec![MultiMove::Comm {
+            from: 0,
+            to: 1,
+            node: x,
+        }]);
+        assert!(comm.project_single().is_none());
+    }
+}

@@ -1,14 +1,21 @@
 //! The first-class scheduling request/response surface.
 //!
-//! Every consumer that asks "schedule this graph within this budget with
+//! Every consumer that asks "schedule this graph on this machine with
 //! this algorithm" — the CLI `schedule`/`trace` commands, the engine's
 //! sweep series, and the `pebblyn serve` daemon — phrases the question as
 //! one [`ScheduleRequest`] and receives one [`ScheduleResponse`], instead
-//! of threading `(graph, budget, scheduler-name)` argument triples through
+//! of threading `(graph, machine, scheduler-name)` argument triples through
 //! every layer.  The executor lives in `pebblyn-schedulers::api` (`execute`
 //! / `execute_with`), which resolves the scheduler name against the
 //! registry; this module holds only the transport-free data types so any
 //! crate can speak the protocol without depending on the algorithms.
+//!
+//! The machine is a [`MachineSpec`] — per-processor budgets plus a
+//! communication price — not a bare scalar.  `ScheduleRequest::new` takes
+//! `impl Into<MachineSpec>`, and `Weight` converts to a uniprocessor spec,
+//! so pre-redesign call sites (`ScheduleRequest::new(&g, budget, name)`)
+//! compile unchanged and keep their exact semantics: a uniprocessor spec
+//! routes through the identical single-processor code path.
 //!
 //! The graph payload is generic: in-process callers use the
 //! workload-erased `AnyGraph` (by value or by reference — the engine
@@ -18,26 +25,31 @@
 //! request knobs can grow without breaking the protocol's users.
 
 use crate::graph::Weight;
+use crate::multi::MultiSchedule;
 use crate::schedule::Schedule;
+use crate::spec::MachineSpec;
 
-/// One scheduling question: graph + budget + algorithm.
+/// One scheduling question: graph + machine + algorithm.
 ///
 /// `G` is the graph payload (typically `AnyGraph` or `&AnyGraph`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleRequest<G> {
     graph: G,
-    budget: Weight,
+    machine: MachineSpec,
     scheduler: String,
     cost_only: bool,
 }
 
 impl<G> ScheduleRequest<G> {
-    /// A request for a full schedule of `graph` within `budget` bits from
-    /// the scheduler registered under `scheduler`.
-    pub fn new(graph: G, budget: Weight, scheduler: impl Into<String>) -> Self {
+    /// A request for a full schedule of `graph` on `machine` from the
+    /// scheduler registered under `scheduler`.
+    ///
+    /// `machine` accepts a bare `Weight` budget (the classic
+    /// single-processor game) or a full [`MachineSpec`].
+    pub fn new(graph: G, machine: impl Into<MachineSpec>, scheduler: impl Into<String>) -> Self {
         ScheduleRequest {
             graph,
-            budget,
+            machine: machine.into(),
             scheduler: scheduler.into(),
             cost_only: false,
         }
@@ -55,9 +67,19 @@ impl<G> ScheduleRequest<G> {
         &self.graph
     }
 
-    /// The fast-memory budget in bits.
+    /// The machine this request schedules onto.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// The scalar fast-memory budget in bits: the single budget for a
+    /// uniprocessor machine, the aggregate across processors otherwise.
+    /// Pre-redesign callers (all uniprocessor) see exactly the budget
+    /// they passed in.
     pub fn budget(&self) -> Weight {
-        self.budget
+        self.machine
+            .uniprocessor_budget()
+            .unwrap_or_else(|| self.machine.total_budget())
     }
 
     /// The registry name of the requested scheduler.
@@ -80,7 +102,7 @@ impl<G> ScheduleRequest<G> {
     pub fn map_graph<H>(self, f: impl FnOnce(G) -> H) -> ScheduleRequest<H> {
         ScheduleRequest {
             graph: f(self.graph),
-            budget: self.budget,
+            machine: self.machine,
             scheduler: self.scheduler,
             cost_only: self.cost_only,
         }
@@ -90,7 +112,7 @@ impl<G> ScheduleRequest<G> {
     pub fn as_ref(&self) -> ScheduleRequest<&G> {
         ScheduleRequest {
             graph: &self.graph,
-            budget: self.budget,
+            machine: self.machine.clone(),
             scheduler: self.scheduler.clone(),
             cost_only: self.cost_only,
         }
@@ -103,11 +125,19 @@ impl<G> ScheduleRequest<G> {
 /// `Result<ScheduleResponse, _>` with their own typed error (the registry
 /// executor's `ExecuteError`, the daemon's wire status), so success never
 /// carries dead error fields.
+///
+/// Single-processor answers carry a [`Schedule`]; multiprocessor answers
+/// carry a [`MultiSchedule`] plus the makespan and communication-cost
+/// metrics (which default to `None` for single-processor responses, so
+/// nothing changes for pre-redesign consumers).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleResponse {
     scheduler: String,
     cost: Weight,
     schedule: Option<Schedule>,
+    multi_schedule: Option<MultiSchedule>,
+    makespan: Option<Weight>,
+    comm_cost: Option<Weight>,
 }
 
 impl ScheduleResponse {
@@ -117,6 +147,9 @@ impl ScheduleResponse {
             scheduler: scheduler.into(),
             cost,
             schedule: Some(schedule),
+            multi_schedule: None,
+            makespan: None,
+            comm_cost: None,
         }
     }
 
@@ -127,7 +160,38 @@ impl ScheduleResponse {
             scheduler: scheduler.into(),
             cost,
             schedule: None,
+            multi_schedule: None,
+            makespan: None,
+            comm_cost: None,
         }
+    }
+
+    /// A full multiprocessor answer.  `cost` is the combined I/O
+    /// objective (slow-memory traffic plus priced communication),
+    /// `comm_cost` its communication component, `makespan` the maximum
+    /// per-processor finish time.
+    pub fn multi_scheduled(
+        scheduler: impl Into<String>,
+        cost: Weight,
+        makespan: Weight,
+        comm_cost: Weight,
+        schedule: MultiSchedule,
+    ) -> Self {
+        ScheduleResponse {
+            scheduler: scheduler.into(),
+            cost,
+            schedule: None,
+            multi_schedule: Some(schedule),
+            makespan: Some(makespan),
+            comm_cost: Some(comm_cost),
+        }
+    }
+
+    /// Attach multiprocessor metrics to a cost-only answer.
+    pub fn with_multi_metrics(mut self, makespan: Weight, comm_cost: Weight) -> Self {
+        self.makespan = Some(makespan);
+        self.comm_cost = Some(comm_cost);
+        self
     }
 
     /// The registry name of the scheduler that answered.
@@ -135,19 +199,45 @@ impl ScheduleResponse {
         &self.scheduler
     }
 
-    /// The schedule's weighted I/O cost in bits (Definition 2.2).
+    /// The schedule's weighted I/O cost in bits (Definition 2.2; for
+    /// multiprocessor answers, including priced communication).
     pub fn cost(&self) -> Weight {
         self.cost
     }
 
-    /// The move sequence (`None` for cost-only answers).
+    /// The single-processor move sequence (`None` for cost-only and
+    /// multiprocessor answers).
     pub fn schedule(&self) -> Option<&Schedule> {
         self.schedule.as_ref()
     }
 
-    /// Consume the response, returning the move sequence if present.
+    /// The multiprocessor move sequence (`None` for single-processor and
+    /// cost-only answers).
+    pub fn multi_schedule(&self) -> Option<&MultiSchedule> {
+        self.multi_schedule.as_ref()
+    }
+
+    /// Maximum per-processor finish time; `None` for single-processor
+    /// answers.
+    pub fn makespan(&self) -> Option<Weight> {
+        self.makespan
+    }
+
+    /// Priced communication traffic; `None` for single-processor answers.
+    pub fn comm_cost(&self) -> Option<Weight> {
+        self.comm_cost
+    }
+
+    /// Consume the response, returning the single-processor move sequence
+    /// if present.
     pub fn into_schedule(self) -> Option<Schedule> {
         self.schedule
+    }
+
+    /// Consume the response, returning the multiprocessor move sequence
+    /// if present.
+    pub fn into_multi_schedule(self) -> Option<MultiSchedule> {
+        self.multi_schedule
     }
 
     /// Rewrite the answer's node labels through `f` — how a cache entry
@@ -155,7 +245,8 @@ impl ScheduleResponse {
     /// requester's labeling (see `pebblyn-service`).
     pub fn map_nodes(self, f: impl Fn(crate::graph::NodeId) -> crate::graph::NodeId) -> Self {
         ScheduleResponse {
-            schedule: self.schedule.map(|s| s.map_nodes(f)),
+            schedule: self.schedule.map(|s| s.map_nodes(&f)),
+            multi_schedule: self.multi_schedule.map(|s| s.map_nodes(&f)),
             ..self
         }
     }
@@ -166,12 +257,15 @@ mod tests {
     use super::*;
     use crate::graph::NodeId;
     use crate::moves::Move;
+    use crate::multi::MultiMove;
 
     #[test]
     fn request_builder_round_trips() {
         let req = ScheduleRequest::new("graph", 160, "dwt-opt").with_cost_only(true);
         assert_eq!(*req.graph(), "graph");
         assert_eq!(req.budget(), 160);
+        assert!(req.machine().is_uniprocessor());
+        assert_eq!(req.machine().uniprocessor_budget(), Some(160));
         assert_eq!(req.scheduler(), "dwt-opt");
         assert!(req.is_cost_only());
         let borrowed = req.as_ref();
@@ -183,9 +277,20 @@ mod tests {
     }
 
     #[test]
+    fn request_accepts_full_machine_specs() {
+        let spec = MachineSpec::symmetric(4, 64).with_comm_price(3);
+        let req = ScheduleRequest::new("graph", spec.clone(), "partition-belady");
+        assert_eq!(req.machine(), &spec);
+        assert_eq!(req.budget(), 256); // aggregate for multiprocessor
+        assert_eq!(req.as_ref().machine(), &spec);
+    }
+
+    #[test]
     fn response_transport_relabels_moves() {
         let sched = Schedule::from_moves(vec![Move::Load(NodeId(0)), Move::Compute(NodeId(1))]);
         let resp = ScheduleResponse::scheduled("naive", 16, sched);
+        assert_eq!(resp.makespan(), None);
+        assert_eq!(resp.comm_cost(), None);
         let moved = resp.clone().map_nodes(|v| NodeId(v.0 + 10));
         assert_eq!(moved.cost(), resp.cost());
         assert_eq!(
@@ -193,5 +298,34 @@ mod tests {
             vec![Move::Load(NodeId(10)), Move::Compute(NodeId(11))]
         );
         assert_eq!(ScheduleResponse::cost_only("naive", 16).schedule(), None);
+    }
+
+    #[test]
+    fn multi_response_carries_metrics_and_relabels() {
+        let ms = MultiSchedule::from_moves(vec![
+            MultiMove::Load {
+                proc: 0,
+                node: NodeId(0),
+            },
+            MultiMove::Comm {
+                from: 0,
+                to: 1,
+                node: NodeId(0),
+            },
+        ]);
+        let resp = ScheduleResponse::multi_scheduled("partition-belady", 96, 112, 32, ms);
+        assert_eq!(resp.cost(), 96);
+        assert_eq!(resp.makespan(), Some(112));
+        assert_eq!(resp.comm_cost(), Some(32));
+        assert!(resp.schedule().is_none());
+        let moved = resp.map_nodes(|v| NodeId(v.0 + 5));
+        assert_eq!(
+            moved.multi_schedule().unwrap().moves()[1],
+            MultiMove::Comm {
+                from: 0,
+                to: 1,
+                node: NodeId(5),
+            }
+        );
     }
 }

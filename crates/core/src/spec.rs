@@ -1,0 +1,187 @@
+//! Machine descriptions: how much fast memory, on how many processors.
+//!
+//! The single-processor WRBPG is parameterized by one scalar budget `B`.
+//! The multiprocessor extension (Böhnlein–Papp–Yzelman, "Red-Blue Pebbling
+//! with Multiple Processors") plays the game with `p` red pebble *sets* —
+//! one bounded fast memory per processor — sharing one unbounded blue
+//! level, plus a red-to-red **communication** move priced like a
+//! store+load.  [`MachineSpec`] captures both shapes in one value so the
+//! request surface ([`crate::ScheduleRequest`]) never has to distinguish
+//! them: a bare `Weight` converts into a uniprocessor spec via `From`,
+//! which keeps every pre-redesign call site a one-expression change (or no
+//! change at all, since `ScheduleRequest::new` takes `impl Into<MachineSpec>`).
+
+use crate::graph::Weight;
+
+/// The fast-memory budget of one processor, in bits (Definition 2.1 per
+/// red set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcBudget {
+    budget: Weight,
+}
+
+impl ProcBudget {
+    /// A processor holding at most `budget` bits of red pebbles.
+    pub fn new(budget: Weight) -> Self {
+        ProcBudget { budget }
+    }
+
+    /// The processor's red-weight capacity in bits.
+    pub fn budget(&self) -> Weight {
+        self.budget
+    }
+}
+
+/// Default communication price: a red-to-red transfer costs like a store
+/// followed by a load of the same value (`2 · w(v)`).
+pub const DEFAULT_COMM_PRICE: Weight = 2;
+
+/// A machine: per-processor fast-memory budgets plus the price of moving
+/// a value red-to-red between two processors.
+///
+/// `comm_price` is a *multiplier on node weight*: communicating node `v`
+/// costs `comm_price · w(v)` bits of traffic (and the same amount of
+/// time in the makespan model).  The default of
+/// [`DEFAULT_COMM_PRICE`]` = 2` prices it like a store+load through slow
+/// memory, which is the conservative semantics of the multiprocessor
+/// game; hardware with a faster interconnect can lower it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MachineSpec {
+    procs: Vec<ProcBudget>,
+    comm_price: Weight,
+}
+
+impl MachineSpec {
+    /// A machine with the given per-processor budgets.
+    ///
+    /// # Panics
+    /// Panics when `procs` is empty — a machine has at least one
+    /// processor.  (Transport layers validate counts before calling.)
+    pub fn new(procs: Vec<ProcBudget>) -> Self {
+        assert!(!procs.is_empty(), "a machine needs at least one processor");
+        MachineSpec {
+            procs,
+            comm_price: DEFAULT_COMM_PRICE,
+        }
+    }
+
+    /// The classic single-processor game under `budget` bits.
+    pub fn uniprocessor(budget: Weight) -> Self {
+        MachineSpec::new(vec![ProcBudget::new(budget)])
+    }
+
+    /// `procs` identical processors of `budget` bits each.
+    ///
+    /// # Panics
+    /// Panics when `procs == 0`.
+    pub fn symmetric(procs: usize, budget: Weight) -> Self {
+        assert!(procs > 0, "a machine needs at least one processor");
+        MachineSpec::new(vec![ProcBudget::new(budget); procs])
+    }
+
+    /// Override the communication price multiplier.
+    pub fn with_comm_price(mut self, comm_price: Weight) -> Self {
+        self.comm_price = comm_price;
+        self
+    }
+
+    /// Number of processors (always ≥ 1).
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The per-processor budgets.
+    pub fn procs(&self) -> &[ProcBudget] {
+        &self.procs
+    }
+
+    /// Budget of processor `p`.
+    ///
+    /// # Panics
+    /// Panics when `p >= num_procs()`.
+    pub fn proc_budget(&self, p: usize) -> Weight {
+        self.procs[p].budget()
+    }
+
+    /// Whether this is the classic single-processor game.
+    pub fn is_uniprocessor(&self) -> bool {
+        self.procs.len() == 1
+    }
+
+    /// The scalar budget when single-processor, else `None`.  Executors
+    /// use this to route uniprocessor requests through the exact
+    /// pre-redesign code path (so p=1 answers stay byte-identical).
+    pub fn uniprocessor_budget(&self) -> Option<Weight> {
+        match self.procs.as_slice() {
+            [only] => Some(only.budget()),
+            _ => None,
+        }
+    }
+
+    /// Aggregate fast memory across all processors.
+    pub fn total_budget(&self) -> Weight {
+        self.procs.iter().map(|p| p.budget()).sum()
+    }
+
+    /// The largest single-processor budget — what one value can rely on
+    /// fitting into somewhere.
+    pub fn max_proc_budget(&self) -> Weight {
+        self.procs.iter().map(|p| p.budget()).max().unwrap_or(0)
+    }
+
+    /// The communication price multiplier (traffic and time per bit of
+    /// the communicated value).
+    pub fn comm_price(&self) -> Weight {
+        self.comm_price
+    }
+}
+
+impl From<Weight> for MachineSpec {
+    /// A bare budget is the classic single-processor machine.
+    fn from(budget: Weight) -> Self {
+        MachineSpec::uniprocessor(budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniprocessor_round_trips_the_scalar_budget() {
+        let spec = MachineSpec::uniprocessor(160);
+        assert!(spec.is_uniprocessor());
+        assert_eq!(spec.uniprocessor_budget(), Some(160));
+        assert_eq!(spec.total_budget(), 160);
+        assert_eq!(spec.num_procs(), 1);
+        assert_eq!(spec.comm_price(), DEFAULT_COMM_PRICE);
+        assert_eq!(MachineSpec::from(160), spec);
+        assert_eq!(spec, MachineSpec::symmetric(1, 160));
+    }
+
+    #[test]
+    fn symmetric_machines_aggregate() {
+        let spec = MachineSpec::symmetric(4, 64).with_comm_price(3);
+        assert!(!spec.is_uniprocessor());
+        assert_eq!(spec.uniprocessor_budget(), None);
+        assert_eq!(spec.total_budget(), 256);
+        assert_eq!(spec.max_proc_budget(), 64);
+        assert_eq!(spec.proc_budget(3), 64);
+        assert_eq!(spec.comm_price(), 3);
+    }
+
+    #[test]
+    fn heterogeneous_budgets_are_first_class() {
+        let spec = MachineSpec::new(vec![ProcBudget::new(128), ProcBudget::new(32)]);
+        assert_eq!(spec.proc_budget(0), 128);
+        assert_eq!(spec.proc_budget(1), 32);
+        assert_eq!(spec.total_budget(), 160);
+        assert_eq!(spec.max_proc_budget(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = MachineSpec::new(Vec::new());
+    }
+}

@@ -180,7 +180,10 @@ impl<'a> Series<'a> {
                     Err(ScheduleError::Unsupported | ScheduleError::InfeasibleBudget { .. }) => {
                         None
                     }
-                    Err(e @ ScheduleError::ValidationFailed(_)) => {
+                    Err(
+                        e @ (ScheduleError::ValidationFailed(_)
+                        | ScheduleError::MultiValidationFailed(_)),
+                    ) => {
                         panic!("{} on {} at {budget}: {e}", s.name(), g.name())
                     }
                 }

@@ -21,8 +21,10 @@
 
 pub mod energy;
 pub mod exec;
+pub mod multi_exec;
 pub mod ops;
 
 pub use energy::{EnergyModel, EnergyReport};
 pub use exec::{ExecError, ExecReport, Machine};
+pub use multi_exec::{MultiExecError, MultiExecReport, MultiMachine};
 pub use ops::{eval_reference, Op, OpTable};

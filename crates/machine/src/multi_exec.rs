@@ -1,0 +1,470 @@
+//! The executable multiprocessor machine: p fast memories, one slow level.
+//!
+//! [`MultiMachine`] is to [`crate::Machine`] what the multiprocessor WRBPG
+//! is to the classic game: it replays a [`MultiSchedule`] with real values,
+//! keeping one value array per processor's fast memory plus the shared
+//! slow memory, evaluating each node's [`crate::Op`] on compute, copying
+//! values processor-to-processor on communication moves, and checking
+//! every output against a schedule-free reference evaluation.  It also
+//! tracks the timing model (per-processor clocks, blue-availability
+//! stamps) so the reported makespan is the *executed* makespan, which the
+//! conformance oracle cross-checks against the validator's.
+
+use crate::energy::{EnergyModel, EnergyReport};
+use crate::ops::OpTable;
+use pebblyn_core::{Cdag, MachineSpec, MultiMove, MultiSchedule, NodeId, RedSet, Weight};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while executing a multiprocessor schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MultiExecError {
+    /// A move names a processor the machine does not have.
+    UnknownProc {
+        /// Move index.
+        step: usize,
+        /// The processor named.
+        proc: usize,
+        /// Number of processors.
+        procs: usize,
+    },
+    /// M1 on a node whose value is not in slow memory.
+    MissingInSlow(usize, NodeId),
+    /// M2/M4/M5 on a node whose value is not in the acting processor's
+    /// fast memory.
+    MissingInFast(usize, usize, NodeId),
+    /// M3 on a node with an operand missing from the acting processor's
+    /// fast memory.
+    OperandNotResident(usize, usize, NodeId, NodeId),
+    /// M3 on a source node.
+    ComputeSource(usize, NodeId),
+    /// M5 from a processor to itself.
+    CommToSelf(usize, NodeId),
+    /// A processor's fast memory capacity exceeded.
+    FastMemoryOverflow {
+        /// Move index.
+        step: usize,
+        /// The overloaded processor.
+        proc: usize,
+        /// Bits in use after the move.
+        used: Weight,
+        /// The processor's capacity in bits.
+        capacity: Weight,
+    },
+    /// Schedule ended with an output missing from slow memory.
+    OutputNotStored(NodeId),
+    /// An output value disagrees with the reference evaluation.
+    WrongOutput {
+        /// The output node.
+        node: NodeId,
+        /// Value the machine produced.
+        got: f64,
+        /// Value reference evaluation produced.
+        expected: f64,
+    },
+}
+
+impl fmt::Display for MultiExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiExecError::UnknownProc { step, proc, procs } => {
+                write!(f, "step {step}: processor p{proc} >= machine size {procs}")
+            }
+            MultiExecError::MissingInSlow(s, v) => write!(f, "step {s}: {v} not in slow memory"),
+            MultiExecError::MissingInFast(s, p, v) => {
+                write!(f, "step {s}: {v} not in p{p}'s fast memory")
+            }
+            MultiExecError::OperandNotResident(s, p, v, u) => {
+                write!(
+                    f,
+                    "step {s}: computing {v} on p{p} but operand {u} not resident"
+                )
+            }
+            MultiExecError::ComputeSource(s, v) => write!(f, "step {s}: cannot compute source {v}"),
+            MultiExecError::CommToSelf(s, v) => {
+                write!(f, "step {s}: communicating {v} from a processor to itself")
+            }
+            MultiExecError::FastMemoryOverflow {
+                step,
+                proc,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "step {step}: p{proc} fast memory overflow ({used} > {capacity} bits)"
+            ),
+            MultiExecError::OutputNotStored(v) => {
+                write!(f, "output {v} never stored to slow memory")
+            }
+            MultiExecError::WrongOutput {
+                node,
+                got,
+                expected,
+            } => write!(f, "output {node} = {got}, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiExecError {}
+
+/// Execution summary of a multiprocessor schedule.
+#[derive(Debug, Clone)]
+pub struct MultiExecReport {
+    /// Weighted slow-memory I/O actually incurred (M1 + M2, all procs).
+    pub io_bits: Weight,
+    /// Priced communication traffic (`comm_price · w` per M5).
+    pub comm_bits: Weight,
+    /// Executed makespan under the timing model.
+    pub makespan: Weight,
+    /// Peak fast-memory occupancy per processor.
+    pub peak_fast_bits: Vec<Weight>,
+    /// Energy breakdown (communication priced as a store+load of the
+    /// transferred bits).
+    pub energy: EnergyReport,
+    /// Final value of every sink node, keyed by node.
+    pub outputs: HashMap<NodeId, f64>,
+}
+
+/// A p-processor two-level memory machine executing multiprocessor WRBPG
+/// schedules with real values.
+#[derive(Debug, Clone)]
+pub struct MultiMachine<'a> {
+    graph: &'a Cdag,
+    ops: &'a OpTable,
+    spec: MachineSpec,
+    energy_model: EnergyModel,
+}
+
+impl<'a> MultiMachine<'a> {
+    /// Create a machine from a [`MachineSpec`] (per-processor capacities
+    /// plus the communication price).
+    pub fn new(graph: &'a Cdag, ops: &'a OpTable, spec: MachineSpec) -> Self {
+        MultiMachine {
+            graph,
+            ops,
+            spec,
+            energy_model: EnergyModel::default(),
+        }
+    }
+
+    /// Replace the default energy model.
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// Execute `schedule` with the given input environment
+    /// (`inputs[v.index()]` for each source `v`; other slots ignored).
+    ///
+    /// Verifies, operationally: game rules on every processor, each
+    /// processor's weighted capacity at every step, the stopping
+    /// condition, and — against a schedule-free reference evaluation —
+    /// that every output holds the correct value.
+    pub fn run(
+        &self,
+        schedule: &MultiSchedule,
+        inputs: &[f64],
+    ) -> Result<MultiExecReport, MultiExecError> {
+        let g = self.graph;
+        let p = self.spec.num_procs();
+        assert_eq!(inputs.len(), g.len(), "one input slot per node");
+
+        let reference = crate::ops::eval_reference(g, self.ops, inputs);
+
+        let mut slow_vals = vec![0.0f64; g.len()];
+        let mut in_slow = RedSet::new(g.len());
+        let mut fast_vals: Vec<Vec<f64>> = vec![vec![0.0f64; g.len()]; p];
+        let mut in_fast: Vec<RedSet> = (0..p).map(|_| RedSet::new(g.len())).collect();
+        let mut clock: Vec<Weight> = vec![0; p];
+        let mut avail_slow: Vec<Weight> = vec![0; g.len()];
+        for &v in g.sources() {
+            slow_vals[v.index()] = inputs[v.index()];
+            in_slow.insert(v, g.weight(v));
+        }
+
+        let mut peak: Vec<Weight> = vec![0; p];
+        let mut loaded_bits: Weight = 0;
+        let mut stored_bits: Weight = 0;
+        let mut comm_bits: Weight = 0;
+        let mut computes = 0usize;
+        let mut operands: Vec<f64> = Vec::new();
+
+        let check_proc = |step: usize, q: usize| -> Result<(), MultiExecError> {
+            if q >= p {
+                Err(MultiExecError::UnknownProc {
+                    step,
+                    proc: q,
+                    procs: p,
+                })
+            } else {
+                Ok(())
+            }
+        };
+
+        for (step, mv) in schedule.iter().enumerate() {
+            let v = mv.node();
+            let w = g.weight(v);
+            match mv {
+                MultiMove::Load { proc, node } => {
+                    check_proc(step, proc)?;
+                    if !in_slow.contains(node) {
+                        return Err(MultiExecError::MissingInSlow(step, node));
+                    }
+                    fast_vals[proc][node.index()] = slow_vals[node.index()];
+                    in_fast[proc].insert(node, w);
+                    loaded_bits += w;
+                    clock[proc] = clock[proc].max(avail_slow[node.index()]) + w;
+                }
+                MultiMove::Store { proc, node } => {
+                    check_proc(step, proc)?;
+                    if !in_fast[proc].contains(node) {
+                        return Err(MultiExecError::MissingInFast(step, proc, node));
+                    }
+                    slow_vals[node.index()] = fast_vals[proc][node.index()];
+                    clock[proc] += w;
+                    if in_slow.insert(node, w) {
+                        avail_slow[node.index()] = clock[proc];
+                    }
+                    stored_bits += w;
+                }
+                MultiMove::Compute { proc, node } => {
+                    check_proc(step, proc)?;
+                    if g.is_source(node) {
+                        return Err(MultiExecError::ComputeSource(step, node));
+                    }
+                    operands.clear();
+                    for &u in g.preds(node) {
+                        if !in_fast[proc].contains(u) {
+                            return Err(MultiExecError::OperandNotResident(step, proc, node, u));
+                        }
+                        operands.push(fast_vals[proc][u.index()]);
+                    }
+                    fast_vals[proc][node.index()] = self.ops.eval(node, &operands);
+                    in_fast[proc].insert(node, w);
+                    clock[proc] += w;
+                    computes += 1;
+                }
+                MultiMove::Delete { proc, node } => {
+                    check_proc(step, proc)?;
+                    if !in_fast[proc].remove(node, w) {
+                        return Err(MultiExecError::MissingInFast(step, proc, node));
+                    }
+                }
+                MultiMove::Comm { from, to, node } => {
+                    check_proc(step, from)?;
+                    check_proc(step, to)?;
+                    if from == to {
+                        return Err(MultiExecError::CommToSelf(step, node));
+                    }
+                    if !in_fast[from].contains(node) {
+                        return Err(MultiExecError::MissingInFast(step, from, node));
+                    }
+                    fast_vals[to][node.index()] = fast_vals[from][node.index()];
+                    in_fast[to].insert(node, w);
+                    comm_bits += self.spec.comm_price() * w;
+                    let t = clock[from].max(clock[to]) + self.spec.comm_price() * w;
+                    clock[from] = t;
+                    clock[to] = t;
+                }
+            }
+            for q in 0..p {
+                let used = in_fast[q].weight();
+                if used > self.spec.proc_budget(q) {
+                    return Err(MultiExecError::FastMemoryOverflow {
+                        step,
+                        proc: q,
+                        used,
+                        capacity: self.spec.proc_budget(q),
+                    });
+                }
+                peak[q] = peak[q].max(used);
+            }
+        }
+
+        // Stopping condition + functional correctness of every output.
+        let mut outputs = HashMap::new();
+        for &v in g.sinks() {
+            if !in_slow.contains(v) {
+                return Err(MultiExecError::OutputNotStored(v));
+            }
+            let got = slow_vals[v.index()];
+            let expected = reference[v.index()];
+            if !approx_eq(got, expected) {
+                return Err(MultiExecError::WrongOutput {
+                    node: v,
+                    got,
+                    expected,
+                });
+            }
+            outputs.insert(v, got);
+        }
+
+        // Comm traffic enters the energy model as a store+load of the raw
+        // transferred bits (comm_bits already carries the price factor).
+        let comm_raw = comm_bits / self.spec.comm_price().max(1);
+        Ok(MultiExecReport {
+            io_bits: loaded_bits + stored_bits,
+            comm_bits,
+            makespan: clock.into_iter().max().unwrap_or(0),
+            peak_fast_bits: peak,
+            energy: EnergyReport::from_profile(
+                &self.energy_model,
+                loaded_bits + comm_raw,
+                stored_bits + comm_raw,
+                computes,
+            ),
+            outputs,
+        })
+    }
+}
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+    use crate::Machine;
+    use pebblyn_core::{validate_multi_schedule, CdagBuilder, Move, Schedule};
+
+    /// x, y -> s = x + y; s -> t = 2s.
+    fn chain_setup() -> (Cdag, OpTable) {
+        let mut b = CdagBuilder::new();
+        let x = b.node(16, "x");
+        let y = b.node(16, "y");
+        let s = b.node(32, "s");
+        let t = b.node(32, "t");
+        b.edge(x, s);
+        b.edge(y, s);
+        b.edge(s, t);
+        let g = b.build().unwrap();
+        let tbl = OpTable::new(
+            &g,
+            vec![
+                Op::Input,
+                Op::Input,
+                Op::LinCom(vec![1.0, 1.0]),
+                Op::LinCom(vec![2.0]),
+            ],
+        )
+        .unwrap();
+        (g, tbl)
+    }
+
+    #[test]
+    fn uniprocessor_multi_matches_classic_machine() {
+        let (g, tbl) = chain_setup();
+        let single = Schedule::from_moves(vec![
+            Move::Load(NodeId(0)),
+            Move::Load(NodeId(1)),
+            Move::Compute(NodeId(2)),
+            Move::Delete(NodeId(0)),
+            Move::Delete(NodeId(1)),
+            Move::Compute(NodeId(3)),
+            Move::Store(NodeId(3)),
+        ]);
+        let inputs = [2.0, 3.0, 0.0, 0.0];
+        let classic = Machine::new(&g, &tbl, 96).run(&single, &inputs).unwrap();
+        let spec = MachineSpec::uniprocessor(96);
+        let multi = MultiSchedule::from_single(&single);
+        let report = MultiMachine::new(&g, &tbl, spec.clone())
+            .run(&multi, &inputs)
+            .unwrap();
+        assert_eq!(report.io_bits, classic.io_bits);
+        assert_eq!(report.comm_bits, 0);
+        assert_eq!(report.peak_fast_bits, vec![classic.peak_fast_bits]);
+        assert_eq!(report.outputs[&NodeId(3)], 10.0);
+        // Executed makespan agrees with the validator's model.
+        let stats = validate_multi_schedule(&g, &spec, &multi).unwrap();
+        assert_eq!(report.makespan, stats.makespan);
+    }
+
+    #[test]
+    fn comm_transfers_the_actual_value() {
+        let (g, tbl) = chain_setup();
+        let spec = MachineSpec::symmetric(2, 96);
+        // p0 computes s, communicates it to p1, which computes and stores t.
+        let sched = MultiSchedule::from_moves(vec![
+            MultiMove::Load {
+                proc: 0,
+                node: NodeId(0),
+            },
+            MultiMove::Load {
+                proc: 0,
+                node: NodeId(1),
+            },
+            MultiMove::Compute {
+                proc: 0,
+                node: NodeId(2),
+            },
+            MultiMove::Comm {
+                from: 0,
+                to: 1,
+                node: NodeId(2),
+            },
+            MultiMove::Compute {
+                proc: 1,
+                node: NodeId(3),
+            },
+            MultiMove::Store {
+                proc: 1,
+                node: NodeId(3),
+            },
+        ]);
+        let inputs = [2.0, 3.0, 0.0, 0.0];
+        let report = MultiMachine::new(&g, &tbl, spec.clone())
+            .run(&sched, &inputs)
+            .unwrap();
+        assert_eq!(report.outputs[&NodeId(3)], 10.0);
+        assert_eq!(report.comm_bits, 2 * 32);
+        assert_eq!(report.io_bits, 16 + 16 + 32);
+        let stats = validate_multi_schedule(&g, &spec, &sched).unwrap();
+        assert_eq!(report.makespan, stats.makespan);
+        assert_eq!(stats.comm_cost, report.comm_bits);
+    }
+
+    #[test]
+    fn per_processor_overflow_detected() {
+        let (g, tbl) = chain_setup();
+        let spec = MachineSpec::symmetric(2, 32);
+        let sched = MultiSchedule::from_moves(vec![
+            MultiMove::Load {
+                proc: 1,
+                node: NodeId(0),
+            },
+            MultiMove::Load {
+                proc: 1,
+                node: NodeId(1),
+            },
+            MultiMove::Compute {
+                proc: 1,
+                node: NodeId(2),
+            },
+        ]);
+        let err = MultiMachine::new(&g, &tbl, spec)
+            .run(&sched, &[1.0, 1.0, 0.0, 0.0])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MultiExecError::FastMemoryOverflow { proc: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn comm_requires_sender_residency() {
+        let (g, tbl) = chain_setup();
+        let spec = MachineSpec::symmetric(2, 96);
+        let sched = MultiSchedule::from_moves(vec![MultiMove::Comm {
+            from: 0,
+            to: 1,
+            node: NodeId(0),
+        }]);
+        let err = MultiMachine::new(&g, &tbl, spec)
+            .run(&sched, &[1.0, 1.0, 0.0, 0.0])
+            .unwrap_err();
+        assert!(matches!(err, MultiExecError::MissingInFast(0, 0, _)));
+    }
+}

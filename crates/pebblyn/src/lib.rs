@@ -80,6 +80,10 @@ pub mod prelude {
         PeepholeStats, RedSet, Schedule, ScheduleRequest, ScheduleResponse, ScheduleStats, Weight,
     };
     pub use pebblyn_core::{occupancy_summary, occupancy_trace, summarize, OccupancySummary};
+    pub use pebblyn_core::{
+        validate_multi_schedule, MachineSpec, MultiMove, MultiSchedule, MultiStats,
+        MultiValidityError, ProcBudget, DEFAULT_COMM_PRICE,
+    };
     pub use pebblyn_engine::{
         BudgetSpec, Memo, MinMemoryPlan, MinMemoryResult, Series, SweepPlan, SweepResult,
     };
@@ -100,7 +104,7 @@ pub mod prelude {
     pub use pebblyn_schedulers::parallel::ParallelPlan;
     pub use pebblyn_schedulers::{
         api, banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, memstate,
-        min_memory, mvm_tiling, naive, parallel, registry, MinMemoryOptions, ScheduleError,
+        min_memory, multi, mvm_tiling, naive, parallel, registry, MinMemoryOptions, ScheduleError,
         Scheduler,
     };
     pub use pebblyn_service::{

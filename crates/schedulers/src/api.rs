@@ -53,11 +53,12 @@
 //! and the `pebblyn serve` daemon all funnel through these two functions.
 
 use crate::{
-    banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, mvm_tiling, naive,
+    banded_stream, conv_stream, dwt_opt, greedy_belady, kary, layer_by_layer, multi, mvm_tiling,
+    naive,
 };
 use pebblyn_core::{
-    min_feasible_budget, validate_schedule, Schedule, ScheduleRequest, ScheduleResponse,
-    ValidityError, Weight,
+    min_feasible_budget, validate_multi_schedule, validate_schedule, MachineSpec, MultiSchedule,
+    MultiValidityError, Schedule, ScheduleRequest, ScheduleResponse, ValidityError, Weight,
 };
 use pebblyn_graphs::AnyGraph;
 use pebblyn_telemetry as telemetry;
@@ -93,6 +94,10 @@ pub enum ScheduleError {
     /// The algorithm produced a schedule that failed replay validation.
     /// This is a scheduler bug, never an input error.
     ValidationFailed(ValidityError),
+    /// A multiprocessor schedule failed replay under
+    /// [`validate_multi_schedule`].  Like [`ScheduleError::ValidationFailed`],
+    /// always a scheduler bug.
+    MultiValidationFailed(MultiValidityError),
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -106,6 +111,9 @@ impl std::fmt::Display for ScheduleError {
                 min_feasible: Some(m),
             } => write!(f, "budget below game-level minimum ({m} bits required)"),
             ScheduleError::ValidationFailed(e) => write!(f, "schedule failed validation: {e}"),
+            ScheduleError::MultiValidationFailed(e) => {
+                write!(f, "multiprocessor schedule failed validation: {e}")
+            }
         }
     }
 }
@@ -168,6 +176,34 @@ pub trait Scheduler: sealed::Sealed + Send + Sync {
     /// (see [`crate::min_memory`](mod@crate::min_memory)).
     fn monotone(&self) -> bool {
         false
+    }
+
+    /// Whether this algorithm can schedule `g` on the machine `spec`.
+    ///
+    /// The default confines single-processor algorithms to uniprocessor
+    /// machines; the multiprocessor schedulers ([`PartitionBelady`],
+    /// [`CommList`]) override it.  Sealing the trait is what lets this
+    /// method (and [`schedule_multi`](Scheduler::schedule_multi)) be added
+    /// without breaking any implementor.
+    fn supports_machine(&self, g: &AnyGraph, spec: &MachineSpec) -> bool {
+        spec.is_uniprocessor() && self.supports(g)
+    }
+
+    /// A concrete multiprocessor schedule for `g` on `spec`.
+    ///
+    /// The default answers uniprocessor machines by lifting
+    /// [`schedule`](Scheduler::schedule) onto processor 0 — byte-identical
+    /// moves, one processor — and declines genuine multiprocessor machines
+    /// with [`ScheduleError::Unsupported`].
+    fn schedule_multi(
+        &self,
+        g: &AnyGraph,
+        spec: &MachineSpec,
+    ) -> Result<MultiSchedule, ScheduleError> {
+        match spec.uniprocessor_budget() {
+            Some(b) => Ok(MultiSchedule::from_single(&self.schedule(g, b)?)),
+            None => Err(ScheduleError::Unsupported),
+        }
     }
 }
 
@@ -242,14 +278,41 @@ pub fn execute_with<G: Borrow<AnyGraph>>(
 ) -> Result<ScheduleResponse, ScheduleError> {
     let _span = telemetry::span("request");
     let g: &AnyGraph = req.graph().borrow();
-    if req.is_cost_only() {
-        let cost = s.min_cost(g, req.budget())?;
-        return Ok(ScheduleResponse::cost_only(s.name(), cost));
+    // Uniprocessor requests take the classic single-processor path
+    // unchanged — a `MachineSpec::uniprocessor(b)` request is answered
+    // byte-for-byte like the pre-multiprocessor API answered `budget: b`.
+    if let Some(budget) = req.machine().uniprocessor_budget() {
+        if req.is_cost_only() {
+            let cost = s.min_cost(g, budget)?;
+            return Ok(ScheduleResponse::cost_only(s.name(), cost));
+        }
+        let schedule = s.schedule(g, budget)?;
+        let stats = validate_schedule(g.cdag(), budget, &schedule)
+            .map_err(ScheduleError::ValidationFailed)?;
+        return Ok(ScheduleResponse::scheduled(s.name(), stats.cost, schedule));
     }
-    let schedule = s.schedule(g, req.budget())?;
-    let stats = validate_schedule(g.cdag(), req.budget(), &schedule)
-        .map_err(ScheduleError::ValidationFailed)?;
-    Ok(ScheduleResponse::scheduled(s.name(), stats.cost, schedule))
+    let spec = req.machine();
+    if !s.supports_machine(g, spec) {
+        return Err(ScheduleError::Unsupported);
+    }
+    let multi = s.schedule_multi(g, spec)?;
+    let stats = validate_multi_schedule(g.cdag(), spec, &multi)
+        .map_err(ScheduleError::MultiValidationFailed)?;
+    telemetry::incr(telemetry::Counter::MultiRequests);
+    telemetry::add(telemetry::Counter::CommMoves, stats.comm_moves);
+    telemetry::add(telemetry::Counter::MovesEmitted, multi.len() as u64);
+    telemetry::gauge_max(telemetry::Gauge::MultiProcsUsed, stats.procs_used() as u64);
+    if req.is_cost_only() {
+        return Ok(ScheduleResponse::cost_only(s.name(), stats.total_cost())
+            .with_multi_metrics(stats.makespan, stats.comm_cost));
+    }
+    Ok(ScheduleResponse::multi_scheduled(
+        s.name(),
+        stats.total_cost(),
+        stats.makespan,
+        stats.comm_cost,
+        multi,
+    ))
 }
 
 /// Algorithm 1 — the provably optimal DWT dynamic program.
@@ -510,6 +573,68 @@ impl Scheduler for Naive {
     }
 }
 
+/// Multiprocessor level partitioning with per-processor Belady eviction
+/// and best-of-`q` machine-prefix selection ([`multi::partition_schedule`]).
+/// On a uniprocessor machine this *is* [`GreedyBelady`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionBelady;
+
+impl Scheduler for PartitionBelady {
+    fn name(&self) -> &str {
+        "partition-belady"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
+        greedy_belady::schedule(g.cdag(), budget)
+            .map(emit)
+            .ok_or_else(|| infeasible(g, budget))
+    }
+    fn supports_machine(&self, _g: &AnyGraph, _spec: &MachineSpec) -> bool {
+        true
+    }
+    fn schedule_multi(
+        &self,
+        g: &AnyGraph,
+        spec: &MachineSpec,
+    ) -> Result<MultiSchedule, ScheduleError> {
+        multi::partition_schedule(g.cdag(), spec)
+            .ok_or_else(|| infeasible(g, spec.max_proc_budget()))
+    }
+}
+
+/// Work-conserving communication-aware multiprocessor list scheduling
+/// ([`multi::comm_list_schedule`]).  On a uniprocessor machine this *is*
+/// [`GreedyBelady`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommList;
+
+impl Scheduler for CommList {
+    fn name(&self) -> &str {
+        "comm-list"
+    }
+    fn supports(&self, _g: &AnyGraph) -> bool {
+        true
+    }
+    fn schedule(&self, g: &AnyGraph, budget: Weight) -> Result<Schedule, ScheduleError> {
+        greedy_belady::schedule(g.cdag(), budget)
+            .map(emit)
+            .ok_or_else(|| infeasible(g, budget))
+    }
+    fn supports_machine(&self, _g: &AnyGraph, _spec: &MachineSpec) -> bool {
+        true
+    }
+    fn schedule_multi(
+        &self,
+        g: &AnyGraph,
+        spec: &MachineSpec,
+    ) -> Result<MultiSchedule, ScheduleError> {
+        multi::comm_list_schedule(g.cdag(), spec)
+            .ok_or_else(|| infeasible(g, spec.max_proc_budget()))
+    }
+}
+
 impl sealed::Sealed for DwtOpt {}
 impl sealed::Sealed for Kary {}
 impl sealed::Sealed for MvmTiling {}
@@ -520,6 +645,8 @@ impl sealed::Sealed for GreedyBelady {}
 impl sealed::Sealed for TopoWindow {}
 impl sealed::Sealed for SlabPartition {}
 impl sealed::Sealed for Naive {}
+impl sealed::Sealed for PartitionBelady {}
+impl sealed::Sealed for CommList {}
 
 /// Every scheduler in the crate, as trait objects.
 pub static REGISTRY: &[&dyn Scheduler] = &[
@@ -533,6 +660,8 @@ pub static REGISTRY: &[&dyn Scheduler] = &[
     &TopoWindow,
     &SlabPartition,
     &Naive,
+    &PartitionBelady,
+    &CommList,
 ];
 
 /// All registered schedulers (registration order is stable — sweep output

@@ -13,6 +13,7 @@
 //! | [`layer_by_layer`] | §5.1 | the layer-by-layer heuristic baseline with boustrophedon traversal and FIFO spilling |
 //! | [`naive`] | Prop. 2.3 (proof) | the trivial topological-order schedule witnessing existence |
 //! | [`mod@min_memory`] | Def. 2.6 | minimum-fast-memory search over any scheduler |
+//! | [`multi`] | multiprocessor WRBPG | per-processor red sets: level partitioning and communication-aware list scheduling |
 //!
 //! Every generator's output is designed to be checked with
 //! [`pebblyn_core::validate_schedule`]; the test-suites of this crate do so
@@ -44,6 +45,8 @@ pub mod kary;
 pub mod layer_by_layer;
 pub mod memstate;
 pub mod min_memory;
+pub mod multi;
+mod multi_sim;
 pub mod mvm_tiling;
 pub mod naive;
 pub mod parallel;

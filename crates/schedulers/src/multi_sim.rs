@@ -1,0 +1,254 @@
+//! The shared multiprocessor schedule simulator.
+//!
+//! Both multiprocessor schedulers ([`crate::multi`]) are *assignment
+//! policies*: they decide which processor computes each node and in what
+//! global order.  This module turns such an `(assignment, order)` pair
+//! into a concrete, rule-respecting [`MultiSchedule`]:
+//!
+//! * each processor runs **Belady eviction** over its own future use
+//!   positions (the furthest-next-use policy of
+//!   [`crate::greedy_belady`], per red set),
+//! * a needed operand is acquired by the cheapest legal means: already
+//!   red on the processor → free; blue → a load; red only on another
+//!   processor → a [`MultiMove::Comm`] from the least-loaded holder
+//!   (communication-aware source selection under the timing model),
+//! * evicting a dirty value stores it first exactly when it is needed
+//!   again on *some* processor (or is an unstored sink) and no other
+//!   processor still holds it red — the invariant that every
+//!   still-needed value stays recoverable (blue or red somewhere) is
+//!   maintained, since recomputation is not a move of the game.
+//!
+//! Returns `None` when some node's operand set cannot fit inside its
+//! assigned processor's budget — the multiprocessor analogue of the
+//! single-processor schedulers' infeasibility.
+
+use pebblyn_core::{Cdag, MachineSpec, MultiMove, MultiSchedule, NodeId, RedSet, Weight};
+use std::collections::BinaryHeap;
+
+/// Simulate per-processor Belady scheduling of `order` (a topological
+/// order of the non-source nodes) with node-to-processor `assignment`
+/// (indexed by `NodeId::index`; entries of source nodes are ignored).
+///
+/// Only processors `0..active` of `spec` are used; `assignment` entries
+/// must be `< active`.
+pub(crate) fn simulate(
+    graph: &Cdag,
+    spec: &MachineSpec,
+    active: usize,
+    assignment: &[usize],
+    order: &[NodeId],
+) -> Option<MultiSchedule> {
+    debug_assert!(active >= 1 && active <= spec.num_procs());
+    let n = graph.len();
+    // use_positions[q][v] = positions in `order` where processor q's
+    // computes consume v, ascending.
+    let mut use_positions: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n]; active];
+    for (pos, &v) in order.iter().enumerate() {
+        let q = assignment[v.index()];
+        debug_assert!(q < active, "assignment targets an inactive processor");
+        for &u in graph.preds(v) {
+            use_positions[q][u.index()].push(pos);
+        }
+    }
+
+    let mut blue = RedSet::new(n);
+    for &v in graph.sources() {
+        blue.insert(v, graph.weight(v));
+    }
+    let mut st = Sim {
+        graph,
+        spec,
+        active,
+        moves: MultiSchedule::new(),
+        red: (0..active).map(|_| RedSet::new(n)).collect(),
+        blue,
+        clock: vec![0; active],
+        pinned: vec![false; n],
+        next_use_cursor: vec![vec![0; n]; active],
+        use_positions,
+        victims: (0..active).map(|_| BinaryHeap::new()).collect(),
+    };
+
+    for (pos, &v) in order.iter().enumerate() {
+        debug_assert!(!graph.is_source(v), "order lists computed nodes only");
+        if !st.compute(pos, v, assignment[v.index()]) {
+            return None;
+        }
+    }
+    // Stopping condition: every sink needs a blue copy.  A red-only sink
+    // is stored from whichever processor still holds it (there is always
+    // one — eviction never drops the last copy of a dirty sink).
+    for &v in graph.sinks() {
+        if st.blue.contains(v) {
+            continue;
+        }
+        let holder = (0..active).find(|&q| st.red[q].contains(v))?;
+        st.store(holder, v);
+    }
+    Some(st.moves)
+}
+
+struct Sim<'a> {
+    graph: &'a Cdag,
+    spec: &'a MachineSpec,
+    active: usize,
+    moves: MultiSchedule,
+    red: Vec<RedSet>,
+    blue: RedSet,
+    /// Per-processor finish-time estimates under the timing model; used
+    /// to pick the cheapest communication source, not for validity.
+    clock: Vec<Weight>,
+    pinned: Vec<bool>,
+    next_use_cursor: Vec<Vec<usize>>,
+    use_positions: Vec<Vec<Vec<usize>>>,
+    /// Per-processor max-heaps of (next_use, node) victim candidates;
+    /// entries may be stale and are re-validated on pop (lazy deletion).
+    victims: Vec<BinaryHeap<(usize, NodeId)>>,
+}
+
+impl<'a> Sim<'a> {
+    /// The next position at which `v` is consumed by processor `q`'s
+    /// computes, from `now` onward; `usize::MAX` when never again.
+    fn next_use(&mut self, q: usize, v: NodeId, now: usize) -> usize {
+        let uses = &self.use_positions[q][v.index()];
+        let cur = &mut self.next_use_cursor[q][v.index()];
+        while *cur < uses.len() && uses[*cur] < now {
+            *cur += 1;
+        }
+        uses.get(*cur).copied().unwrap_or(usize::MAX)
+    }
+
+    /// The next position at which any processor consumes `v`.
+    fn next_use_anywhere(&mut self, v: NodeId, now: usize) -> usize {
+        (0..self.active)
+            .map(|q| self.next_use(q, v, now))
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+
+    fn insert_resident(&mut self, q: usize, v: NodeId, now: usize) {
+        self.red[q].insert(v, self.graph.weight(v));
+        let nu = self.next_use(q, v, now);
+        self.victims[q].push((nu, v));
+    }
+
+    fn store(&mut self, q: usize, v: NodeId) {
+        let w = self.graph.weight(v);
+        self.moves.push(MultiMove::Store { proc: q, node: v });
+        self.blue.insert(v, w);
+        self.clock[q] += w;
+    }
+
+    fn make_room(&mut self, q: usize, extra: Weight, now: usize) -> bool {
+        while self.red[q].weight() + extra > self.spec.proc_budget(q) {
+            // Pop until a live, unpinned resident entry with a current key
+            // surfaces (lazy revalidation); pinned entries are parked and
+            // re-inserted so they stay evictable later.
+            let mut parked: Vec<(usize, NodeId)> = Vec::new();
+            let victim = loop {
+                let Some((key, v)) = self.victims[q].pop() else {
+                    self.victims[q].extend(parked);
+                    return false;
+                };
+                if !self.red[q].contains(v) {
+                    continue; // stale entry for an already-evicted node
+                }
+                if self.pinned[v.index()] {
+                    parked.push((key, v));
+                    continue;
+                }
+                let fresh = self.next_use(q, v, now);
+                if fresh != key {
+                    self.victims[q].push((fresh, v));
+                    continue;
+                }
+                break v;
+            };
+            self.victims[q].extend(parked);
+            let dirty = !self.blue.contains(victim);
+            let red_elsewhere = (0..self.active).any(|r| r != q && self.red[r].contains(victim));
+            let needed_again = self.next_use_anywhere(victim, now) != usize::MAX
+                || (self.graph.is_sink(victim) && dirty);
+            if dirty && needed_again && !red_elsewhere {
+                self.store(q, victim);
+            }
+            self.moves.push(MultiMove::Delete {
+                proc: q,
+                node: victim,
+            });
+            self.red[q].remove(victim, self.graph.weight(victim));
+        }
+        true
+    }
+
+    /// Make `v` red on processor `q`: free if already resident, a load if
+    /// blue, otherwise a communication from the least-loaded holder.
+    fn make_red(&mut self, q: usize, v: NodeId, now: usize) -> bool {
+        if self.red[q].contains(v) {
+            return true;
+        }
+        let w = self.graph.weight(v);
+        if !self.make_room(q, w, now) {
+            return false;
+        }
+        if self.blue.contains(v) {
+            self.moves.push(MultiMove::Load { proc: q, node: v });
+            self.clock[q] += w;
+            self.insert_resident(q, v, now);
+            return true;
+        }
+        // Red on some other processor (the recoverability invariant).
+        // Choose the sender with the smallest clock: the communication
+        // synchronizes both endpoints, so the cheapest source is the one
+        // that least delays the receiver.
+        let sender = (0..self.active)
+            .filter(|&r| r != q && self.red[r].contains(v))
+            .min_by_key(|&r| (self.clock[r], r));
+        let Some(r) = sender else {
+            debug_assert!(false, "value {v} neither blue nor red anywhere");
+            return false;
+        };
+        self.moves.push(MultiMove::Comm {
+            from: r,
+            to: q,
+            node: v,
+        });
+        let t = self.clock[r].max(self.clock[q]) + self.spec.comm_price() * w;
+        self.clock[r] = t;
+        self.clock[q] = t;
+        self.insert_resident(q, v, now);
+        true
+    }
+
+    fn compute(&mut self, now: usize, v: NodeId, q: usize) -> bool {
+        for &u in self.graph.preds(v) {
+            self.pinned[u.index()] = true;
+        }
+        let ok = self
+            .graph
+            .preds(v)
+            .to_vec()
+            .into_iter()
+            .all(|u| self.make_red(q, u, now))
+            && self.make_room(q, self.graph.weight(v), now);
+        for &u in self.graph.preds(v) {
+            self.pinned[u.index()] = false;
+        }
+        if !ok {
+            return false;
+        }
+        self.moves.push(MultiMove::Compute { proc: q, node: v });
+        self.clock[q] += self.graph.weight(v);
+        self.insert_resident(q, v, now + 1);
+        // Re-key the parents on q: their just-consumed use is gone, so
+        // their next-use keys grew; grown keys must be pushed eagerly
+        // (lazy revalidation on pop can only shrink stale priorities).
+        for &u in self.graph.preds(v) {
+            if self.red[q].contains(u) {
+                let nu = self.next_use(q, u, now + 1);
+                self.victims[q].push((nu, u));
+            }
+        }
+        true
+    }
+}

@@ -20,22 +20,29 @@
 //!
 //! Both levels compare full serialized bytes, never just the bucket
 //! hash — collisions degrade to misses, not wrong answers — and key on
-//! the scheduler name and budget besides the graph.  Sharding is by
-//! hash over independently-locked `HashMap`s, so worker threads
-//! answering unrelated graphs never contend.
+//! the scheduler name and the full [`MachineSpec`] besides the graph:
+//! two requests for the same graph on different machines (processor
+//! count, per-processor budgets, or communication price) can never
+//! answer each other.  Sharding is by hash over independently-locked
+//! `HashMap`s, so worker threads answering unrelated graphs never
+//! contend.
 
 use crate::canon::{CanonicalForm, IdentityForm};
-use pebblyn_core::{FastHashMap, Schedule, Weight};
+use pebblyn_core::{FastHashMap, MachineSpec, Schedule, Weight};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// A cached answer: replayed cost, and moves when the entry came from a
-/// full (non-cost-only) solve.  Stored labels depend on the index: the
-/// requester's own in the identity index, canonical in the canonical one.
+/// A cached answer: replayed cost, the multiprocessor metrics when the
+/// entry answered a multiprocessor request, and moves when the entry came
+/// from a full (non-cost-only) single-processor solve.  Stored labels
+/// depend on the index: the requester's own in the identity index,
+/// canonical in the canonical one.
 #[derive(Debug, Clone)]
 struct Entry {
     key: EntryKey,
     cost: Weight,
+    makespan: Option<Weight>,
+    comm_cost: Option<Weight>,
     schedule: Option<Schedule>,
 }
 
@@ -43,7 +50,7 @@ struct Entry {
 struct EntryKey {
     bytes: Vec<u8>,
     scheduler: String,
-    budget: Weight,
+    machine: MachineSpec,
 }
 
 /// A transported cache hit.
@@ -51,6 +58,10 @@ struct EntryKey {
 pub struct CacheHit {
     /// The replayed cost recorded at insert time.
     pub cost: Weight,
+    /// Makespan recorded at insert time (multiprocessor entries only).
+    pub makespan: Option<Weight>,
+    /// Communication cost recorded at insert time (multiprocessor only).
+    pub comm_cost: Option<Weight>,
     /// The cached moves, rewritten to the requester's node labels
     /// (`None` when the entry was cost-only or the request is).
     pub schedule: Option<Schedule>,
@@ -80,6 +91,11 @@ impl CacheStats {
     }
 }
 
+/// What a [`Shards::find`] hit yields: `(cost, makespan, comm_cost,
+/// schedule)` — the two middle fields only for multiprocessor entries,
+/// the schedule only when the caller asked for moves.
+type Found = (Weight, Option<Weight>, Option<Weight>, Option<Schedule>);
+
 /// One sharded byte-keyed index (the two cache levels share this shape).
 struct Shards(Vec<Mutex<FastHashMap<u64, Vec<Entry>>>>);
 
@@ -98,18 +114,19 @@ impl Shards {
 
     /// Find a satisfying entry; a full entry satisfies both full and
     /// cost-only requests, a cost-only entry only the latter.  Returns
-    /// the cost and (when `need_moves`) a clone of the stored schedule.
+    /// the recorded metrics and (when `need_moves`) a clone of the stored
+    /// schedule.
     fn find(
         &self,
         hash: u64,
         bytes: &[u8],
         scheduler: &str,
-        budget: Weight,
+        machine: &MachineSpec,
         need_moves: bool,
-    ) -> Option<(Weight, Option<Schedule>)> {
+    ) -> Option<Found> {
         let shard = self.shard(hash).lock().unwrap();
         let hit = shard.get(&hash)?.iter().find(|e| {
-            e.key.budget == budget
+            e.key.machine == *machine
                 && e.key.scheduler == scheduler
                 && (!need_moves || e.schedule.is_some())
                 && e.key.bytes == bytes
@@ -119,25 +136,28 @@ impl Shards {
         } else {
             None
         };
-        Some((hit.cost, schedule))
+        Some((hit.cost, hit.makespan, hit.comm_cost, schedule))
     }
 
     /// Insert or upgrade: a full entry replaces a cost-only entry for the
     /// same key, a cost-only insert never downgrades a full entry.
     /// Returns whether a brand-new entry was created.
+    #[allow(clippy::too_many_arguments)]
     fn put(
         &self,
         hash: u64,
         bytes: &[u8],
         scheduler: &str,
-        budget: Weight,
+        machine: &MachineSpec,
         cost: Weight,
+        makespan: Option<Weight>,
+        comm_cost: Option<Weight>,
         schedule: Option<Schedule>,
     ) -> bool {
         let key = EntryKey {
             bytes: bytes.to_vec(),
             scheduler: scheduler.to_string(),
-            budget,
+            machine: machine.clone(),
         };
         let mut shard = self.shard(hash).lock().unwrap();
         let bucket = shard.entry(hash).or_default();
@@ -146,6 +166,8 @@ impl Shards {
                 if let Some(s) = schedule {
                     existing.schedule = Some(s);
                     existing.cost = cost;
+                    existing.makespan = makespan;
+                    existing.comm_cost = comm_cost;
                 }
             }
             return false;
@@ -153,6 +175,8 @@ impl Shards {
         bucket.push(Entry {
             key,
             cost,
+            makespan,
+            comm_cost,
             schedule,
         });
         true
@@ -183,14 +207,19 @@ impl ScheduleCache {
         &self,
         form: &IdentityForm,
         scheduler: &str,
-        budget: Weight,
+        machine: &MachineSpec,
         need_moves: bool,
     ) -> Option<CacheHit> {
-        let (cost, schedule) =
+        let (cost, makespan, comm_cost, schedule) =
             self.ident
-                .find(form.hash(), form.bytes(), scheduler, budget, need_moves)?;
+                .find(form.hash(), form.bytes(), scheduler, machine, need_moves)?;
         self.stats.hits.fetch_add(1, Ordering::Relaxed);
-        Some(CacheHit { cost, schedule })
+        Some(CacheHit {
+            cost,
+            makespan,
+            comm_cost,
+            schedule,
+        })
     }
 
     /// Canonical-index lookup.  On hit the stored canonical schedule is
@@ -199,18 +228,23 @@ impl ScheduleCache {
         &self,
         form: &CanonicalForm,
         scheduler: &str,
-        budget: Weight,
+        machine: &MachineSpec,
         need_moves: bool,
     ) -> Option<CacheHit> {
-        let (cost, stored) =
+        let (cost, makespan, comm_cost, stored) =
             self.canon
-                .find(form.hash(), form.bytes(), scheduler, budget, need_moves)?;
+                .find(form.hash(), form.bytes(), scheduler, machine, need_moves)?;
         let schedule = stored.map(|s| {
             let inv = form.inverse_perm();
             s.map_nodes(|c| inv[c.index()])
         });
         self.stats.hits.fetch_add(1, Ordering::Relaxed);
-        Some(CacheHit { cost, schedule })
+        Some(CacheHit {
+            cost,
+            makespan,
+            comm_cost,
+            schedule,
+        })
     }
 
     /// Record a miss (for stats symmetry; the service calls this when
@@ -221,20 +255,25 @@ impl ScheduleCache {
 
     /// Insert into the identity index.  `schedule` is stored as-is, in
     /// the requester's labels.
+    #[allow(clippy::too_many_arguments)]
     pub fn insert_identity(
         &self,
         form: &IdentityForm,
         scheduler: &str,
-        budget: Weight,
+        machine: &MachineSpec,
         cost: Weight,
+        makespan: Option<Weight>,
+        comm_cost: Option<Weight>,
         schedule: Option<&Schedule>,
     ) {
         if self.ident.put(
             form.hash(),
             form.bytes(),
             scheduler,
-            budget,
+            machine,
             cost,
+            makespan,
+            comm_cost,
             schedule.cloned(),
         ) {
             self.stats.entries.fetch_add(1, Ordering::Relaxed);
@@ -244,19 +283,28 @@ impl ScheduleCache {
     /// Insert into the canonical index.  `schedule` must be in the
     /// *requester's* labels; it is rewritten to canonical labels via
     /// `form` before storage.
+    #[allow(clippy::too_many_arguments)]
     pub fn insert(
         &self,
         form: &CanonicalForm,
         scheduler: &str,
-        budget: Weight,
+        machine: &MachineSpec,
         cost: Weight,
+        makespan: Option<Weight>,
+        comm_cost: Option<Weight>,
         schedule: Option<&Schedule>,
     ) {
         let stored = schedule.map(|s| s.map_nodes(|v| form.to_canon(v)));
-        if self
-            .canon
-            .put(form.hash(), form.bytes(), scheduler, budget, cost, stored)
-        {
+        if self.canon.put(
+            form.hash(),
+            form.bytes(),
+            scheduler,
+            machine,
+            cost,
+            makespan,
+            comm_cost,
+            stored,
+        ) {
             self.stats.entries.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -288,21 +336,57 @@ mod tests {
         let g = chain3();
         let form = canonical_form(&g);
         let cache = ScheduleCache::new(4);
-        assert!(cache.lookup(&form, "naive", 10, false).is_none());
+        let m10 = MachineSpec::uniprocessor(10);
+        assert!(cache.lookup(&form, "naive", &m10, false).is_none());
 
-        cache.insert(&form, "naive", 10, 7, None); // cost-only entry
-        assert!(cache.lookup(&form, "naive", 10, true).is_none());
-        assert_eq!(cache.lookup(&form, "naive", 10, false).unwrap().cost, 7);
+        cache.insert(&form, "naive", &m10, 7, None, None, None); // cost-only entry
+        assert!(cache.lookup(&form, "naive", &m10, true).is_none());
+        assert_eq!(cache.lookup(&form, "naive", &m10, false).unwrap().cost, 7);
 
         let sched = Schedule::from_moves(vec![Move::Load(NodeId(0)), Move::Compute(NodeId(1))]);
-        cache.insert(&form, "naive", 10, 7, Some(&sched)); // upgrade to full
-        let hit = cache.lookup(&form, "naive", 10, true).unwrap();
+        cache.insert(&form, "naive", &m10, 7, None, None, Some(&sched)); // upgrade to full
+        let hit = cache.lookup(&form, "naive", &m10, true).unwrap();
         assert_eq!(hit.cost, 7);
         assert_eq!(hit.schedule.unwrap().moves(), sched.moves());
         assert_eq!(cache.stats().entries(), 1);
         // Different budget or scheduler: miss.
-        assert!(cache.lookup(&form, "naive", 11, false).is_none());
-        assert!(cache.lookup(&form, "kary", 10, false).is_none());
+        assert!(cache
+            .lookup(&form, "naive", &MachineSpec::uniprocessor(11), false)
+            .is_none());
+        assert!(cache.lookup(&form, "kary", &m10, false).is_none());
+    }
+
+    /// The machine spec participates in the key in full: processor count,
+    /// per-processor budgets, and communication price each discriminate.
+    #[test]
+    fn machine_spec_discriminates_entries() {
+        let g = chain3();
+        let form = canonical_form(&g);
+        let cache = ScheduleCache::new(2);
+        let uni = MachineSpec::uniprocessor(10);
+        let duo = MachineSpec::symmetric(2, 10);
+        let duo_pricey = MachineSpec::symmetric(2, 10).with_comm_price(5);
+
+        cache.insert(&form, "partition-belady", &uni, 7, None, None, None);
+        cache.insert(&form, "partition-belady", &duo, 9, Some(20), Some(4), None);
+        assert_eq!(
+            cache
+                .lookup(&form, "partition-belady", &uni, false)
+                .unwrap()
+                .cost,
+            7
+        );
+        let hit = cache
+            .lookup(&form, "partition-belady", &duo, false)
+            .unwrap();
+        assert_eq!(
+            (hit.cost, hit.makespan, hit.comm_cost),
+            (9, Some(20), Some(4))
+        );
+        assert!(cache
+            .lookup(&form, "partition-belady", &duo_pricey, false)
+            .is_none());
+        assert_eq!(cache.stats().entries(), 2);
     }
 
     #[test]
@@ -328,8 +412,9 @@ mod tests {
             Move::Compute(NodeId(1)),
             Move::Compute(NodeId(2)),
         ]);
-        cache.insert(&f1, "naive", 10, 5, Some(&sched));
-        let hit = cache.lookup(&f2, "naive", 10, true).unwrap();
+        let m10 = MachineSpec::uniprocessor(10);
+        cache.insert(&f1, "naive", &m10, 5, None, None, Some(&sched));
+        let hit = cache.lookup(&f2, "naive", &m10, true).unwrap();
         // g1's node v corresponds to g2's node with the same canonical
         // label; weights identify the mapping: 0->2, 1->1, 2->0.
         assert_eq!(
@@ -357,15 +442,16 @@ mod tests {
         let i2 = identity_form(&g2);
         let cache = ScheduleCache::new(2);
         let sched = Schedule::from_moves(vec![Move::Load(NodeId(0)), Move::Compute(NodeId(2))]);
-        cache.insert_identity(&i1, "naive", 10, 5, Some(&sched));
+        let m10 = MachineSpec::uniprocessor(10);
+        cache.insert_identity(&i1, "naive", &m10, 5, None, None, Some(&sched));
         // Same graph object: hit, moves byte-for-byte as stored.
-        let hit = cache.lookup_identity(&i1, "naive", 10, true).unwrap();
+        let hit = cache.lookup_identity(&i1, "naive", &m10, true).unwrap();
         assert_eq!(hit.schedule.unwrap().moves(), sched.moves());
         // Isomorphic but relabeled: the identity index must NOT answer.
-        assert!(cache.lookup_identity(&i2, "naive", 10, true).is_none());
+        assert!(cache.lookup_identity(&i2, "naive", &m10, true).is_none());
         // Upgrade semantics match the canonical index.
-        cache.insert_identity(&i1, "naive", 10, 5, None);
-        assert!(cache.lookup_identity(&i1, "naive", 10, true).is_some());
+        cache.insert_identity(&i1, "naive", &m10, 5, None, None, None);
+        assert!(cache.lookup_identity(&i1, "naive", &m10, true).is_some());
         assert_eq!(cache.stats().entries(), 1);
     }
 }

@@ -93,10 +93,16 @@ pub enum Outcome {
     Ok {
         /// Replay-validated cost in bits.
         cost: Weight,
-        /// The moves (absent for cost-only requests).
+        /// The moves (absent for cost-only requests and for
+        /// multiprocessor answers, whose move streams are not
+        /// transported over the wire yet).
         schedule: Option<Schedule>,
         /// Whether the answer came from the cache.
         cache_hit: bool,
+        /// Multiprocessor makespan (None for uniprocessor answers).
+        makespan: Option<Weight>,
+        /// Multiprocessor communication cost (None for uniprocessor).
+        comm_cost: Option<Weight>,
     },
     /// A typed rejection.
     Rejected {
@@ -201,6 +207,7 @@ impl Service {
 
     fn answer(&self, req: Request) -> Response {
         let Request { id, ask, no_cache } = req;
+        let machine = ask.machine().clone();
         let budget = ask.budget();
         let need_moves = !ask.is_cost_only();
         let cost_only = ask.is_cost_only();
@@ -209,8 +216,8 @@ impl Service {
             Ok(g) => g,
             Err(msg) => return Response::rejected(id, RejectKind::BadRequest, msg),
         };
-        let exec_req =
-            ScheduleRequest::new(&graph, budget, scheduler.as_str()).with_cost_only(cost_only);
+        let exec_req = ScheduleRequest::new(&graph, machine.clone(), scheduler.as_str())
+            .with_cost_only(cost_only);
 
         let cache = match (&self.cache, no_cache) {
             (Some(c), false) => Some(c),
@@ -219,13 +226,18 @@ impl Service {
         // The cache only participates when a direct solve would too:
         // answering an (unknown scheduler, unsupported family) request
         // from an entry another graph spec populated would diverge from
-        // the executor's typed rejection.
-        let cache = cache.filter(|_| api::by_name(&scheduler).is_some_and(|s| s.supports(&graph)));
+        // the executor's typed rejection.  Multiprocessor full-schedule
+        // requests always miss: the cache stores single-processor move
+        // streams only, so multi answers are cached cost-level
+        // (cost + makespan + comm) and re-solved when moves are needed.
+        let cache = cache.filter(|_| {
+            api::by_name(&scheduler).is_some_and(|s| s.supports_machine(&graph, &machine))
+        });
 
         // Level 1: identity form — one serialization pass, no transport.
         let ident = cache.map(|_| identity_form(graph.cdag()));
         if let (Some(cache), Some(ident)) = (cache, &ident) {
-            if let Some(hit) = cache.lookup_identity(ident, &scheduler, budget, need_moves) {
+            if let Some(hit) = cache.lookup_identity(ident, &scheduler, &machine, need_moves) {
                 telemetry::incr(Counter::ServiceCacheHits);
                 return Response {
                     id,
@@ -233,6 +245,8 @@ impl Service {
                         cost: hit.cost,
                         schedule: hit.schedule,
                         cache_hit: true,
+                        makespan: hit.makespan,
+                        comm_cost: hit.comm_cost,
                     },
                 };
             }
@@ -245,7 +259,7 @@ impl Service {
             .map(|_| canonical_form_with_budget(graph.cdag(), self.canon_budget))
             .filter(CanonicalForm::is_exact);
         if let (Some(cache), Some(form)) = (cache, &form) {
-            if let Some(hit) = cache.lookup(form, &scheduler, budget, need_moves) {
+            if let Some(hit) = cache.lookup(form, &scheduler, &machine, need_moves) {
                 telemetry::incr(Counter::ServiceCacheHits);
                 return Response {
                     id,
@@ -253,6 +267,8 @@ impl Service {
                         cost: hit.cost,
                         schedule: hit.schedule,
                         cache_hit: true,
+                        makespan: hit.makespan,
+                        comm_cost: hit.comm_cost,
                     },
                 };
             }
@@ -269,18 +285,30 @@ impl Service {
                     cache.insert_identity(
                         ident,
                         &scheduler,
-                        budget,
+                        &machine,
                         answer.cost(),
+                        answer.makespan(),
+                        answer.comm_cost(),
                         answer.schedule(),
                     );
                     if let Some(form) = &form {
-                        cache.insert(form, &scheduler, budget, answer.cost(), answer.schedule());
+                        cache.insert(
+                            form,
+                            &scheduler,
+                            &machine,
+                            answer.cost(),
+                            answer.makespan(),
+                            answer.comm_cost(),
+                            answer.schedule(),
+                        );
                     }
                 }
                 Response {
                     id,
                     outcome: Outcome::Ok {
                         cost: answer.cost(),
+                        makespan: answer.makespan(),
+                        comm_cost: answer.comm_cost(),
                         schedule: answer.into_schedule(),
                         cache_hit: false,
                     },
@@ -309,9 +337,9 @@ impl Service {
                     },
                 }
             }
-            Err(ExecuteError::Schedule(e @ ScheduleError::ValidationFailed(_))) => {
-                Response::rejected(id, RejectKind::ValidationFailed, e.to_string())
-            }
+            Err(ExecuteError::Schedule(
+                e @ (ScheduleError::ValidationFailed(_) | ScheduleError::MultiValidationFailed(_)),
+            )) => Response::rejected(id, RejectKind::ValidationFailed, e.to_string()),
         }
     }
 }
@@ -319,7 +347,7 @@ impl Service {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pebblyn_core::validate_schedule;
+    use pebblyn_core::{validate_schedule, MachineSpec};
 
     fn workload_request(id: u64, budget: Weight, scheduler: &str) -> Request {
         Request {
@@ -346,6 +374,7 @@ mod tests {
             cost: cold_cost,
             schedule: Some(cold_sched),
             cache_hit: false,
+            ..
         } = cold.outcome
         else {
             panic!("expected cold full answer, got {:?}", cold.outcome)
@@ -356,6 +385,7 @@ mod tests {
             cost: warm_cost,
             schedule: Some(warm_sched),
             cache_hit: true,
+            ..
         } = warm.outcome
         else {
             panic!("expected warm cached answer, got {:?}", warm.outcome)
@@ -387,6 +417,65 @@ mod tests {
         }
         assert_eq!(svc.cache().unwrap().stats().hits(), 0);
         assert_eq!(svc.cache().unwrap().stats().entries(), 0);
+    }
+
+    /// Multiprocessor requests flow through the same handler: cost-only
+    /// answers carry makespan and communication cost, cache cost-level
+    /// entries reproduce them on a warm hit, and full-schedule multi
+    /// requests re-solve (the cache stores uniprocessor move streams
+    /// only).
+    #[test]
+    fn multi_requests_carry_makespan_and_cache_cost_level() {
+        let svc = Service::with_default_config();
+        let multi_req = |id| Request {
+            id,
+            ask: ScheduleRequest::new(
+                GraphSpec::Workload {
+                    workload: Workload::Dwt { n: 16, d: 2 },
+                    scheme: WeightScheme::Equal(16),
+                },
+                MachineSpec::symmetric(2, 16 * 16),
+                "partition-belady",
+            )
+            .with_cost_only(true),
+            no_cache: false,
+        };
+
+        let cold = svc.handle(multi_req(1));
+        let Outcome::Ok {
+            cost: cold_cost,
+            schedule: None,
+            cache_hit: false,
+            makespan: Some(cold_span),
+            comm_cost: Some(_),
+        } = cold.outcome
+        else {
+            panic!("expected cold multi cost answer, got {:?}", cold.outcome)
+        };
+
+        let warm = svc.handle(multi_req(2));
+        let Outcome::Ok {
+            cost: warm_cost,
+            cache_hit: true,
+            makespan: Some(warm_span),
+            ..
+        } = warm.outcome
+        else {
+            panic!("expected warm multi hit, got {:?}", warm.outcome)
+        };
+        assert_eq!((cold_cost, cold_span), (warm_cost, warm_span));
+
+        // Same graph, uniprocessor machine: a distinct cache key.
+        let uni = svc.handle(workload_request(3, 16 * 16, "partition-belady"));
+        let Outcome::Ok {
+            cache_hit: false,
+            makespan: None,
+            comm_cost: None,
+            ..
+        } = uni.outcome
+        else {
+            panic!("expected fresh uniprocessor answer, got {:?}", uni.outcome)
+        };
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! payload  := magic:u16 version:u8 kind:u8 body
 //! kind     := 0 request | 1 response | 2 shutdown
 //!
-//! request  := id:u64 flags:u8 budget:u64 scheduler:str graph
+//! request  := id:u64 flags:u8 machine scheduler:str graph
+//! machine  := procs:u16 budget:u64[procs] comm_price:u64
 //! flags    := bit0 cost_only, bit1 no_cache
 //! str      := len:u16 utf8[len]
 //! graph    := 0 custom:u8 n:u32 weight:u64[n] m:u32 (from:u32 to:u32)[m]
@@ -19,15 +20,24 @@
 //!           | 5 banded:u8 n:u64 bandwidth:u64 scheme
 //! scheme   := kind:u8 (0 equal | 1 double-accumulator) word:u64
 //!
-//! response := id:u64 status:u8 cache:u8 cost:u64 message:str moves
+//! response := id:u64 status:u8 cache:u8 cost:u64 makespan:u64 comm:u64
+//!             message:str moves
 //! status   := 0 ok | 1 unknown-scheduler | 2 unsupported | 3 infeasible
 //!           | 4 validation-failed | 5 overloaded | 6 bad-request
 //! cost     := replayed cost (ok) | min-feasible hint or u64::MAX (infeasible)
+//! makespan := multiprocessor makespan, u64::MAX when absent (uniprocessor)
+//! comm     := multiprocessor communication cost, u64::MAX when absent
 //! moves    := present:u8 [count:u32 (tag:u8 node:u32)[count]]
 //!
 //! shutdown := (empty body; the server acknowledges with an empty
 //!              shutdown frame, flushes telemetry, and stops accepting)
 //! ```
+//!
+//! Version history: v1 requests carried a bare `budget:u64` where v2
+//! carries `machine`, and v1 responses had no `makespan`/`comm` words.
+//! Encoders always emit v2; the decoder accepts both, mapping a v1
+//! budget to [`MachineSpec::uniprocessor`] so old clients keep working
+//! against new servers unchanged.
 //!
 //! Decoders never trust lengths: every read is bounds-checked, frame and
 //! collection sizes are capped, and any violation surfaces as a
@@ -36,15 +46,19 @@
 
 use crate::service::{GraphSpec, Outcome, RejectKind, Request, Response};
 use pebblyn_core::stream::MoveTag;
-use pebblyn_core::{CdagBuilder, Move, NodeId, Schedule, ScheduleRequest, Weight};
+use pebblyn_core::{
+    CdagBuilder, MachineSpec, Move, NodeId, ProcBudget, Schedule, ScheduleRequest, Weight,
+};
 use pebblyn_graphs::{WeightScheme, Workload};
 use std::fmt;
 use std::io::{self, Read, Write};
 
 /// `"pw"` — pebblyn wire.
 pub const MAGIC: u16 = 0x7077;
-/// Wire format version.
-pub const VERSION: u8 = 1;
+/// Wire format version emitted by encoders (decoders also accept v1).
+pub const VERSION: u8 = 2;
+/// The pre-multiprocessor format still accepted on decode.
+pub const VERSION_V1: u8 = 1;
 /// Upper bound on a frame payload (guards allocations on hostile input).
 pub const MAX_FRAME: u32 = 64 << 20;
 /// Upper bound on nodes/edges/moves in one frame.
@@ -124,6 +138,15 @@ fn encode_scheme(e: &mut Enc, scheme: WeightScheme) {
     }
 }
 
+fn encode_machine(e: &mut Enc, machine: &MachineSpec) {
+    let procs = u16::try_from(machine.num_procs()).expect("over 65535 processors on the wire");
+    e.0.extend_from_slice(&procs.to_le_bytes());
+    for p in machine.procs() {
+        e.u64(p.budget());
+    }
+    e.u64(machine.comm_price());
+}
+
 fn encode_graph(e: &mut Enc, spec: &GraphSpec) {
     match spec {
         GraphSpec::Custom(g) => {
@@ -168,7 +191,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         flags |= 2;
     }
     e.u8(flags);
-    e.u64(req.ask.budget());
+    encode_machine(&mut e, req.ask.machine());
     e.str(req.ask.scheduler());
     encode_graph(&mut e, req.ask.graph());
     e.0
@@ -194,10 +217,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             cost,
             schedule,
             cache_hit,
+            makespan,
+            comm_cost,
         } => {
             e.u8(0);
             e.u8(u8::from(*cache_hit));
             e.u64(*cost);
+            e.u64(makespan.unwrap_or(u64::MAX));
+            e.u64(comm_cost.unwrap_or(u64::MAX));
             e.str("");
             match schedule {
                 Some(s) => {
@@ -226,6 +253,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             e.u8(status_code(*kind));
             e.u8(0);
             e.u64(min_feasible.unwrap_or(u64::MAX));
+            e.u64(u64::MAX);
+            e.u64(u64::MAX);
             e.str(message);
             e.u8(0);
         }
@@ -321,6 +350,22 @@ fn decode_scheme(d: &mut Dec) -> Result<WeightScheme, WireError> {
     }
 }
 
+fn decode_machine(d: &mut Dec) -> Result<MachineSpec, WireError> {
+    let procs = d.u16()? as usize;
+    if procs == 0 {
+        return err("a machine needs at least one processor");
+    }
+    if procs.saturating_mul(8) > d.buf.len() - d.pos {
+        return err(format!("processor count {procs} exceeds payload size"));
+    }
+    let mut budgets = Vec::with_capacity(procs);
+    for _ in 0..procs {
+        budgets.push(ProcBudget::new(d.u64()?));
+    }
+    let comm_price = d.u64()?;
+    Ok(MachineSpec::new(budgets).with_comm_price(comm_price))
+}
+
 fn decode_graph(d: &mut Dec) -> Result<GraphSpec, WireError> {
     let tag = d.u8()?;
     if tag == 0 {
@@ -388,7 +433,7 @@ pub fn decode_payload(buf: &[u8]) -> Result<Frame, WireError> {
         return err(format!("bad magic {magic:#06x}"));
     }
     let version = d.u8()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return err(format!("unsupported version {version}"));
     }
     match d.u8()? {
@@ -398,13 +443,19 @@ pub fn decode_payload(buf: &[u8]) -> Result<Frame, WireError> {
             if flags & !3 != 0 {
                 return err(format!("unknown request flags {flags:#04x}"));
             }
-            let budget: Weight = d.u64()?;
+            // v1 carried a bare uniprocessor budget; v2 a full machine.
+            let machine = if version == VERSION_V1 {
+                let budget: Weight = d.u64()?;
+                MachineSpec::uniprocessor(budget)
+            } else {
+                decode_machine(&mut d)?
+            };
             let scheduler = d.str()?;
             let graph = decode_graph(&mut d)?;
             d.done()?;
             Ok(Frame::Request(Request {
                 id,
-                ask: ScheduleRequest::new(graph, budget, scheduler).with_cost_only(flags & 1 != 0),
+                ask: ScheduleRequest::new(graph, machine, scheduler).with_cost_only(flags & 1 != 0),
                 no_cache: flags & 2 != 0,
             }))
         }
@@ -413,6 +464,12 @@ pub fn decode_payload(buf: &[u8]) -> Result<Frame, WireError> {
             let status = d.u8()?;
             let cache = d.u8()?;
             let cost = d.u64()?;
+            // v1 responses had no makespan/comm words.
+            let (makespan, comm) = if version == VERSION_V1 {
+                (u64::MAX, u64::MAX)
+            } else {
+                (d.u64()?, d.u64()?)
+            };
             let message = d.str()?;
             let schedule = decode_moves(&mut d)?;
             d.done()?;
@@ -421,6 +478,8 @@ pub fn decode_payload(buf: &[u8]) -> Result<Frame, WireError> {
                     cost,
                     schedule,
                     cache_hit: cache != 0,
+                    makespan: (makespan != u64::MAX).then_some(makespan),
+                    comm_cost: (comm != u64::MAX).then_some(comm),
                 },
                 s => {
                     let kind = match s {
@@ -566,6 +625,8 @@ mod tests {
                     Move::Delete(NodeId(0)),
                 ])),
                 cache_hit: true,
+                makespan: None,
+                comm_cost: None,
             },
         };
         let Frame::Response(back) = decode_payload(&encode_response(&ok)).unwrap() else {
@@ -575,12 +636,39 @@ mod tests {
             cost,
             schedule,
             cache_hit,
+            makespan,
+            comm_cost,
         } = back.outcome
         else {
             panic!("expected ok")
         };
         assert_eq!((back.id, cost, cache_hit), (9, 128, true));
+        assert_eq!((makespan, comm_cost), (None, None));
         assert_eq!(schedule.unwrap().len(), 4);
+
+        let multi = Response {
+            id: 11,
+            outcome: Outcome::Ok {
+                cost: 96,
+                schedule: None,
+                cache_hit: false,
+                makespan: Some(40),
+                comm_cost: Some(12),
+            },
+        };
+        let Frame::Response(back) = decode_payload(&encode_response(&multi)).unwrap() else {
+            panic!("expected response frame")
+        };
+        let Outcome::Ok {
+            cost,
+            makespan,
+            comm_cost,
+            ..
+        } = back.outcome
+        else {
+            panic!("expected ok")
+        };
+        assert_eq!((cost, makespan, comm_cost), (96, Some(40), Some(12)));
 
         let infeasible = Response {
             id: 10,
@@ -606,6 +694,82 @@ mod tests {
         assert_eq!(min_feasible, Some(64));
     }
 
+    /// v2 requests carry the full machine: processor count, each budget,
+    /// and the communication price all survive the round trip.
+    #[test]
+    fn multi_machine_requests_round_trip() {
+        let req = Request {
+            id: 5,
+            ask: ScheduleRequest::new(
+                GraphSpec::Custom(diamond()),
+                MachineSpec::new(vec![ProcBudget::new(24), ProcBudget::new(8)]).with_comm_price(3),
+                "comm-list",
+            ),
+            no_cache: false,
+        };
+        let Frame::Request(back) = decode_payload(&encode_request(&req)).unwrap() else {
+            panic!("expected request frame")
+        };
+        let m = back.ask.machine();
+        assert_eq!(m.num_procs(), 2);
+        assert_eq!((m.proc_budget(0), m.proc_budget(1)), (24, 8));
+        assert_eq!(m.comm_price(), 3);
+        assert!(!m.is_uniprocessor());
+    }
+
+    /// Hand-encode v1 payloads (bare budget, no makespan/comm words) and
+    /// check the decoder still accepts them: an old client's request maps
+    /// to a uniprocessor machine, an old server's response decodes with
+    /// the multi fields absent.
+    #[test]
+    fn v1_payloads_still_decode() {
+        // v1 request: id flags budget scheduler graph.
+        let mut e = Enc::new(0);
+        e.0[2] = VERSION_V1;
+        e.u64(77);
+        e.u8(1); // cost_only
+        e.u64(160);
+        e.str("naive");
+        e.u8(1); // dwt workload
+        e.u64(16);
+        e.u64(2);
+        e.u8(0); // equal scheme
+        e.u64(16);
+        let Frame::Request(back) = decode_payload(&e.0).unwrap() else {
+            panic!("expected request frame")
+        };
+        assert_eq!(back.id, 77);
+        assert!(back.ask.is_cost_only());
+        assert_eq!(back.ask.machine(), &MachineSpec::uniprocessor(160));
+        assert_eq!(back.ask.scheduler(), "naive");
+
+        // v1 ok response: id status cache cost message moves.
+        let mut e = Enc::new(1);
+        e.0[2] = VERSION_V1;
+        e.u64(77);
+        e.u8(0); // ok
+        e.u8(1); // cache hit
+        e.u64(512);
+        e.str("");
+        e.u8(0); // no moves
+        let Frame::Response(back) = decode_payload(&e.0).unwrap() else {
+            panic!("expected response frame")
+        };
+        let Outcome::Ok {
+            cost,
+            cache_hit,
+            makespan,
+            comm_cost,
+            schedule,
+        } = back.outcome
+        else {
+            panic!("expected ok")
+        };
+        assert_eq!((cost, cache_hit), (512, true));
+        assert_eq!((makespan, comm_cost), (None, None));
+        assert!(schedule.is_none());
+    }
+
     #[test]
     fn malformed_payloads_error_cleanly() {
         assert!(decode_payload(&[]).is_err());
@@ -625,7 +789,9 @@ mod tests {
         let mut e = Enc::new(0);
         e.u64(1);
         e.u8(0);
+        e.0.extend_from_slice(&1u16.to_le_bytes()); // one processor
         e.u64(10);
+        e.u64(2); // comm price
         e.str("naive");
         e.u8(0); // custom graph
         e.u32(1); // one node
@@ -633,6 +799,14 @@ mod tests {
         e.u32(1); // one edge
         e.u32(0);
         e.u32(7); // target out of range
+        assert!(decode_payload(&e.0).is_err());
+        // A machine with zero processors is rejected at decode time.
+        let mut e = Enc::new(0);
+        e.u64(1);
+        e.u8(0);
+        e.0.extend_from_slice(&0u16.to_le_bytes());
+        e.u64(2);
+        e.str("naive");
         assert!(decode_payload(&e.0).is_err());
     }
 

@@ -88,7 +88,7 @@ proptest! {
             ask: ScheduleRequest::new(GraphSpec::Custom(g2.clone()), budget, "naive"),
             no_cache: false,
         });
-        let Outcome::Ok { cost, schedule, cache_hit } = warm.outcome else {
+        let Outcome::Ok { cost, schedule, cache_hit, .. } = warm.outcome else {
             panic!("warm solve must succeed above the minimum feasible budget")
         };
         // Exact canonicalization on both sides guarantees the relabeled

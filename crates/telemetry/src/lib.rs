@@ -92,10 +92,16 @@ pub enum Counter {
     /// Nodes scheduled by the streaming schedulers (one increment per
     /// computed node, across both streaming strategies).
     StreamNodes,
+    /// Red-to-red communication moves in multiprocessor schedules answered
+    /// through the registry surface.
+    CommMoves,
+    /// Multiprocessor schedule requests answered through the registry
+    /// surface (one increment per validated multi answer).
+    MultiRequests,
 }
 
 /// All counters, in declaration (and output) order.
-pub const COUNTERS: [Counter; 24] = [
+pub const COUNTERS: [Counter; 26] = [
     Counter::StatesExpanded,
     Counter::StatesGenerated,
     Counter::DominancePruned,
@@ -120,6 +126,8 @@ pub const COUNTERS: [Counter; 24] = [
     Counter::WindowEvictions,
     Counter::SlabCuts,
     Counter::StreamNodes,
+    Counter::CommMoves,
+    Counter::MultiRequests,
 ];
 
 impl Counter {
@@ -150,6 +158,8 @@ impl Counter {
             Counter::WindowEvictions => "window_evictions",
             Counter::SlabCuts => "slab_cuts",
             Counter::StreamNodes => "stream_nodes",
+            Counter::CommMoves => "comm_moves",
+            Counter::MultiRequests => "multi_requests",
         }
     }
 }
@@ -174,10 +184,13 @@ pub enum Gauge {
     /// Peak resident red weight (in bits) observed by the streaming
     /// topological-window scheduler.
     WindowPeak,
+    /// Most processors any multiprocessor answer in this run actually
+    /// occupied (computed at least one node on).
+    MultiProcsUsed,
 }
 
 /// All gauges, in declaration (and output) order.
-pub const GAUGES: [Gauge; 7] = [
+pub const GAUGES: [Gauge; 8] = [
     Gauge::OpenListPeak,
     Gauge::DominanceEntriesPeak,
     Gauge::QueueDepthPeak,
@@ -185,6 +198,7 @@ pub const GAUGES: [Gauge; 7] = [
     Gauge::ServiceLatencyPeakNs,
     Gauge::MaskWords,
     Gauge::WindowPeak,
+    Gauge::MultiProcsUsed,
 ];
 
 impl Gauge {
@@ -198,6 +212,7 @@ impl Gauge {
             Gauge::ServiceLatencyPeakNs => "service_latency_peak_ns",
             Gauge::MaskWords => "mask_words",
             Gauge::WindowPeak => "window_peak",
+            Gauge::MultiProcsUsed => "multi_procs_used",
         }
     }
 }
